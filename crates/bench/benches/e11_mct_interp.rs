@@ -1,0 +1,125 @@
+//! Experiment E11 — MCT interpolation as parallel sparse matrix–vector
+//! multiplication "in a multi-field, cache-friendly fashion" (§4.5).
+//!
+//! A bilinear-style 2:1 conservative remap (4608 → 2304 points) applied to
+//! attribute vectors with 1–8 fields, on 2 ranks. The cache-friendliness
+//! claim is tested directly: one multi-field apply (gathers x once, streams
+//! field-major) vs applying the matrix to each field separately.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mxn_bench::{criterion_config, time_universe};
+use mxn_mct::{AttrVect, GlobalSegMap, SparseElem, SparseMatrix, SparseMatrixPlus};
+
+const SRC_N: usize = 4608;
+const DST_N: usize = 2304;
+const RANKS: usize = 2;
+
+fn setup(me: usize) -> (GlobalSegMap, GlobalSegMap, SparseMatrix) {
+    let src_map = GlobalSegMap::block(SRC_N, RANKS);
+    let dst_map = GlobalSegMap::block(DST_N, RANKS);
+    let mut elems = Vec::new();
+    for s in dst_map.rank_segments(me) {
+        for r in s.start..s.start + s.length {
+            elems.push(SparseElem { row: r, col: 2 * r, weight: 0.5 });
+            elems.push(SparseElem { row: r, col: 2 * r + 1, weight: 0.5 });
+        }
+    }
+    let a = SparseMatrix::new(DST_N, SRC_N, elems).unwrap();
+    (src_map, dst_map, a)
+}
+
+fn fields(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("f{i}")).collect()
+}
+
+/// Multi-field apply: one schedule execution moves all fields.
+fn run_multifield(nfields: usize, iters: u64) -> std::time::Duration {
+    time_universe(&[RANKS, 1], |ctx| {
+        if ctx.program != 0 {
+            return std::time::Duration::ZERO;
+        }
+        let comm = &ctx.comm;
+        let me = comm.rank();
+        let (src_map, dst_map, a) = setup(me);
+        let plus = SparseMatrixPlus::build(comm, &a, &src_map, &dst_map).unwrap();
+        let names = fields(nfields);
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut x = AttrVect::new(&name_refs, &[], src_map.lsize(me));
+        for f in 0..nfields {
+            for (l, v) in x.real_at_mut(f).iter_mut().enumerate() {
+                *v = (l * (f + 1)) as f64;
+            }
+        }
+        let mut y = AttrVect::new(&name_refs, &[], dst_map.lsize(me));
+        let start = Instant::now();
+        for i in 0..iters {
+            plus.apply(comm, &x, &mut y, (i & 0x3ff) as i32).unwrap();
+        }
+        start.elapsed()
+    })
+}
+
+/// Field-at-a-time: n separate single-field applies (n gathers, n sweeps).
+fn run_field_at_a_time(nfields: usize, iters: u64) -> std::time::Duration {
+    time_universe(&[RANKS, 1], |ctx| {
+        if ctx.program != 0 {
+            return std::time::Duration::ZERO;
+        }
+        let comm = &ctx.comm;
+        let me = comm.rank();
+        let (src_map, dst_map, a) = setup(me);
+        let plus = SparseMatrixPlus::build(comm, &a, &src_map, &dst_map).unwrap();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for f in 0..nfields {
+            let mut x = AttrVect::new(&["f"], &[], src_map.lsize(me));
+            for (l, v) in x.real_at_mut(0).iter_mut().enumerate() {
+                *v = (l * (f + 1)) as f64;
+            }
+            xs.push(x);
+            ys.push(AttrVect::new(&["f"], &[], dst_map.lsize(me)));
+        }
+        let start = Instant::now();
+        for i in 0..iters {
+            for f in 0..nfields {
+                plus.apply(comm, &xs[f], &mut ys[f], ((i as usize * nfields + f) & 0x3ff) as i32)
+                    .unwrap();
+            }
+        }
+        start.elapsed()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_mct_interp");
+    for nfields in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("multifield_apply", nfields),
+            &nfields,
+            |b, &n| b.iter_custom(|iters| run_multifield(n, iters)),
+        );
+        if nfields > 1 {
+            group.bench_with_input(
+                BenchmarkId::new("field_at_a_time", nfields),
+                &nfields,
+                |b, &n| b.iter_custom(|iters| run_field_at_a_time(n, iters)),
+            );
+        }
+    }
+    group.finish();
+
+    println!(
+        "\n--- E11: {SRC_N}→{DST_N} conservative remap; multi-field shares one gather \
+         and streams field-major (the MCT cache-friendliness claim) ---"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment E15 (extension) — super-component pipeline fusion (§6).
+//!
+//! "An important pragmatic issue … is how efficiently redistribution
+//! functions compose with one another … Super-component solutions could
+//! also be explored … combining several successive redistribution and
+//! translation components into a single optimized component."
+//!
+//! The pipeline: unit-convert → scale → redistribute(2×2) →
+//! redistribute(1×4) → offset. Naive execution materializes 2
+//! redistributions and 3 filter passes; the optimizer emits 1 fused filter
+//! pass and 1 redistribution.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mxn_bench::{criterion_config, field_value, time_universe};
+use mxn_dad::{Dad, Extents, LocalArray};
+use mxn_pipeline::{Pipeline, Scale, UnitConversion};
+
+const P: usize = 4;
+
+fn build_pipeline() -> Pipeline {
+    let e = Extents::new([256, 256]);
+    let a = Dad::block(e.clone(), &[P, 1]).unwrap();
+    let b = Dad::block(e.clone(), &[2, 2]).unwrap();
+    let c = Dad::block(e, &[1, P]).unwrap();
+    Pipeline::new(a)
+        .filter(UnitConversion::celsius_to_kelvin())
+        .filter(Scale(0.01))
+        .redistribute(b)
+        .redistribute(c)
+        .filter(UnitConversion { scale: 1.0, offset: -2.7315 })
+}
+
+fn run(optimize: bool, iters: u64) -> std::time::Duration {
+    time_universe(&[P, 1], |ctx| {
+        if ctx.program != 0 {
+            return std::time::Duration::ZERO;
+        }
+        let comm = &ctx.comm;
+        let pipe = if optimize { build_pipeline().optimized() } else { build_pipeline() };
+        let input = pipe.input().clone();
+        let seed = LocalArray::from_fn(&input, comm.rank(), field_value);
+        let start = Instant::now();
+        for i in 0..iters {
+            let out = pipe
+                .execute(comm, seed.clone(), ((i as usize * 8) & 0xfff) as i32)
+                .unwrap();
+            std::hint::black_box(out);
+        }
+        start.elapsed()
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness cross-check before timing.
+    let naive = build_pipeline();
+    let optimized = build_pipeline().optimized();
+    println!(
+        "naive: {} redistributions, {} passes; optimized: {} redistribution(s), {} pass(es)",
+        naive.num_redistributions(),
+        naive.num_passes(),
+        optimized.num_redistributions(),
+        optimized.num_passes()
+    );
+    assert!(optimized.num_redistributions() < naive.num_redistributions());
+    assert!(optimized.num_passes() < naive.num_passes());
+
+    let mut group = c.benchmark_group("e15_pipeline_fusion");
+    group.bench_function("naive_pipeline", |b| b.iter_custom(|iters| run(false, iters)));
+    group.bench_function("super_component", |b| b.iter_custom(|iters| run(true, iters)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

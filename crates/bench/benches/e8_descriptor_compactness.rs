@@ -1,0 +1,129 @@
+//! Experiment E8 — descriptor compactness vs query cost (§2.2.2).
+//!
+//! "Using the most compact descriptor appropriate for a given distribution
+//! usually allows a DA package to provide better performance than is
+//! possible for a completely general, structureless linearization."
+//!
+//! All five descriptor kinds describe the *same* layout (a row-block
+//! distribution over 4 ranks); the bench measures owner-query latency and
+//! reports descriptor memory — compact analytic forms vs per-element
+//! tables vs patch lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mxn_bench::{criterion_config, fmt_bytes};
+use mxn_dad::{AxisDist, Dad, ExplicitDist, Extents, Region, Template};
+
+const ROWS: usize = 4096;
+const COLS: usize = 4;
+const P: usize = 4;
+
+/// The same row-block layout expressed through each descriptor kind.
+fn variants() -> Vec<(&'static str, Dad)> {
+    let e = Extents::new([ROWS, COLS]);
+    let chunk = ROWS / P;
+
+    let block = Dad::regular(
+        Template::new(e.clone(), vec![AxisDist::Block { nprocs: P }, AxisDist::Collapsed])
+            .unwrap(),
+    );
+    let block_cyclic = Dad::regular(
+        Template::new(
+            e.clone(),
+            vec![AxisDist::BlockCyclic { block: chunk, nprocs: P }, AxisDist::Collapsed],
+        )
+        .unwrap(),
+    );
+    let gen_block = Dad::regular(
+        Template::new(
+            e.clone(),
+            vec![AxisDist::GenBlock { sizes: vec![chunk; P] }, AxisDist::Collapsed],
+        )
+        .unwrap(),
+    );
+    let implicit = Dad::regular(
+        Template::new(
+            e.clone(),
+            vec![
+                AxisDist::Implicit {
+                    owners: (0..ROWS).map(|r| r / chunk).collect(),
+                    nprocs: P,
+                },
+                AxisDist::Collapsed,
+            ],
+        )
+        .unwrap(),
+    );
+    let explicit = Dad::explicit(
+        ExplicitDist::new(
+            e,
+            (0..P)
+                .map(|p| {
+                    (Region::new([p * chunk, 0], [(p + 1) * chunk, COLS]), p)
+                })
+                .collect(),
+            P,
+        )
+        .unwrap(),
+    );
+
+    vec![
+        ("block", block),
+        ("block_cyclic", block_cyclic),
+        ("gen_block", gen_block),
+        ("implicit", implicit),
+        ("explicit", explicit),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let variants = variants();
+
+    // Sanity: all five agree on ownership.
+    let probe = [[17usize, 2], [2047, 0], [4095, 3]];
+    for idx in probe {
+        let owners: Vec<usize> = variants.iter().map(|(_, d)| d.owner(&idx)).collect();
+        assert!(owners.windows(2).all(|w| w[0] == w[1]), "variants disagree at {idx:?}");
+    }
+
+    let mut group = c.benchmark_group("e8_descriptor_compactness");
+    // Owner queries over a strided index set.
+    let queries: Vec<Vec<usize>> =
+        (0..ROWS).step_by(37).map(|r| vec![r, r % COLS]).collect();
+    for (name, dad) in &variants {
+        group.bench_with_input(BenchmarkId::new("owner_query", name), dad, |b, dad| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += dad.owner(std::hint::black_box(q));
+                }
+                acc
+            })
+        });
+    }
+    // Patch enumeration (what schedule construction consumes).
+    for (name, dad) in &variants {
+        group.bench_with_input(BenchmarkId::new("patches", name), dad, |b, dad| {
+            b.iter(|| {
+                let mut n = 0;
+                for r in 0..P {
+                    n += dad.patches(std::hint::black_box(r)).len();
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+
+    println!("\n--- E8 descriptor sizes (same layout, five descriptions) ---");
+    for (name, dad) in &variants {
+        println!("{name:>12}: {}", fmt_bytes(dad.descriptor_bytes()));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

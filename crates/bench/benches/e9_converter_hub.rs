@@ -1,0 +1,68 @@
+//! Experiment E9 — 2N hub converters vs N² pairwise converters (§2.2.2).
+//!
+//! The DAD-as-intermediate-representation argument: with N distributed-
+//! array packages, conversion through the DAD needs 2N converters instead
+//! of N², "but the use of adapters might have serious consequences for
+//! performance" — the hub pays two passes where a fused pairwise converter
+//! pays one. This bench measures both sides of the trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mxn_bench::criterion_config;
+use mxn_dad::{ConvertStrategy, ConverterRegistry, SyntheticPackage};
+
+const LEN: usize = 64 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_converter_hub");
+    let canonical: Vec<f64> = (0..LEN).map(|i| i as f64).collect();
+
+    for n in [3usize, 6] {
+        let native0 = SyntheticPackage { id: 0 }.from_canonical(&canonical);
+        group.bench_with_input(BenchmarkId::new("hub_2n", n), &n, |b, &n| {
+            let mut reg = ConverterRegistry::new(n, ConvertStrategy::Hub);
+            let mut dst = 1;
+            b.iter(|| {
+                let out = reg.convert(0, dst, &native0);
+                dst = dst % (n - 1) + 1;
+                std::hint::black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("direct_nsq", n), &n, |b, &n| {
+            let mut reg = ConverterRegistry::new(n, ConvertStrategy::Direct);
+            // Warm the composed-permutation cache (the converter itself).
+            for d in 1..n {
+                reg.convert(0, d, &native0);
+            }
+            let mut dst = 1;
+            b.iter(|| {
+                let out = reg.convert(0, dst, &native0);
+                dst = dst % (n - 1) + 1;
+                std::hint::black_box(out)
+            })
+        });
+        // Direct including its converter-construction cost (first use).
+        group.bench_with_input(BenchmarkId::new("direct_cold", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut reg = ConverterRegistry::new(n, ConvertStrategy::Direct);
+                std::hint::black_box(reg.convert(0, 1, &native0))
+            })
+        });
+    }
+    group.finish();
+
+    println!("\n--- E9 converter counts (the paper's scaling argument) ---");
+    println!("{:>4} {:>8} {:>8}", "N", "hub=2N", "direct=N(N-1)");
+    for n in [2usize, 4, 8, 16] {
+        let hub = ConverterRegistry::new(n, ConvertStrategy::Hub).converter_count();
+        let direct = ConverterRegistry::new(n, ConvertStrategy::Direct).converter_count();
+        println!("{n:>4} {hub:>8} {direct:>8}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

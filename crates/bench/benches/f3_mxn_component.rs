@@ -1,0 +1,96 @@
+//! Experiment F3 — Figure 3: paired M×N components.
+//!
+//! Measures the M×N component's two connection models on a 4 ⇄ 6 coupling:
+//!
+//! * **one-shot** (PAWS-style): handshake + single transfer, per coupling;
+//! * **persistent** (CUMULVS-style): handshake once, then periodic
+//!   `data_ready` transfers — the steady-state per-transfer cost;
+//! * persistent with a period: skipped `data_ready` calls are nearly free.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mxn_bench::{criterion_config, field_value, time_universe};
+use mxn_core::{ConnectionKind, MxnComponent};
+use mxn_dad::{AccessMode, Dad, Extents, LocalArray};
+
+fn dads() -> (Dad, Dad) {
+    let e = Extents::new([128, 96]);
+    (Dad::block(e.clone(), &[4, 1]).unwrap(), Dad::block(e, &[2, 3]).unwrap())
+}
+
+fn run_kind(kind: ConnectionKind, reconnect_each_iter: bool, iters: u64) -> std::time::Duration {
+    let (src, dst) = dads();
+    time_universe(&[4, 6], |ctx| {
+        let rank = ctx.comm.rank();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut mxn = MxnComponent::new(rank);
+            let data = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(
+                &src, rank, field_value,
+            )));
+            mxn.register_field("f", src.clone(), AccessMode::Read, data).unwrap();
+            if reconnect_each_iter {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let mut conn = mxn.export_field(ic, "f", "f", kind).unwrap();
+                    conn.data_ready(ic, mxn.registry()).unwrap();
+                }
+                start.elapsed()
+            } else {
+                let mut conn = mxn.export_field(ic, "f", "f", kind).unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    conn.data_ready(ic, mxn.registry()).unwrap();
+                }
+                start.elapsed()
+            }
+        } else {
+            let ic = ctx.intercomm(0);
+            let mut mxn = MxnComponent::new(rank);
+            mxn.register_allocated("f", dst.clone(), AccessMode::Write).unwrap();
+            if reconnect_each_iter {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    let mut conn = mxn.accept_connection(ic).unwrap();
+                    conn.data_ready(ic, mxn.registry()).unwrap();
+                }
+                start.elapsed()
+            } else {
+                let mut conn = mxn.accept_connection(ic).unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    conn.data_ready(ic, mxn.registry()).unwrap();
+                }
+                start.elapsed()
+            }
+        }
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_mxn_component");
+
+    group.bench_function("one_shot_connection_and_transfer", |b| {
+        b.iter_custom(|iters| run_kind(ConnectionKind::OneShot, true, iters))
+    });
+
+    group.bench_function("persistent_channel_per_transfer", |b| {
+        b.iter_custom(|iters| run_kind(ConnectionKind::Persistent { period: 1 }, false, iters))
+    });
+
+    group.bench_function("persistent_period4_per_data_ready", |b| {
+        b.iter_custom(|iters| run_kind(ConnectionKind::Persistent { period: 4 }, false, iters))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion_config();
+    targets = bench
+}
+criterion_main!(benches);

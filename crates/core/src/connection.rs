@@ -1,0 +1,756 @@
+//! M×N connections and the `data_ready` transfer protocol.
+//!
+//! A connection couples one program's registered field to another
+//! program's, across an inter-communicator. Its lifecycle reproduces §4.1
+//! of the paper:
+//!
+//! * **Establishment** exchanges DADs: the initiating side's rank 0 sends a
+//!   connection request (with its descriptor) to every remote rank; the
+//!   accepting side validates field name, access mode and shape, and its
+//!   rank 0 answers with its own descriptor. Both sides then build their
+//!   communication schedules independently.
+//! * **Transfers** follow the paper's `dataReady()` design: "each
+//!   independent pairwise communication … is initiated when a single
+//!   instance of the parallel source cohort invokes the dataReady() method
+//!   … a matching dataReady() call at the corresponding destination cohort
+//!   process completes the given pairwise communication … no additional
+//!   synchronization barriers are required on either side."
+//! * **One-shot** connections close after their single transfer;
+//!   **persistent** connections recur automatically every `period`-th
+//!   `data_ready` call (the CUMULVS channel model).
+
+use mxn_dad::Dad;
+use mxn_runtime::{InterComm, MsgSize};
+use mxn_schedule::RegionSchedule;
+
+use crate::error::{MxnError, Result};
+use crate::field::FieldRegistry;
+
+/// Base of the tag space used by M×N data transfers.
+const CONN_TAG_BASE: i32 = 1 << 20;
+/// Tag carrying connection requests.
+const REQ_TAG: i32 = CONN_TAG_BASE - 2;
+/// Tag carrying connection acknowledgements.
+const ACK_TAG: i32 = CONN_TAG_BASE - 1;
+
+/// One-shot or persistent periodic coupling (paper §2.3, §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionKind {
+    /// Transfer exactly once, then close.
+    OneShot,
+    /// Transfer automatically on every `period`-th `data_ready` call.
+    Persistent {
+        /// Steps between transfers (≥ 1).
+        period: u32,
+    },
+}
+
+impl MsgSize for ConnectionKind {
+    fn msg_size(&self) -> usize {
+        5
+    }
+}
+
+/// Which way data flows through this side of the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// This side is the source (sends on `data_ready`).
+    Export,
+    /// This side is the destination (receives on `data_ready`).
+    Import,
+}
+
+impl Direction {
+    /// The peer side's direction.
+    pub fn opposite(&self) -> Direction {
+        match self {
+            Direction::Export => Direction::Import,
+            Direction::Import => Direction::Export,
+        }
+    }
+}
+
+impl MsgSize for Direction {
+    fn msg_size(&self) -> usize {
+        1
+    }
+}
+
+/// Connection request (initiator rank 0 → every acceptor rank).
+pub struct ConnReq {
+    /// The initiating program's connection id.
+    pub initiator_id: u32,
+    /// Field name *on the accepting side*.
+    pub field: String,
+    /// Transfer cadence.
+    pub kind: ConnectionKind,
+    /// The initiator's direction (acceptor takes the opposite).
+    pub initiator_direction: Direction,
+    /// The initiator's descriptor of the shared array.
+    pub dad: Dad,
+}
+
+impl MsgSize for ConnReq {
+    fn msg_size(&self) -> usize {
+        4 + self.field.len() + self.kind.msg_size() + 1 + self.dad.descriptor_bytes()
+    }
+}
+
+/// Connection acknowledgement (acceptor rank 0 → every initiator rank).
+/// Carries either the acceptor's descriptor or a rejection, so a failed
+/// validation on the accepting side surfaces as an error at the initiator
+/// instead of a hang.
+pub struct ConnAck {
+    /// The accepting program's connection id.
+    pub acceptor_id: u32,
+    /// The acceptor's descriptor, or why it refused.
+    pub body: std::result::Result<Dad, String>,
+}
+
+impl MsgSize for ConnAck {
+    fn msg_size(&self) -> usize {
+        4 + match &self.body {
+            Ok(dad) => dad.descriptor_bytes(),
+            Err(e) => e.len(),
+        }
+    }
+}
+
+/// What a `data_ready` call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOutcome {
+    /// A transfer ran; this rank moved `elements` values.
+    Transferred {
+        /// Elements sent or received by this rank.
+        elements: usize,
+    },
+    /// A persistent connection's period was not due this call.
+    Skipped,
+    /// The connection has already completed (one-shot) .
+    Closed,
+}
+
+/// One rank's handle to one side of an established M×N connection.
+#[derive(Debug)]
+pub struct MxnConnection {
+    field: String,
+    direction: Direction,
+    kind: ConnectionKind,
+    schedule: RegionSchedule,
+    tag: i32,
+    calls: u64,
+    transfers: u64,
+    closed: bool,
+}
+
+fn conn_tag(ic: &InterComm, my_id: u32, peer_id: u32) -> i32 {
+    // Ids wrap modulo 2^12: with 16M combined values this only aliases a
+    // connection created 4096 handshakes earlier on the same side, which
+    // is necessarily closed (handshakes and transfers are ordered per
+    // intercomm), so FIFO matching keeps reused tags unambiguous.
+    let (my_id, peer_id) = (my_id % (1 << 12), peer_id % (1 << 12));
+    let (id0, id1) = if ic.side() == 0 { (my_id, peer_id) } else { (peer_id, my_id) };
+    CONN_TAG_BASE + ((id0 as i32) << 12 | id1 as i32)
+}
+
+impl MxnConnection {
+    /// Initiates a connection for `my_field`, asking the remote side to
+    /// couple its field named `peer_field`. Collective over the local
+    /// program; the remote program must call [`MxnConnection::accept`].
+    ///
+    /// `my_id` must be a program-locally consistent counter value (every
+    /// local rank passes the same id for the same connection).
+    pub fn initiate(
+        ic: &InterComm,
+        registry: &FieldRegistry,
+        my_id: u32,
+        my_field: &str,
+        peer_field: &str,
+        direction: Direction,
+        kind: ConnectionKind,
+    ) -> Result<MxnConnection> {
+        let entry = match direction {
+            Direction::Export => registry.check_exportable(my_field)?,
+            Direction::Import => registry.check_importable(my_field)?,
+        };
+        if let ConnectionKind::Persistent { period } = kind {
+            if period == 0 {
+                return Err(MxnError::Handshake { detail: "period must be ≥ 1".into() });
+            }
+        }
+        if ic.local_rank() == 0 {
+            for r in 0..ic.remote_size() {
+                ic.send(
+                    r,
+                    REQ_TAG,
+                    ConnReq {
+                        initiator_id: my_id,
+                        field: peer_field.to_string(),
+                        kind,
+                        initiator_direction: direction,
+                        dad: entry.dad().clone(),
+                    },
+                )?;
+            }
+        }
+        let ack: ConnAck = ic.recv(0, ACK_TAG)?;
+        let peer_dad = match ack.body {
+            Ok(dad) => dad,
+            Err(reason) => {
+                return Err(MxnError::Handshake {
+                    detail: format!("peer rejected the connection: {reason}"),
+                })
+            }
+        };
+        Self::finish(
+            ic,
+            registry,
+            my_field,
+            direction,
+            kind,
+            entry.dad().clone(),
+            peer_dad,
+            my_id,
+            ack.acceptor_id,
+        )
+    }
+
+    /// Accepts the next incoming connection request. Collective over the
+    /// local program. `my_id` as in [`MxnConnection::initiate`].
+    pub fn accept(ic: &InterComm, registry: &FieldRegistry, my_id: u32) -> Result<MxnConnection> {
+        let req: ConnReq = ic.recv(0, REQ_TAG)?;
+        let direction = req.initiator_direction.opposite();
+        let entry = match direction {
+            Direction::Export => registry.check_exportable(&req.field),
+            Direction::Import => registry.check_importable(&req.field),
+        };
+        let entry = match entry {
+            Ok(e) => e,
+            Err(err) => {
+                // NACK every initiator rank so nobody hangs, then fail.
+                if ic.local_rank() == 0 {
+                    for r in 0..ic.remote_size() {
+                        ic.send(
+                            r,
+                            ACK_TAG,
+                            ConnAck { acceptor_id: my_id, body: Err(err.to_string()) },
+                        )?;
+                    }
+                }
+                return Err(err);
+            }
+        };
+        if ic.local_rank() == 0 {
+            for r in 0..ic.remote_size() {
+                ic.send(
+                    r,
+                    ACK_TAG,
+                    ConnAck { acceptor_id: my_id, body: Ok(entry.dad().clone()) },
+                )?;
+            }
+        }
+        Self::finish(
+            ic,
+            registry,
+            &req.field,
+            direction,
+            req.kind,
+            entry.dad().clone(),
+            req.dad,
+            my_id,
+            req.initiator_id,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        ic: &InterComm,
+        registry: &FieldRegistry,
+        field: &str,
+        direction: Direction,
+        kind: ConnectionKind,
+        my_dad: Dad,
+        peer_dad: Dad,
+        my_id: u32,
+        peer_id: u32,
+    ) -> Result<MxnConnection> {
+        if !my_dad.conforms(&peer_dad) {
+            return Err(MxnError::ShapeMismatch {
+                detail: format!(
+                    "local extents {:?} vs remote extents {:?}",
+                    my_dad.extents().dims(),
+                    peer_dad.extents().dims()
+                ),
+            });
+        }
+        let rank = registry.rank();
+        let schedule = match direction {
+            Direction::Export => RegionSchedule::for_sender(&my_dad, &peer_dad, rank),
+            Direction::Import => RegionSchedule::for_receiver(&peer_dad, &my_dad, rank),
+        };
+        Ok(MxnConnection {
+            field: field.to_string(),
+            direction,
+            kind,
+            schedule,
+            tag: conn_tag(ic, my_id, peer_id),
+            calls: 0,
+            transfers: 0,
+            closed: false,
+        })
+    }
+
+    /// The coupled field's name on this side.
+    pub fn field(&self) -> &str {
+        &self.field
+    }
+
+    /// This side's direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The connection's cadence.
+    pub fn kind(&self) -> ConnectionKind {
+        self.kind
+    }
+
+    /// `(data_ready calls, transfers executed)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.calls, self.transfers)
+    }
+
+    /// Whether the connection has completed (one-shot already fired).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Number of peer ranks this rank exchanges messages with.
+    pub fn num_partners(&self) -> usize {
+        self.schedule.num_messages()
+    }
+
+    /// Declares this rank's local data consistent and "ready": runs this
+    /// rank's independent pairwise sends or receives if a transfer is due.
+    /// No global synchronization happens — pairs complete independently.
+    pub fn data_ready(&mut self, ic: &InterComm, registry: &FieldRegistry) -> Result<TransferOutcome> {
+        if self.closed {
+            return Ok(TransferOutcome::Closed);
+        }
+        self.calls += 1;
+        let due = match self.kind {
+            ConnectionKind::OneShot => self.transfers == 0,
+            ConnectionKind::Persistent { period } => (self.calls - 1) % period as u64 == 0,
+        };
+        if !due {
+            return Ok(TransferOutcome::Skipped);
+        }
+        let entry = registry.get(&self.field)?;
+        let elements = match self.direction {
+            Direction::Export => {
+                let data = entry.data().read();
+                self.schedule.execute_send(ic, &data, self.tag)?
+            }
+            Direction::Import => {
+                let mut data = entry.data().write();
+                self.schedule.execute_recv(ic, &mut data, self.tag)?
+            }
+        };
+        self.transfers += 1;
+        if self.kind == ConnectionKind::OneShot {
+            self.closed = true;
+        }
+        Ok(TransferOutcome::Transferred { elements })
+    }
+
+    /// CUMULVS-style *loose* synchronization for import connections:
+    /// consumes every complete transfer already queued — without blocking
+    /// — leaving the field holding the **newest** available data. Returns
+    /// how many transfers were consumed (0 when nothing new arrived).
+    ///
+    /// This is the "variety of synchronization options" of §4.1 beyond
+    /// tight periodic coupling: a visualization-style consumer polls at its
+    /// own rate while the producer free-runs.
+    ///
+    /// # Panics
+    /// If called on an export-side or closed connection.
+    pub fn poll_latest(&mut self, ic: &InterComm, registry: &FieldRegistry) -> Result<u64> {
+        assert_eq!(self.direction, Direction::Import, "poll_latest is import-side");
+        assert!(!self.closed, "connection is closed");
+        let entry = registry.get(&self.field)?;
+        let mut rounds = 0;
+        loop {
+            // A transfer is consumable only when *every* partner's message
+            // for the next round is present (messages per pair are FIFO,
+            // so presence of one per partner = one complete round).
+            let ready = self
+                .schedule
+                .pairs()
+                .iter()
+                .all(|p| ic.iprobe(p.peer, self.tag).is_some());
+            if !ready || self.schedule.num_messages() == 0 {
+                return Ok(rounds);
+            }
+            let mut data = entry.data().write();
+            self.schedule.execute_recv(ic, &mut data, self.tag)?;
+            drop(data);
+            self.transfers += 1;
+            rounds += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::{AccessMode, Extents, LocalArray};
+    use mxn_runtime::Universe;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    fn src_dad() -> Dad {
+        Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap()
+    }
+
+    fn dst_dad() -> Dad {
+        Dad::block(Extents::new([6, 6]), &[1, 3]).unwrap()
+    }
+
+    fn seeded(dad: &Dad, rank: usize, offset: f64) -> crate::field::FieldData {
+        Arc::new(RwLock::new(LocalArray::from_fn(dad, rank, |idx| {
+            (idx[0] * 6 + idx[1]) as f64 + offset
+        })))
+    }
+
+    #[test]
+    fn one_shot_source_initiated() {
+        Universe::run(&[2, 3], |_, ctx| {
+            let rank = ctx.comm.rank();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(rank);
+                reg.register("rho", src_dad(), AccessMode::Read, seeded(&src_dad(), rank, 0.0))
+                    .unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic,
+                    &reg,
+                    0,
+                    "rho",
+                    "rho_in",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                )
+                .unwrap();
+                assert_eq!(conn.data_ready(ic, &reg).unwrap(), TransferOutcome::Transferred { elements: 18 });
+                assert!(conn.is_closed());
+                assert_eq!(conn.data_ready(ic, &reg).unwrap(), TransferOutcome::Closed);
+            } else {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(rank);
+                let data = reg.register_allocated("rho_in", dst_dad(), AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                assert_eq!(conn.direction(), Direction::Import);
+                conn.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in data.read().iter() {
+                    assert_eq!(v, (idx[0] * 6 + idx[1]) as f64);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn destination_initiated_pull() {
+        // The destination side initiates ("M×N connections can be initiated
+        // by either the source or destination components").
+        Universe::run(&[2, 2], |_, ctx| {
+            let rank = ctx.comm.rank();
+            if ctx.program == 1 {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(rank);
+                let data = reg.register_allocated("mine", dst_dad0(), AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic,
+                    &reg,
+                    0,
+                    "mine",
+                    "theirs",
+                    Direction::Import,
+                    ConnectionKind::OneShot,
+                )
+                .unwrap();
+                conn.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in data.read().iter() {
+                    assert_eq!(v, (idx[0] * 6 + idx[1]) as f64 + 5.0);
+                }
+            } else {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(rank);
+                reg.register("theirs", src_dad(), AccessMode::ReadWrite, seeded(&src_dad(), rank, 5.0))
+                    .unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                assert_eq!(conn.direction(), Direction::Export);
+                conn.data_ready(ic, &reg).unwrap();
+            }
+        });
+        fn dst_dad0() -> Dad {
+            Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap()
+        }
+    }
+
+    #[test]
+    fn persistent_period_two() {
+        Universe::run(&[1, 1], |_, ctx| {
+            let kind = ConnectionKind::Persistent { period: 2 };
+            let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(0);
+                let data: crate::field::FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&dad, 0, |_| 0.0)));
+                reg.register("f", dad.clone(), AccessMode::Read, data.clone()).unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic, &reg, 0, "f", "f", Direction::Export, kind,
+                ).unwrap();
+                for step in 0..6u64 {
+                    // Update source data each step.
+                    {
+                        let mut d = data.write();
+                        for i in 0..4 {
+                            *d.get_mut(&[i]).unwrap() = step as f64;
+                        }
+                    }
+                    let out = conn.data_ready(ic, &reg).unwrap();
+                    if step % 2 == 0 {
+                        assert!(matches!(out, TransferOutcome::Transferred { elements: 4 }));
+                    } else {
+                        assert_eq!(out, TransferOutcome::Skipped);
+                    }
+                }
+                assert_eq!(conn.stats(), (6, 3));
+            } else {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(0);
+                let data = reg.register_allocated("f", dad, AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                let mut received = Vec::new();
+                for _ in 0..6 {
+                    if let TransferOutcome::Transferred { .. } = conn.data_ready(ic, &reg).unwrap()
+                    {
+                        received.push(*data.read().get(&[0]).unwrap());
+                    }
+                }
+                // Transfers happened at steps 0, 2, 4 of the source.
+                assert_eq!(received, vec![0.0, 2.0, 4.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn access_mode_rejects_wrong_direction() {
+        Universe::run(&[1, 1], |_, ctx| {
+            let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+            let mut reg = FieldRegistry::new(0);
+            reg.register_allocated("w", dad, AccessMode::Write).unwrap();
+            if ctx.program == 0 {
+                let r = MxnConnection::initiate(
+                    ctx.intercomm(1),
+                    &reg,
+                    0,
+                    "w",
+                    "w",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                );
+                assert!(matches!(r, Err(MxnError::AccessDenied { .. })));
+            }
+        });
+    }
+
+    #[test]
+    fn shape_mismatch_detected_at_handshake() {
+        Universe::run(&[1, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+                let mut reg = FieldRegistry::new(0);
+                reg.register_allocated("f", dad, AccessMode::Read).unwrap();
+                let r = MxnConnection::initiate(
+                    ctx.intercomm(1),
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                );
+                assert!(matches!(r, Err(MxnError::ShapeMismatch { .. })));
+            } else {
+                let dad = Dad::block(Extents::new([5]), &[1]).unwrap();
+                let mut reg = FieldRegistry::new(0);
+                reg.register_allocated("f", dad, AccessMode::Write).unwrap();
+                let r = MxnConnection::accept(ctx.intercomm(0), &reg, 0);
+                assert!(matches!(r, Err(MxnError::ShapeMismatch { .. })));
+            }
+        });
+    }
+
+    #[test]
+    fn two_connections_do_not_cross_talk() {
+        // Two couplings in opposite directions between the same programs.
+        Universe::run(&[2, 2], |_, ctx| {
+            let rank = ctx.comm.rank();
+            let a = Dad::block(Extents::new([4, 4]), &[2, 1]).unwrap();
+            let b = Dad::block(Extents::new([4, 4]), &[1, 2]).unwrap();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(rank);
+                reg.register("out", a.clone(), AccessMode::Read, seeded2(&a, rank, 100.0)).unwrap();
+                let din = reg.register_allocated("in", a.clone(), AccessMode::Write).unwrap();
+                let mut c1 = MxnConnection::initiate(
+                    ic, &reg, 0, "out", "in", Direction::Export, ConnectionKind::OneShot,
+                ).unwrap();
+                let mut c2 = MxnConnection::accept(ic, &reg, 1).unwrap();
+                c1.data_ready(ic, &reg).unwrap();
+                c2.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in din.read().iter() {
+                    assert_eq!(v, (idx[0] * 4 + idx[1]) as f64 + 200.0);
+                }
+            } else {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(rank);
+                let din = reg.register_allocated("in", b.clone(), AccessMode::Write).unwrap();
+                reg.register("out", b.clone(), AccessMode::Read, seeded2(&b, rank, 200.0)).unwrap();
+                let mut c1 = MxnConnection::accept(ic, &reg, 0).unwrap();
+                let mut c2 = MxnConnection::initiate(
+                    ic, &reg, 1, "out", "in", Direction::Export, ConnectionKind::OneShot,
+                ).unwrap();
+                c1.data_ready(ic, &reg).unwrap();
+                c2.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in din.read().iter() {
+                    assert_eq!(v, (idx[0] * 4 + idx[1]) as f64 + 100.0);
+                }
+            }
+        });
+        fn seeded2(dad: &Dad, rank: usize, off: f64) -> crate::field::FieldData {
+            Arc::new(RwLock::new(LocalArray::from_fn(dad, rank, |idx| {
+                (idx[0] * 4 + idx[1]) as f64 + off
+            })))
+        }
+    }
+}
+
+#[cfg(test)]
+mod loose_sync_tests {
+    use super::*;
+    use crate::field::FieldRegistry;
+    use mxn_dad::{AccessMode, Dad, Extents, LocalArray};
+    use mxn_runtime::Universe;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    /// A free-running producer and a lazily polling consumer: the consumer
+    /// always ends up with the *newest* data, never blocking.
+    #[test]
+    fn poll_latest_consumes_backlog_and_keeps_newest() {
+        Universe::run(&[1, 1], |_, ctx| {
+            let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(0);
+                let data: crate::field::FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&dad, 0, |_| 0.0)));
+                reg.register("f", dad, AccessMode::Read, data.clone()).unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::Persistent { period: 1 },
+                )
+                .unwrap();
+                // Producer free-runs 5 steps before the consumer looks.
+                for step in 1..=5u64 {
+                    {
+                        let mut d = data.write();
+                        for i in 0..4 {
+                            *d.get_mut(&[i]).unwrap() = step as f64;
+                        }
+                    }
+                    conn.data_ready(ic, &reg).unwrap();
+                }
+                // Signal "done producing" out of band.
+                ic.send(0, 0x7f, ()).unwrap();
+            } else {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(0);
+                let data = reg.register_allocated("f", dad, AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                // Wait until the producer finished all 5 exports.
+                ic.recv::<()>(0, 0x7f).unwrap();
+                let consumed = conn.poll_latest(ic, &reg).unwrap();
+                assert_eq!(consumed, 5, "whole backlog drained");
+                assert_eq!(*data.read().get(&[0]).unwrap(), 5.0, "newest kept");
+                // Nothing more queued: poll returns instantly with 0.
+                assert_eq!(conn.poll_latest(ic, &reg).unwrap(), 0);
+            }
+        });
+    }
+
+    /// Loose sync across a real M×N shape: partial rounds (some partners
+    /// delivered, some not) are not consumed.
+    #[test]
+    fn poll_latest_waits_for_complete_rounds() {
+        Universe::run(&[2, 1], |_, ctx| {
+            let src = Dad::block(Extents::new([4]), &[2]).unwrap();
+            let dst = Dad::block(Extents::new([4]), &[1]).unwrap();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut reg = FieldRegistry::new(ctx.comm.rank());
+                let data: crate::field::FieldData = Arc::new(RwLock::new(
+                    LocalArray::from_fn(&src, ctx.comm.rank(), |idx| idx[0] as f64),
+                ));
+                reg.register("f", src, AccessMode::Read, data).unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::Persistent { period: 1 },
+                )
+                .unwrap();
+                if ctx.comm.rank() == 0 {
+                    // Rank 0 exports immediately…
+                    conn.data_ready(ic, &reg).unwrap();
+                    ic.send(0, 0x7e, ()).unwrap();
+                    // …then waits for the consumer's probe result before
+                    // rank 1 is allowed to send (ordering via consumer).
+                    ic.recv::<()>(0, 0x7d).unwrap();
+                } else {
+                    // Rank 1 exports only after the consumer verified the
+                    // partial round was not consumable.
+                    ic.recv::<()>(0, 0x7d).unwrap();
+                    conn.data_ready(ic, &reg).unwrap();
+                    ic.send(0, 0x7c, ()).unwrap();
+                }
+            } else {
+                let ic = ctx.intercomm(0);
+                let mut reg = FieldRegistry::new(0);
+                let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                // Only rank 0's half has arrived: not a complete round.
+                ic.recv::<()>(0, 0x7e).unwrap();
+                assert_eq!(conn.poll_latest(ic, &reg).unwrap(), 0);
+                // Release rank 1 (and rank 0).
+                ic.send(0, 0x7d, ()).unwrap();
+                ic.send(1, 0x7d, ()).unwrap();
+                ic.recv::<()>(1, 0x7c).unwrap();
+                // Now the round is complete.
+                assert_eq!(conn.poll_latest(ic, &reg).unwrap(), 1);
+                assert_eq!(*data.read().get(&[3]).unwrap(), 3.0);
+            }
+        });
+    }
+}

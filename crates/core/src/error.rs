@@ -1,0 +1,100 @@
+//! Error types for the M×N component.
+
+use std::fmt;
+
+use mxn_runtime::RuntimeError;
+
+/// Errors raised by M×N registration, connection and transfer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MxnError {
+    /// A field name is already registered.
+    FieldExists {
+        /// The conflicting field name.
+        field: String,
+    },
+    /// A field name is not registered.
+    FieldNotFound {
+        /// The missing field name.
+        field: String,
+    },
+    /// Registered local storage does not match the descriptor.
+    StorageMismatch {
+        /// The field being registered.
+        field: String,
+        /// Elements the descriptor assigns to this rank.
+        expected: usize,
+        /// Elements the provided storage holds.
+        actual: usize,
+    },
+    /// A field's access mode forbids the requested transfer direction.
+    AccessDenied {
+        /// The field involved.
+        field: String,
+        /// The access ("read" or "write") that was needed.
+        needed: &'static str,
+    },
+    /// Source and destination descriptors disagree on global shape.
+    ShapeMismatch {
+        /// Human-readable description of the two shapes.
+        detail: String,
+    },
+    /// A transfer was attempted on a closed (completed one-shot) connection.
+    ConnectionClosed,
+    /// Connection handshake produced inconsistent metadata.
+    Handshake {
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// Underlying messaging failure.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for MxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MxnError::FieldExists { field } => write!(f, "field `{field}` already registered"),
+            MxnError::FieldNotFound { field } => write!(f, "field `{field}` not registered"),
+            MxnError::StorageMismatch { field, expected, actual } => write!(
+                f,
+                "field `{field}`: descriptor assigns {expected} local elements but storage \
+                 holds {actual}"
+            ),
+            MxnError::AccessDenied { field, needed } => {
+                write!(f, "field `{field}` does not allow {needed} access")
+            }
+            MxnError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            MxnError::ConnectionClosed => write!(f, "connection is closed"),
+            MxnError::Handshake { detail } => write!(f, "connection handshake failed: {detail}"),
+            MxnError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MxnError {}
+
+impl From<RuntimeError> for MxnError {
+    fn from(e: RuntimeError) -> Self {
+        MxnError::Runtime(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, MxnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        let e = MxnError::StorageMismatch { field: "rho".into(), expected: 8, actual: 4 };
+        let s = e.to_string();
+        assert!(s.contains("rho") && s.contains('8') && s.contains('4'));
+    }
+
+    #[test]
+    fn runtime_conversion() {
+        let e: MxnError = RuntimeError::Aborted.into();
+        assert_eq!(e, MxnError::Runtime(RuntimeError::Aborted));
+    }
+}

@@ -1,0 +1,216 @@
+//! Parallel data field registration.
+//!
+//! "Parallel components can register their parallel data fields by
+//! providing a handle to a Distributed Array Descriptor (DAD) object …
+//! The M×N registration process allows a component to express the required
+//! DAD information for any dense rectangular array decomposition, and also
+//! indicates which access modes for M×N transfers with that data field are
+//! allowed (read, write or read/write)." (paper §4.1)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mxn_dad::{AccessMode, Dad, LocalArray};
+
+use crate::error::{MxnError, Result};
+
+/// Shared, lockable handle to a rank's local field storage.
+pub type FieldData = Arc<RwLock<LocalArray<f64>>>;
+
+/// A registered parallel data field on one rank.
+#[derive(Clone)]
+pub struct FieldEntry {
+    dad: Dad,
+    access: AccessMode,
+    data: FieldData,
+}
+
+impl FieldEntry {
+    /// The field's distribution descriptor.
+    pub fn dad(&self) -> &Dad {
+        &self.dad
+    }
+
+    /// The allowed transfer directions.
+    pub fn access(&self) -> AccessMode {
+        self.access
+    }
+
+    /// The rank-local storage handle.
+    pub fn data(&self) -> &FieldData {
+        &self.data
+    }
+}
+
+/// One rank's registry of M×N-visible fields.
+#[derive(Default)]
+pub struct FieldRegistry {
+    rank: usize,
+    fields: HashMap<String, FieldEntry>,
+}
+
+impl FieldRegistry {
+    /// Creates an empty registry for this rank.
+    pub fn new(rank: usize) -> Self {
+        FieldRegistry { rank, fields: HashMap::new() }
+    }
+
+    /// The rank this registry belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Registers `data` (this rank's storage of a field distributed as
+    /// `dad`) under `name` with the given access mode.
+    pub fn register(
+        &mut self,
+        name: &str,
+        dad: Dad,
+        access: AccessMode,
+        data: FieldData,
+    ) -> Result<()> {
+        if self.fields.contains_key(name) {
+            return Err(MxnError::FieldExists { field: name.to_string() });
+        }
+        {
+            let local = data.read();
+            let expected = dad.local_size(self.rank);
+            if local.len() != expected {
+                return Err(MxnError::StorageMismatch {
+                    field: name.to_string(),
+                    expected,
+                    actual: local.len(),
+                });
+            }
+        }
+        self.fields.insert(name.to_string(), FieldEntry { dad, access, data });
+        Ok(())
+    }
+
+    /// Registers a freshly allocated (zeroed) field — the usual receiving
+    /// side pattern. Returns the storage handle.
+    pub fn register_allocated(
+        &mut self,
+        name: &str,
+        dad: Dad,
+        access: AccessMode,
+    ) -> Result<FieldData> {
+        let data: FieldData = Arc::new(RwLock::new(LocalArray::allocate(&dad, self.rank)));
+        self.register(name, dad, access, data.clone())?;
+        Ok(data)
+    }
+
+    /// Unregisters a field (e.g. before re-decomposition).
+    pub fn unregister(&mut self, name: &str) -> Result<()> {
+        self.fields
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| MxnError::FieldNotFound { field: name.to_string() })
+    }
+
+    /// Looks up a field.
+    pub fn get(&self, name: &str) -> Result<&FieldEntry> {
+        self.fields.get(name).ok_or_else(|| MxnError::FieldNotFound { field: name.to_string() })
+    }
+
+    /// Registered field names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.fields.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Checks a field may serve as a transfer *source*.
+    pub fn check_exportable(&self, name: &str) -> Result<&FieldEntry> {
+        let f = self.get(name)?;
+        if f.access.readable() {
+            Ok(f)
+        } else {
+            Err(MxnError::AccessDenied { field: name.to_string(), needed: "read" })
+        }
+    }
+
+    /// Checks a field may serve as a transfer *destination*.
+    pub fn check_importable(&self, name: &str) -> Result<&FieldEntry> {
+        let f = self.get(name)?;
+        if f.access.writable() {
+            Ok(f)
+        } else {
+            Err(MxnError::AccessDenied { field: name.to_string(), needed: "write" })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::Extents;
+
+    fn dad() -> Dad {
+        Dad::block(Extents::new([4, 4]), &[2, 1]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = FieldRegistry::new(0);
+        let data = reg.register_allocated("temp", dad(), AccessMode::ReadWrite).unwrap();
+        assert_eq!(data.read().len(), 8);
+        let f = reg.get("temp").unwrap();
+        assert_eq!(f.access(), AccessMode::ReadWrite);
+        assert_eq!(reg.names(), vec!["temp".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut reg = FieldRegistry::new(0);
+        reg.register_allocated("t", dad(), AccessMode::Read).unwrap();
+        assert!(matches!(
+            reg.register_allocated("t", dad(), AccessMode::Read),
+            Err(MxnError::FieldExists { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_size_validated() {
+        let mut reg = FieldRegistry::new(0);
+        // Storage allocated for rank 1 has the wrong shape for rank 0...
+        // here sizes happen to be equal (8 elements), so craft a real
+        // mismatch: allocate for a different descriptor.
+        let wrong = Arc::new(RwLock::new(LocalArray::allocate(
+            &Dad::block(Extents::new([2, 2]), &[1, 1]).unwrap(),
+            0,
+        )));
+        assert!(matches!(
+            reg.register("t", dad(), AccessMode::Read, wrong),
+            Err(MxnError::StorageMismatch { expected: 8, actual: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn access_mode_enforcement() {
+        let mut reg = FieldRegistry::new(0);
+        reg.register_allocated("ro", dad(), AccessMode::Read).unwrap();
+        reg.register_allocated("wo", dad(), AccessMode::Write).unwrap();
+        assert!(reg.check_exportable("ro").is_ok());
+        assert!(matches!(
+            reg.check_importable("ro"),
+            Err(MxnError::AccessDenied { needed: "write", .. })
+        ));
+        assert!(reg.check_importable("wo").is_ok());
+        assert!(matches!(
+            reg.check_exportable("wo"),
+            Err(MxnError::AccessDenied { needed: "read", .. })
+        ));
+    }
+
+    #[test]
+    fn unregister_then_missing() {
+        let mut reg = FieldRegistry::new(0);
+        reg.register_allocated("t", dad(), AccessMode::Read).unwrap();
+        reg.unregister("t").unwrap();
+        assert!(matches!(reg.get("t"), Err(MxnError::FieldNotFound { .. })));
+        assert!(matches!(reg.unregister("t"), Err(MxnError::FieldNotFound { .. })));
+    }
+}

@@ -1,0 +1,34 @@
+//! # mxn-core — the generalized M×N parallel data redistribution component
+//!
+//! The paper's primary contribution (§4.1): a CCA component specification
+//! unifying the CUMULVS and PAWS coupling models under one interface.
+//!
+//! * **Registration** ([`field`]): components register parallel data
+//!   fields by DAD handle, with read/write/read-write access modes.
+//! * **Connections** ([`connection`]): one-shot (PAWS-style point-to-point)
+//!   or persistent periodic (CUMULVS-style channels), established by a
+//!   descriptor-exchanging handshake, initiated by the source, the
+//!   destination, or a third-party controller ([`coordinator`]).
+//! * **Transfers**: the `data_ready()` protocol — independent pairwise
+//!   point-to-point messages, no synchronization barriers on either side.
+//! * **Self-connections**: in-place redistribution (transpose) within one
+//!   program ([`MxnComponent::self_redistribute`]).
+//! * **CCA integration** ([`component`]): the whole service registers as a
+//!   provides port ([`MXN_PORT_TYPE`]) in a direct-connected framework,
+//!   realizing the paired-component architecture of Figure 3.
+
+pub mod component;
+pub mod particles;
+pub mod steering;
+pub mod connection;
+pub mod coordinator;
+pub mod error;
+pub mod field;
+
+pub use component::{mxn_port, MxnComponent, MxnPort, MXN_PORT_TYPE};
+pub use connection::{ConnectionKind, Direction, MxnConnection, TransferOutcome};
+pub use coordinator::{follow_order, order_connection, ConnOrder};
+pub use error::{MxnError, Result};
+pub use field::{FieldData, FieldEntry, FieldRegistry};
+pub use particles::{MigrationReport, Particle, ParticleField};
+pub use steering::{receive_snapshot, request_snapshot, steer, SteeringRegistry};

@@ -1,0 +1,48 @@
+//! # mxn-dad — the Distributed Array Descriptor
+//!
+//! Implements the CCA Distributed Array Descriptor of the paper's §2.2.2: a
+//! uniform, package-neutral description of how a dense multidimensional
+//! array is decomposed across the processes of a parallel component, plus
+//! access to each process's local patches.
+//!
+//! * [`shape`] — extents, row-major indexing, rectangular [`Region`]s.
+//! * [`axis`] — the per-axis distribution kinds (collapsed, block, cyclic,
+//!   block-cyclic, generalized block, HPF-style implicit).
+//! * [`template`] — HPF-style templates over process grids.
+//! * [`explicit`] — the whole-array explicit patch distribution.
+//! * [`descriptor`] — [`Dad`], the unified descriptor, plus access modes.
+//! * [`align`] — alignment of actual arrays onto templates.
+//! * [`local`] — [`LocalArray`], per-rank patch storage with fast
+//!   row-run packing for transfer execution.
+//! * [`converters`] — the 2N-vs-N² DA-package interop model (experiment E9).
+//!
+//! ```
+//! use mxn_dad::{Dad, Extents, LocalArray};
+//!
+//! // A 6×6 array, block-distributed over a 2×2 process grid.
+//! let dad = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+//! assert_eq!(dad.nranks(), 4);
+//! assert_eq!(dad.owner(&[5, 0]), 2);
+//!
+//! // Rank 0's local storage covers rows 0..3 × cols 0..3.
+//! let local = LocalArray::from_fn(&dad, 0, |idx| idx[0] * 10 + idx[1]);
+//! assert_eq!(*local.get(&[2, 1]).unwrap(), 21);
+//! ```
+
+pub mod align;
+pub mod axis;
+pub mod converters;
+pub mod descriptor;
+pub mod explicit;
+pub mod local;
+pub mod shape;
+pub mod template;
+
+pub use align::AlignedArray;
+pub use axis::AxisDist;
+pub use converters::{ConvertStrategy, ConverterRegistry, SyntheticPackage};
+pub use descriptor::{AccessMode, Dad, Distribution};
+pub use explicit::ExplicitDist;
+pub use local::LocalArray;
+pub use shape::{Extents, Region};
+pub use template::Template;

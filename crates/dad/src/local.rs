@@ -1,0 +1,303 @@
+//! Per-rank local storage of a distributed array.
+//!
+//! Each rank stores its patches as dense row-major buffers. The DAD's
+//! promise is "direct access to the DA's local memory" (paper §2.2.2) — so
+//! the buffer of every patch is exposed as a slice, and region copies move
+//! whole rows with `copy_from_slice` rather than element-by-element.
+
+use crate::descriptor::Dad;
+use crate::shape::Region;
+
+/// One rank's portion of a distributed array: a set of `(region, buffer)`
+/// patches, row-major within each patch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalArray<T> {
+    rank: usize,
+    patches: Vec<(Region, Vec<T>)>,
+}
+
+impl<T: Clone + Default> LocalArray<T> {
+    /// Allocates zero/default-initialized storage for `rank`'s patches of
+    /// `dad` (the receiving-side allocation step of an M×N transfer).
+    pub fn allocate(dad: &Dad, rank: usize) -> LocalArray<T> {
+        let patches =
+            dad.patches(rank).into_iter().map(|r| (r.clone(), vec![T::default(); r.len()])).collect();
+        LocalArray { rank, patches }
+    }
+}
+
+impl<T: Clone> LocalArray<T> {
+    /// Builds storage for `rank` with every element computed from its
+    /// global index (the usual way tests and examples seed source data).
+    pub fn from_fn(dad: &Dad, rank: usize, mut f: impl FnMut(&[usize]) -> T) -> LocalArray<T> {
+        let patches = dad
+            .patches(rank)
+            .into_iter()
+            .map(|r| {
+                let data = r.iter().map(|idx| f(&idx)).collect();
+                (r, data)
+            })
+            .collect();
+        LocalArray { rank, patches }
+    }
+}
+
+impl<T> LocalArray<T> {
+    /// The rank this storage belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The regions stored locally.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.patches.iter().map(|(r, _)| r)
+    }
+
+    /// Number of locally stored elements.
+    pub fn len(&self) -> usize {
+        self.patches.iter().map(|(r, _)| r.len()).sum()
+    }
+
+    /// True when this rank owns nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct access to patch `i`'s region and buffer.
+    pub fn patch(&self, i: usize) -> (&Region, &[T]) {
+        let (r, d) = &self.patches[i];
+        (r, d)
+    }
+
+    /// Mutable access to patch `i`'s buffer.
+    pub fn patch_mut(&mut self, i: usize) -> (&Region, &mut [T]) {
+        let (r, d) = &mut self.patches[i];
+        (r, d)
+    }
+
+    /// Number of patches.
+    pub fn num_patches(&self) -> usize {
+        self.patches.len()
+    }
+
+    fn find_patch(&self, idx: &[usize]) -> Option<usize> {
+        self.patches.iter().position(|(r, _)| r.contains(idx))
+    }
+
+    /// Element at global index `idx`, if locally stored.
+    pub fn get(&self, idx: &[usize]) -> Option<&T> {
+        self.find_patch(idx).map(|p| {
+            let (r, d) = &self.patches[p];
+            &d[r.local_offset(idx)]
+        })
+    }
+
+    /// Mutable element at global index `idx`, if locally stored.
+    pub fn get_mut(&mut self, idx: &[usize]) -> Option<&mut T> {
+        let p = self.find_patch(idx)?;
+        let (r, d) = &mut self.patches[p];
+        Some(&mut d[r.local_offset(idx)])
+    }
+
+    /// Iterates `(global_index, &element)` over all local elements.
+    pub fn iter(&self) -> impl Iterator<Item = (Vec<usize>, &T)> {
+        self.patches.iter().flat_map(|(r, d)| r.iter().zip(d.iter()))
+    }
+
+    /// Calls `f(patch_buffer_range, run_length)` for every contiguous
+    /// last-axis run of `sub` inside patch storage. `sub` must be contained
+    /// in a single stored patch.
+    fn for_each_run(region: &Region, sub: &Region, mut f: impl FnMut(usize, usize)) {
+        if sub.is_empty() {
+            return;
+        }
+        let nd = sub.ndim();
+        if nd == 0 {
+            f(region.local_offset(&[]), 1);
+            return;
+        }
+        let run_len = sub.hi()[nd - 1] - sub.lo()[nd - 1];
+        // Odometer over the leading nd-1 axes of `sub`.
+        let mut idx: Vec<usize> = sub.lo().to_vec();
+        loop {
+            f(region.local_offset(&idx), run_len);
+            // Advance leading axes.
+            let mut d = nd - 1;
+            loop {
+                if d == 0 {
+                    return;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < sub.hi()[d] {
+                    break;
+                }
+                idx[d] = sub.lo()[d];
+            }
+        }
+    }
+}
+
+impl<T: Copy> LocalArray<T> {
+    /// Copies the elements of `sub` (which must be covered by local
+    /// patches) out into a row-major buffer ordered like `sub.iter()`.
+    ///
+    /// # Panics
+    /// If any element of `sub` is not locally stored.
+    pub fn pack_region(&self, sub: &Region) -> Vec<T> {
+        let mut out = Vec::with_capacity(sub.len());
+        for (region, data) in &self.patches {
+            if let Some(part) = region.intersect(sub) {
+                // Fast path: `sub` fully inside this patch keeps row order.
+                if part == *sub {
+                    Self::for_each_run(region, sub, |off, len| {
+                        out.extend_from_slice(&data[off..off + len]);
+                    });
+                    return out;
+                }
+            }
+        }
+        // General path: element-at-a-time via owner patches (handles subs
+        // spanning multiple patches).
+        for idx in sub.iter() {
+            let v = self.get(&idx).unwrap_or_else(|| panic!("index {idx:?} not local"));
+            out.push(*v);
+        }
+        out
+    }
+
+    /// Writes `data` (row-major in `sub` order) into the local storage.
+    ///
+    /// # Panics
+    /// If lengths mismatch or any element of `sub` is not locally stored.
+    pub fn unpack_region(&mut self, sub: &Region, data: &[T]) {
+        assert_eq!(data.len(), sub.len(), "unpack length mismatch");
+        // Fast path when a single patch contains sub.
+        let single = self
+            .patches
+            .iter()
+            .position(|(r, _)| r.intersect(sub).map_or(false, |i| i == *sub));
+        if let Some(p) = single {
+            let (region, buf) = &mut self.patches[p];
+            let mut cursor = 0;
+            Self::for_each_run(region, sub, |off, len| {
+                buf[off..off + len].copy_from_slice(&data[cursor..cursor + len]);
+                cursor += len;
+            });
+            return;
+        }
+        for (k, idx) in sub.iter().enumerate() {
+            let slot =
+                self.get_mut(&idx).unwrap_or_else(|| panic!("index {idx:?} not local"));
+            *slot = data[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisDist;
+    use crate::shape::Extents;
+    use crate::template::Template;
+
+    fn dad_2x2() -> Dad {
+        Dad::block(Extents::new([4, 6]), &[2, 2]).unwrap()
+    }
+
+    #[test]
+    fn allocate_matches_descriptor() {
+        let d = dad_2x2();
+        for r in 0..4 {
+            let a: LocalArray<f64> = LocalArray::allocate(&d, r);
+            assert_eq!(a.len(), d.local_size(r));
+            assert_eq!(a.rank(), r);
+            assert!(a.iter().all(|(_, &v)| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn from_fn_and_get() {
+        let d = dad_2x2();
+        let a = LocalArray::from_fn(&d, 3, |idx| (idx[0] * 10 + idx[1]) as i64);
+        assert_eq!(*a.get(&[2, 3]).unwrap(), 23);
+        assert_eq!(*a.get(&[3, 5]).unwrap(), 35);
+        assert!(a.get(&[0, 0]).is_none(), "not owned by rank 3");
+    }
+
+    #[test]
+    fn get_mut_writes_through() {
+        let d = dad_2x2();
+        let mut a: LocalArray<i32> = LocalArray::allocate(&d, 0);
+        *a.get_mut(&[1, 2]).unwrap() = 42;
+        assert_eq!(*a.get(&[1, 2]).unwrap(), 42);
+    }
+
+    #[test]
+    fn pack_row_major_order() {
+        let d = dad_2x2();
+        let a = LocalArray::from_fn(&d, 0, |idx| (idx[0] * 10 + idx[1]) as i64);
+        // Rank 0 owns [0..2) x [0..3).
+        let sub = Region::new([0, 1], [2, 3]);
+        assert_eq!(a.pack_region(&sub), vec![1, 2, 11, 12]);
+    }
+
+    #[test]
+    fn unpack_then_pack_roundtrip() {
+        let d = dad_2x2();
+        let mut a: LocalArray<i64> = LocalArray::allocate(&d, 2);
+        // Rank 2 owns [2..4) x [0..3).
+        let sub = Region::new([2, 0], [4, 2]);
+        let data = vec![7, 8, 9, 10];
+        a.unpack_region(&sub, &data);
+        assert_eq!(a.pack_region(&sub), data);
+        assert_eq!(*a.get(&[3, 1]).unwrap(), 10);
+        assert_eq!(*a.get(&[2, 2]).unwrap(), 0, "outside sub untouched");
+    }
+
+    #[test]
+    fn pack_across_multiple_patches() {
+        // Cyclic rows: rank 0 owns rows 0 and 2 as separate patches.
+        let t = Template::new(
+            Extents::new([4, 3]),
+            vec![AxisDist::Cyclic { nprocs: 2 }, AxisDist::Collapsed],
+        )
+        .unwrap();
+        let d = Dad::regular(t);
+        let a = LocalArray::from_fn(&d, 0, |idx| (idx[0] * 3 + idx[1]) as i32);
+        assert_eq!(a.num_patches(), 2);
+        // Pack a region covering one row of each patch separately.
+        assert_eq!(a.pack_region(&Region::new([0, 0], [1, 3])), vec![0, 1, 2]);
+        assert_eq!(a.pack_region(&Region::new([2, 0], [3, 3])), vec![6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not local")]
+    fn pack_nonlocal_panics() {
+        let d = dad_2x2();
+        let a: LocalArray<i32> = LocalArray::allocate(&d, 0);
+        a.pack_region(&Region::new([2, 0], [3, 1]));
+    }
+
+    #[test]
+    fn empty_rank_storage() {
+        // 3 elements over 5 ranks: rank 4 owns nothing.
+        let t = Template::new(Extents::new([3]), vec![AxisDist::Block { nprocs: 5 }]).unwrap();
+        let d = Dad::regular(t);
+        let a: LocalArray<u8> = LocalArray::allocate(&d, 4);
+        assert!(a.is_empty());
+        assert_eq!(a.num_patches(), 0);
+    }
+
+    #[test]
+    fn patch_slices_are_exposed() {
+        let d = dad_2x2();
+        let mut a = LocalArray::from_fn(&d, 1, |_| 1.0f32);
+        let (region, buf) = a.patch_mut(0);
+        assert_eq!(buf.len(), region.len());
+        buf[0] = 5.0;
+        let (r0, b0) = a.patch(0);
+        assert_eq!(b0[0], 5.0);
+        assert_eq!(r0.lo(), &[0, 3]);
+    }
+}

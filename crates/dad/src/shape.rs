@@ -1,0 +1,342 @@
+//! Multidimensional extents, indices and rectangular regions.
+//!
+//! All arrays in the DAD model are dense, rectangular and row-major
+//! (C order): the *last* axis varies fastest in the linearized order. A
+//! [`Region`] is a half-open axis-aligned box `[lo, hi)` — the "rectangular
+//! patch" of the paper's explicit distributions and of per-rank local
+//! storage.
+
+/// The shape of an n-dimensional array: one extent per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Extents(Vec<usize>);
+
+impl Extents {
+    /// Creates extents from per-axis sizes. Zero-size axes are allowed
+    /// (the array is then empty).
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Extents(dims.into())
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Extent of axis `d`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.0[d]
+    }
+
+    /// Per-axis extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Total number of elements.
+    pub fn total(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major linear offset of `idx` within the full array.
+    ///
+    /// # Panics
+    /// If `idx` has the wrong rank or is out of bounds.
+    pub fn linear(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        let mut off = 0;
+        for (d, (&i, &ext)) in idx.iter().zip(&self.0).enumerate() {
+            assert!(i < ext, "index {i} out of bounds for axis {d} (extent {ext})");
+            off = off * ext + i;
+        }
+        off
+    }
+
+    /// Inverse of [`Extents::linear`].
+    pub fn unlinear(&self, mut off: usize) -> Vec<usize> {
+        assert!(off < self.total().max(1), "offset out of bounds");
+        let mut idx = vec![0; self.ndim()];
+        for d in (0..self.ndim()).rev() {
+            let ext = self.0[d];
+            idx[d] = off % ext;
+            off /= ext;
+        }
+        idx
+    }
+
+    /// Iterates all indices in row-major order.
+    pub fn iter(&self) -> IndexIter {
+        IndexIter::new(self.0.clone())
+    }
+
+    /// The region covering the whole array.
+    pub fn full_region(&self) -> Region {
+        Region::new(vec![0; self.ndim()], self.0.clone())
+    }
+}
+
+/// Row-major iterator over all indices of a box shape.
+pub struct IndexIter {
+    dims: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl IndexIter {
+    fn new(dims: Vec<usize>) -> Self {
+        let next = if dims.iter().all(|&d| d > 0) { Some(vec![0; dims.len()]) } else { None };
+        IndexIter { dims, next }
+    }
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance like an odometer, last axis fastest.
+        let mut idx = current.clone();
+        let mut d = self.dims.len();
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < self.dims[d] {
+                self.next = Some(idx);
+                break;
+            }
+            idx[d] = 0;
+        }
+        Some(current)
+    }
+}
+
+/// A half-open axis-aligned box `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+}
+
+impl Region {
+    /// Creates a region; `lo[d] <= hi[d]` must hold on every axis.
+    ///
+    /// # Panics
+    /// On rank mismatch or inverted bounds.
+    pub fn new(lo: impl Into<Vec<usize>>, hi: impl Into<Vec<usize>>) -> Self {
+        let (lo, hi) = (lo.into(), hi.into());
+        assert_eq!(lo.len(), hi.len(), "region bound rank mismatch");
+        for d in 0..lo.len() {
+            assert!(lo[d] <= hi[d], "inverted region bounds on axis {d}");
+        }
+        Region { lo, hi }
+    }
+
+    /// Lower (inclusive) corner.
+    pub fn lo(&self) -> &[usize] {
+        &self.lo
+    }
+
+    /// Upper (exclusive) corner.
+    pub fn hi(&self) -> &[usize] {
+        &self.hi
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Per-axis sizes.
+    pub fn shape(&self) -> Vec<usize> {
+        (0..self.ndim()).map(|d| self.hi[d] - self.lo[d]).collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        (0..self.ndim()).map(|d| self.hi[d] - self.lo[d]).product()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        (0..self.ndim()).any(|d| self.lo[d] == self.hi[d])
+    }
+
+    /// Does the region contain `idx`?
+    pub fn contains(&self, idx: &[usize]) -> bool {
+        idx.len() == self.ndim()
+            && (0..self.ndim()).all(|d| self.lo[d] <= idx[d] && idx[d] < self.hi[d])
+    }
+
+    /// Intersection with `other`; `None` when empty.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        assert_eq!(self.ndim(), other.ndim(), "region rank mismatch");
+        let mut lo = Vec::with_capacity(self.ndim());
+        let mut hi = Vec::with_capacity(self.ndim());
+        for d in 0..self.ndim() {
+            let l = self.lo[d].max(other.lo[d]);
+            let h = self.hi[d].min(other.hi[d]);
+            if l >= h {
+                return None;
+            }
+            lo.push(l);
+            hi.push(h);
+        }
+        Some(Region { lo, hi })
+    }
+
+    /// Do the two regions share any element?
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// Iterates global indices inside the region, row-major.
+    pub fn iter(&self) -> RegionIter {
+        RegionIter { base: self.lo.clone(), inner: IndexIter::new(self.shape()) }
+    }
+
+    /// Row-major offset of `idx` *within* this region (for local storage).
+    ///
+    /// # Panics
+    /// If `idx` is not inside the region.
+    pub fn local_offset(&self, idx: &[usize]) -> usize {
+        assert!(self.contains(idx), "index {idx:?} outside region");
+        let mut off = 0;
+        for d in 0..self.ndim() {
+            off = off * (self.hi[d] - self.lo[d]) + (idx[d] - self.lo[d]);
+        }
+        off
+    }
+
+    /// Inverse of [`Region::local_offset`].
+    pub fn index_at(&self, mut off: usize) -> Vec<usize> {
+        assert!(off < self.len(), "offset out of bounds");
+        let mut idx = vec![0; self.ndim()];
+        for d in (0..self.ndim()).rev() {
+            let ext = self.hi[d] - self.lo[d];
+            idx[d] = self.lo[d] + off % ext;
+            off /= ext;
+        }
+        idx
+    }
+}
+
+/// Row-major iterator over a region's global indices.
+pub struct RegionIter {
+    base: Vec<usize>,
+    inner: IndexIter,
+}
+
+impl Iterator for RegionIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        self.inner.next().map(|rel| {
+            rel.iter().zip(&self.base).map(|(r, b)| r + b).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_roundtrip_3d() {
+        let e = Extents::new([3, 4, 5]);
+        assert_eq!(e.total(), 60);
+        for (k, idx) in e.iter().enumerate() {
+            assert_eq!(e.linear(&idx), k, "row-major order");
+            assert_eq!(e.unlinear(k), idx);
+        }
+    }
+
+    #[test]
+    fn last_axis_fastest() {
+        let e = Extents::new([2, 3]);
+        let order: Vec<Vec<usize>> = e.iter().collect();
+        assert_eq!(order[0], vec![0, 0]);
+        assert_eq!(order[1], vec![0, 1]);
+        assert_eq!(order[3], vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn linear_checks_bounds() {
+        Extents::new([2, 2]).linear(&[0, 2]);
+    }
+
+    #[test]
+    fn empty_extents_iterate_nothing() {
+        let e = Extents::new([3, 0]);
+        assert_eq!(e.total(), 0);
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn zero_dim_array_has_one_element() {
+        let e = Extents::new(Vec::<usize>::new());
+        assert_eq!(e.total(), 1);
+        assert_eq!(e.iter().count(), 1);
+        assert_eq!(e.linear(&[]), 0);
+    }
+
+    #[test]
+    fn region_basics() {
+        let r = Region::new([1, 2], [4, 5]);
+        assert_eq!(r.shape(), vec![3, 3]);
+        assert_eq!(r.len(), 9);
+        assert!(!r.is_empty());
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[3, 4]));
+        assert!(!r.contains(&[4, 4]), "hi is exclusive");
+        assert!(!r.contains(&[0, 3]));
+    }
+
+    #[test]
+    fn region_intersection() {
+        let a = Region::new([0, 0], [4, 4]);
+        let b = Region::new([2, 3], [6, 8]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Region::new([2, 3], [4, 4]));
+        let c = Region::new([4, 0], [5, 4]);
+        assert!(a.intersect(&c).is_none(), "touching boxes do not overlap");
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn region_iteration_and_local_offsets() {
+        let r = Region::new([10, 20], [12, 23]);
+        let idxs: Vec<Vec<usize>> = r.iter().collect();
+        assert_eq!(idxs.len(), 6);
+        assert_eq!(idxs[0], vec![10, 20]);
+        assert_eq!(idxs[5], vec![11, 22]);
+        for (k, idx) in idxs.iter().enumerate() {
+            assert_eq!(r.local_offset(idx), k);
+            assert_eq!(r.index_at(k), *idx);
+        }
+    }
+
+    #[test]
+    fn empty_region() {
+        let r = Region::new([3, 3], [3, 5]);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_region_rejected() {
+        Region::new([2], [1]);
+    }
+
+    #[test]
+    fn full_region_covers_extents() {
+        let e = Extents::new([4, 6]);
+        let r = e.full_region();
+        assert_eq!(r.len(), 24);
+        assert!(e.iter().all(|i| r.contains(&i)));
+    }
+}

@@ -1,0 +1,295 @@
+//! Templates: virtual arrays specifying logical data distribution.
+//!
+//! Following HPF (and the CCA DAD), a *template* is a virtual array whose
+//! axes are each distributed over one dimension of a process grid; actual
+//! arrays are then *aligned* to a template (see [`crate::align`]). The rank
+//! owning element `(i₀, …, i_{k−1})` is the row-major position of
+//! `(owner₀(i₀), …, owner_{k−1}(i_{k−1}))` in the process grid.
+
+use crate::axis::AxisDist;
+use crate::shape::{Extents, Region};
+
+/// A distribution template: extents plus one [`AxisDist`] per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template {
+    extents: Extents,
+    axes: Vec<AxisDist>,
+}
+
+impl Template {
+    /// Creates and validates a template.
+    pub fn new(extents: Extents, axes: Vec<AxisDist>) -> Result<Template, String> {
+        if axes.len() != extents.ndim() {
+            return Err(format!(
+                "{} axis distributions for a {}-d template",
+                axes.len(),
+                extents.ndim()
+            ));
+        }
+        for (d, ax) in axes.iter().enumerate() {
+            ax.validate(extents.dim(d)).map_err(|e| format!("axis {d}: {e}"))?;
+        }
+        Ok(Template { extents, axes })
+    }
+
+    /// Uniform block distribution of `extents` over a `grid` of processes
+    /// (the most common case in practice).
+    pub fn block(extents: Extents, grid: &[usize]) -> Result<Template, String> {
+        if grid.len() != extents.ndim() {
+            return Err(format!(
+                "grid rank {} does not match template rank {}",
+                grid.len(),
+                extents.ndim()
+            ));
+        }
+        let axes = grid
+            .iter()
+            .map(|&n| if n == 1 { AxisDist::Collapsed } else { AxisDist::Block { nprocs: n } })
+            .collect();
+        Template::new(extents, axes)
+    }
+
+    /// Template extents.
+    pub fn extents(&self) -> &Extents {
+        &self.extents
+    }
+
+    /// Per-axis distributions.
+    pub fn axes(&self) -> &[AxisDist] {
+        &self.axes
+    }
+
+    /// Process-grid dimensions (one entry per axis).
+    pub fn grid(&self) -> Vec<usize> {
+        self.axes.iter().map(AxisDist::nprocs).collect()
+    }
+
+    /// Total number of ranks the template is distributed over.
+    pub fn nranks(&self) -> usize {
+        self.grid().iter().product()
+    }
+
+    /// Row-major rank of a process-grid coordinate.
+    pub fn grid_to_rank(&self, coord: &[usize]) -> usize {
+        let grid = self.grid();
+        assert_eq!(coord.len(), grid.len(), "grid coordinate rank mismatch");
+        let mut r = 0;
+        for (d, (&c, &g)) in coord.iter().zip(&grid).enumerate() {
+            assert!(c < g, "grid coordinate {c} out of bounds on axis {d}");
+            r = r * g + c;
+        }
+        r
+    }
+
+    /// Inverse of [`Template::grid_to_rank`].
+    pub fn rank_to_grid(&self, mut rank: usize) -> Vec<usize> {
+        let grid = self.grid();
+        assert!(rank < self.nranks(), "rank out of range");
+        let mut coord = vec![0; grid.len()];
+        for d in (0..grid.len()).rev() {
+            coord[d] = rank % grid[d];
+            rank /= grid[d];
+        }
+        coord
+    }
+
+    /// Rank owning global index `idx`. Allocation-free: this is the hot
+    /// query of schedule construction and the E8 benchmark.
+    pub fn owner(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.extents.ndim(), "index rank mismatch");
+        let mut r = 0;
+        for (d, (&i, ax)) in idx.iter().zip(&self.axes).enumerate() {
+            r = r * ax.nprocs() + ax.owner(i, self.extents.dim(d));
+        }
+        r
+    }
+
+    /// The rectangular patches of the template owned by `rank`, in
+    /// row-major order of their lower corners. For block-family axes this is
+    /// the cartesian product of per-axis segments.
+    pub fn patches(&self, rank: usize) -> Vec<Region> {
+        let coord = self.rank_to_grid(rank);
+        // Per-axis segment lists for this rank's grid position.
+        let seglists: Vec<Vec<(usize, usize)>> = self
+            .axes
+            .iter()
+            .enumerate()
+            .map(|(d, ax)| ax.segments(coord[d], self.extents.dim(d)))
+            .collect();
+        if seglists.iter().any(|s| s.is_empty()) {
+            return vec![];
+        }
+        // Cartesian product, odometer over segment indices.
+        let mut out = Vec::new();
+        let mut pick = vec![0usize; seglists.len()];
+        loop {
+            let lo: Vec<usize> = pick.iter().zip(&seglists).map(|(&k, s)| s[k].0).collect();
+            let hi: Vec<usize> =
+                pick.iter().zip(&seglists).map(|(&k, s)| s[k].0 + s[k].1).collect();
+            out.push(Region::new(lo, hi));
+            // Advance odometer (last axis fastest).
+            let mut d = seglists.len();
+            loop {
+                if d == 0 {
+                    return out;
+                }
+                d -= 1;
+                pick[d] += 1;
+                if pick[d] < seglists[d].len() {
+                    break;
+                }
+                pick[d] = 0;
+            }
+        }
+    }
+
+    /// Number of elements owned by `rank`.
+    pub fn local_size(&self, rank: usize) -> usize {
+        let coord = self.rank_to_grid(rank);
+        self.axes
+            .iter()
+            .enumerate()
+            .map(|(d, ax)| ax.local_size(coord[d], self.extents.dim(d)))
+            .product()
+    }
+
+    /// Descriptor size in bytes (compactness metric, experiment E8).
+    pub fn descriptor_bytes(&self) -> usize {
+        self.extents.ndim() * std::mem::size_of::<usize>()
+            + self.axes.iter().map(AxisDist::descriptor_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2d() -> Template {
+        Template::new(
+            Extents::new([6, 8]),
+            vec![AxisDist::Block { nprocs: 2 }, AxisDist::Block { nprocs: 2 }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_rank_roundtrip() {
+        let t = Template::new(
+            Extents::new([4, 6, 8]),
+            vec![
+                AxisDist::Block { nprocs: 2 },
+                AxisDist::Block { nprocs: 3 },
+                AxisDist::Collapsed,
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.grid(), vec![2, 3, 1]);
+        assert_eq!(t.nranks(), 6);
+        for r in 0..6 {
+            assert_eq!(t.grid_to_rank(&t.rank_to_grid(r)), r);
+        }
+    }
+
+    #[test]
+    fn owner_partitions_all_elements() {
+        let t = t2d();
+        let mut counts = vec![0usize; t.nranks()];
+        for idx in t.extents().iter() {
+            counts[t.owner(&idx)] += 1;
+        }
+        assert_eq!(counts, vec![12, 12, 12, 12]);
+    }
+
+    #[test]
+    fn patches_match_owner() {
+        let t = t2d();
+        for r in 0..t.nranks() {
+            let patches = t.patches(r);
+            assert_eq!(patches.iter().map(Region::len).sum::<usize>(), t.local_size(r));
+            for patch in &patches {
+                for idx in patch.iter() {
+                    assert_eq!(t.owner(&idx), r, "patch content owned by its rank");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_cyclic_produces_multiple_patches() {
+        let t = Template::new(
+            Extents::new([8, 8]),
+            vec![AxisDist::BlockCyclic { block: 2, nprocs: 2 }, AxisDist::Collapsed],
+        )
+        .unwrap();
+        let p0 = t.patches(0);
+        assert_eq!(p0.len(), 2, "two cyclic repetitions");
+        assert_eq!(p0[0], Region::new([0, 0], [2, 8]));
+        assert_eq!(p0[1], Region::new([4, 0], [6, 8]));
+    }
+
+    #[test]
+    fn uneven_block_leaves_rank_empty() {
+        // 3 elements over 5 ranks: block size 1, ranks 3..5 own nothing.
+        let t = Template::new(Extents::new([3]), vec![AxisDist::Block { nprocs: 5 }]).unwrap();
+        assert_eq!(t.local_size(3), 0);
+        assert!(t.patches(4).is_empty());
+        assert_eq!(t.local_size(0), 1);
+    }
+
+    #[test]
+    fn block_constructor_figure1_shapes() {
+        // The paper's Figure 1: M = 8 = 2×2×2 and N = 27 = 3×3×3.
+        let e = Extents::new([6, 6, 6]);
+        let m = Template::block(e.clone(), &[2, 2, 2]).unwrap();
+        let n = Template::block(e, &[3, 3, 3]).unwrap();
+        assert_eq!(m.nranks(), 8);
+        assert_eq!(n.nranks(), 27);
+        assert_eq!(m.local_size(0), 27); // 3×3×3 elements each
+        assert_eq!(n.local_size(0), 8); // 2×2×2 elements each
+    }
+
+    #[test]
+    fn mixed_axis_kinds() {
+        let t = Template::new(
+            Extents::new([10, 9]),
+            vec![
+                AxisDist::GenBlock { sizes: vec![7, 3] },
+                AxisDist::Cyclic { nprocs: 3 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.nranks(), 6);
+        let mut total = 0;
+        for r in 0..6 {
+            total += t.local_size(r);
+        }
+        assert_eq!(total, 90);
+        assert_eq!(t.owner(&[8, 4]), t.grid_to_rank(&[1, 1]));
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(Template::new(Extents::new([4]), vec![]).is_err());
+        assert!(Template::new(
+            Extents::new([4]),
+            vec![AxisDist::GenBlock { sizes: vec![1, 1] }]
+        )
+        .is_err());
+        assert!(Template::block(Extents::new([4, 4]), &[2]).is_err());
+    }
+
+    #[test]
+    fn descriptor_bytes_grow_with_irregularity() {
+        let e = Extents::new([100]);
+        let b = Template::new(e.clone(), vec![AxisDist::Block { nprocs: 4 }]).unwrap();
+        let g =
+            Template::new(e.clone(), vec![AxisDist::GenBlock { sizes: vec![25; 4] }]).unwrap();
+        let i = Template::new(
+            e,
+            vec![AxisDist::Implicit { owners: (0..100).map(|k| k % 4).collect(), nprocs: 4 }],
+        )
+        .unwrap();
+        assert!(b.descriptor_bytes() < g.descriptor_bytes());
+        assert!(g.descriptor_bytes() < i.descriptor_bytes());
+    }
+}

@@ -1,0 +1,308 @@
+//! The DCA stub layer: communicator-carrying port invocations.
+//!
+//! "The stub generator that parses the SIDL source files automatically adds
+//! an extra argument to all port methods, of type MPI_Comm, that is used to
+//! communicate to the framework which processes participate in the parallel
+//! remote method invocation … it is used to perform a barrier
+//! synchronization, required to ensure that the order of invocation is
+//! preserved when different but intersecting sets of processes make
+//! consecutive port calls … In other invocation schemes where all processes
+//! must participate, the barrier is not required." (paper §4.3)
+//!
+//! [`DcaPort`] is the Rust analogue of a generated stub: every invocation
+//! takes the participation communicator as its trailing argument, and the
+//! stub inserts the delivery barrier exactly when the participant set is a
+//! proper subset of the component's processes.
+
+use std::time::Duration;
+
+use mxn_runtime::{Comm, InterComm, MsgSize};
+
+use mxn_prmi::subset::{subset_call, subset_call_timeout, subset_shutdown, DeliveryPolicy};
+use mxn_prmi::{PrmiError, Result};
+
+/// Maps a participation communicator's members to program-local ranks,
+/// given the program communicator (both share global world ranks).
+pub fn program_local_ranks(program: &Comm, participants: &Comm) -> Vec<usize> {
+    participants
+        .group()
+        .iter()
+        .map(|g| {
+            program
+                .group()
+                .iter()
+                .position(|pg| pg == g)
+                .expect("participant is a member of the program")
+        })
+        .collect()
+}
+
+/// A generated-stub-style port handle: one remote serial provider rank,
+/// invoked with a trailing participation communicator.
+///
+/// The delivery barrier is a property of the port's *invocation scheme*,
+/// not of a single call: "in other invocation schemes where all processes
+/// must participate, the barrier is not required" (§4.3). A port declared
+/// [`DcaPort::uniform`] promises every call is all-participate and skips
+/// barriers entirely; the default (mixed) scheme barriers every call,
+/// because even an all-participate call can deadlock against a concurrent
+/// subset call (the Figure 5 interleaving).
+pub struct DcaPort {
+    provider: usize,
+    program_size: usize,
+    uniform: bool,
+}
+
+impl DcaPort {
+    /// Creates a stub for the general (mixed-participation) scheme:
+    /// every invocation is barrier-synchronized. `program_size` is the
+    /// caller component's full process count.
+    pub fn new(provider: usize, program_size: usize) -> Self {
+        DcaPort { provider, program_size, uniform: false }
+    }
+
+    /// Creates a stub for the all-participate scheme: the caller promises
+    /// every invocation involves the whole component, so calls are
+    /// delivered in order without barriers.
+    pub fn uniform(provider: usize, program_size: usize) -> Self {
+        DcaPort { provider, program_size, uniform: true }
+    }
+
+    /// The policy the stub generator would emit for this participant set.
+    ///
+    /// # Panics
+    /// If a uniform port is invoked with a proper participant subset (a
+    /// broken promise the generated stub can check cheaply).
+    pub fn policy_for(&self, participants: &Comm) -> DeliveryPolicy {
+        if self.uniform {
+            assert_eq!(
+                participants.size(),
+                self.program_size,
+                "uniform DCA port invoked with a participant subset"
+            );
+            DeliveryPolicy::eager()
+        } else {
+            DeliveryPolicy::safe()
+        }
+    }
+
+    /// Invokes `method` with the participation communicator as the
+    /// (conceptually trailing) extra argument — the DCA calling convention.
+    pub fn invoke<A, R>(
+        &self,
+        ic: &InterComm,
+        program: &Comm,
+        participants: &Comm,
+        method: u32,
+        arg: A,
+    ) -> Result<R>
+    where
+        A: Send + MsgSize + 'static,
+        R: 'static,
+    {
+        let ranks = program_local_ranks(program, participants);
+        subset_call(
+            participants,
+            ic,
+            &ranks,
+            self.provider,
+            method,
+            arg,
+            self.policy_for(participants),
+        )
+    }
+
+    /// Like [`DcaPort::invoke`] with a bounded wait (deadlock detection).
+    #[allow(clippy::too_many_arguments)]
+    pub fn invoke_timeout<A, R>(
+        &self,
+        ic: &InterComm,
+        program: &Comm,
+        participants: &Comm,
+        method: u32,
+        arg: A,
+        timeout: Duration,
+    ) -> Result<R>
+    where
+        A: Send + MsgSize + 'static,
+        R: 'static,
+    {
+        let ranks = program_local_ranks(program, participants);
+        subset_call_timeout(
+            participants,
+            ic,
+            &ranks,
+            self.provider,
+            method,
+            arg,
+            self.policy_for(participants),
+            timeout,
+        )
+    }
+
+    /// One-way invocation: shares are delivered (with the same barrier
+    /// rule) but no response is awaited. The provider must treat the method
+    /// as one-way too (see [`mxn_prmi::subset_serve`]'s contract — one-way
+    /// methods must not produce a reply the callers never collect).
+    pub fn invoke_oneway<A>(
+        &self,
+        ic: &InterComm,
+        program: &Comm,
+        participants: &Comm,
+        method: u32,
+        arg: A,
+    ) -> Result<()>
+    where
+        A: Send + MsgSize + 'static,
+    {
+        // DCA one-way calls still synchronize delivery; they just skip the
+        // response. Reuse the share protocol with a fire-and-forget recv
+        // elision: we send shares and return.
+        let ranks = program_local_ranks(program, participants);
+        if self.policy_for(participants).barrier_before_delivery {
+            participants.barrier().map_err(PrmiError::Runtime)?;
+        }
+        // Sending the share is exactly what subset_call does before its
+        // blocking receive; replicate the send half.
+        use mxn_framework::AnyPayload;
+        use mxn_prmi::SubsetShare;
+        ic.send(
+            self.provider,
+            0x6000 + method as i32,
+            SubsetShare {
+                caller: ic.local_rank(),
+                participants: ranks,
+                oneway: true,
+                arg: AnyPayload::new(arg),
+            },
+        )
+        .map_err(PrmiError::Runtime)?;
+        Ok(())
+    }
+
+    /// Ends the provider's serve loop (one caller rank sends this).
+    pub fn shutdown(&self, ic: &InterComm) -> Result<()> {
+        subset_shutdown(ic, self.provider)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_framework::{AnyPayload, RemoteService};
+    use mxn_prmi::{subset_serve, SubsetServeOutcome};
+    use mxn_runtime::Universe;
+
+    struct AddTen;
+    impl RemoteService for AddTen {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+            let v: f64 = arg.downcast().unwrap();
+            AnyPayload::replicable(v + 10.0 + method as f64)
+        }
+    }
+
+    #[test]
+    fn full_participation_skips_barrier_and_works() {
+        Universe::run(&[3, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = DcaPort::uniform(0, 3);
+                assert_eq!(port.policy_for(&ctx.comm), DeliveryPolicy::eager());
+                let r: f64 = port.invoke(ic, &ctx.comm, &ctx.comm, 1, 5.0f64).unwrap();
+                assert_eq!(r, 16.0);
+                if ctx.comm.rank() == 0 {
+                    port.shutdown(ic).unwrap();
+                }
+            } else {
+                let out =
+                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
+            }
+        });
+    }
+
+    #[test]
+    fn subset_participation_gets_the_barrier() {
+        Universe::run(&[4, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = DcaPort::new(0, 4);
+                let sub = ctx.comm.subgroup(&[1, 3]).unwrap();
+                if let Some(sub) = sub {
+                    assert_eq!(port.policy_for(&sub), DeliveryPolicy::safe());
+                    assert_eq!(program_local_ranks(&ctx.comm, &sub), vec![1, 3]);
+                    let r: f64 = port.invoke(ic, &ctx.comm, &sub, 0, 1.0f64).unwrap();
+                    assert_eq!(r, 11.0);
+                    if sub.rank() == 0 {
+                        port.shutdown(ic).unwrap();
+                    }
+                }
+            } else {
+                let out =
+                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
+            }
+        });
+    }
+
+    #[test]
+    fn intersecting_subsets_complete_thanks_to_stub_barrier() {
+        // The Figure 5 shape, but driven through DCA stubs, which insert
+        // the barrier automatically: must complete.
+        Universe::run(&[3, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = DcaPort::new(0, 3);
+                let rank = ctx.comm.rank();
+                let all = ctx.comm.subgroup(&[0, 1, 2]).unwrap().unwrap();
+                let pair = ctx.comm.subgroup(&[1, 2]).unwrap();
+                if rank == 0 {
+                    let r: f64 = port.invoke(ic, &ctx.comm, &all, 0, 1.0f64).unwrap();
+                    assert_eq!(r, 11.0);
+                    port.shutdown(ic).unwrap();
+                } else {
+                    std::thread::sleep(Duration::from_millis(30));
+                    let pair = pair.unwrap();
+                    let rb: f64 = port.invoke(ic, &ctx.comm, &pair, 1, 2.0f64).unwrap();
+                    assert_eq!(rb, 13.0);
+                    let _ra: f64 = port.invoke(ic, &ctx.comm, &all, 0, 1.0f64).unwrap();
+                }
+            } else {
+                let out =
+                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                assert_eq!(out, SubsetServeOutcome::Completed { calls: 2 });
+            }
+        });
+    }
+
+    #[test]
+    fn oneway_invocation_returns_immediately() {
+        Universe::run(&[2, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = DcaPort::new(0, 2);
+                port.invoke_oneway(ic, &ctx.comm, &ctx.comm, 2, 4.0f64).unwrap();
+                // A later two-way call is serviced after the one-way.
+                let r: f64 = port.invoke(ic, &ctx.comm, &ctx.comm, 0, 0.0f64).unwrap();
+                assert_eq!(r, 10.0);
+                if ctx.comm.rank() == 0 {
+                    port.shutdown(ic).unwrap();
+                }
+            } else {
+                let out =
+                    subset_serve(ctx.intercomm(0), &OneWayAware, Duration::from_secs(5))
+                        .unwrap();
+                // Both the one-way and the two-way call were serviced.
+                assert_eq!(out, SubsetServeOutcome::Completed { calls: 2 });
+            }
+        });
+
+        struct OneWayAware;
+        impl RemoteService for OneWayAware {
+            fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+                let v: f64 = arg.downcast().unwrap();
+                AnyPayload::replicable(v + 10.0 + if method == 2 { 100.0 } else { 0.0 })
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # mxn-framework — a CCA-style component framework
+//!
+//! The execution environment of a component-based application (paper §2.1,
+//! Figure 2), in both flavors:
+//!
+//! * **Direct-connected** ([`Framework`]): components share an address
+//!   space; a port invocation is "a refined form of library call". Run the
+//!   same assembly on every rank of a communicator and each component
+//!   becomes a *cohort* — a parallel component whose internal communication
+//!   is out-of-band (MPI-style, via `mxn-runtime`).
+//! * **Distributed** ([`remote`]): components live in disjoint process
+//!   sets; ports become RMI over an inter-communicator, with request/
+//!   response envelopes, a blocking server loop, one-way methods, and a
+//!   minimal port-name directory. Parallel (collective) invocation
+//!   semantics are layered on by the `mxn-prmi` crate.
+//!
+//! Components declare uses/provides ports through [`Services`]; a builder
+//! wires them with [`Framework::connect`], checking SIDL-style port types.
+//! Go ports ([`GoPort`]) start applications, individually or concurrently.
+
+pub mod direct;
+pub mod error;
+pub mod port;
+pub mod remote;
+pub mod sidl;
+
+pub use direct::{Component, Framework, Services};
+pub use error::{FrameworkError, Result};
+pub use port::{GoPort, ProvidedPort, UsesPort, GO_PORT_TYPE};
+pub use sidl::{
+    parse_interface, ArgSpec, Intent, InterfaceSpec, InvocationMode, MethodSpec, SidlError,
+    SidlType,
+};
+pub use remote::{
+    publish_port_names, receive_port_names, serve, shutdown_all, AnyPayload, RemotePort,
+    RemoteService, RmiRequest, RmiResponse, ServeStats, METHOD_SHUTDOWN, RMI_REQ_TAG,
+    RMI_RESP_TAG,
+};

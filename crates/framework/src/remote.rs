@@ -1,0 +1,371 @@
+//! Distributed-framework ports: RMI over an inter-communicator.
+//!
+//! "In contrast, components in a distributed framework each run in
+//! different sets of processes … port invocations become a refined form of
+//! Remote Method Invocation" (paper §2.1, Figure 2 right). This module is
+//! the *serial* RMI substrate — request/response envelopes, a server loop,
+//! a client handle, and one-way methods. The parallel (collective)
+//! semantics of PRMI are layered on top by the `mxn-prmi` crate.
+
+use std::any::Any;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mxn_runtime::{Comm, InterComm, MsgSize, Result as RtResult, Src};
+
+use crate::error::{FrameworkError, Result};
+
+/// Tag carrying RMI requests.
+pub const RMI_REQ_TAG: i32 = 0x524d; // "RM"
+/// Tag carrying RMI responses.
+pub const RMI_RESP_TAG: i32 = 0x5252; // "RR"
+/// Reserved method id requesting server shutdown.
+pub const METHOD_SHUTDOWN: u32 = u32::MAX;
+
+/// A type-erased argument or result with explicit wire-size accounting.
+pub struct AnyPayload {
+    value: Box<dyn Any + Send>,
+    bytes: usize,
+    /// Present on payloads built with [`AnyPayload::replicable`]: lets the
+    /// PRMI layer duplicate the marshalled value for ghost return values.
+    replicator: Option<std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>>,
+}
+
+impl AnyPayload {
+    /// Wraps a value, capturing its wire size.
+    pub fn new<T: Any + Send + MsgSize>(value: T) -> Self {
+        let bytes = value.msg_size();
+        AnyPayload { value: Box::new(value), bytes, replicator: None }
+    }
+
+    /// Wraps a clonable value so the payload can be duplicated — required
+    /// for collective-call results that may fan out as ghost return values
+    /// (more callers than providers).
+    pub fn replicable<T: Any + Send + Sync + MsgSize + Clone>(value: T) -> Self {
+        let proto = value.clone();
+        let bytes = value.msg_size();
+        AnyPayload {
+            value: Box::new(value),
+            bytes,
+            replicator: Some(std::sync::Arc::new(move || AnyPayload::new(proto.clone()))),
+        }
+    }
+
+    /// Returns the payload's replicator, if it was built with
+    /// [`AnyPayload::replicable`].
+    pub fn take_replicator(
+        &self,
+    ) -> Option<std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>> {
+        self.replicator.clone()
+    }
+
+    /// Wire size of the wrapped value.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Recovers the wrapped value.
+    pub fn downcast<T: 'static>(self) -> Result<T> {
+        self.value.downcast::<T>().map(|b| *b).map_err(|_| FrameworkError::PortDowncast {
+            port: "<rmi payload>".to_string(),
+            requested: std::any::type_name::<T>(),
+        })
+    }
+}
+
+impl MsgSize for AnyPayload {
+    fn msg_size(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// An RMI request envelope.
+pub struct RmiRequest {
+    /// Method selector on the remote port.
+    pub method: u32,
+    /// Client-side correlation id.
+    pub call_id: u64,
+    /// One-way methods expect no response (paper §2.4).
+    pub oneway: bool,
+    /// The marshalled argument.
+    pub arg: AnyPayload,
+}
+
+impl MsgSize for RmiRequest {
+    fn msg_size(&self) -> usize {
+        4 + 8 + 1 + self.arg.msg_size()
+    }
+}
+
+/// An RMI response envelope.
+pub struct RmiResponse {
+    /// Correlates with [`RmiRequest::call_id`].
+    pub call_id: u64,
+    /// The marshalled return value.
+    pub result: AnyPayload,
+}
+
+impl MsgSize for RmiResponse {
+    fn msg_size(&self) -> usize {
+        8 + self.result.msg_size()
+    }
+}
+
+/// A provides-port implementation servable over RMI: dispatch by method id.
+pub trait RemoteService: Send + Sync {
+    /// Handles one invocation. One-way methods still return a payload; it
+    /// is dropped by the server.
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload;
+}
+
+/// Statistics from one [`serve`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests handled (excluding shutdowns).
+    pub calls: usize,
+    /// Of which one-way.
+    pub oneway_calls: usize,
+}
+
+/// Runs a provider rank's server loop: handle requests from any remote
+/// rank until every remote rank has sent a shutdown. This is the
+/// "component blocked waiting for remote port invocations" state of §2.4.
+pub fn serve(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> {
+    let mut stats = ServeStats::default();
+    let mut shut: HashSet<usize> = HashSet::new();
+    while shut.len() < ic.remote_size() {
+        let (req, info) = ic.recv_with_info::<RmiRequest>(Src::Any, RMI_REQ_TAG)?;
+        if req.method == METHOD_SHUTDOWN {
+            shut.insert(info.src);
+            continue;
+        }
+        let result = service.dispatch(req.method, req.arg);
+        stats.calls += 1;
+        if req.oneway {
+            stats.oneway_calls += 1;
+        } else {
+            ic.send(info.src, RMI_RESP_TAG, RmiResponse { call_id: req.call_id, result })?;
+        }
+    }
+    Ok(stats)
+}
+
+/// Client handle to one remote provider rank's port.
+pub struct RemotePort {
+    provider: usize,
+    next_call: AtomicU64,
+}
+
+impl RemotePort {
+    /// Handle addressing remote-local rank `provider`.
+    pub fn to_rank(provider: usize) -> Self {
+        RemotePort { provider, next_call: AtomicU64::new(0) }
+    }
+
+    /// The one-to-one PRMI pairing of Damevski's model (paper §2.4): caller
+    /// rank `k` talks to provider rank `k % remote_size`.
+    pub fn one_to_one(ic: &InterComm) -> Self {
+        Self::to_rank(ic.local_rank() % ic.remote_size())
+    }
+
+    /// The provider rank this handle addresses.
+    pub fn provider(&self) -> usize {
+        self.provider
+    }
+
+    /// Synchronous RMI: marshal `arg`, block for the result.
+    pub fn call<A, R>(&self, ic: &InterComm, method: u32, arg: A) -> Result<R>
+    where
+        A: Any + Send + MsgSize,
+        R: 'static,
+    {
+        assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        ic.send(
+            self.provider,
+            RMI_REQ_TAG,
+            RmiRequest { method, call_id, oneway: false, arg: AnyPayload::new(arg) },
+        )?;
+        let resp: RmiResponse = ic.recv(self.provider, RMI_RESP_TAG)?;
+        debug_assert_eq!(resp.call_id, call_id, "FIFO responses correlate");
+        resp.result.downcast::<R>()
+    }
+
+    /// One-way RMI: "the calling component continues execution immediately,
+    /// without waiting for the remote invocation to complete" (§2.4).
+    /// One-way methods must not return values.
+    pub fn call_oneway<A>(&self, ic: &InterComm, method: u32, arg: A) -> Result<()>
+    where
+        A: Any + Send + MsgSize,
+    {
+        assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        ic.send(
+            self.provider,
+            RMI_REQ_TAG,
+            RmiRequest { method, call_id, oneway: true, arg: AnyPayload::new(arg) },
+        )?;
+        Ok(())
+    }
+
+    /// Tells the provider this client rank is done (the server exits once
+    /// every remote rank has done so).
+    pub fn shutdown(&self, ic: &InterComm) -> Result<()> {
+        ic.send(
+            self.provider,
+            RMI_REQ_TAG,
+            RmiRequest {
+                method: METHOD_SHUTDOWN,
+                call_id: u64::MAX,
+                oneway: true,
+                arg: AnyPayload::new(()),
+            },
+        )?;
+        Ok(())
+    }
+}
+
+/// Tells *every* provider rank this client rank is done — required when
+/// clients fan out over several providers.
+pub fn shutdown_all(ic: &InterComm) -> Result<()> {
+    for p in 0..ic.remote_size() {
+        RemotePort::to_rank(p).shutdown(ic)?;
+    }
+    Ok(())
+}
+
+/// Provider side: rank 0 publishes the provider program's port names to
+/// every user rank (a minimal distributed-framework directory).
+pub fn publish_port_names(ic: &InterComm, local: &Comm, names: &[&str]) -> RtResult<()> {
+    if local.rank() == 0 {
+        let list: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        for r in 0..ic.remote_size() {
+            ic.send(r, RMI_RESP_TAG, list.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// User side: every rank receives the provider's published port names.
+pub fn receive_port_names(ic: &InterComm) -> RtResult<Vec<String>> {
+    ic.recv(0, RMI_RESP_TAG)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_runtime::Universe;
+
+    /// A counter service: method 0 = add(delta) -> new total,
+    /// method 1 (one-way) = reset.
+    struct Counter(parking_lot::Mutex<i64>);
+    impl RemoteService for Counter {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+            match method {
+                0 => {
+                    let delta: i64 = arg.downcast().unwrap();
+                    let mut v = self.0.lock();
+                    *v += delta;
+                    AnyPayload::new(*v)
+                }
+                1 => {
+                    *self.0.lock() = 0;
+                    AnyPayload::new(())
+                }
+                _ => panic!("unknown method {method}"),
+            }
+        }
+    }
+
+    #[test]
+    fn call_response_roundtrip() {
+        Universe::run(&[1, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = RemotePort::to_rank(0);
+                assert_eq!(port.call::<i64, i64>(ic, 0, 5).unwrap(), 5);
+                assert_eq!(port.call::<i64, i64>(ic, 0, 7).unwrap(), 12);
+                port.shutdown(ic).unwrap();
+            } else {
+                let svc = Counter(parking_lot::Mutex::new(0));
+                let stats = serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 2);
+                assert_eq!(stats.oneway_calls, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn oneway_does_not_block() {
+        Universe::run(&[1, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = RemotePort::to_rank(0);
+                port.call::<i64, i64>(ic, 0, 100).unwrap();
+                port.call_oneway::<i64>(ic, 1, 0).unwrap(); // reset, fire-and-forget
+                // A later two-way call observes the reset (FIFO ordering).
+                assert_eq!(port.call::<i64, i64>(ic, 0, 1).unwrap(), 1);
+                port.shutdown(ic).unwrap();
+            } else {
+                let svc = Counter(parking_lot::Mutex::new(0));
+                let stats = serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.oneway_calls, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        Universe::run(&[3, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = RemotePort::to_rank(0);
+                for _ in 0..4 {
+                    port.call::<i64, i64>(ic, 0, 1).unwrap();
+                }
+                port.shutdown(ic).unwrap();
+            } else {
+                let svc = Counter(parking_lot::Mutex::new(0));
+                let stats = serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 12);
+                assert_eq!(*svc.0.lock(), 12);
+            }
+        });
+    }
+
+    #[test]
+    fn one_to_one_pairing_spreads_clients() {
+        Universe::run(&[4, 2], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = RemotePort::one_to_one(ic);
+                assert_eq!(port.provider(), ctx.comm.rank() % 2);
+                port.call::<i64, i64>(ic, 0, 1).unwrap();
+                shutdown_all(ic).unwrap();
+            } else {
+                let svc = Counter(parking_lot::Mutex::new(0));
+                let stats = serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 2, "each provider gets its paired callers");
+            }
+        });
+    }
+
+    #[test]
+    fn port_name_directory() {
+        Universe::run(&[2, 2], |_, ctx| {
+            if ctx.program == 1 {
+                publish_port_names(ctx.intercomm(0), &ctx.comm, &["field", "control"]).unwrap();
+            } else {
+                let names = receive_port_names(ctx.intercomm(1)).unwrap();
+                assert_eq!(names, vec!["field".to_string(), "control".to_string()]);
+            }
+        });
+    }
+
+    #[test]
+    fn payload_type_confusion_is_detected() {
+        let p = AnyPayload::new(3.5f64);
+        assert_eq!(p.bytes(), 8);
+        assert!(p.downcast::<String>().is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Linearization orders for dense arrays.
+//!
+//! A linearization maps every element of a distributed structure to a
+//! position in an abstract 1-D sequence. "It is not necessary for the
+//! system to arrange the actual data according to this intermediate
+//! representation; it can exist only in an abstract form, as a theoretical
+//! reference for the computation of the communication schedule"
+//! (paper §2.3). For dense arrays we provide row- and column-major orders
+//! and translate a rank's rectangular patches into [`SegmentList`]s.
+
+use mxn_dad::{Dad, Extents, Region};
+
+use crate::segments::SegmentList;
+
+/// Element orderings of a dense array's linearization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayOrder {
+    /// C order: last axis fastest (the DAD's native order).
+    RowMajor,
+    /// Fortran order: first axis fastest.
+    ColMajor,
+}
+
+impl ArrayOrder {
+    /// Linear position of `idx` in an array of `extents`.
+    pub fn linear(&self, extents: &Extents, idx: &[usize]) -> usize {
+        match self {
+            ArrayOrder::RowMajor => extents.linear(idx),
+            ArrayOrder::ColMajor => {
+                let mut off = 0;
+                for d in (0..extents.ndim()).rev() {
+                    debug_assert!(idx[d] < extents.dim(d));
+                    off = off * extents.dim(d) + idx[d];
+                }
+                off
+            }
+        }
+    }
+
+    /// Inverse of [`ArrayOrder::linear`].
+    pub fn index(&self, extents: &Extents, mut pos: usize) -> Vec<usize> {
+        match self {
+            ArrayOrder::RowMajor => extents.unlinear(pos),
+            ArrayOrder::ColMajor => {
+                let mut idx = vec![0; extents.ndim()];
+                for d in 0..extents.ndim() {
+                    idx[d] = pos % extents.dim(d);
+                    pos /= extents.dim(d);
+                }
+                idx
+            }
+        }
+    }
+
+    /// The linear runs covered by `region` within an array of `extents`.
+    ///
+    /// Contiguity follows the fastest axis of the order: a row-major region
+    /// yields one run per last-axis row, a column-major region one run per
+    /// first-axis column.
+    pub fn region_segments(&self, extents: &Extents, region: &Region) -> SegmentList {
+        if region.is_empty() {
+            return SegmentList::new();
+        }
+        let nd = extents.ndim();
+        if nd == 0 {
+            return SegmentList::from_runs(vec![(0, 1)]);
+        }
+        let fast = match self {
+            ArrayOrder::RowMajor => nd - 1,
+            ArrayOrder::ColMajor => 0,
+        };
+        let run_len = region.hi()[fast] - region.lo()[fast];
+        let mut runs = Vec::new();
+        // Odometer over all axes except the fastest.
+        let mut idx: Vec<usize> = region.lo().to_vec();
+        'outer: loop {
+            runs.push((self.linear(extents, &idx), run_len));
+            // Advance over the non-fast axes.
+            let mut d = nd;
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                if d == fast {
+                    continue;
+                }
+                idx[d] += 1;
+                if idx[d] < region.hi()[d] {
+                    break;
+                }
+                idx[d] = region.lo()[d];
+            }
+        }
+        SegmentList::from_runs(runs)
+    }
+
+    /// The linear runs owned by `rank` under `dad` — the rank's footprint
+    /// in the intermediate representation.
+    pub fn rank_segments(&self, dad: &Dad, rank: usize) -> SegmentList {
+        let mut all = Vec::new();
+        for patch in dad.patches(rank) {
+            for &(s, l) in self.region_segments(dad.extents(), &patch).runs() {
+                all.push((s, l));
+            }
+        }
+        SegmentList::from_runs(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_matches_extents_linear() {
+        let e = Extents::new([3, 4]);
+        for idx in e.iter() {
+            assert_eq!(ArrayOrder::RowMajor.linear(&e, &idx), e.linear(&idx));
+        }
+    }
+
+    #[test]
+    fn col_major_is_fortran_order() {
+        let e = Extents::new([3, 4]);
+        // (i, j) -> j * 3 + i
+        assert_eq!(ArrayOrder::ColMajor.linear(&e, &[0, 0]), 0);
+        assert_eq!(ArrayOrder::ColMajor.linear(&e, &[1, 0]), 1);
+        assert_eq!(ArrayOrder::ColMajor.linear(&e, &[0, 1]), 3);
+        assert_eq!(ArrayOrder::ColMajor.linear(&e, &[2, 3]), 11);
+    }
+
+    #[test]
+    fn both_orders_are_bijections() {
+        let e = Extents::new([4, 3, 2]);
+        for order in [ArrayOrder::RowMajor, ArrayOrder::ColMajor] {
+            let mut seen = vec![false; 24];
+            for idx in e.iter() {
+                let p = order.linear(&e, &idx);
+                assert!(!seen[p]);
+                seen[p] = true;
+                assert_eq!(order.index(&e, p), idx);
+            }
+            assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn region_segments_row_major() {
+        let e = Extents::new([4, 5]);
+        let r = Region::new([1, 1], [3, 4]);
+        let s = ArrayOrder::RowMajor.region_segments(&e, &r);
+        // Rows 1 and 2, cols 1..4 → runs at 6 and 11, each length 3.
+        assert_eq!(s.runs(), &[(6, 3), (11, 3)]);
+        assert_eq!(s.total_len(), r.len());
+    }
+
+    #[test]
+    fn region_segments_col_major() {
+        let e = Extents::new([4, 5]);
+        let r = Region::new([1, 1], [3, 4]);
+        let s = ArrayOrder::ColMajor.region_segments(&e, &r);
+        // Cols 1..4, rows 1..3 → runs at col*4+1, each length 2.
+        assert_eq!(s.runs(), &[(5, 2), (9, 2), (13, 2)]);
+    }
+
+    #[test]
+    fn full_region_is_one_run_row_major() {
+        let e = Extents::new([4, 5]);
+        let s = ArrayOrder::RowMajor.region_segments(&e, &e.full_region());
+        assert_eq!(s.runs(), &[(0, 20)], "adjacent rows merge");
+    }
+
+    #[test]
+    fn rank_segments_partition_linearization() {
+        let dad = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        for order in [ArrayOrder::RowMajor, ArrayOrder::ColMajor] {
+            let mut covered = vec![false; 36];
+            for r in 0..4 {
+                for p in order.rank_segments(&dad, r).positions() {
+                    assert!(!covered[p], "position {p} owned twice");
+                    covered[p] = true;
+                }
+            }
+            assert!(covered.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn empty_region_yields_empty_segments() {
+        let e = Extents::new([4, 5]);
+        let r = Region::new([2, 2], [2, 5]);
+        assert!(ArrayOrder::RowMajor.region_segments(&e, &r).is_empty());
+    }
+}

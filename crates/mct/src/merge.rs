@@ -1,0 +1,143 @@
+//! Merging state and flux data from multiple sources.
+//!
+//! "A facility for merging of state and flux data from multiple sources
+//! for use by a particular model (e.g., blending of land, ocean, and sea
+//! ice data for use by an atmosphere model)." (paper §4.5)
+//!
+//! Each source contributes per-point *fractions* (e.g. the land/ocean/ice
+//! area fractions of an atmosphere cell); the merge is the fraction-
+//! weighted blend, normalized by the total fraction at each point.
+
+use crate::attrvect::AttrVect;
+
+/// One merge input: a field set plus its per-point fraction.
+pub struct MergeSource<'a> {
+    /// The source component's data on the destination grid.
+    pub av: &'a AttrVect,
+    /// Per-point fraction of the destination cell this source covers.
+    pub fraction: &'a [f64],
+}
+
+/// Merges `sources` into a fresh attribute vector holding `fields`.
+/// At each point, `out = Σ fᵢ·srcᵢ / Σ fᵢ`; points with zero total
+/// fraction are left at 0.
+///
+/// # Panics
+/// On length or missing-field mismatches.
+pub fn merge(fields: &[&str], length: usize, sources: &[MergeSource<'_>]) -> AttrVect {
+    let mut out = AttrVect::new(fields, &[], length);
+    let mut total = vec![0.0f64; length];
+    for s in sources {
+        assert_eq!(s.av.lsize(), length, "source length mismatch");
+        assert_eq!(s.fraction.len(), length, "fraction length mismatch");
+        for (t, f) in total.iter_mut().zip(s.fraction) {
+            assert!(*f >= 0.0, "fractions must be non-negative");
+            *t += f;
+        }
+    }
+    for &field in fields {
+        // Field-major accumulation.
+        for s in sources {
+            let src = s.av.real(field);
+            let dst = out.real_mut(field);
+            for p in 0..length {
+                dst[p] += s.fraction[p] * src[p];
+            }
+        }
+        let dst = out.real_mut(field);
+        for p in 0..length {
+            if total[p] > 0.0 {
+                dst[p] /= total[p];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constant_av(fields: &[&str], length: usize, value: f64) -> AttrVect {
+        let mut av = AttrVect::new(fields, &[], length);
+        for f in fields {
+            av.real_mut(f).fill(value);
+        }
+        av
+    }
+
+    #[test]
+    fn blend_of_land_ocean_ice() {
+        let land = constant_av(&["t"], 4, 300.0);
+        let ocean = constant_av(&["t"], 4, 280.0);
+        let ice = constant_av(&["t"], 4, 260.0);
+        let f_land = [1.0, 0.0, 0.5, 0.2];
+        let f_ocean = [0.0, 1.0, 0.5, 0.3];
+        let f_ice = [0.0, 0.0, 0.0, 0.5];
+        let out = merge(
+            &["t"],
+            4,
+            &[
+                MergeSource { av: &land, fraction: &f_land },
+                MergeSource { av: &ocean, fraction: &f_ocean },
+                MergeSource { av: &ice, fraction: &f_ice },
+            ],
+        );
+        assert_eq!(out.real("t")[0], 300.0, "pure land");
+        assert_eq!(out.real("t")[1], 280.0, "pure ocean");
+        assert_eq!(out.real("t")[2], 290.0, "half/half");
+        let blended = 0.2 * 300.0 + 0.3 * 280.0 + 0.5 * 260.0;
+        assert!((out.real("t")[3] - blended).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_are_normalized() {
+        // Fractions that do not sum to 1 still produce a weighted mean.
+        let a = constant_av(&["q"], 2, 10.0);
+        let b = constant_av(&["q"], 2, 20.0);
+        let out = merge(
+            &["q"],
+            2,
+            &[
+                MergeSource { av: &a, fraction: &[2.0, 1.0] },
+                MergeSource { av: &b, fraction: &[2.0, 3.0] },
+            ],
+        );
+        assert_eq!(out.real("q")[0], 15.0);
+        assert_eq!(out.real("q")[1], 17.5);
+    }
+
+    #[test]
+    fn zero_total_fraction_leaves_zero() {
+        let a = constant_av(&["q"], 2, 10.0);
+        let out = merge(&["q"], 2, &[MergeSource { av: &a, fraction: &[0.0, 1.0] }]);
+        assert_eq!(out.real("q"), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn multi_field_merge() {
+        let mut a = AttrVect::new(&["t", "u"], &[], 1);
+        a.real_mut("t")[0] = 1.0;
+        a.real_mut("u")[0] = 100.0;
+        let mut b = AttrVect::new(&["t", "u"], &[], 1);
+        b.real_mut("t")[0] = 3.0;
+        b.real_mut("u")[0] = 200.0;
+        let out = merge(
+            &["t", "u"],
+            1,
+            &[
+                MergeSource { av: &a, fraction: &[0.5] },
+                MergeSource { av: &b, fraction: &[0.5] },
+            ],
+        );
+        assert_eq!(out.real("t")[0], 2.0);
+        assert_eq!(out.real("u")[0], 150.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fraction_rejected() {
+        let a = constant_av(&["q"], 1, 1.0);
+        merge(&["q"], 1, &[MergeSource { av: &a, fraction: &[-0.1] }]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # mxn-pipeline — data transformation pipelines (the paper's §6)
+//!
+//! Implements the future-work direction the paper closes with: assembling
+//! "a pipeline of components" of data transformations and redistributions,
+//! operating in place where possible, and "combining several successive
+//! redistribution and translation components into a single optimized
+//! component" (the super-component rewrite).
+//!
+//! * [`filter`] — in-place pointwise transformations (unit conversions,
+//!   scaling, clamping, temporal blending), with affine filters exposing
+//!   coefficients for fusion.
+//! * [`pipeline`] — staged pipelines over distributed fields, an optimizer
+//!   that fuses affine runs and collapses all redistributions into one,
+//!   and collective execution over a communicator.
+
+pub mod filter;
+pub mod pipeline;
+
+pub use filter::{fuse_affine, Clamp, Filter, Scale, TemporalBlend, UnitConversion};
+pub use pipeline::{Pipeline, Stage};

@@ -1,0 +1,72 @@
+//! PRMI error types.
+
+use std::fmt;
+
+use mxn_framework::FrameworkError;
+use mxn_runtime::RuntimeError;
+
+/// Errors raised by parallel remote method invocation.
+#[derive(Debug)]
+pub enum PrmiError {
+    /// A simple argument differed across caller processes (violating the
+    /// CCA convention of §2.4, detected by a checked call).
+    SimpleArgMismatch {
+        /// The offending method id.
+        method: u32,
+    },
+    /// Protocol-level inconsistency (sequence mismatch, unreplicable ghost
+    /// return, malformed participation).
+    Protocol {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A collective delivery deadlocked (detected by timeout) — the
+    /// Figure 5 failure mode.
+    DeliveryDeadlock {
+        /// What the blocked side was waiting for.
+        waiting_for: String,
+    },
+    /// Marshalling/unmarshalling type error.
+    Framework(FrameworkError),
+    /// Underlying messaging failure.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for PrmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrmiError::SimpleArgMismatch { method } => {
+                write!(f, "simple argument differs across callers of method {method}")
+            }
+            PrmiError::Protocol { detail } => write!(f, "PRMI protocol error: {detail}"),
+            PrmiError::DeliveryDeadlock { waiting_for } => {
+                write!(f, "collective delivery deadlocked waiting for {waiting_for}")
+            }
+            PrmiError::Framework(e) => write!(f, "framework error: {e}"),
+            PrmiError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrmiError {}
+
+impl From<FrameworkError> for PrmiError {
+    fn from(e: FrameworkError) -> Self {
+        PrmiError::Framework(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, PrmiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(PrmiError::SimpleArgMismatch { method: 3 }.to_string().contains('3'));
+        let d = PrmiError::DeliveryDeadlock { waiting_for: "share from rank 2".into() };
+        assert!(d.to_string().contains("rank 2"));
+    }
+}

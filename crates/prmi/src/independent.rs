@@ -1,0 +1,53 @@
+//! Independent (one-to-one) invocations.
+//!
+//! "Independent invocations are provided for normal serial function call
+//! semantics" (paper §4.2) — and Damevski's model pairs each caller process
+//! with one callee process. The serial RMI machinery lives in
+//! `mxn-framework`; this module re-exports it under its PRMI name and adds
+//! the paired-serve loop for providers that answer only independent calls.
+
+pub use mxn_framework::{serve as independent_serve, RemotePort as IndependentPort};
+
+use mxn_framework::{RemoteService, ServeStats};
+use mxn_runtime::InterComm;
+
+use crate::error::{PrmiError, Result};
+
+/// Provider-side loop for a rank that services *independent* calls: same
+/// as the framework serve loop, returned through PRMI error types.
+pub fn serve_independent(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> {
+    mxn_framework::serve(ic, service).map_err(PrmiError::Framework)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_framework::{shutdown_all, AnyPayload};
+    use mxn_runtime::Universe;
+
+    struct Echo;
+    impl RemoteService for Echo {
+        fn dispatch(&self, _method: u32, arg: AnyPayload) -> AnyPayload {
+            let v: u64 = arg.downcast().unwrap();
+            AnyPayload::new(v + 1)
+        }
+    }
+
+    #[test]
+    fn one_to_one_pairing_acts_like_serial_calls() {
+        Universe::run(&[4, 4], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = IndependentPort::one_to_one(ic);
+                // Each caller rank talks to its paired provider rank only.
+                assert_eq!(port.provider(), ctx.comm.rank());
+                let r: u64 = port.call(ic, 0, ctx.comm.rank() as u64).unwrap();
+                assert_eq!(r, ctx.comm.rank() as u64 + 1);
+                shutdown_all(ic).unwrap();
+            } else {
+                let stats = serve_independent(ctx.intercomm(0), &Echo).unwrap();
+                assert_eq!(stats.calls, 1, "exactly one paired caller");
+            }
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! # mxn-prmi — parallel remote method invocation semantics
+//!
+//! The PRMI model of the paper's §2.4 and §4.2 (SciRun2), over the
+//! distributed-framework RMI substrate of `mxn-framework`:
+//!
+//! * [`independent`] — one-to-one invocations with serial semantics
+//!   (Damevski's non-collective mode).
+//! * [`collective`] — all-to-all invocations for any M×N pairing, with
+//!   *ghost invocations* (M < N) and *ghost return values* (M > N), simple
+//!   arguments with optional cross-caller consistency checks, and one-way
+//!   methods.
+//! * [`parallel_args`] — parallel (distributed-array) arguments and return
+//!   values, redistributed by communication schedule as part of the call;
+//!   the callee declares its expected layouts *before* calls arrive,
+//!   resolving §2.4's callee-side layout problem.
+//! * [`subset`] — subset process participation, invocation-order
+//!   guarantees, and the Figure 5 synchronization problem: eager delivery
+//!   reproduces the deadlock (detected by timeout); barrier-delayed
+//!   delivery (the DCA rule) prevents it.
+
+pub mod collective;
+pub mod error;
+pub mod independent;
+pub mod parallel_args;
+pub mod subset;
+
+pub use collective::{
+    collective_serve, providers_of, respondents_of, CollReq, CollResp, CollectiveEndpoint,
+    CollectiveStats,
+};
+pub use error::{PrmiError, Result};
+pub use independent::{serve_independent, IndependentPort};
+pub use parallel_args::{parallel_serve, ParallelEndpoint, ParallelPortSpec, ParallelService};
+pub use subset::{
+    subset_call, subset_call_timeout, subset_serve, subset_shutdown, DeliveryPolicy, SubsetShare,
+    SubsetServeOutcome,
+};

@@ -1,0 +1,387 @@
+//! Subset participation and the Figure 5 synchronization problem.
+//!
+//! When only a subset of a parallel component's processes participates in a
+//! collective call, and consecutive calls are made by *intersecting* sets
+//! in different orders, delivering a call "as soon as one process reaches
+//! the calling point" deadlocks: the provider blocks waiting for the
+//! remaining shares of the first call while the other processes are blocked
+//! inside a different call it cannot begin to service (paper Figure 5).
+//!
+//! "The solution is to delay PRMI delivery until all processes are ready"
+//! — a barrier over the participant set before any share is sent
+//! ([`DeliveryPolicy::barrier_before_delivery`], the DCA approach of §4.3).
+//! Both behaviours are implemented so experiment F5 can demonstrate the
+//! deadlock (detected by timeout) and measure the barrier's cost.
+
+use std::time::Duration;
+
+use mxn_framework::{AnyPayload, RemoteService};
+use mxn_runtime::{Comm, InterComm, MsgSize, RuntimeError, Src};
+
+use crate::error::{PrmiError, Result};
+
+const SUBSET_REQ_BASE: i32 = 0x6000;
+const SUBSET_RESP_BASE: i32 = 0x6800;
+/// Reserved method id ending a subset serve loop.
+pub const METHOD_SHUTDOWN: u32 = 0x7ff;
+const MAX_METHOD: u32 = 0x800;
+
+fn req_tag(method: u32) -> i32 {
+    assert!(method < MAX_METHOD, "subset method id out of range");
+    SUBSET_REQ_BASE + method as i32
+}
+
+fn resp_tag(method: u32) -> i32 {
+    SUBSET_RESP_BASE + method as i32
+}
+
+/// How a caller-side collective delivery is synchronized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryPolicy {
+    /// Barrier over the participant set before sending shares. `true` is
+    /// the safe (DCA) behaviour; `false` reproduces the Figure 5 deadlock.
+    pub barrier_before_delivery: bool,
+}
+
+impl DeliveryPolicy {
+    /// The safe policy (delivery delayed until all participants arrive).
+    pub fn safe() -> Self {
+        DeliveryPolicy { barrier_before_delivery: true }
+    }
+
+    /// The unsafe policy (deliver on first arrival).
+    pub fn eager() -> Self {
+        DeliveryPolicy { barrier_before_delivery: false }
+    }
+}
+
+/// One participant's share of a subset collective call.
+pub struct SubsetShare {
+    /// Program-local rank of this caller.
+    pub caller: usize,
+    /// Program-local ranks of every participant (identical in all shares).
+    pub participants: Vec<usize>,
+    /// One-way calls produce no responses (paper §2.4).
+    pub oneway: bool,
+    /// The (simple) argument; the provider uses the first share's copy.
+    pub arg: AnyPayload,
+}
+
+impl MsgSize for SubsetShare {
+    fn msg_size(&self) -> usize {
+        8 + self.participants.len() * 8 + 1 + self.arg.msg_size()
+    }
+}
+
+/// Caller side of a subset collective call. Every rank whose program-local
+/// rank appears in `participant_ranks` must call this with the same
+/// arguments; `participants` is a communicator over exactly those ranks.
+pub fn subset_call<A, R>(
+    participants: &Comm,
+    ic: &InterComm,
+    participant_ranks: &[usize],
+    provider: usize,
+    method: u32,
+    arg: A,
+    policy: DeliveryPolicy,
+) -> Result<R>
+where
+    A: Send + MsgSize + 'static,
+    R: 'static,
+{
+    subset_call_inner(participants, ic, participant_ranks, provider, method, arg, policy, None)
+}
+
+/// Like [`subset_call`] but bounds the wait for the provider's response —
+/// the caller-side escape hatch that turns the Figure 5 deadlock into a
+/// detectable [`PrmiError::DeliveryDeadlock`].
+#[allow(clippy::too_many_arguments)]
+pub fn subset_call_timeout<A, R>(
+    participants: &Comm,
+    ic: &InterComm,
+    participant_ranks: &[usize],
+    provider: usize,
+    method: u32,
+    arg: A,
+    policy: DeliveryPolicy,
+    timeout: Duration,
+) -> Result<R>
+where
+    A: Send + MsgSize + 'static,
+    R: 'static,
+{
+    subset_call_inner(
+        participants,
+        ic,
+        participant_ranks,
+        provider,
+        method,
+        arg,
+        policy,
+        Some(timeout),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn subset_call_inner<A, R>(
+    participants: &Comm,
+    ic: &InterComm,
+    participant_ranks: &[usize],
+    provider: usize,
+    method: u32,
+    arg: A,
+    policy: DeliveryPolicy,
+    timeout: Option<Duration>,
+) -> Result<R>
+where
+    A: Send + MsgSize + 'static,
+    R: 'static,
+{
+    assert_ne!(method, METHOD_SHUTDOWN, "use subset_shutdown");
+    if policy.barrier_before_delivery {
+        participants.barrier().map_err(PrmiError::Runtime)?;
+    }
+    ic.send(
+        provider,
+        req_tag(method),
+        SubsetShare {
+            caller: ic.local_rank(),
+            participants: participant_ranks.to_vec(),
+            oneway: false,
+            arg: AnyPayload::new(arg),
+        },
+    )
+    .map_err(PrmiError::Runtime)?;
+    let resp: AnyPayload = match timeout {
+        None => ic.recv(provider, resp_tag(method)).map_err(PrmiError::Runtime)?,
+        Some(t) => match ic.recv_timeout(provider, resp_tag(method), t) {
+            Ok(r) => r,
+            Err(RuntimeError::Timeout { .. }) => {
+                return Err(PrmiError::DeliveryDeadlock {
+                    waiting_for: format!("response to method {method} from provider {provider}"),
+                })
+            }
+            Err(e) => return Err(PrmiError::Runtime(e)),
+        },
+    };
+    resp.downcast::<R>().map_err(PrmiError::from)
+}
+
+/// Ends a provider's subset serve loop (send from a single caller rank).
+pub fn subset_shutdown(ic: &InterComm, provider: usize) -> Result<()> {
+    ic.send(
+        provider,
+        req_tag(METHOD_SHUTDOWN),
+        SubsetShare {
+            caller: ic.local_rank(),
+            participants: vec![],
+            oneway: true,
+            arg: AnyPayload::new(()),
+        },
+    )
+    .map_err(PrmiError::Runtime)?;
+    Ok(())
+}
+
+/// Outcome of a subset serve loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubsetServeOutcome {
+    /// Clean shutdown after servicing `calls` collective invocations.
+    Completed {
+        /// Invocations serviced.
+        calls: u64,
+    },
+    /// The Figure 5 deadlock: while collecting the shares of one call, a
+    /// participant's share never arrived within the timeout.
+    Deadlocked {
+        /// Invocations serviced before the deadlock.
+        calls: u64,
+        /// The participant whose share never arrived.
+        missing_rank: usize,
+        /// The method being collected.
+        method: u32,
+    },
+}
+
+/// Serial provider rank's serve loop for subset collective calls.
+///
+/// Delivery is on *first arrival*: the provider starts servicing whichever
+/// call's share reaches it first, then blocks for the remaining
+/// participants' shares — exactly the semantics that make Figure 5
+/// deadlock when callers use [`DeliveryPolicy::eager`]. `share_timeout`
+/// bounds that blocking so the deadlock is detected rather than hung.
+pub fn subset_serve(
+    ic: &InterComm,
+    service: &dyn RemoteService,
+    share_timeout: Duration,
+) -> Result<SubsetServeOutcome> {
+    let mut calls = 0u64;
+    loop {
+        // Wait for the first share of the next call, any method, any caller.
+        let (first, info) = recv_any_share(ic)?;
+        let method = (info.tag - SUBSET_REQ_BASE) as u32;
+        if method == METHOD_SHUTDOWN {
+            return Ok(SubsetServeOutcome::Completed { calls });
+        }
+        // Collect the remaining participants' shares of this same call.
+        for &p in &first.participants {
+            if p == first.caller {
+                continue;
+            }
+            match ic.recv_timeout::<SubsetShare>(p, req_tag(method), share_timeout) {
+                Ok(_) => {}
+                Err(RuntimeError::Timeout { .. }) => {
+                    return Ok(SubsetServeOutcome::Deadlocked {
+                        calls,
+                        missing_rank: p,
+                        method,
+                    });
+                }
+                Err(e) => return Err(PrmiError::Runtime(e)),
+            }
+        }
+        // All shares in: execute once, respond to every participant
+        // (one-way calls skip the response phase).
+        let oneway = first.oneway;
+        let result = service.dispatch(method, first.arg);
+        calls += 1;
+        if oneway {
+            continue;
+        }
+        match first.participants.len() {
+            1 => {
+                ic.send(first.caller, resp_tag(method), result).map_err(PrmiError::Runtime)?;
+            }
+            _ => {
+                let rep = result.take_replicator().ok_or_else(|| PrmiError::Protocol {
+                    detail: "subset results need AnyPayload::replicable".into(),
+                })?;
+                for &p in &first.participants {
+                    ic.send(p, resp_tag(method), rep()).map_err(PrmiError::Runtime)?;
+                }
+            }
+        }
+    }
+}
+
+fn recv_any_share(ic: &InterComm) -> Result<(SubsetShare, mxn_runtime::MessageInfo)> {
+    // Shares use a contiguous tag band; Tag::Any plus a band check keeps
+    // matching simple while preserving per-method selectivity later.
+    let (share, info) = ic
+        .recv_with_info::<SubsetShare>(Src::Any, mxn_runtime::Tag::Any)
+        .map_err(PrmiError::Runtime)?;
+    debug_assert!(
+        info.tag >= SUBSET_REQ_BASE && info.tag < SUBSET_REQ_BASE + MAX_METHOD as i32,
+        "share tag within the subset request band"
+    );
+    Ok((share, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_runtime::Universe;
+
+    /// Echo service doubling an f64.
+    struct Doubler;
+    impl RemoteService for Doubler {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+            let v: f64 = arg.downcast().unwrap();
+            AnyPayload::replicable(v * 2.0 + method as f64)
+        }
+    }
+
+    #[test]
+    fn full_set_call_works_with_either_policy() {
+        for policy in [DeliveryPolicy::safe(), DeliveryPolicy::eager()] {
+            Universe::run(&[3, 1], move |_, ctx| {
+                if ctx.program == 0 {
+                    let ic = ctx.intercomm(1);
+                    let all = [0, 1, 2];
+                    let r: f64 =
+                        subset_call(&ctx.comm, ic, &all, 0, 1, 10.0f64, policy).unwrap();
+                    assert_eq!(r, 21.0);
+                    if ctx.comm.rank() == 0 {
+                        subset_shutdown(ic, 0).unwrap();
+                    }
+                } else {
+                    let out = subset_serve(
+                        ctx.intercomm(0),
+                        &Doubler,
+                        Duration::from_secs(5),
+                    )
+                    .unwrap();
+                    assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
+                }
+            });
+        }
+    }
+
+    /// The Figure 5 scenario. Caller ranks: 0 calls method A with
+    /// participants {0,1,2}; ranks 1,2 first call method B with
+    /// participants {1,2}, then join method A.
+    fn figure5(policy: DeliveryPolicy) -> SubsetServeOutcome {
+        let outcomes = Universe::run(&[3, 1], move |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let rank = ctx.comm.rank();
+                let all = ctx.comm.subgroup(&[0, 1, 2]).unwrap().unwrap();
+                let pair = ctx.comm.subgroup(&[1, 2]).unwrap();
+                let t = Duration::from_secs(2);
+                if rank == 0 {
+                    // Reaches call A first (t1 in the figure).
+                    let r: Result<f64> =
+                        subset_call_timeout(&all, ic, &[0, 1, 2], 0, 0, 1.0f64, policy, t);
+                    if policy.barrier_before_delivery {
+                        assert_eq!(r.unwrap(), 2.0);
+                        subset_shutdown(ic, 0).unwrap();
+                    } else {
+                        assert!(matches!(r, Err(PrmiError::DeliveryDeadlock { .. })));
+                    }
+                } else {
+                    // Delay so rank 0's share arrives first (deterministic).
+                    std::thread::sleep(Duration::from_millis(50));
+                    let pair = pair.unwrap();
+                    let rb: Result<f64> =
+                        subset_call_timeout(&pair, ic, &[1, 2], 0, 1, 5.0f64, policy, t);
+                    if policy.barrier_before_delivery {
+                        assert_eq!(rb.unwrap(), 11.0);
+                        let _ra: f64 = subset_call_timeout(
+                            &all, ic, &[0, 1, 2], 0, 0, 1.0f64, policy, t,
+                        )
+                        .unwrap();
+                    } else {
+                        // Call B's response never comes: the server is stuck
+                        // collecting call A's shares (the figure's deadlock).
+                        assert!(matches!(rb, Err(PrmiError::DeliveryDeadlock { .. })));
+                    }
+                }
+                None
+            } else {
+                Some(
+                    subset_serve(ctx.intercomm(0), &Doubler, Duration::from_millis(300))
+                        .unwrap(),
+                )
+            }
+        });
+        outcomes.into_iter().flatten().next().unwrap()
+    }
+
+    #[test]
+    fn figure5_eager_policy_deadlocks() {
+        let out = figure5(DeliveryPolicy::eager());
+        match out {
+            SubsetServeOutcome::Deadlocked { calls, method, .. } => {
+                assert_eq!(calls, 0, "first call never completes");
+                assert_eq!(method, 0, "stuck collecting call A's shares");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_barrier_policy_completes() {
+        let out = figure5(DeliveryPolicy::safe());
+        assert_eq!(out, SubsetServeOutcome::Completed { calls: 2 });
+    }
+}

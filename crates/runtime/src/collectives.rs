@@ -1,0 +1,525 @@
+//! Collective operations over a [`Comm`].
+//!
+//! All collectives must be invoked by every member of the communicator in
+//! the same order. Internal traffic travels on the communicator's
+//! *collective* context (`context + 1`) with tags derived from a per-handle
+//! operation counter, so collectives can never be confused with user
+//! point-to-point traffic or with each other.
+//!
+//! Algorithms follow the classic implementations: binomial-tree broadcast
+//! and reduce, dissemination barrier, ring allgather, pairwise-offset
+//! all-to-all, and a linear chain scan. Because the runtime's sends are
+//! eager (never block), the simple orderings are deadlock-free.
+
+use crate::comm::Comm;
+use crate::envelope::{Src, Tag};
+use crate::error::{Result, RuntimeError};
+use crate::msgsize::MsgSize;
+use crate::stats::TrafficClass;
+
+impl Comm {
+    fn coll_context(&self) -> u32 {
+        self.context() + 1
+    }
+
+    /// Reserves a tag block for the next collective; `round` indexes within.
+    fn next_coll_tag(&self) -> i32 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        // 2^12 rounds per op, 2^18 ops before wrap: plenty for both the
+        // widest ring collectives and long-running benchmark loops.
+        ((seq % (1 << 18)) as i32) << 12
+    }
+
+    fn coll_send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) {
+        let bytes = value.msg_size();
+        self.push_envelope(
+            dst,
+            self.coll_context(),
+            tag,
+            bytes,
+            Box::new(value),
+            TrafficClass::Collective,
+        );
+    }
+
+    fn coll_recv<T: 'static>(&self, src: usize, tag: i32) -> Result<T> {
+        let env = self
+            .shared()
+            .mailbox(self.global_rank())
+            .take(self.coll_context(), Src::Rank(src), Tag::Value(tag))?;
+        match env.payload.downcast::<T>() {
+            Ok(b) => Ok(*b),
+            Err(_) => Err(RuntimeError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                src: env.src_local,
+                tag: env.tag,
+            }),
+        }
+    }
+
+    /// Blocks until every member has entered the barrier.
+    ///
+    /// Dissemination algorithm: ⌈log₂ p⌉ rounds of pairwise notifications.
+    pub fn barrier(&self) -> Result<()> {
+        let p = self.size();
+        let r = self.rank();
+        let base = self.next_coll_tag();
+        let mut round = 0i32;
+        let mut dist = 1usize;
+        while dist < p {
+            let dst = (r + dist) % p;
+            let src = (r + p - dist) % p;
+            self.coll_send(dst, base + round, ());
+            self.coll_recv::<()>(src, base + round)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcasts `root`'s value to every member. `root` must pass
+    /// `Some(value)`; all other ranks pass `None` and receive the value.
+    ///
+    /// Binomial tree: ⌈log₂ p⌉ message hops on the critical path.
+    pub fn bcast<T: Clone + Send + MsgSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T> {
+        let p = self.size();
+        if root >= p {
+            return Err(RuntimeError::InvalidRank { rank: root, size: p });
+        }
+        let base = self.next_coll_tag();
+        let rel = (self.rank() + p - root) % p;
+
+        let mut value = if rel == 0 {
+            Some(value.ok_or_else(|| RuntimeError::CollectiveMismatch {
+                detail: "bcast root passed None".into(),
+            })?)
+        } else {
+            None
+        };
+
+        // Receive phase: find the bit that identifies my parent.
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let parent = ((rel - mask) + root) % p;
+                value = Some(self.coll_recv::<T>(parent, base)?);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward to children below my identifying bit.
+        let v = value.expect("bcast value present after receive phase");
+        mask >>= 1;
+        while mask > 0 {
+            if rel & mask == 0 && rel + mask < p {
+                let child = (rel + mask + root) % p;
+                self.coll_send(child, base, v.clone());
+            }
+            mask >>= 1;
+        }
+        Ok(v)
+    }
+
+    /// Gathers one value from every member at `root` (rank order).
+    /// Non-roots receive `None`.
+    pub fn gather<T: Send + MsgSize + 'static>(
+        &self,
+        root: usize,
+        value: T,
+    ) -> Result<Option<Vec<T>>> {
+        let p = self.size();
+        if root >= p {
+            return Err(RuntimeError::InvalidRank { rank: root, size: p });
+        }
+        let base = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            out[root] = Some(value);
+            for _ in 0..p - 1 {
+                let env = self.shared().mailbox(self.global_rank()).take(
+                    self.coll_context(),
+                    Src::Any,
+                    Tag::Value(base),
+                )?;
+                let src = env.src_local;
+                let v = env.payload.downcast::<T>().map_err(|_| RuntimeError::TypeMismatch {
+                    expected: std::any::type_name::<T>(),
+                    src,
+                    tag: base,
+                })?;
+                out[src] = Some(*v);
+            }
+            Ok(Some(out.into_iter().map(|o| o.expect("every rank contributed")).collect()))
+        } else {
+            self.coll_send(root, base, value);
+            Ok(None)
+        }
+    }
+
+    /// Gathers one value from every member at *every* member.
+    ///
+    /// Ring algorithm: p−1 steps, each member forwards the block it just
+    /// received, so bandwidth is balanced across links.
+    pub fn allgather<T: Clone + Send + MsgSize + 'static>(&self, value: T) -> Result<Vec<T>> {
+        let p = self.size();
+        let r = self.rank();
+        let base = self.next_coll_tag();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        out[r] = Some(value);
+
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        // At step s we forward the block that originated at (r - s) mod p.
+        for s in 0..p.saturating_sub(1) {
+            let send_origin = (r + p - s) % p;
+            let block = out[send_origin].clone().expect("block present by induction");
+            self.coll_send(next, base + s as i32, block);
+            let recv_origin = (prev + p - s) % p;
+            out[recv_origin] = Some(self.coll_recv::<T>(prev, base + s as i32)?);
+        }
+        Ok(out.into_iter().map(|o| o.expect("ring delivered all blocks")).collect())
+    }
+
+    /// Distributes `root`'s `values` (one per member, rank order); returns
+    /// this member's element. Non-roots pass `None`.
+    pub fn scatter<T: Send + MsgSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+    ) -> Result<T> {
+        let p = self.size();
+        if root >= p {
+            return Err(RuntimeError::InvalidRank { rank: root, size: p });
+        }
+        let base = self.next_coll_tag();
+        if self.rank() == root {
+            let values = values.ok_or_else(|| RuntimeError::CollectiveMismatch {
+                detail: "scatter root passed None".into(),
+            })?;
+            if values.len() != p {
+                return Err(RuntimeError::CollectiveMismatch {
+                    detail: format!("scatter got {} values for {} ranks", values.len(), p),
+                });
+            }
+            let mut mine = None;
+            for (dst, v) in values.into_iter().enumerate() {
+                if dst == root {
+                    mine = Some(v);
+                } else {
+                    self.coll_send(dst, base, v);
+                }
+            }
+            Ok(mine.expect("root's own element"))
+        } else {
+            self.coll_recv::<T>(root, base)
+        }
+    }
+
+    /// Each member provides one value per peer; returns one value from each
+    /// peer. `values[i]` goes to rank `i`; result `[i]` came from rank `i`.
+    ///
+    /// Pairwise-offset exchange: p−1 rounds with distinct partners.
+    pub fn alltoall<T: Send + MsgSize + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
+        let p = self.size();
+        let r = self.rank();
+        if values.len() != p {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: format!("alltoall got {} values for {} ranks", values.len(), p),
+            });
+        }
+        let base = self.next_coll_tag();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        let mut values: Vec<Option<T>> = values.into_iter().map(Some).collect();
+        out[r] = values[r].take();
+        for offset in 1..p {
+            let dst = (r + offset) % p;
+            let src = (r + p - offset) % p;
+            self.coll_send(dst, base, values[dst].take().expect("each peer element used once"));
+            out[src] = Some(self.coll_recv::<T>(src, base)?);
+        }
+        Ok(out.into_iter().map(|o| o.expect("pairwise exchange complete")).collect())
+    }
+
+    /// Variable-size all-to-all: `chunks[i]` (possibly empty) goes to rank
+    /// `i`; returns the chunks received from each rank. This is the
+    /// primitive DCA's redistribution layer is built on.
+    pub fn alltoallv<T: Send + MsgSize + 'static>(
+        &self,
+        chunks: Vec<Vec<T>>,
+    ) -> Result<Vec<Vec<T>>> {
+        self.alltoall(chunks)
+    }
+
+    /// Reduces all members' values to `root` with the associative `op`
+    /// (applied as `op(&mut acc, incoming)`); non-roots receive `None`.
+    ///
+    /// Binomial tree combine; `op` is applied in deterministic child order.
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Result<Option<T>>
+    where
+        T: Send + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        let p = self.size();
+        if root >= p {
+            return Err(RuntimeError::InvalidRank { rank: root, size: p });
+        }
+        let base = self.next_coll_tag();
+        let rel = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        loop {
+            if rel & mask != 0 {
+                // I have a parent: send my partial result up.
+                let parent = ((rel - mask) + root) % p;
+                self.coll_send(parent, base, acc);
+                return Ok(None);
+            }
+            if rel + mask < p {
+                let child = (rel + mask + root) % p;
+                let incoming = self.coll_recv::<T>(child, base)?;
+                op(&mut acc, incoming);
+            }
+            mask <<= 1;
+            if mask >= p {
+                break;
+            }
+        }
+        Ok(Some(acc))
+    }
+
+    /// Reduce followed by broadcast: every member receives the result.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> Result<T>
+    where
+        T: Clone + Send + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        let reduced = self.reduce(0, value, op)?;
+        self.bcast(0, reduced)
+    }
+
+    /// Inclusive prefix reduction: rank r receives `op` applied to the
+    /// values of ranks `0..=r`. Linear chain.
+    pub fn scan<T, F>(&self, value: T, op: F) -> Result<T>
+    where
+        T: Clone + Send + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        let p = self.size();
+        let r = self.rank();
+        let base = self.next_coll_tag();
+        let mut acc = value;
+        if r > 0 {
+            let prefix = self.coll_recv::<T>(r - 1, base)?;
+            let mine = std::mem::replace(&mut acc, prefix);
+            op(&mut acc, mine);
+        }
+        if r + 1 < p {
+            self.coll_send(r + 1, base, acc.clone());
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_orders_phases() {
+        // Every rank increments before the barrier; after it, all see n.
+        for p in [1, 2, 3, 4, 7, 8] {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = counter.clone();
+            World::run(p, move |proc| {
+                let c = proc.world();
+                c2.fetch_add(1, Ordering::SeqCst);
+                c.barrier().unwrap();
+                assert_eq!(c2.load(Ordering::SeqCst), p);
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in 0..p {
+                World::run(p, move |proc| {
+                    let c = proc.world();
+                    let v = if c.rank() == root { Some(vec![root as u64; 3]) } else { None };
+                    let got = c.bcast(root, v).unwrap();
+                    assert_eq!(got, vec![root as u64; 3]);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_invalid_root() {
+        World::run(2, |p| {
+            let c = p.world();
+            assert!(matches!(
+                c.bcast::<u8>(9, Some(0)),
+                Err(RuntimeError::InvalidRank { rank: 9, .. })
+            ));
+        });
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        for p in [1, 2, 4, 6] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let got = c.gather(0, c.rank() as u32 * 10).unwrap();
+                if c.rank() == 0 {
+                    let expect: Vec<u32> = (0..p as u32).map(|r| r * 10).collect();
+                    assert_eq!(got.unwrap(), expect);
+                } else {
+                    assert!(got.is_none());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn allgather_ring() {
+        for p in [1, 2, 3, 4, 8] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let got = c.allgather(format!("r{}", c.rank())).unwrap();
+                let expect: Vec<String> = (0..p).map(|r| format!("r{r}")).collect();
+                assert_eq!(got, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        for root in 0..3 {
+            World::run(3, move |proc| {
+                let c = proc.world();
+                let v = if c.rank() == root {
+                    Some(vec![10u8, 20, 30])
+                } else {
+                    None
+                };
+                assert_eq!(c.scatter(root, v).unwrap(), (c.rank() as u8 + 1) * 10);
+            });
+        }
+    }
+
+    #[test]
+    fn scatter_wrong_count_errors() {
+        World::run(2, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                let e = c.scatter(0, Some(vec![1u8])).unwrap_err();
+                assert!(matches!(e, RuntimeError::CollectiveMismatch { .. }));
+            }
+            // Rank 1 would block forever; don't call on rank 1.
+        });
+    }
+
+    #[test]
+    fn alltoall_transpose() {
+        for p in [1, 2, 3, 5] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let vals: Vec<u64> = (0..p).map(|d| (c.rank() * 100 + d) as u64).collect();
+                let got = c.alltoall(vals).unwrap();
+                let expect: Vec<u64> = (0..p).map(|s| (s * 100 + c.rank()) as u64).collect();
+                assert_eq!(got, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn alltoallv_uneven_chunks() {
+        World::run(3, |proc| {
+            let c = proc.world();
+            let r = c.rank();
+            // Rank r sends r copies of its rank id to each peer.
+            let chunks: Vec<Vec<usize>> = (0..3).map(|_| vec![r; r]).collect();
+            let got = c.alltoallv(chunks).unwrap();
+            for (s, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![s; s]);
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_sum_every_root() {
+        for p in [1, 2, 3, 4, 8] {
+            for root in 0..p {
+                World::run(p, move |proc| {
+                    let c = proc.world();
+                    let got = c.reduce(root, c.rank() as u64 + 1, |a, b| *a += b).unwrap();
+                    if c.rank() == root {
+                        assert_eq!(got.unwrap(), (p * (p + 1) / 2) as u64);
+                    } else {
+                        assert!(got.is_none());
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        World::run(5, |proc| {
+            let c = proc.world();
+            let got = c.allreduce(c.rank() as i64 * 7, |a, b| *a = (*a).max(b)).unwrap();
+            assert_eq!(got, 28);
+        });
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        World::run(6, |proc| {
+            let c = proc.world();
+            let got = c.scan(c.rank() as u64 + 1, |a, b| *a += b).unwrap();
+            let r = c.rank() as u64 + 1;
+            assert_eq!(got, r * (r + 1) / 2);
+        });
+    }
+
+    #[test]
+    fn collectives_back_to_back_do_not_cross_talk() {
+        World::run(4, |proc| {
+            let c = proc.world();
+            for i in 0..20u64 {
+                let s = c.allreduce(i, |a, b| *a += b).unwrap();
+                assert_eq!(s, i * 4);
+                let g = c.allgather(i + c.rank() as u64).unwrap();
+                assert_eq!(g, (0..4).map(|r| i + r).collect::<Vec<_>>());
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_on_subcommunicator() {
+        World::run(6, |proc| {
+            let c = proc.world();
+            let sub = c.split((c.rank() % 2) as i64, 0).unwrap().unwrap();
+            let sum: usize = sub.allreduce(c.rank(), |a, b| *a += b).unwrap();
+            let expect = if c.rank() % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            assert_eq!(sum, expect);
+        });
+    }
+
+    #[test]
+    fn collective_traffic_is_classified() {
+        let (_, stats) = World::run_with_stats(4, |proc| {
+            proc.world().barrier().unwrap();
+        });
+        assert_eq!(stats.p2p_messages, 0);
+        assert!(stats.collective_messages > 0);
+    }
+}

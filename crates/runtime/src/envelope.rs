@@ -1,0 +1,155 @@
+//! Message envelopes and matching patterns.
+
+use std::any::Any;
+use std::time::Instant;
+
+/// Tag value ranges reserved by the runtime itself.
+///
+/// User code may use any non-negative tag below [`COLLECTIVE_TAG_BASE`];
+/// collective operations stamp their traffic with tags at or above it so that
+/// point-to-point traffic on the same communicator context can never match a
+/// collective's internal messages.
+pub const COLLECTIVE_TAG_BASE: i32 = i32::MAX - (1 << 24);
+
+/// Source-rank pattern for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Match messages from exactly this (communicator-local) rank.
+    Rank(usize),
+    /// Match messages from any rank (`MPI_ANY_SOURCE`).
+    Any,
+}
+
+impl Src {
+    /// Does this pattern accept a message from `rank`?
+    pub fn matches(&self, rank: usize) -> bool {
+        match self {
+            Src::Rank(r) => *r == rank,
+            Src::Any => true,
+        }
+    }
+}
+
+impl From<usize> for Src {
+    fn from(r: usize) -> Self {
+        Src::Rank(r)
+    }
+}
+
+/// Tag pattern for a receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// Match messages with exactly this tag.
+    Value(i32),
+    /// Match messages with any tag (`MPI_ANY_TAG`).
+    Any,
+}
+
+impl Tag {
+    /// Does this pattern accept a message with `tag`?
+    pub fn matches(&self, tag: i32) -> bool {
+        match self {
+            Tag::Value(t) => *t == tag,
+            Tag::Any => true,
+        }
+    }
+}
+
+impl From<i32> for Tag {
+    fn from(t: i32) -> Self {
+        Tag::Value(t)
+    }
+}
+
+/// A message in flight: routing metadata plus the boxed payload.
+///
+/// Payloads travel as `Box<dyn Any + Send>` because all ranks share one
+/// address space; the typed façade lives in [`crate::Comm`].
+pub struct Envelope {
+    /// Global (world) rank of the sender.
+    pub src_global: usize,
+    /// Communicator-local rank of the sender, as seen by the receiver's
+    /// communicator.
+    pub src_local: usize,
+    /// Communicator context the message belongs to.
+    pub context: u32,
+    /// User or collective tag.
+    pub tag: i32,
+    /// Monotone per-mailbox arrival sequence, used for FIFO matching.
+    pub seq: u64,
+    /// Wire size the payload reported at send time.
+    pub bytes: usize,
+    /// Under a network model: the instant the message becomes visible to
+    /// receives. `None` = immediately deliverable.
+    pub deliver_at: Option<Instant>,
+    /// The payload itself.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// Does this envelope match the given (context, src, tag) patterns?
+    pub fn matches(&self, context: u32, src: Src, tag: Tag) -> bool {
+        self.context == context && src.matches(self.src_local) && tag.matches(self.tag)
+    }
+}
+
+/// Metadata about a matched but not yet received message, as returned by
+/// probe operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageInfo {
+    /// Communicator-local rank of the sender.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Wire size of the payload in bytes.
+    pub bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(src_local: usize, context: u32, tag: i32) -> Envelope {
+        Envelope {
+            src_global: src_local,
+            src_local,
+            context,
+            tag,
+            seq: 0,
+            bytes: 0,
+            deliver_at: None,
+            payload: Box::new(()),
+        }
+    }
+
+    #[test]
+    fn src_matching() {
+        assert!(Src::Any.matches(3));
+        assert!(Src::Rank(3).matches(3));
+        assert!(!Src::Rank(3).matches(4));
+        assert_eq!(Src::from(5usize), Src::Rank(5));
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(Tag::Any.matches(-1));
+        assert!(Tag::Value(7).matches(7));
+        assert!(!Tag::Value(7).matches(8));
+        assert_eq!(Tag::from(9), Tag::Value(9));
+    }
+
+    #[test]
+    fn envelope_matches_all_three_fields() {
+        let e = env(2, 10, 5);
+        assert!(e.matches(10, Src::Rank(2), Tag::Value(5)));
+        assert!(e.matches(10, Src::Any, Tag::Any));
+        assert!(!e.matches(11, Src::Any, Tag::Any), "wrong context");
+        assert!(!e.matches(10, Src::Rank(1), Tag::Any), "wrong src");
+        assert!(!e.matches(10, Src::Any, Tag::Value(6)), "wrong tag");
+    }
+
+    #[test]
+    fn collective_tags_do_not_collide_with_small_user_tags() {
+        assert!(COLLECTIVE_TAG_BASE > 1 << 20);
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types for the message-passing runtime.
+
+use std::fmt;
+
+/// Errors produced by runtime operations.
+///
+/// Most message-passing calls in a correct program cannot fail; the error
+/// variants exist to surface *detectable* misuse (bad ranks, type confusion)
+/// and to support deadlock experiments via [`RuntimeError::Timeout`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A receive with a deadline expired before a matching message arrived.
+    ///
+    /// This is the primary deadlock-detection mechanism used by the Figure 5
+    /// PRMI synchronization experiments.
+    Timeout {
+        /// Human-readable description of what was being waited for.
+        waiting_for: String,
+    },
+    /// The world was aborted because another rank panicked.
+    Aborted,
+    /// A rank argument was outside the communicator's group.
+    InvalidRank {
+        /// The offending rank.
+        rank: usize,
+        /// The size of the communicator it was used with.
+        size: usize,
+    },
+    /// A typed receive matched an envelope whose payload had a different
+    /// concrete type.
+    TypeMismatch {
+        /// The type the receiver asked for.
+        expected: &'static str,
+        /// Sending rank of the mismatched envelope.
+        src: usize,
+        /// Tag of the mismatched envelope.
+        tag: i32,
+    },
+    /// A collective was invoked with inconsistent arguments across ranks
+    /// (detected where cheaply possible, e.g. mismatched counts).
+    CollectiveMismatch {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Timeout { waiting_for } => {
+                write!(f, "timed out waiting for {waiting_for}")
+            }
+            RuntimeError::Aborted => write!(f, "world aborted (another rank panicked)"),
+            RuntimeError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            RuntimeError::TypeMismatch { expected, src, tag } => write!(
+                f,
+                "type mismatch: receive of `{expected}` matched envelope (src={src}, tag={tag}) \
+                 holding a different type"
+            ),
+            RuntimeError::CollectiveMismatch { detail } => {
+                write!(f, "inconsistent collective arguments: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Convenience alias used throughout the runtime.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_timeout() {
+        let e = RuntimeError::Timeout { waiting_for: "barrier round 2".into() };
+        assert!(e.to_string().contains("barrier round 2"));
+    }
+
+    #[test]
+    fn display_invalid_rank() {
+        let e = RuntimeError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        assert!(e.to_string().contains("size 4"));
+    }
+
+    #[test]
+    fn display_type_mismatch_names_type() {
+        let e = RuntimeError::TypeMismatch { expected: "alloc::vec::Vec<f64>", src: 1, tag: 7 };
+        let s = e.to_string();
+        assert!(s.contains("Vec<f64>"));
+        assert!(s.contains("src=1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RuntimeError::Aborted, RuntimeError::Aborted);
+        assert_ne!(
+            RuntimeError::Aborted,
+            RuntimeError::InvalidRank { rank: 0, size: 1 }
+        );
+    }
+}

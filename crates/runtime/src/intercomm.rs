@@ -1,0 +1,291 @@
+//! Inter-communicators: point-to-point messaging between two disjoint
+//! groups ("parallel programs"), the substrate for inter-framework M×N
+//! transfers (Figure 3 of the paper).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::comm::Comm;
+use crate::envelope::{Envelope, MessageInfo, Src, Tag};
+use crate::error::{Result, RuntimeError};
+use crate::msgsize::MsgSize;
+use crate::shared::WorldShared;
+use crate::stats::TrafficClass;
+
+/// A one-sided handle to an inter-communicator.
+///
+/// Each side addresses the *other* side's ranks by their remote-local rank
+/// (0-based within the remote group), exactly like `MPI_Comm_remote_size` /
+/// inter-communicator point-to-point in MPI.
+pub struct InterComm {
+    shared: Arc<WorldShared>,
+    /// My rank within my own (local) group.
+    local_rank: usize,
+    /// Size of my own group.
+    local_size: usize,
+    /// My global world rank.
+    my_global: usize,
+    /// Global ranks of the remote group, index = remote-local rank.
+    remote_group: Arc<Vec<usize>>,
+    /// Shared context for inter-group traffic.
+    context: u32,
+    /// Which side of the intercomm this handle is (0 or 1, as passed to
+    /// [`InterComm::create`]); gives the two programs a symmetric identity.
+    side: usize,
+}
+
+impl InterComm {
+    /// Builds both-side handles collectively over `pair`, a communicator
+    /// containing exactly the union of the two groups. `side` is 0 or 1 and
+    /// must be consistent per group. Returns `(local_comm, intercomm)`.
+    pub fn create(pair: &Comm, side: usize) -> Result<(Comm, InterComm)> {
+        assert!(side < 2, "side must be 0 or 1");
+        let sides: Vec<usize> = pair.allgather(side)?;
+        let local =
+            pair.split(side as i64, 0)?.expect("side is a valid non-negative color");
+
+        // Remote group in pair-rank order (split preserves parent order for
+        // equal keys, so remote-local rank k is the k-th remote pair rank).
+        let remote_group: Vec<usize> = (0..pair.size())
+            .filter(|&r| sides[r] != side)
+            .map(|r| pair.group()[r])
+            .collect();
+        if remote_group.is_empty() {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: "intercomm requires both sides non-empty".into(),
+            });
+        }
+
+        let ctx = if pair.rank() == 0 {
+            let ctx = pair.shared().allocate_context_pair();
+            pair.bcast(0, Some(ctx))?
+        } else {
+            pair.bcast::<u32>(0, None)?
+        };
+
+        let ic = InterComm {
+            shared: pair.shared().clone(),
+            local_rank: local.rank(),
+            local_size: local.size(),
+            my_global: pair.global_rank(),
+            remote_group: Arc::new(remote_group),
+            context: ctx,
+            side,
+        };
+        Ok((local, ic))
+    }
+
+    /// This handle's side index (0 or 1) — consistent across the ranks of
+    /// one program and opposite on the peer program.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// My rank within my own group.
+    pub fn local_rank(&self) -> usize {
+        self.local_rank
+    }
+
+    /// Size of my own group.
+    pub fn local_size(&self) -> usize {
+        self.local_size
+    }
+
+    /// Size of the remote group.
+    pub fn remote_size(&self) -> usize {
+        self.remote_group.len()
+    }
+
+    fn check_remote(&self, rank: usize) -> Result<()> {
+        if rank < self.remote_group.len() {
+            Ok(())
+        } else {
+            Err(RuntimeError::InvalidRank { rank, size: self.remote_group.len() })
+        }
+    }
+
+    /// Sends to remote-local rank `dst`.
+    pub fn send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) -> Result<()> {
+        self.check_remote(dst)?;
+        let bytes = value.msg_size();
+        let dst_global = self.remote_group[dst];
+        self.shared.stats().record(TrafficClass::PointToPoint, bytes);
+        self.shared.mailbox(dst_global).push(Envelope {
+            src_global: self.my_global,
+            src_local: self.local_rank,
+            context: self.context,
+            tag,
+            seq: 0,
+            bytes,
+            deliver_at: self.shared.delivery_time(self.my_global, dst_global, bytes),
+            payload: Box::new(value),
+        });
+        Ok(())
+    }
+
+    fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
+        let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
+        env.payload
+            .downcast::<T>()
+            .map(|b| (*b, info))
+            .map_err(|_| RuntimeError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                src: info.src,
+                tag: info.tag,
+            })
+    }
+
+    /// Receives from the remote group; `src` is a remote-local rank pattern.
+    pub fn recv<T: 'static>(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Result<T> {
+        let env =
+            self.shared.mailbox(self.my_global).take(self.context, src.into(), tag.into())?;
+        Self::downcast(env).map(|(v, _)| v)
+    }
+
+    /// Receive with sender metadata (for `Src::Any`).
+    pub fn recv_with_info<T: 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+    ) -> Result<(T, MessageInfo)> {
+        let env =
+            self.shared.mailbox(self.my_global).take(self.context, src.into(), tag.into())?;
+        Self::downcast(env)
+    }
+
+    /// Receive with a deadline (deadlock detection across programs).
+    pub fn recv_timeout<T: 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+        timeout: Duration,
+    ) -> Result<T> {
+        let env = self.shared.mailbox(self.my_global).take_timeout(
+            self.context,
+            src.into(),
+            tag.into(),
+            timeout,
+        )?;
+        Self::downcast(env).map(|(v, _)| v)
+    }
+
+    /// Non-blocking receive attempt.
+    pub fn try_recv<T: 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+    ) -> Result<Option<(T, MessageInfo)>> {
+        match self.shared.mailbox(self.my_global).try_take(self.context, src.into(), tag.into()) {
+            Some(env) => Self::downcast(env).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Checks for a queued remote message without consuming it.
+    pub fn iprobe(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Option<MessageInfo> {
+        self.shared.mailbox(self.my_global).iprobe(self.context, src.into(), tag.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    /// Splits a world of m + n ranks into two programs joined by an
+    /// intercomm; returns per-rank (local_rank, remote_size, probe result).
+    fn two_programs(m: usize, n: usize) {
+        World::run(m + n, move |p| {
+            let world = p.world();
+            let side = usize::from(p.rank() >= m);
+            let (local, ic) = InterComm::create(world, side).unwrap();
+
+            assert_eq!(local.size(), if side == 0 { m } else { n });
+            assert_eq!(ic.local_size(), local.size());
+            assert_eq!(ic.remote_size(), if side == 0 { n } else { m });
+            assert_eq!(ic.local_rank(), local.rank());
+
+            // Every rank of side 0 sends its local rank to remote rank
+            // (local_rank % n); side 1 counts what it receives.
+            if side == 0 {
+                ic.send(local.rank() % n, 7, local.rank() as u64).unwrap();
+            } else {
+                let expect: Vec<usize> =
+                    (0..m).filter(|r| r % n == local.rank()).collect();
+                let mut got = Vec::new();
+                for _ in &expect {
+                    let (v, info) = ic.recv_with_info::<u64>(Src::Any, 7).unwrap();
+                    assert_eq!(v as usize, info.src);
+                    got.push(v as usize);
+                }
+                got.sort_unstable();
+                assert_eq!(got, expect);
+            }
+        });
+    }
+
+    #[test]
+    fn m_equals_n() {
+        two_programs(3, 3);
+    }
+
+    #[test]
+    fn m_greater_than_n() {
+        two_programs(8, 3);
+    }
+
+    #[test]
+    fn m_less_than_n() {
+        two_programs(2, 5);
+    }
+
+    #[test]
+    fn one_sided_singleton() {
+        two_programs(1, 4);
+    }
+
+    #[test]
+    fn intercomm_isolated_from_world_traffic() {
+        World::run(2, |p| {
+            let world = p.world();
+            let (_, ic) = InterComm::create(world, p.rank()).unwrap();
+            if p.rank() == 0 {
+                world.send(1, 3, 1u8).unwrap();
+                ic.send(0, 3, 2u8).unwrap();
+            } else {
+                // The intercomm receive must not see the world message even
+                // though src/tag patterns would match.
+                assert_eq!(ic.recv::<u8>(0, 3).unwrap(), 2);
+                assert_eq!(world.recv::<u8>(0, 3).unwrap(), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn invalid_remote_rank() {
+        World::run(2, |p| {
+            let (_, ic) = InterComm::create(p.world(), p.rank()).unwrap();
+            assert!(matches!(
+                ic.send(5, 0, 0u8),
+                Err(RuntimeError::InvalidRank { rank: 5, size: 1 })
+            ));
+        });
+    }
+
+    #[test]
+    fn empty_side_rejected() {
+        World::run(2, |p| {
+            let r = InterComm::create(p.world(), 0);
+            assert!(matches!(r, Err(RuntimeError::CollectiveMismatch { .. })));
+        });
+    }
+
+    #[test]
+    fn timeout_across_programs() {
+        World::run(2, |p| {
+            let (_, ic) = InterComm::create(p.world(), p.rank()).unwrap();
+            let e = ic.recv_timeout::<u8>(0, 0, Duration::from_millis(10)).unwrap_err();
+            assert!(matches!(e, RuntimeError::Timeout { .. }));
+        });
+    }
+}

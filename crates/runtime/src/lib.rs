@@ -1,0 +1,63 @@
+//! # mxn-runtime — an MPI-like message-passing runtime for M×N research
+//!
+//! This crate is the substrate beneath the whole `mxn` workspace: an
+//! in-process message-passing runtime with MPI semantics, where each rank is
+//! an OS thread and payloads move by ownership transfer. It exists because
+//! the systems reproduced from the paper (the CCA M×N component, PRMI,
+//! DCA, InterComm, MCT) are all *defined in terms of* message-passing
+//! semantics — matching, non-overtaking ordering, communicators, and
+//! collectives — and those semantics are reproduced here exactly:
+//!
+//! * **Point-to-point**: eager [`Comm::send`] / blocking [`Comm::recv`] with
+//!   `(source, tag)` matching including wildcards, plus nonblocking
+//!   [`Comm::isend`] / [`Comm::irecv`], probes, and timeouts
+//!   ([`Comm::recv_timeout`]) for the deadlock experiments of Figure 5.
+//! * **Communicators**: [`Comm::dup`], [`Comm::split`], [`Comm::subgroup`],
+//!   each with a private message context.
+//! * **Collectives**: barrier, bcast, gather, scatter, allgather,
+//!   alltoall(v), reduce, allreduce, scan (see [`collectives`]).
+//! * **Inter-communicators** ([`InterComm`]) and multi-program
+//!   [`Universe`]s for coupled-code runs (the "M job talks to N job" case).
+//! * **Traffic accounting** ([`stats`]): every payload reports its wire
+//!   size via [`MsgSize`], so benchmarks can report message counts and
+//!   volumes that transfer to a real cluster.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mxn_runtime::World;
+//!
+//! let sums = World::run(4, |p| {
+//!     let comm = p.world();
+//!     comm.allreduce(comm.rank() as u64, |a, b| *a += b).unwrap()
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+pub mod cart;
+pub mod collectives;
+pub mod comm;
+pub mod envelope;
+pub mod error;
+pub mod intercomm;
+pub mod mailbox;
+pub mod msgsize;
+pub mod network;
+pub mod ops;
+pub mod request;
+pub mod shared;
+pub mod stats;
+pub mod universe;
+pub mod world;
+
+pub use cart::{dims_create, CartComm};
+pub use comm::Comm;
+pub use envelope::{MessageInfo, Src, Tag};
+pub use error::{Result, RuntimeError};
+pub use intercomm::InterComm;
+pub use msgsize::MsgSize;
+pub use network::NetworkModel;
+pub use request::{wait_all, RecvRequest, SendRequest};
+pub use stats::{StatsSnapshot, TrafficClass, WorldStats};
+pub use universe::{ProgramCtx, Universe};
+pub use world::{Process, World};

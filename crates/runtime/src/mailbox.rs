@@ -1,0 +1,314 @@
+//! Per-rank mailboxes.
+//!
+//! Each rank owns one mailbox; senders push envelopes into the destination's
+//! mailbox and receivers scan it for the earliest envelope matching a
+//! `(context, source, tag)` pattern. Because the queue is kept in arrival
+//! order and the scan takes the *first* match, the runtime preserves MPI's
+//! non-overtaking guarantee: two messages from the same sender with the same
+//! tag on the same context are received in the order they were sent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::envelope::{Envelope, MessageInfo, Src, Tag};
+use crate::error::{Result, RuntimeError};
+
+struct Inner {
+    queue: VecDeque<Envelope>,
+    next_seq: u64,
+}
+
+/// A single rank's incoming-message queue.
+pub struct Mailbox {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    abort: Arc<AtomicBool>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox wired to the world's abort flag.
+    pub fn new(abort: Arc<AtomicBool>) -> Self {
+        Mailbox {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), next_seq: 0 }),
+            cond: Condvar::new(),
+            abort,
+        }
+    }
+
+    /// Deposits an envelope and wakes any waiting receiver.
+    pub fn push(&self, mut env: Envelope) {
+        let mut inner = self.inner.lock();
+        env.seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.queue.push_back(env);
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Wakes all waiters so they can observe the abort flag.
+    pub fn wake_all(&self) {
+        self.cond.notify_all();
+    }
+
+    fn find(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<usize> {
+        let now = Instant::now();
+        inner
+            .queue
+            .iter()
+            .position(|e| e.matches(context, src, tag) && e.deliver_at.map_or(true, |t| t <= now))
+    }
+
+    /// Earliest future delivery instant among matching messages (network
+    /// model): the moment a blocked receive should re-check.
+    fn earliest_pending(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<Instant> {
+        inner
+            .queue
+            .iter()
+            .filter(|e| e.matches(context, src, tag))
+            .filter_map(|e| e.deliver_at)
+            .min()
+    }
+
+    /// Removes and returns the earliest matching envelope without blocking.
+    pub fn try_take(&self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
+        let mut inner = self.inner.lock();
+        Self::find(&inner, context, src, tag).and_then(|i| inner.queue.remove(i))
+    }
+
+    /// Blocks until a matching envelope arrives and is deliverable (or the
+    /// world aborts).
+    pub fn take(&self, context: u32, src: Src, tag: Tag) -> Result<Envelope> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(i) = Self::find(&inner, context, src, tag) {
+                return Ok(inner.queue.remove(i).expect("index just found"));
+            }
+            if self.abort.load(Ordering::Acquire) {
+                return Err(RuntimeError::Aborted);
+            }
+            match Self::earliest_pending(&inner, context, src, tag) {
+                // A matching message is in flight: sleep until it lands.
+                Some(at) => {
+                    let _ = self.cond.wait_until(&mut inner, at);
+                }
+                None => self.cond.wait(&mut inner),
+            }
+        }
+    }
+
+    /// Blocks until a matching envelope arrives, the world aborts, or
+    /// `timeout` elapses.
+    pub fn take_timeout(
+        &self,
+        context: u32,
+        src: Src,
+        tag: Tag,
+        timeout: Duration,
+    ) -> Result<Envelope> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(i) = Self::find(&inner, context, src, tag) {
+                return Ok(inner.queue.remove(i).expect("index just found"));
+            }
+            if self.abort.load(Ordering::Acquire) {
+                return Err(RuntimeError::Aborted);
+            }
+            let wake = match Self::earliest_pending(&inner, context, src, tag) {
+                Some(at) if at < deadline => at,
+                _ => deadline,
+            };
+            if self.cond.wait_until(&mut inner, wake).timed_out() && wake >= deadline {
+                // One final scan: the message may have raced the timeout.
+                if let Some(i) = Self::find(&inner, context, src, tag) {
+                    return Ok(inner.queue.remove(i).expect("index just found"));
+                }
+                return Err(RuntimeError::Timeout {
+                    waiting_for: format!("message (context={context}, src={src:?}, tag={tag:?})"),
+                });
+            }
+        }
+    }
+
+    /// Returns metadata for the earliest matching envelope without removing
+    /// it, or `None` if nothing matches right now.
+    pub fn iprobe(&self, context: u32, src: Src, tag: Tag) -> Option<MessageInfo> {
+        let inner = self.inner.lock();
+        Self::find(&inner, context, src, tag).map(|i| {
+            let e = &inner.queue[i];
+            MessageInfo { src: e.src_local, tag: e.tag, bytes: e.bytes }
+        })
+    }
+
+    /// Blocks until a matching envelope is present and deliverable,
+    /// returning its metadata without removing it.
+    pub fn probe(&self, context: u32, src: Src, tag: Tag) -> Result<MessageInfo> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(i) = Self::find(&inner, context, src, tag) {
+                let e = &inner.queue[i];
+                return Ok(MessageInfo { src: e.src_local, tag: e.tag, bytes: e.bytes });
+            }
+            if self.abort.load(Ordering::Acquire) {
+                return Err(RuntimeError::Aborted);
+            }
+            match Self::earliest_pending(&inner, context, src, tag) {
+                Some(at) => {
+                    let _ = self.cond.wait_until(&mut inner, at);
+                }
+                None => self.cond.wait(&mut inner),
+            }
+        }
+    }
+
+    /// Number of messages currently queued (all contexts).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the mailbox is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn env(src: usize, context: u32, tag: i32, val: u32) -> Envelope {
+        Envelope {
+            src_global: src,
+            src_local: src,
+            context,
+            tag,
+            seq: 0,
+            bytes: 4,
+            deliver_at: None,
+            payload: Box::new(val),
+        }
+    }
+
+    fn mbox() -> Mailbox {
+        Mailbox::new(Arc::new(AtomicBool::new(false)))
+    }
+
+    fn val(e: Envelope) -> u32 {
+        *e.payload.downcast::<u32>().unwrap()
+    }
+
+    #[test]
+    fn fifo_per_sender_and_tag() {
+        let m = mbox();
+        m.push(env(0, 0, 1, 10));
+        m.push(env(0, 0, 1, 20));
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 10);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 20);
+    }
+
+    #[test]
+    fn tag_selective_receive_skips_nonmatching() {
+        let m = mbox();
+        m.push(env(0, 0, 1, 10));
+        m.push(env(0, 0, 2, 20));
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(2)).unwrap()), 20);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 10);
+    }
+
+    #[test]
+    fn context_isolation() {
+        let m = mbox();
+        m.push(env(0, 7, 1, 10));
+        assert!(m.try_take(0, Src::Any, Tag::Any).is_none());
+        assert!(m.try_take(7, Src::Any, Tag::Any).is_some());
+    }
+
+    #[test]
+    fn any_source_takes_earliest_arrival() {
+        let m = mbox();
+        m.push(env(3, 0, 1, 30));
+        m.push(env(1, 0, 1, 10));
+        assert_eq!(val(m.take(0, Src::Any, Tag::Value(1)).unwrap()), 30);
+    }
+
+    #[test]
+    fn take_blocks_until_push() {
+        let m = Arc::new(mbox());
+        let m2 = m.clone();
+        let h = thread::spawn(move || val(m2.take(0, Src::Rank(0), Tag::Value(9)).unwrap()));
+        thread::sleep(Duration::from_millis(20));
+        m.push(env(0, 0, 9, 99));
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn timeout_fires_when_no_message() {
+        let m = mbox();
+        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_millis(20));
+        assert!(matches!(r, Err(RuntimeError::Timeout { .. })));
+    }
+
+    #[test]
+    fn timeout_returns_message_that_arrives_in_time() {
+        let m = Arc::new(mbox());
+        let m2 = m.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            m2.push(env(0, 0, 1, 5));
+        });
+        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_secs(5)).unwrap();
+        assert_eq!(val(r), 5);
+    }
+
+    #[test]
+    fn abort_wakes_blocked_receiver() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let m = Arc::new(Mailbox::new(abort.clone()));
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.take(0, Src::Any, Tag::Any));
+        thread::sleep(Duration::from_millis(10));
+        abort.store(true, Ordering::Release);
+        m.wake_all();
+        match h.join().unwrap() {
+            Err(e) => assert_eq!(e, RuntimeError::Aborted),
+            Ok(_) => panic!("expected abort"),
+        }
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let m = mbox();
+        m.push(env(2, 0, 4, 44));
+        let info = m.iprobe(0, Src::Any, Tag::Any).unwrap();
+        assert_eq!(info, MessageInfo { src: 2, tag: 4, bytes: 4 });
+        assert_eq!(m.len(), 1);
+        assert_eq!(val(m.take(0, Src::Rank(2), Tag::Value(4)).unwrap()), 44);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn blocking_probe_waits() {
+        let m = Arc::new(mbox());
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.probe(0, Src::Any, Tag::Value(3)).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        m.push(env(1, 0, 3, 1));
+        let info = h.join().unwrap();
+        assert_eq!(info.src, 1);
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone() {
+        let m = mbox();
+        m.push(env(0, 0, 0, 0));
+        m.push(env(0, 0, 0, 1));
+        let a = m.take(0, Src::Any, Tag::Any).unwrap();
+        let b = m.take(0, Src::Any, Tag::Any).unwrap();
+        assert!(a.seq < b.seq);
+    }
+}

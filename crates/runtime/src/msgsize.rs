@@ -1,0 +1,165 @@
+//! Message size accounting.
+//!
+//! The runtime moves payloads by ownership transfer (ranks are threads in one
+//! address space), so no bytes actually cross a wire. To keep benchmark
+//! results portable to a real cluster, every payload type reports the number
+//! of bytes an MPI implementation would have to move for it, and the runtime
+//! aggregates those counts in [`crate::stats::WorldStats`].
+
+/// Number of bytes a message of this type would occupy on the wire.
+///
+/// Implementations should count the *transitive* payload (e.g. a `Vec<f64>`
+/// of length `n` reports `8 * n`), not Rust bookkeeping such as capacity or
+/// pointers. All types sent through [`crate::Comm::send`] must implement
+/// this trait.
+pub trait MsgSize {
+    /// Wire size of `self` in bytes.
+    fn msg_size(&self) -> usize;
+}
+
+/// Implements [`MsgSize`] for plain-old-data types as `size_of::<T>()`.
+///
+/// Downstream crates use this for their own POD message structs:
+///
+/// ```
+/// use mxn_runtime::impl_msg_size_pod;
+/// #[derive(Clone, Copy)]
+/// struct Header { _a: u64, _b: u32 }
+/// impl_msg_size_pod!(Header);
+/// ```
+#[macro_export]
+macro_rules! impl_msg_size_pod {
+    ($($t:ty),* $(,)?) => {
+        $(impl $crate::MsgSize for $t {
+            fn msg_size(&self) -> usize {
+                ::std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_msg_size_pod!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+);
+
+impl MsgSize for String {
+    fn msg_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl MsgSize for &'static str {
+    fn msg_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: MsgSize> MsgSize for Vec<T> {
+    fn msg_size(&self) -> usize {
+        self.iter().map(MsgSize::msg_size).sum()
+    }
+}
+
+impl<T: MsgSize> MsgSize for Box<T> {
+    fn msg_size(&self) -> usize {
+        (**self).msg_size()
+    }
+}
+
+impl<T: MsgSize> MsgSize for Option<T> {
+    fn msg_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, MsgSize::msg_size)
+    }
+}
+
+impl<T: MsgSize, E: MsgSize> MsgSize for std::result::Result<T, E> {
+    fn msg_size(&self) -> usize {
+        1 + match self {
+            Ok(v) => v.msg_size(),
+            Err(e) => e.msg_size(),
+        }
+    }
+}
+
+impl<T: MsgSize, const N: usize> MsgSize for [T; N] {
+    fn msg_size(&self) -> usize {
+        self.iter().map(MsgSize::msg_size).sum()
+    }
+}
+
+impl<A: MsgSize> MsgSize for (A,) {
+    fn msg_size(&self) -> usize {
+        self.0.msg_size()
+    }
+}
+
+impl<A: MsgSize, B: MsgSize> MsgSize for (A, B) {
+    fn msg_size(&self) -> usize {
+        self.0.msg_size() + self.1.msg_size()
+    }
+}
+
+impl<A: MsgSize, B: MsgSize, C: MsgSize> MsgSize for (A, B, C) {
+    fn msg_size(&self) -> usize {
+        self.0.msg_size() + self.1.msg_size() + self.2.msg_size()
+    }
+}
+
+impl<A: MsgSize, B: MsgSize, C: MsgSize, D: MsgSize> MsgSize for (A, B, C, D) {
+    fn msg_size(&self) -> usize {
+        self.0.msg_size() + self.1.msg_size() + self.2.msg_size() + self.3.msg_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_sizes() {
+        assert_eq!(1u8.msg_size(), 1);
+        assert_eq!(1.0f64.msg_size(), 8);
+        assert_eq!(().msg_size(), 0);
+        assert_eq!(true.msg_size(), 1);
+    }
+
+    #[test]
+    fn vec_counts_elements() {
+        let v = vec![0.0f64; 100];
+        assert_eq!(v.msg_size(), 800);
+        let nested: Vec<Vec<u32>> = vec![vec![1, 2], vec![3]];
+        assert_eq!(nested.msg_size(), 12);
+    }
+
+    #[test]
+    fn string_counts_utf8_bytes() {
+        assert_eq!("abc".to_string().msg_size(), 3);
+        assert_eq!("é".to_string().msg_size(), 2);
+    }
+
+    #[test]
+    fn tuples_and_options() {
+        assert_eq!((1u32, 2.0f64).msg_size(), 12);
+        assert_eq!(Some(7u64).msg_size(), 9);
+        assert_eq!(None::<u64>.msg_size(), 1);
+        let r: std::result::Result<u32, u8> = Ok(3);
+        assert_eq!(r.msg_size(), 5);
+    }
+
+    #[test]
+    fn arrays_and_boxes() {
+        assert_eq!([1u16; 4].msg_size(), 8);
+        assert_eq!(Box::new(5.0f32).msg_size(), 4);
+    }
+
+    #[test]
+    fn pod_macro_for_custom_struct() {
+        #[derive(Clone, Copy)]
+        struct H {
+            _a: u64,
+            _b: u32,
+        }
+        impl_msg_size_pod!(H);
+        assert_eq!(H { _a: 0, _b: 0 }.msg_size(), std::mem::size_of::<H>());
+    }
+}

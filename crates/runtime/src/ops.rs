@@ -1,0 +1,145 @@
+//! Predefined reduction operators.
+//!
+//! The generic [`crate::Comm::reduce`]/[`crate::Comm::allreduce`] take any
+//! associative closure; this module provides the standard MPI operator
+//! set — including the indexed `MINLOC`/`MAXLOC` pairs parallel codes use
+//! to find *where* an extremum lives — so call sites read like MPI.
+
+/// Element-wise sum of two equal-length vectors (for multi-value
+/// reductions).
+pub fn vec_sum(acc: &mut Vec<f64>, incoming: Vec<f64>) {
+    debug_assert_eq!(acc.len(), incoming.len(), "vector reduction length mismatch");
+    for (a, b) in acc.iter_mut().zip(incoming) {
+        *a += b;
+    }
+}
+
+/// Scalar sum.
+pub fn sum<T: std::ops::AddAssign>(acc: &mut T, incoming: T) {
+    *acc += incoming;
+}
+
+/// Scalar product.
+pub fn prod<T: std::ops::MulAssign>(acc: &mut T, incoming: T) {
+    *acc *= incoming;
+}
+
+/// Scalar minimum (total orders; use [`fmin`] for floats).
+pub fn min<T: Ord + Copy>(acc: &mut T, incoming: T) {
+    if incoming < *acc {
+        *acc = incoming;
+    }
+}
+
+/// Scalar maximum (total orders; use [`fmax`] for floats).
+pub fn max<T: Ord + Copy>(acc: &mut T, incoming: T) {
+    if incoming > *acc {
+        *acc = incoming;
+    }
+}
+
+/// Float minimum (NaN-propagating like `f64::min` is NaN-ignoring; this
+/// follows IEEE `minNum`: NaNs are ignored unless both are NaN).
+pub fn fmin(acc: &mut f64, incoming: f64) {
+    *acc = acc.min(incoming);
+}
+
+/// Float maximum (see [`fmin`]).
+pub fn fmax(acc: &mut f64, incoming: f64) {
+    *acc = acc.max(incoming);
+}
+
+/// Logical AND.
+pub fn land(acc: &mut bool, incoming: bool) {
+    *acc &= incoming;
+}
+
+/// Logical OR.
+pub fn lor(acc: &mut bool, incoming: bool) {
+    *acc |= incoming;
+}
+
+/// A value tagged with its owner (typically a rank), for `MINLOC`/`MAXLOC`.
+pub type Loc = (f64, usize);
+
+/// `MPI_MINLOC`: keeps the smaller value; ties go to the smaller index.
+pub fn minloc(acc: &mut Loc, incoming: Loc) {
+    if incoming.0 < acc.0 || (incoming.0 == acc.0 && incoming.1 < acc.1) {
+        *acc = incoming;
+    }
+}
+
+/// `MPI_MAXLOC`: keeps the larger value; ties go to the smaller index.
+pub fn maxloc(acc: &mut Loc, incoming: Loc) {
+    if incoming.0 > acc.0 || (incoming.0 == acc.0 && incoming.1 < acc.1) {
+        *acc = incoming;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::World;
+
+    #[test]
+    fn scalar_ops() {
+        let mut a = 3u64;
+        sum(&mut a, 4);
+        assert_eq!(a, 7);
+        prod(&mut a, 2);
+        assert_eq!(a, 14);
+        let mut m = 5i32;
+        min(&mut m, 2);
+        max(&mut m, 2);
+        assert_eq!(m, 2);
+        let mut f = 1.5;
+        fmin(&mut f, -0.5);
+        assert_eq!(f, -0.5);
+        fmax(&mut f, 9.0);
+        assert_eq!(f, 9.0);
+        let mut b = true;
+        land(&mut b, false);
+        assert!(!b);
+        lor(&mut b, true);
+        assert!(b);
+    }
+
+    #[test]
+    fn vector_sum_reduction() {
+        let mut acc = vec![1.0, 2.0];
+        vec_sum(&mut acc, vec![10.0, 20.0]);
+        assert_eq!(acc, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn loc_ops_break_ties_toward_lower_index() {
+        let mut a = (1.0, 3);
+        minloc(&mut a, (1.0, 1));
+        assert_eq!(a, (1.0, 1));
+        minloc(&mut a, (0.5, 9));
+        assert_eq!(a, (0.5, 9));
+        let mut b = (1.0, 3);
+        maxloc(&mut b, (1.0, 1));
+        assert_eq!(b, (1.0, 1));
+        maxloc(&mut b, (2.0, 7));
+        assert_eq!(b, (2.0, 7));
+    }
+
+    #[test]
+    fn allreduce_with_named_ops() {
+        World::run(4, |p| {
+            let c = p.world();
+            let total: u64 = c.allreduce(c.rank() as u64, sum).unwrap();
+            assert_eq!(total, 6);
+            // Who holds the largest value of (rank*7 mod 5)?
+            let mine = ((c.rank() * 7) % 5) as f64;
+            let (val, who) = c.allreduce((mine, c.rank()), maxloc).unwrap();
+            assert_eq!(val, 4.0);
+            assert_eq!(who, 2, "rank 2 holds 14 mod 5 = 4");
+            // Vector reduction.
+            let v = vec![c.rank() as f64, 1.0];
+            let s = c.allreduce(v, vec_sum).unwrap();
+            assert_eq!(s, vec![6.0, 4.0]);
+        });
+    }
+}

@@ -1,0 +1,117 @@
+//! World-global state shared by all ranks.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::mailbox::Mailbox;
+use crate::network::{ChannelClock, NetworkModel};
+use crate::stats::WorldStats;
+
+/// Context id of the world communicator's point-to-point traffic.
+///
+/// Every communicator owns a *pair* of contexts: `ctx` for point-to-point
+/// and `ctx + 1` for collective-internal traffic, mirroring MPICH's design.
+pub const WORLD_CONTEXT: u32 = 0;
+
+/// State shared by every rank of one [`crate::World`]: the mailboxes, the
+/// abort flag, the communicator-context allocator and the traffic counters.
+pub struct WorldShared {
+    mailboxes: Vec<Mailbox>,
+    abort: Arc<AtomicBool>,
+    next_context: AtomicU32,
+    stats: WorldStats,
+    network: Option<ChannelClock>,
+}
+
+impl WorldShared {
+    /// Creates shared state for `n` ranks (instant delivery).
+    pub fn new(n: usize) -> Arc<Self> {
+        Self::with_network(n, None)
+    }
+
+    /// Creates shared state with an optional synthetic network model.
+    pub fn with_network(n: usize, network: Option<NetworkModel>) -> Arc<Self> {
+        let abort = Arc::new(AtomicBool::new(false));
+        let mailboxes = (0..n).map(|_| Mailbox::new(abort.clone())).collect();
+        Arc::new(WorldShared {
+            mailboxes,
+            abort,
+            // Context 0/1 belong to the world communicator.
+            next_context: AtomicU32::new(2),
+            stats: WorldStats::new(),
+            network: network.map(|m| ChannelClock::new(m, n)),
+        })
+    }
+
+    /// Delivery instant for a message, under the network model (if any).
+    pub fn delivery_time(&self, src: usize, dst: usize, bytes: usize) -> Option<Instant> {
+        self.network.as_ref().map(|c| c.delivery_time(src, dst, bytes))
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The mailbox of a global rank.
+    pub fn mailbox(&self, global_rank: usize) -> &Mailbox {
+        &self.mailboxes[global_rank]
+    }
+
+    /// Allocates a fresh context *pair* and returns its point-to-point id.
+    ///
+    /// The caller is responsible for distributing the id to all members of
+    /// the new communicator (this is what makes communicator creation a
+    /// collective operation).
+    pub fn allocate_context_pair(&self) -> u32 {
+        self.next_context.fetch_add(2, Ordering::Relaxed)
+    }
+
+    /// Marks the world aborted and wakes every blocked receiver.
+    pub fn abort(&self) {
+        self.abort.store(true, Ordering::Release);
+        for m in &self.mailboxes {
+            m.wake_all();
+        }
+    }
+
+    /// Whether the world has been aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    /// The world's traffic counters.
+    pub fn stats(&self) -> &WorldStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_pairs_are_disjoint() {
+        let s = WorldShared::new(2);
+        let a = s.allocate_context_pair();
+        let b = s.allocate_context_pair();
+        assert!(a >= 2, "0/1 reserved for the world communicator");
+        assert_eq!(b, a + 2);
+    }
+
+    #[test]
+    fn abort_is_visible_everywhere() {
+        let s = WorldShared::new(3);
+        assert!(!s.is_aborted());
+        s.abort();
+        assert!(s.is_aborted());
+    }
+
+    #[test]
+    fn size_matches_mailboxes() {
+        let s = WorldShared::new(5);
+        assert_eq!(s.size(), 5);
+        s.mailbox(4); // must not panic
+    }
+}

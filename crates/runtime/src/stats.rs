@@ -1,0 +1,142 @@
+//! Traffic accounting.
+//!
+//! The runtime counts every message and its reported wire size (see
+//! [`crate::MsgSize`]), split into point-to-point and collective-internal
+//! traffic. Benchmarks report these counters alongside wall-clock time so
+//! that results stay meaningful on a real cluster, where message count and
+//! volume — not thread-to-thread copy speed — dominate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which runtime layer produced a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// A user-level `send`/`recv` pair.
+    PointToPoint,
+    /// Internal traffic of a collective operation (barrier, bcast, ...).
+    Collective,
+}
+
+/// Live counters for one world. All methods are thread-safe.
+#[derive(Default)]
+pub struct WorldStats {
+    p2p_msgs: AtomicU64,
+    p2p_bytes: AtomicU64,
+    coll_msgs: AtomicU64,
+    coll_bytes: AtomicU64,
+}
+
+impl WorldStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sent message of `bytes` wire bytes.
+    pub fn record(&self, class: TrafficClass, bytes: usize) {
+        match class {
+            TrafficClass::PointToPoint => {
+                self.p2p_msgs.fetch_add(1, Ordering::Relaxed);
+                self.p2p_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+            TrafficClass::Collective => {
+                self.coll_msgs.fetch_add(1, Ordering::Relaxed);
+                self.coll_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            p2p_messages: self.p2p_msgs.load(Ordering::Relaxed),
+            p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
+            collective_messages: self.coll_msgs.load(Ordering::Relaxed),
+            collective_bytes: self.coll_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.p2p_msgs.store(0, Ordering::Relaxed);
+        self.p2p_bytes.store(0, Ordering::Relaxed);
+        self.coll_msgs.store(0, Ordering::Relaxed);
+        self.coll_bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a world's traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Point-to-point messages sent.
+    pub p2p_messages: u64,
+    /// Point-to-point bytes sent.
+    pub p2p_bytes: u64,
+    /// Collective-internal messages sent.
+    pub collective_messages: u64,
+    /// Collective-internal bytes sent.
+    pub collective_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Total messages of both classes.
+    pub fn total_messages(&self) -> u64 {
+        self.p2p_messages + self.collective_messages
+    }
+
+    /// Total bytes of both classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.p2p_bytes + self.collective_bytes
+    }
+
+    /// Difference `self - earlier`, for measuring a phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            p2p_messages: self.p2p_messages - earlier.p2p_messages,
+            p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
+            collective_messages: self.collective_messages - earlier.collective_messages,
+            collective_bytes: self.collective_bytes - earlier.collective_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = WorldStats::new();
+        s.record(TrafficClass::PointToPoint, 100);
+        s.record(TrafficClass::PointToPoint, 50);
+        s.record(TrafficClass::Collective, 8);
+        let snap = s.snapshot();
+        assert_eq!(snap.p2p_messages, 2);
+        assert_eq!(snap.p2p_bytes, 150);
+        assert_eq!(snap.collective_messages, 1);
+        assert_eq!(snap.collective_bytes, 8);
+        assert_eq!(snap.total_messages(), 3);
+        assert_eq!(snap.total_bytes(), 158);
+    }
+
+    #[test]
+    fn since_computes_phase_delta() {
+        let s = WorldStats::new();
+        s.record(TrafficClass::PointToPoint, 10);
+        let before = s.snapshot();
+        s.record(TrafficClass::PointToPoint, 20);
+        s.record(TrafficClass::Collective, 5);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.p2p_messages, 1);
+        assert_eq!(delta.p2p_bytes, 20);
+        assert_eq!(delta.collective_bytes, 5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = WorldStats::new();
+        s.record(TrafficClass::Collective, 5);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,206 @@
+//! Worlds: pools of ranks running as threads.
+//!
+//! [`World::run`] is the runtime's entry point — the analogue of `mpirun`.
+//! It spawns one OS thread per rank, hands each a [`Process`] handle, and
+//! joins them all, propagating the first panic (after aborting the world so
+//! no rank blocks forever on a receive that can no longer arrive).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::network::NetworkModel;
+use crate::shared::WorldShared;
+use crate::stats::StatsSnapshot;
+
+/// A rank's handle to its world: gives access to the world communicator.
+pub struct Process {
+    shared: Arc<WorldShared>,
+    global_rank: usize,
+    world_comm: Comm,
+}
+
+impl Process {
+    fn new(shared: Arc<WorldShared>, global_rank: usize) -> Self {
+        let world_comm = Comm::world(shared.clone(), global_rank);
+        Process { shared, global_rank, world_comm }
+    }
+
+    /// This rank's world rank.
+    pub fn rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// Total number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.shared.size()
+    }
+
+    /// The world communicator (all ranks, context 0).
+    pub fn world(&self) -> &Comm {
+        &self.world_comm
+    }
+
+    /// Live traffic counters for the whole world.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats().snapshot()
+    }
+}
+
+/// A parallel "machine": `n` ranks running one function SPMD-style.
+pub struct World;
+
+impl World {
+    /// Runs `f` on `n` ranks (threads) and returns their results in rank
+    /// order. Panics in any rank abort the world (waking all blocked
+    /// receives) and are re-thrown here.
+    pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        Self::run_with_stats(n, f).0
+    }
+
+    /// Like [`World::run`] but every inter-rank message is delayed by the
+    /// synthetic [`NetworkModel`] — cluster-shaped timing on one machine.
+    pub fn run_with_network<R, F>(n: usize, network: NetworkModel, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        Self::run_inner(n, Some(network), f).0
+    }
+
+    /// Like [`World::run`] but also returns the final traffic counters.
+    pub fn run_with_stats<R, F>(n: usize, f: F) -> (Vec<R>, StatsSnapshot)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        Self::run_inner(n, None, f)
+    }
+
+    fn run_inner<R, F>(n: usize, network: Option<NetworkModel>, f: F) -> (Vec<R>, StatsSnapshot)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        assert!(n > 0, "world must have at least one rank");
+        let shared = WorldShared::with_network(n, network);
+        let f = &f;
+        let mut outcomes: Vec<std::thread::Result<R>> = Vec::with_capacity(n);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let shared = shared.clone();
+                handles.push(scope.spawn(move || {
+                    let proc = Process::new(shared.clone(), rank);
+                    let result = catch_unwind(AssertUnwindSafe(|| f(&proc)));
+                    if result.is_err() {
+                        // Wake every blocked receiver so the world drains.
+                        shared.abort();
+                    }
+                    result
+                }));
+            }
+            for h in handles {
+                outcomes.push(h.join().expect("rank thread itself never panics"));
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        (results, shared.stats().snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RuntimeError;
+
+    #[test]
+    fn ranks_and_sizes() {
+        let r = World::run(4, |p| (p.rank(), p.size()));
+        assert_eq!(r, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        assert_eq!(World::run(1, |p| p.rank()), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        World::run(0, |_| ());
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let r = World::run(8, |p| p.rank() * p.rank());
+        assert_eq!(r, (0..8).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panic_propagates_and_unblocks_peers() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            World::run(3, |p| {
+                if p.rank() == 0 {
+                    panic!("rank 0 exploded");
+                }
+                // Ranks 1 and 2 block on a message that never comes; the
+                // abort must wake them rather than hang the test.
+                let e = p.world().recv::<u8>(0, 0).unwrap_err();
+                assert_eq!(e, RuntimeError::Aborted);
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("rank 0 exploded"));
+    }
+
+    #[test]
+    fn stats_returned_after_run() {
+        let (_, stats) = World::run_with_stats(2, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.send(1, 0, 7u64).unwrap();
+            } else {
+                c.recv::<u64>(0, 0).unwrap();
+            }
+        });
+        assert_eq!(stats.p2p_messages, 1);
+        assert_eq!(stats.p2p_bytes, 8);
+    }
+
+    #[test]
+    fn process_stats_visible_during_run() {
+        World::run(2, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.send(1, 0, 1u8).unwrap();
+                c.recv::<u8>(1, 1).unwrap();
+                assert!(p.stats().p2p_messages >= 2);
+            } else {
+                c.recv::<u8>(0, 0).unwrap();
+                c.send(0, 1, 1u8).unwrap();
+            }
+        });
+    }
+}

@@ -1,0 +1,161 @@
+//! Schedule caching and reuse.
+//!
+//! "Communication schedules can be expensive to calculate … this schedule
+//! is computed prior to the transfer operation, and can be reused in
+//! consecutive transfers, and even for different arrays as long as they
+//! conform to the same distribution template" (paper §2.3). The cache keys
+//! on the *descriptor pair* (plus rank and role), so any array aligned to
+//! the same templates reuses the plan — experiment E6's amortization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mxn_dad::Dad;
+
+use crate::region_schedule::{RegionSchedule, Role};
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    src: Dad,
+    dst: Dad,
+    rank: usize,
+    role: Role,
+}
+
+/// A thread-safe cache of built [`RegionSchedule`]s with hit/miss counters.
+#[derive(Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<Key, Arc<RegionSchedule>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl ScheduleCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached schedule for `(src, dst, rank, role)`, building
+    /// and inserting it on first use.
+    pub fn get_or_build(
+        &self,
+        src: &Dad,
+        dst: &Dad,
+        rank: usize,
+        role: Role,
+    ) -> Arc<RegionSchedule> {
+        use std::sync::atomic::Ordering;
+        let key = Key { src: src.clone(), dst: dst.clone(), rank, role };
+        let mut map = self.map.lock();
+        if let Some(s) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return s.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let sched = Arc::new(match role {
+            Role::Sender => RegionSchedule::for_sender(src, dst, rank),
+            Role::Receiver => RegionSchedule::for_receiver(src, dst, rank),
+        });
+        map.insert(key, sched.clone());
+        sched
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of cached schedules.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached schedule (benchmark phase separation).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::Extents;
+
+    fn dads() -> (Dad, Dad) {
+        (
+            Dad::block(Extents::new([8, 8]), &[2, 1]).unwrap(),
+            Dad::block(Extents::new([8, 8]), &[1, 2]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        let a = cache.get_or_build(&src, &dst, 0, Role::Sender);
+        let b = cache.get_or_build(&src, &dst, 0, Role::Sender);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_ranks_and_roles_are_distinct_entries() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        cache.get_or_build(&src, &dst, 0, Role::Sender);
+        cache.get_or_build(&src, &dst, 1, Role::Sender);
+        cache.get_or_build(&src, &dst, 0, Role::Receiver);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn different_templates_do_not_collide() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        let other = Dad::block(Extents::new([8, 8]), &[2, 2]).unwrap();
+        let a = cache.get_or_build(&src, &dst, 0, Role::Sender);
+        let b = cache.get_or_build(&src, &other, 0, Role::Sender);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_counters() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        cache.get_or_build(&src, &dst, 0, Role::Sender);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_build(&src, &dst, 0, Role::Sender);
+        assert_eq!(cache.stats(), (0, 2), "rebuild after clear is a miss");
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let cache = Arc::new(ScheduleCache::new());
+        let (src, dst) = dads();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = cache.clone();
+                let (src, dst) = (src.clone(), dst.clone());
+                std::thread::spawn(move || {
+                    cache.get_or_build(&src, &dst, 0, Role::Receiver).total_elements()
+                })
+            })
+            .collect();
+        let totals: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(totals.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! One-call redistribution conveniences.
+//!
+//! Thin wrappers that build (or fetch from a [`ScheduleCache`]) the
+//! appropriate [`RegionSchedule`] and run it — the "higher-level operations
+//! on top of these fundamental M×N data transfer functions" the paper's
+//! Summary calls for.
+
+use mxn_dad::{Dad, LocalArray};
+use mxn_runtime::{Comm, InterComm, MsgSize, Result};
+
+use crate::cache::ScheduleCache;
+use crate::region_schedule::{RegionSchedule, Role};
+
+/// Sender side of a one-shot cross-program redistribution.
+pub fn send_redistributed<T>(
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    local: &LocalArray<T>,
+    tag: i32,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
+    RegionSchedule::for_sender(src, dst, ic.local_rank()).execute_send(ic, local, tag)
+}
+
+/// Receiver side of a one-shot cross-program redistribution; allocates the
+/// destination storage.
+pub fn recv_redistributed<T>(
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    tag: i32,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let mut local = LocalArray::allocate(dst, ic.local_rank());
+    RegionSchedule::for_receiver(src, dst, ic.local_rank()).execute_recv(ic, &mut local, tag)?;
+    Ok(local)
+}
+
+/// Cached-schedule variants, for persistent couplings that transfer many
+/// times between the same pair of templates.
+pub fn send_redistributed_cached<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    local: &LocalArray<T>,
+    tag: i32,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
+    cache.get_or_build(src, dst, ic.local_rank(), Role::Sender).execute_send(ic, local, tag)
+}
+
+/// Receiver counterpart of [`send_redistributed_cached`].
+pub fn recv_redistributed_cached<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    tag: i32,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let mut local = LocalArray::allocate(dst, ic.local_rank());
+    cache
+        .get_or_build(src, dst, ic.local_rank(), Role::Receiver)
+        .execute_recv(ic, &mut local, tag)?;
+    Ok(local)
+}
+
+/// Intra-program redistribution (self-connection, e.g. transpose): every
+/// rank of `comm` calls this collectively; returns the new local storage.
+pub fn redistribute_within<T>(
+    comm: &Comm,
+    src: &Dad,
+    dst: &Dad,
+    src_local: &LocalArray<T>,
+    tag: i32,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let send = RegionSchedule::for_sender(src, dst, comm.rank());
+    let recv = RegionSchedule::for_receiver(src, dst, comm.rank());
+    let mut dst_local = LocalArray::allocate(dst, comm.rank());
+    RegionSchedule::execute_local(&send, &recv, comm, src_local, &mut dst_local, tag)?;
+    Ok(dst_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::Extents;
+    use mxn_runtime::{Universe, World};
+
+    #[test]
+    fn one_shot_convenience() {
+        Universe::run(&[2, 3], |_, ctx| {
+            let e = Extents::new([6, 6]);
+            let src = Dad::block(e.clone(), &[2, 1]).unwrap();
+            let dst = Dad::block(e, &[3, 1]).unwrap();
+            if ctx.program == 0 {
+                let local =
+                    LocalArray::from_fn(&src, ctx.comm.rank(), |idx| (idx[0] * 6 + idx[1]) as f32);
+                send_redistributed(ctx.intercomm(1), &src, &dst, &local, 0).unwrap();
+            } else {
+                let local: LocalArray<f32> =
+                    recv_redistributed(ctx.intercomm(0), &src, &dst, 0).unwrap();
+                for (idx, &v) in local.iter() {
+                    assert_eq!(v, (idx[0] * 6 + idx[1]) as f32);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn cached_persistent_coupling() {
+        Universe::run(&[2, 2], |_, ctx| {
+            let e = Extents::new([4, 4]);
+            let src = Dad::block(e.clone(), &[2, 1]).unwrap();
+            let dst = Dad::block(e, &[1, 2]).unwrap();
+            let cache = ScheduleCache::new();
+            for step in 0..4 {
+                if ctx.program == 0 {
+                    let local = LocalArray::from_fn(&src, ctx.comm.rank(), |idx| {
+                        (idx[0] * 4 + idx[1] + step) as u32
+                    });
+                    send_redistributed_cached(
+                        &cache,
+                        ctx.intercomm(1),
+                        &src,
+                        &dst,
+                        &local,
+                        step as i32,
+                    )
+                    .unwrap();
+                } else {
+                    let local: LocalArray<u32> = recv_redistributed_cached(
+                        &cache,
+                        ctx.intercomm(0),
+                        &src,
+                        &dst,
+                        step as i32,
+                    )
+                    .unwrap();
+                    for (idx, &v) in local.iter() {
+                        assert_eq!(v, (idx[0] * 4 + idx[1] + step) as u32);
+                    }
+                }
+            }
+            // 4 steps, 1 build: 3 hits.
+            assert_eq!(cache.stats(), (3, 1));
+        });
+    }
+
+    #[test]
+    fn transpose_within_program() {
+        World::run(3, |p| {
+            let comm = p.world();
+            let e = Extents::new([6, 6]);
+            let src = Dad::block(e.clone(), &[3, 1]).unwrap();
+            let dst = Dad::block(e, &[1, 3]).unwrap();
+            let src_local =
+                LocalArray::from_fn(&src, comm.rank(), |idx| (idx[0] * 6 + idx[1]) as i64);
+            let dst_local = redistribute_within(comm, &src, &dst, &src_local, 9).unwrap();
+            assert_eq!(dst_local.len(), 12);
+            for (idx, &v) in dst_local.iter() {
+                assert_eq!(v, (idx[0] * 6 + idx[1]) as i64);
+            }
+        });
+    }
+}

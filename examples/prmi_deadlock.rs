@@ -1,0 +1,105 @@
+//! The Figure 5 synchronization problem, live.
+//!
+//! Three caller processes invoke collective methods on a remote serial
+//! component with *intersecting* participant subsets:
+//!
+//! * process 0 calls method A with participants {0, 1, 2};
+//! * processes 1 and 2 first call method B with participants {1, 2}, then
+//!   join method A.
+//!
+//! With delivery on first arrival (the naive policy) the provider starts
+//! servicing A, blocks for shares from 1 and 2 — which are stuck inside B —
+//! and the system deadlocks. Delaying delivery with a barrier over the
+//! participants (the paper's fix, used by DCA) makes the same program
+//! complete.
+//!
+//! ```text
+//! cargo run --example prmi_deadlock
+//! ```
+
+use std::time::Duration;
+
+use mxn::framework::{AnyPayload, RemoteService};
+use mxn::prmi::{
+    subset_call_timeout, subset_serve, subset_shutdown, DeliveryPolicy, PrmiError,
+    SubsetServeOutcome,
+};
+use mxn::runtime::Universe;
+
+struct Doubler;
+impl RemoteService for Doubler {
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        let v: f64 = arg.downcast().unwrap();
+        AnyPayload::replicable(v * 2.0 + method as f64)
+    }
+}
+
+fn run(policy: DeliveryPolicy) -> SubsetServeOutcome {
+    let outcome = Universe::run(&[3, 1], move |_, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let rank = ctx.comm.rank();
+            let all = ctx.comm.subgroup(&[0, 1, 2]).unwrap().unwrap();
+            let pair = ctx.comm.subgroup(&[1, 2]).unwrap();
+            let timeout = Duration::from_secs(2);
+            if rank == 0 {
+                // t1 in the figure: first to reach call A.
+                let r: Result<f64, PrmiError> =
+                    subset_call_timeout(&all, ic, &[0, 1, 2], 0, 0, 10.0, policy, timeout);
+                match r {
+                    Ok(v) => {
+                        println!("  caller 0: method A returned {v}");
+                        subset_shutdown(ic, 0).unwrap();
+                    }
+                    Err(e) => println!("  caller 0: {e}"),
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(50));
+                let pair = pair.unwrap();
+                let rb: Result<f64, PrmiError> =
+                    subset_call_timeout(&pair, ic, &[1, 2], 0, 1, 20.0, policy, timeout);
+                match rb {
+                    Ok(v) => {
+                        if rank == 1 {
+                            println!("  caller {rank}: method B returned {v}");
+                        }
+                        let _: f64 = subset_call_timeout(
+                            &all, ic, &[0, 1, 2], 0, 0, 10.0, policy, timeout,
+                        )
+                        .unwrap();
+                    }
+                    Err(e) => {
+                        if rank == 1 {
+                            println!("  caller {rank}: {e}");
+                        }
+                    }
+                }
+            }
+            None
+        } else {
+            Some(subset_serve(ctx.intercomm(0), &Doubler, Duration::from_millis(500)).unwrap())
+        }
+    });
+    outcome.into_iter().flatten().next().unwrap()
+}
+
+fn main() {
+    println!("Figure 5: intersecting collective calls, two delivery policies\n");
+
+    println!("deliver-on-first-arrival (no synchronization):");
+    match run(DeliveryPolicy::eager()) {
+        SubsetServeOutcome::Deadlocked { missing_rank, method, .. } => println!(
+            "  provider: DEADLOCK — servicing method {method}, share from rank {missing_rank} \
+             never arrived\n"
+        ),
+        other => println!("  provider: unexpected outcome {other:?}\n"),
+    }
+
+    println!("barrier-delayed delivery (the paper's fix):");
+    match run(DeliveryPolicy::safe()) {
+        SubsetServeOutcome::Completed { calls } => {
+            println!("  provider: completed all {calls} collective calls — no deadlock")
+        }
+        other => println!("  provider: unexpected outcome {other:?}"),
+    }
+}

@@ -1,0 +1,101 @@
+//! XChangemxn-style dynamic coupling (paper §5).
+//!
+//! A weather model publishes a temperature field to a broker. Consumers
+//! come and go while it runs: a plotting client subscribes from the start
+//! (in Celsius), an archiver joins mid-run asking for Kelvin — the unit
+//! conversion happens **in flight** at the broker, and the late joiner
+//! immediately receives the retained latest field.
+//!
+//! ```text
+//! cargo run --example pubsub_weather
+//! ```
+
+use mxn::dad::{Dad, Extents, LocalArray, Region};
+use mxn::pubsub::{run_broker, shutdown_broker, Publisher, Subscriber, Transform};
+use mxn::runtime::Universe;
+
+const N: usize = 16;
+const STEPS: u64 = 6;
+
+fn main() {
+    println!("weather model → broker → dynamic consumers (XChangemxn model)\n");
+
+    Universe::run(&[3, 1], |_, ctx| {
+        if ctx.program == 1 {
+            let stats = run_broker(ctx.intercomm(0)).unwrap();
+            println!(
+                "\nbroker: {} commits, {} updates pushed, {} subscriptions, {} departures",
+                stats.commits, stats.updates_sent, stats.subscriptions, stats.unsubscribes
+            );
+            return;
+        }
+        let ic = ctx.intercomm(1);
+        let rank = ctx.comm.rank();
+        let dad = Dad::block(Extents::new([N]), &[1]).unwrap();
+        match rank {
+            0 => {
+                // The model: publishes once per step, no knowledge of who
+                // is listening.
+                let publisher = Publisher::new("temperature", dad.clone(), 0, 1);
+                // Wait for the plotter to be subscribed (determinism).
+                ctx.comm.recv::<()>(1, 1).unwrap();
+                for step in 1..=STEPS {
+                    let field = LocalArray::from_fn(&dad, 0, |idx| {
+                        15.0 + (idx[0] as f64 * 0.4).sin() * 5.0 + step as f64 * 0.5
+                    });
+                    publisher.publish(ic, &field).unwrap();
+                    // Let the archiver join after step 4.
+                    if step == 4 {
+                        ctx.comm.send(2, 2, ()).unwrap();
+                        ctx.comm.recv::<()>(2, 3).unwrap();
+                    }
+                }
+                ctx.comm.send(1, 4, ()).unwrap();
+                ctx.comm.send(2, 4, ()).unwrap();
+            }
+            1 => {
+                // The plotter: subscribed before step 1, Celsius as-is.
+                let region = Region::new([0], [N]);
+                Subscriber::subscribe(ic, "temperature", &region, Transform::identity())
+                    .unwrap();
+                ctx.comm.send(0, 1, ()).unwrap();
+                for step in 1..=STEPS {
+                    let u = Subscriber::next_update(ic).unwrap();
+                    assert_eq!(u.version, step);
+                    let mean: f64 = u.values.iter().sum::<f64>() / N as f64;
+                    println!("plotter:  step {step} mean temperature {mean:.2} °C");
+                }
+                ctx.comm.recv::<()>(0, 4).unwrap();
+            }
+            _ => {
+                // The archiver: arrives mid-run, wants Kelvin.
+                ctx.comm.recv::<()>(0, 2).unwrap();
+                let region = Region::new([0], [N]);
+                let v = Subscriber::subscribe(
+                    ic,
+                    "temperature",
+                    &region,
+                    Transform { scale: 1.0, offset: 273.15 },
+                )
+                .unwrap();
+                println!("archiver: joined late; retained version is {v}");
+                ctx.comm.send(0, 3, ()).unwrap();
+                // Retained version + the remaining live commits.
+                let mut received = 0;
+                let mut last = 0.0;
+                for _ in 0..(1 + STEPS - v) {
+                    let u = Subscriber::next_update(ic).unwrap();
+                    received += 1;
+                    last = u.values[0];
+                    assert!(u.values.iter().all(|&t| t > 273.0), "in Kelvin");
+                }
+                println!("archiver: received {received} updates in Kelvin (last T[0] = {last:.2} K)");
+                ctx.comm.recv::<()>(0, 4).unwrap();
+                Subscriber::unsubscribe(ic, "temperature").unwrap();
+                shutdown_broker(ic).unwrap();
+            }
+        }
+    });
+
+    println!("\ndone: consumers joined and departed without the model noticing");
+}

@@ -1,0 +1,221 @@
+//! End-to-end coupling tests spanning the whole stack: runtime universes,
+//! the CCA framework, the M×N component, and its connection protocols.
+
+use std::sync::Arc;
+
+use mxn::core::{mxn_port, ConnectionKind, MxnPort, TransferOutcome, MXN_PORT_TYPE};
+use mxn::dad::{AccessMode, Dad, Extents, LocalArray};
+use mxn::framework::{Component, Framework, Result as FwResult, Services};
+use mxn::runtime::Universe;
+
+/// The paper's Figure 1: an M = 8 process simulation couples a 3-D field
+/// to an N = 27 process simulation with a different block decomposition.
+#[test]
+fn figure1_m8_to_n27_transfer() {
+    let extents = Extents::new([6, 6, 6]);
+    let src = Dad::block(extents.clone(), &[2, 2, 2]).unwrap();
+    let dst = Dad::block(extents.clone(), &[3, 3, 3]).unwrap();
+    let value = |idx: &[usize]| (idx[0] * 36 + idx[1] * 6 + idx[2]) as f64;
+
+    Universe::run(&[8, 27], |_, ctx| {
+        let rank = ctx.comm.rank();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut mxn = mxn::core::MxnComponent::new(rank);
+            let data = Arc::new(parking_lot_rwlock(LocalArray::from_fn(&src, rank, value)));
+            mxn.register_field("vorticity", src.clone(), AccessMode::Read, data).unwrap();
+            let mut conn =
+                mxn.export_field(ic, "vorticity", "vorticity_in", ConnectionKind::OneShot).unwrap();
+            let out = conn.data_ready(ic, mxn.registry()).unwrap();
+            assert_eq!(out, TransferOutcome::Transferred { elements: 27 });
+        } else {
+            let ic = ctx.intercomm(0);
+            let mut mxn = mxn::core::MxnComponent::new(rank);
+            let data =
+                mxn.register_allocated("vorticity_in", dst.clone(), AccessMode::Write).unwrap();
+            let mut conn = mxn.accept_connection(ic).unwrap();
+            // Every receiving rank gets its 2×2×2 sub-block.
+            let out = conn.data_ready(ic, mxn.registry()).unwrap();
+            assert_eq!(out, TransferOutcome::Transferred { elements: 8 });
+            for (idx, &v) in data.read().iter() {
+                assert_eq!(v, value(&idx), "at {idx:?}");
+            }
+        }
+    });
+}
+
+fn parking_lot_rwlock<T>(v: T) -> parking_lot::RwLock<T> {
+    parking_lot::RwLock::new(v)
+}
+
+/// A persistent CUMULVS-style coupling: the source steps a field forward
+/// and calls `data_ready` every step; transfers fire on the period.
+#[test]
+fn persistent_coupled_time_loop() {
+    let extents = Extents::new([8, 8]);
+    let src = Dad::block(extents.clone(), &[2, 1]).unwrap();
+    let dst = Dad::block(extents.clone(), &[1, 2]).unwrap();
+    const STEPS: u64 = 9;
+    const PERIOD: u32 = 3;
+
+    Universe::run(&[2, 2], |_, ctx| {
+        let rank = ctx.comm.rank();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut mxn = mxn::core::MxnComponent::new(rank);
+            let data =
+                mxn.register_allocated("field", src.clone(), AccessMode::ReadWrite).unwrap();
+            let mut conn = mxn
+                .export_field(ic, "field", "field", ConnectionKind::Persistent { period: PERIOD })
+                .unwrap();
+            for step in 0..STEPS {
+                {
+                    // "Simulation": the field is everywhere equal to the step.
+                    let mut d = data.write();
+                    for i in 0..d.num_patches() {
+                        let (_, buf) = d.patch_mut(i);
+                        buf.fill(step as f64);
+                    }
+                }
+                conn.data_ready(ic, mxn.registry()).unwrap();
+            }
+            assert_eq!(conn.stats(), (STEPS, STEPS.div_ceil(PERIOD as u64)));
+        } else {
+            let ic = ctx.intercomm(0);
+            let mut mxn = mxn::core::MxnComponent::new(rank);
+            let data = mxn.register_allocated("field", dst.clone(), AccessMode::Write).unwrap();
+            let mut conn = mxn.accept_connection(ic).unwrap();
+            let mut seen = Vec::new();
+            for _ in 0..STEPS {
+                if let TransferOutcome::Transferred { .. } =
+                    conn.data_ready(ic, mxn.registry()).unwrap()
+                {
+                    seen.push(*data.read().iter().next().unwrap().1);
+                }
+            }
+            // Source steps 0, 3, 6 were transferred.
+            assert_eq!(seen, vec![0.0, 3.0, 6.0]);
+        }
+    });
+}
+
+/// The full CCA picture: each side assembles a direct-connected framework,
+/// registers the M×N component as a provides port, and the application
+/// component drives the coupling through its uses port (Figure 3).
+#[test]
+fn framework_assembled_coupling() {
+    struct MxnProvider {
+        rank: usize,
+    }
+    impl Component for MxnProvider {
+        fn set_services(&mut self, s: &Services) -> FwResult<()> {
+            s.add_provides_port("mxn", MXN_PORT_TYPE, mxn_port(self.rank))
+        }
+    }
+
+    struct App {
+        services: Option<Services>,
+    }
+    impl Component for App {
+        fn set_services(&mut self, s: &Services) -> FwResult<()> {
+            s.register_uses_port("coupler", MXN_PORT_TYPE)?;
+            self.services = Some(s.clone());
+            Ok(())
+        }
+    }
+
+    let extents = Extents::new([4, 4]);
+    let src = Dad::block(extents.clone(), &[2, 1]).unwrap();
+    let dst = Dad::block(extents.clone(), &[2, 1]).unwrap();
+
+    Universe::run(&[2, 2], |_, ctx| {
+        // SPMD assembly: the same component graph on every rank (a cohort).
+        let fw = Framework::new();
+        fw.add_component("mxn", &mut MxnProvider { rank: ctx.comm.rank() }).unwrap();
+        let mut app = App { services: None };
+        fw.add_component("app", &mut app).unwrap();
+        fw.connect("app", "coupler", "mxn", "mxn").unwrap();
+
+        let port: MxnPort = app.services.unwrap().get_port("coupler").unwrap();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let data = {
+                let mut guard = port.write();
+                guard.register_allocated("u", src.clone(), AccessMode::Read).unwrap()
+            };
+            {
+                let mut d = data.write();
+                for i in 0..d.num_patches() {
+                    let (_, buf) = d.patch_mut(i);
+                    buf.fill(42.0);
+                }
+            }
+            let mut conn = port
+                .write()
+                .export_field(ic, "u", "u", ConnectionKind::OneShot)
+                .unwrap();
+            conn.data_ready(ic, port.read().registry()).unwrap();
+        } else {
+            let ic = ctx.intercomm(0);
+            let data = {
+                let mut guard = port.write();
+                guard.register_allocated("u", dst.clone(), AccessMode::Write).unwrap()
+            };
+            let mut conn = port.write().accept_connection(ic).unwrap();
+            conn.data_ready(ic, port.read().registry()).unwrap();
+            assert!(data.read().iter().all(|(_, &v)| v == 42.0));
+        }
+    });
+}
+
+/// Bidirectional coupling (fluid ↔ structure): both sides export one field
+/// and import another over the same intercommunicator, simultaneously.
+#[test]
+fn bidirectional_exchange() {
+    let extents = Extents::new([6, 4]);
+    let a_dad = Dad::block(extents.clone(), &[3, 1]).unwrap();
+    let b_dad = Dad::block(extents.clone(), &[1, 2]).unwrap();
+
+    Universe::run(&[3, 2], |_, ctx| {
+        let rank = ctx.comm.rank();
+        let mut mxn = mxn::core::MxnComponent::new(rank);
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let pressure = Arc::new(parking_lot_rwlock(LocalArray::from_fn(
+                &a_dad,
+                rank,
+                |idx| (idx[0] * 4 + idx[1]) as f64,
+            )));
+            mxn.register_field("pressure", a_dad.clone(), AccessMode::Read, pressure).unwrap();
+            let disp =
+                mxn.register_allocated("displacement", a_dad.clone(), AccessMode::Write).unwrap();
+            let mut out =
+                mxn.export_field(ic, "pressure", "pressure", ConnectionKind::OneShot).unwrap();
+            let mut inc = mxn.accept_connection(ic).unwrap();
+            out.data_ready(ic, mxn.registry()).unwrap();
+            inc.data_ready(ic, mxn.registry()).unwrap();
+            for (idx, &v) in disp.read().iter() {
+                assert_eq!(v, (idx[0] * 4 + idx[1]) as f64 * -1.0);
+            }
+        } else {
+            let ic = ctx.intercomm(0);
+            let disp = Arc::new(parking_lot_rwlock(LocalArray::from_fn(
+                &b_dad,
+                rank,
+                |idx| (idx[0] * 4 + idx[1]) as f64 * -1.0,
+            )));
+            mxn.register_field("displacement", b_dad.clone(), AccessMode::Read, disp).unwrap();
+            let pressure =
+                mxn.register_allocated("pressure", b_dad.clone(), AccessMode::Write).unwrap();
+            let mut inc = mxn.accept_connection(ic).unwrap();
+            let mut out = mxn
+                .export_field(ic, "displacement", "displacement", ConnectionKind::OneShot)
+                .unwrap();
+            inc.data_ready(ic, mxn.registry()).unwrap();
+            out.data_ready(ic, mxn.registry()).unwrap();
+            for (idx, &v) in pressure.read().iter() {
+                assert_eq!(v, (idx[0] * 4 + idx[1]) as f64);
+            }
+        }
+    });
+}

@@ -1,0 +1,181 @@
+//! Failure injection: the error paths a production coupling middleware
+//! must turn into diagnoses rather than hangs or silent corruption.
+
+use mxn::core::{ConnectionKind, Direction, FieldRegistry, MxnConnection, MxnError};
+use mxn::dad::{AccessMode, Dad, Extents};
+use mxn::framework::{serve, AnyPayload, RemotePort, RemoteService};
+use mxn::runtime::{RuntimeError, Src, Tag, Universe, World};
+
+/// RMI marshalling type confusion is caught, not UB: the callee asked for
+/// the wrong payload type.
+#[test]
+fn rmi_type_confusion_is_detected() {
+    struct WrongTypes;
+    impl RemoteService for WrongTypes {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+            // Service expects a String but the caller sent f64.
+            match arg.downcast::<String>() {
+                Ok(_) => AnyPayload::new(0u8),
+                Err(e) => AnyPayload::new(format!("caught: {e}")),
+            }
+        }
+    }
+    Universe::run(&[1, 1], |_, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let port = RemotePort::to_rank(0);
+            let reply: String = port.call(ic, 0, 3.75f64).unwrap();
+            assert!(reply.contains("caught"), "type confusion surfaced as an error");
+            port.shutdown(ic).unwrap();
+        } else {
+            serve(ctx.intercomm(0), &WrongTypes).unwrap();
+        }
+    });
+}
+
+/// A typed receive that matches a wrong-typed message reports the sender
+/// and tag instead of panicking.
+#[test]
+fn runtime_type_mismatch_reports_source() {
+    World::run(2, |p| {
+        let c = p.world();
+        if c.rank() == 0 {
+            c.send(1, 9, vec![1.0f64, 2.0]).unwrap();
+        } else {
+            let e = c.recv::<Vec<i32>>(0, 9).unwrap_err();
+            match e {
+                RuntimeError::TypeMismatch { src, tag, expected } => {
+                    assert_eq!((src, tag), (0, 9));
+                    assert!(expected.contains("i32"));
+                }
+                other => panic!("unexpected error {other}"),
+            }
+        }
+    });
+}
+
+/// Connecting to a field the peer never registered fails cleanly on BOTH
+/// sides: the acceptor's validation error is NACKed back, so the
+/// initiator gets a handshake error instead of hanging forever.
+#[test]
+fn connection_to_missing_field_fails_cleanly() {
+    Universe::run(&[1, 1], |_, ctx| {
+        let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut reg = FieldRegistry::new(0);
+            reg.register_allocated("f", dad, AccessMode::Read).unwrap();
+            let e = MxnConnection::initiate(
+                ic,
+                &reg,
+                0,
+                "f",
+                "nope",
+                Direction::Export,
+                ConnectionKind::OneShot,
+            )
+            .unwrap_err();
+            match e {
+                MxnError::Handshake { detail } => {
+                    assert!(detail.contains("nope"), "rejection names the field: {detail}")
+                }
+                other => panic!("unexpected {other}"),
+            }
+        } else {
+            let ic = ctx.intercomm(0);
+            let reg = FieldRegistry::new(0); // nothing registered
+            let e = MxnConnection::accept(ic, &reg, 0).unwrap_err();
+            assert!(matches!(e, MxnError::FieldNotFound { .. }));
+        }
+    });
+}
+
+/// Wrong access mode on the accepting side: AccessDenied locally, a
+/// handshake rejection remotely.
+#[test]
+fn acceptor_access_mode_rejection_propagates() {
+    Universe::run(&[1, 1], |_, ctx| {
+        let dad = Dad::block(Extents::new([4]), &[1]).unwrap();
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut reg = FieldRegistry::new(0);
+            reg.register_allocated("src_field", dad, AccessMode::Read).unwrap();
+            let e = MxnConnection::initiate(
+                ic,
+                &reg,
+                0,
+                "src_field",
+                "read_only_sink",
+                Direction::Export,
+                ConnectionKind::OneShot,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(e, MxnError::Handshake { ref detail } if detail.contains("write")),
+                "initiator learns why: {e}"
+            );
+        } else {
+            let ic = ctx.intercomm(0);
+            let mut reg = FieldRegistry::new(0);
+            reg.register_allocated("read_only_sink", dad, AccessMode::Read).unwrap();
+            let e = MxnConnection::accept(ic, &reg, 0).unwrap_err();
+            assert!(matches!(e, MxnError::AccessDenied { needed: "write", .. }));
+        }
+    });
+}
+
+/// DCA redistribution specs are validated: counts exceeding the buffer and
+/// wrong peer counts are rejected before any message is sent.
+#[test]
+fn dca_spec_validation() {
+    use mxn::dca::{alltoallv_within, AlltoallvSpec};
+    World::run(2, |p| {
+        let comm = p.world();
+        let data = vec![1.0, 2.0];
+        // Chunk runs past the end of the buffer.
+        let bad = AlltoallvSpec::new(vec![2, 2], vec![0, 1]).unwrap();
+        let e = alltoallv_within(comm, &data, &bad).unwrap_err();
+        assert!(matches!(e, RuntimeError::CollectiveMismatch { .. }));
+        // Wrong number of peers.
+        let wrong_peers = AlltoallvSpec::contiguous(&[1]);
+        let e = alltoallv_within(comm, &data, &wrong_peers).unwrap_err();
+        assert!(matches!(e, RuntimeError::CollectiveMismatch { .. }));
+        // A valid spec still works afterwards (no poisoned state).
+        let ok = AlltoallvSpec::contiguous(&[1, 1]);
+        let got = alltoallv_within(comm, &data, &ok).unwrap();
+        assert_eq!(got.len(), 2);
+    });
+}
+
+/// A panicking rank aborts the world: blocked peers get `Aborted` instead
+/// of hanging, and the panic is re-thrown to the caller.
+#[test]
+fn rank_panic_unblocks_the_world() {
+    let result = std::panic::catch_unwind(|| {
+        Universe::run(&[2, 1], |_, ctx| {
+            if ctx.program == 0 && ctx.comm.rank() == 1 {
+                panic!("injected failure");
+            }
+            // Everyone else blocks on traffic that will never come.
+            let e = ctx.comm.recv::<u8>(Src::Any, Tag::Any).unwrap_err();
+            assert_eq!(e, RuntimeError::Aborted);
+        });
+    });
+    assert!(result.is_err(), "the injected panic must propagate");
+}
+
+/// Registering storage of the wrong shape is rejected with exact numbers.
+#[test]
+fn storage_shape_mismatch_diagnosed() {
+    let dad4 = Dad::block(Extents::new([4, 4]), &[2, 1]).unwrap();
+    let dad6 = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+    let mut reg = FieldRegistry::new(0);
+    let storage = reg.register_allocated("a", dad6, AccessMode::Read).unwrap();
+    let e = reg.register("b", dad4, AccessMode::Read, storage).unwrap_err();
+    match e {
+        MxnError::StorageMismatch { expected, actual, .. } => {
+            assert_eq!((expected, actual), (8, 18));
+        }
+        other => panic!("unexpected {other}"),
+    }
+}

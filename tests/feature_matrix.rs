@@ -1,0 +1,38 @@
+//! Figure 4 reproduction: every row of the project feature matrix is
+//! verified by a live probe of the corresponding implementation.
+
+use mxn::feature_matrix::{build, render, ParallelDataKind};
+
+#[test]
+fn all_rows_verify_and_match_the_paper() {
+    let rows = build();
+    assert_eq!(rows.len(), 5, "the five projects of Figure 4");
+
+    // Every probe must succeed.
+    for r in &rows {
+        assert!(r.verified, "probe failed for {}", r.project);
+    }
+
+    // The PRMI column of Figure 4: DCA yes, InterComm no, MCT no,
+    // MxN Component no, SciRun2 yes.
+    let by_name = |n: &str| rows.iter().find(|r| r.project.contains(n)).unwrap();
+    assert!(by_name("DCA").prmi);
+    assert!(!by_name("InterComm").prmi);
+    assert!(!by_name("MCT").prmi);
+    assert!(!by_name("MxN Component").prmi);
+    assert!(by_name("SciRun2").prmi);
+
+    // The parallel-data column.
+    assert_eq!(by_name("DCA").parallel_data, ParallelDataKind::MpiArrays);
+    assert_eq!(by_name("InterComm").parallel_data, ParallelDataKind::DenseArrays);
+    assert_eq!(by_name("MCT").parallel_data, ParallelDataKind::ArraysAndGrids);
+    assert_eq!(by_name("MxN Component").parallel_data, ParallelDataKind::Sidl);
+    assert_eq!(by_name("SciRun2").parallel_data, ParallelDataKind::Sidl);
+
+    // Rendering includes every project and the verification state.
+    let table = render(&rows);
+    for r in &rows {
+        assert!(table.contains(r.project));
+    }
+    assert!(!table.contains("FAILED"));
+}

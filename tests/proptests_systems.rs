@@ -1,0 +1,265 @@
+//! Property-based tests on the higher-level systems: MCT maps and
+//! routers, InterComm matching rules, halo plans, PRMI mappings, particle
+//! decompositions and pipelines.
+
+use proptest::prelude::*;
+
+use mxn::dad::{Dad, Extents, Region};
+use mxn::intercomm::{MatchDecision, MatchRule};
+use mxn::mct::{GlobalSegMap, Segment};
+use mxn::prmi::{providers_of, respondents_of};
+use mxn::schedule::HaloSchedule;
+
+/// Strategy: a random valid segment map of `gsize` points over `nranks`.
+fn gsmap(gsize: usize, nranks: usize) -> impl Strategy<Value = GlobalSegMap> {
+    // Random cut points + random owners.
+    proptest::collection::vec(0..gsize, 0..6).prop_flat_map(move |mut cuts| {
+        cuts.push(0);
+        cuts.push(gsize);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let nseg = cuts.len() - 1;
+        proptest::collection::vec(0..nranks, nseg).prop_map(move |owners| {
+            let segments: Vec<Segment> = cuts
+                .windows(2)
+                .zip(&owners)
+                .map(|(w, &rank)| Segment { start: w[0], length: w[1] - w[0], rank })
+                .collect();
+            GlobalSegMap::new(gsize, nranks, segments).expect("construction is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Segment maps: ownership, local indexing and segment lists agree.
+    #[test]
+    fn gsmap_invariants(map in gsmap(64, 4)) {
+        let mut seen = vec![0usize; 64];
+        for r in 0..4 {
+            let sl = map.as_segment_list(r);
+            prop_assert_eq!(sl.total_len(), map.lsize(r));
+            for l in 0..map.lsize(r) {
+                let g = map.global_index(r, l).expect("local index maps back");
+                prop_assert_eq!(map.local_index(r, g), Some(l));
+                prop_assert_eq!(map.owner(g), r);
+                prop_assert!(sl.contains(g));
+                seen[g] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each point stored exactly once");
+    }
+
+    /// InterComm rules: decisions are *final* — once a rule decides at
+    /// frontier f, any additional versions beyond f never change it.
+    #[test]
+    fn match_decisions_are_final(
+        versions in proptest::collection::btree_set(0..40u32, 0..10),
+        later in proptest::collection::btree_set(41..80u32, 0..5),
+        request in 0..60u32,
+        rule_pick in 0..5usize,
+        tol in 1..10u32,
+    ) {
+        let rule = match rule_pick {
+            0 => MatchRule::Exact,
+            1 => MatchRule::LowerBound,
+            2 => MatchRule::UpperBound,
+            3 => MatchRule::Nearest { tol: tol as f64 },
+            _ => MatchRule::RegularInterval { start: 0.0, every: 4.0 },
+        };
+        let vs: Vec<f64> = versions.iter().map(|&v| v as f64).collect();
+        let frontier = vs.last().copied().unwrap_or(0.0);
+        let request = request as f64;
+        let decision = rule.decide(&vs, frontier, request);
+        if decision != MatchDecision::Pending {
+            // Append strictly-later versions; decision must not change.
+            let mut extended = vs.clone();
+            extended.extend(later.iter().map(|&v| v as f64));
+            let f2 = extended.last().copied().unwrap_or(frontier).max(frontier);
+            prop_assert_eq!(
+                rule.decide(&extended, f2, request),
+                decision,
+                "decision changed after later exports (rule {:?})",
+                rule
+            );
+        }
+        // And at infinite frontier every rule decides.
+        prop_assert_ne!(rule.decide(&vs, f64::INFINITY, request), MatchDecision::Pending);
+    }
+
+    /// Matched versions always satisfy their rule's contract.
+    #[test]
+    fn matched_versions_satisfy_the_rule(
+        versions in proptest::collection::btree_set(0..40u32, 1..12),
+        request in 0..50u32,
+    ) {
+        let vs: Vec<f64> = versions.iter().map(|&v| v as f64).collect();
+        let request = request as f64;
+        for rule in [
+            MatchRule::Exact,
+            MatchRule::LowerBound,
+            MatchRule::UpperBound,
+            MatchRule::Nearest { tol: 3.0 },
+        ] {
+            if let MatchDecision::Matched { version } = rule.decide(&vs, f64::INFINITY, request) {
+                prop_assert!(vs.contains(&version));
+                match rule {
+                    MatchRule::Exact => prop_assert_eq!(version, request),
+                    MatchRule::LowerBound => {
+                        prop_assert!(version <= request);
+                        prop_assert!(vs.iter().all(|&v| v > request || v <= version));
+                    }
+                    MatchRule::UpperBound => {
+                        prop_assert!(version >= request);
+                        prop_assert!(vs.iter().all(|&v| v < request || v >= version));
+                    }
+                    MatchRule::Nearest { tol } => {
+                        let d = (version - request).abs();
+                        prop_assert!(d <= tol);
+                        prop_assert!(vs.iter().all(|&v| (v - request).abs() >= d));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// PRMI M↔N mappings: for any (m, n), every provider executes exactly
+    /// once and every caller receives exactly one return.
+    #[test]
+    fn prmi_mapping_is_a_double_cover(m in 1..20usize, n in 1..20usize) {
+        let mut provider_hits = vec![0usize; n];
+        for k in 0..m {
+            for j in providers_of(k, m, n) {
+                provider_hits[j] += 1;
+            }
+        }
+        prop_assert!(provider_hits.iter().all(|&c| c == 1));
+        let mut caller_hits = vec![0usize; m];
+        for j in 0..n {
+            for k in respondents_of(j, m, n) {
+                caller_hits[k] += 1;
+            }
+        }
+        prop_assert!(caller_hits.iter().all(|&c| c == 1));
+    }
+
+    /// Halo plans: the receive regions tile exactly the fringe
+    /// (expanded minus owned), and sends mirror the neighbours' receives.
+    #[test]
+    fn halo_plan_tiles_the_fringe(
+        rows in 4..20usize,
+        cols in 4..20usize,
+        gr in 1..4usize,
+        gc in 1..4usize,
+        width in 1..3usize,
+    ) {
+        let dad = Dad::block(Extents::new([rows, cols]), &[gr, gc]).unwrap();
+        let p = gr * gc;
+        // Skip degenerate decompositions where some rank owns nothing.
+        for r in 0..p {
+            if dad.patches(r).len() != 1 {
+                return Ok(());
+            }
+        }
+        let plans: Vec<HaloSchedule> =
+            (0..p).map(|r| HaloSchedule::build(&dad, r, width)).collect();
+        for (r, plan) in plans.iter().enumerate() {
+            // Fringe cells = expanded \ owned; each must be covered once
+            // by recv regions, and owned by the region's peer.
+            let mut covered = std::collections::HashMap::new();
+            for idx in plan.expanded().iter() {
+                if !plan.owned().contains(&idx) {
+                    covered.insert(idx.clone(), 0usize);
+                }
+            }
+            prop_assert_eq!(covered.len(), plan.halo_cells());
+            let mut halo_sum = 0;
+            for peer in 0..p {
+                if peer == r { continue; }
+                // This peer's send-to-r regions must equal r's recv-from-peer.
+                let my_plan = &plans[r];
+                let _ = my_plan;
+                for idx in dad.patches(peer)[0].iter() {
+                    if plan.expanded().contains(&idx) {
+                        halo_sum += 1;
+                        if let Some(c) = covered.get_mut(&idx) {
+                            *c += 1;
+                        } else {
+                            prop_assert!(false, "halo cell {idx:?} not in fringe");
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(halo_sum, plan.halo_cells());
+            prop_assert!(covered.values().all(|&c| c == 1), "fringe covered exactly once");
+        }
+        // Send/recv mirror property across ranks: what r sends to s is
+        // exactly what s expects to receive from r.
+        for r in 0..p {
+            for s in 0..p {
+                if r == s { continue; }
+                let r_sends_to_s: Vec<&Region> = plans[r]
+                    .sends()
+                    .iter()
+                    .filter(|(peer, _)| *peer == s)
+                    .map(|(_, reg)| reg)
+                    .collect();
+                let s_recvs_from_r: Vec<&Region> = plans[s]
+                    .recvs()
+                    .iter()
+                    .filter(|(peer, _)| *peer == r)
+                    .map(|(_, reg)| reg)
+                    .collect();
+                prop_assert_eq!(r_sends_to_s, s_recvs_from_r);
+            }
+        }
+    }
+
+    /// Particle decomposition: every position in the domain has exactly
+    /// one owner and cell mapping stays in bounds.
+    #[test]
+    fn particle_ownership_is_total(
+        gx in 1..4usize,
+        gy in 1..4usize,
+        px in 0.0..1.0f64,
+        py in 0.0..1.0f64,
+    ) {
+        use mxn::core::ParticleField;
+        let cells = Dad::block(Extents::new([8, 8]), &[gx, gy]).unwrap();
+        let f = ParticleField::new([1.0, 1.0], cells.clone(), 0);
+        let owner = f.owner_of([px, py]);
+        prop_assert!(owner < cells.nranks());
+        let c = f.cell_of([px, py]);
+        prop_assert!(c[0] < 8 && c[1] < 8);
+    }
+
+    /// Pipeline optimization is semantics-preserving for random affine
+    /// chains (pure filter part, no communication needed).
+    #[test]
+    fn pipeline_fusion_preserves_semantics(
+        coeffs in proptest::collection::vec((-3.0..3.0f64, -5.0..5.0f64), 1..6),
+        x in -100.0..100.0f64,
+    ) {
+        use mxn::pipeline::fuse_affine;
+        let mut stepwise = x;
+        for &(a, b) in &coeffs {
+            stepwise = a * stepwise + b;
+        }
+        let fused = fuse_affine(&coeffs);
+        let mut v = [x];
+        use mxn::pipeline::Filter as _;
+        fused.apply(&mut v);
+        prop_assert!((v[0] - stepwise).abs() <= 1e-9 * stepwise.abs().max(1.0));
+    }
+}
+
+/// Region sanity used by the halo property (kept here to document the
+/// contract the property relies on).
+#[test]
+fn region_contains_is_half_open() {
+    let r = Region::new([0, 0], [2, 2]);
+    assert!(r.contains(&[1, 1]));
+    assert!(!r.contains(&[2, 0]));
+}
