@@ -20,11 +20,23 @@
 //!   `data_ready` call (the CUMULVS channel model).
 
 use mxn_dad::Dad;
-use mxn_runtime::{InterComm, MsgSize};
+use mxn_runtime::{InterComm, MsgSize, RuntimeError};
 use mxn_schedule::RegionSchedule;
 
 use crate::error::{MxnError, Result};
 use crate::field::FieldRegistry;
+
+/// Rewrites a runtime-level failure detection (`PeerDead`) into the
+/// coupling-level [`MxnError::PeerFailed`], naming the first dead world
+/// rank on either side of the intercomm.
+fn map_dead(ic: &InterComm, e: MxnError) -> MxnError {
+    match e {
+        MxnError::Runtime(RuntimeError::PeerDead { rank }) => {
+            MxnError::PeerFailed { rank: ic.any_dead().unwrap_or(rank) }
+        }
+        other => other,
+    }
+}
 
 /// Base of the tag space used by M×N data transfers.
 const CONN_TAG_BASE: i32 = 1 << 20;
@@ -190,10 +202,11 @@ impl MxnConnection {
                         initiator_direction: direction,
                         dad: entry.dad().clone(),
                     },
-                )?;
+                )
+                .map_err(|e| map_dead(ic, e.into()))?;
             }
         }
-        let ack: ConnAck = ic.recv(0, ACK_TAG)?;
+        let ack: ConnAck = ic.recv(0, ACK_TAG).map_err(|e| map_dead(ic, e.into()))?;
         let peer_dad = match ack.body {
             Ok(dad) => dad,
             Err(reason) => {
@@ -218,7 +231,7 @@ impl MxnConnection {
     /// Accepts the next incoming connection request. Collective over the
     /// local program. `my_id` as in [`MxnConnection::initiate`].
     pub fn accept(ic: &InterComm, registry: &FieldRegistry, my_id: u32) -> Result<MxnConnection> {
-        let req: ConnReq = ic.recv(0, REQ_TAG)?;
+        let req: ConnReq = ic.recv(0, REQ_TAG).map_err(|e| map_dead(ic, e.into()))?;
         let direction = req.initiator_direction.opposite();
         let entry = match direction {
             Direction::Export => registry.check_exportable(&req.field),
@@ -340,22 +353,33 @@ impl MxnConnection {
         self.calls += 1;
         let due = match self.kind {
             ConnectionKind::OneShot => self.transfers == 0,
-            ConnectionKind::Persistent { period } => (self.calls - 1) % period as u64 == 0,
+            ConnectionKind::Persistent { period } => (self.calls - 1).is_multiple_of(period as u64),
         };
         if !due {
             return Ok(TransferOutcome::Skipped);
         }
         let entry = registry.get(&self.field)?;
-        let elements = match self.direction {
+        let moved = match self.direction {
             Direction::Export => {
                 let data = entry.data().read();
-                self.schedule.execute_send(ic, &data, self.tag)?
+                self.schedule.execute_send(ic, &data, self.tag)
             }
             Direction::Import => {
                 let mut data = entry.data().write();
-                self.schedule.execute_recv(ic, &mut data, self.tag)?
+                self.schedule.execute_recv(ic, &mut data, self.tag)
             }
         };
+        let elements = match moved {
+            Ok(n) => n,
+            Err(e) => return Err(map_dead(ic, e.into())),
+        };
+        // Consistent collective failure: even when this rank's own pairwise
+        // schedule completed, a death anywhere in the coupling voids the
+        // transfer, so every surviving rank reports the same outcome
+        // instead of some ranks silently succeeding on partial data.
+        if let Some(rank) = ic.any_dead() {
+            return Err(MxnError::PeerFailed { rank });
+        }
         self.transfers += 1;
         if self.kind == ConnectionKind::OneShot {
             self.closed = true;
@@ -392,7 +416,9 @@ impl MxnConnection {
                 return Ok(rounds);
             }
             let mut data = entry.data().write();
-            self.schedule.execute_recv(ic, &mut data, self.tag)?;
+            self.schedule
+                .execute_recv(ic, &mut data, self.tag)
+                .map_err(|e| map_dead(ic, e.into()))?;
             drop(data);
             self.transfers += 1;
             rounds += 1;

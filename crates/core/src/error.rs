@@ -45,6 +45,14 @@ pub enum MxnError {
         /// What was inconsistent.
         detail: String,
     },
+    /// A participating rank (on either side of the coupling) died during
+    /// connection establishment or a collective transfer. Every surviving
+    /// rank of the transfer reports this consistently — no partial silent
+    /// delivery.
+    PeerFailed {
+        /// World rank of the (first) failed participant.
+        rank: usize,
+    },
     /// Underlying messaging failure.
     Runtime(RuntimeError),
 }
@@ -65,6 +73,9 @@ impl fmt::Display for MxnError {
             MxnError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             MxnError::ConnectionClosed => write!(f, "connection is closed"),
             MxnError::Handshake { detail } => write!(f, "connection handshake failed: {detail}"),
+            MxnError::PeerFailed { rank } => {
+                write!(f, "world rank {rank} failed during an M×N operation")
+            }
             MxnError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }

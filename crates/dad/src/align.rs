@@ -25,11 +25,10 @@ impl AlignedArray {
         if extents.ndim() != t_ext.ndim() || offsets.len() != t_ext.ndim() {
             return Err("alignment rank mismatch".into());
         }
-        for d in 0..extents.ndim() {
-            if offsets[d] + extents.dim(d) > t_ext.dim(d) {
+        for (d, &off) in offsets.iter().enumerate() {
+            if off + extents.dim(d) > t_ext.dim(d) {
                 return Err(format!(
-                    "axis {d}: offset {} + extent {} exceeds template extent {}",
-                    offsets[d],
+                    "axis {d}: offset {off} + extent {} exceeds template extent {}",
                     extents.dim(d),
                     t_ext.dim(d)
                 ));
@@ -69,8 +68,8 @@ impl AlignedArray {
     /// aligned span.
     pub fn from_template(&self, cell: &[usize]) -> Option<Vec<usize>> {
         let mut idx = Vec::with_capacity(cell.len());
-        for d in 0..cell.len() {
-            let c = cell[d].checked_sub(self.offsets[d])?;
+        for (d, &cv) in cell.iter().enumerate() {
+            let c = cv.checked_sub(self.offsets[d])?;
             if c >= self.extents.dim(d) {
                 return None;
             }

@@ -233,9 +233,9 @@ mod tests {
         let mut seen = vec![0usize; extent];
         for q in 0..p {
             for (s, l) in dist.segments(q, extent) {
-                for i in s..s + l {
+                for (i, slot) in seen.iter_mut().enumerate().skip(s).take(l) {
                     assert_eq!(dist.owner(i, extent), q);
-                    seen[i] += 1;
+                    *slot += 1;
                 }
             }
             assert_eq!(dist.local_size(q, extent), dist.segments(q, extent).iter().map(|x| x.1).sum::<usize>());

@@ -189,8 +189,8 @@ mod tests {
             }
             let total: usize = per_rank.iter().sum();
             assert_eq!(total, d.extents().total());
-            for r in 0..d.nranks() {
-                assert_eq!(d.local_size(r), per_rank[r]);
+            for (r, &size) in per_rank.iter().enumerate() {
+                assert_eq!(d.local_size(r), size);
             }
         }
     }

@@ -40,7 +40,7 @@ impl ExplicitDist {
                 return Err(format!("patch {k} owner {owner} out of range ({nranks} ranks)"));
             }
             if !patch.is_empty() {
-                let inside = full.intersect(patch).map_or(false, |i| i == *patch);
+                let inside = full.intersect(patch).is_some_and(|i| i == *patch);
                 if !inside {
                     return Err(format!("patch {k} exceeds the template bounds"));
                 }
@@ -130,8 +130,8 @@ mod tests {
             counts[d.owner(&idx)] += 1;
         }
         assert_eq!(counts, vec![12, 2, 2]);
-        for r in 0..3 {
-            assert_eq!(d.local_size(r), counts[r]);
+        for (r, &count) in counts.iter().enumerate() {
+            assert_eq!(d.local_size(r), count);
             for p in d.patches(r) {
                 for idx in p.iter() {
                     assert_eq!(d.owner(&idx), r);

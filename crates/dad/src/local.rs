@@ -176,7 +176,7 @@ impl<T: Copy> LocalArray<T> {
         let single = self
             .patches
             .iter()
-            .position(|(r, _)| r.intersect(sub).map_or(false, |i| i == *sub));
+            .position(|(r, _)| r.intersect(sub).is_some_and(|i| i == *sub));
         if let Some(p) = single {
             let (region, buf) = &mut self.patches[p];
             let mut cursor = 0;

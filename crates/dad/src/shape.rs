@@ -203,8 +203,8 @@ impl Region {
     pub fn local_offset(&self, idx: &[usize]) -> usize {
         assert!(self.contains(idx), "index {idx:?} outside region");
         let mut off = 0;
-        for d in 0..self.ndim() {
-            off = off * (self.hi[d] - self.lo[d]) + (idx[d] - self.lo[d]);
+        for (d, &i) in idx.iter().enumerate().take(self.ndim()) {
+            off = off * (self.hi[d] - self.lo[d]) + (i - self.lo[d]);
         }
         off
     }

@@ -60,7 +60,7 @@ impl DriPartition {
                 }
             })
             .collect();
-        let template = Template::new(Extents::new(dims.to_vec()), axes).map_err(|e| e)?;
+        let template = Template::new(Extents::new(dims.to_vec()), axes)?;
         Ok(DriPartition { dad: Dad::regular(template), layout })
     }
 

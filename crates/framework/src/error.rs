@@ -48,6 +48,16 @@ pub enum FrameworkError {
         /// The requested Rust type.
         requested: &'static str,
     },
+    /// A policy-governed RMI call used up all its attempts without seeing a
+    /// response (the provider may still have executed the call).
+    RetriesExhausted {
+        /// The method id of the failing call.
+        method: u32,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: RuntimeError,
+    },
     /// An underlying messaging failure.
     Runtime(RuntimeError),
 }
@@ -75,6 +85,10 @@ impl fmt::Display for FrameworkError {
             FrameworkError::PortDowncast { port, requested } => {
                 write!(f, "port `{port}` does not hold a `{requested}`")
             }
+            FrameworkError::RetriesExhausted { method, attempts, last } => write!(
+                f,
+                "RMI method {method} failed after {attempts} attempt(s); last error: {last}"
+            ),
             FrameworkError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }

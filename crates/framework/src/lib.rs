@@ -32,7 +32,7 @@ pub use sidl::{
     SidlType,
 };
 pub use remote::{
-    publish_port_names, receive_port_names, serve, shutdown_all, AnyPayload, RemotePort,
-    RemoteService, RmiRequest, RmiResponse, ServeStats, METHOD_SHUTDOWN, RMI_REQ_TAG,
-    RMI_RESP_TAG,
+    publish_port_names, receive_port_names, serve, shutdown_all, AnyPayload, CallPolicy,
+    RemotePort, RemoteService, RmiRequest, RmiResponse, ServeStats, METHOD_SHUTDOWN,
+    NACK_CALL_ID, RMI_REQ_TAG, RMI_RESP_TAG,
 };

@@ -8,10 +8,11 @@
 //! semantics of PRMI are layered on top by the `mxn-prmi` crate.
 
 use std::any::Any;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
-use mxn_runtime::{Comm, InterComm, MsgSize, Result as RtResult, Src};
+use mxn_runtime::{Comm, InterComm, MsgSize, Result as RtResult, RuntimeError, Src};
 
 use crate::error::{FrameworkError, Result};
 
@@ -21,6 +22,18 @@ pub const RMI_REQ_TAG: i32 = 0x524d; // "RM"
 pub const RMI_RESP_TAG: i32 = 0x5252; // "RR"
 /// Reserved method id requesting server shutdown.
 pub const METHOD_SHUTDOWN: u32 = u32::MAX;
+/// `call_id` of a NACK response: the server received a request it could not
+/// decode (corrupt or mistyped) and is asking the sender to retry.
+pub const NACK_CALL_ID: u64 = u64::MAX;
+
+/// How often a blocked server re-checks client liveness, so a client that
+/// dies without sending its shutdown does not wedge the serve loop.
+const SERVE_LIVENESS_POLL: Duration = Duration::from_millis(25);
+
+/// Process-wide idempotency-token source. Token 0 means "no token": the
+/// server only deduplicates requests that carry a non-zero token, so plain
+/// (unretried) calls never pay for or collide in the dedup table.
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// A type-erased argument or result with explicit wire-size accounting.
 pub struct AnyPayload {
@@ -85,6 +98,10 @@ pub struct RmiRequest {
     pub method: u32,
     /// Client-side correlation id.
     pub call_id: u64,
+    /// Idempotency token: non-zero on policy-governed (retryable) calls.
+    /// Requests with the same `(sender, token)` pair are executed at most
+    /// once by the server; 0 disables deduplication.
+    pub token: u64,
     /// One-way methods expect no response (paper §2.4).
     pub oneway: bool,
     /// The marshalled argument.
@@ -93,7 +110,7 @@ pub struct RmiRequest {
 
 impl MsgSize for RmiRequest {
     fn msg_size(&self) -> usize {
-        4 + 8 + 1 + self.arg.msg_size()
+        4 + 8 + 8 + 1 + self.arg.msg_size()
     }
 }
 
@@ -125,29 +142,124 @@ pub struct ServeStats {
     pub calls: usize,
     /// Of which one-way.
     pub oneway_calls: usize,
+    /// Retransmitted requests suppressed by idempotency-token dedup.
+    pub duplicate_requests: usize,
+    /// Undecodable (corrupt or mistyped) requests answered with a NACK.
+    pub nacks: usize,
+    /// Remote ranks that died before sending their shutdown.
+    pub dead_clients: usize,
 }
 
 /// Runs a provider rank's server loop: handle requests from any remote
 /// rank until every remote rank has sent a shutdown. This is the
 /// "component blocked waiting for remote port invocations" state of §2.4.
+///
+/// The loop is robust to a lossy or failing client side:
+///
+/// * Requests carrying a non-zero idempotency token are executed **at most
+///   once** per `(client, token)`; a retransmission re-sends the cached
+///   response (when the first response's payload was built with
+///   [`AnyPayload::replicable`]) instead of re-dispatching.
+/// * A request that cannot be decoded (corrupted in flight, or not an
+///   [`RmiRequest`]) is answered with a NACK response ([`NACK_CALL_ID`])
+///   rather than unwinding the server.
+/// * A client rank that dies without sending its shutdown is detected via
+///   the liveness registry and counted as shut down, so the loop still
+///   terminates.
 pub fn serve(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> {
+    // A response aimed at a client that just died is dropped silently (the
+    // death is folded into `shut` at the next idle poll); a PeerDead caused
+    // by the *server's own* scheduled death still propagates.
+    let send_response = |dst: usize, resp: RmiResponse| -> Result<()> {
+        match ic.send(dst, RMI_RESP_TAG, resp) {
+            Err(RuntimeError::PeerDead { .. }) if ic.is_remote_dead(dst) => Ok(()),
+            other => other.map_err(Into::into),
+        }
+    };
     let mut stats = ServeStats::default();
     let mut shut: HashSet<usize> = HashSet::new();
+    // (client remote-rank, token) -> replicator of the cached response, for
+    // two-way results built with `AnyPayload::replicable`. Entries live for
+    // the duration of the serve loop (one coupling episode).
+    type Replicator = std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>;
+    let mut seen: HashMap<(usize, u64), Option<Replicator>> = HashMap::new();
     while shut.len() < ic.remote_size() {
-        let (req, info) = ic.recv_with_info::<RmiRequest>(Src::Any, RMI_REQ_TAG)?;
+        let (req, info) =
+            match ic.recv_timeout_with_info::<RmiRequest>(Src::Any, RMI_REQ_TAG, SERVE_LIVENESS_POLL)
+            {
+                Ok(v) => v,
+                Err(RuntimeError::Timeout { .. }) | Err(RuntimeError::PeerDead { .. }) => {
+                    // Idle: fold ranks that died shutdown-less into `shut`.
+                    for r in 0..ic.remote_size() {
+                        if ic.is_remote_dead(r) && shut.insert(r) {
+                            stats.dead_clients += 1;
+                        }
+                    }
+                    continue;
+                }
+                Err(RuntimeError::Corrupt { src, .. })
+                | Err(RuntimeError::TypeMismatch { src, .. }) => {
+                    stats.nacks += 1;
+                    send_response(
+                        src,
+                        RmiResponse { call_id: NACK_CALL_ID, result: AnyPayload::new(()) },
+                    )?;
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
         if req.method == METHOD_SHUTDOWN {
             shut.insert(info.src);
             continue;
         }
+        if req.token != 0 {
+            if let Some(cached) = seen.get(&(info.src, req.token)) {
+                stats.duplicate_requests += 1;
+                if !req.oneway {
+                    if let Some(replicate) = cached {
+                        send_response(
+                            info.src,
+                            RmiResponse { call_id: req.call_id, result: replicate() },
+                        )?;
+                    }
+                }
+                continue;
+            }
+        }
         let result = service.dispatch(req.method, req.arg);
         stats.calls += 1;
+        if req.token != 0 {
+            seen.insert((info.src, req.token), result.take_replicator());
+        }
         if req.oneway {
             stats.oneway_calls += 1;
         } else {
-            ic.send(info.src, RMI_RESP_TAG, RmiResponse { call_id: req.call_id, result })?;
+            send_response(info.src, RmiResponse { call_id: req.call_id, result })?;
         }
     }
     Ok(stats)
+}
+
+/// Retry/deadline policy for a synchronous RMI call over a lossy or
+/// failing transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// How long one attempt waits for the response before retrying.
+    pub deadline: Duration,
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Pause before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            deadline: Duration::from_millis(200),
+            max_retries: 3,
+            backoff: Duration::from_millis(5),
+        }
+    }
 }
 
 /// Client handle to one remote provider rank's port.
@@ -184,11 +296,90 @@ impl RemotePort {
         ic.send(
             self.provider,
             RMI_REQ_TAG,
-            RmiRequest { method, call_id, oneway: false, arg: AnyPayload::new(arg) },
+            RmiRequest { method, call_id, token: 0, oneway: false, arg: AnyPayload::new(arg) },
         )?;
-        let resp: RmiResponse = ic.recv(self.provider, RMI_RESP_TAG)?;
-        debug_assert_eq!(resp.call_id, call_id, "FIFO responses correlate");
-        resp.result.downcast::<R>()
+        loop {
+            let resp: RmiResponse = ic.recv(self.provider, RMI_RESP_TAG)?;
+            // Skip leftovers of earlier retried calls (duplicate responses)
+            // and NACKs; FIFO guarantees ours eventually arrives.
+            if resp.call_id == call_id {
+                return resp.result.downcast::<R>();
+            }
+        }
+    }
+
+    /// Synchronous RMI under a [`CallPolicy`]: retransmits the request with
+    /// the same idempotency token until a response arrives, the provider
+    /// dies, or the attempt budget runs out.
+    ///
+    /// The token makes retries safe: a provider that already executed the
+    /// call (but whose response was lost) re-sends the cached result instead
+    /// of dispatching again — exactly-once execution, at-least-once
+    /// delivery. For the cached re-send to carry the real value, the
+    /// service must build its results with [`AnyPayload::replicable`].
+    ///
+    /// `arg` must be `Clone` so every attempt can re-marshal it.
+    pub fn call_with_policy<A, R>(
+        &self,
+        ic: &InterComm,
+        method: u32,
+        arg: A,
+        policy: CallPolicy,
+    ) -> Result<R>
+    where
+        A: Any + Send + MsgSize + Clone,
+        R: 'static,
+    {
+        assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
+        let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = policy.backoff;
+        let mut last = RuntimeError::timeout(
+            format!("RMI response (method {method})"),
+            Duration::ZERO,
+            Src::Rank(self.provider),
+            RMI_RESP_TAG.into(),
+        );
+        for _attempt in 0..=policy.max_retries {
+            ic.send(
+                self.provider,
+                RMI_REQ_TAG,
+                RmiRequest {
+                    method,
+                    call_id,
+                    token,
+                    oneway: false,
+                    arg: AnyPayload::new(arg.clone()),
+                },
+            )
+            .map_err(FrameworkError::Runtime)?; // PeerDead fails fast
+            let deadline = Instant::now() + policy.deadline;
+            loop {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match ic.recv_timeout::<RmiResponse>(self.provider, RMI_RESP_TAG, remaining) {
+                    Ok(resp) if resp.call_id == call_id => return resp.result.downcast::<R>(),
+                    // Stale duplicate of an earlier call, or a NACK asking
+                    // us to retransmit: either way keep draining until our
+                    // deadline, then retry.
+                    Ok(_) => continue,
+                    Err(e @ RuntimeError::Timeout { .. }) => {
+                        last = e;
+                        break;
+                    }
+                    // A response corrupted in flight: the retransmission
+                    // will fetch the provider's cached copy.
+                    Err(RuntimeError::Corrupt { .. }) => continue,
+                    Err(e) => return Err(e.into()), // PeerDead etc. fail fast
+                }
+            }
+            std::thread::sleep(backoff);
+            backoff = backoff.saturating_mul(2);
+        }
+        Err(FrameworkError::RetriesExhausted {
+            method,
+            attempts: policy.max_retries + 1,
+            last,
+        })
     }
 
     /// One-way RMI: "the calling component continues execution immediately,
@@ -203,7 +394,7 @@ impl RemotePort {
         ic.send(
             self.provider,
             RMI_REQ_TAG,
-            RmiRequest { method, call_id, oneway: true, arg: AnyPayload::new(arg) },
+            RmiRequest { method, call_id, token: 0, oneway: true, arg: AnyPayload::new(arg) },
         )?;
         Ok(())
     }
@@ -217,6 +408,7 @@ impl RemotePort {
             RmiRequest {
                 method: METHOD_SHUTDOWN,
                 call_id: u64::MAX,
+                token: 0,
                 oneway: true,
                 arg: AnyPayload::new(()),
             },

@@ -137,15 +137,15 @@ mod tests {
     fn shards_partition_the_table() {
         let e = Extents::new([10, 10]);
         let nranks = 4;
-        let mut covered = vec![false; 100];
+        let mut covered = [false; 100];
         let mut total_bytes = 0;
         for r in 0..nranks {
             let d = PartitionedDescriptor::build(e.clone(), nranks, r, owner_fn(nranks));
             total_bytes += d.shard_bytes();
-            for pos in 0..100 {
+            for (pos, cov) in covered.iter_mut().enumerate() {
                 if let Some(o) = d.local_owner(pos) {
-                    assert!(!covered[pos], "entry {pos} sharded twice");
-                    covered[pos] = true;
+                    assert!(!*cov, "entry {pos} sharded twice");
+                    *cov = true;
                     assert_eq!(o, owner_fn(nranks)(pos));
                     assert_eq!(d.table_home(pos), r);
                 }

@@ -69,7 +69,7 @@ impl MatchRule {
         debug_assert!(versions.windows(2).all(|w| w[0] < w[1]), "versions ascending");
         match *self {
             MatchRule::Exact => {
-                if versions.iter().any(|&v| v == request) {
+                if versions.contains(&request) {
                     MatchDecision::Matched { version: request }
                 } else if frontier >= request {
                     MatchDecision::NoMatch

@@ -43,8 +43,8 @@ impl ArrayOrder {
             ArrayOrder::RowMajor => extents.unlinear(pos),
             ArrayOrder::ColMajor => {
                 let mut idx = vec![0; extents.ndim()];
-                for d in 0..extents.ndim() {
-                    idx[d] = pos % extents.dim(d);
+                for (d, slot) in idx.iter_mut().enumerate() {
+                    *slot = pos % extents.dim(d);
                     pos /= extents.dim(d);
                 }
                 idx
@@ -134,7 +134,7 @@ mod tests {
     fn both_orders_are_bijections() {
         let e = Extents::new([4, 3, 2]);
         for order in [ArrayOrder::RowMajor, ArrayOrder::ColMajor] {
-            let mut seen = vec![false; 24];
+            let mut seen = [false; 24];
             for idx in e.iter() {
                 let p = order.linear(&e, &idx);
                 assert!(!seen[p]);
@@ -175,7 +175,7 @@ mod tests {
     fn rank_segments_partition_linearization() {
         let dad = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
         for order in [ArrayOrder::RowMajor, ArrayOrder::ColMajor] {
-            let mut covered = vec![false; 36];
+            let mut covered = [false; 36];
             for r in 0..4 {
                 for p in order.rank_segments(&dad, r).positions() {
                     assert!(!covered[p], "position {p} owned twice");

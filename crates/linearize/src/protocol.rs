@@ -109,12 +109,12 @@ mod tests {
                     LocalArray::from_fn(&src_dad, ctx.comm.rank(), |idx| {
                         (idx[0] * cols + idx[1]) as f64
                     });
-                serve_requests(&ic, &src_dad, order, &local).unwrap();
+                serve_requests(ic, &src_dad, order, &local).unwrap();
             } else {
                 let ic = ctx.intercomm(0);
                 let mut local: LocalArray<f64> =
                     LocalArray::allocate(&dst_dad, ctx.comm.rank());
-                let rep = request_and_fill(&ic, &dst_dad, order, &mut local).unwrap();
+                let rep = request_and_fill(ic, &dst_dad, order, &mut local).unwrap();
                 assert_eq!(rep.elements_moved, local.len());
                 // Every received element must equal its global row-major id.
                 for (idx, &v) in local.iter() {

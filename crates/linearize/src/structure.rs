@@ -99,8 +99,8 @@ impl Graph {
                 }
             }
         }
-        for v in 0..n {
-            if !seen[v] {
+        for (v, &s) in seen.iter().enumerate().take(n) {
+            if !s {
                 out.push(v);
             }
         }

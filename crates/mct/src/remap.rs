@@ -146,11 +146,11 @@ mod tests {
         // piecewise-constant source function.
         let int_dst: f64 = (0..dst.ncells()).map(|d| y[d] * dst.width(d)).sum();
         let mut int_src = 0.0;
-        for s in 0..src.ncells() {
+        for (s, &xs) in x.iter().enumerate() {
             let lo = src.edges()[s].max(dst.edges()[0]);
             let hi = src.edges()[s + 1].min(*dst.edges().last().unwrap());
             if hi > lo {
-                int_src += x[s] * (hi - lo);
+                int_src += xs * (hi - lo);
             }
         }
         assert!((int_dst - int_src).abs() < 1e-12, "{int_dst} vs {int_src}");
@@ -162,7 +162,7 @@ mod tests {
         let dst = CellGrid1d::new(vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
         let a = conservative_remap_1d(&src, &dst);
         let sums = a.local_row_sums();
-        assert!(sums.get(&0).is_none(), "cell before the source span gets nothing");
+        assert!(!sums.contains_key(&0), "cell before the source span gets nothing");
         assert!((sums[&1] - 1.0).abs() < 1e-12);
         // Cell 2 spans [0.5, 2.0] but the source only covers [0.5, 1.0]:
         // row sum = 0.5 / 1.5.

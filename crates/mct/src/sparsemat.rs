@@ -128,17 +128,17 @@ impl SparseMatrixPlus {
                     detail: format!("row {} not owned by rank {me}", e.row),
                 });
             }
-            if !slot_of.contains_key(&e.col) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = slot_of.entry(e.col) {
                 let owner = src_map.owner(e.col);
                 needed_by_owner[owner].push(e.col);
                 order.push((owner, e.col));
-                slot_of.insert(e.col, usize::MAX); // placeholder
+                slot.insert(usize::MAX); // placeholder
             }
         }
         // Gathered buffer layout: peer-major, request order within peer.
         let mut gather_len = 0;
-        for owner in 0..comm.size() {
-            for &col in &needed_by_owner[owner] {
+        for cols in &needed_by_owner {
+            for &col in cols {
                 slot_of.insert(col, gather_len);
                 gather_len += 1;
             }
@@ -221,8 +221,7 @@ impl SparseMatrixPlus {
         }
 
         // Multi-field, cache-friendly matvec: fields outer, elements inner.
-        for f in 0..nfields {
-            let xg = &gathered[f];
+        for (f, xg) in gathered.iter().enumerate().take(nfields) {
             let yf = y.real_at_mut(f);
             yf.fill(0.0);
             for &(row, slot, w) in &self.local_elems {

@@ -19,7 +19,7 @@ pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
     let mut n = nnodes;
     let mut d = 2;
     while d * d <= n {
-        while n % d == 0 {
+        while n.is_multiple_of(d) {
             factors.push(d);
             n /= d;
         }

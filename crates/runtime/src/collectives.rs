@@ -11,9 +11,12 @@
 //! all-to-all, and a linear chain scan. Because the runtime's sends are
 //! eager (never block), the simple orderings are deadlock-free.
 
+use std::time::{Duration, Instant};
+
 use crate::comm::Comm;
 use crate::envelope::{Src, Tag};
 use crate::error::{Result, RuntimeError};
+use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::stats::TrafficClass;
 
@@ -31,7 +34,7 @@ impl Comm {
         ((seq % (1 << 18)) as i32) << 12
     }
 
-    fn coll_send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) {
+    fn coll_send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) -> Result<()> {
         let bytes = value.msg_size();
         self.push_envelope(
             dst,
@@ -39,23 +42,42 @@ impl Comm {
             tag,
             bytes,
             Box::new(value),
+            None,
             TrafficClass::Collective,
-        );
+        )
+    }
+
+    fn coll_peer(&self, src: usize) -> [PeerRef; 1] {
+        [PeerRef { global: self.group()[src], local: src }]
     }
 
     fn coll_recv<T: 'static>(&self, src: usize, tag: i32) -> Result<T> {
-        let env = self
-            .shared()
-            .mailbox(self.global_rank())
-            .take(self.coll_context(), Src::Rank(src), Tag::Value(tag))?;
-        match env.payload.downcast::<T>() {
-            Ok(b) => Ok(*b),
-            Err(_) => Err(RuntimeError::TypeMismatch {
-                expected: std::any::type_name::<T>(),
-                src: env.src_local,
-                tag: env.tag,
-            }),
-        }
+        let env = self.shared().mailbox(self.global_rank()).take(
+            self.coll_context(),
+            Src::Rank(src),
+            Tag::Value(tag),
+            &self.coll_peer(src),
+        )?;
+        Self::downcast::<T>(env).map(|(v, _)| v)
+    }
+
+    /// Like `coll_recv` but gives up after the remaining share of a
+    /// deadline, mapping the mailbox timeout to the collective's name.
+    fn coll_recv_deadline<T: 'static>(
+        &self,
+        src: usize,
+        tag: i32,
+        deadline: Instant,
+    ) -> Result<T> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let env = self.shared().mailbox(self.global_rank()).take_timeout(
+            self.coll_context(),
+            Src::Rank(src),
+            Tag::Value(tag),
+            remaining,
+            &self.coll_peer(src),
+        )?;
+        Self::downcast::<T>(env).map(|(v, _)| v)
     }
 
     /// Blocks until every member has entered the barrier.
@@ -70,8 +92,32 @@ impl Comm {
         while dist < p {
             let dst = (r + dist) % p;
             let src = (r + p - dist) % p;
-            self.coll_send(dst, base + round, ());
+            self.coll_send(dst, base + round, ())?;
             self.coll_recv::<()>(src, base + round)?;
+            dist <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// [`Comm::barrier`] with a deadline over the *whole* operation: if any
+    /// round's notification fails to arrive before `timeout` elapses, the
+    /// call fails with [`RuntimeError::Timeout`] (or
+    /// [`RuntimeError::PeerDead`] when the awaited rank died) instead of
+    /// hanging. The primitive for robust phase synchronization between
+    /// coupled components.
+    pub fn barrier_timeout(&self, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let p = self.size();
+        let r = self.rank();
+        let base = self.next_coll_tag();
+        let mut round = 0i32;
+        let mut dist = 1usize;
+        while dist < p {
+            let dst = (r + dist) % p;
+            let src = (r + p - dist) % p;
+            self.coll_send(dst, base + round, ())?;
+            self.coll_recv_deadline::<()>(src, base + round, deadline)?;
             dist <<= 1;
             round += 1;
         }
@@ -118,7 +164,7 @@ impl Comm {
         while mask > 0 {
             if rel & mask == 0 && rel + mask < p {
                 let child = (rel + mask + root) % p;
-                self.coll_send(child, base, v.clone());
+                self.coll_send(child, base, v.clone())?;
             }
             mask >>= 1;
         }
@@ -140,23 +186,20 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
             out[root] = Some(value);
+            let peers = self.peers_of(Src::Any);
             for _ in 0..p - 1 {
                 let env = self.shared().mailbox(self.global_rank()).take(
                     self.coll_context(),
                     Src::Any,
                     Tag::Value(base),
+                    &peers,
                 )?;
-                let src = env.src_local;
-                let v = env.payload.downcast::<T>().map_err(|_| RuntimeError::TypeMismatch {
-                    expected: std::any::type_name::<T>(),
-                    src,
-                    tag: base,
-                })?;
-                out[src] = Some(*v);
+                let (v, info) = Self::downcast::<T>(env)?;
+                out[info.src] = Some(v);
             }
             Ok(Some(out.into_iter().map(|o| o.expect("every rank contributed")).collect()))
         } else {
-            self.coll_send(root, base, value);
+            self.coll_send(root, base, value)?;
             Ok(None)
         }
     }
@@ -178,7 +221,7 @@ impl Comm {
         for s in 0..p.saturating_sub(1) {
             let send_origin = (r + p - s) % p;
             let block = out[send_origin].clone().expect("block present by induction");
-            self.coll_send(next, base + s as i32, block);
+            self.coll_send(next, base + s as i32, block)?;
             let recv_origin = (prev + p - s) % p;
             out[recv_origin] = Some(self.coll_recv::<T>(prev, base + s as i32)?);
         }
@@ -211,7 +254,7 @@ impl Comm {
                 if dst == root {
                     mine = Some(v);
                 } else {
-                    self.coll_send(dst, base, v);
+                    self.coll_send(dst, base, v)?;
                 }
             }
             Ok(mine.expect("root's own element"))
@@ -239,7 +282,7 @@ impl Comm {
         for offset in 1..p {
             let dst = (r + offset) % p;
             let src = (r + p - offset) % p;
-            self.coll_send(dst, base, values[dst].take().expect("each peer element used once"));
+            self.coll_send(dst, base, values[dst].take().expect("each peer element used once"))?;
             out[src] = Some(self.coll_recv::<T>(src, base)?);
         }
         Ok(out.into_iter().map(|o| o.expect("pairwise exchange complete")).collect())
@@ -276,7 +319,7 @@ impl Comm {
             if rel & mask != 0 {
                 // I have a parent: send my partial result up.
                 let parent = ((rel - mask) + root) % p;
-                self.coll_send(parent, base, acc);
+                self.coll_send(parent, base, acc)?;
                 return Ok(None);
             }
             if rel + mask < p {
@@ -319,7 +362,7 @@ impl Comm {
             op(&mut acc, mine);
         }
         if r + 1 < p {
-            self.coll_send(r + 1, base, acc.clone());
+            self.coll_send(r + 1, base, acc.clone())?;
         }
         Ok(acc)
     }
@@ -345,6 +388,26 @@ mod tests {
                 assert_eq!(c2.load(Ordering::SeqCst), p);
             });
         }
+    }
+
+    #[test]
+    fn barrier_timeout_passes_when_all_arrive() {
+        World::run(4, |proc| {
+            proc.world().barrier_timeout(Duration::from_secs(5)).unwrap();
+        });
+    }
+
+    #[test]
+    fn barrier_timeout_detects_missing_rank() {
+        // Rank 0 never enters the barrier; everyone else must time out
+        // rather than hang.
+        World::run(3, |proc| {
+            let c = proc.world();
+            if c.rank() != 0 {
+                let e = c.barrier_timeout(Duration::from_millis(50)).unwrap_err();
+                assert!(e.is_failure_detection(), "got {e}");
+            }
+        });
     }
 
     #[test]
@@ -509,7 +572,7 @@ mod tests {
             let c = proc.world();
             let sub = c.split((c.rank() % 2) as i64, 0).unwrap().unwrap();
             let sum: usize = sub.allreduce(c.rank(), |a, b| *a += b).unwrap();
-            let expect = if c.rank() % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            let expect = if c.rank() % 2 == 0 { 2 + 4 } else { 1 + 3 + 5 };
             assert_eq!(sum, expect);
         });
     }

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use crate::envelope::{Envelope, MessageInfo, Src, Tag};
 use crate::error::{Result, RuntimeError};
+use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::shared::{WorldShared, WORLD_CONTEXT};
 use crate::stats::TrafficClass;
@@ -90,6 +91,23 @@ impl Comm {
         }
     }
 
+    /// The peers that could satisfy a receive matching `src`: a single rank,
+    /// or (for `Src::Any`) every other member. Used for dead-peer detection
+    /// in blocked waits.
+    pub(crate) fn peers_of(&self, src: Src) -> Vec<PeerRef> {
+        match src {
+            Src::Rank(r) if r < self.group.len() => {
+                vec![PeerRef { global: self.group[r], local: r }]
+            }
+            Src::Rank(_) => Vec::new(),
+            Src::Any => (0..self.group.len())
+                .filter(|&r| r != self.local_rank)
+                .map(|r| PeerRef { global: self.group[r], local: r })
+                .collect(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn push_envelope(
         &self,
         dst_local: usize,
@@ -97,37 +115,75 @@ impl Comm {
         tag: i32,
         bytes: usize,
         payload: Box<dyn std::any::Any + Send>,
+        replicate: Option<&dyn Fn() -> Box<dyn std::any::Any + Send>>,
         class: TrafficClass,
-    ) {
+    ) -> Result<()> {
         let dst_global = self.group[dst_local];
-        let env = Envelope {
-            src_global: self.global_rank(),
-            src_local: self.local_rank,
+        self.shared.send_envelope(
+            self.global_rank(),
+            self.local_rank,
+            dst_global,
+            dst_local,
             context,
             tag,
-            seq: 0,
             bytes,
-            deliver_at: self.shared.delivery_time(self.global_rank(), dst_global, bytes),
             payload,
-        };
-        self.shared.stats().record(class, bytes);
-        self.shared.mailbox(dst_global).push(env);
+            replicate,
+            class,
+        )
     }
 
     /// Sends `value` to communicator-local rank `dst` with `tag`.
     ///
     /// Sends never block: the runtime models an eager/buffered MPI send, so
     /// deadlock can only arise from receives (which is exactly the behaviour
-    /// the PRMI synchronization experiments need).
+    /// the PRMI synchronization experiments need). Under a fault plane a
+    /// send fails with [`RuntimeError::PeerDead`] only when the sending
+    /// rank's own scheduled death triggers; a dead *destination* is detected
+    /// on the receive side, keeping same-seed runs deterministic.
     pub fn send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) -> Result<()> {
         self.check_rank(dst)?;
         let bytes = value.msg_size();
-        self.push_envelope(dst, self.context, tag, bytes, Box::new(value), TrafficClass::PointToPoint);
-        Ok(())
+        self.push_envelope(
+            dst,
+            self.context,
+            tag,
+            bytes,
+            Box::new(value),
+            None,
+            TrafficClass::PointToPoint,
+        )
     }
 
-    fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
+    /// Like [`Comm::send`] for clonable values. Payloads normally move into
+    /// the destination mailbox, so a fault plane that duplicates a frame has
+    /// no second copy to deliver; this variant supplies one by cloning.
+    pub fn send_replicable<T: Send + Sync + Clone + MsgSize + 'static>(
+        &self,
+        dst: usize,
+        tag: i32,
+        value: T,
+    ) -> Result<()> {
+        self.check_rank(dst)?;
+        let bytes = value.msg_size();
+        let proto = value.clone();
+        let replicate = move || Box::new(proto.clone()) as Box<dyn std::any::Any + Send>;
+        self.push_envelope(
+            dst,
+            self.context,
+            tag,
+            bytes,
+            Box::new(value),
+            Some(&replicate),
+            TrafficClass::PointToPoint,
+        )
+    }
+
+    pub(crate) fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
+        if !env.verify() {
+            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+        }
         match env.payload.downcast::<T>() {
             Ok(b) => Ok((*b, info)),
             Err(_) => Err(RuntimeError::TypeMismatch {
@@ -140,6 +196,11 @@ impl Comm {
 
     /// Receives the earliest message matching `src`/`tag`, blocking until one
     /// arrives. Returns the payload.
+    ///
+    /// Under a fault plane the receive fails with
+    /// [`RuntimeError::PeerDead`] instead of hanging when every rank that
+    /// could satisfy it has died, and with [`RuntimeError::Corrupt`] when
+    /// the matched envelope fails its integrity check.
     pub fn recv<T: 'static>(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Result<T> {
         self.recv_with_info(src, tag).map(|(v, _)| v)
     }
@@ -151,8 +212,14 @@ impl Comm {
         src: impl Into<Src>,
         tag: impl Into<Tag>,
     ) -> Result<(T, MessageInfo)> {
-        let env =
-            self.shared.mailbox(self.global_rank()).take(self.context, src.into(), tag.into())?;
+        let src = src.into();
+        self.shared.note_op(self.global_rank(), self.local_rank)?;
+        let env = self.shared.mailbox(self.global_rank()).take(
+            self.context,
+            src,
+            tag.into(),
+            &self.peers_of(src),
+        )?;
         Self::downcast(env)
     }
 
@@ -164,11 +231,14 @@ impl Comm {
         tag: impl Into<Tag>,
         timeout: Duration,
     ) -> Result<T> {
+        let src = src.into();
+        self.shared.note_op(self.global_rank(), self.local_rank)?;
         let env = self.shared.mailbox(self.global_rank()).take_timeout(
             self.context,
-            src.into(),
+            src,
             tag.into(),
             timeout,
+            &self.peers_of(src),
         )?;
         Self::downcast(env).map(|(v, _)| v)
     }
@@ -188,7 +258,14 @@ impl Comm {
 
     /// Blocks until a matching message is queued, without consuming it.
     pub fn probe(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Result<MessageInfo> {
-        self.shared.mailbox(self.global_rank()).probe(self.context, src.into(), tag.into())
+        let src = src.into();
+        self.shared.note_op(self.global_rank(), self.local_rank)?;
+        self.shared.mailbox(self.global_rank()).probe(
+            self.context,
+            src,
+            tag.into(),
+            &self.peers_of(src),
+        )
     }
 
     /// Checks for a matching queued message without consuming or blocking.
@@ -255,8 +332,9 @@ impl Comm {
                         SPLIT_TAG,
                         std::mem::size_of::<u32>(),
                         Box::new(ctx),
+                        None,
                         TrafficClass::Collective,
-                    );
+                    )?;
                 }
             }
             ctx
@@ -265,6 +343,7 @@ impl Comm {
                 self.context,
                 Src::Rank(owner),
                 Tag::Value(SPLIT_TAG),
+                &self.peers_of(Src::Rank(owner)),
             )?;
             Self::downcast::<u32>(env)?.0
         };
@@ -397,7 +476,7 @@ mod tests {
             assert_eq!(sub.group()[sub.rank()], c.rank());
             // Traffic within the sub-communicator works.
             let total: u64 = sub.allreduce(c.rank() as u64, |a, b| *a += b).unwrap();
-            let expected: u64 = if c.rank() % 2 == 0 { 0 + 2 + 4 } else { 1 + 3 };
+            let expected: u64 = if c.rank() % 2 == 0 { 2 + 4 } else { 1 + 3 };
             assert_eq!(total, expected);
         });
     }

@@ -79,6 +79,10 @@ pub struct Envelope {
     pub seq: u64,
     /// Wire size the payload reported at send time.
     pub bytes: usize,
+    /// Integrity checksum over the envelope metadata, stamped at send time.
+    /// The fault plane damages it to model payload truncation/corruption;
+    /// receivers detect the damage via [`Envelope::verify`].
+    pub checksum: u64,
     /// Under a network model: the instant the message becomes visible to
     /// receives. `None` = immediately deliverable.
     pub deliver_at: Option<Instant>,
@@ -86,7 +90,60 @@ pub struct Envelope {
     pub payload: Box<dyn Any + Send>,
 }
 
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("src_global", &self.src_global)
+            .field("src_local", &self.src_local)
+            .field("context", &self.context)
+            .field("tag", &self.tag)
+            .field("seq", &self.seq)
+            .field("bytes", &self.bytes)
+            .field("checksum", &self.checksum)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Envelope {
+    /// Builds an envelope with a freshly computed checksum (`seq` is
+    /// assigned by the destination mailbox on push).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        src_global: usize,
+        src_local: usize,
+        context: u32,
+        tag: i32,
+        bytes: usize,
+        deliver_at: Option<Instant>,
+        payload: Box<dyn Any + Send>,
+    ) -> Self {
+        let checksum = Self::expected_checksum(src_global, context, tag, bytes);
+        Envelope { src_global, src_local, context, tag, seq: 0, bytes, checksum, deliver_at, payload }
+    }
+
+    /// The checksum a well-formed envelope with these fields must carry.
+    pub fn expected_checksum(src_global: usize, context: u32, tag: i32, bytes: usize) -> u64 {
+        // splitmix64-style mix of the metadata words.
+        let mut h = (src_global as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ ((context as u64) << 32 | (tag as u32 as u64))
+            ^ (bytes as u64).rotate_left(17);
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    /// Whether the envelope's checksum matches its metadata.
+    pub fn verify(&self) -> bool {
+        self.checksum == Self::expected_checksum(self.src_global, self.context, self.tag, self.bytes)
+    }
+
+    /// Damages the checksum to model in-flight payload corruption or
+    /// truncation; [`Envelope::verify`] will fail afterwards.
+    pub fn corrupt(&mut self) {
+        self.checksum ^= 0xdead_beef_dead_beef;
+    }
+
     /// Does this envelope match the given (context, src, tag) patterns?
     pub fn matches(&self, context: u32, src: Src, tag: Tag) -> bool {
         self.context == context && src.matches(self.src_local) && tag.matches(self.tag)
@@ -110,16 +167,7 @@ mod tests {
     use super::*;
 
     fn env(src_local: usize, context: u32, tag: i32) -> Envelope {
-        Envelope {
-            src_global: src_local,
-            src_local,
-            context,
-            tag,
-            seq: 0,
-            bytes: 0,
-            deliver_at: None,
-            payload: Box::new(()),
-        }
+        Envelope::new(src_local, src_local, context, tag, 0, None, Box::new(()))
     }
 
     #[test]
@@ -150,6 +198,29 @@ mod tests {
 
     #[test]
     fn collective_tags_do_not_collide_with_small_user_tags() {
-        assert!(COLLECTIVE_TAG_BASE > 1 << 20);
+        const { assert!(COLLECTIVE_TAG_BASE > 1 << 20) }
+    }
+
+    #[test]
+    fn fresh_envelope_verifies() {
+        assert!(env(1, 2, 3).verify());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut e = env(1, 2, 3);
+        e.corrupt();
+        assert!(!e.verify());
+        e.corrupt();
+        assert!(e.verify(), "corruption is an involution on the checksum");
+    }
+
+    #[test]
+    fn checksum_depends_on_metadata() {
+        let a = Envelope::expected_checksum(0, 0, 0, 0);
+        assert_ne!(a, Envelope::expected_checksum(1, 0, 0, 0));
+        assert_ne!(a, Envelope::expected_checksum(0, 1, 0, 0));
+        assert_ne!(a, Envelope::expected_checksum(0, 0, 1, 0));
+        assert_ne!(a, Envelope::expected_checksum(0, 0, 0, 1));
     }
 }

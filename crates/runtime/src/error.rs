@@ -1,12 +1,17 @@
 //! Error types for the message-passing runtime.
 
 use std::fmt;
+use std::time::Duration;
+
+use crate::envelope::{Src, Tag};
 
 /// Errors produced by runtime operations.
 ///
 /// Most message-passing calls in a correct program cannot fail; the error
 /// variants exist to surface *detectable* misuse (bad ranks, type confusion)
-/// and to support deadlock experiments via [`RuntimeError::Timeout`].
+/// and to support deadlock and failure-injection experiments via
+/// [`RuntimeError::Timeout`], [`RuntimeError::PeerDead`] and
+/// [`RuntimeError::Corrupt`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// A receive with a deadline expired before a matching message arrived.
@@ -16,9 +21,32 @@ pub enum RuntimeError {
     Timeout {
         /// Human-readable description of what was being waited for.
         waiting_for: String,
+        /// How long the caller actually waited before giving up.
+        elapsed: Duration,
+        /// The source pattern that was being matched.
+        src: Src,
+        /// The tag pattern that was being matched.
+        tag: Tag,
     },
     /// The world was aborted because another rank panicked.
     Aborted,
+    /// A blocking operation targeted (or was waiting on) a rank that died.
+    ///
+    /// Raised by the liveness registry consulted in `recv`/`recv_timeout`
+    /// and the collectives, so peers of a dead rank fail fast instead of
+    /// hanging. `rank` is the dead peer's rank in the caller's group.
+    PeerDead {
+        /// The dead peer, in the communicator-local numbering of the call.
+        rank: usize,
+    },
+    /// A received envelope failed its integrity check (payload truncated or
+    /// corrupted in flight, e.g. by an injected fault).
+    Corrupt {
+        /// Sending rank of the damaged envelope (group-local).
+        src: usize,
+        /// Tag of the damaged envelope.
+        tag: i32,
+    },
     /// A rank argument was outside the communicator's group.
     InvalidRank {
         /// The offending rank.
@@ -44,13 +72,40 @@ pub enum RuntimeError {
     },
 }
 
+impl RuntimeError {
+    /// Builds a [`RuntimeError::Timeout`] recording what was waited on.
+    pub fn timeout(
+        waiting_for: impl Into<String>,
+        elapsed: Duration,
+        src: Src,
+        tag: Tag,
+    ) -> Self {
+        RuntimeError::Timeout { waiting_for: waiting_for.into(), elapsed, src, tag }
+    }
+
+    /// True for the failure-detection variants (`Timeout`/`PeerDead`),
+    /// the errors a caller can meaningfully retry or degrade around.
+    pub fn is_failure_detection(&self) -> bool {
+        matches!(self, RuntimeError::Timeout { .. } | RuntimeError::PeerDead { .. })
+    }
+}
+
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RuntimeError::Timeout { waiting_for } => {
-                write!(f, "timed out waiting for {waiting_for}")
+            RuntimeError::Timeout { waiting_for, elapsed, src, tag } => {
+                write!(
+                    f,
+                    "timed out after {elapsed:?} waiting for {waiting_for} (src={src:?}, tag={tag:?})"
+                )
             }
             RuntimeError::Aborted => write!(f, "world aborted (another rank panicked)"),
+            RuntimeError::PeerDead { rank } => {
+                write!(f, "peer rank {rank} died; operation cannot complete")
+            }
+            RuntimeError::Corrupt { src, tag } => {
+                write!(f, "envelope (src={src}, tag={tag}) failed its integrity check")
+            }
             RuntimeError::InvalidRank { rank, size } => {
                 write!(f, "rank {rank} out of range for communicator of size {size}")
             }
@@ -77,8 +132,30 @@ mod tests {
 
     #[test]
     fn display_timeout() {
-        let e = RuntimeError::Timeout { waiting_for: "barrier round 2".into() };
-        assert!(e.to_string().contains("barrier round 2"));
+        let e = RuntimeError::timeout(
+            "barrier round 2",
+            Duration::from_millis(250),
+            Src::Rank(1),
+            Tag::Value(7),
+        );
+        let s = e.to_string();
+        assert!(s.contains("barrier round 2"));
+        assert!(s.contains("250ms"));
+        assert!(s.contains("Rank(1)"));
+    }
+
+    #[test]
+    fn display_peer_dead() {
+        let e = RuntimeError::PeerDead { rank: 3 };
+        assert!(e.to_string().contains("peer rank 3"));
+    }
+
+    #[test]
+    fn display_corrupt() {
+        let e = RuntimeError::Corrupt { src: 2, tag: 9 };
+        let s = e.to_string();
+        assert!(s.contains("src=2"));
+        assert!(s.contains("integrity"));
     }
 
     #[test]
@@ -94,6 +171,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("Vec<f64>"));
         assert!(s.contains("src=1"));
+    }
+
+    #[test]
+    fn failure_detection_classification() {
+        assert!(RuntimeError::PeerDead { rank: 0 }.is_failure_detection());
+        assert!(RuntimeError::timeout("x", Duration::ZERO, Src::Any, Tag::Any)
+            .is_failure_detection());
+        assert!(!RuntimeError::Aborted.is_failure_detection());
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::time::Duration;
 use crate::comm::Comm;
 use crate::envelope::{Envelope, MessageInfo, Src, Tag};
 use crate::error::{Result, RuntimeError};
+use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::shared::WorldShared;
 use crate::stats::TrafficClass;
@@ -25,6 +26,8 @@ pub struct InterComm {
     local_size: usize,
     /// My global world rank.
     my_global: usize,
+    /// Global ranks of my own (local) group, index = local rank.
+    local_group: Arc<Vec<usize>>,
     /// Global ranks of the remote group, index = remote-local rank.
     remote_group: Arc<Vec<usize>>,
     /// Shared context for inter-group traffic.
@@ -68,6 +71,7 @@ impl InterComm {
             local_rank: local.rank(),
             local_size: local.size(),
             my_global: pair.global_rank(),
+            local_group: Arc::new(local.group().to_vec()),
             remote_group: Arc::new(remote_group),
             context: ctx,
             side,
@@ -104,27 +108,69 @@ impl InterComm {
         }
     }
 
+    /// The remote peers that could satisfy a receive matching `src`.
+    fn peers_of(&self, src: Src) -> Vec<PeerRef> {
+        match src {
+            Src::Rank(r) if r < self.remote_group.len() => {
+                vec![PeerRef { global: self.remote_group[r], local: r }]
+            }
+            Src::Rank(_) => Vec::new(),
+            Src::Any => self
+                .remote_group
+                .iter()
+                .enumerate()
+                .map(|(r, &g)| PeerRef { global: g, local: r })
+                .collect(),
+        }
+    }
+
+    /// Whether remote-local rank `r` has been marked dead.
+    pub fn is_remote_dead(&self, r: usize) -> bool {
+        r < self.remote_group.len() && self.shared.liveness().is_dead(self.remote_group[r])
+    }
+
+    /// The lowest-numbered dead rank on *either* side of the intercomm, as
+    /// a world rank — or `None` while everyone is alive. Lets a collective
+    /// transfer fail consistently on every surviving rank.
+    pub fn any_dead(&self) -> Option<usize> {
+        let liveness = self.shared.liveness();
+        self.local_group
+            .iter()
+            .chain(self.remote_group.iter())
+            .copied()
+            .filter(|&g| liveness.is_dead(g))
+            .min()
+    }
+
     /// Sends to remote-local rank `dst`.
+    ///
+    /// Under a fault plane a send fails with [`RuntimeError::PeerDead`] only
+    /// when the sending rank's own scheduled death triggers; a dead remote
+    /// rank is detected on the receive side (see [`InterComm::recv_timeout`]
+    /// and [`InterComm::is_remote_dead`]).
     pub fn send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) -> Result<()> {
         self.check_remote(dst)?;
         let bytes = value.msg_size();
         let dst_global = self.remote_group[dst];
-        self.shared.stats().record(TrafficClass::PointToPoint, bytes);
-        self.shared.mailbox(dst_global).push(Envelope {
-            src_global: self.my_global,
-            src_local: self.local_rank,
-            context: self.context,
+        self.shared.send_envelope(
+            self.my_global,
+            self.local_rank,
+            dst_global,
+            dst,
+            self.context,
             tag,
-            seq: 0,
             bytes,
-            deliver_at: self.shared.delivery_time(self.my_global, dst_global, bytes),
-            payload: Box::new(value),
-        });
-        Ok(())
+            Box::new(value),
+            None,
+            TrafficClass::PointToPoint,
+        )
     }
 
     fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
+        if !env.verify() {
+            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+        }
         env.payload
             .downcast::<T>()
             .map(|b| (*b, info))
@@ -136,10 +182,11 @@ impl InterComm {
     }
 
     /// Receives from the remote group; `src` is a remote-local rank pattern.
+    ///
+    /// Fails with [`RuntimeError::PeerDead`] instead of hanging when every
+    /// remote rank that could satisfy the receive has died.
     pub fn recv<T: 'static>(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Result<T> {
-        let env =
-            self.shared.mailbox(self.my_global).take(self.context, src.into(), tag.into())?;
-        Self::downcast(env).map(|(v, _)| v)
+        self.recv_with_info(src, tag).map(|(v, _)| v)
     }
 
     /// Receive with sender metadata (for `Src::Any`).
@@ -148,8 +195,14 @@ impl InterComm {
         src: impl Into<Src>,
         tag: impl Into<Tag>,
     ) -> Result<(T, MessageInfo)> {
-        let env =
-            self.shared.mailbox(self.my_global).take(self.context, src.into(), tag.into())?;
+        let src = src.into();
+        self.shared.note_op(self.my_global, self.local_rank)?;
+        let env = self.shared.mailbox(self.my_global).take(
+            self.context,
+            src,
+            tag.into(),
+            &self.peers_of(src),
+        )?;
         Self::downcast(env)
     }
 
@@ -160,13 +213,26 @@ impl InterComm {
         tag: impl Into<Tag>,
         timeout: Duration,
     ) -> Result<T> {
+        self.recv_timeout_with_info(src, tag, timeout).map(|(v, _)| v)
+    }
+
+    /// Receive with a deadline and sender metadata (for `Src::Any`).
+    pub fn recv_timeout_with_info<T: 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+        timeout: Duration,
+    ) -> Result<(T, MessageInfo)> {
+        let src = src.into();
+        self.shared.note_op(self.my_global, self.local_rank)?;
         let env = self.shared.mailbox(self.my_global).take_timeout(
             self.context,
-            src.into(),
+            src,
             tag.into(),
             timeout,
+            &self.peers_of(src),
         )?;
-        Self::downcast(env).map(|(v, _)| v)
+        Self::downcast(env)
     }
 
     /// Non-blocking receive attempt.

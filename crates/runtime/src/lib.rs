@@ -21,6 +21,11 @@
 //! * **Traffic accounting** ([`stats`]): every payload reports its wire
 //!   size via [`MsgSize`], so benchmarks can report message counts and
 //!   volumes that transfer to a real cluster.
+//! * **Deterministic fault injection** ([`fault`]): a seeded
+//!   [`FaultConfig`] drops, duplicates, corrupts, and delays messages and
+//!   kills ranks mid-run ([`World::run_with_faults`]); blocked peers of a
+//!   dead rank get [`RuntimeError::PeerDead`] instead of hanging, and the
+//!   same seed always reproduces a byte-identical [`FaultTrace`].
 //!
 //! ## Quick example
 //!
@@ -39,6 +44,7 @@ pub mod collectives;
 pub mod comm;
 pub mod envelope;
 pub mod error;
+pub mod fault;
 pub mod intercomm;
 pub mod mailbox;
 pub mod msgsize;
@@ -54,6 +60,9 @@ pub use cart::{dims_create, CartComm};
 pub use comm::Comm;
 pub use envelope::{MessageInfo, Src, Tag};
 pub use error::{Result, RuntimeError};
+pub use fault::{
+    ChannelPolicy, FaultConfig, FaultEvent, FaultKind, FaultTrace, Liveness, RankDeath,
+};
 pub use intercomm::InterComm;
 pub use msgsize::MsgSize;
 pub use network::NetworkModel;

@@ -16,6 +16,18 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::envelope::{Envelope, MessageInfo, Src, Tag};
 use crate::error::{Result, RuntimeError};
+use crate::fault::Liveness;
+
+/// Identity of the peer a blocked receive is waiting on, for liveness
+/// checks: `global` indexes the world liveness registry, `local` is the
+/// rank to report in [`RuntimeError::PeerDead`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerRef {
+    /// World rank of the peer.
+    pub global: usize,
+    /// The peer's rank in the waiting communicator's numbering.
+    pub local: usize,
+}
 
 struct Inner {
     queue: VecDeque<Envelope>,
@@ -27,16 +39,30 @@ pub struct Mailbox {
     inner: Mutex<Inner>,
     cond: Condvar,
     abort: Arc<AtomicBool>,
+    liveness: Arc<Liveness>,
 }
 
 impl Mailbox {
-    /// Creates an empty mailbox wired to the world's abort flag.
-    pub fn new(abort: Arc<AtomicBool>) -> Self {
+    /// Creates an empty mailbox wired to the world's abort flag and
+    /// liveness registry.
+    pub fn new(abort: Arc<AtomicBool>, liveness: Arc<Liveness>) -> Self {
         Mailbox {
             inner: Mutex::new(Inner { queue: VecDeque::new(), next_seq: 0 }),
             cond: Condvar::new(),
             abort,
+            liveness,
         }
+    }
+
+    /// `PeerDead` when every peer that could satisfy the wait has died.
+    /// Called only *after* a failed queue scan, so messages a rank managed
+    /// to send before dying still drain normally. An empty slice means the
+    /// candidate set is unknown: no liveness check.
+    fn check_peers(&self, peers: &[PeerRef]) -> Result<()> {
+        if !peers.is_empty() && peers.iter().all(|p| self.liveness.is_dead(p.global)) {
+            return Err(RuntimeError::PeerDead { rank: peers[0].local });
+        }
+        Ok(())
     }
 
     /// Deposits an envelope and wakes any waiting receiver.
@@ -59,7 +85,7 @@ impl Mailbox {
         inner
             .queue
             .iter()
-            .position(|e| e.matches(context, src, tag) && e.deliver_at.map_or(true, |t| t <= now))
+            .position(|e| e.matches(context, src, tag) && e.deliver_at.is_none_or(|t| t <= now))
     }
 
     /// Earliest future delivery instant among matching messages (network
@@ -79,9 +105,9 @@ impl Mailbox {
         Self::find(&inner, context, src, tag).and_then(|i| inner.queue.remove(i))
     }
 
-    /// Blocks until a matching envelope arrives and is deliverable (or the
-    /// world aborts).
-    pub fn take(&self, context: u32, src: Src, tag: Tag) -> Result<Envelope> {
+    /// Blocks until a matching envelope arrives and is deliverable, the
+    /// world aborts, or every awaitable peer is found dead.
+    pub fn take(&self, context: u32, src: Src, tag: Tag, peers: &[PeerRef]) -> Result<Envelope> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = Self::find(&inner, context, src, tag) {
@@ -90,6 +116,7 @@ impl Mailbox {
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
+            self.check_peers(peers)?;
             match Self::earliest_pending(&inner, context, src, tag) {
                 // A matching message is in flight: sleep until it lands.
                 Some(at) => {
@@ -100,16 +127,18 @@ impl Mailbox {
         }
     }
 
-    /// Blocks until a matching envelope arrives, the world aborts, or
-    /// `timeout` elapses.
+    /// Blocks until a matching envelope arrives, the world aborts, the
+    /// awaitable peers all die, or `timeout` elapses.
     pub fn take_timeout(
         &self,
         context: u32,
         src: Src,
         tag: Tag,
         timeout: Duration,
+        peers: &[PeerRef],
     ) -> Result<Envelope> {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = Self::find(&inner, context, src, tag) {
@@ -118,6 +147,7 @@ impl Mailbox {
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
+            self.check_peers(peers)?;
             let wake = match Self::earliest_pending(&inner, context, src, tag) {
                 Some(at) if at < deadline => at,
                 _ => deadline,
@@ -127,9 +157,12 @@ impl Mailbox {
                 if let Some(i) = Self::find(&inner, context, src, tag) {
                     return Ok(inner.queue.remove(i).expect("index just found"));
                 }
-                return Err(RuntimeError::Timeout {
-                    waiting_for: format!("message (context={context}, src={src:?}, tag={tag:?})"),
-                });
+                return Err(RuntimeError::timeout(
+                    format!("message (context={context})"),
+                    start.elapsed(),
+                    src,
+                    tag,
+                ));
             }
         }
     }
@@ -146,7 +179,7 @@ impl Mailbox {
 
     /// Blocks until a matching envelope is present and deliverable,
     /// returning its metadata without removing it.
-    pub fn probe(&self, context: u32, src: Src, tag: Tag) -> Result<MessageInfo> {
+    pub fn probe(&self, context: u32, src: Src, tag: Tag, peers: &[PeerRef]) -> Result<MessageInfo> {
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = Self::find(&inner, context, src, tag) {
@@ -156,6 +189,7 @@ impl Mailbox {
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
+            self.check_peers(peers)?;
             match Self::earliest_pending(&inner, context, src, tag) {
                 Some(at) => {
                     let _ = self.cond.wait_until(&mut inner, at);
@@ -182,20 +216,11 @@ mod tests {
     use std::thread;
 
     fn env(src: usize, context: u32, tag: i32, val: u32) -> Envelope {
-        Envelope {
-            src_global: src,
-            src_local: src,
-            context,
-            tag,
-            seq: 0,
-            bytes: 4,
-            deliver_at: None,
-            payload: Box::new(val),
-        }
+        Envelope::new(src, src, context, tag, 4, None, Box::new(val))
     }
 
     fn mbox() -> Mailbox {
-        Mailbox::new(Arc::new(AtomicBool::new(false)))
+        Mailbox::new(Arc::new(AtomicBool::new(false)), Arc::new(Liveness::new(8)))
     }
 
     fn val(e: Envelope) -> u32 {
@@ -207,8 +232,8 @@ mod tests {
         let m = mbox();
         m.push(env(0, 0, 1, 10));
         m.push(env(0, 0, 1, 20));
-        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 10);
-        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 20);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1), &[]).unwrap()), 10);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1), &[]).unwrap()), 20);
     }
 
     #[test]
@@ -216,8 +241,8 @@ mod tests {
         let m = mbox();
         m.push(env(0, 0, 1, 10));
         m.push(env(0, 0, 2, 20));
-        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(2)).unwrap()), 20);
-        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1)).unwrap()), 10);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(2), &[]).unwrap()), 20);
+        assert_eq!(val(m.take(0, Src::Rank(0), Tag::Value(1), &[]).unwrap()), 10);
     }
 
     #[test]
@@ -233,14 +258,14 @@ mod tests {
         let m = mbox();
         m.push(env(3, 0, 1, 30));
         m.push(env(1, 0, 1, 10));
-        assert_eq!(val(m.take(0, Src::Any, Tag::Value(1)).unwrap()), 30);
+        assert_eq!(val(m.take(0, Src::Any, Tag::Value(1), &[]).unwrap()), 30);
     }
 
     #[test]
     fn take_blocks_until_push() {
         let m = Arc::new(mbox());
         let m2 = m.clone();
-        let h = thread::spawn(move || val(m2.take(0, Src::Rank(0), Tag::Value(9)).unwrap()));
+        let h = thread::spawn(move || val(m2.take(0, Src::Rank(0), Tag::Value(9), &[]).unwrap()));
         thread::sleep(Duration::from_millis(20));
         m.push(env(0, 0, 9, 99));
         assert_eq!(h.join().unwrap(), 99);
@@ -249,7 +274,7 @@ mod tests {
     #[test]
     fn timeout_fires_when_no_message() {
         let m = mbox();
-        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_millis(20));
+        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_millis(20), &[]);
         assert!(matches!(r, Err(RuntimeError::Timeout { .. })));
     }
 
@@ -261,16 +286,16 @@ mod tests {
             thread::sleep(Duration::from_millis(10));
             m2.push(env(0, 0, 1, 5));
         });
-        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_secs(5)).unwrap();
+        let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_secs(5), &[]).unwrap();
         assert_eq!(val(r), 5);
     }
 
     #[test]
     fn abort_wakes_blocked_receiver() {
         let abort = Arc::new(AtomicBool::new(false));
-        let m = Arc::new(Mailbox::new(abort.clone()));
+        let m = Arc::new(Mailbox::new(abort.clone(), Arc::new(Liveness::new(8))));
         let m2 = m.clone();
-        let h = thread::spawn(move || m2.take(0, Src::Any, Tag::Any));
+        let h = thread::spawn(move || m2.take(0, Src::Any, Tag::Any, &[]));
         thread::sleep(Duration::from_millis(10));
         abort.store(true, Ordering::Release);
         m.wake_all();
@@ -287,7 +312,7 @@ mod tests {
         let info = m.iprobe(0, Src::Any, Tag::Any).unwrap();
         assert_eq!(info, MessageInfo { src: 2, tag: 4, bytes: 4 });
         assert_eq!(m.len(), 1);
-        assert_eq!(val(m.take(0, Src::Rank(2), Tag::Value(4)).unwrap()), 44);
+        assert_eq!(val(m.take(0, Src::Rank(2), Tag::Value(4), &[]).unwrap()), 44);
         assert!(m.is_empty());
     }
 
@@ -295,7 +320,7 @@ mod tests {
     fn blocking_probe_waits() {
         let m = Arc::new(mbox());
         let m2 = m.clone();
-        let h = thread::spawn(move || m2.probe(0, Src::Any, Tag::Value(3)).unwrap());
+        let h = thread::spawn(move || m2.probe(0, Src::Any, Tag::Value(3), &[]).unwrap());
         thread::sleep(Duration::from_millis(10));
         m.push(env(1, 0, 3, 1));
         let info = h.join().unwrap();
@@ -303,12 +328,43 @@ mod tests {
     }
 
     #[test]
+    fn dead_peer_unblocks_waiter() {
+        let liveness = Arc::new(Liveness::new(4));
+        let m = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone()));
+        let m2 = m.clone();
+        let h = thread::spawn(move || {
+            m2.take(0, Src::Rank(1), Tag::Any, &[PeerRef { global: 2, local: 1 }])
+        });
+        thread::sleep(Duration::from_millis(10));
+        liveness.kill(2);
+        m.wake_all();
+        assert_eq!(h.join().unwrap().unwrap_err(), RuntimeError::PeerDead { rank: 1 });
+    }
+
+    #[test]
+    fn message_sent_before_death_still_drains() {
+        let liveness = Arc::new(Liveness::new(4));
+        let m = Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone());
+        m.push(env(1, 0, 5, 77));
+        liveness.kill(1);
+        // The queued message wins over the dead-peer check...
+        let peer = [PeerRef { global: 1, local: 1 }];
+        assert_eq!(val(m.take(0, Src::Rank(1), Tag::Value(5), &peer).unwrap()), 77);
+        // ...and only then does the death surface.
+        assert_eq!(
+            m.take_timeout(0, Src::Rank(1), Tag::Value(5), Duration::from_secs(5), &peer)
+                .unwrap_err(),
+            RuntimeError::PeerDead { rank: 1 }
+        );
+    }
+
+    #[test]
     fn seq_numbers_are_monotone() {
         let m = mbox();
         m.push(env(0, 0, 0, 0));
         m.push(env(0, 0, 0, 1));
-        let a = m.take(0, Src::Any, Tag::Any).unwrap();
-        let b = m.take(0, Src::Any, Tag::Any).unwrap();
+        let a = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
+        let b = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
         assert!(a.seq < b.seq);
     }
 }

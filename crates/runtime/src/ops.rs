@@ -7,6 +7,7 @@
 
 /// Element-wise sum of two equal-length vectors (for multi-value
 /// reductions).
+#[allow(clippy::ptr_arg)] // must match the `Fn(&mut T, T)` reduction-op shape with T = Vec<f64>
 pub fn vec_sum(acc: &mut Vec<f64>, incoming: Vec<f64>) {
     debug_assert_eq!(acc.len(), incoming.len(), "vector reduction length mismatch");
     for (a, b) in acc.iter_mut().zip(incoming) {

@@ -1,12 +1,16 @@
 //! World-global state shared by all ranks.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use crate::envelope::Envelope;
+use crate::error::{Result, RuntimeError};
+use crate::fault::{FaultConfig, FaultPlane, FaultTrace, Liveness, Verdict};
 use crate::mailbox::Mailbox;
 use crate::network::{ChannelClock, NetworkModel};
-use crate::stats::WorldStats;
+use crate::stats::{FaultClass, TrafficClass, WorldStats};
 
 /// Context id of the world communicator's point-to-point traffic.
 ///
@@ -22,18 +26,31 @@ pub struct WorldShared {
     next_context: AtomicU32,
     stats: WorldStats,
     network: Option<ChannelClock>,
+    fault: Option<FaultPlane>,
+    liveness: Arc<Liveness>,
 }
 
 impl WorldShared {
-    /// Creates shared state for `n` ranks (instant delivery).
+    /// Creates shared state for `n` ranks (instant delivery, no faults).
     pub fn new(n: usize) -> Arc<Self> {
-        Self::with_network(n, None)
+        Self::with_config(n, None, None)
     }
 
     /// Creates shared state with an optional synthetic network model.
     pub fn with_network(n: usize, network: Option<NetworkModel>) -> Arc<Self> {
+        Self::with_config(n, network, None)
+    }
+
+    /// Creates shared state with an optional network model and an optional
+    /// fault plane.
+    pub fn with_config(
+        n: usize,
+        network: Option<NetworkModel>,
+        faults: Option<FaultConfig>,
+    ) -> Arc<Self> {
         let abort = Arc::new(AtomicBool::new(false));
-        let mailboxes = (0..n).map(|_| Mailbox::new(abort.clone())).collect();
+        let liveness = Arc::new(Liveness::new(n));
+        let mailboxes = (0..n).map(|_| Mailbox::new(abort.clone(), liveness.clone())).collect();
         Arc::new(WorldShared {
             mailboxes,
             abort,
@@ -41,6 +58,8 @@ impl WorldShared {
             next_context: AtomicU32::new(2),
             stats: WorldStats::new(),
             network: network.map(|m| ChannelClock::new(m, n)),
+            fault: faults.map(|c| FaultPlane::new(c, n)),
+            liveness,
         })
     }
 
@@ -85,6 +104,123 @@ impl WorldShared {
     pub fn stats(&self) -> &WorldStats {
         &self.stats
     }
+
+    /// The liveness registry shared by this world's ranks.
+    pub fn liveness(&self) -> &Arc<Liveness> {
+        &self.liveness
+    }
+
+    /// The fault plane, if one is configured.
+    pub fn fault(&self) -> Option<&FaultPlane> {
+        self.fault.as_ref()
+    }
+
+    /// The canonical trace of injected faults (empty without a fault plane).
+    pub fn fault_trace(&self) -> FaultTrace {
+        self.fault.as_ref().map(|f| f.trace()).unwrap_or_default()
+    }
+
+    /// Arms or disarms the fault plane for `global`'s outgoing traffic
+    /// (no-op without a plane). See [`crate::fault::FaultPlane::set_armed`].
+    pub fn fault_set_armed(&self, global: usize, armed: bool) {
+        if let Some(fp) = &self.fault {
+            fp.set_armed(global, armed);
+        }
+    }
+
+    /// Marks a rank dead and wakes every blocked receiver, so waits on the
+    /// dead rank fail with [`RuntimeError::PeerDead`] instead of hanging.
+    pub fn kill_rank(&self, global: usize) {
+        if self.liveness.kill(global) {
+            self.stats.record_fault(FaultClass::RankDeath);
+        }
+        for m in &self.mailboxes {
+            m.wake_all();
+        }
+    }
+
+    /// Counts one operation by the calling rank and enforces its liveness:
+    /// an already-dead caller — or one whose scheduled death this very
+    /// operation triggers — gets `PeerDead` carrying its own
+    /// communicator-local rank (`local`).
+    pub fn note_op(&self, global: usize, local: usize) -> Result<()> {
+        if self.liveness.is_dead(global) {
+            return Err(RuntimeError::PeerDead { rank: local });
+        }
+        if let Some(fp) = &self.fault {
+            if fp.note_op(global).is_some() {
+                self.kill_rank(global);
+                return Err(RuntimeError::PeerDead { rank: local });
+            }
+        }
+        Ok(())
+    }
+
+    /// The single choke point every message passes through: counts the
+    /// sender's operation against its scheduled death, asks the fault plane
+    /// for a verdict, then delivers.
+    ///
+    /// A dead *destination* does not fail the send: whether the destination
+    /// has reached its scheduled death yet is an artifact of thread
+    /// interleaving, so failing here would make same-seed runs diverge. The
+    /// message lands in a mailbox nobody will read; peers detect the death
+    /// deterministically on the receive side.
+    ///
+    /// Ranks are global except `src_local`/`_dst_local`, which are the
+    /// communicator-local numbers used in envelopes and errors. `replicate`
+    /// produces a second payload when the fault plane duplicates the frame;
+    /// payloads are moved (not copied) in this in-process runtime, so
+    /// without it a duplicated frame is delivered once and the duplication
+    /// is visible only in the trace and stats.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_envelope(
+        &self,
+        src_global: usize,
+        src_local: usize,
+        dst_global: usize,
+        _dst_local: usize,
+        context: u32,
+        tag: i32,
+        bytes: usize,
+        payload: Box<dyn Any + Send>,
+        replicate: Option<&dyn Fn() -> Box<dyn Any + Send>>,
+        class: TrafficClass,
+    ) -> Result<()> {
+        self.note_op(src_global, src_local)?;
+        self.stats.record(class, bytes);
+        let mut deliver_at = self.delivery_time(src_global, dst_global, bytes);
+        let (verdict, delay) = match &self.fault {
+            Some(fp) => fp.judge(src_global, dst_global),
+            None => (Verdict::Deliver, Duration::ZERO),
+        };
+        if verdict != Verdict::Drop && !delay.is_zero() {
+            self.stats.record_fault(FaultClass::Delayed);
+            let delayed = Instant::now() + delay;
+            deliver_at = Some(deliver_at.map_or(delayed, |t| t.max(delayed)));
+        }
+        let mut env = Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, payload);
+        match verdict {
+            Verdict::Deliver => {}
+            Verdict::Drop => {
+                self.stats.record_fault(FaultClass::Dropped);
+                return Ok(());
+            }
+            Verdict::Duplicate => {
+                self.stats.record_fault(FaultClass::Duplicated);
+                if let Some(rep) = replicate {
+                    let dup =
+                        Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, rep());
+                    self.mailbox(dst_global).push(dup);
+                }
+            }
+            Verdict::Corrupt => {
+                self.stats.record_fault(FaultClass::Corrupted);
+                env.corrupt();
+            }
+        }
+        self.mailbox(dst_global).push(env);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +249,85 @@ mod tests {
         let s = WorldShared::new(5);
         assert_eq!(s.size(), 5);
         s.mailbox(4); // must not panic
+    }
+
+    #[test]
+    fn send_to_dead_rank_succeeds_silently() {
+        // Failing a send because the *destination* died would make outcomes
+        // depend on whether the destination reached its death yet — an
+        // interleaving artifact. Detection is receive-side only.
+        let s = WorldShared::new(3);
+        s.kill_rank(2);
+        s.send_envelope(0, 0, 2, 2, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .unwrap();
+        assert_eq!(s.mailbox(2).len(), 1, "delivered to a mailbox nobody reads");
+        assert_eq!(s.stats().snapshot().rank_deaths, 1);
+    }
+
+    #[test]
+    fn dead_sender_cannot_send() {
+        let s = WorldShared::new(2);
+        s.kill_rank(0);
+        let e = s
+            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .unwrap_err();
+        assert_eq!(e, RuntimeError::PeerDead { rank: 0 }, "reports the caller's own rank");
+        assert!(s.mailbox(1).is_empty(), "nothing was delivered");
+    }
+
+    #[test]
+    fn scheduled_death_triggers_on_send() {
+        let cfg = FaultConfig::reliable(1).with_death(0, 1);
+        let s = WorldShared::with_config(2, None, Some(cfg));
+        assert!(s
+            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .is_ok());
+        let e = s
+            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(2u32), None, TrafficClass::PointToPoint)
+            .unwrap_err();
+        assert_eq!(e, RuntimeError::PeerDead { rank: 0 });
+        assert!(s.liveness().is_dead(0));
+        assert_eq!(s.mailbox(1).len(), 1, "only the pre-death message landed");
+        assert_eq!(s.fault_trace().len(), 1);
+    }
+
+    #[test]
+    fn drop_verdict_suppresses_delivery() {
+        use crate::fault::ChannelPolicy;
+        let cfg = FaultConfig::reliable(3).with_default_policy(ChannelPolicy::lossy(1.0));
+        let s = WorldShared::with_config(2, None, Some(cfg));
+        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .unwrap();
+        assert!(s.mailbox(1).is_empty());
+        let snap = s.stats().snapshot();
+        assert_eq!(snap.dropped_messages, 1);
+        assert_eq!(snap.p2p_messages, 1, "a dropped message still counts as sent");
+    }
+
+    #[test]
+    fn duplicate_verdict_delivers_twice_with_replicator() {
+        use crate::fault::ChannelPolicy;
+        let policy = ChannelPolicy { duplicate: 1.0, ..ChannelPolicy::reliable() };
+        let cfg = FaultConfig::reliable(3).with_default_policy(policy);
+        let s = WorldShared::with_config(2, None, Some(cfg));
+        let rep = || Box::new(7u32) as Box<dyn Any + Send>;
+        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(7u32), Some(&rep), TrafficClass::PointToPoint)
+            .unwrap();
+        assert_eq!(s.mailbox(1).len(), 2);
+        assert_eq!(s.stats().snapshot().duplicated_messages, 1);
+    }
+
+    #[test]
+    fn corrupt_verdict_damages_checksum() {
+        use crate::envelope::{Src, Tag};
+        use crate::fault::ChannelPolicy;
+        let policy = ChannelPolicy { corrupt: 1.0, ..ChannelPolicy::reliable() };
+        let cfg = FaultConfig::reliable(3).with_default_policy(policy);
+        let s = WorldShared::with_config(2, None, Some(cfg));
+        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .unwrap();
+        let env = s.mailbox(1).try_take(0, Src::Any, Tag::Any).unwrap();
+        assert!(!env.verify());
+        assert_eq!(s.stats().snapshot().corrupted_messages, 1);
     }
 }

@@ -17,6 +17,21 @@ pub enum TrafficClass {
     Collective,
 }
 
+/// A fault injected by the fault plane, for accounting purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Message silently dropped.
+    Dropped,
+    /// Message delivered twice.
+    Duplicated,
+    /// Message delivered with a damaged checksum.
+    Corrupted,
+    /// Message visibility delayed beyond the network model.
+    Delayed,
+    /// A rank died.
+    RankDeath,
+}
+
 /// Live counters for one world. All methods are thread-safe.
 #[derive(Default)]
 pub struct WorldStats {
@@ -24,6 +39,11 @@ pub struct WorldStats {
     p2p_bytes: AtomicU64,
     coll_msgs: AtomicU64,
     coll_bytes: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+    delayed: AtomicU64,
+    deaths: AtomicU64,
 }
 
 impl WorldStats {
@@ -46,6 +66,18 @@ impl WorldStats {
         }
     }
 
+    /// Records one injected fault (called by the fault plane's send path).
+    pub fn record_fault(&self, class: FaultClass) {
+        let counter = match class {
+            FaultClass::Dropped => &self.dropped,
+            FaultClass::Duplicated => &self.duplicated,
+            FaultClass::Corrupted => &self.corrupted,
+            FaultClass::Delayed => &self.delayed,
+            FaultClass::RankDeath => &self.deaths,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -53,6 +85,11 @@ impl WorldStats {
             p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
             collective_messages: self.coll_msgs.load(Ordering::Relaxed),
             collective_bytes: self.coll_bytes.load(Ordering::Relaxed),
+            dropped_messages: self.dropped.load(Ordering::Relaxed),
+            duplicated_messages: self.duplicated.load(Ordering::Relaxed),
+            corrupted_messages: self.corrupted.load(Ordering::Relaxed),
+            delayed_messages: self.delayed.load(Ordering::Relaxed),
+            rank_deaths: self.deaths.load(Ordering::Relaxed),
         }
     }
 
@@ -62,6 +99,11 @@ impl WorldStats {
         self.p2p_bytes.store(0, Ordering::Relaxed);
         self.coll_msgs.store(0, Ordering::Relaxed);
         self.coll_bytes.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.duplicated.store(0, Ordering::Relaxed);
+        self.corrupted.store(0, Ordering::Relaxed);
+        self.delayed.store(0, Ordering::Relaxed);
+        self.deaths.store(0, Ordering::Relaxed);
     }
 }
 
@@ -76,6 +118,16 @@ pub struct StatsSnapshot {
     pub collective_messages: u64,
     /// Collective-internal bytes sent.
     pub collective_bytes: u64,
+    /// Messages dropped by the fault plane.
+    pub dropped_messages: u64,
+    /// Messages duplicated by the fault plane.
+    pub duplicated_messages: u64,
+    /// Messages corrupted by the fault plane.
+    pub corrupted_messages: u64,
+    /// Messages delayed by the fault plane (beyond the network model).
+    pub delayed_messages: u64,
+    /// Ranks that died (scheduled or explicit kills).
+    pub rank_deaths: u64,
 }
 
 impl StatsSnapshot {
@@ -89,6 +141,15 @@ impl StatsSnapshot {
         self.p2p_bytes + self.collective_bytes
     }
 
+    /// Total faults of every class injected by the fault plane.
+    pub fn total_faults(&self) -> u64 {
+        self.dropped_messages
+            + self.duplicated_messages
+            + self.corrupted_messages
+            + self.delayed_messages
+            + self.rank_deaths
+    }
+
     /// Difference `self - earlier`, for measuring a phase.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
@@ -96,6 +157,11 @@ impl StatsSnapshot {
             p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
             collective_messages: self.collective_messages - earlier.collective_messages,
             collective_bytes: self.collective_bytes - earlier.collective_bytes,
+            dropped_messages: self.dropped_messages - earlier.dropped_messages,
+            duplicated_messages: self.duplicated_messages - earlier.duplicated_messages,
+            corrupted_messages: self.corrupted_messages - earlier.corrupted_messages,
+            delayed_messages: self.delayed_messages - earlier.delayed_messages,
+            rank_deaths: self.rank_deaths - earlier.rank_deaths,
         }
     }
 }
@@ -136,7 +202,27 @@ mod tests {
     fn reset_zeroes() {
         let s = WorldStats::new();
         s.record(TrafficClass::Collective, 5);
+        s.record_fault(FaultClass::Dropped);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let s = WorldStats::new();
+        s.record_fault(FaultClass::Dropped);
+        s.record_fault(FaultClass::Dropped);
+        s.record_fault(FaultClass::Duplicated);
+        s.record_fault(FaultClass::Corrupted);
+        s.record_fault(FaultClass::Delayed);
+        s.record_fault(FaultClass::RankDeath);
+        let snap = s.snapshot();
+        assert_eq!(snap.dropped_messages, 2);
+        assert_eq!(snap.duplicated_messages, 1);
+        assert_eq!(snap.corrupted_messages, 1);
+        assert_eq!(snap.delayed_messages, 1);
+        assert_eq!(snap.rank_deaths, 1);
+        assert_eq!(snap.total_faults(), 6);
+        assert_eq!(snap.total_messages(), 0, "faults are not traffic");
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::comm::Comm;
 use crate::error::Result;
+use crate::fault::{FaultConfig, FaultTrace};
 use crate::intercomm::InterComm;
 use crate::stats::StatsSnapshot;
 use crate::world::{Process, World};
@@ -60,6 +61,41 @@ impl Universe {
         R: Send,
         F: Fn(&Process, &ProgramCtx) -> R + Send + Sync,
     {
+        let (total, starts) = Self::layout(sizes);
+        World::run_with_stats(total, move |p| {
+            let ctx = Self::setup(p, sizes, &starts).expect("universe setup is deadlock-free");
+            f(p, &ctx)
+        })
+    }
+
+    /// Like [`Universe::run`] but under a deterministic [`FaultConfig`];
+    /// returns per-rank results plus the canonical [`FaultTrace`]. Rank
+    /// closures must surface failure-detection errors (`PeerDead`,
+    /// `Timeout`) as values rather than panicking.
+    ///
+    /// The universe's own bootstrap (program splits and the intercomm mesh)
+    /// runs with the fault plane disarmed, so lossy policies and scheduled
+    /// deaths cannot strand setup: faults apply to the coupling traffic
+    /// only, and a death's `at_op` counts ops from the start of `f`.
+    pub fn run_with_faults<R, F>(
+        sizes: &[usize],
+        faults: FaultConfig,
+        f: F,
+    ) -> (Vec<R>, FaultTrace)
+    where
+        R: Send,
+        F: Fn(&Process, &ProgramCtx) -> R + Send + Sync,
+    {
+        let (total, starts) = Self::layout(sizes);
+        World::run_with_faults(total, faults, move |p| {
+            p.set_faults_armed(false);
+            let ctx = Self::setup(p, sizes, &starts).expect("universe setup is deadlock-free");
+            p.set_faults_armed(true);
+            f(p, &ctx)
+        })
+    }
+
+    fn layout(sizes: &[usize]) -> (usize, Vec<usize>) {
         assert!(sizes.len() >= 2, "universe needs at least two programs");
         assert!(sizes.iter().all(|&s| s > 0), "every program needs at least one rank");
         let total: usize = sizes.iter().sum();
@@ -71,11 +107,7 @@ impl Universe {
                 Some(start)
             })
             .collect();
-
-        World::run_with_stats(total, move |p| {
-            let ctx = Self::setup(p, sizes, &starts).expect("universe setup is deadlock-free");
-            f(p, &ctx)
-        })
+        (total, starts)
     }
 
     fn setup(p: &Process, sizes: &[usize], starts: &[usize]) -> Result<ProgramCtx> {

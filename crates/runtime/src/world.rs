@@ -9,6 +9,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::comm::Comm;
+use crate::fault::{FaultConfig, FaultTrace};
 use crate::network::NetworkModel;
 use crate::shared::WorldShared;
 use crate::stats::StatsSnapshot;
@@ -45,6 +46,36 @@ impl Process {
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats().snapshot()
     }
+
+    /// Whether world rank `rank` has been marked dead by the fault plane
+    /// (or by [`Process::kill_rank`]).
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.shared.liveness().is_dead(rank)
+    }
+
+    /// Marks world rank `rank` dead, waking every blocked receiver so waits
+    /// involving it fail with `PeerDead` instead of hanging. Idempotent.
+    /// Intended for failure-injection tests; scripted deaths normally come
+    /// from [`crate::fault::FaultConfig::with_death`].
+    pub fn kill_rank(&self, rank: usize) {
+        self.shared.kill_rank(rank);
+    }
+
+    /// The canonical trace of faults injected so far (empty when the world
+    /// runs without a fault plane).
+    pub fn fault_trace(&self) -> FaultTrace {
+        self.shared.fault_trace()
+    }
+
+    /// Arms or disarms the fault plane for **this rank's** outgoing traffic
+    /// and op counting (no-op without a plane). While disarmed, sends are
+    /// delivered verbatim and scheduled deaths do not tick. Because the
+    /// flag is per-rank and only toggled from the rank's own control flow,
+    /// exempting a bootstrap phase this way preserves same-seed determinism.
+    /// [`crate::Universe`] disarms during its intercomm mesh setup.
+    pub fn set_faults_armed(&self, armed: bool) {
+        self.shared.fault_set_armed(self.global_rank, armed);
+    }
 }
 
 /// A parallel "machine": `n` ranks running one function SPMD-style.
@@ -69,7 +100,7 @@ impl World {
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
-        Self::run_inner(n, Some(network), f).0
+        Self::run_inner(n, Some(network), None, f).0
     }
 
     /// Like [`World::run`] but also returns the final traffic counters.
@@ -78,16 +109,39 @@ impl World {
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
-        Self::run_inner(n, None, f)
+        let (results, stats, _) = Self::run_inner(n, None, None, f);
+        (results, stats)
     }
 
-    fn run_inner<R, F>(n: usize, network: Option<NetworkModel>, f: F) -> (Vec<R>, StatsSnapshot)
+    /// Like [`World::run`] but with a deterministic [`FaultConfig`] injecting
+    /// message drops, duplication, corruption, delays, and scheduled rank
+    /// deaths. Returns per-rank results plus the canonical [`FaultTrace`]:
+    /// the same seed and communication pattern yield a byte-identical trace.
+    ///
+    /// Rank closures must treat failure-detection errors (`PeerDead`,
+    /// `Timeout`) as values rather than panicking, so surviving ranks can
+    /// report results after a scripted death.
+    pub fn run_with_faults<R, F>(n: usize, faults: FaultConfig, f: F) -> (Vec<R>, FaultTrace)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        let (results, _, trace) = Self::run_inner(n, None, Some(faults), f);
+        (results, trace)
+    }
+
+    fn run_inner<R, F>(
+        n: usize,
+        network: Option<NetworkModel>,
+        faults: Option<FaultConfig>,
+        f: F,
+    ) -> (Vec<R>, StatsSnapshot, FaultTrace)
     where
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
         assert!(n > 0, "world must have at least one rank");
-        let shared = WorldShared::with_network(n, network);
+        let shared = WorldShared::with_config(n, network, faults);
         let f = &f;
         let mut outcomes: Vec<std::thread::Result<R>> = Vec::with_capacity(n);
 
@@ -125,7 +179,8 @@ impl World {
         if let Some(p) = first_panic {
             resume_unwind(p);
         }
-        (results, shared.stats().snapshot())
+        let trace = shared.fault_trace();
+        (results, shared.stats().snapshot(), trace)
     }
 }
 

@@ -113,8 +113,8 @@ impl HaloSchedule {
                 }
             }
         }
-        sends.sort_by(|a, b| (a.0, a.1.lo().to_vec()).cmp(&(b.0, b.1.lo().to_vec())));
-        recvs.sort_by(|a, b| (a.0, a.1.lo().to_vec()).cmp(&(b.0, b.1.lo().to_vec())));
+        sends.sort_by_key(|a| (a.0, a.1.lo().to_vec()));
+        recvs.sort_by_key(|a| (a.0, a.1.lo().to_vec()));
         HaloSchedule { sends, recvs, owned, expanded }
     }
 

@@ -120,6 +120,7 @@ impl LinearSchedule {
 
     /// Intra-communicator redistribution; see
     /// [`crate::RegionSchedule::execute_local`].
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_local<T>(
         send: &LinearSchedule,
         recv: &LinearSchedule,

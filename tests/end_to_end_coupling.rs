@@ -195,14 +195,14 @@ fn bidirectional_exchange() {
             out.data_ready(ic, mxn.registry()).unwrap();
             inc.data_ready(ic, mxn.registry()).unwrap();
             for (idx, &v) in disp.read().iter() {
-                assert_eq!(v, (idx[0] * 4 + idx[1]) as f64 * -1.0);
+                assert_eq!(v, -((idx[0] * 4 + idx[1]) as f64));
             }
         } else {
             let ic = ctx.intercomm(0);
             let disp = Arc::new(parking_lot_rwlock(LocalArray::from_fn(
                 &b_dad,
                 rank,
-                |idx| (idx[0] * 4 + idx[1]) as f64 * -1.0,
+                |idx| -((idx[0] * 4 + idx[1]) as f64),
             )));
             mxn.register_field("displacement", b_dad.clone(), AccessMode::Read, disp).unwrap();
             let pressure =

@@ -179,3 +179,189 @@ fn storage_shape_mismatch_diagnosed() {
         other => panic!("unexpected {other}"),
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-plane failure injection: drops, deaths and retries.
+// ---------------------------------------------------------------------------
+
+use mxn::framework::{CallPolicy, FrameworkError, ServeStats};
+use mxn::runtime::{ChannelPolicy, FaultConfig, FaultKind};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A handshake message eaten by a lossy channel surfaces as a `Timeout`
+/// carrying the elapsed wait and the (src, tag) being waited on — never a
+/// hang — and the drop is recorded in the fault trace.
+#[test]
+fn dropped_handshake_times_out_with_context() {
+    let cfg = FaultConfig::reliable(0xBEEF).with_channel(0, 1, ChannelPolicy::lossy(1.0));
+    let (_, trace) = World::run_with_faults(2, cfg, |p| {
+        let c = p.world();
+        if c.rank() == 0 {
+            // The "handshake": swallowed whole by the 0→1 policy.
+            c.send(1, 11, 42u32).unwrap();
+        } else {
+            let e = c.recv_timeout::<u32>(0, 11, Duration::from_millis(40)).unwrap_err();
+            match e {
+                RuntimeError::Timeout { elapsed, src, tag, .. } => {
+                    assert!(elapsed >= Duration::from_millis(40));
+                    assert_eq!(src, Src::Rank(0));
+                    assert_eq!(tag, Tag::Value(11));
+                }
+                other => panic!("expected Timeout, got {other}"),
+            }
+        }
+    });
+    assert!(
+        trace.events().iter().any(|e| e.kind == FaultKind::Dropped && e.src == 0 && e.dst == 1),
+        "the dropped handshake is in the trace: {:?}",
+        trace.events()
+    );
+}
+
+/// When the handshake initiator *dies* (scheduled death), the blocked
+/// receiver gets `PeerDead` instead of waiting out a timeout.
+#[test]
+fn initiator_death_unblocks_receiver_with_peer_dead() {
+    let cfg = FaultConfig::reliable(3)
+        .with_channel(0, 1, ChannelPolicy::lossy(1.0))
+        .with_death(0, 1);
+    let (results, trace) = World::run_with_faults(2, cfg, |p| {
+        let c = p.world();
+        if c.rank() == 0 {
+            c.send(1, 5, 1u8).unwrap(); // op 0: sent, dropped
+            c.send(1, 5, 2u8).unwrap_err() // op 1: own death fires
+        } else {
+            // Blocking receive, no timeout: only the liveness registry can
+            // save us from hanging here.
+            c.recv::<u8>(0, 5).unwrap_err()
+        }
+    });
+    assert_eq!(results[0], RuntimeError::PeerDead { rank: 0 });
+    assert_eq!(results[1], RuntimeError::PeerDead { rank: 0 });
+    assert!(trace.events().iter().any(|e| matches!(e.kind, FaultKind::Death(_))));
+}
+
+/// A retried PRMI call executes **exactly once** server-side: the service
+/// is slow enough that the client's per-attempt deadline fires and it
+/// retransmits; the idempotency token makes the server re-send the cached
+/// response instead of dispatching again.
+#[test]
+fn retried_prmi_call_executes_exactly_once() {
+    struct SlowCounter(AtomicUsize);
+    impl RemoteService for SlowCounter {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+            // Slower than the client's per-attempt deadline, so at least
+            // one retransmission is in flight before we answer.
+            std::thread::sleep(Duration::from_millis(120));
+            let x: u64 = arg.downcast().unwrap();
+            let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
+            AnyPayload::replicable(x + n as u64)
+        }
+    }
+    Universe::run(&[1, 1], |_, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let port = RemotePort::to_rank(0);
+            let policy = CallPolicy {
+                deadline: Duration::from_millis(40),
+                max_retries: 8,
+                backoff: Duration::from_millis(2),
+            };
+            let got: u64 = port.call_with_policy(ic, 0, 100u64, policy).unwrap();
+            assert_eq!(got, 101, "executed once: result reflects a single increment");
+            port.shutdown(ic).unwrap();
+        } else {
+            let svc = SlowCounter(AtomicUsize::new(0));
+            let stats: ServeStats = serve(ctx.intercomm(0), &svc).unwrap();
+            assert_eq!(svc.0.load(Ordering::SeqCst), 1, "dispatched exactly once");
+            assert_eq!(stats.calls, 1);
+            assert!(stats.duplicate_requests >= 1, "at least one retransmission deduped");
+        }
+    });
+}
+
+/// Kills a source rank mid-redistribution: every surviving rank of the
+/// coupling — both sides — returns `PeerFailed` for the transfer instead
+/// of hanging or silently accepting partial data.
+#[test]
+fn rank_death_mid_redistribution_fails_all_survivors() {
+    let results = Universe::run(&[2, 2], |p, ctx| {
+        let rank = ctx.comm.rank();
+        let src = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+        let dst = Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap();
+        let mut reg = FieldRegistry::new(rank);
+        let conn = if ctx.program == 0 {
+            reg.register_allocated("f", src, AccessMode::Read).unwrap();
+            MxnConnection::initiate(
+                ctx.intercomm(1),
+                &reg,
+                0,
+                "f",
+                "f",
+                Direction::Export,
+                ConnectionKind::OneShot,
+            )
+        } else {
+            reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+            MxnConnection::accept(ctx.intercomm(0), &reg, 0)
+        };
+        let mut conn = conn.unwrap();
+        // Everyone is alive through establishment…
+        p.world().barrier().unwrap();
+        // …then world rank 1 (source rank 1) drops dead without sending.
+        // It kills itself only after its own barrier completed, so the
+        // pre-death barrier notifications it already sent still drain on
+        // the ranks that are one dissemination round behind.
+        if p.rank() == 1 {
+            p.kill_rank(1);
+            return None;
+        }
+        if p.rank() == 0 {
+            // A pure sender would otherwise race past the consistency
+            // check before the death lands.
+            while !p.is_dead(1) {
+                std::thread::yield_now();
+            }
+        }
+        let ic = if ctx.program == 0 { ctx.intercomm(1) } else { ctx.intercomm(0) };
+        Some(conn.data_ready(ic, &reg).unwrap_err())
+    });
+    for (rank, r) in results.iter().enumerate() {
+        match r {
+            None => assert_eq!(rank, 1, "only the dead rank skips the transfer"),
+            Some(e) => assert_eq!(
+                *e,
+                MxnError::PeerFailed { rank: 1 },
+                "rank {rank} reports the dead participant consistently"
+            ),
+        }
+    }
+}
+
+/// An RMI call to a provider that died fails fast with `PeerDead` — the
+/// retry policy does not burn its attempt budget on a corpse.
+#[test]
+fn prmi_call_to_dead_provider_fails_fast() {
+    let start = std::time::Instant::now();
+    Universe::run(&[1, 1], |p, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let port = RemotePort::to_rank(0);
+            let policy = CallPolicy {
+                deadline: Duration::from_secs(5),
+                max_retries: 10,
+                backoff: Duration::from_millis(1),
+            };
+            let e = port.call_with_policy::<u64, u64>(ic, 0, 1, policy).unwrap_err();
+            assert!(
+                matches!(e, FrameworkError::Runtime(RuntimeError::PeerDead { .. })),
+                "expected PeerDead, got {e}"
+            );
+        } else {
+            // The provider dies instead of serving.
+            p.kill_rank(p.rank());
+        }
+    });
+    assert!(start.elapsed() < Duration::from_secs(5), "failed fast, not via timeouts");
+}

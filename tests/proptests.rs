@@ -60,8 +60,8 @@ proptest! {
             counts[t.owner(&idx)] += 1;
         }
         let mut patch_total = 0;
-        for r in 0..t.nranks() {
-            prop_assert_eq!(t.local_size(r), counts[r]);
+        for (r, &count) in counts.iter().enumerate() {
+            prop_assert_eq!(t.local_size(r), count);
             for p in t.patches(r) {
                 for idx in p.iter() {
                     prop_assert_eq!(t.owner(&idx), r);
@@ -263,5 +263,92 @@ fn figure1_3d_schedules_complete() {
         let sched = RegionSchedule::for_receiver(&src, &dst, r);
         assert!((1..=8).contains(&sched.num_messages()));
         assert_eq!(sched.total_elements(), 8);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-plane determinism: same seed ⇒ identical trace and identical
+// surviving-rank results.
+// ---------------------------------------------------------------------------
+
+mod fault_determinism {
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    use mxn::runtime::{ChannelPolicy, FaultConfig, RuntimeError, World};
+
+    /// Stable, timing-free rendering of one op's outcome (Timeout's elapsed
+    /// duration would otherwise differ between runs).
+    fn label<T: std::fmt::Debug>(r: Result<T, RuntimeError>) -> String {
+        match r {
+            Ok(v) => format!("ok:{v:?}"),
+            Err(RuntimeError::Timeout { src, tag, .. }) => format!("timeout:{src:?}:{tag:?}"),
+            Err(RuntimeError::PeerDead { rank }) => format!("dead:{rank}"),
+            Err(RuntimeError::Corrupt { src, tag }) => format!("corrupt:{src}:{tag}"),
+            Err(e) => format!("other:{e}"),
+        }
+    }
+
+    /// All-pairs exchange on 4 ranks under `cfg`: every rank sends to every
+    /// other rank, then collects each receive's outcome. Returns the
+    /// per-rank outcome log plus the canonical fault-trace digest.
+    fn exchange(cfg: FaultConfig) -> (Vec<Vec<String>>, u64) {
+        const N: usize = 4;
+        let (results, trace) = World::run_with_faults(N, cfg, |p| {
+            let c = p.world();
+            let me = c.rank();
+            let mut log = Vec::new();
+            for dst in (0..N).filter(|&d| d != me) {
+                log.push(format!(
+                    "send->{dst}:{}",
+                    label(c.send(dst, 7, (me * 10 + dst) as u64))
+                ));
+            }
+            for src in (0..N).filter(|&s| s != me) {
+                log.push(format!(
+                    "recv<-{src}:{}",
+                    label(c.recv_timeout::<u64>(src, 7, Duration::from_millis(150)))
+                ));
+            }
+            log
+        });
+        (results, trace.digest())
+    }
+
+    fn lossy_cfg(seed: u64) -> FaultConfig {
+        FaultConfig::reliable(seed).with_default_policy(ChannelPolicy {
+            drop: 0.25,
+            duplicate: 0.15,
+            corrupt: 0.15,
+            // Delays far below the receive deadline, so whether a delayed
+            // message beats the timeout never depends on scheduling.
+            delay: Duration::from_micros(200),
+            jitter: Duration::from_micros(300),
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Lossy channels: both the injected-fault trace and every rank's
+        /// observed outcomes replay identically for the same seed.
+        #[test]
+        fn lossy_runs_replay_identically(seed in 0u64..1_000_000) {
+            let (r1, d1) = exchange(lossy_cfg(seed));
+            let (r2, d2) = exchange(lossy_cfg(seed));
+            prop_assert_eq!(d1, d2, "fault traces diverged for seed {}", seed);
+            prop_assert_eq!(r1, r2);
+        }
+
+        /// Scheduled rank death: survivors observe the same mixture of
+        /// delivered messages and `PeerDead` failures on every replay.
+        #[test]
+        fn death_runs_replay_identically(seed in 0u64..1_000_000, at_op in 0u64..5) {
+            let cfg = || FaultConfig::reliable(seed).with_death(3, at_op);
+            let (r1, d1) = exchange(cfg());
+            let (r2, d2) = exchange(cfg());
+            prop_assert_eq!(d1, d2);
+            prop_assert_eq!(r1, r2);
+        }
     }
 }
