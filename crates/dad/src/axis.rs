@@ -205,6 +205,118 @@ impl AxisDist {
         self.segments(q, extent).iter().map(|&(_, l)| l).sum()
     }
 
+    /// The grid positions whose owned segments overlap the half-open
+    /// interval `[lo, hi)`, each paired with its overlapping segments
+    /// `(start, len)` clipped to the interval, ascending by position (and
+    /// by start within a position).
+    ///
+    /// This is the ownership structure that makes schedule construction
+    /// sublinear in the grid size: the candidate set is found in closed
+    /// form (block family, via cut-point arithmetic / modular arithmetic)
+    /// or by scanning only the queried interval (gen-block via its sorted
+    /// cut points, implicit via run-length encoding of `owners[lo..hi]`) —
+    /// never by probing all `nprocs` positions.
+    pub fn overlaps(&self, lo: usize, hi: usize, extent: usize) -> Vec<(usize, Vec<(usize, usize)>)> {
+        let hi = hi.min(extent);
+        if lo >= hi {
+            return vec![];
+        }
+        match self {
+            AxisDist::Collapsed => vec![(0, vec![(lo, hi - lo)])],
+            AxisDist::Block { nprocs } => {
+                let b = extent.div_ceil(*nprocs);
+                let q_lo = lo / b;
+                let q_hi = (hi - 1) / b;
+                (q_lo..=q_hi)
+                    .map(|q| {
+                        let s = lo.max(q * b);
+                        let e = hi.min((q + 1) * b);
+                        (q, vec![(s, e - s)])
+                    })
+                    .collect()
+            }
+            AxisDist::Cyclic { nprocs } => {
+                // Element i belongs to i % nprocs; group the interval's
+                // unit segments by position without touching absent ones.
+                let p = *nprocs;
+                // Only positions (lo + k) % p for k < min(p, hi - lo) are
+                // present; visiting exactly those keeps the query
+                // output-bound rather than O(nprocs).
+                let mut out: Vec<(usize, Vec<(usize, usize)>)> = (0..p.min(hi - lo))
+                    .map(|k| {
+                        let first = lo + k;
+                        let q = first % p;
+                        let segs: Vec<(usize, usize)> =
+                            (first..hi).step_by(p).map(|i| (i, 1)).collect();
+                        (q, segs)
+                    })
+                    .collect();
+                out.sort_by_key(|&(q, _)| q);
+                out
+            }
+            AxisDist::BlockCyclic { block, nprocs } => {
+                // Walk only the blocks intersecting [lo, hi); group by the
+                // owning position.
+                let b = *block;
+                let p = *nprocs;
+                let j_lo = lo / b;
+                let j_hi = (hi - 1) / b;
+                let mut per_pos: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+                for j in j_lo..=j_hi {
+                    let q = j % p;
+                    let s = lo.max(j * b);
+                    let e = hi.min((j + 1) * b);
+                    if s >= e {
+                        continue;
+                    }
+                    match per_pos.iter_mut().find(|(pos, _)| *pos == q) {
+                        Some((_, segs)) => segs.push((s, e - s)),
+                        None => per_pos.push((q, vec![(s, e - s)])),
+                    }
+                }
+                per_pos.sort_by_key(|&(q, _)| q);
+                per_pos
+            }
+            AxisDist::GenBlock { sizes } => {
+                // Sorted cut points: position q owns [cuts[q], cuts[q+1]).
+                let mut out = Vec::new();
+                let mut start = 0;
+                for (q, &s) in sizes.iter().enumerate() {
+                    let end = start + s;
+                    if start >= hi {
+                        break;
+                    }
+                    let l = lo.max(start);
+                    let h = hi.min(end);
+                    if l < h {
+                        out.push((q, vec![(l, h - l)]));
+                    }
+                    start = end;
+                }
+                out
+            }
+            AxisDist::Implicit { owners, .. } => {
+                // Run-length encode just the queried window.
+                let mut per_pos: Vec<(usize, Vec<(usize, usize)>)> = Vec::new();
+                let mut i = lo;
+                while i < hi {
+                    let q = owners[i];
+                    let mut j = i + 1;
+                    while j < hi && owners[j] == q {
+                        j += 1;
+                    }
+                    match per_pos.iter_mut().find(|(pos, _)| *pos == q) {
+                        Some((_, segs)) => segs.push((i, j - i)),
+                        None => per_pos.push((q, vec![(i, j - i)])),
+                    }
+                    i = j;
+                }
+                per_pos.sort_by_key(|&(q, _)| q);
+                per_pos
+            }
+        }
+    }
+
     /// Bytes this axis descriptor occupies — the compactness metric of
     /// experiment E8. Regular distributions are O(1); gen-block is O(P);
     /// implicit is O(extent).
@@ -321,6 +433,68 @@ mod tests {
     fn implicit_validation() {
         assert!(AxisDist::Implicit { owners: vec![0, 3], nprocs: 2 }.validate(2).is_err());
         assert!(AxisDist::Implicit { owners: vec![0], nprocs: 2 }.validate(2).is_err());
+    }
+
+    /// Brute-force reference for `overlaps`: clip every position's segment
+    /// list to the window and keep the non-empty ones.
+    fn overlaps_naive(
+        dist: &AxisDist,
+        lo: usize,
+        hi: usize,
+        extent: usize,
+    ) -> Vec<(usize, Vec<(usize, usize)>)> {
+        let hi = hi.min(extent);
+        let mut out = Vec::new();
+        for q in 0..dist.nprocs() {
+            let segs: Vec<(usize, usize)> = dist
+                .segments(q, extent)
+                .into_iter()
+                .filter_map(|(s, l)| {
+                    let a = s.max(lo);
+                    let b = (s + l).min(hi);
+                    (a < b).then(|| (a, b - a))
+                })
+                .collect();
+            if !segs.is_empty() {
+                out.push((q, segs));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overlaps_matches_segments_clipping() {
+        let cases: Vec<(AxisDist, usize)> = vec![
+            (AxisDist::Collapsed, 9),
+            (AxisDist::Block { nprocs: 4 }, 13),
+            (AxisDist::Block { nprocs: 5 }, 3),
+            (AxisDist::Cyclic { nprocs: 3 }, 11),
+            (AxisDist::Cyclic { nprocs: 7 }, 4),
+            (AxisDist::BlockCyclic { block: 2, nprocs: 3 }, 17),
+            (AxisDist::BlockCyclic { block: 3, nprocs: 2 }, 10),
+            (AxisDist::GenBlock { sizes: vec![5, 0, 3, 2] }, 10),
+            (AxisDist::Implicit { owners: vec![2, 0, 2, 1, 1, 0], nprocs: 3 }, 6),
+        ];
+        for (dist, extent) in cases {
+            for lo in 0..=extent {
+                for hi in lo..=extent + 1 {
+                    assert_eq!(
+                        dist.overlaps(lo, hi, extent),
+                        overlaps_naive(&dist, lo, hi, extent),
+                        "{dist:?} window [{lo}, {hi}) extent {extent}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlaps_probes_only_candidates() {
+        // A narrow window over a wide block axis returns one position,
+        // regardless of nprocs.
+        let d = AxisDist::Block { nprocs: 1024 };
+        let hits = d.overlaps(5, 7, 4096);
+        assert_eq!(hits, vec![(1, vec![(5, 2)])]);
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! distributed array" (paper §2.2.2). It unifies the per-axis regular
 //! distributions ([`Template`]) with the whole-array [`ExplicitDist`].
 
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
 use crate::explicit::ExplicitDist;
 use crate::shape::{Extents, Region};
 use crate::template::Template;
@@ -47,17 +50,44 @@ pub enum Distribution {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Dad {
     dist: Distribution,
+    /// 128-bit content fingerprint, precomputed at construction so schedule
+    /// caches can key on descriptors without cloning or re-hashing them on
+    /// every lookup.
+    fingerprint: u128,
+}
+
+/// Two independently-seeded 64-bit hashes of the distribution, concatenated.
+/// Caches treat fingerprint equality as descriptor equality; at 128 bits a
+/// collision between distinct descriptors is never expected in practice.
+fn fingerprint_of(dist: &Distribution) -> u128 {
+    let mut h1 = DefaultHasher::new();
+    1u64.hash(&mut h1);
+    dist.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    2u64.hash(&mut h2);
+    dist.hash(&mut h2);
+    ((h1.finish() as u128) << 64) | (h2.finish() as u128)
 }
 
 impl Dad {
     /// Wraps a regular template.
     pub fn regular(t: Template) -> Dad {
-        Dad { dist: Distribution::Regular(t) }
+        let dist = Distribution::Regular(t);
+        let fingerprint = fingerprint_of(&dist);
+        Dad { dist, fingerprint }
     }
 
     /// Wraps an explicit patch distribution.
     pub fn explicit(e: ExplicitDist) -> Dad {
-        Dad { dist: Distribution::Explicit(e) }
+        let dist = Distribution::Explicit(e);
+        let fingerprint = fingerprint_of(&dist);
+        Dad { dist, fingerprint }
+    }
+
+    /// The precomputed content fingerprint (equal descriptors have equal
+    /// fingerprints; distinct descriptors collide with probability ~2⁻¹²⁸).
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
     }
 
     /// Convenience: uniform block distribution over a process grid.
@@ -193,6 +223,16 @@ mod tests {
                 assert_eq!(d.local_size(r), size);
             }
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        assert_eq!(regular().fingerprint(), regular().fingerprint());
+        assert_eq!(explicit().fingerprint(), explicit().fingerprint());
+        assert_ne!(regular().fingerprint(), explicit().fingerprint());
+        let other = Dad::block(Extents::new([4, 4]), &[4, 1]).unwrap();
+        assert_ne!(regular().fingerprint(), other.fingerprint());
+        assert_eq!(regular().clone().fingerprint(), regular().fingerprint());
     }
 
     #[test]

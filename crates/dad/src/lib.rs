@@ -14,6 +14,8 @@
 //! * [`align`] — alignment of actual arrays onto templates.
 //! * [`local`] — [`LocalArray`], per-rank patch storage with fast
 //!   row-run packing for transfer execution.
+//! * [`overlap`] — [`OverlapIndex`], sublinear "who owns part of this
+//!   region?" queries for schedule construction.
 //! * [`converters`] — the 2N-vs-N² DA-package interop model (experiment E9).
 //!
 //! ```
@@ -35,6 +37,7 @@ pub mod converters;
 pub mod descriptor;
 pub mod explicit;
 pub mod local;
+pub mod overlap;
 pub mod shape;
 pub mod template;
 
@@ -43,6 +46,7 @@ pub use axis::AxisDist;
 pub use converters::{ConvertStrategy, ConverterRegistry, SyntheticPackage};
 pub use descriptor::{AccessMode, Dad, Distribution};
 pub use explicit::ExplicitDist;
-pub use local::LocalArray;
+pub use local::{region_runs, CopyRun, LocalArray};
+pub use overlap::{OverlapHits, OverlapIndex};
 pub use shape::{Extents, Region};
 pub use template::Template;

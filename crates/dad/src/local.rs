@@ -8,6 +8,75 @@
 use crate::descriptor::Dad;
 use crate::shape::Region;
 
+/// One contiguous copy run of a region decomposition: `len` elements at
+/// offset `patch_off` inside patch number `patch`, landing at offset
+/// `sub_off` of the region's row-major packed order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyRun {
+    /// Index of the patch holding the run.
+    pub patch: usize,
+    /// Row-major offset of the run inside the patch buffer.
+    pub patch_off: usize,
+    /// Row-major offset of the run inside the packed sub-region.
+    pub sub_off: usize,
+    /// Run length in elements.
+    pub len: usize,
+}
+
+/// Decomposes `sub` into contiguous last-axis runs against a patch list,
+/// sorted by `sub_off` so that the runs tile `[0, sub.len())` exactly.
+/// This is the one-time resolution step behind both the multi-patch
+/// pack/unpack paths and the schedule layer's precompiled copy plans.
+///
+/// # Panics
+/// If some element of `sub` is not covered by the patches ("not local").
+pub fn region_runs<'a>(
+    patches: impl IntoIterator<Item = &'a Region>,
+    sub: &Region,
+) -> Vec<CopyRun> {
+    let mut runs = Vec::new();
+    for (pi, region) in patches.into_iter().enumerate() {
+        let Some(part) = region.intersect(sub) else { continue };
+        let nd = part.ndim();
+        if nd == 0 {
+            runs.push(CopyRun { patch: pi, patch_off: 0, sub_off: 0, len: 1 });
+            continue;
+        }
+        let run_len = part.hi()[nd - 1] - part.lo()[nd - 1];
+        // Odometer over the leading nd-1 axes of the intersection; each
+        // position starts one last-axis run.
+        let mut idx: Vec<usize> = part.lo().to_vec();
+        'runs: loop {
+            runs.push(CopyRun {
+                patch: pi,
+                patch_off: region.local_offset(&idx),
+                sub_off: sub.local_offset(&idx),
+                len: run_len,
+            });
+            let mut d = nd - 1;
+            loop {
+                if d == 0 {
+                    break 'runs;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < part.hi()[d] {
+                    break;
+                }
+                idx[d] = part.lo()[d];
+            }
+        }
+    }
+    runs.sort_unstable_by_key(|r| r.sub_off);
+    let mut cursor = 0;
+    for r in &runs {
+        assert_eq!(r.sub_off, cursor, "region {sub:?} not local (gap at offset {cursor})");
+        cursor += r.len;
+    }
+    assert_eq!(cursor, sub.len(), "region {sub:?} not local (covered {cursor} elements)");
+    runs
+}
+
 /// One rank's portion of a distributed array: a set of `(region, buffer)`
 /// patches, row-major within each patch.
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +215,14 @@ impl<T: Copy> LocalArray<T> {
     /// If any element of `sub` is not locally stored.
     pub fn pack_region(&self, sub: &Region) -> Vec<T> {
         let mut out = Vec::with_capacity(sub.len());
+        self.pack_region_into(sub, &mut out);
+        out
+    }
+
+    /// Appends the elements of `sub` to `out` in row-major `sub` order —
+    /// the allocation-free variant of [`LocalArray::pack_region`] used by
+    /// pooled transfer execution.
+    pub fn pack_region_into(&self, sub: &Region, out: &mut Vec<T>) {
         for (region, data) in &self.patches {
             if let Some(part) = region.intersect(sub) {
                 // Fast path: `sub` fully inside this patch keeps row order.
@@ -153,17 +230,16 @@ impl<T: Copy> LocalArray<T> {
                     Self::for_each_run(region, sub, |off, len| {
                         out.extend_from_slice(&data[off..off + len]);
                     });
-                    return out;
+                    return;
                 }
             }
         }
-        // General path: element-at-a-time via owner patches (handles subs
-        // spanning multiple patches).
-        for idx in sub.iter() {
-            let v = self.get(&idx).unwrap_or_else(|| panic!("index {idx:?} not local"));
-            out.push(*v);
+        // General path: per-patch intersection decomposed into contiguous
+        // runs, copied in packed order (never element-at-a-time).
+        for run in region_runs(self.patches.iter().map(|(r, _)| r), sub) {
+            let (_, data) = &self.patches[run.patch];
+            out.extend_from_slice(&data[run.patch_off..run.patch_off + run.len]);
         }
-        out
     }
 
     /// Writes `data` (row-major in `sub` order) into the local storage.
@@ -186,10 +262,11 @@ impl<T: Copy> LocalArray<T> {
             });
             return;
         }
-        for (k, idx) in sub.iter().enumerate() {
-            let slot =
-                self.get_mut(&idx).unwrap_or_else(|| panic!("index {idx:?} not local"));
-            *slot = data[k];
+        // General path: run decomposition, then whole-run writes per patch.
+        for run in region_runs(self.patches.iter().map(|(r, _)| r), sub) {
+            let (_, buf) = &mut self.patches[run.patch];
+            buf[run.patch_off..run.patch_off + run.len]
+                .copy_from_slice(&data[run.sub_off..run.sub_off + run.len]);
         }
     }
 }
@@ -269,6 +346,57 @@ mod tests {
         // Pack a region covering one row of each patch separately.
         assert_eq!(a.pack_region(&Region::new([0, 0], [1, 3])), vec![0, 1, 2]);
         assert_eq!(a.pack_region(&Region::new([2, 0], [3, 3])), vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn pack_unpack_spanning_multiple_patches() {
+        use crate::explicit::ExplicitDist;
+        // Rank 0 owns two adjoining L-shaped patches of a 4×4 array.
+        let d = Dad::explicit(
+            ExplicitDist::new(
+                Extents::new([4, 4]),
+                vec![
+                    (Region::new([0, 0], [2, 3]), 0),
+                    (Region::new([0, 3], [2, 4]), 1),
+                    (Region::new([2, 0], [4, 1]), 1),
+                    (Region::new([2, 1], [4, 4]), 0),
+                ],
+                2,
+            )
+            .unwrap(),
+        );
+        let a = LocalArray::from_fn(&d, 0, |idx| (idx[0] * 10 + idx[1]) as i64);
+        // Spans both of rank 0's patches — exercises the run-based path.
+        let sub = Region::new([1, 1], [3, 3]);
+        assert_eq!(a.pack_region(&sub), vec![11, 12, 21, 22]);
+
+        let mut b: LocalArray<i64> = LocalArray::allocate(&d, 0);
+        b.unpack_region(&sub, &[11, 12, 21, 22]);
+        assert_eq!(*b.get(&[1, 2]).unwrap(), 12);
+        assert_eq!(*b.get(&[2, 1]).unwrap(), 21);
+        assert_eq!(*b.get(&[0, 0]).unwrap(), 0, "outside sub untouched");
+    }
+
+    #[test]
+    fn region_runs_tile_in_packed_order() {
+        let a = Region::new([0, 0], [2, 3]);
+        let b = Region::new([2, 1], [4, 4]);
+        let sub = Region::new([1, 1], [3, 3]);
+        let runs = region_runs([&a, &b], &sub);
+        assert_eq!(
+            runs,
+            vec![
+                CopyRun { patch: 0, patch_off: 4, sub_off: 0, len: 2 },
+                CopyRun { patch: 1, patch_off: 0, sub_off: 2, len: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not local")]
+    fn region_runs_reject_uncovered() {
+        let a = Region::new([0, 0], [1, 2]);
+        region_runs([&a], &Region::new([0, 0], [2, 2]));
     }
 
     #[test]

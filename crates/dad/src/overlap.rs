@@ -1,0 +1,347 @@
+//! Ownership overlap queries: "which ranks own part of this region, and
+//! which parts?" answered without probing every rank.
+//!
+//! This is the first layer of the sublinear schedule pipeline. For regular
+//! (per-axis) distributions the candidate grid positions on each axis come
+//! from [`crate::axis::AxisDist::overlaps`] — closed-form for the block
+//! family, interval scans bounded by the query for the irregular kinds —
+//! and the overlapping peers are the cross-product of the per-axis
+//! candidates. For explicit distributions a one-time axis-0 slab index
+//! (sorted cut points, per-slab patch lists) narrows the candidate patches
+//! to those sharing an axis-0 interval with the query.
+//!
+//! In both cases the work is proportional to the number of *actually
+//! overlapping* peers (plus, for explicit, axis-0 false positives), never
+//! to the total rank count — the pruning that the interval-algebra
+//! redistribution literature shows is necessary for schedule construction
+//! to amortize at scale.
+
+use std::collections::BTreeMap;
+
+use crate::descriptor::{Dad, Distribution};
+use crate::explicit::ExplicitDist;
+use crate::shape::Region;
+use crate::template::Template;
+
+/// One axis's overlap candidates: `(grid position, clipped segments)` as
+/// returned by [`crate::axis::AxisDist::overlaps`].
+type AxisCandidates = Vec<(usize, Vec<(usize, usize)>)>;
+
+/// Result of an overlap query: the peers found and the candidate count
+/// examined to find them (the observable pruning metric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapHits {
+    /// `(peer rank, overlap pieces clipped to the query)`, ascending by
+    /// rank; every entry holds at least one non-empty region, and within a
+    /// rank the regions are sorted by lower corner.
+    pub hits: Vec<(usize, Vec<Region>)>,
+    /// How many candidate peers (regular) or patches (explicit) the index
+    /// examined. Sublinearity means this tracks the overlap, not `nranks`.
+    pub probes: usize,
+}
+
+/// A borrowed view of a [`Dad`]'s ownership structure supporting overlap
+/// queries. Build once per schedule construction via
+/// [`Dad::overlap_index`]; queries are then independent of the rank count.
+pub enum OverlapIndex<'a> {
+    /// Regular template: per-axis closed-form candidate sets.
+    Regular(&'a Template),
+    /// Explicit patch list behind an axis-0 slab index.
+    Explicit {
+        /// The indexed distribution.
+        dist: &'a ExplicitDist,
+        /// Sorted distinct axis-0 cut points; slab `s` spans
+        /// `[cuts[s], cuts[s+1])`.
+        cuts: Vec<usize>,
+        /// Patch indices whose axis-0 interval covers each slab.
+        slabs: Vec<Vec<usize>>,
+    },
+}
+
+impl<'a> OverlapIndex<'a> {
+    /// Builds the index. O(1) for regular distributions; O(P log P + S·P̄)
+    /// for explicit ones (P patches over S slabs).
+    pub fn new(dad: &'a Dad) -> OverlapIndex<'a> {
+        match dad.distribution() {
+            Distribution::Regular(t) => OverlapIndex::Regular(t),
+            Distribution::Explicit(e) => {
+                let mut cuts: Vec<usize> = Vec::new();
+                if e.extents().ndim() > 0 {
+                    for (p, _) in e.all_patches() {
+                        if !p.is_empty() {
+                            cuts.push(p.lo()[0]);
+                            cuts.push(p.hi()[0]);
+                        }
+                    }
+                    cuts.sort_unstable();
+                    cuts.dedup();
+                }
+                let mut slabs = vec![Vec::new(); cuts.len().saturating_sub(1)];
+                if e.extents().ndim() > 0 {
+                    for (k, (p, _)) in e.all_patches().iter().enumerate() {
+                        if p.is_empty() {
+                            continue;
+                        }
+                        let s_lo = cuts.partition_point(|&c| c < p.lo()[0]);
+                        let s_hi = cuts.partition_point(|&c| c < p.hi()[0]);
+                        for slab in slabs.iter_mut().take(s_hi).skip(s_lo) {
+                            slab.push(k);
+                        }
+                    }
+                }
+                OverlapIndex::Explicit { dist: e, cuts, slabs }
+            }
+        }
+    }
+
+    /// The ranks whose patches overlap `region`, with the overlap pieces.
+    pub fn query(&self, region: &Region) -> OverlapHits {
+        if region.ndim() > 0 && region.is_empty() {
+            return OverlapHits { hits: Vec::new(), probes: 0 };
+        }
+        match self {
+            OverlapIndex::Regular(t) => Self::query_regular(t, region),
+            OverlapIndex::Explicit { dist, cuts, slabs } => {
+                Self::query_explicit(dist, cuts, slabs, region)
+            }
+        }
+    }
+
+    fn query_regular(t: &Template, region: &Region) -> OverlapHits {
+        let nd = region.ndim();
+        // Candidate grid positions per axis, each with its clipped segments.
+        let per_axis: Vec<AxisCandidates> = t
+            .axes()
+            .iter()
+            .enumerate()
+            .map(|(d, ax)| ax.overlaps(region.lo()[d], region.hi()[d], t.extents().dim(d)))
+            .collect();
+        if per_axis.iter().any(|v| v.is_empty()) && nd > 0 {
+            return OverlapHits { hits: Vec::new(), probes: 0 };
+        }
+
+        let mut hits = Vec::new();
+        let mut probes = 0;
+        // Odometer over per-axis candidates, last axis fastest: with the
+        // row-major grid→rank fold this emits peers in ascending order.
+        let mut pick = vec![0usize; nd];
+        let mut coord = vec![0usize; nd];
+        'peers: loop {
+            for d in 0..nd {
+                coord[d] = per_axis[d][pick[d]].0;
+            }
+            let peer = t.grid_to_rank(&coord);
+            probes += 1;
+
+            // Overlap pieces: cross-product of the clipped segment lists.
+            let seglists: Vec<&[(usize, usize)]> =
+                (0..nd).map(|d| per_axis[d][pick[d]].1.as_slice()).collect();
+            let mut regions = Vec::new();
+            let mut spick = vec![0usize; nd];
+            'pieces: loop {
+                let lo: Vec<usize> = (0..nd).map(|d| seglists[d][spick[d]].0).collect();
+                let hi: Vec<usize> =
+                    (0..nd).map(|d| seglists[d][spick[d]].0 + seglists[d][spick[d]].1).collect();
+                regions.push(Region::new(lo, hi));
+                let mut d = nd;
+                loop {
+                    if d == 0 {
+                        break 'pieces;
+                    }
+                    d -= 1;
+                    spick[d] += 1;
+                    if spick[d] < seglists[d].len() {
+                        break;
+                    }
+                    spick[d] = 0;
+                }
+            }
+            hits.push((peer, regions));
+
+            let mut d = nd;
+            loop {
+                if d == 0 {
+                    break 'peers;
+                }
+                d -= 1;
+                pick[d] += 1;
+                if pick[d] < per_axis[d].len() {
+                    break;
+                }
+                pick[d] = 0;
+            }
+        }
+        OverlapHits { hits, probes }
+    }
+
+    fn query_explicit(
+        dist: &ExplicitDist,
+        cuts: &[usize],
+        slabs: &[Vec<usize>],
+        region: &Region,
+    ) -> OverlapHits {
+        let all = dist.all_patches();
+        let mut seen = vec![false; all.len()];
+        let mut per_rank: BTreeMap<usize, Vec<Region>> = BTreeMap::new();
+        let mut probes = 0;
+
+        let mut probe = |k: usize, probes: &mut usize, per_rank: &mut BTreeMap<usize, Vec<Region>>| {
+            if seen[k] {
+                return;
+            }
+            seen[k] = true;
+            *probes += 1;
+            let (patch, owner) = &all[k];
+            if let Some(part) = patch.intersect(region) {
+                per_rank.entry(*owner).or_default().push(part);
+            }
+        };
+
+        if region.ndim() == 0 || cuts.len() < 2 {
+            // Degenerate: no axis-0 structure to index on.
+            for k in 0..all.len() {
+                probe(k, &mut probes, &mut per_rank);
+            }
+        } else {
+            let lo0 = region.lo()[0];
+            let hi0 = region.hi()[0];
+            // Slabs overlapping [lo0, hi0): slab s spans [cuts[s], cuts[s+1]).
+            let s_lo = cuts.partition_point(|&c| c <= lo0).saturating_sub(1);
+            let s_hi = cuts.partition_point(|&c| c < hi0).min(slabs.len());
+            for slab in slabs.iter().take(s_hi).skip(s_lo) {
+                for &k in slab {
+                    probe(k, &mut probes, &mut per_rank);
+                }
+            }
+        }
+
+        let mut hits: Vec<(usize, Vec<Region>)> = per_rank.into_iter().collect();
+        for (_, regions) in &mut hits {
+            regions.sort_by(|a, b| a.lo().cmp(b.lo()));
+        }
+        OverlapHits { hits, probes }
+    }
+}
+
+impl Dad {
+    /// A borrowed overlap index over this descriptor's ownership structure
+    /// (the sublinear-schedule query interface).
+    pub fn overlap_index(&self) -> OverlapIndex<'_> {
+        OverlapIndex::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisDist;
+    use crate::shape::Extents;
+
+    /// Oracle: probe every rank, intersect every patch.
+    fn query_naive(dad: &Dad, region: &Region) -> Vec<(usize, Vec<Region>)> {
+        let mut out = Vec::new();
+        for peer in 0..dad.nranks() {
+            let mut regions: Vec<Region> = dad
+                .patches(peer)
+                .iter()
+                .filter_map(|p| p.intersect(region))
+                .collect();
+            if !regions.is_empty() {
+                regions.sort_by(|a, b| a.lo().cmp(b.lo()));
+                out.push((peer, regions));
+            }
+        }
+        out
+    }
+
+    fn check_all_windows(dad: &Dad) {
+        let index = dad.overlap_index();
+        let full = dad.extents().full_region();
+        // Every sub-window of the whole array (kept small by test shapes).
+        for lo0 in 0..dad.extents().dim(0) {
+            for hi0 in lo0 + 1..=dad.extents().dim(0) {
+                let (mut lo, mut hi) = (full.lo().to_vec(), full.hi().to_vec());
+                lo[0] = lo0;
+                hi[0] = hi0;
+                let q = Region::new(lo, hi);
+                let got = index.query(&q);
+                assert_eq!(got.hits, query_naive(dad, &q), "window {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn regular_block_2d_matches_naive() {
+        check_all_windows(&Dad::block(Extents::new([8, 6]), &[4, 2]).unwrap());
+    }
+
+    #[test]
+    fn regular_mixed_axes_match_naive() {
+        let t = Template::new(
+            Extents::new([12, 10]),
+            vec![
+                AxisDist::BlockCyclic { block: 2, nprocs: 3 },
+                AxisDist::GenBlock { sizes: vec![3, 0, 7] },
+            ],
+        )
+        .unwrap();
+        check_all_windows(&Dad::regular(t));
+    }
+
+    #[test]
+    fn regular_cyclic_implicit_match_naive() {
+        let t = Template::new(
+            Extents::new([9, 6]),
+            vec![
+                AxisDist::Cyclic { nprocs: 4 },
+                AxisDist::Implicit { owners: vec![1, 0, 0, 1, 2, 2], nprocs: 3 },
+            ],
+        )
+        .unwrap();
+        check_all_windows(&Dad::regular(t));
+    }
+
+    #[test]
+    fn explicit_matches_naive() {
+        let d = Dad::explicit(
+            ExplicitDist::new(
+                Extents::new([4, 4]),
+                vec![
+                    (Region::new([0, 0], [2, 3]), 0),
+                    (Region::new([0, 3], [2, 4]), 1),
+                    (Region::new([2, 0], [4, 1]), 2),
+                    (Region::new([2, 1], [4, 4]), 0),
+                ],
+                3,
+            )
+            .unwrap(),
+        );
+        check_all_windows(&d);
+    }
+
+    #[test]
+    fn probe_count_tracks_overlap_not_nranks() {
+        // 1024 ranks along axis 0; a window touching 2 blocks probes 2.
+        let dad = Dad::block(Extents::new([4096, 4]), &[1024, 1]).unwrap();
+        let hits = dad.overlap_index().query(&Region::new([6, 0], [10, 4]));
+        assert_eq!(hits.probes, 2);
+        assert_eq!(hits.hits.len(), 2);
+    }
+
+    #[test]
+    fn zero_dim_array_single_owner() {
+        let t = Template::new(Extents::new(Vec::<usize>::new()), vec![]).unwrap();
+        let dad = Dad::regular(t);
+        let q = Region::new(Vec::<usize>::new(), Vec::<usize>::new());
+        let hits = dad.overlap_index().query(&q);
+        assert_eq!(hits.hits, vec![(0, vec![q])]);
+    }
+
+    #[test]
+    fn empty_query_returns_nothing() {
+        let dad = Dad::block(Extents::new([8]), &[4]).unwrap();
+        let hits = dad.overlap_index().query(&Region::new([3], [3]));
+        assert!(hits.hits.is_empty());
+        assert_eq!(hits.probes, 0);
+    }
+}

@@ -67,6 +67,9 @@ pub use intercomm::InterComm;
 pub use msgsize::MsgSize;
 pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};
-pub use stats::{StatsSnapshot, TrafficClass, WorldStats};
+pub use stats::{
+    record_buffer_lease, record_schedule_build, record_schedule_copy, reset_schedule_stats,
+    schedule_stats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
+};
 pub use universe::{ProgramCtx, Universe};
 pub use world::{Process, World};

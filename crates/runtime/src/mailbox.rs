@@ -32,6 +32,21 @@ pub struct PeerRef {
 struct Inner {
     queue: VecDeque<Envelope>,
     next_seq: u64,
+    /// Queued envelopes carrying a `deliver_at` (fault-plane delays).
+    /// While zero — the fault-free common case — queue scans skip the
+    /// `Instant::now()` read entirely.
+    delayed: usize,
+}
+
+impl Inner {
+    /// Removes the envelope at `i`, maintaining the delayed-message count.
+    fn remove_at(&mut self, i: usize) -> Envelope {
+        let env = self.queue.remove(i).expect("index just found");
+        if env.deliver_at.is_some() {
+            self.delayed -= 1;
+        }
+        env
+    }
 }
 
 /// A single rank's incoming-message queue.
@@ -47,7 +62,7 @@ impl Mailbox {
     /// liveness registry.
     pub fn new(abort: Arc<AtomicBool>, liveness: Arc<Liveness>) -> Self {
         Mailbox {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), next_seq: 0 }),
+            inner: Mutex::new(Inner { queue: VecDeque::new(), next_seq: 0, delayed: 0 }),
             cond: Condvar::new(),
             abort,
             liveness,
@@ -70,6 +85,9 @@ impl Mailbox {
         let mut inner = self.inner.lock();
         env.seq = inner.next_seq;
         inner.next_seq += 1;
+        if env.deliver_at.is_some() {
+            inner.delayed += 1;
+        }
         inner.queue.push_back(env);
         drop(inner);
         self.cond.notify_all();
@@ -81,6 +99,11 @@ impl Mailbox {
     }
 
     fn find(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<usize> {
+        if inner.delayed == 0 {
+            // Nothing in the queue carries a future delivery time, so the
+            // scan needs no clock read (the fault-free hot path).
+            return inner.queue.iter().position(|e| e.matches(context, src, tag));
+        }
         let now = Instant::now();
         inner
             .queue
@@ -91,6 +114,9 @@ impl Mailbox {
     /// Earliest future delivery instant among matching messages (network
     /// model): the moment a blocked receive should re-check.
     fn earliest_pending(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<Instant> {
+        if inner.delayed == 0 {
+            return None;
+        }
         inner
             .queue
             .iter()
@@ -102,7 +128,7 @@ impl Mailbox {
     /// Removes and returns the earliest matching envelope without blocking.
     pub fn try_take(&self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
         let mut inner = self.inner.lock();
-        Self::find(&inner, context, src, tag).and_then(|i| inner.queue.remove(i))
+        Self::find(&inner, context, src, tag).map(|i| inner.remove_at(i))
     }
 
     /// Blocks until a matching envelope arrives and is deliverable, the
@@ -111,7 +137,7 @@ impl Mailbox {
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = Self::find(&inner, context, src, tag) {
-                return Ok(inner.queue.remove(i).expect("index just found"));
+                return Ok(inner.remove_at(i));
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
@@ -142,7 +168,7 @@ impl Mailbox {
         let mut inner = self.inner.lock();
         loop {
             if let Some(i) = Self::find(&inner, context, src, tag) {
-                return Ok(inner.queue.remove(i).expect("index just found"));
+                return Ok(inner.remove_at(i));
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
@@ -155,7 +181,7 @@ impl Mailbox {
             if self.cond.wait_until(&mut inner, wake).timed_out() && wake >= deadline {
                 // One final scan: the message may have raced the timeout.
                 if let Some(i) = Self::find(&inner, context, src, tag) {
-                    return Ok(inner.queue.remove(i).expect("index just found"));
+                    return Ok(inner.remove_at(i));
                 }
                 return Err(RuntimeError::timeout(
                     format!("message (context={context})"),
@@ -356,6 +382,19 @@ mod tests {
                 .unwrap_err(),
             RuntimeError::PeerDead { rank: 1 }
         );
+    }
+
+    #[test]
+    fn delayed_envelope_held_until_deliver_at() {
+        let m = mbox();
+        let at = Instant::now() + Duration::from_millis(40);
+        m.push(Envelope::new(0, 0, 0, 1, 4, Some(at), Box::new(7u32)));
+        assert!(m.try_take(0, Src::Any, Tag::Any).is_none(), "not yet deliverable");
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(val(m.try_take(0, Src::Any, Tag::Any).unwrap()), 7);
+        // Queue is back to the zero-delayed fast path and stays correct.
+        m.push(env(0, 0, 1, 8));
+        assert_eq!(val(m.take(0, Src::Any, Tag::Any, &[]).unwrap()), 8);
     }
 
     #[test]

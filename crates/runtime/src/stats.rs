@@ -6,6 +6,7 @@
 //! that results stay meaningful on a real cluster, where message count and
 //! volume — not thread-to-thread copy speed — dominate.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which runtime layer produced a message.
@@ -166,9 +167,113 @@ impl StatsSnapshot {
     }
 }
 
+/// Per-thread schedule-pipeline counters.
+///
+/// Schedule construction and transfer execution are measured per rank, and
+/// in this runtime every rank is its own thread — so thread-local counters
+/// give each rank (and each `cargo test` thread) a deterministic, isolated
+/// view without cross-rank interference.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Schedules built on this thread.
+    pub builds: u64,
+    /// Candidate peers examined across all builds — the pruning metric: a
+    /// naive build probes `nranks` peers, a pruned build only the peers
+    /// whose patches can overlap.
+    pub peer_probes: u64,
+    /// Non-empty per-peer pair lists emitted by builds.
+    pub pairs_emitted: u64,
+    /// Elements moved through plan-driven pack/unpack/local copies.
+    pub elements_copied: u64,
+    /// Contiguous copy runs executed by plan-driven transfers.
+    pub copy_runs: u64,
+    /// Transfer buffers leased from a pool.
+    pub buffer_leases: u64,
+    /// Leases that had to allocate a fresh buffer (pool empty). In steady
+    /// state this stops growing: buffers circulate instead.
+    pub buffer_allocs: u64,
+}
+
+thread_local! {
+    static SCHEDULE_STATS: Cell<ScheduleStats> = const { Cell::new(ScheduleStats {
+        builds: 0,
+        peer_probes: 0,
+        pairs_emitted: 0,
+        elements_copied: 0,
+        copy_runs: 0,
+        buffer_leases: 0,
+        buffer_allocs: 0,
+    }) };
+}
+
+/// Snapshot of this thread's schedule counters.
+pub fn schedule_stats() -> ScheduleStats {
+    SCHEDULE_STATS.with(Cell::get)
+}
+
+/// Zeroes this thread's schedule counters (between measurement phases).
+pub fn reset_schedule_stats() {
+    SCHEDULE_STATS.with(|c| c.set(ScheduleStats::default()));
+}
+
+/// Records one schedule build: candidate peers examined and non-empty
+/// per-peer pair lists produced.
+pub fn record_schedule_build(peer_probes: u64, pairs_emitted: u64) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.builds += 1;
+        s.peer_probes += peer_probes;
+        s.pairs_emitted += pairs_emitted;
+        c.set(s);
+    });
+}
+
+/// Records plan-driven copy work: `elements` moved in `runs` contiguous runs.
+pub fn record_schedule_copy(elements: u64, runs: u64) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.elements_copied += elements;
+        s.copy_runs += runs;
+        c.set(s);
+    });
+}
+
+/// Records a transfer-buffer lease; `fresh` when the pool had to allocate.
+pub fn record_buffer_lease(fresh: bool) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.buffer_leases += 1;
+        s.buffer_allocs += u64::from(fresh);
+        c.set(s);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn schedule_counters_are_thread_local() {
+        reset_schedule_stats();
+        record_schedule_build(3, 2);
+        record_schedule_copy(100, 4);
+        record_buffer_lease(true);
+        record_buffer_lease(false);
+        let s = schedule_stats();
+        assert_eq!(s.builds, 1);
+        assert_eq!(s.peer_probes, 3);
+        assert_eq!(s.pairs_emitted, 2);
+        assert_eq!(s.elements_copied, 100);
+        assert_eq!(s.copy_runs, 4);
+        assert_eq!(s.buffer_leases, 2);
+        assert_eq!(s.buffer_allocs, 1);
+
+        let other = std::thread::spawn(schedule_stats).join().unwrap();
+        assert_eq!(other, ScheduleStats::default(), "isolated per thread");
+
+        reset_schedule_stats();
+        assert_eq!(schedule_stats(), ScheduleStats::default());
+    }
 
     #[test]
     fn record_and_snapshot() {

@@ -6,6 +6,13 @@
 //! conform to the same distribution template" (paper §2.3). The cache keys
 //! on the *descriptor pair* (plus rank and role), so any array aligned to
 //! the same templates reuses the plan — experiment E6's amortization.
+//!
+//! Keys are the descriptors' precomputed 128-bit fingerprints
+//! ([`Dad::fingerprint`]), not descriptor clones: a lookup hashes two
+//! `u128`s instead of walking (and on insert, deep-copying) patch lists.
+//! Distinct descriptors colliding on both halves of a seeded 128-bit
+//! fingerprint is vanishingly unlikely (~2⁻¹²⁸) and would only yield a
+//! schedule for the colliding layout, caught by the conformance assert.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,10 +23,10 @@ use mxn_dad::Dad;
 
 use crate::region_schedule::{RegionSchedule, Role};
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
-    src: Dad,
-    dst: Dad,
+    src_fp: u128,
+    dst_fp: u128,
     rank: usize,
     role: Role,
 }
@@ -48,7 +55,7 @@ impl ScheduleCache {
         role: Role,
     ) -> Arc<RegionSchedule> {
         use std::sync::atomic::Ordering;
-        let key = Key { src: src.clone(), dst: dst.clone(), rank, role };
+        let key = Key { src_fp: src.fingerprint(), dst_fp: dst.fingerprint(), rank, role };
         let mut map = self.map.lock();
         if let Some(s) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);

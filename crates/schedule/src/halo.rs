@@ -12,8 +12,9 @@
 //! interior is the owned patch, the fringe is filled by
 //! [`HaloSchedule::exchange`].
 
-use mxn_dad::{Dad, LocalArray, Region};
-use mxn_runtime::{Comm, MsgSize, Result};
+use crate::plan::TransferBuffers;
+use mxn_dad::{region_runs, CopyRun, Dad, LocalArray, Region};
+use mxn_runtime::{record_schedule_build, record_schedule_copy, Comm, MsgSize, Result};
 
 /// A ghost-augmented view of one rank's (single) patch.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,10 @@ pub struct HaloSchedule {
     /// `(peer, region)` pairs this rank receives (its halo cells, grouped
     /// by owner).
     recvs: Vec<(usize, Region)>,
+    /// Precompiled copy runs into the expanded buffer, parallel to `sends`.
+    send_runs: Vec<Vec<CopyRun>>,
+    /// Precompiled copy runs into the expanded buffer, parallel to `recvs`.
+    recv_runs: Vec<Vec<CopyRun>>,
     owned: Region,
     expanded: Region,
 }
@@ -94,11 +99,16 @@ impl HaloSchedule {
         let extents = dad.extents().dims().to_vec();
         let expanded = expand(&owned, width, &extents);
 
-        // My halo: expanded minus owned, grouped by owning peer — computed
-        // by intersecting the expanded region with every peer's patch.
+        // My halo: expanded minus owned, grouped by owning peer. Candidate
+        // neighbours come from the descriptor's overlap index queried with
+        // the expanded region — a peer whose halo reaches my patch also has
+        // a patch within `width` of mine, so its patch intersects my
+        // expanded region and the one query covers both directions.
+        let hits = dad.overlap_index().query(&expanded);
         let mut recvs = Vec::new();
         let mut sends = Vec::new();
-        for peer in 0..dad.nranks() {
+        for (peer, _) in &hits.hits {
+            let peer = *peer;
             if peer == rank {
                 continue;
             }
@@ -115,7 +125,15 @@ impl HaloSchedule {
         }
         sends.sort_by_key(|a| (a.0, a.1.lo().to_vec()));
         recvs.sort_by_key(|a| (a.0, a.1.lo().to_vec()));
-        HaloSchedule { sends, recvs, owned, expanded }
+        record_schedule_build(hits.probes as u64, sends.len() as u64);
+        // Precompile each message's copy runs against the expanded buffer,
+        // so exchanges move whole rows instead of single elements.
+        let runs_for = |list: &[(usize, Region)]| -> Vec<Vec<CopyRun>> {
+            list.iter().map(|(_, r)| region_runs([&expanded], r)).collect()
+        };
+        let send_runs = runs_for(&sends);
+        let recv_runs = runs_for(&recvs);
+        HaloSchedule { sends, recvs, send_runs, recv_runs, owned, expanded }
     }
 
     /// The rank's owned region.
@@ -161,19 +179,43 @@ impl HaloSchedule {
     where
         T: Copy + Send + MsgSize + 'static,
     {
-        for (peer, region) in &self.sends {
-            let buf: Vec<T> = region
-                .iter()
-                .map(|idx| ghosted.data[ghosted.expanded.local_offset(&idx)])
-                .collect();
+        let mut pool = TransferBuffers::new();
+        self.exchange_pooled(comm, ghosted, tag, &mut pool)
+    }
+
+    /// [`Self::exchange`] with a caller-owned buffer pool: every rank both
+    /// sends and receives, so received buffers satisfy the next step's
+    /// leases and steady-state stencil loops stop allocating.
+    pub fn exchange_pooled<T>(
+        &self,
+        comm: &Comm,
+        ghosted: &mut GhostedPatch<T>,
+        tag: i32,
+        pool: &mut TransferBuffers<T>,
+    ) -> Result<()>
+    where
+        T: Copy + Send + MsgSize + 'static,
+    {
+        assert_eq!(
+            ghosted.expanded, self.expanded,
+            "ghosted buffer does not match this schedule's expanded region"
+        );
+        for ((peer, region), runs) in self.sends.iter().zip(&self.send_runs) {
+            let mut buf = pool.lease(region.len());
+            for run in runs {
+                buf.extend_from_slice(&ghosted.data[run.patch_off..run.patch_off + run.len]);
+            }
+            record_schedule_copy(buf.len() as u64, runs.len() as u64);
             comm.send(*peer, tag, buf)?;
         }
-        for (peer, region) in &self.recvs {
+        for ((peer, _), runs) in self.recvs.iter().zip(&self.recv_runs) {
             let buf: Vec<T> = comm.recv(*peer, tag)?;
-            for (k, idx) in region.iter().enumerate() {
-                let off = ghosted.expanded.local_offset(&idx);
-                ghosted.data[off] = buf[k];
+            for run in runs {
+                ghosted.data[run.patch_off..run.patch_off + run.len]
+                    .copy_from_slice(&buf[run.sub_off..run.sub_off + run.len]);
             }
+            record_schedule_copy(buf.len() as u64, runs.len() as u64);
+            pool.recycle(buf);
         }
         Ok(())
     }
@@ -278,6 +320,42 @@ mod tests {
             Template::new(Extents::new([8]), vec![AxisDist::Cyclic { nprocs: 2 }]).unwrap(),
         );
         HaloSchedule::build(&dad, 0, 1);
+    }
+
+    #[test]
+    fn build_probes_only_neighbours() {
+        use mxn_runtime::{reset_schedule_stats, schedule_stats};
+        let dad = dad_1d(4096, 256);
+        reset_schedule_stats();
+        let plan = HaloSchedule::build(&dad, 128, 2);
+        let stats = schedule_stats();
+        assert_eq!(plan.num_messages(), 2, "two neighbours");
+        assert!(
+            stats.peer_probes <= 4,
+            "probed {} of 256 ranks for a width-2 halo",
+            stats.peer_probes
+        );
+    }
+
+    #[test]
+    fn pooled_exchange_stops_allocating_after_first_step() {
+        World::run(2, |p| {
+            let comm = p.world();
+            let dad = dad_1d(8, 2);
+            let plan = HaloSchedule::build(&dad, comm.rank(), 1);
+            let local = LocalArray::from_fn(&dad, comm.rank(), |idx| idx[0] as i64);
+            let mut g = plan.allocate(&local);
+            let mut pool = TransferBuffers::new();
+            for step in 0..5 {
+                plan.exchange_pooled(comm, &mut g, step, &mut pool).unwrap();
+            }
+            let (leases, fresh) = pool.stats();
+            assert_eq!(leases, 5);
+            assert_eq!(fresh, 1, "only the first step allocates");
+            for idx in plan.expanded().clone().iter() {
+                assert_eq!(g.get(&idx), idx[0] as i64);
+            }
+        });
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!
 //! * [`RegionSchedule`] — the descriptor fast path: intersect rectangular
 //!   patches directly (CUMULVS/PAWS/InterComm style). Packing moves whole
-//!   rows; messages carry data only.
+//!   rows; messages carry data only. Construction prunes the peer space
+//!   with the descriptor's per-axis overlap index (build cost scales with
+//!   overlapping peers, not communicator size) and compiles each pair into
+//!   a [`CopyPlan`] executed against pooled [`TransferBuffers`].
 //! * [`LinearSchedule`] — the generic path: refer both layouts to the
 //!   abstract 1-D linearization and intersect segment lists (Meta-Chaos
 //!   style). Works for any linearizable structure, pays per-element index
@@ -24,14 +27,16 @@
 pub mod cache;
 pub mod halo;
 pub mod linear_schedule;
+pub mod plan;
 pub mod redistribute;
 pub mod region_schedule;
 
 pub use cache::ScheduleCache;
 pub use halo::{GhostedPatch, HaloSchedule};
 pub use linear_schedule::LinearSchedule;
+pub use plan::{CopyPlan, TransferBuffers};
 pub use redistribute::{
-    recv_redistributed, recv_redistributed_cached, redistribute_within, send_redistributed,
-    send_redistributed_cached,
+    recv_redistributed, recv_redistributed_cached, redistribute_within,
+    redistribute_within_pooled, send_redistributed, send_redistributed_cached,
 };
 pub use region_schedule::{PairRegions, RegionSchedule, Role};

@@ -1,0 +1,238 @@
+//! Precompiled copy plans and pooled transfer buffers.
+//!
+//! The second layer of the schedule pipeline: at build time every
+//! [`crate::PairRegions`] is resolved against the local patch layout into a
+//! [`CopyPlan`] — a flat list of `(patch, patch_offset, buffer_offset,
+//! length)` runs — so steady-state transfer execution is nothing but
+//! `copy_from_slice` loops. Combined with a [`TransferBuffers`] pool the
+//! per-step work allocates no per-region `Vec`s at all: one leased buffer
+//! per peer, refilled in place (the memory-efficient-redistribution model
+//! of the compiled-collective literature).
+
+use mxn_dad::{region_runs, CopyRun, LocalArray, Region};
+use mxn_runtime::{record_buffer_lease, record_schedule_copy};
+
+/// A precompiled pack/unpack program for one peer: contiguous runs that
+/// tile the peer's packed buffer `[0, total)`, each resolved to a patch
+/// index and offset in the local storage layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CopyPlan {
+    /// Runs in ascending buffer-offset order (`sub_off` here is the offset
+    /// into the packed per-peer buffer).
+    runs: Vec<CopyRun>,
+    /// Total elements moved per execution.
+    total: usize,
+}
+
+impl CopyPlan {
+    /// Compiles the plan for a peer's region list against this rank's
+    /// patch layout. `regions` must each be fully covered by `patches`
+    /// (they are, by construction: every pair region is an intersection
+    /// with one of this rank's patches).
+    pub fn compile(patches: &[Region], regions: &[Region]) -> CopyPlan {
+        let mut runs = Vec::new();
+        let mut base = 0;
+        for region in regions {
+            for mut run in region_runs(patches.iter(), region) {
+                run.sub_off += base;
+                runs.push(run);
+            }
+            base += region.len();
+        }
+        CopyPlan { runs, total: base }
+    }
+
+    /// Like [`Self::compile`], but with known provenance: `parts` pairs
+    /// each region with the index of the single patch that covers it, so
+    /// compilation is linear in the region count instead of scanning every
+    /// patch per region (schedule builders know the source patch because
+    /// each pair region *is* an intersection with one local patch).
+    pub fn from_sources(patches: &[Region], parts: &[(usize, Region)]) -> CopyPlan {
+        let mut runs = Vec::new();
+        let mut base = 0;
+        for (pi, region) in parts {
+            for mut run in region_runs([&patches[*pi]], region) {
+                run.patch = *pi;
+                run.sub_off += base;
+                runs.push(run);
+            }
+            base += region.len();
+        }
+        CopyPlan { runs, total: base }
+    }
+
+    /// Elements moved per execution.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of contiguous copy runs.
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Packs the planned elements into `out` (cleared first) with straight
+    /// `extend_from_slice` runs — no per-region allocation, no index
+    /// arithmetic beyond the precompiled offsets.
+    pub fn pack_into<T: Copy>(&self, local: &LocalArray<T>, out: &mut Vec<T>) {
+        out.clear();
+        out.reserve(self.total);
+        for run in &self.runs {
+            let (_, data) = local.patch(run.patch);
+            out.extend_from_slice(&data[run.patch_off..run.patch_off + run.len]);
+        }
+        debug_assert_eq!(out.len(), self.total);
+        record_schedule_copy(self.total as u64, self.runs.len() as u64);
+    }
+
+    /// Unpacks a packed per-peer buffer into local storage with straight
+    /// `copy_from_slice` runs.
+    pub fn unpack_from<T: Copy>(&self, local: &mut LocalArray<T>, data: &[T]) {
+        assert_eq!(data.len(), self.total, "packed buffer length mismatch");
+        for run in &self.runs {
+            let (_, buf) = local.patch_mut(run.patch);
+            buf[run.patch_off..run.patch_off + run.len]
+                .copy_from_slice(&data[run.sub_off..run.sub_off + run.len]);
+        }
+        record_schedule_copy(self.total as u64, self.runs.len() as u64);
+    }
+}
+
+/// A pool of reusable transfer buffers.
+///
+/// The runtime's transport moves payloads by ownership, so a sent buffer
+/// leaves the sender — but every *received* buffer can be recycled, and in
+/// symmetric exchanges (transposes, halo steps, persistent couplings that
+/// send and receive) buffers circulate: after the first step, leases are
+/// satisfied from the free list and fresh allocation stops.
+#[derive(Debug)]
+pub struct TransferBuffers<T> {
+    free: Vec<Vec<T>>,
+    max_free: usize,
+    leases: u64,
+    fresh_allocs: u64,
+}
+
+impl<T> Default for TransferBuffers<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TransferBuffers<T> {
+    /// An empty pool keeping at most 32 idle buffers.
+    pub fn new() -> Self {
+        Self::with_max_free(32)
+    }
+
+    /// An empty pool keeping at most `max_free` idle buffers (recycling
+    /// beyond that drops the buffer, bounding memory in one-directional
+    /// flows where receives outnumber sends).
+    pub fn with_max_free(max_free: usize) -> Self {
+        TransferBuffers { free: Vec::new(), max_free, leases: 0, fresh_allocs: 0 }
+    }
+
+    /// Takes a cleared buffer with at least `capacity` reserved, reusing a
+    /// pooled one when available.
+    pub fn lease(&mut self, capacity: usize) -> Vec<T> {
+        self.leases += 1;
+        match self.free.pop() {
+            Some(mut buf) => {
+                record_buffer_lease(false);
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                record_buffer_lease(true);
+                Vec::with_capacity(capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped if the pool is full).
+    pub fn recycle(&mut self, mut buf: Vec<T>) {
+        if self.free.len() < self.max_free {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// `(leases, fresh_allocs)` so far: in steady state `fresh_allocs`
+    /// stays put while `leases` keeps climbing.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.leases, self.fresh_allocs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::{Dad, Extents};
+
+    #[test]
+    fn plan_pack_unpack_roundtrip() {
+        let dad = Dad::block(Extents::new([4, 4]), &[2, 2]).unwrap();
+        let patches = dad.patches(0); // [0..2) x [0..2)
+        let regions = vec![Region::new([0, 0], [1, 2]), Region::new([1, 0], [2, 1])];
+        let plan = CopyPlan::compile(&patches, &regions);
+        assert_eq!(plan.total(), 3);
+        assert_eq!(plan.num_runs(), 2);
+
+        let local = LocalArray::from_fn(&dad, 0, |idx| (idx[0] * 4 + idx[1]) as i64);
+        let mut buf = Vec::new();
+        plan.pack_into(&local, &mut buf);
+        assert_eq!(buf, vec![0, 1, 4]);
+
+        let mut dst: LocalArray<i64> = LocalArray::allocate(&dad, 0);
+        plan.unpack_from(&mut dst, &buf);
+        assert_eq!(*dst.get(&[0, 1]).unwrap(), 1);
+        assert_eq!(*dst.get(&[1, 0]).unwrap(), 4);
+        assert_eq!(*dst.get(&[1, 1]).unwrap(), 0, "outside plan untouched");
+    }
+
+    #[test]
+    fn pack_into_reuses_capacity() {
+        let dad = Dad::block(Extents::new([8]), &[1]).unwrap();
+        let patches = dad.patches(0);
+        let plan = CopyPlan::compile(&patches, &[Region::new([2], [6])]);
+        let local = LocalArray::from_fn(&dad, 0, |idx| idx[0] as u32);
+        let mut buf = Vec::new();
+        plan.pack_into(&local, &mut buf);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        for _ in 0..10 {
+            plan.pack_into(&local, &mut buf);
+        }
+        assert_eq!(buf.capacity(), cap, "no growth across repeated packs");
+        assert_eq!(buf.as_ptr(), ptr, "no reallocation across repeated packs");
+    }
+
+    #[test]
+    fn pool_circulates_buffers() {
+        let mut pool: TransferBuffers<u8> = TransferBuffers::new();
+        let a = pool.lease(16);
+        assert_eq!(pool.stats(), (1, 1), "first lease allocates");
+        pool.recycle(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.lease(8);
+        assert_eq!(pool.stats(), (2, 1), "second lease reuses");
+        assert!(b.capacity() >= 8);
+        pool.recycle(b);
+    }
+
+    #[test]
+    fn pool_bounds_idle_buffers() {
+        let mut pool: TransferBuffers<u8> = TransferBuffers::with_max_free(2);
+        for _ in 0..5 {
+            pool.recycle(Vec::with_capacity(4));
+        }
+        assert_eq!(pool.idle(), 2);
+    }
+}

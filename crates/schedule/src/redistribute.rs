@@ -9,6 +9,7 @@ use mxn_dad::{Dad, LocalArray};
 use mxn_runtime::{Comm, InterComm, MsgSize, Result};
 
 use crate::cache::ScheduleCache;
+use crate::plan::TransferBuffers;
 use crate::region_schedule::{RegionSchedule, Role};
 
 /// Sender side of a one-shot cross-program redistribution.
@@ -94,6 +95,27 @@ where
     Ok(dst_local)
 }
 
+/// Steady-state variant of [`redistribute_within`] for couplings that
+/// redistribute every timestep: the caller keeps the built schedules, the
+/// destination storage, and a [`TransferBuffers`] pool, so repeated calls
+/// perform no schedule construction and no per-region allocation (fresh
+/// buffer allocation stops once the pool warms up).
+#[allow(clippy::too_many_arguments)]
+pub fn redistribute_within_pooled<T>(
+    comm: &Comm,
+    send: &RegionSchedule,
+    recv: &RegionSchedule,
+    src_local: &LocalArray<T>,
+    dst_local: &mut LocalArray<T>,
+    tag: i32,
+    pool: &mut TransferBuffers<T>,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
+    RegionSchedule::execute_local_pooled(send, recv, comm, src_local, dst_local, tag, pool)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +179,36 @@ mod tests {
             }
             // 4 steps, 1 build: 3 hits.
             assert_eq!(cache.stats(), (3, 1));
+        });
+    }
+
+    #[test]
+    fn pooled_transpose_loop() {
+        World::run(3, |p| {
+            let comm = p.world();
+            let e = Extents::new([6, 6]);
+            let src = Dad::block(e.clone(), &[3, 1]).unwrap();
+            let dst = Dad::block(e, &[1, 3]).unwrap();
+            let send = RegionSchedule::for_sender(&src, &dst, comm.rank());
+            let recv = RegionSchedule::for_receiver(&src, &dst, comm.rank());
+            let mut dst_local: LocalArray<i64> = LocalArray::allocate(&dst, comm.rank());
+            let mut pool = TransferBuffers::new();
+            for step in 0..4i64 {
+                let src_local = LocalArray::from_fn(&src, comm.rank(), |idx| {
+                    (idx[0] * 6 + idx[1]) as i64 + step
+                });
+                let moved = redistribute_within_pooled(
+                    comm, &send, &recv, &src_local, &mut dst_local, step as i32, &mut pool,
+                )
+                .unwrap();
+                comm.barrier().unwrap();
+                assert_eq!(moved, 12);
+                for (idx, &v) in dst_local.iter() {
+                    assert_eq!(v, (idx[0] * 6 + idx[1]) as i64 + step);
+                }
+            }
+            let (_, fresh) = pool.stats();
+            assert_eq!(fresh, send.num_messages() as u64, "pool warmed after step 1");
         });
     }
 

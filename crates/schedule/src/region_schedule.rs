@@ -3,9 +3,24 @@
 //! This is the approach of CUMULVS, PAWS and InterComm (paper §3): "distill
 //! a given data decomposition on a per dimension basis into subregions or
 //! sub-sampled patches". A schedule is computed *per rank, per side* by
-//! intersecting this rank's rectangular patches with every peer rank's
-//! patches — no central coordinator, so schedule creation is not serialized
-//! (the Section 3 scalability requirement, measured by E14).
+//! intersecting this rank's rectangular patches with peer patches — no
+//! central coordinator, so schedule creation is not serialized (the
+//! Section 3 scalability requirement, measured by E14).
+//!
+//! Construction is a two-layer pipeline:
+//!
+//! 1. **Pruned peer discovery.** Instead of probing every peer rank, the
+//!    peer descriptor's [`mxn_dad::OverlapIndex`] resolves each local patch
+//!    to the peers that can overlap it per axis (binary search / closed
+//!    form on the axis distributions), so build cost scales with the
+//!    *overlapping* peer count, not the communicator size. The historical
+//!    all-pairs construction survives as [`RegionSchedule::for_sender_naive`]
+//!    / [`RegionSchedule::for_receiver_naive`] — a test oracle and bench
+//!    baseline that produces byte-identical schedules.
+//! 2. **Plan compilation.** Every per-peer region list is compiled into a
+//!    [`CopyPlan`] against this rank's patch layout, so steady-state
+//!    execution is `copy_from_slice` runs into pooled buffers
+//!    ([`TransferBuffers`]) with no per-region allocation.
 //!
 //! Because sender and receiver compute the same pairwise intersections and
 //! canonicalize their order, a transfer message carries *only data*: one
@@ -13,8 +28,11 @@
 //! makes precomputed schedules cheaper than the receiver-request protocol
 //! after a few reuses (experiment E7).
 
+use std::collections::BTreeMap;
+
+use crate::plan::{CopyPlan, TransferBuffers};
 use mxn_dad::{Dad, LocalArray, Region};
-use mxn_runtime::{Comm, InterComm, MsgSize, Result};
+use mxn_runtime::{record_schedule_build, Comm, InterComm, MsgSize, Result};
 
 /// The regions this rank exchanges with one peer, canonically ordered.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,37 +65,87 @@ pub struct RegionSchedule {
     role: Role,
     my_rank: usize,
     pairs: Vec<PairRegions>,
+    /// One precompiled copy plan per pair, against `my_patches`.
+    plans: Vec<CopyPlan>,
+    /// This rank's patch layout at build time; execution asserts the
+    /// `LocalArray` it is handed matches, since plan offsets index into it.
+    my_patches: Vec<Region>,
 }
 
-fn intersect_patches(mine: &[Region], theirs: &[Region]) -> Vec<Region> {
-    let mut out = Vec::new();
-    for p in mine {
-        for q in theirs {
-            if let Some(r) = p.intersect(q) {
-                out.push(r);
-            }
-        }
-    }
-    out.sort_by(|a, b| a.lo().cmp(b.lo()));
-    out
+/// Sorts `(source patch, region)` parts into the canonical by-lower-corner
+/// order and splits them into a [`PairRegions`] plus its compiled plan.
+/// Pieces are pairwise disjoint (distinct local patches or distinct peer
+/// patches), so lower corners are distinct and the order is deterministic
+/// and identical between the pruned and naive constructions.
+fn finish_pair(peer: usize, mine: &[Region], mut parts: Vec<(usize, Region)>) -> (PairRegions, CopyPlan) {
+    parts.sort_by(|a, b| a.1.lo().cmp(b.1.lo()));
+    let plan = CopyPlan::from_sources(mine, &parts);
+    let regions = parts.into_iter().map(|(_, r)| r).collect();
+    (PairRegions { peer, regions }, plan)
 }
 
 impl RegionSchedule {
+    /// Pruned construction: per-axis overlap queries give the candidate
+    /// peers for each local patch, so only peers that can actually overlap
+    /// are probed.
     fn build(me_dad: &Dad, peer_dad: &Dad, my_rank: usize, role: Role) -> RegionSchedule {
         assert!(
             me_dad.conforms(peer_dad),
             "source and destination descriptors must share global extents"
         );
         let mine = me_dad.patches(my_rank);
-        let mut pairs = Vec::new();
-        for peer in 0..peer_dad.nranks() {
-            let theirs = peer_dad.patches(peer);
-            let regions = intersect_patches(&mine, &theirs);
-            if !regions.is_empty() {
-                pairs.push(PairRegions { peer, regions });
+        let index = peer_dad.overlap_index();
+        let mut probes = 0u64;
+        let mut per_peer: BTreeMap<usize, Vec<(usize, Region)>> = BTreeMap::new();
+        for (pi, patch) in mine.iter().enumerate() {
+            let hits = index.query(patch);
+            probes += hits.probes as u64;
+            for (peer, regions) in hits.hits {
+                per_peer
+                    .entry(peer)
+                    .or_default()
+                    .extend(regions.into_iter().map(|r| (pi, r)));
             }
         }
-        RegionSchedule { role, my_rank, pairs }
+        let mut pairs = Vec::with_capacity(per_peer.len());
+        let mut plans = Vec::with_capacity(pairs.capacity());
+        for (peer, parts) in per_peer {
+            let (pair, plan) = finish_pair(peer, &mine, parts);
+            pairs.push(pair);
+            plans.push(plan);
+        }
+        record_schedule_build(probes, pairs.len() as u64);
+        RegionSchedule { role, my_rank, pairs, plans, my_patches: mine }
+    }
+
+    /// All-pairs construction (probes every peer rank). Kept as the test
+    /// oracle and bench baseline for the pruned [`Self::build`].
+    fn build_naive(me_dad: &Dad, peer_dad: &Dad, my_rank: usize, role: Role) -> RegionSchedule {
+        assert!(
+            me_dad.conforms(peer_dad),
+            "source and destination descriptors must share global extents"
+        );
+        let mine = me_dad.patches(my_rank);
+        let mut pairs = Vec::new();
+        let mut plans = Vec::new();
+        for peer in 0..peer_dad.nranks() {
+            let theirs = peer_dad.patches(peer);
+            let mut parts = Vec::new();
+            for (pi, p) in mine.iter().enumerate() {
+                for q in &theirs {
+                    if let Some(r) = p.intersect(q) {
+                        parts.push((pi, r));
+                    }
+                }
+            }
+            if !parts.is_empty() {
+                let (pair, plan) = finish_pair(peer, &mine, parts);
+                pairs.push(pair);
+                plans.push(plan);
+            }
+        }
+        record_schedule_build(peer_dad.nranks() as u64, pairs.len() as u64);
+        RegionSchedule { role, my_rank, pairs, plans, my_patches: mine }
     }
 
     /// Builds the sending side's schedule for `my_rank` of `src`.
@@ -88,6 +156,16 @@ impl RegionSchedule {
     /// Builds the receiving side's schedule for `my_rank` of `dst`.
     pub fn for_receiver(src: &Dad, dst: &Dad, my_rank: usize) -> RegionSchedule {
         Self::build(dst, src, my_rank, Role::Receiver)
+    }
+
+    /// All-pairs variant of [`Self::for_sender`] (test oracle / baseline).
+    pub fn for_sender_naive(src: &Dad, dst: &Dad, my_rank: usize) -> RegionSchedule {
+        Self::build_naive(src, dst, my_rank, Role::Sender)
+    }
+
+    /// All-pairs variant of [`Self::for_receiver`] (test oracle / baseline).
+    pub fn for_receiver_naive(src: &Dad, dst: &Dad, my_rank: usize) -> RegionSchedule {
+        Self::build_naive(dst, src, my_rank, Role::Receiver)
     }
 
     /// The schedule's role.
@@ -103,6 +181,11 @@ impl RegionSchedule {
     /// Per-peer transfer plans (peers with nothing to exchange omitted).
     pub fn pairs(&self) -> &[PairRegions] {
         &self.pairs
+    }
+
+    /// The precompiled copy plan for pair `i` (parallel to [`Self::pairs`]).
+    pub fn plan(&self, i: usize) -> &CopyPlan {
+        &self.plans[i]
     }
 
     /// Number of messages this rank will send (or receive).
@@ -129,22 +212,26 @@ impl RegionSchedule {
             .sum()
     }
 
-    fn pack_for<T: Copy>(&self, pair: &PairRegions, local: &LocalArray<T>) -> Vec<T> {
-        let mut buf = Vec::with_capacity(pair.elements());
-        for region in &pair.regions {
-            buf.extend(local.pack_region(region));
-        }
-        buf
+    fn check_layout<T>(&self, local: &LocalArray<T>) {
+        assert!(
+            local.num_patches() == self.my_patches.len()
+                && local.regions().eq(self.my_patches.iter()),
+            "LocalArray layout does not match the descriptor/rank this schedule was built for"
+        );
     }
 
-    fn unpack_from<T: Copy>(&self, pair: &PairRegions, local: &mut LocalArray<T>, data: &[T]) {
-        let mut cursor = 0;
-        for region in &pair.regions {
-            let n = region.len();
-            local.unpack_region(region, &data[cursor..cursor + n]);
-            cursor += n;
-        }
-        debug_assert_eq!(cursor, data.len(), "packed buffer fully consumed");
+    /// Packs the regions exchanged with pair `i` into `out` (cleared
+    /// first) via the precompiled plan — no per-region allocation.
+    pub fn pack_pair_into<T: Copy>(&self, i: usize, local: &LocalArray<T>, out: &mut Vec<T>) {
+        self.check_layout(local);
+        self.plans[i].pack_into(local, out);
+    }
+
+    /// Unpacks a packed per-peer buffer for pair `i` via the precompiled
+    /// plan.
+    pub fn unpack_pair_from<T: Copy>(&self, i: usize, local: &mut LocalArray<T>, data: &[T]) {
+        self.check_layout(local);
+        self.plans[i].unpack_from(local, data);
     }
 
     /// Sender side, across an inter-communicator: one packed message per
@@ -161,10 +248,29 @@ impl RegionSchedule {
     where
         T: Copy + Send + MsgSize + 'static,
     {
+        let mut pool = TransferBuffers::new();
+        self.execute_send_pooled(ic, local, tag, &mut pool)
+    }
+
+    /// [`Self::execute_send`] drawing message buffers from a caller-owned
+    /// pool (the transport consumes the buffer, so sends alone cannot
+    /// recycle — pair with a receive path that feeds the same pool).
+    pub fn execute_send_pooled<T>(
+        &self,
+        ic: &InterComm,
+        local: &LocalArray<T>,
+        tag: i32,
+        pool: &mut TransferBuffers<T>,
+    ) -> Result<usize>
+    where
+        T: Copy + Send + MsgSize + 'static,
+    {
         assert_eq!(self.role, Role::Sender, "execute_send needs a sender schedule");
+        self.check_layout(local);
         let mut moved = 0;
-        for pair in &self.pairs {
-            let buf = self.pack_for(pair, local);
+        for (pair, plan) in self.pairs.iter().zip(&self.plans) {
+            let mut buf = pool.lease(plan.total());
+            plan.pack_into(local, &mut buf);
             moved += buf.len();
             ic.send(pair.peer, tag, buf)?;
         }
@@ -185,12 +291,30 @@ impl RegionSchedule {
     where
         T: Copy + Send + MsgSize + 'static,
     {
+        let mut pool = TransferBuffers::new();
+        self.execute_recv_pooled(ic, local, tag, &mut pool)
+    }
+
+    /// [`Self::execute_recv`] recycling every received buffer into a
+    /// caller-owned pool for later sends to draw from.
+    pub fn execute_recv_pooled<T>(
+        &self,
+        ic: &InterComm,
+        local: &mut LocalArray<T>,
+        tag: i32,
+        pool: &mut TransferBuffers<T>,
+    ) -> Result<usize>
+    where
+        T: Copy + Send + MsgSize + 'static,
+    {
         assert_eq!(self.role, Role::Receiver, "execute_recv needs a receiver schedule");
+        self.check_layout(local);
         let mut moved = 0;
-        for pair in &self.pairs {
+        for (pair, plan) in self.pairs.iter().zip(&self.plans) {
             let data: Vec<T> = ic.recv(pair.peer, tag)?;
             moved += data.len();
-            self.unpack_from(pair, local, &data);
+            plan.unpack_from(local, &data);
+            pool.recycle(data);
         }
         Ok(moved)
     }
@@ -211,17 +335,41 @@ impl RegionSchedule {
     where
         T: Copy + Send + MsgSize + 'static,
     {
+        let mut pool = TransferBuffers::new();
+        Self::execute_local_pooled(send, recv, comm, src_local, dst_local, tag, &mut pool)
+    }
+
+    /// [`Self::execute_local`] with a caller-owned buffer pool. Because
+    /// every rank both sends and receives, buffers circulate: received
+    /// buffers are recycled and satisfy the next step's leases, so fresh
+    /// allocation stops after the first step of a steady-state exchange.
+    pub fn execute_local_pooled<T>(
+        send: &RegionSchedule,
+        recv: &RegionSchedule,
+        comm: &Comm,
+        src_local: &LocalArray<T>,
+        dst_local: &mut LocalArray<T>,
+        tag: i32,
+        pool: &mut TransferBuffers<T>,
+    ) -> Result<usize>
+    where
+        T: Copy + Send + MsgSize + 'static,
+    {
         assert_eq!(send.role, Role::Sender);
         assert_eq!(recv.role, Role::Receiver);
-        for pair in &send.pairs {
-            let buf = send.pack_for(pair, src_local);
+        send.check_layout(src_local);
+        recv.check_layout(dst_local);
+        for (pair, plan) in send.pairs.iter().zip(&send.plans) {
+            let mut buf = pool.lease(plan.total());
+            plan.pack_into(src_local, &mut buf);
             comm.send(pair.peer, tag, buf)?;
         }
         let mut moved = 0;
-        for pair in &recv.pairs {
+        for (pair, plan) in recv.pairs.iter().zip(&recv.plans) {
             let data: Vec<T> = comm.recv(pair.peer, tag)?;
             moved += data.len();
-            recv.unpack_from(pair, dst_local, &data);
+            plan.unpack_from(dst_local, &data);
+            pool.recycle(data);
         }
         Ok(moved)
     }
@@ -231,7 +379,7 @@ impl RegionSchedule {
 mod tests {
     use super::*;
     use mxn_dad::{AxisDist, Extents, Template};
-    use mxn_runtime::{Universe, World};
+    use mxn_runtime::{reset_schedule_stats, schedule_stats, Universe, World};
 
     fn value(idx: &[usize], cols: usize) -> f64 {
         (idx[0] * cols + idx[1]) as f64
@@ -256,10 +404,94 @@ mod tests {
     }
 
     #[test]
+    fn pruned_matches_naive_oracle() {
+        let e = Extents::new([24, 24]);
+        let dads = [
+            Dad::block(e.clone(), &[4, 2]).unwrap(),
+            Dad::block(e.clone(), &[1, 8]).unwrap(),
+            Dad::regular(
+                Template::new(
+                    e.clone(),
+                    vec![
+                        AxisDist::BlockCyclic { block: 3, nprocs: 4 },
+                        AxisDist::Cyclic { nprocs: 2 },
+                    ],
+                )
+                .unwrap(),
+            ),
+        ];
+        for src in &dads {
+            for dst in &dads {
+                for rank in 0..src.nranks() {
+                    let pruned = RegionSchedule::for_sender(src, dst, rank);
+                    let naive = RegionSchedule::for_sender_naive(src, dst, rank);
+                    assert_eq!(pruned, naive, "sender rank {rank}");
+                }
+                for rank in 0..dst.nranks() {
+                    let pruned = RegionSchedule::for_receiver(src, dst, rank);
+                    let naive = RegionSchedule::for_receiver_naive(src, dst, rank);
+                    assert_eq!(pruned, naive, "receiver rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_probes_scale_with_overlap_not_nranks() {
+        // 256 → 256 block↔block: only 16 of the 256 column-block receivers
+        // own a non-empty column, and the index probes exactly those.
+        let e = Extents::new([4096, 16]);
+        let src = Dad::block(e.clone(), &[256, 1]).unwrap();
+        let dst = Dad::block(e, &[1, 256]).unwrap();
+        reset_schedule_stats();
+        let s = RegionSchedule::for_sender(&src, &dst, 17);
+        let stats = schedule_stats();
+        assert_eq!(stats.builds, 1);
+        assert_eq!(s.num_messages(), 16, "row block meets 16 non-empty col blocks");
+        assert!(
+            stats.peer_probes <= 18,
+            "probed {} peers out of 256",
+            stats.peer_probes
+        );
+
+        // Aligned 256 → 256 (same layout both sides): one overlapping peer.
+        let e2 = Extents::new([4096, 16]);
+        let a = Dad::block(e2.clone(), &[256, 1]).unwrap();
+        let b = Dad::block(e2, &[256, 1]).unwrap();
+        reset_schedule_stats();
+        let s = RegionSchedule::for_sender(&a, &b, 100);
+        let stats = schedule_stats();
+        assert_eq!(s.num_messages(), 1);
+        assert!(
+            stats.peer_probes <= 3,
+            "probed {} peers out of 256 for an aligned redistribution",
+            stats.peer_probes
+        );
+
+        // Naive oracle probes all 256 by construction.
+        reset_schedule_stats();
+        let _ = RegionSchedule::for_sender_naive(&a, &b, 100);
+        assert_eq!(schedule_stats().peer_probes, 256);
+    }
+
+    #[test]
     fn conformance_checked() {
         let a = Dad::block(Extents::new([4]), &[2]).unwrap();
         let b = Dad::block(Extents::new([5]), &[2]).unwrap();
         let r = std::panic::catch_unwind(|| RegionSchedule::for_sender(&a, &b, 0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let e = Extents::new([8, 8]);
+        let src = Dad::block(e.clone(), &[4, 1]).unwrap();
+        let dst = Dad::block(e, &[1, 2]).unwrap();
+        let sched = RegionSchedule::for_sender(&src, &dst, 1);
+        // A LocalArray for the wrong rank must be rejected, not misread.
+        let local = LocalArray::from_fn(&src, 0, |idx| value(idx, 8));
+        let mut out = Vec::new();
+        let r = std::panic::catch_unwind(move || sched.pack_pair_into(0, &local, &mut out));
         assert!(r.is_err());
     }
 
@@ -352,6 +584,43 @@ mod tests {
             )
             .unwrap();
             assert_eq!(moved, 16);
+            for (idx, &v) in dst_local.iter() {
+                assert_eq!(v, value(&idx, 8));
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_transpose_stops_allocating_after_first_step() {
+        World::run(4, |p| {
+            let comm = p.world();
+            let e = Extents::new([8, 8]);
+            let src = Dad::block(e.clone(), &[4, 1]).unwrap();
+            let dst = Dad::block(e, &[1, 4]).unwrap();
+            let send = RegionSchedule::for_sender(&src, &dst, comm.rank());
+            let recv = RegionSchedule::for_receiver(&src, &dst, comm.rank());
+            let src_local = LocalArray::from_fn(&src, comm.rank(), |idx| value(idx, 8));
+            let mut dst_local: LocalArray<f64> = LocalArray::allocate(&dst, comm.rank());
+            let mut pool = TransferBuffers::new();
+            let mut after_first = 0;
+            for step in 0..6 {
+                RegionSchedule::execute_local_pooled(
+                    &send, &recv, comm, &src_local, &mut dst_local, step, &mut pool,
+                )
+                .unwrap();
+                // Everyone recycles what they received before the next
+                // step's sends, so the steady state leases from the pool.
+                comm.barrier().unwrap();
+                if step == 0 {
+                    after_first = pool.stats().1;
+                }
+            }
+            let (leases, fresh) = pool.stats();
+            assert_eq!(leases, 6 * send.num_messages() as u64);
+            assert_eq!(
+                fresh, after_first,
+                "steady-state steps allocated fresh buffers"
+            );
             for (idx, &v) in dst_local.iter() {
                 assert_eq!(v, value(&idx, 8));
             }
