@@ -96,11 +96,9 @@ fn run_field_at_a_time(nfields: usize, iters: u64) -> std::time::Duration {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_mct_interp");
     for nfields in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("multifield_apply", nfields),
-            &nfields,
-            |b, &n| b.iter_custom(|iters| run_multifield(n, iters)),
-        );
+        group.bench_with_input(BenchmarkId::new("multifield_apply", nfields), &nfields, |b, &n| {
+            b.iter_custom(|iters| run_multifield(n, iters))
+        });
         if nfields > 1 {
             group.bench_with_input(
                 BenchmarkId::new("field_at_a_time", nfields),

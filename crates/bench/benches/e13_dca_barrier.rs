@@ -31,11 +31,8 @@ fn run_full(callers: usize, uniform: bool, iters: u64) -> Duration {
     time_universe(&[callers, 1], |ctx| {
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
-            let port = if uniform {
-                DcaPort::uniform(0, callers)
-            } else {
-                DcaPort::new(0, callers)
-            };
+            let port =
+                if uniform { DcaPort::uniform(0, callers) } else { DcaPort::new(0, callers) };
             let start = Instant::now();
             for _ in 0..iters {
                 let _: f64 = port.invoke(ic, &ctx.comm, &ctx.comm, 1, 1.0f64).unwrap();

@@ -65,7 +65,10 @@ fn bench(c: &mut Criterion) {
         std::hint::black_box(RegionSchedule::for_receiver(&src, &dst, proc.rank()));
     });
     assert_eq!(stats.total_messages(), 0, "schedule construction is communication-free");
-    println!("\n--- E14: schedule construction sent {} messages (expected 0) ---", stats.total_messages());
+    println!(
+        "\n--- E14: schedule construction sent {} messages (expected 0) ---",
+        stats.total_messages()
+    );
 }
 
 criterion_group! {

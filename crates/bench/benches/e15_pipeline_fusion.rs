@@ -44,9 +44,7 @@ fn run(optimize: bool, iters: u64) -> std::time::Duration {
         let seed = LocalArray::from_fn(&input, comm.rank(), field_value);
         let start = Instant::now();
         for i in 0..iters {
-            let out = pipe
-                .execute(comm, seed.clone(), ((i as usize * 8) & 0xfff) as i32)
-                .unwrap();
+            let out = pipe.execute(comm, seed.clone(), ((i as usize * 8) & 0xfff) as i32).unwrap();
             std::hint::black_box(out);
         }
         start.elapsed()

@@ -42,9 +42,7 @@ fn session(use_schedule: bool, transfers: usize, iters: u64) -> Duration {
                     // Setup is part of the measured session.
                     let sched = RegionSchedule::for_sender(&src, &dst, rank);
                     for k in 0..transfers {
-                        sched
-                            .execute_send(ic, &local, ((i as usize + k) & 0xfff) as i32)
-                            .unwrap();
+                        sched.execute_send(ic, &local, ((i as usize + k) & 0xfff) as i32).unwrap();
                     }
                 } else {
                     for _ in 0..transfers {

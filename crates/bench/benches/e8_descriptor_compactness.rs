@@ -24,8 +24,7 @@ fn variants() -> Vec<(&'static str, Dad)> {
     let chunk = ROWS / P;
 
     let block = Dad::regular(
-        Template::new(e.clone(), vec![AxisDist::Block { nprocs: P }, AxisDist::Collapsed])
-            .unwrap(),
+        Template::new(e.clone(), vec![AxisDist::Block { nprocs: P }, AxisDist::Collapsed]).unwrap(),
     );
     let block_cyclic = Dad::regular(
         Template::new(
@@ -45,10 +44,7 @@ fn variants() -> Vec<(&'static str, Dad)> {
         Template::new(
             e.clone(),
             vec![
-                AxisDist::Implicit {
-                    owners: (0..ROWS).map(|r| r / chunk).collect(),
-                    nprocs: P,
-                },
+                AxisDist::Implicit { owners: (0..ROWS).map(|r| r / chunk).collect(), nprocs: P },
                 AxisDist::Collapsed,
             ],
         )
@@ -57,11 +53,7 @@ fn variants() -> Vec<(&'static str, Dad)> {
     let explicit = Dad::explicit(
         ExplicitDist::new(
             e,
-            (0..P)
-                .map(|p| {
-                    (Region::new([p * chunk, 0], [(p + 1) * chunk, COLS]), p)
-                })
-                .collect(),
+            (0..P).map(|p| (Region::new([p * chunk, 0], [(p + 1) * chunk, COLS]), p)).collect(),
             P,
         )
         .unwrap(),
@@ -88,8 +80,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("e8_descriptor_compactness");
     // Owner queries over a strided index set.
-    let queries: Vec<Vec<usize>> =
-        (0..ROWS).step_by(37).map(|r| vec![r, r % COLS]).collect();
+    let queries: Vec<Vec<usize>> = (0..ROWS).step_by(37).map(|r| vec![r, r % COLS]).collect();
     for (name, dad) in &variants {
         group.bench_with_input(BenchmarkId::new("owner_query", name), dad, |b, dad| {
             b.iter(|| {

@@ -13,12 +13,7 @@ use mxn_dad::{Dad, Extents, LocalArray};
 use mxn_schedule::RegionSchedule;
 
 /// Times `iters` cached-schedule transfers between an m-grid and n-grid.
-fn run_transfer(
-    m_grid: &[usize],
-    n_grid: &[usize],
-    extents: &Extents,
-    iters: u64,
-) -> Duration {
+fn run_transfer(m_grid: &[usize], n_grid: &[usize], extents: &Extents, iters: u64) -> Duration {
     let m: usize = m_grid.iter().product();
     let n: usize = n_grid.iter().product();
     let src = Dad::block(extents.clone(), m_grid).unwrap();
@@ -77,10 +72,9 @@ fn bench(c: &mut Criterion) {
 
     // Report the communication structure (the "who talks to whom" table).
     println!("\n--- F1 message structure (per transfer) ---");
-    for (m_grid, n_grid, label) in [
-        (vec![2, 2, 2], vec![3, 3, 3], "figure1 8→27"),
-        (vec![4, 2], vec![3, 3], "8→9 2-D"),
-    ] {
+    for (m_grid, n_grid, label) in
+        [(vec![2, 2, 2], vec![3, 3, 3], "figure1 8→27"), (vec![4, 2], vec![3, 3], "8→9 2-D")]
+    {
         let extents =
             if m_grid.len() == 3 { Extents::new([24, 24, 24]) } else { Extents::new([256, 256]) };
         let src = Dad::block(extents.clone(), &m_grid).unwrap();

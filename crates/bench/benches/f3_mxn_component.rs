@@ -28,9 +28,8 @@ fn run_kind(kind: ConnectionKind, reconnect_each_iter: bool, iters: u64) -> std:
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
             let mut mxn = MxnComponent::new(rank);
-            let data = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(
-                &src, rank, field_value,
-            )));
+            let data =
+                Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(&src, rank, field_value)));
             mxn.register_field("f", src.clone(), AccessMode::Read, data).unwrap();
             if reconnect_each_iter {
                 let start = Instant::now();

@@ -45,16 +45,12 @@ fn run(callers: usize, policy: DeliveryPolicy, iters: u64) -> Duration {
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("f5_sync_barrier");
     for callers in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("eager_delivery", callers),
-            &callers,
-            |b, &m| b.iter_custom(|iters| run(m, DeliveryPolicy::eager(), iters)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("barrier_delayed", callers),
-            &callers,
-            |b, &m| b.iter_custom(|iters| run(m, DeliveryPolicy::safe(), iters)),
-        );
+        group.bench_with_input(BenchmarkId::new("eager_delivery", callers), &callers, |b, &m| {
+            b.iter_custom(|iters| run(m, DeliveryPolicy::eager(), iters))
+        });
+        group.bench_with_input(BenchmarkId::new("barrier_delayed", callers), &callers, |b, &m| {
+            b.iter_custom(|iters| run(m, DeliveryPolicy::safe(), iters))
+        });
     }
     group.finish();
 }

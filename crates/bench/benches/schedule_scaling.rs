@@ -117,15 +117,20 @@ fn transfer_reuse(steps: usize) -> (f64, u64, u64) {
         let dst = Dad::block(e, &[1, 4]).unwrap();
         let send = RegionSchedule::for_sender(&src, &dst, comm.rank());
         let recv = RegionSchedule::for_receiver(&src, &dst, comm.rank());
-        let src_local =
-            LocalArray::from_fn(&src, comm.rank(), |idx| (idx[0] * 64 + idx[1]) as f64);
+        let src_local = LocalArray::from_fn(&src, comm.rank(), |idx| (idx[0] * 64 + idx[1]) as f64);
         let mut dst_local: LocalArray<f64> = LocalArray::allocate(&dst, comm.rank());
         let mut pool = TransferBuffers::new();
         let mut after_first = 0;
         let start = Instant::now();
         for step in 0..steps {
             RegionSchedule::execute_local_pooled(
-                &send, &recv, comm, &src_local, &mut dst_local, step as i32, &mut pool,
+                &send,
+                &recv,
+                comm,
+                &src_local,
+                &mut dst_local,
+                step as i32,
+                &mut pool,
             )
             .unwrap();
             comm.barrier().unwrap();

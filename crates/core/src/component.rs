@@ -79,7 +79,15 @@ impl MxnComponent {
         kind: ConnectionKind,
     ) -> Result<MxnConnection> {
         let id = self.alloc_id();
-        MxnConnection::initiate(ic, &self.registry, id, my_field, peer_field, Direction::Export, kind)
+        MxnConnection::initiate(
+            ic,
+            &self.registry,
+            id,
+            my_field,
+            peer_field,
+            Direction::Export,
+            kind,
+        )
     }
 
     /// Destination-initiated import ("pull") connection.
@@ -91,7 +99,15 @@ impl MxnComponent {
         kind: ConnectionKind,
     ) -> Result<MxnConnection> {
         let id = self.alloc_id();
-        MxnConnection::initiate(ic, &self.registry, id, my_field, peer_field, Direction::Import, kind)
+        MxnConnection::initiate(
+            ic,
+            &self.registry,
+            id,
+            my_field,
+            peer_field,
+            Direction::Import,
+            kind,
+        )
     }
 
     /// Accepts the next connection request arriving on `ic`.
@@ -168,8 +184,7 @@ mod tests {
                         *d.get_mut(&idx).unwrap() = v;
                     }
                 }
-                let mut conn =
-                    mxn.export_field(ic, "f", "g", ConnectionKind::OneShot).unwrap();
+                let mut conn = mxn.export_field(ic, "f", "g", ConnectionKind::OneShot).unwrap();
                 let out = conn.data_ready(ic, mxn.registry()).unwrap();
                 assert!(matches!(out, TransferOutcome::Transferred { .. }));
             } else {

@@ -255,11 +255,7 @@ impl MxnConnection {
         };
         if ic.local_rank() == 0 {
             for r in 0..ic.remote_size() {
-                ic.send(
-                    r,
-                    ACK_TAG,
-                    ConnAck { acceptor_id: my_id, body: Ok(entry.dad().clone()) },
-                )?;
+                ic.send(r, ACK_TAG, ConnAck { acceptor_id: my_id, body: Ok(entry.dad().clone()) })?;
             }
         }
         Self::finish(
@@ -346,7 +342,11 @@ impl MxnConnection {
     /// Declares this rank's local data consistent and "ready": runs this
     /// rank's independent pairwise sends or receives if a transfer is due.
     /// No global synchronization happens — pairs complete independently.
-    pub fn data_ready(&mut self, ic: &InterComm, registry: &FieldRegistry) -> Result<TransferOutcome> {
+    pub fn data_ready(
+        &mut self,
+        ic: &InterComm,
+        registry: &FieldRegistry,
+    ) -> Result<TransferOutcome> {
         if self.closed {
             return Ok(TransferOutcome::Closed);
         }
@@ -407,11 +407,7 @@ impl MxnConnection {
             // A transfer is consumable only when *every* partner's message
             // for the next round is present (messages per pair are FIFO,
             // so presence of one per partner = one complete round).
-            let ready = self
-                .schedule
-                .pairs()
-                .iter()
-                .all(|p| ic.iprobe(p.peer, self.tag).is_some());
+            let ready = self.schedule.pairs().iter().all(|p| ic.iprobe(p.peer, self.tag).is_some());
             if !ready || self.schedule.num_messages() == 0 {
                 return Ok(rounds);
             }
@@ -467,7 +463,10 @@ mod tests {
                     ConnectionKind::OneShot,
                 )
                 .unwrap();
-                assert_eq!(conn.data_ready(ic, &reg).unwrap(), TransferOutcome::Transferred { elements: 18 });
+                assert_eq!(
+                    conn.data_ready(ic, &reg).unwrap(),
+                    TransferOutcome::Transferred { elements: 18 }
+                );
                 assert!(conn.is_closed());
                 assert_eq!(conn.data_ready(ic, &reg).unwrap(), TransferOutcome::Closed);
             } else {
@@ -511,8 +510,13 @@ mod tests {
             } else {
                 let ic = ctx.intercomm(1);
                 let mut reg = FieldRegistry::new(rank);
-                reg.register("theirs", src_dad(), AccessMode::ReadWrite, seeded(&src_dad(), rank, 5.0))
-                    .unwrap();
+                reg.register(
+                    "theirs",
+                    src_dad(),
+                    AccessMode::ReadWrite,
+                    seeded(&src_dad(), rank, 5.0),
+                )
+                .unwrap();
                 let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
                 assert_eq!(conn.direction(), Direction::Export);
                 conn.data_ready(ic, &reg).unwrap();
@@ -534,9 +538,9 @@ mod tests {
                 let data: crate::field::FieldData =
                     Arc::new(RwLock::new(LocalArray::from_fn(&dad, 0, |_| 0.0)));
                 reg.register("f", dad.clone(), AccessMode::Read, data.clone()).unwrap();
-                let mut conn = MxnConnection::initiate(
-                    ic, &reg, 0, "f", "f", Direction::Export, kind,
-                ).unwrap();
+                let mut conn =
+                    MxnConnection::initiate(ic, &reg, 0, "f", "f", Direction::Export, kind)
+                        .unwrap();
                 for step in 0..6u64 {
                     // Update source data each step.
                     {
@@ -632,8 +636,15 @@ mod tests {
                 reg.register("out", a.clone(), AccessMode::Read, seeded2(&a, rank, 100.0)).unwrap();
                 let din = reg.register_allocated("in", a.clone(), AccessMode::Write).unwrap();
                 let mut c1 = MxnConnection::initiate(
-                    ic, &reg, 0, "out", "in", Direction::Export, ConnectionKind::OneShot,
-                ).unwrap();
+                    ic,
+                    &reg,
+                    0,
+                    "out",
+                    "in",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                )
+                .unwrap();
                 let mut c2 = MxnConnection::accept(ic, &reg, 1).unwrap();
                 c1.data_ready(ic, &reg).unwrap();
                 c2.data_ready(ic, &reg).unwrap();
@@ -647,8 +658,15 @@ mod tests {
                 reg.register("out", b.clone(), AccessMode::Read, seeded2(&b, rank, 200.0)).unwrap();
                 let mut c1 = MxnConnection::accept(ic, &reg, 0).unwrap();
                 let mut c2 = MxnConnection::initiate(
-                    ic, &reg, 1, "out", "in", Direction::Export, ConnectionKind::OneShot,
-                ).unwrap();
+                    ic,
+                    &reg,
+                    1,
+                    "out",
+                    "in",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                )
+                .unwrap();
                 c1.data_ready(ic, &reg).unwrap();
                 c2.data_ready(ic, &reg).unwrap();
                 for (idx, &v) in din.read().iter() {
@@ -733,9 +751,10 @@ mod loose_sync_tests {
             if ctx.program == 0 {
                 let ic = ctx.intercomm(1);
                 let mut reg = FieldRegistry::new(ctx.comm.rank());
-                let data: crate::field::FieldData = Arc::new(RwLock::new(
-                    LocalArray::from_fn(&src, ctx.comm.rank(), |idx| idx[0] as f64),
-                ));
+                let data: crate::field::FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src, ctx.comm.rank(), |idx| {
+                        idx[0] as f64
+                    })));
                 reg.register("f", src, AccessMode::Read, data).unwrap();
                 let mut conn = MxnConnection::initiate(
                     ic,

@@ -144,8 +144,9 @@ mod tests {
                 _ => {
                     let rank = ctx.comm.rank();
                     let mut reg = FieldRegistry::new(rank);
-                    let data =
-                        reg.register_allocated("boundary_temp", dad_dst, AccessMode::Write).unwrap();
+                    let data = reg
+                        .register_allocated("boundary_temp", dad_dst, AccessMode::Write)
+                        .unwrap();
                     let mut conn =
                         follow_order(ctx.intercomm(0), ctx.intercomm(1), &reg, 0).unwrap();
                     assert_eq!(conn.direction(), Direction::Import);

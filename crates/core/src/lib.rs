@@ -18,12 +18,12 @@
 //!   realizing the paired-component architecture of Figure 3.
 
 pub mod component;
-pub mod particles;
-pub mod steering;
 pub mod connection;
 pub mod coordinator;
 pub mod error;
 pub mod field;
+pub mod particles;
+pub mod steering;
 
 pub use component::{mxn_port, MxnComponent, MxnPort, MXN_PORT_TYPE};
 pub use connection::{ConnectionKind, Direction, MxnConnection, TransferOutcome};

@@ -318,14 +318,12 @@ mod tests {
             let dst_cells = Dad::block(Extents::new([9, 6]), &[3, 1]).unwrap();
             if ctx.program == 0 {
                 let ic = ctx.intercomm(1);
-                let mut f =
-                    ParticleField::new([1.0, 1.0], src_cells.clone(), ctx.comm.rank());
+                let mut f = ParticleField::new([1.0, 1.0], src_cells.clone(), ctx.comm.rank());
                 f.seed_global(300);
                 f.send_mxn(ic, &dst_cells, 5).unwrap();
             } else {
                 let ic = ctx.intercomm(0);
-                let mut f =
-                    ParticleField::new([1.0, 1.0], dst_cells.clone(), ctx.comm.rank());
+                let mut f = ParticleField::new([1.0, 1.0], dst_cells.clone(), ctx.comm.rank());
                 let received = f.receive_mxn(ic, 5).unwrap();
                 assert_eq!(received, f.len());
                 assert!(f.particles().iter().all(|p| f.owner_of(p.pos) == ctx.comm.rank()));

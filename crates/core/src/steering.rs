@@ -72,9 +72,7 @@ impl SteeringRegistry {
     /// arrival order. Called between time-steps.
     pub fn poll(&mut self, ic: &InterComm) -> Result<Vec<(String, f64)>> {
         let mut applied = Vec::new();
-        while let Some((u, _)) =
-            ic.try_recv::<SteerUpdate>(mxn_runtime::Src::Any, STEER_TAG)?
-        {
+        while let Some((u, _)) = ic.try_recv::<SteerUpdate>(mxn_runtime::Src::Any, STEER_TAG)? {
             if let Some(slot) = self.params.get_mut(&u.name) {
                 *slot = u.value;
                 self.updates_applied += 1;
@@ -82,9 +80,7 @@ impl SteeringRegistry {
             }
         }
         // Also answer any snapshot requests.
-        while let Some(((), info)) =
-            ic.try_recv::<()>(mxn_runtime::Src::Any, SNAP_REQ_TAG)?
-        {
+        while let Some(((), info)) = ic.try_recv::<()>(mxn_runtime::Src::Any, SNAP_REQ_TAG)? {
             let snap: Vec<(String, f64)> =
                 self.names().into_iter().map(|n| (n.clone(), self.params[&n])).collect();
             ic.send(info.src, SNAP_RESP_TAG, snap)?;
@@ -200,10 +196,7 @@ mod tests {
                 request_snapshot(ic, 0).unwrap();
                 ic.send(0, 3, ()).unwrap();
                 let snap = receive_snapshot(ic, 0).unwrap();
-                assert_eq!(
-                    snap,
-                    vec![("cfl".to_string(), 0.9), ("dt".to_string(), 0.25)]
-                );
+                assert_eq!(snap, vec![("cfl".to_string(), 0.9), ("dt".to_string(), 0.25)]);
             }
         });
     }

@@ -97,10 +97,8 @@ impl AlignedArray {
             .into_iter()
             .filter_map(|p| p.intersect(&span))
             .map(|p| {
-                let lo: Vec<usize> =
-                    p.lo().iter().zip(&self.offsets).map(|(l, o)| l - o).collect();
-                let hi: Vec<usize> =
-                    p.hi().iter().zip(&self.offsets).map(|(h, o)| h - o).collect();
+                let lo: Vec<usize> = p.lo().iter().zip(&self.offsets).map(|(l, o)| l - o).collect();
+                let hi: Vec<usize> = p.hi().iter().zip(&self.offsets).map(|(h, o)| h - o).collect();
                 Region::new(lo, hi)
             })
             .collect()
@@ -128,8 +126,7 @@ mod tests {
 
     #[test]
     fn offset_alignment_shifts_ownership() {
-        let a =
-            AlignedArray::new(template(), Extents::new([4, 4]), vec![2, 2]).unwrap();
+        let a = AlignedArray::new(template(), Extents::new([4, 4]), vec![2, 2]).unwrap();
         // Array (0,0) sits at template (2,2) → owned by grid (0,0) = rank 0.
         assert_eq!(a.owner(&[0, 0]), 0);
         // Array (3,3) sits at template (5,5) → grid (1,1) = rank 3.
@@ -138,8 +135,7 @@ mod tests {
 
     #[test]
     fn patches_partition_the_array() {
-        let a =
-            AlignedArray::new(template(), Extents::new([5, 6]), vec![1, 2]).unwrap();
+        let a = AlignedArray::new(template(), Extents::new([5, 6]), vec![1, 2]).unwrap();
         let mut count = 0;
         for r in 0..4 {
             for p in a.patches(r) {
@@ -154,8 +150,7 @@ mod tests {
 
     #[test]
     fn template_roundtrip() {
-        let a =
-            AlignedArray::new(template(), Extents::new([4, 4]), vec![3, 0]).unwrap();
+        let a = AlignedArray::new(template(), Extents::new([4, 4]), vec![3, 0]).unwrap();
         assert_eq!(a.to_template(&[1, 2]), vec![4, 2]);
         assert_eq!(a.from_template(&[4, 2]), Some(vec![1, 2]));
         assert_eq!(a.from_template(&[2, 2]), None, "before the span");

@@ -165,9 +165,7 @@ impl AxisDist {
                     vec![(start, (extent - start).min(b))]
                 }
             }
-            AxisDist::Cyclic { nprocs } => {
-                (q..extent).step_by(*nprocs).map(|i| (i, 1)).collect()
-            }
+            AxisDist::Cyclic { nprocs } => (q..extent).step_by(*nprocs).map(|i| (i, 1)).collect(),
             AxisDist::BlockCyclic { block, nprocs } => {
                 let mut out = Vec::new();
                 let mut start = q * block;
@@ -216,7 +214,12 @@ impl AxisDist {
     /// or by scanning only the queried interval (gen-block via its sorted
     /// cut points, implicit via run-length encoding of `owners[lo..hi]`) —
     /// never by probing all `nprocs` positions.
-    pub fn overlaps(&self, lo: usize, hi: usize, extent: usize) -> Vec<(usize, Vec<(usize, usize)>)> {
+    pub fn overlaps(
+        &self,
+        lo: usize,
+        hi: usize,
+        extent: usize,
+    ) -> Vec<(usize, Vec<(usize, usize)>)> {
         let hi = hi.min(extent);
         if lo >= hi {
             return vec![];
@@ -350,7 +353,10 @@ mod tests {
                     *slot += 1;
                 }
             }
-            assert_eq!(dist.local_size(q, extent), dist.segments(q, extent).iter().map(|x| x.1).sum::<usize>());
+            assert_eq!(
+                dist.local_size(q, extent),
+                dist.segments(q, extent).iter().map(|x| x.1).sum::<usize>()
+            );
         }
         assert!(seen.iter().all(|&c| c == 1), "partition property violated: {seen:?}");
     }

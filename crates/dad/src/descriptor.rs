@@ -168,10 +168,7 @@ mod tests {
         Dad::explicit(
             ExplicitDist::new(
                 Extents::new([4, 4]),
-                vec![
-                    (Region::new([0, 0], [4, 2]), 0),
-                    (Region::new([0, 2], [4, 4]), 1),
-                ],
+                vec![(Region::new([0, 0], [4, 2]), 0), (Region::new([0, 2], [4, 4]), 1)],
                 2,
             )
             .unwrap(),
@@ -237,11 +234,7 @@ mod tests {
 
     #[test]
     fn cyclic_descriptor_patch_count() {
-        let t = Template::new(
-            Extents::new([8]),
-            vec![AxisDist::Cyclic { nprocs: 2 }],
-        )
-        .unwrap();
+        let t = Template::new(Extents::new([8]), vec![AxisDist::Cyclic { nprocs: 2 }]).unwrap();
         let d = Dad::regular(t);
         assert_eq!(d.patches(0).len(), 4, "one patch per cyclic element run");
     }

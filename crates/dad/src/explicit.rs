@@ -34,7 +34,11 @@ impl ExplicitDist {
         let mut covered = 0usize;
         for (k, (patch, owner)) in patches.iter().enumerate() {
             if patch.ndim() != extents.ndim() {
-                return Err(format!("patch {k} has rank {} (template rank {})", patch.ndim(), extents.ndim()));
+                return Err(format!(
+                    "patch {k} has rank {} (template rank {})",
+                    patch.ndim(),
+                    extents.ndim()
+                ));
             }
             if *owner >= nranks {
                 return Err(format!("patch {k} owner {owner} out of range ({nranks} ranks)"));
@@ -150,10 +154,7 @@ mod tests {
     fn overlap_rejected() {
         let r = ExplicitDist::new(
             Extents::new([2, 2]),
-            vec![
-                (Region::new([0, 0], [2, 2]), 0),
-                (Region::new([1, 1], [2, 2]), 1),
-            ],
+            vec![(Region::new([0, 0], [2, 2]), 0), (Region::new([1, 1], [2, 2]), 1)],
             2,
         );
         assert!(r.unwrap_err().contains("overlap"));
@@ -161,43 +162,28 @@ mod tests {
 
     #[test]
     fn gap_rejected() {
-        let r = ExplicitDist::new(
-            Extents::new([2, 2]),
-            vec![(Region::new([0, 0], [1, 2]), 0)],
-            1,
-        );
+        let r = ExplicitDist::new(Extents::new([2, 2]), vec![(Region::new([0, 0], [1, 2]), 0)], 1);
         assert!(r.unwrap_err().contains("cover"));
     }
 
     #[test]
     fn out_of_bounds_patch_rejected() {
-        let r = ExplicitDist::new(
-            Extents::new([2, 2]),
-            vec![(Region::new([0, 0], [2, 3]), 0)],
-            1,
-        );
+        let r = ExplicitDist::new(Extents::new([2, 2]), vec![(Region::new([0, 0], [2, 3]), 0)], 1);
         assert!(r.unwrap_err().contains("bounds"));
     }
 
     #[test]
     fn bad_owner_rejected() {
-        let r = ExplicitDist::new(
-            Extents::new([1, 1]),
-            vec![(Region::new([0, 0], [1, 1]), 5)],
-            2,
-        );
+        let r = ExplicitDist::new(Extents::new([1, 1]), vec![(Region::new([0, 0], [1, 1]), 5)], 2);
         assert!(r.unwrap_err().contains("out of range"));
     }
 
     #[test]
     fn descriptor_grows_with_patch_count() {
         let d = quad();
-        let single = ExplicitDist::new(
-            Extents::new([4, 4]),
-            vec![(Region::new([0, 0], [4, 4]), 0)],
-            1,
-        )
-        .unwrap();
+        let single =
+            ExplicitDist::new(Extents::new([4, 4]), vec![(Region::new([0, 0], [4, 4]), 0)], 1)
+                .unwrap();
         assert!(d.descriptor_bytes() > single.descriptor_bytes());
     }
 }

@@ -89,8 +89,11 @@ impl<T: Clone + Default> LocalArray<T> {
     /// Allocates zero/default-initialized storage for `rank`'s patches of
     /// `dad` (the receiving-side allocation step of an M×N transfer).
     pub fn allocate(dad: &Dad, rank: usize) -> LocalArray<T> {
-        let patches =
-            dad.patches(rank).into_iter().map(|r| (r.clone(), vec![T::default(); r.len()])).collect();
+        let patches = dad
+            .patches(rank)
+            .into_iter()
+            .map(|r| (r.clone(), vec![T::default(); r.len()]))
+            .collect();
         LocalArray { rank, patches }
     }
 }
@@ -249,10 +252,8 @@ impl<T: Copy> LocalArray<T> {
     pub fn unpack_region(&mut self, sub: &Region, data: &[T]) {
         assert_eq!(data.len(), sub.len(), "unpack length mismatch");
         // Fast path when a single patch contains sub.
-        let single = self
-            .patches
-            .iter()
-            .position(|(r, _)| r.intersect(sub).is_some_and(|i| i == *sub));
+        let single =
+            self.patches.iter().position(|(r, _)| r.intersect(sub).is_some_and(|i| i == *sub));
         if let Some(p) = single {
             let (region, buf) = &mut self.patches[p];
             let mut cursor = 0;

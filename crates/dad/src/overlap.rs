@@ -185,17 +185,18 @@ impl<'a> OverlapIndex<'a> {
         let mut per_rank: BTreeMap<usize, Vec<Region>> = BTreeMap::new();
         let mut probes = 0;
 
-        let mut probe = |k: usize, probes: &mut usize, per_rank: &mut BTreeMap<usize, Vec<Region>>| {
-            if seen[k] {
-                return;
-            }
-            seen[k] = true;
-            *probes += 1;
-            let (patch, owner) = &all[k];
-            if let Some(part) = patch.intersect(region) {
-                per_rank.entry(*owner).or_default().push(part);
-            }
-        };
+        let mut probe =
+            |k: usize, probes: &mut usize, per_rank: &mut BTreeMap<usize, Vec<Region>>| {
+                if seen[k] {
+                    return;
+                }
+                seen[k] = true;
+                *probes += 1;
+                let (patch, owner) = &all[k];
+                if let Some(part) = patch.intersect(region) {
+                    per_rank.entry(*owner).or_default().push(part);
+                }
+            };
 
         if region.ndim() == 0 || cuts.len() < 2 {
             // Degenerate: no axis-0 structure to index on.
@@ -241,11 +242,8 @@ mod tests {
     fn query_naive(dad: &Dad, region: &Region) -> Vec<(usize, Vec<Region>)> {
         let mut out = Vec::new();
         for peer in 0..dad.nranks() {
-            let mut regions: Vec<Region> = dad
-                .patches(peer)
-                .iter()
-                .filter_map(|p| p.intersect(region))
-                .collect();
+            let mut regions: Vec<Region> =
+                dad.patches(peer).iter().filter_map(|p| p.intersect(region)).collect();
             if !regions.is_empty() {
                 regions.sort_by(|a, b| a.lo().cmp(b.lo()));
                 out.push((peer, regions));

@@ -232,9 +232,7 @@ impl Iterator for RegionIter {
     type Item = Vec<usize>;
 
     fn next(&mut self) -> Option<Vec<usize>> {
-        self.inner.next().map(|rel| {
-            rel.iter().zip(&self.base).map(|(r, b)| r + b).collect()
-        })
+        self.inner.next().map(|rel| rel.iter().zip(&self.base).map(|(r, b)| r + b).collect())
     }
 }
 

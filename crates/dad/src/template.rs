@@ -176,11 +176,7 @@ mod tests {
     fn grid_rank_roundtrip() {
         let t = Template::new(
             Extents::new([4, 6, 8]),
-            vec![
-                AxisDist::Block { nprocs: 2 },
-                AxisDist::Block { nprocs: 3 },
-                AxisDist::Collapsed,
-            ],
+            vec![AxisDist::Block { nprocs: 2 }, AxisDist::Block { nprocs: 3 }, AxisDist::Collapsed],
         )
         .unwrap();
         assert_eq!(t.grid(), vec![2, 3, 1]);
@@ -252,10 +248,7 @@ mod tests {
     fn mixed_axis_kinds() {
         let t = Template::new(
             Extents::new([10, 9]),
-            vec![
-                AxisDist::GenBlock { sizes: vec![7, 3] },
-                AxisDist::Cyclic { nprocs: 3 },
-            ],
+            vec![AxisDist::GenBlock { sizes: vec![7, 3] }, AxisDist::Cyclic { nprocs: 3 }],
         )
         .unwrap();
         assert_eq!(t.nranks(), 6);
@@ -270,11 +263,8 @@ mod tests {
     #[test]
     fn validation_failures() {
         assert!(Template::new(Extents::new([4]), vec![]).is_err());
-        assert!(Template::new(
-            Extents::new([4]),
-            vec![AxisDist::GenBlock { sizes: vec![1, 1] }]
-        )
-        .is_err());
+        assert!(Template::new(Extents::new([4]), vec![AxisDist::GenBlock { sizes: vec![1, 1] }])
+            .is_err());
         assert!(Template::block(Extents::new([4, 4]), &[2]).is_err());
     }
 
@@ -282,8 +272,7 @@ mod tests {
     fn descriptor_bytes_grow_with_irregularity() {
         let e = Extents::new([100]);
         let b = Template::new(e.clone(), vec![AxisDist::Block { nprocs: 4 }]).unwrap();
-        let g =
-            Template::new(e.clone(), vec![AxisDist::GenBlock { sizes: vec![25; 4] }]).unwrap();
+        let g = Template::new(e.clone(), vec![AxisDist::GenBlock { sizes: vec![25; 4] }]).unwrap();
         let i = Template::new(
             e,
             vec![AxisDist::Implicit { owners: (0..100).map(|k| k % 4).collect(), nprocs: 4 }],

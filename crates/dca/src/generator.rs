@@ -93,7 +93,7 @@ impl GeneratedStub {
         arg: A,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
         R: 'static,
     {
         let m = self.method(name)?;
@@ -113,7 +113,7 @@ impl GeneratedStub {
         timeout: Duration,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
         R: 'static,
     {
         let m = self.method(name)?;
@@ -131,13 +131,11 @@ impl GeneratedStub {
         arg: A,
     ) -> Result<()>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
     {
         let m = self.method(name)?;
         if m.mode != InvocationMode::Oneway {
-            return Err(PrmiError::Protocol {
-                detail: format!("method `{name}` is not one-way"),
-            });
+            return Err(PrmiError::Protocol { detail: format!("method `{name}` is not one-way") });
         }
         debug_assert_eq!(m.ret, SidlType::Void, "parser enforced the one-way rule");
         self.port.invoke_oneway(ic, program, participants, m.id, arg)
@@ -192,8 +190,7 @@ mod tests {
                     stub.shutdown(ic).unwrap();
                 }
             } else {
-                let out =
-                    subset_serve(ctx.intercomm(0), &Thermo, Duration::from_secs(5)).unwrap();
+                let out = subset_serve(ctx.intercomm(0), &Thermo, Duration::from_secs(5)).unwrap();
                 // 1 collective + 2 independent + 1 one-way = 4 calls.
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 4 });
             }
@@ -227,8 +224,7 @@ mod tests {
                     stub.shutdown(ic).unwrap();
                 }
             } else {
-                let out =
-                    subset_serve(ctx.intercomm(0), &Thermo, Duration::from_secs(5)).unwrap();
+                let out = subset_serve(ctx.intercomm(0), &Thermo, Duration::from_secs(5)).unwrap();
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 0 });
             }
         });

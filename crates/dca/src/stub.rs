@@ -97,7 +97,7 @@ impl DcaPort {
         arg: A,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
         R: 'static,
     {
         let ranks = program_local_ranks(program, participants);
@@ -124,7 +124,7 @@ impl DcaPort {
         timeout: Duration,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
         R: 'static,
     {
         let ranks = program_local_ranks(program, participants);
@@ -153,7 +153,7 @@ impl DcaPort {
         arg: A,
     ) -> Result<()>
     where
-        A: Send + MsgSize + 'static,
+        A: Send + Sync + MsgSize + 'static,
     {
         // DCA one-way calls still synchronize delivery; they just skip the
         // response. Reuse the share protocol with a fire-and-forget recv
@@ -214,8 +214,7 @@ mod tests {
                     port.shutdown(ic).unwrap();
                 }
             } else {
-                let out =
-                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                let out = subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
             }
         });
@@ -238,8 +237,7 @@ mod tests {
                     }
                 }
             } else {
-                let out =
-                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                let out = subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
             }
         });
@@ -268,8 +266,7 @@ mod tests {
                     let _ra: f64 = port.invoke(ic, &ctx.comm, &all, 0, 1.0f64).unwrap();
                 }
             } else {
-                let out =
-                    subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
+                let out = subset_serve(ctx.intercomm(0), &AddTen, Duration::from_secs(5)).unwrap();
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 2 });
             }
         });
@@ -290,8 +287,7 @@ mod tests {
                 }
             } else {
                 let out =
-                    subset_serve(ctx.intercomm(0), &OneWayAware, Duration::from_secs(5))
-                        .unwrap();
+                    subset_serve(ctx.intercomm(0), &OneWayAware, Duration::from_secs(5)).unwrap();
                 // Both the one-way and the two-way call were serviced.
                 assert_eq!(out, SubsetServeOutcome::Completed { calls: 2 });
             }

@@ -164,29 +164,20 @@ mod tests {
     #[test]
     fn dimensionality_limits_enforced() {
         assert!(DriPartition::new(&[], &[], LocalLayout::RowMajor).is_err());
-        assert!(DriPartition::new(
-            &[2, 2, 2, 2],
-            &[DriDist::Whole; 4],
-            LocalLayout::RowMajor
-        )
-        .is_err());
+        assert!(
+            DriPartition::new(&[2, 2, 2, 2], &[DriDist::Whole; 4], LocalLayout::RowMajor).is_err()
+        );
         assert!(DriPartition::new(&[4], &[], LocalLayout::RowMajor).is_err());
     }
 
     #[test]
     fn layouts_order_the_buffer_differently() {
-        let p_row = DriPartition::new(
-            &[2, 3],
-            &[DriDist::Whole, DriDist::Whole],
-            LocalLayout::RowMajor,
-        )
-        .unwrap();
-        let p_col = DriPartition::new(
-            &[2, 3],
-            &[DriDist::Whole, DriDist::Whole],
-            LocalLayout::ColMajor,
-        )
-        .unwrap();
+        let p_row =
+            DriPartition::new(&[2, 3], &[DriDist::Whole, DriDist::Whole], LocalLayout::RowMajor)
+                .unwrap();
+        let p_col =
+            DriPartition::new(&[2, 3], &[DriDist::Whole, DriDist::Whole], LocalLayout::ColMajor)
+                .unwrap();
         let local = LocalArray::from_fn(p_row.dad(), 0, |idx| (idx[0] * 3 + idx[1]) as i32);
         let region = p_row.dad().patches(0)[0].clone();
         assert_eq!(p_row.pack(&local, &region), vec![0, 1, 2, 3, 4, 5]);
@@ -196,12 +187,8 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip_both_layouts() {
         for layout in [LocalLayout::RowMajor, LocalLayout::ColMajor] {
-            let p = DriPartition::new(
-                &[4, 4],
-                &[DriDist::Block(2), DriDist::Whole],
-                layout,
-            )
-            .unwrap();
+            let p =
+                DriPartition::new(&[4, 4], &[DriDist::Block(2), DriDist::Whole], layout).unwrap();
             let local = LocalArray::from_fn(p.dad(), 1, |idx| (idx[0] * 4 + idx[1]) as i64);
             let region = p.dad().patches(1)[0].clone();
             let buf = p.pack(&local, &region);

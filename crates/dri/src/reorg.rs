@@ -47,12 +47,7 @@ impl DriReorg {
     /// Builds the per-rank plan. `my_rank` indexes both partitions (they
     /// must have the same process count — reorganization happens within
     /// one group, between two data layouts).
-    pub fn new(
-        src: DriPartition,
-        dst: DriPartition,
-        my_rank: usize,
-        tag: i32,
-    ) -> Result<DriReorg> {
+    pub fn new(src: DriPartition, dst: DriPartition, my_rank: usize, tag: i32) -> Result<DriReorg> {
         if src.nprocs() != dst.nprocs() {
             return Err(RuntimeError::CollectiveMismatch {
                 detail: format!(
@@ -165,18 +160,11 @@ mod tests {
     use mxn_runtime::World;
 
     fn partitions(layout_dst: LocalLayout) -> (DriPartition, DriPartition) {
-        let src = DriPartition::new(
-            &[8, 8],
-            &[DriDist::Block(4), DriDist::Whole],
-            LocalLayout::RowMajor,
-        )
-        .unwrap();
-        let dst = DriPartition::new(
-            &[8, 8],
-            &[DriDist::Whole, DriDist::Block(4)],
-            layout_dst,
-        )
-        .unwrap();
+        let src =
+            DriPartition::new(&[8, 8], &[DriDist::Block(4), DriDist::Whole], LocalLayout::RowMajor)
+                .unwrap();
+        let dst =
+            DriPartition::new(&[8, 8], &[DriDist::Whole, DriDist::Block(4)], layout_dst).unwrap();
         (src, dst)
     }
 

@@ -118,14 +118,12 @@ impl Framework {
     /// Severs a uses-port connection (BuilderService `disconnect`).
     pub fn disconnect(&self, user: &str, uses_port: &str) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner
-            .connections
-            .remove(&(user.to_string(), uses_port.to_string()))
-            .map(|_| ())
-            .ok_or_else(|| FrameworkError::NotConnected {
+        inner.connections.remove(&(user.to_string(), uses_port.to_string())).map(|_| ()).ok_or_else(
+            || FrameworkError::NotConnected {
                 component: user.to_string(),
                 port: uses_port.to_string(),
-            })
+            },
+        )
     }
 
     fn go_handle(&self, component: &str) -> Result<Arc<dyn GoPort>> {
@@ -168,9 +166,9 @@ impl Framework {
                 .map(|(name, go)| (name, scope.spawn(move || go.go())))
                 .collect();
             for (name, h) in handles {
-                let r = h.join().unwrap_or(Err(FrameworkError::Runtime(
-                    mxn_runtime::RuntimeError::Aborted,
-                )));
+                let r = h
+                    .join()
+                    .unwrap_or(Err(FrameworkError::Runtime(mxn_runtime::RuntimeError::Aborted)));
                 results.push((name, r));
             }
         });
@@ -200,9 +198,10 @@ impl Services {
         handle: T,
     ) -> Result<()> {
         let mut inner = self.fw.inner.lock();
-        inner
-            .provided
-            .insert((self.component.clone(), name.to_string()), ProvidedPort::new(port_type, handle));
+        inner.provided.insert(
+            (self.component.clone(), name.to_string()),
+            ProvidedPort::new(port_type, handle),
+        );
         Ok(())
     }
 
@@ -344,10 +343,7 @@ mod tests {
             fw.connect("integrator", "nope", "integrator", "integrator"),
             Err(FrameworkError::PortNotFound { .. })
         ));
-        assert!(matches!(
-            fw.run_go("integrator"),
-            Err(FrameworkError::PortNotFound { .. })
-        ));
+        assert!(matches!(fw.run_go("integrator"), Err(FrameworkError::PortNotFound { .. })));
     }
 
     #[test]

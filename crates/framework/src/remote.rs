@@ -36,17 +36,22 @@ const SERVE_LIVENESS_POLL: Duration = Duration::from_millis(25);
 static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// A type-erased argument or result with explicit wire-size accounting.
+///
+/// The wrapped value is `Sync` so envelopes carrying payloads (requests,
+/// responses) can travel as shared multicast envelopes — one allocation
+/// fanned out to every rank of a parallel component.
 pub struct AnyPayload {
-    value: Box<dyn Any + Send>,
+    value: Box<dyn Any + Send + Sync>,
     bytes: usize,
     /// Present on payloads built with [`AnyPayload::replicable`]: lets the
-    /// PRMI layer duplicate the marshalled value for ghost return values.
+    /// PRMI layer duplicate the marshalled value for ghost invocations and
+    /// ghost return values.
     replicator: Option<std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>>,
 }
 
 impl AnyPayload {
     /// Wraps a value, capturing its wire size.
-    pub fn new<T: Any + Send + MsgSize>(value: T) -> Self {
+    pub fn new<T: Any + Send + Sync + MsgSize>(value: T) -> Self {
         let bytes = value.msg_size();
         AnyPayload { value: Box::new(value), bytes, replicator: None }
     }
@@ -60,16 +65,20 @@ impl AnyPayload {
         AnyPayload {
             value: Box::new(value),
             bytes,
-            replicator: Some(std::sync::Arc::new(move || AnyPayload::new(proto.clone()))),
+            replicator: Some(std::sync::Arc::new(move || AnyPayload::replicable(proto.clone()))),
         }
     }
 
     /// Returns the payload's replicator, if it was built with
     /// [`AnyPayload::replicable`].
-    pub fn take_replicator(
-        &self,
-    ) -> Option<std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>> {
+    pub fn take_replicator(&self) -> Option<std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>> {
         self.replicator.clone()
+    }
+
+    /// Duplicates the payload, if it was built with
+    /// [`AnyPayload::replicable`]. The copy is itself replicable.
+    pub fn replicate(&self) -> Option<AnyPayload> {
+        self.replicator.as_ref().map(|rep| rep())
     }
 
     /// Wire size of the wrapped value.
@@ -184,30 +193,32 @@ pub fn serve(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> 
     type Replicator = std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>;
     let mut seen: HashMap<(usize, u64), Option<Replicator>> = HashMap::new();
     while shut.len() < ic.remote_size() {
-        let (req, info) =
-            match ic.recv_timeout_with_info::<RmiRequest>(Src::Any, RMI_REQ_TAG, SERVE_LIVENESS_POLL)
-            {
-                Ok(v) => v,
-                Err(RuntimeError::Timeout { .. }) | Err(RuntimeError::PeerDead { .. }) => {
-                    // Idle: fold ranks that died shutdown-less into `shut`.
-                    for r in 0..ic.remote_size() {
-                        if ic.is_remote_dead(r) && shut.insert(r) {
-                            stats.dead_clients += 1;
-                        }
+        let (req, info) = match ic.recv_timeout_with_info::<RmiRequest>(
+            Src::Any,
+            RMI_REQ_TAG,
+            SERVE_LIVENESS_POLL,
+        ) {
+            Ok(v) => v,
+            Err(RuntimeError::Timeout { .. }) | Err(RuntimeError::PeerDead { .. }) => {
+                // Idle: fold ranks that died shutdown-less into `shut`.
+                for r in 0..ic.remote_size() {
+                    if ic.is_remote_dead(r) && shut.insert(r) {
+                        stats.dead_clients += 1;
                     }
-                    continue;
                 }
-                Err(RuntimeError::Corrupt { src, .. })
-                | Err(RuntimeError::TypeMismatch { src, .. }) => {
-                    stats.nacks += 1;
-                    send_response(
-                        src,
-                        RmiResponse { call_id: NACK_CALL_ID, result: AnyPayload::new(()) },
-                    )?;
-                    continue;
-                }
-                Err(e) => return Err(e.into()),
-            };
+                continue;
+            }
+            Err(RuntimeError::Corrupt { src, .. })
+            | Err(RuntimeError::TypeMismatch { src, .. }) => {
+                stats.nacks += 1;
+                send_response(
+                    src,
+                    RmiResponse { call_id: NACK_CALL_ID, result: AnyPayload::new(()) },
+                )?;
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
         if req.method == METHOD_SHUTDOWN {
             shut.insert(info.src);
             continue;
@@ -288,7 +299,7 @@ impl RemotePort {
     /// Synchronous RMI: marshal `arg`, block for the result.
     pub fn call<A, R>(&self, ic: &InterComm, method: u32, arg: A) -> Result<R>
     where
-        A: Any + Send + MsgSize,
+        A: Any + Send + Sync + MsgSize,
         R: 'static,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
@@ -327,7 +338,7 @@ impl RemotePort {
         policy: CallPolicy,
     ) -> Result<R>
     where
-        A: Any + Send + MsgSize + Clone,
+        A: Any + Send + Sync + MsgSize + Clone,
         R: 'static,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
@@ -375,11 +386,7 @@ impl RemotePort {
             std::thread::sleep(backoff);
             backoff = backoff.saturating_mul(2);
         }
-        Err(FrameworkError::RetriesExhausted {
-            method,
-            attempts: policy.max_retries + 1,
-            last,
-        })
+        Err(FrameworkError::RetriesExhausted { method, attempts: policy.max_retries + 1, last })
     }
 
     /// One-way RMI: "the calling component continues execution immediately,
@@ -387,7 +394,7 @@ impl RemotePort {
     /// One-way methods must not return values.
     pub fn call_oneway<A>(&self, ic: &InterComm, method: u32, arg: A) -> Result<()>
     where
-        A: Any + Send + MsgSize,
+        A: Any + Send + Sync + MsgSize,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
@@ -495,7 +502,7 @@ mod tests {
                 let port = RemotePort::to_rank(0);
                 port.call::<i64, i64>(ic, 0, 100).unwrap();
                 port.call_oneway::<i64>(ic, 1, 0).unwrap(); // reset, fire-and-forget
-                // A later two-way call observes the reset (FIFO ordering).
+                                                            // A later two-way call observes the reset (FIFO ordering).
                 assert_eq!(port.call::<i64, i64>(ic, 0, 1).unwrap(), 1);
                 port.shutdown(ic).unwrap();
             } else {

@@ -323,9 +323,7 @@ impl Parser {
                 return err(format!("one-way method '{name}' must return void"));
             }
             if args.iter().any(|a| a.intent != Intent::In) {
-                return err(format!(
-                    "one-way method '{name}' must not have out/inout arguments"
-                ));
+                return err(format!("one-way method '{name}' must not have out/inout arguments"));
             }
         }
         Ok(MethodSpec { name, id, mode, ret, args })
@@ -383,10 +381,7 @@ mod tests {
         assert_eq!(solve.args[0].intent, Intent::In);
         assert!(solve.args[1].parallel);
         assert_eq!(solve.args[1].intent, Intent::InOut);
-        assert_eq!(
-            solve.args[1].ty,
-            SidlType::Array { elem: Box::new(SidlType::Double), dim: 2 }
-        );
+        assert_eq!(solve.args[1].ty, SidlType::Array { elem: Box::new(SidlType::Double), dim: 2 });
         assert!(solve.has_parallel_args());
 
         let log = spec.method("log").unwrap();
@@ -415,15 +410,13 @@ mod tests {
     fn oneway_with_out_arg_rejected() {
         // The paper: "One-way methods must not have any return value (that
         // includes arguments with the out attribute)."
-        let e =
-            parse_interface("interface I { oneway void bad(out int x); }").unwrap_err();
+        let e = parse_interface("interface I { oneway void bad(out int x); }").unwrap_err();
         assert!(e.message.contains("out"), "{e}");
     }
 
     #[test]
     fn parallel_scalar_rejected() {
-        let e = parse_interface("interface I { void f(parallel in double x); }")
-            .unwrap_err();
+        let e = parse_interface("interface I { void f(parallel in double x); }").unwrap_err();
         assert!(e.message.contains("array"), "{e}");
     }
 
@@ -454,10 +447,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace_are_ignored() {
-        let spec = parse_interface(
-            "interface   X{// comment\nvoid f ( ) ;\n// another\n}",
-        )
-        .unwrap();
+        let spec =
+            parse_interface("interface   X{// comment\nvoid f ( ) ;\n// another\n}").unwrap();
         assert_eq!(spec.name, "X");
         assert_eq!(spec.methods.len(), 1);
     }

@@ -170,8 +170,7 @@ mod tests {
                 (Region::new(idx.clone(), hi), owner_fn(nranks)(e.linear(&idx)))
             })
             .collect();
-        let replicated =
-            Dad::explicit(mxn_dad::ExplicitDist::new(e, scattered, nranks).unwrap());
+        let replicated = Dad::explicit(mxn_dad::ExplicitDist::new(e, scattered, nranks).unwrap());
         let rep = ICDescriptor::Replicated(replicated);
         let part = ICDescriptor::Partitioned(part);
         assert!(

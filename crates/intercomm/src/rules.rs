@@ -97,13 +97,10 @@ impl MatchRule {
                 }
             }
             MatchRule::Nearest { tol } => {
-                let best = versions
-                    .iter()
-                    .copied()
-                    .filter(|v| (v - request).abs() <= tol)
-                    .min_by(|a, b| {
-                        (a - request).abs().partial_cmp(&(b - request).abs()).unwrap()
-                    });
+                let best =
+                    versions.iter().copied().filter(|v| (v - request).abs() <= tol).min_by(
+                        |a, b| (a - request).abs().partial_cmp(&(b - request).abs()).unwrap(),
+                    );
                 match best {
                     // An exact hit cannot be improved.
                     Some(v) if v == request => MatchDecision::Matched { version: v },

@@ -105,15 +105,13 @@ mod tests {
             let order = ArrayOrder::RowMajor;
             if ctx.program == 0 {
                 let ic = ctx.intercomm(1);
-                let local =
-                    LocalArray::from_fn(&src_dad, ctx.comm.rank(), |idx| {
-                        (idx[0] * cols + idx[1]) as f64
-                    });
+                let local = LocalArray::from_fn(&src_dad, ctx.comm.rank(), |idx| {
+                    (idx[0] * cols + idx[1]) as f64
+                });
                 serve_requests(ic, &src_dad, order, &local).unwrap();
             } else {
                 let ic = ctx.intercomm(0);
-                let mut local: LocalArray<f64> =
-                    LocalArray::allocate(&dst_dad, ctx.comm.rank());
+                let mut local: LocalArray<f64> = LocalArray::allocate(&dst_dad, ctx.comm.rank());
                 let rep = request_and_fill(ic, &dst_dad, order, &mut local).unwrap();
                 assert_eq!(rep.elements_moved, local.len());
                 // Every received element must equal its global row-major id.
@@ -161,8 +159,7 @@ mod tests {
                 });
                 serve_requests(ctx.intercomm(1), &src_dad, order, &local).unwrap();
             } else {
-                let mut local: LocalArray<i64> =
-                    LocalArray::allocate(&dst_dad, ctx.comm.rank());
+                let mut local: LocalArray<i64> = LocalArray::allocate(&dst_dad, ctx.comm.rank());
                 request_and_fill(ctx.intercomm(0), &dst_dad, order, &mut local).unwrap();
                 for (idx, &v) in local.iter() {
                     assert_eq!(v, (idx[0] * 6 + idx[1]) as i64);
@@ -179,26 +176,15 @@ mod tests {
             let src_dad = Dad::block(Extents::new([6]), &[3]).unwrap();
             let dst_dad = Dad::block(Extents::new([6]), &[2]).unwrap();
             if ctx.program == 0 {
-                let local =
-                    LocalArray::from_fn(&src_dad, ctx.comm.rank(), |idx| idx[0] as f64);
-                let rep = serve_requests(
-                    ctx.intercomm(1),
-                    &src_dad,
-                    ArrayOrder::RowMajor,
-                    &local,
-                )
-                .unwrap();
+                let local = LocalArray::from_fn(&src_dad, ctx.comm.rank(), |idx| idx[0] as f64);
+                let rep = serve_requests(ctx.intercomm(1), &src_dad, ArrayOrder::RowMajor, &local)
+                    .unwrap();
                 assert_eq!(rep.messages_sent, 2);
             } else {
-                let mut local: LocalArray<f64> =
-                    LocalArray::allocate(&dst_dad, ctx.comm.rank());
-                let rep = request_and_fill(
-                    ctx.intercomm(0),
-                    &dst_dad,
-                    ArrayOrder::RowMajor,
-                    &mut local,
-                )
-                .unwrap();
+                let mut local: LocalArray<f64> = LocalArray::allocate(&dst_dad, ctx.comm.rank());
+                let rep =
+                    request_and_fill(ctx.intercomm(0), &dst_dad, ArrayOrder::RowMajor, &mut local)
+                        .unwrap();
                 assert_eq!(rep.messages_sent, 3);
                 assert_eq!(rep.elements_moved, 3);
             }

@@ -180,10 +180,7 @@ mod tests {
         //     1  2  3
         //    / \     \
         //   4   5     6
-        Tree::new(
-            vec![vec![1, 2, 3], vec![4, 5], vec![], vec![6], vec![], vec![], vec![]],
-            0,
-        )
+        Tree::new(vec![vec![1, 2, 3], vec![4, 5], vec![], vec![6], vec![], vec![], vec![]], 0)
     }
 
     #[test]

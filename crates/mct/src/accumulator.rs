@@ -32,8 +32,7 @@ impl Accumulator {
     /// per field.
     pub fn new(fields: &[(&str, AccumAction)], length: usize) -> Self {
         let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
-        let actions =
-            fields.iter().map(|(n, a)| (n.to_string(), *a)).collect::<HashMap<_, _>>();
+        let actions = fields.iter().map(|(n, a)| (n.to_string(), *a)).collect::<HashMap<_, _>>();
         Accumulator { running: AttrVect::new(&names, &[], length), actions, steps: 0 }
     }
 
@@ -97,10 +96,8 @@ mod tests {
 
     #[test]
     fn average_and_sum_actions() {
-        let mut acc = Accumulator::new(
-            &[("state", AccumAction::Average), ("flux", AccumAction::Sum)],
-            3,
-        );
+        let mut acc =
+            Accumulator::new(&[("state", AccumAction::Average), ("flux", AccumAction::Sum)], 3);
         for step in 1..=4 {
             acc.accumulate(&step_av(step as f64));
         }

@@ -110,10 +110,8 @@ mod tests {
 
     #[test]
     fn unstructured_2d_grid() {
-        let g = GeneralGrid::new(
-            vec![vec![0.0, 1.0, 0.5], vec![0.0, 0.0, 1.0]],
-            vec![0.3, 0.3, 0.4],
-        );
+        let g =
+            GeneralGrid::new(vec![vec![0.0, 1.0, 0.5], vec![0.0, 0.0, 1.0]], vec![0.3, 0.3, 0.4]);
         assert_eq!(g.ndim(), 2);
         assert_eq!(g.npoints(), 3);
         assert_eq!(g.coord(1)[2], 1.0);

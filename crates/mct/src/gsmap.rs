@@ -38,10 +38,16 @@ impl GlobalSegMap {
         let mut covered = 0;
         for s in &sorted {
             if s.rank >= nranks {
-                return Err(format!("segment at {} owned by out-of-range rank {}", s.start, s.rank));
+                return Err(format!(
+                    "segment at {} owned by out-of-range rank {}",
+                    s.start, s.rank
+                ));
             }
             if s.start != covered {
-                return Err(format!("gap or overlap at point {covered} (next segment at {})", s.start));
+                return Err(format!(
+                    "gap or overlap at point {covered} (next segment at {})",
+                    s.start
+                ));
             }
             covered += s.length;
         }
@@ -180,17 +186,22 @@ mod tests {
         let gap = GlobalSegMap::new(
             4,
             1,
-            vec![Segment { start: 0, length: 1, rank: 0 }, Segment { start: 2, length: 2, rank: 0 }],
+            vec![
+                Segment { start: 0, length: 1, rank: 0 },
+                Segment { start: 2, length: 2, rank: 0 },
+            ],
         );
         assert!(gap.is_err());
         let overlap = GlobalSegMap::new(
             4,
             1,
-            vec![Segment { start: 0, length: 3, rank: 0 }, Segment { start: 2, length: 2, rank: 0 }],
+            vec![
+                Segment { start: 0, length: 3, rank: 0 },
+                Segment { start: 2, length: 2, rank: 0 },
+            ],
         );
         assert!(overlap.is_err());
-        let bad_rank =
-            GlobalSegMap::new(2, 1, vec![Segment { start: 0, length: 2, rank: 1 }]);
+        let bad_rank = GlobalSegMap::new(2, 1, vec![Segment { start: 0, length: 2, rank: 1 }]);
         assert!(bad_rank.is_err());
         let short = GlobalSegMap::new(5, 1, vec![Segment { start: 0, length: 2, rank: 0 }]);
         assert!(short.is_err());

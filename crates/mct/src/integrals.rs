@@ -158,10 +158,8 @@ mod tests {
             let mut y = AttrVect::new(&["flux"], &[], dst_n);
             plus.apply(comm, &x, &mut y, 4).unwrap();
 
-            let pair = paired_integral(
-                comm, &x, "flux", &src_grid, &y, "flux", &dst_grid, None,
-            )
-            .unwrap();
+            let pair =
+                paired_integral(comm, &x, "flux", &src_grid, &y, "flux", &dst_grid, None).unwrap();
             assert!(
                 pair.relative_error() < 1e-12,
                 "conservation violated: {pair:?} (err {})",

@@ -125,10 +125,7 @@ mod tests {
         let out = merge(
             &["t", "u"],
             1,
-            &[
-                MergeSource { av: &a, fraction: &[0.5] },
-                MergeSource { av: &b, fraction: &[0.5] },
-            ],
+            &[MergeSource { av: &a, fraction: &[0.5] }, MergeSource { av: &b, fraction: &[0.5] }],
         );
         assert_eq!(out.real("t")[0], 2.0);
         assert_eq!(out.real("u")[0], 150.0);

@@ -54,10 +54,9 @@ impl ModelRegistry {
 
     /// The process ID look-up: world rank of `component`'s rank `r`.
     pub fn world_rank(&self, component: u32, r: usize) -> Result<usize> {
-        let ranks =
-            self.components.get(&component).ok_or_else(|| RuntimeError::CollectiveMismatch {
-                detail: format!("unknown component id {component}"),
-            })?;
+        let ranks = self.components.get(&component).ok_or_else(|| {
+            RuntimeError::CollectiveMismatch { detail: format!("unknown component id {component}") }
+        })?;
         ranks.get(r).copied().ok_or(RuntimeError::InvalidRank { rank: r, size: ranks.len() })
     }
 
@@ -101,11 +100,13 @@ mod tests {
             let reg = ModelRegistry::init(world, my).unwrap();
             if my == 10 {
                 // Component 10 rank r sends to component 20 rank r.
-                let me = reg.component_ranks(10).unwrap().iter().position(|&w| w == p.rank()).unwrap();
+                let me =
+                    reg.component_ranks(10).unwrap().iter().position(|&w| w == p.rank()).unwrap();
                 let dst = reg.world_rank(20, me).unwrap();
                 world.send(dst, 1, me as u64).unwrap();
             } else {
-                let me = reg.component_ranks(20).unwrap().iter().position(|&w| w == p.rank()).unwrap();
+                let me =
+                    reg.component_ranks(20).unwrap().iter().position(|&w| w == p.rank()).unwrap();
                 let src = reg.world_rank(10, me).unwrap();
                 let v: u64 = world.recv(src, 1).unwrap();
                 assert_eq!(v as usize, me);

@@ -90,8 +90,7 @@ pub fn conservative_remap_1d(src: &CellGrid1d, dst: &CellGrid1d) -> SparseMatrix
             k += 1;
         }
     }
-    SparseMatrix::new(dst.ncells(), src.ncells(), elems)
-        .expect("generated indices are in range")
+    SparseMatrix::new(dst.ncells(), src.ncells(), elems).expect("generated indices are in range")
 }
 
 #[cfg(test)]

@@ -50,11 +50,7 @@ impl Router {
     ) -> Result<Router> {
         if my_map.gsize() != peer_map.gsize() {
             return Err(RuntimeError::CollectiveMismatch {
-                detail: format!(
-                    "grid size mismatch: {} vs {}",
-                    my_map.gsize(),
-                    peer_map.gsize()
-                ),
+                detail: format!("grid size mismatch: {} vs {}", my_map.gsize(), peer_map.gsize()),
             });
         }
         let mine = my_map.as_segment_list(my_comp_rank);
@@ -159,12 +155,7 @@ impl Rearranger {
                 recv.push((peer, pts));
             }
         }
-        Ok(Rearranger {
-            send,
-            recv,
-            src_lsize: src.lsize(my_rank),
-            dst_lsize: dst.lsize(my_rank),
-        })
+        Ok(Rearranger { send, recv, src_lsize: src.lsize(my_rank), dst_lsize: dst.lsize(my_rank) })
     }
 
     /// Executes the redistribution collectively over `comm`.

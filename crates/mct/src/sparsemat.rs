@@ -311,8 +311,9 @@ mod tests {
             // Each rank claims a row the *other* rank owns, so both fail
             // the ownership check (before any collective communication).
             let wrong_row = if comm.rank() == 0 { 2 } else { 0 };
-            let a = SparseMatrix::new(4, 8, vec![SparseElem { row: wrong_row, col: 0, weight: 1.0 }])
-                .unwrap();
+            let a =
+                SparseMatrix::new(4, 8, vec![SparseElem { row: wrong_row, col: 0, weight: 1.0 }])
+                    .unwrap();
             let r = SparseMatrixPlus::build(comm, &a, &src_map, &dst_map);
             assert!(r.is_err());
         });

@@ -58,10 +58,7 @@ impl Pipeline {
 
     /// Appends a redistribution to `layout` (must conform to the field).
     pub fn redistribute(mut self, layout: Dad) -> Self {
-        assert!(
-            self.input.conforms(&layout),
-            "pipeline layouts must share global extents"
-        );
+        assert!(self.input.conforms(&layout), "pipeline layouts must share global extents");
         self.stages.push(Stage::Redistribute(layout));
         self
     }
@@ -234,10 +231,8 @@ mod tests {
             let (a, _, _) = layouts();
             let seed = LocalArray::from_fn(&a, comm.rank(), |idx| (idx[0] * 8 + idx[1]) as f64);
 
-            let naive =
-                sample_pipeline().execute(comm, seed.clone(), 100).unwrap();
-            let optimized =
-                sample_pipeline().optimized().execute(comm, seed, 200).unwrap();
+            let naive = sample_pipeline().execute(comm, seed.clone(), 100).unwrap();
+            let optimized = sample_pipeline().optimized().execute(comm, seed, 200).unwrap();
 
             assert_eq!(naive.len(), optimized.len());
             for (idx, &v) in optimized.iter() {
@@ -287,10 +282,7 @@ mod tests {
     #[test]
     fn identity_affine_run_vanishes() {
         let (a, _, _) = layouts();
-        let p = Pipeline::new(a)
-            .filter(Scale(4.0))
-            .filter(Scale(0.25))
-            .optimized();
+        let p = Pipeline::new(a).filter(Scale(4.0)).filter(Scale(0.25)).optimized();
         assert_eq!(p.num_passes(), 0, "4 × 0.25 = identity: no pass at all");
     }
 

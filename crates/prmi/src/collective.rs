@@ -55,6 +55,22 @@ impl MsgSize for CollReq {
     }
 }
 
+impl Clone for CollReq {
+    /// Ghost-invocation fan-out clones a request when a shared multicast
+    /// envelope must be unwrapped while other receivers still hold it.
+    /// Collective requests always carry replicable args (see
+    /// [`CollectiveEndpoint`]), so this cannot fail in practice.
+    fn clone(&self) -> Self {
+        CollReq {
+            method: self.method,
+            call_seq: self.call_seq,
+            num_callers: self.num_callers,
+            oneway: self.oneway,
+            arg: self.arg.replicate().expect("collective request args are replicable"),
+        }
+    }
+}
+
 /// A collective response envelope.
 pub struct CollResp {
     /// Correlates with [`CollReq::call_seq`].
@@ -66,6 +82,17 @@ pub struct CollResp {
 impl MsgSize for CollResp {
     fn msg_size(&self) -> usize {
         8 + self.result.msg_size()
+    }
+}
+
+impl Clone for CollResp {
+    /// See [`CollReq::clone`]; ghost returns are multicast and must carry a
+    /// replicable result (enforced by [`collective_serve`]).
+    fn clone(&self) -> Self {
+        CollResp {
+            call_seq: self.call_seq,
+            result: self.result.replicate().expect("ghost return results are replicable"),
+        }
     }
 }
 
@@ -97,7 +124,7 @@ impl CollectiveEndpoint {
         CollectiveEndpoint { call_seq: 0 }
     }
 
-    fn send_requests<A: Send + MsgSize + 'static + Clone>(
+    fn send_requests<A: Send + Sync + MsgSize + 'static + Clone>(
         &mut self,
         ic: &InterComm,
         method: u32,
@@ -108,19 +135,21 @@ impl CollectiveEndpoint {
         let k = ic.local_rank();
         let seq = self.call_seq;
         self.call_seq += 1;
-        for j in providers_of(k, m, n) {
-            ic.send(
-                j,
-                COLL_REQ_TAG,
-                CollReq {
-                    method,
-                    call_seq: seq,
-                    num_callers: m,
-                    oneway,
-                    arg: AnyPayload::new(arg.clone()),
-                },
-            )?;
-        }
+        // Ghost invocations (N > M) fan one request out to several
+        // providers: a single shared multicast envelope, so the argument is
+        // marshalled once however many providers this caller owns.
+        let providers = providers_of(k, m, n);
+        ic.multicast(
+            &providers,
+            COLL_REQ_TAG,
+            CollReq {
+                method,
+                call_seq: seq,
+                num_callers: m,
+                oneway,
+                arg: AnyPayload::replicable(arg),
+            },
+        )?;
         Ok(seq)
     }
 
@@ -128,7 +157,7 @@ impl CollectiveEndpoint {
     /// the same `arg`; every rank receives the same return value.
     pub fn call<A, R>(&mut self, ic: &InterComm, method: u32, arg: A) -> Result<R>
     where
-        A: Send + MsgSize + 'static + Clone,
+        A: Send + Sync + MsgSize + 'static + Clone,
         R: 'static,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
@@ -154,7 +183,7 @@ impl CollectiveEndpoint {
         arg: A,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static + Clone + PartialEq,
+        A: Send + Sync + MsgSize + 'static + Clone + PartialEq,
         R: 'static,
     {
         let all = local.allgather(arg.clone())?;
@@ -167,7 +196,7 @@ impl CollectiveEndpoint {
     /// One-way collective call: returns immediately, no response (§2.4).
     pub fn call_oneway<A>(&mut self, ic: &InterComm, method: u32, arg: A) -> Result<()>
     where
-        A: Send + MsgSize + 'static + Clone,
+        A: Send + Sync + MsgSize + 'static + Clone,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
         self.send_requests(ic, method, arg, true)?;
@@ -234,11 +263,12 @@ fn ic_owner(ic: &InterComm) -> usize {
     ic.local_rank() % ic.remote_size()
 }
 
-/// Sends `result` to every respondent. `AnyPayload` is not clonable in
-/// general, so the value is sent to the first respondent and the rest
-/// receive a unit-marker... — instead, we require the practical contract
-/// that collective results are `Vec<f64>`, `f64`, or other clonable types
-/// wrapped by services through [`replicate`].
+/// Sends `result` to every respondent. A single respondent receives the
+/// value directly; ghost returns (fewer providers than callers) go out as
+/// one shared multicast envelope — the result is marshalled once, and each
+/// caller unwraps it copy-on-write. `AnyPayload` is not clonable in
+/// general, so the fan-out path requires results wrapped with
+/// [`AnyPayload::replicable`].
 fn send_replicated(
     ic: &InterComm,
     respondents: &[usize],
@@ -252,14 +282,14 @@ fn send_replicated(
             Ok(())
         }
         _ => {
-            let replicate = result.take_replicator().ok_or_else(|| PrmiError::Protocol {
-                detail: "ghost returns need a replicable result; wrap it with \
-                         AnyPayload::replicable"
-                    .into(),
-            })?;
-            for &k in respondents {
-                ic.send(k, COLL_RESP_TAG, CollResp { call_seq, result: replicate() })?;
+            if result.take_replicator().is_none() {
+                return Err(PrmiError::Protocol {
+                    detail: "ghost returns need a replicable result; wrap it with \
+                             AnyPayload::replicable"
+                        .into(),
+                });
             }
+            ic.multicast(respondents, COLL_RESP_TAG, CollResp { call_seq, result })?;
             Ok(())
         }
     }

@@ -32,6 +32,6 @@ pub use error::{PrmiError, Result};
 pub use independent::{serve_independent, IndependentPort};
 pub use parallel_args::{parallel_serve, ParallelEndpoint, ParallelPortSpec, ParallelService};
 pub use subset::{
-    subset_call, subset_call_timeout, subset_serve, subset_shutdown, DeliveryPolicy, SubsetShare,
-    SubsetServeOutcome,
+    subset_call, subset_call_timeout, subset_serve, subset_shutdown, DeliveryPolicy,
+    SubsetServeOutcome, SubsetShare,
 };

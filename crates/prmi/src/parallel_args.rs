@@ -18,7 +18,9 @@ use mxn_framework::AnyPayload;
 use mxn_runtime::{InterComm, MsgSize};
 use mxn_schedule::RegionSchedule;
 
-use crate::collective::{providers_of, respondents_of, CollReq, CollResp, COLL_REQ_TAG, COLL_RESP_TAG, METHOD_SHUTDOWN};
+use crate::collective::{
+    providers_of, respondents_of, CollReq, CollResp, COLL_REQ_TAG, COLL_RESP_TAG, METHOD_SHUTDOWN,
+};
 use crate::error::{PrmiError, Result};
 
 const ARRAY_TAG_BASE: i32 = 0x5000;
@@ -88,7 +90,7 @@ impl ParallelEndpoint {
         local: &LocalArray<f64>,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static + Clone,
+        A: Send + Sync + MsgSize + 'static + Clone,
         R: 'static,
     {
         let seq = self.begin_call(ic, method, simple_arg)?;
@@ -119,7 +121,7 @@ impl ParallelEndpoint {
         result_local: &mut LocalArray<f64>,
     ) -> Result<R>
     where
-        A: Send + MsgSize + 'static + Clone,
+        A: Send + Sync + MsgSize + 'static + Clone,
         R: 'static,
     {
         let seq = self.begin_call(ic, method, simple_arg)?;
@@ -127,9 +129,7 @@ impl ParallelEndpoint {
         sched.execute_send(ic, local, array_tag(seq)).map_err(PrmiError::Runtime)?;
         // Receive the redistributed parallel return.
         let rsched = RegionSchedule::for_receiver(callee_out_dad, result_dad, ic.local_rank());
-        rsched
-            .execute_recv(ic, result_local, array_tag(seq) + 1)
-            .map_err(PrmiError::Runtime)?;
+        rsched.execute_recv(ic, result_local, array_tag(seq) + 1).map_err(PrmiError::Runtime)?;
         let responder = ic.local_rank() % ic.remote_size();
         let resp: CollResp = ic.recv(responder, COLL_RESP_TAG).map_err(PrmiError::Runtime)?;
         resp.result.downcast::<R>().map_err(PrmiError::from)
@@ -137,27 +137,26 @@ impl ParallelEndpoint {
 
     fn begin_call<A>(&mut self, ic: &InterComm, method: u32, simple_arg: A) -> Result<u64>
     where
-        A: Send + MsgSize + 'static + Clone,
+        A: Send + Sync + MsgSize + 'static + Clone,
     {
         assert_ne!(method, METHOD_SHUTDOWN);
         let (m, n) = (ic.local_size(), ic.remote_size());
         let k = ic.local_rank();
         let seq = self.call_seq;
         self.call_seq += 1;
-        for j in providers_of(k, m, n) {
-            ic.send(
-                j,
-                COLL_REQ_TAG,
-                CollReq {
-                    method,
-                    call_seq: seq,
-                    num_callers: m,
-                    oneway: false,
-                    arg: AnyPayload::new(simple_arg.clone()),
-                },
-            )
-            .map_err(PrmiError::Runtime)?;
-        }
+        // One shared multicast envelope covers every ghost invocation.
+        ic.multicast(
+            &providers_of(k, m, n),
+            COLL_REQ_TAG,
+            CollReq {
+                method,
+                call_seq: seq,
+                num_callers: m,
+                oneway: false,
+                arg: AnyPayload::replicable(simple_arg),
+            },
+        )
+        .map_err(PrmiError::Runtime)?;
         Ok(seq)
     }
 
@@ -165,20 +164,18 @@ impl ParallelEndpoint {
     pub fn shutdown(&mut self, ic: &InterComm) -> Result<()> {
         let (m, n) = (ic.local_size(), ic.remote_size());
         let k = ic.local_rank();
-        for j in providers_of(k, m, n) {
-            ic.send(
-                j,
-                COLL_REQ_TAG,
-                CollReq {
-                    method: METHOD_SHUTDOWN,
-                    call_seq: self.call_seq,
-                    num_callers: m,
-                    oneway: true,
-                    arg: AnyPayload::new(()),
-                },
-            )
-            .map_err(PrmiError::Runtime)?;
-        }
+        ic.multicast(
+            &providers_of(k, m, n),
+            COLL_REQ_TAG,
+            CollReq {
+                method: METHOD_SHUTDOWN,
+                call_seq: self.call_seq,
+                num_callers: m,
+                oneway: true,
+                arg: AnyPayload::replicable(()),
+            },
+        )
+        .map_err(PrmiError::Runtime)?;
         Ok(())
     }
 }
@@ -206,9 +203,7 @@ pub fn parallel_serve(
         // Receive this rank's portion of the redistributed input.
         let mut input = LocalArray::allocate(&spec.input, j);
         let rsched = RegionSchedule::for_receiver(caller_dad, &spec.input, j);
-        rsched
-            .execute_recv(ic, &mut input, array_tag(req.call_seq))
-            .map_err(PrmiError::Runtime)?;
+        rsched.execute_recv(ic, &mut input, array_tag(req.call_seq)).map_err(PrmiError::Runtime)?;
         let (simple, parallel) = service.execute(req.method, req.arg, input);
         calls += 1;
         // Send back the parallel return, if declared.
@@ -237,12 +232,8 @@ pub fn parallel_serve(
                     detail: "ghost returns need AnyPayload::replicable".into(),
                 })?;
                 for &k in &respondents {
-                    ic.send(
-                        k,
-                        COLL_RESP_TAG,
-                        CollResp { call_seq: req.call_seq, result: rep() },
-                    )
-                    .map_err(PrmiError::Runtime)?;
+                    ic.send(k, COLL_RESP_TAG, CollResp { call_seq: req.call_seq, result: rep() })
+                        .map_err(PrmiError::Runtime)?;
                 }
             }
         }
@@ -313,13 +304,14 @@ mod tests {
                 });
                 // Provider's reply is its LOCAL partial sum; with ghost
                 // returns, caller k hears from provider k % 2.
-                let r: f64 = ep
-                    .call_with_array(ic, 0, 1.0f64, &caller_dad, &callee_dad, &local)
-                    .unwrap();
+                let r: f64 =
+                    ep.call_with_array(ic, 0, 1.0f64, &caller_dad, &callee_dad, &local).unwrap();
                 // Column block sums of 0..35 grid: left cols {0,1,2} sum,
                 // right cols {3,4,5} sum.
-                let left: f64 = (0..6).flat_map(|i| (0..3).map(move |j| i * 6 + j)).sum::<usize>() as f64;
-                let right: f64 = (0..6).flat_map(|i| (3..6).map(move |j| i * 6 + j)).sum::<usize>() as f64;
+                let left: f64 =
+                    (0..6).flat_map(|i| (0..3).map(move |j| i * 6 + j)).sum::<usize>() as f64;
+                let right: f64 =
+                    (0..6).flat_map(|i| (3..6).map(move |j| i * 6 + j)).sum::<usize>() as f64;
                 let expect = if ctx.comm.rank() % 2 == 0 { left } else { right };
                 assert_eq!(r, expect);
                 ep.shutdown(ic).unwrap();

@@ -86,7 +86,7 @@ pub fn subset_call<A, R>(
     policy: DeliveryPolicy,
 ) -> Result<R>
 where
-    A: Send + MsgSize + 'static,
+    A: Send + Sync + MsgSize + 'static,
     R: 'static,
 {
     subset_call_inner(participants, ic, participant_ranks, provider, method, arg, policy, None)
@@ -107,7 +107,7 @@ pub fn subset_call_timeout<A, R>(
     timeout: Duration,
 ) -> Result<R>
 where
-    A: Send + MsgSize + 'static,
+    A: Send + Sync + MsgSize + 'static,
     R: 'static,
 {
     subset_call_inner(
@@ -134,7 +134,7 @@ fn subset_call_inner<A, R>(
     timeout: Option<Duration>,
 ) -> Result<R>
 where
-    A: Send + MsgSize + 'static,
+    A: Send + Sync + MsgSize + 'static,
     R: 'static,
 {
     assert_ne!(method, METHOD_SHUTDOWN, "use subset_shutdown");
@@ -231,11 +231,7 @@ pub fn subset_serve(
             match ic.recv_timeout::<SubsetShare>(p, req_tag(method), share_timeout) {
                 Ok(_) => {}
                 Err(RuntimeError::Timeout { .. }) => {
-                    return Ok(SubsetServeOutcome::Deadlocked {
-                        calls,
-                        missing_rank: p,
-                        method,
-                    });
+                    return Ok(SubsetServeOutcome::Deadlocked { calls, missing_rank: p, method });
                 }
                 Err(e) => return Err(PrmiError::Runtime(e)),
             }
@@ -298,19 +294,14 @@ mod tests {
                 if ctx.program == 0 {
                     let ic = ctx.intercomm(1);
                     let all = [0, 1, 2];
-                    let r: f64 =
-                        subset_call(&ctx.comm, ic, &all, 0, 1, 10.0f64, policy).unwrap();
+                    let r: f64 = subset_call(&ctx.comm, ic, &all, 0, 1, 10.0f64, policy).unwrap();
                     assert_eq!(r, 21.0);
                     if ctx.comm.rank() == 0 {
                         subset_shutdown(ic, 0).unwrap();
                     }
                 } else {
-                    let out = subset_serve(
-                        ctx.intercomm(0),
-                        &Doubler,
-                        Duration::from_secs(5),
-                    )
-                    .unwrap();
+                    let out =
+                        subset_serve(ctx.intercomm(0), &Doubler, Duration::from_secs(5)).unwrap();
                     assert_eq!(out, SubsetServeOutcome::Completed { calls: 1 });
                 }
             });
@@ -346,10 +337,9 @@ mod tests {
                         subset_call_timeout(&pair, ic, &[1, 2], 0, 1, 5.0f64, policy, t);
                     if policy.barrier_before_delivery {
                         assert_eq!(rb.unwrap(), 11.0);
-                        let _ra: f64 = subset_call_timeout(
-                            &all, ic, &[0, 1, 2], 0, 0, 1.0f64, policy, t,
-                        )
-                        .unwrap();
+                        let _ra: f64 =
+                            subset_call_timeout(&all, ic, &[0, 1, 2], 0, 0, 1.0f64, policy, t)
+                                .unwrap();
                     } else {
                         // Call B's response never comes: the server is stuck
                         // collecting call A's shares (the figure's deadlock).
@@ -358,10 +348,7 @@ mod tests {
                 }
                 None
             } else {
-                Some(
-                    subset_serve(ctx.intercomm(0), &Doubler, Duration::from_millis(300))
-                        .unwrap(),
-                )
+                Some(subset_serve(ctx.intercomm(0), &Doubler, Duration::from_millis(300)).unwrap())
             }
         });
         outcomes.into_iter().flatten().next().unwrap()

@@ -248,13 +248,8 @@ mod tests {
                     // version 3.
                     ctx.comm.recv::<()>(0, 43).unwrap();
                     let region = Region::new([0], [8]);
-                    let v = Subscriber::subscribe(
-                        ic,
-                        "pressure",
-                        &region,
-                        Transform::identity(),
-                    )
-                    .unwrap();
+                    let v = Subscriber::subscribe(ic, "pressure", &region, Transform::identity())
+                        .unwrap();
                     assert_eq!(v, 3);
                     let u = Subscriber::next_update(ic).unwrap();
                     assert_eq!(u.version, 3);
@@ -309,11 +304,9 @@ mod tests {
             let ic = ctx.intercomm(1);
             let dad = Dad::block(Extents::new([6]), &[1]).unwrap();
             let p = Publisher::new("x", dad.clone(), 0, 1);
-            Subscriber::subscribe(ic, "x", &Region::new([0], [2]), Transform::identity())
-                .unwrap();
+            Subscriber::subscribe(ic, "x", &Region::new([0], [2]), Transform::identity()).unwrap();
             // Replace with a different region before any publish.
-            Subscriber::subscribe(ic, "x", &Region::new([4], [6]), Transform::identity())
-                .unwrap();
+            Subscriber::subscribe(ic, "x", &Region::new([4], [6]), Transform::identity()).unwrap();
             let local = LocalArray::from_fn(&dad, 0, |idx| idx[0] as f64);
             p.publish(ic, &local).unwrap();
             let u = Subscriber::next_update(ic).unwrap();

@@ -45,13 +45,7 @@ pub(crate) enum ToBroker {
         commit: bool,
     },
     /// Register interest in a region of a topic, with a transformation.
-    Subscribe {
-        topic: String,
-        lo: Vec<usize>,
-        hi: Vec<usize>,
-        scale: f64,
-        offset: f64,
-    },
+    Subscribe { topic: String, lo: Vec<usize>, hi: Vec<usize>, scale: f64, offset: f64 },
     /// Remove this rank's subscription to a topic.
     Unsubscribe { topic: String },
     /// Stop the broker (administrative).
@@ -64,7 +58,9 @@ impl MsgSize for ToBroker {
             ToBroker::Publish { topic, extents, lo, hi, values, .. } => {
                 topic.len() + (extents.len() + lo.len() + hi.len()) * 8 + values.len() * 8 + 1
             }
-            ToBroker::Subscribe { topic, lo, hi, .. } => topic.len() + (lo.len() + hi.len()) * 8 + 16,
+            ToBroker::Subscribe { topic, lo, hi, .. } => {
+                topic.len() + (lo.len() + hi.len()) * 8 + 16
+            }
             ToBroker::Unsubscribe { topic } => topic.len(),
             ToBroker::Shutdown => 1,
         }

@@ -31,12 +31,8 @@ pub fn dims_create(nnodes: usize, ndims: usize) -> Vec<usize> {
     factors.sort_unstable_by(|a, b| b.cmp(a));
     let mut dims = vec![1usize; ndims];
     for f in factors {
-        let smallest = dims
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &v)| v)
-            .map(|(i, _)| i)
-            .expect("ndims ≥ 1");
+        let smallest =
+            dims.iter().enumerate().min_by_key(|(_, &v)| v).map(|(i, _)| i).expect("ndims ≥ 1");
         dims[smallest] *= f;
     }
     dims.sort_unstable_by(|a, b| b.cmp(a));
@@ -158,12 +154,8 @@ mod tests {
     #[test]
     fn coords_roundtrip() {
         World::run(12, |p| {
-            let cart = CartComm::new(
-                p.world().dup().unwrap(),
-                vec![4, 3],
-                vec![false, false],
-            )
-            .unwrap();
+            let cart =
+                CartComm::new(p.world().dup().unwrap(), vec![4, 3], vec![false, false]).unwrap();
             let c = cart.coords();
             assert_eq!(cart.rank_of(&c), p.rank());
             assert_eq!(cart.coords_of(p.rank()), c);
@@ -183,8 +175,7 @@ mod tests {
     #[test]
     fn shift_nonperiodic_boundaries() {
         World::run(4, |p| {
-            let cart =
-                CartComm::new(p.world().dup().unwrap(), vec![4], vec![false]).unwrap();
+            let cart = CartComm::new(p.world().dup().unwrap(), vec![4], vec![false]).unwrap();
             let (src, dst) = cart.shift(0, 1);
             match p.rank() {
                 0 => {
@@ -218,12 +209,8 @@ mod tests {
     #[test]
     fn shift_2d_mixed_periodicity() {
         World::run(6, |p| {
-            let cart = CartComm::new(
-                p.world().dup().unwrap(),
-                vec![2, 3],
-                vec![false, true],
-            )
-            .unwrap();
+            let cart =
+                CartComm::new(p.world().dup().unwrap(), vec![2, 3], vec![false, true]).unwrap();
             let c = cart.coords();
             // Dim 1 is periodic: always both neighbours.
             let (s1, d1) = cart.shift(1, 1);

@@ -7,18 +7,34 @@
 //! point-to-point traffic or with each other.
 //!
 //! Algorithms follow the classic implementations: binomial-tree broadcast
-//! and reduce, dissemination barrier, ring allgather, pairwise-offset
-//! all-to-all, and a linear chain scan. Because the runtime's sends are
-//! eager (never block), the simple orderings are deadlock-free.
+//! and reduce, dissemination barrier, ring allgather, recursive-doubling
+//! allreduce (with a reduce+bcast path for large payloads), recursive-halving
+//! reduce-scatter, pairwise-offset and Bruck all-to-all, and a linear chain
+//! scan. Because the runtime's sends are eager (never block), the simple
+//! orderings are deadlock-free.
+//!
+//! Broadcast-shaped collectives move payloads as [`crate::Payload::Shared`]
+//! envelopes: the value is allocated once (`Arc::new`) and every hop forwards
+//! another handle, so a p-rank broadcast performs O(1) payload allocations.
+//! The `*_shared` variants hand that `Arc` straight to the caller; the owned
+//! variants unwrap it copy-on-write.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::comm::Comm;
-use crate::envelope::{Src, Tag};
+use crate::envelope::{Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
-use crate::stats::TrafficClass;
+use crate::stats::{CollOp, TrafficClass};
+
+/// Payload-size threshold (bytes) at or below which latency-optimal
+/// algorithms (recursive doubling, Bruck) are preferred over
+/// bandwidth-optimal ones. Every member must arrive at the same choice, so
+/// selection keys on quantities that are identical across ranks (the
+/// uniform payload size of an allreduce, or an agreed-on maximum).
+pub const SMALL_COLLECTIVE_BYTES: usize = 4096;
 
 impl Comm {
     fn coll_context(&self) -> u32 {
@@ -34,14 +50,42 @@ impl Comm {
         ((seq % (1 << 18)) as i32) << 12
     }
 
-    fn coll_send<T: Send + MsgSize + 'static>(&self, dst: usize, tag: i32, value: T) -> Result<()> {
+    fn coll_send<T: Send + MsgSize + 'static>(
+        &self,
+        dst: usize,
+        tag: i32,
+        value: T,
+        op: CollOp,
+    ) -> Result<()> {
         let bytes = value.msg_size();
+        self.shared().stats().record_coll(op, bytes);
         self.push_envelope(
             dst,
             self.coll_context(),
             tag,
             bytes,
-            Box::new(value),
+            Payload::owned(value),
+            None,
+            TrafficClass::Collective,
+        )
+    }
+
+    /// Forwards a shared handle: no payload copy, whatever the fan-out.
+    fn coll_send_shared<T: Send + Sync + Clone + 'static>(
+        &self,
+        dst: usize,
+        tag: i32,
+        value: Arc<T>,
+        bytes: usize,
+        op: CollOp,
+    ) -> Result<()> {
+        self.shared().stats().record_coll(op, bytes);
+        self.push_envelope(
+            dst,
+            self.coll_context(),
+            tag,
+            bytes,
+            Payload::shared(value),
             None,
             TrafficClass::Collective,
         )
@@ -58,17 +102,22 @@ impl Comm {
             Tag::Value(tag),
             &self.coll_peer(src),
         )?;
-        Self::downcast::<T>(env).map(|(v, _)| v)
+        self.downcast::<T>(env).map(|(v, _)| v)
+    }
+
+    fn coll_recv_shared<T: Send + Sync + 'static>(&self, src: usize, tag: i32) -> Result<Arc<T>> {
+        let env = self.shared().mailbox(self.global_rank()).take(
+            self.coll_context(),
+            Src::Rank(src),
+            Tag::Value(tag),
+            &self.coll_peer(src),
+        )?;
+        self.downcast_shared::<T>(env).map(|(v, _)| v)
     }
 
     /// Like `coll_recv` but gives up after the remaining share of a
     /// deadline, mapping the mailbox timeout to the collective's name.
-    fn coll_recv_deadline<T: 'static>(
-        &self,
-        src: usize,
-        tag: i32,
-        deadline: Instant,
-    ) -> Result<T> {
+    fn coll_recv_deadline<T: 'static>(&self, src: usize, tag: i32, deadline: Instant) -> Result<T> {
         let remaining = deadline.saturating_duration_since(Instant::now());
         let env = self.shared().mailbox(self.global_rank()).take_timeout(
             self.coll_context(),
@@ -77,7 +126,19 @@ impl Comm {
             remaining,
             &self.coll_peer(src),
         )?;
-        Self::downcast::<T>(env).map(|(v, _)| v)
+        self.downcast::<T>(env).map(|(v, _)| v)
+    }
+
+    /// Copy-on-write unwrap of a collective result, attributing any forced
+    /// deep clone to `op`.
+    fn unwrap_cow<T: Clone>(&self, arc: Arc<T>, op: CollOp) -> T {
+        match Arc::try_unwrap(arc) {
+            Ok(v) => v,
+            Err(arc) => {
+                self.shared().stats().record_coll_clones(op, 1);
+                (*arc).clone()
+            }
+        }
     }
 
     /// Blocks until every member has entered the barrier.
@@ -92,7 +153,7 @@ impl Comm {
         while dist < p {
             let dst = (r + dist) % p;
             let src = (r + p - dist) % p;
-            self.coll_send(dst, base + round, ())?;
+            self.coll_send(dst, base + round, (), CollOp::Barrier)?;
             self.coll_recv::<()>(src, base + round)?;
             dist <<= 1;
             round += 1;
@@ -116,7 +177,7 @@ impl Comm {
         while dist < p {
             let dst = (r + dist) % p;
             let src = (r + p - dist) % p;
-            self.coll_send(dst, base + round, ())?;
+            self.coll_send(dst, base + round, (), CollOp::Barrier)?;
             self.coll_recv_deadline::<()>(src, base + round, deadline)?;
             dist <<= 1;
             round += 1;
@@ -127,8 +188,84 @@ impl Comm {
     /// Broadcasts `root`'s value to every member. `root` must pass
     /// `Some(value)`; all other ranks pass `None` and receive the value.
     ///
-    /// Binomial tree: ⌈log₂ p⌉ message hops on the critical path.
-    pub fn bcast<T: Clone + Send + MsgSize + 'static>(
+    /// Binomial tree over one shared payload: ⌈log₂ p⌉ hops on the critical
+    /// path, exactly p−1 messages, and a single payload allocation
+    /// regardless of p. Each receiver unwraps copy-on-write: leaves get the
+    /// value without any copy once their subtree's handles drop.
+    pub fn bcast<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<T> {
+        let arc = self.bcast_shared_as(root, value, CollOp::Bcast)?;
+        Ok(self.unwrap_cow(arc, CollOp::Bcast))
+    }
+
+    /// The zero-clone broadcast: like [`Comm::bcast`], but every member
+    /// receives an `Arc` handle to the *same* allocation — no payload is
+    /// ever deep-copied, whatever the communicator size.
+    pub fn bcast_shared<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> Result<Arc<T>> {
+        self.bcast_shared_as(root, value, CollOp::Bcast)
+    }
+
+    fn bcast_shared_as<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+        op: CollOp,
+    ) -> Result<Arc<T>> {
+        let p = self.size();
+        if root >= p {
+            return Err(RuntimeError::InvalidRank { rank: root, size: p });
+        }
+        let base = self.next_coll_tag();
+        let rel = (self.rank() + p - root) % p;
+
+        let mut value: Option<Arc<T>> = if rel == 0 {
+            let v = value.ok_or_else(|| RuntimeError::CollectiveMismatch {
+                detail: "bcast root passed None".into(),
+            })?;
+            // The broadcast's single payload allocation.
+            self.shared().stats().record_coll_allocs(op, 1);
+            Some(Arc::new(v))
+        } else {
+            None
+        };
+
+        // Receive phase: find the bit that identifies my parent.
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let parent = ((rel - mask) + root) % p;
+                value = Some(self.coll_recv_shared::<T>(parent, base)?);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase: forward handles to children below my identifying bit.
+        let v = value.expect("bcast value present after receive phase");
+        let bytes = v.msg_size();
+        mask >>= 1;
+        while mask > 0 {
+            if rel & mask == 0 && rel + mask < p {
+                let child = (rel + mask + root) % p;
+                self.coll_send_shared(child, base, Arc::clone(&v), bytes, op)?;
+            }
+            mask >>= 1;
+        }
+        Ok(v)
+    }
+
+    /// Clone-per-child broadcast over the same binomial tree, retained as
+    /// the baseline the zero-clone path is compared against (see the
+    /// `runtime_collectives` bench): identical message count, but every
+    /// parent deep-copies the payload once per child — O(p) copies total,
+    /// serialized on the interior ranks.
+    pub fn bcast_cloning<T: Clone + Send + MsgSize + 'static>(
         &self,
         root: usize,
         value: Option<T>,
@@ -148,7 +285,6 @@ impl Comm {
             None
         };
 
-        // Receive phase: find the bit that identifies my parent.
         let mut mask = 1usize;
         while mask < p {
             if rel & mask != 0 {
@@ -158,13 +294,13 @@ impl Comm {
             }
             mask <<= 1;
         }
-        // Send phase: forward to children below my identifying bit.
         let v = value.expect("bcast value present after receive phase");
         mask >>= 1;
         while mask > 0 {
             if rel & mask == 0 && rel + mask < p {
                 let child = (rel + mask + root) % p;
-                self.coll_send(child, base, v.clone())?;
+                self.shared().stats().record_coll_clones(CollOp::Bcast, 1);
+                self.coll_send(child, base, v.clone(), CollOp::Bcast)?;
             }
             mask >>= 1;
         }
@@ -194,36 +330,54 @@ impl Comm {
                     Tag::Value(base),
                     &peers,
                 )?;
-                let (v, info) = Self::downcast::<T>(env)?;
+                let (v, info) = self.downcast::<T>(env)?;
                 out[info.src] = Some(v);
             }
             Ok(Some(out.into_iter().map(|o| o.expect("every rank contributed")).collect()))
         } else {
-            self.coll_send(root, base, value)?;
+            self.coll_send(root, base, value, CollOp::Gather)?;
             Ok(None)
         }
     }
 
     /// Gathers one value from every member at *every* member.
     ///
-    /// Ring algorithm: p−1 steps, each member forwards the block it just
-    /// received, so bandwidth is balanced across links.
-    pub fn allgather<T: Clone + Send + MsgSize + 'static>(&self, value: T) -> Result<Vec<T>> {
+    /// Ring over shared envelopes: p−1 steps per rank, each member forwards
+    /// a *handle* to the block it just received, so every block is allocated
+    /// exactly once however many ranks end up holding it. The owned result
+    /// unwraps each block copy-on-write.
+    pub fn allgather<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<T>> {
+        let shared = self.allgather_shared(value)?;
+        Ok(shared.into_iter().map(|arc| self.unwrap_cow(arc, CollOp::Allgather)).collect())
+    }
+
+    /// The zero-clone allgather: every member receives `Arc` handles to the
+    /// p shared block allocations (one per contributor).
+    pub fn allgather_shared<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<Arc<T>>> {
         let p = self.size();
         let r = self.rank();
         let base = self.next_coll_tag();
-        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
-        out[r] = Some(value);
+        let mut out: Vec<Option<Arc<T>>> = (0..p).map(|_| None).collect();
+        // My contribution: the one allocation this rank makes.
+        self.shared().stats().record_coll_allocs(CollOp::Allgather, 1);
+        out[r] = Some(Arc::new(value));
 
         let next = (r + 1) % p;
         let prev = (r + p - 1) % p;
         // At step s we forward the block that originated at (r - s) mod p.
         for s in 0..p.saturating_sub(1) {
             let send_origin = (r + p - s) % p;
-            let block = out[send_origin].clone().expect("block present by induction");
-            self.coll_send(next, base + s as i32, block)?;
+            let block = Arc::clone(out[send_origin].as_ref().expect("block present by induction"));
+            let bytes = block.msg_size();
+            self.coll_send_shared(next, base + s as i32, block, bytes, CollOp::Allgather)?;
             let recv_origin = (prev + p - s) % p;
-            out[recv_origin] = Some(self.coll_recv::<T>(prev, base + s as i32)?);
+            out[recv_origin] = Some(self.coll_recv_shared::<T>(prev, base + s as i32)?);
         }
         Ok(out.into_iter().map(|o| o.expect("ring delivered all blocks")).collect())
     }
@@ -234,6 +388,15 @@ impl Comm {
         &self,
         root: usize,
         values: Option<Vec<T>>,
+    ) -> Result<T> {
+        self.scatter_as(root, values, CollOp::Scatter)
+    }
+
+    fn scatter_as<T: Send + MsgSize + 'static>(
+        &self,
+        root: usize,
+        values: Option<Vec<T>>,
+        op: CollOp,
     ) -> Result<T> {
         let p = self.size();
         if root >= p {
@@ -254,7 +417,7 @@ impl Comm {
                 if dst == root {
                     mine = Some(v);
                 } else {
-                    self.coll_send(dst, base, v)?;
+                    self.coll_send(dst, base, v, op)?;
                 }
             }
             Ok(mine.expect("root's own element"))
@@ -266,7 +429,9 @@ impl Comm {
     /// Each member provides one value per peer; returns one value from each
     /// peer. `values[i]` goes to rank `i`; result `[i]` came from rank `i`.
     ///
-    /// Pairwise-offset exchange: p−1 rounds with distinct partners.
+    /// Pairwise-offset exchange: p−1 rounds with distinct partners — the
+    /// bandwidth-friendly choice for large blocks. For many small blocks,
+    /// [`Comm::alltoall_bruck`] does the same exchange in ⌈log₂ p⌉ rounds.
     pub fn alltoall<T: Send + MsgSize + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
         let p = self.size();
         let r = self.rank();
@@ -282,15 +447,75 @@ impl Comm {
         for offset in 1..p {
             let dst = (r + offset) % p;
             let src = (r + p - offset) % p;
-            self.coll_send(dst, base, values[dst].take().expect("each peer element used once"))?;
+            let block = values[dst].take().expect("each peer element used once");
+            self.coll_send(dst, base, block, CollOp::Alltoall)?;
             out[src] = Some(self.coll_recv::<T>(src, base)?);
         }
         Ok(out.into_iter().map(|o| o.expect("pairwise exchange complete")).collect())
     }
 
+    /// Bruck all-to-all: the same exchange as [`Comm::alltoall`] in
+    /// ⌈log₂ p⌉ rounds instead of p−1, at the cost of each block travelling
+    /// up to ⌈log₂ p⌉ hops. Latency-optimal for small blocks at large p;
+    /// blocks are moved between rounds, never cloned.
+    pub fn alltoall_bruck<T: Send + MsgSize + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
+        const OP: CollOp = CollOp::Alltoall;
+        let p = self.size();
+        let r = self.rank();
+        if values.len() != p {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: format!("alltoall got {} values for {} ranks", values.len(), p),
+            });
+        }
+        if p == 1 {
+            return Ok(values);
+        }
+        let base = self.next_coll_tag();
+        // Local rotation: slot i holds the block destined for rank (r+i)%p.
+        let mut staged: Vec<Option<T>> = values.into_iter().map(Some).collect();
+        let mut slots: Vec<Option<T>> = (0..p).map(|i| staged[(r + i) % p].take()).collect();
+
+        // Round j moves every slot with bit j set forward by 2^j ranks; a
+        // block at slot i therefore travels a total distance of i, landing
+        // at its destination with all bits consumed.
+        let mut k = 1usize;
+        let mut round = 0i32;
+        while k < p {
+            let dst = (r + k) % p;
+            let src = (r + p - k) % p;
+            let idxs: Vec<usize> = (0..p).filter(|i| i & k != 0).collect();
+            let outgoing: Vec<T> =
+                idxs.iter().map(|&i| slots[i].take().expect("slot occupied")).collect();
+            self.coll_send(dst, base + round, outgoing, OP)?;
+            let incoming: Vec<T> = self.coll_recv(src, base + round)?;
+            if incoming.len() != idxs.len() {
+                return Err(RuntimeError::CollectiveMismatch {
+                    detail: format!(
+                        "bruck round {round}: got {} blocks, expected {}",
+                        incoming.len(),
+                        idxs.len()
+                    ),
+                });
+            }
+            for (&i, v) in idxs.iter().zip(incoming) {
+                slots[i] = Some(v);
+            }
+            k <<= 1;
+            round += 1;
+        }
+        // Inverse rotation: slot i now holds the block from rank (r-i)%p.
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            out[(r + p - i) % p] = slot.take();
+        }
+        Ok(out.into_iter().map(|o| o.expect("bruck delivered all blocks")).collect())
+    }
+
     /// Variable-size all-to-all: `chunks[i]` (possibly empty) goes to rank
     /// `i`; returns the chunks received from each rank. This is the
-    /// primitive DCA's redistribution layer is built on.
+    /// primitive DCA's redistribution layer is built on. Callers that can
+    /// agree on a size bound across ranks may use [`Comm::alltoall_bruck`]
+    /// directly for the small-message regime.
     pub fn alltoallv<T: Send + MsgSize + 'static>(
         &self,
         chunks: Vec<Vec<T>>,
@@ -301,8 +526,17 @@ impl Comm {
     /// Reduces all members' values to `root` with the associative `op`
     /// (applied as `op(&mut acc, incoming)`); non-roots receive `None`.
     ///
-    /// Binomial tree combine; `op` is applied in deterministic child order.
+    /// Binomial tree combine; `op` is applied in deterministic child order
+    /// and partial results move up the tree without cloning.
     pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Result<Option<T>>
+    where
+        T: Send + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        self.reduce_as(root, value, op, CollOp::Reduce)
+    }
+
+    fn reduce_as<T, F>(&self, root: usize, value: T, op: F, coll: CollOp) -> Result<Option<T>>
     where
         T: Send + MsgSize + 'static,
         F: Fn(&mut T, T),
@@ -319,7 +553,7 @@ impl Comm {
             if rel & mask != 0 {
                 // I have a parent: send my partial result up.
                 let parent = ((rel - mask) + root) % p;
-                self.coll_send(parent, base, acc)?;
+                self.coll_send(parent, base, acc, coll)?;
                 return Ok(None);
             }
             if rel + mask < p {
@@ -335,14 +569,170 @@ impl Comm {
         Ok(Some(acc))
     }
 
-    /// Reduce followed by broadcast: every member receives the result.
+    /// Every member receives `op` folded over all members' values.
+    ///
+    /// Size-aware selection (every rank must pass the same-sized value, as
+    /// in MPI, so all members pick the same algorithm): payloads at or below
+    /// [`SMALL_COLLECTIVE_BYTES`] use recursive doubling — ⌈log₂ p⌉ rounds
+    /// per rank, latency-optimal — while larger payloads use binomial
+    /// reduce (partials move, no clones) followed by the zero-clone shared
+    /// broadcast.
     pub fn allreduce<T, F>(&self, value: T, op: F) -> Result<T>
+    where
+        T: Clone + Send + Sync + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        let p = self.size();
+        if p == 1 {
+            return Ok(value);
+        }
+        if value.msg_size() <= SMALL_COLLECTIVE_BYTES {
+            self.allreduce_rd(value, op)
+        } else {
+            let reduced = self.reduce_as(0, value, op, CollOp::Allreduce)?;
+            let arc = self.bcast_shared_as(0, reduced, CollOp::Allreduce)?;
+            Ok(self.unwrap_cow(arc, CollOp::Allreduce))
+        }
+    }
+
+    /// Recursive-doubling allreduce with the classic fold-in/fold-out for
+    /// non-power-of-two sizes: the first `2*rem` ranks pair up so a power
+    /// of two remains, run ⌈log₂ p⌉ exchange rounds, then hand the result
+    /// back to the retired ranks.
+    fn allreduce_rd<T, F>(&self, value: T, op: F) -> Result<T>
     where
         T: Clone + Send + MsgSize + 'static,
         F: Fn(&mut T, T),
     {
-        let reduced = self.reduce(0, value, op)?;
-        self.bcast(0, reduced)
+        const OP: CollOp = CollOp::Allreduce;
+        /// Round index for the fold-out message (outside the exchange
+        /// rounds, within the collective's 2^12-tag block).
+        const FOLD_OUT: i32 = 4095;
+        let p = self.size();
+        let r = self.rank();
+        let base = self.next_coll_tag();
+        let pof2 = 1usize << p.ilog2();
+        let rem = p - pof2;
+
+        let mut acc = value;
+        // Fold-in: evens below 2*rem send to their odd neighbour and
+        // retire, waiting for the final result at fold-out.
+        let nr = if r < 2 * rem {
+            if r.is_multiple_of(2) {
+                self.coll_send(r + 1, base, acc, OP)?;
+                return self.coll_recv::<T>(r + 1, base + FOLD_OUT);
+            }
+            let other = self.coll_recv::<T>(r - 1, base)?;
+            let mine = std::mem::replace(&mut acc, other);
+            op(&mut acc, mine);
+            r / 2
+        } else {
+            r - rem
+        };
+
+        let mut mask = 1usize;
+        let mut round = 1i32;
+        while mask < pof2 {
+            let partner_new = nr ^ mask;
+            let partner = if partner_new < rem { 2 * partner_new + 1 } else { partner_new + rem };
+            self.shared().stats().record_coll_clones(OP, 1);
+            self.coll_send(partner, base + round, acc.clone(), OP)?;
+            let other = self.coll_recv::<T>(partner, base + round)?;
+            // Canonical combine order: lower ranks' contribution first, so
+            // non-commutative ops fold left-to-right.
+            if partner < r {
+                let mine = std::mem::replace(&mut acc, other);
+                op(&mut acc, mine);
+            } else {
+                op(&mut acc, other);
+            }
+            mask <<= 1;
+            round += 1;
+        }
+        if r < 2 * rem {
+            // Fold-out: hand the result back to the retired even rank.
+            self.shared().stats().record_coll_clones(OP, 1);
+            self.coll_send(r - 1, base + FOLD_OUT, acc.clone(), OP)?;
+        }
+        Ok(acc)
+    }
+
+    /// Reduces `values` (one block per member, rank order) element-wise and
+    /// scatters the result: rank `r` receives the reduction of every
+    /// member's `values[r]`.
+    ///
+    /// Power-of-two sizes use recursive halving: each round a rank sends
+    /// the half of its remaining blocks the partner is responsible for (the
+    /// blocks are *moved* into the message — no clones) and folds the
+    /// incoming half into its own; ⌈log₂ p⌉ messages per rank, halving in
+    /// volume each round. Other sizes fall back to a binomial vector reduce
+    /// followed by a scatter.
+    pub fn reduce_scatter<T, F>(&self, values: Vec<T>, op: F) -> Result<T>
+    where
+        T: Send + MsgSize + 'static,
+        F: Fn(&mut T, T),
+    {
+        const OP: CollOp = CollOp::ReduceScatter;
+        let p = self.size();
+        let r = self.rank();
+        if values.len() != p {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: format!("reduce_scatter got {} values for {} ranks", values.len(), p),
+            });
+        }
+        if p == 1 {
+            return Ok(values.into_iter().next().expect("one block for one rank"));
+        }
+        if !p.is_power_of_two() {
+            let reduced = self.reduce_as(
+                0,
+                values,
+                |acc: &mut Vec<T>, incoming: Vec<T>| {
+                    for (a, b) in acc.iter_mut().zip(incoming) {
+                        op(a, b);
+                    }
+                },
+                OP,
+            )?;
+            return self.scatter_as(0, reduced, OP);
+        }
+
+        let base = self.next_coll_tag();
+        let mut blocks: Vec<Option<T>> = values.into_iter().map(Some).collect();
+        let (mut lo, mut hi) = (0usize, p);
+        let mut round = 0i32;
+        while hi - lo > 1 {
+            let half = (hi - lo) / 2;
+            let mid = lo + half;
+            let (partner, send_lo, send_hi, keep_lo, keep_hi) =
+                if r < mid { (r + half, mid, hi, lo, mid) } else { (r - half, lo, mid, mid, hi) };
+            let outgoing: Vec<T> =
+                (send_lo..send_hi).map(|i| blocks[i].take().expect("unsent block")).collect();
+            self.coll_send(partner, base + round, outgoing, OP)?;
+            let incoming: Vec<T> = self.coll_recv(partner, base + round)?;
+            if incoming.len() != keep_hi - keep_lo {
+                return Err(RuntimeError::CollectiveMismatch {
+                    detail: format!(
+                        "reduce_scatter round {round}: got {} blocks, expected {}",
+                        incoming.len(),
+                        keep_hi - keep_lo
+                    ),
+                });
+            }
+            for (i, v) in (keep_lo..keep_hi).zip(incoming) {
+                let acc = blocks[i].as_mut().expect("kept block");
+                if partner < r {
+                    let mine = std::mem::replace(acc, v);
+                    op(acc, mine);
+                } else {
+                    op(acc, v);
+                }
+            }
+            lo = keep_lo;
+            hi = keep_hi;
+            round += 1;
+        }
+        Ok(blocks[r].take().expect("own block fully reduced"))
     }
 
     /// Inclusive prefix reduction: rank r receives `op` applied to the
@@ -362,7 +752,8 @@ impl Comm {
             op(&mut acc, mine);
         }
         if r + 1 < p {
-            self.coll_send(r + 1, base, acc.clone())?;
+            self.shared().stats().record_coll_clones(CollOp::Scan, 1);
+            self.coll_send(r + 1, base, acc.clone(), CollOp::Scan)?;
         }
         Ok(acc)
     }
@@ -373,7 +764,6 @@ mod tests {
     use super::*;
     use crate::world::World;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
 
     #[test]
     fn barrier_orders_phases() {
@@ -425,6 +815,35 @@ mod tests {
     }
 
     #[test]
+    fn bcast_cloning_from_every_root() {
+        for p in [1, 2, 3, 5, 8] {
+            for root in 0..p {
+                World::run(p, move |proc| {
+                    let c = proc.world();
+                    let v = if c.rank() == root { Some(vec![root as u64; 3]) } else { None };
+                    assert_eq!(c.bcast_cloning(root, v).unwrap(), vec![root as u64; 3]);
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_shared_hands_out_one_allocation() {
+        let (results, stats) = World::run_with_stats(8, |proc| {
+            let c = proc.world();
+            let v = if c.rank() == 0 { Some(vec![3.25f64; 64]) } else { None };
+            let arc = c.bcast_shared(0, v).unwrap();
+            assert_eq!(*arc, vec![3.25; 64]);
+            Arc::as_ptr(&arc) as usize
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "all ranks see the same allocation");
+        let bcast = stats.coll(crate::stats::CollOp::Bcast);
+        assert_eq!(bcast.messages, 7, "bcast sends exactly p-1 messages");
+        assert_eq!(bcast.payload_allocs, 1, "one allocation regardless of p");
+        assert_eq!(bcast.payload_clones, 0, "shared broadcast never deep-copies");
+    }
+
+    #[test]
     fn bcast_invalid_root() {
         World::run(2, |p| {
             let c = p.world();
@@ -464,15 +883,26 @@ mod tests {
     }
 
     #[test]
+    fn allgather_shared_allocates_once_per_contributor() {
+        let (_, stats) = World::run_with_stats(4, |proc| {
+            let c = proc.world();
+            let got = c.allgather_shared(vec![c.rank() as u32; 8]).unwrap();
+            for (r, arc) in got.iter().enumerate() {
+                assert_eq!(**arc, vec![r as u32; 8]);
+            }
+        });
+        let ag = stats.coll(crate::stats::CollOp::Allgather);
+        assert_eq!(ag.messages, 4 * 3, "ring sends p-1 messages per rank");
+        assert_eq!(ag.payload_allocs, 4, "one allocation per contributed block");
+        assert_eq!(ag.payload_clones, 0);
+    }
+
+    #[test]
     fn scatter_distributes() {
         for root in 0..3 {
             World::run(3, move |proc| {
                 let c = proc.world();
-                let v = if c.rank() == root {
-                    Some(vec![10u8, 20, 30])
-                } else {
-                    None
-                };
+                let v = if c.rank() == root { Some(vec![10u8, 20, 30]) } else { None };
                 assert_eq!(c.scatter(root, v).unwrap(), (c.rank() as u8 + 1) * 10);
             });
         }
@@ -501,6 +931,30 @@ mod tests {
                 assert_eq!(got, expect);
             });
         }
+    }
+
+    #[test]
+    fn alltoall_bruck_matches_pairwise() {
+        for p in [1, 2, 3, 4, 5, 6, 7, 8] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let vals: Vec<u64> = (0..p).map(|d| (c.rank() * 100 + d) as u64).collect();
+                let got = c.alltoall_bruck(vals).unwrap();
+                let expect: Vec<u64> = (0..p).map(|s| (s * 100 + c.rank()) as u64).collect();
+                assert_eq!(got, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn alltoall_bruck_uses_logarithmic_rounds() {
+        let (_, stats) = World::run_with_stats(8, |proc| {
+            let c = proc.world();
+            let vals: Vec<u64> = (0..8).map(|d| (c.rank() * 10 + d) as u64).collect();
+            c.alltoall_bruck(vals).unwrap();
+        });
+        // ceil(log2 8) = 3 bundled messages per rank, vs 7 pairwise.
+        assert_eq!(stats.coll(crate::stats::CollOp::Alltoall).messages, 8 * 3);
     }
 
     #[test]
@@ -544,6 +998,92 @@ mod tests {
     }
 
     #[test]
+    fn allreduce_small_and_large_paths_agree() {
+        // Small payloads take recursive doubling, large ones reduce+bcast;
+        // both must produce the fold of every rank's value, at every size
+        // (power of two or not).
+        for p in [1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let r = c.rank() as u64;
+                let small = c.allreduce(r + 1, |a, b| *a += b).unwrap();
+                assert_eq!(small, (p * (p + 1) / 2) as u64, "rd path at p={p}");
+                // 1024 f64s = 8 KiB > SMALL_COLLECTIVE_BYTES.
+                let big = c
+                    .allreduce(vec![r as f64; 1024], |a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                    })
+                    .unwrap();
+                let expect = (p * (p - 1) / 2) as f64;
+                assert!(big.iter().all(|&x| x == expect), "reduce+bcast path at p={p}");
+            });
+        }
+    }
+
+    #[test]
+    fn allreduce_rd_message_complexity() {
+        // Power of two: exactly log2(p) exchange messages per rank.
+        let (_, stats) = World::run_with_stats(8, |proc| {
+            proc.world().allreduce(1u64, |a, b| *a += b).unwrap();
+        });
+        assert_eq!(stats.coll(crate::stats::CollOp::Allreduce).messages, 8 * 3);
+    }
+
+    #[test]
+    fn reduce_scatter_power_of_two() {
+        for p in [1, 2, 4, 8] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let r = c.rank();
+                // Block destined for rank d carries r*100 + d.
+                let blocks: Vec<u64> = (0..p).map(|d| (r * 100 + d) as u64).collect();
+                let got = c.reduce_scatter(blocks, |a, b| *a += b).unwrap();
+                let expect: u64 = (0..p).map(|s| (s * 100 + r) as u64).sum();
+                assert_eq!(got, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_fallback_sizes() {
+        for p in [3, 5, 6, 7] {
+            World::run(p, move |proc| {
+                let c = proc.world();
+                let r = c.rank();
+                let blocks: Vec<u64> = (0..p).map(|d| (r * 100 + d) as u64).collect();
+                let got = c.reduce_scatter(blocks, |a, b| *a += b).unwrap();
+                let expect: u64 = (0..p).map(|s| (s * 100 + r) as u64).sum();
+                assert_eq!(got, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_wrong_count_errors() {
+        World::run(2, |proc| {
+            let c = proc.world();
+            if c.rank() == 0 {
+                let e = c.reduce_scatter(vec![1u8], |a, b| *a += b).unwrap_err();
+                assert!(matches!(e, RuntimeError::CollectiveMismatch { .. }));
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_scatter_moves_blocks_without_cloning() {
+        let (_, stats) = World::run_with_stats(8, |proc| {
+            let c = proc.world();
+            let blocks: Vec<u64> = (0..8).map(|d| d as u64).collect();
+            c.reduce_scatter(blocks, |a, b| *a += b).unwrap();
+        });
+        let rs = stats.coll(crate::stats::CollOp::ReduceScatter);
+        assert_eq!(rs.messages, 8 * 3, "log2(p) halving rounds per rank");
+        assert_eq!(rs.payload_clones, 0, "recursive halving moves every block");
+    }
+
+    #[test]
     fn scan_prefix_sums() {
         World::run(6, |proc| {
             let c = proc.world();
@@ -584,5 +1124,9 @@ mod tests {
         });
         assert_eq!(stats.p2p_messages, 0);
         assert!(stats.collective_messages > 0);
+        // Per-op attribution agrees with the aggregate.
+        let barrier = stats.coll(crate::stats::CollOp::Barrier);
+        assert_eq!(barrier.messages, stats.collective_messages);
+        assert_eq!(barrier.messages, 4 * 2, "dissemination: ceil(log2 4) rounds per rank");
     }
 }

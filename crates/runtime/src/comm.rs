@@ -5,7 +5,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::envelope::{Envelope, MessageInfo, Src, Tag};
+use crate::envelope::{Envelope, MessageInfo, Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
@@ -114,8 +114,8 @@ impl Comm {
         context: u32,
         tag: i32,
         bytes: usize,
-        payload: Box<dyn std::any::Any + Send>,
-        replicate: Option<&dyn Fn() -> Box<dyn std::any::Any + Send>>,
+        payload: Payload,
+        replicate: Option<&dyn Fn() -> Payload>,
         class: TrafficClass,
     ) -> Result<()> {
         let dst_global = self.group[dst_local];
@@ -149,7 +149,7 @@ impl Comm {
             self.context,
             tag,
             bytes,
-            Box::new(value),
+            Payload::owned(value),
             None,
             TrafficClass::PointToPoint,
         )
@@ -157,7 +157,9 @@ impl Comm {
 
     /// Like [`Comm::send`] for clonable values. Payloads normally move into
     /// the destination mailbox, so a fault plane that duplicates a frame has
-    /// no second copy to deliver; this variant supplies one by cloning.
+    /// no second copy to deliver; this variant posts the value as a shared
+    /// payload, which replicates itself in O(1) — no eager clone, and the
+    /// sole receiver unwraps it without copying.
     pub fn send_replicable<T: Send + Sync + Clone + MsgSize + 'static>(
         &self,
         dst: usize,
@@ -166,26 +168,84 @@ impl Comm {
     ) -> Result<()> {
         self.check_rank(dst)?;
         let bytes = value.msg_size();
-        let proto = value.clone();
-        let replicate = move || Box::new(proto.clone()) as Box<dyn std::any::Any + Send>;
+        self.shared.stats().record_payload_alloc();
         self.push_envelope(
             dst,
             self.context,
             tag,
             bytes,
-            Box::new(value),
-            Some(&replicate),
+            Payload::shared(Arc::new(value)),
+            None,
             TrafficClass::PointToPoint,
         )
     }
 
-    pub(crate) fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
+    /// Sends one shared payload to every rank in `dsts` (communicator-local,
+    /// duplicates allowed): O(1) payload allocations however many receivers.
+    /// Receivers see an ordinary message — `recv` unwraps copy-on-write,
+    /// [`Comm::recv_shared`] borrows the shared allocation outright.
+    pub fn multicast<T: Send + Sync + Clone + MsgSize + 'static>(
+        &self,
+        dsts: &[usize],
+        tag: i32,
+        value: T,
+    ) -> Result<()> {
+        for &d in dsts {
+            self.check_rank(d)?;
+        }
+        match dsts {
+            [] => Ok(()),
+            // A single destination needs no sharing machinery.
+            [dst] => self.send(*dst, tag, value),
+            _ => {
+                let bytes = value.msg_size();
+                let payload = Payload::shared(Arc::new(value));
+                self.shared.stats().record_payload_alloc();
+                let dst_globals: Vec<usize> = dsts.iter().map(|&d| self.group[d]).collect();
+                self.shared.multicast_envelope(
+                    self.global_rank(),
+                    self.local_rank,
+                    &dst_globals,
+                    self.context,
+                    tag,
+                    bytes,
+                    &payload,
+                    TrafficClass::PointToPoint,
+                )
+            }
+        }
+    }
+
+    pub(crate) fn downcast<T: 'static>(&self, env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
             return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
         }
-        match env.payload.downcast::<T>() {
-            Ok(b) => Ok((*b, info)),
+        match env.payload.into_owned::<T>() {
+            Ok((v, cloned)) => {
+                if cloned {
+                    self.shared.stats().record_payload_clone();
+                }
+                Ok((v, info))
+            }
+            Err(_) => Err(RuntimeError::TypeMismatch {
+                expected: type_name::<T>(),
+                src: info.src,
+                tag: info.tag,
+            }),
+        }
+    }
+
+    pub(crate) fn downcast_shared<T: Send + Sync + 'static>(
+        &self,
+        env: Envelope,
+    ) -> Result<(Arc<T>, MessageInfo)> {
+        let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
+        if !env.verify() {
+            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+        }
+        match env.payload.into_shared::<T>() {
+            Ok((arc, _promoted)) => Ok((arc, info)),
             Err(_) => Err(RuntimeError::TypeMismatch {
                 expected: type_name::<T>(),
                 src: info.src,
@@ -220,7 +280,27 @@ impl Comm {
             tag.into(),
             &self.peers_of(src),
         )?;
-        Self::downcast(env)
+        self.downcast(env)
+    }
+
+    /// Like [`Comm::recv`] but borrows a shared payload without copying it:
+    /// the zero-clone receive side of [`Comm::multicast`] and the shared
+    /// collectives. Owned payloads are promoted into a fresh `Arc` (an O(1)
+    /// pointer move, not a deep copy).
+    pub fn recv_shared<T: Send + Sync + 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+    ) -> Result<Arc<T>> {
+        let src = src.into();
+        self.shared.note_op(self.global_rank(), self.local_rank)?;
+        let env = self.shared.mailbox(self.global_rank()).take(
+            self.context,
+            src,
+            tag.into(),
+            &self.peers_of(src),
+        )?;
+        self.downcast_shared(env).map(|(v, _)| v)
     }
 
     /// Receives with a deadline; `Err(Timeout)` if nothing matched in time.
@@ -240,7 +320,7 @@ impl Comm {
             timeout,
             &self.peers_of(src),
         )?;
-        Self::downcast(env).map(|(v, _)| v)
+        self.downcast(env).map(|(v, _)| v)
     }
 
     /// Non-blocking receive: `Ok(None)` when no matching message is queued.
@@ -251,7 +331,7 @@ impl Comm {
     ) -> Result<Option<(T, MessageInfo)>> {
         match self.shared.mailbox(self.global_rank()).try_take(self.context, src.into(), tag.into())
         {
-            Some(env) => Self::downcast(env).map(Some),
+            Some(env) => self.downcast(env).map(Some),
             None => Ok(None),
         }
     }
@@ -324,18 +404,22 @@ impl Comm {
         const SPLIT_TAG: i32 = crate::envelope::COLLECTIVE_TAG_BASE + 1;
         let ctx = if self.local_rank == owner {
             let ctx = self.shared.allocate_context_pair();
-            for &m in &members {
-                if m != self.local_rank {
-                    self.push_envelope(
-                        m,
-                        self.context,
-                        SPLIT_TAG,
-                        std::mem::size_of::<u32>(),
-                        Box::new(ctx),
-                        None,
-                        TrafficClass::Collective,
-                    )?;
-                }
+            // One shared payload fans out to every other member.
+            let others: Vec<usize> =
+                members.iter().filter(|&&m| m != self.local_rank).map(|&m| self.group[m]).collect();
+            if !others.is_empty() {
+                let payload = Payload::shared(Arc::new(ctx));
+                self.shared.stats().record_payload_alloc();
+                self.shared.multicast_envelope(
+                    self.global_rank(),
+                    self.local_rank,
+                    &others,
+                    self.context,
+                    SPLIT_TAG,
+                    std::mem::size_of::<u32>(),
+                    &payload,
+                    TrafficClass::Collective,
+                )?;
             }
             ctx
         } else {
@@ -345,7 +429,7 @@ impl Comm {
                 Tag::Value(SPLIT_TAG),
                 &self.peers_of(Src::Rank(owner)),
             )?;
-            Self::downcast::<u32>(env)?.0
+            self.downcast::<u32>(env)?.0
         };
 
         let group: Vec<usize> = members.iter().map(|&m| self.group[m]).collect();
@@ -539,5 +623,62 @@ mod tests {
         });
         assert_eq!(stats.p2p_messages, 1);
         assert_eq!(stats.p2p_bytes, 80);
+    }
+
+    #[test]
+    fn multicast_delivers_to_every_destination() {
+        let (_, stats) = World::run_with_stats(4, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.multicast(&[1, 2, 3], 7, vec![1.5f64; 16]).unwrap();
+            } else {
+                assert_eq!(c.recv::<Vec<f64>>(0, 7).unwrap(), vec![1.5; 16]);
+            }
+        });
+        assert_eq!(stats.p2p_messages, 3);
+        assert_eq!(stats.payload_allocs, 1, "one shared allocation for three receivers");
+        // Two receivers unwrap while other handles live; the last is free.
+        assert!(stats.payload_clones <= 2);
+    }
+
+    #[test]
+    fn recv_shared_borrows_the_multicast_allocation() {
+        let (_, stats) = World::run_with_stats(3, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.multicast(&[1, 2], 7, String::from("shared")).unwrap();
+            } else {
+                let arc = c.recv_shared::<String>(0, 7).unwrap();
+                assert_eq!(*arc, "shared");
+            }
+        });
+        assert_eq!(stats.payload_allocs, 1);
+        assert_eq!(stats.payload_clones, 0, "Arc receivers never deep-copy");
+    }
+
+    #[test]
+    fn multicast_to_one_or_zero_destinations() {
+        World::run(2, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.multicast(&[], 1, 1u8).unwrap(); // no-op
+                c.multicast(&[1], 1, 2u8).unwrap(); // plain send
+            } else {
+                assert_eq!(c.recv::<u8>(0, 1).unwrap(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn send_replicable_is_clone_free_without_faults() {
+        let (_, stats) = World::run_with_stats(2, |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.send_replicable(1, 0, vec![9u64; 8]).unwrap();
+            } else {
+                assert_eq!(c.recv::<Vec<u64>>(0, 0).unwrap(), vec![9; 8]);
+            }
+        });
+        assert_eq!(stats.payload_clones, 0, "sole receiver unwraps the shared payload in place");
     }
 }

@@ -74,12 +74,7 @@ pub enum RuntimeError {
 
 impl RuntimeError {
     /// Builds a [`RuntimeError::Timeout`] recording what was waited on.
-    pub fn timeout(
-        waiting_for: impl Into<String>,
-        elapsed: Duration,
-        src: Src,
-        tag: Tag,
-    ) -> Self {
+    pub fn timeout(waiting_for: impl Into<String>, elapsed: Duration, src: Src, tag: Tag) -> Self {
         RuntimeError::Timeout { waiting_for: waiting_for.into(), elapsed, src, tag }
     }
 
@@ -176,17 +171,15 @@ mod tests {
     #[test]
     fn failure_detection_classification() {
         assert!(RuntimeError::PeerDead { rank: 0 }.is_failure_detection());
-        assert!(RuntimeError::timeout("x", Duration::ZERO, Src::Any, Tag::Any)
-            .is_failure_detection());
+        assert!(
+            RuntimeError::timeout("x", Duration::ZERO, Src::Any, Tag::Any).is_failure_detection()
+        );
         assert!(!RuntimeError::Aborted.is_failure_detection());
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(RuntimeError::Aborted, RuntimeError::Aborted);
-        assert_ne!(
-            RuntimeError::Aborted,
-            RuntimeError::InvalidRank { rank: 0, size: 1 }
-        );
+        assert_ne!(RuntimeError::Aborted, RuntimeError::InvalidRank { rank: 0, size: 1 });
     }
 }

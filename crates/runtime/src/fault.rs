@@ -187,9 +187,7 @@ impl FaultTrace {
     pub fn digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
         for e in &self.events {
-            for word in
-                [e.src as u64, e.dst as u64, e.seq, fault_kind_code(e.kind)]
-            {
+            for word in [e.src as u64, e.dst as u64, e.seq, fault_kind_code(e.kind)] {
                 h ^= word;
                 h = h.wrapping_mul(0x1000_0000_01b3);
             }
@@ -310,10 +308,7 @@ impl FaultPlane {
     }
 
     fn policy(&self, src: usize, dst: usize) -> &ChannelPolicy {
-        self.config
-            .channel_policies
-            .get(&(src, dst))
-            .unwrap_or(&self.config.default_policy)
+        self.config.channel_policies.get(&(src, dst)).unwrap_or(&self.config.default_policy)
     }
 
     fn record(&self, event: FaultEvent) {
@@ -371,13 +366,8 @@ impl FaultPlane {
         if !self.is_armed(rank) {
             return None;
         }
-        let deaths: Vec<u64> = self
-            .config
-            .deaths
-            .iter()
-            .filter(|d| d.rank == rank)
-            .map(|d| d.at_op)
-            .collect();
+        let deaths: Vec<u64> =
+            self.config.deaths.iter().filter(|d| d.rank == rank).map(|d| d.at_op).collect();
         if deaths.is_empty() {
             return None;
         }
@@ -448,8 +438,7 @@ mod tests {
     fn different_seeds_diverge() {
         let mk = |seed| {
             FaultPlane::new(
-                FaultConfig::reliable(seed)
-                    .with_default_policy(ChannelPolicy::lossy(0.5)),
+                FaultConfig::reliable(seed).with_default_policy(ChannelPolicy::lossy(0.5)),
                 2,
             )
         };
@@ -526,12 +515,13 @@ mod tests {
 
     #[test]
     fn channel_override_beats_default() {
-        let fp = FaultPlane::new(
-            FaultConfig::reliable(5)
-                .with_default_policy(ChannelPolicy::lossy(1.0))
-                .with_channel(0, 1, ChannelPolicy::reliable()),
-            2,
-        );
+        let fp =
+            FaultPlane::new(
+                FaultConfig::reliable(5)
+                    .with_default_policy(ChannelPolicy::lossy(1.0))
+                    .with_channel(0, 1, ChannelPolicy::reliable()),
+                2,
+            );
         assert_eq!(fp.judge(0, 1).0, Verdict::Deliver, "overridden channel is clean");
         assert_eq!(fp.judge(1, 0).0, Verdict::Drop, "default drops everything");
     }

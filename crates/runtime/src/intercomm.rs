@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::comm::Comm;
-use crate::envelope::{Envelope, MessageInfo, Src, Tag};
+use crate::envelope::{Envelope, MessageInfo, Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
@@ -44,15 +44,12 @@ impl InterComm {
     pub fn create(pair: &Comm, side: usize) -> Result<(Comm, InterComm)> {
         assert!(side < 2, "side must be 0 or 1");
         let sides: Vec<usize> = pair.allgather(side)?;
-        let local =
-            pair.split(side as i64, 0)?.expect("side is a valid non-negative color");
+        let local = pair.split(side as i64, 0)?.expect("side is a valid non-negative color");
 
         // Remote group in pair-rank order (split preserves parent order for
         // equal keys, so remote-local rank k is the k-th remote pair rank).
-        let remote_group: Vec<usize> = (0..pair.size())
-            .filter(|&r| sides[r] != side)
-            .map(|r| pair.group()[r])
-            .collect();
+        let remote_group: Vec<usize> =
+            (0..pair.size()).filter(|&r| sides[r] != side).map(|r| pair.group()[r]).collect();
         if remote_group.is_empty() {
             return Err(RuntimeError::CollectiveMismatch {
                 detail: "intercomm requires both sides non-empty".into(),
@@ -160,25 +157,93 @@ impl InterComm {
             self.context,
             tag,
             bytes,
-            Box::new(value),
+            Payload::owned(value),
             None,
             TrafficClass::PointToPoint,
         )
     }
 
-    fn downcast<T: 'static>(env: Envelope) -> Result<(T, MessageInfo)> {
+    /// Sends one value to *many* remote-local ranks as a single shared
+    /// payload: one allocation however many destinations, each receiver
+    /// unwrapping copy-on-write (or borrowing it outright via
+    /// [`InterComm::recv_shared`]). This is the transport under collective
+    /// remote method invocation, where one caller's argument fans out to
+    /// every rank of the remote program.
+    pub fn multicast<T: Send + Sync + Clone + MsgSize + 'static>(
+        &self,
+        dsts: &[usize],
+        tag: i32,
+        value: T,
+    ) -> Result<()> {
+        for &d in dsts {
+            self.check_remote(d)?;
+        }
+        match dsts {
+            [] => Ok(()),
+            [dst] => self.send(*dst, tag, value),
+            _ => {
+                let bytes = value.msg_size();
+                self.shared.stats().record_payload_alloc();
+                let payload = Payload::shared(Arc::new(value));
+                let dst_globals: Vec<usize> = dsts.iter().map(|&d| self.remote_group[d]).collect();
+                self.shared.multicast_envelope(
+                    self.my_global,
+                    self.local_rank,
+                    &dst_globals,
+                    self.context,
+                    tag,
+                    bytes,
+                    &payload,
+                    TrafficClass::PointToPoint,
+                )
+            }
+        }
+    }
+
+    fn downcast<T: 'static>(&self, env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
             return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
         }
-        env.payload
-            .downcast::<T>()
-            .map(|b| (*b, info))
-            .map_err(|_| RuntimeError::TypeMismatch {
+        match env.payload.into_owned::<T>() {
+            Ok((v, cloned)) => {
+                if cloned {
+                    self.shared.stats().record_payload_clone();
+                }
+                Ok((v, info))
+            }
+            Err(_) => Err(RuntimeError::TypeMismatch {
                 expected: std::any::type_name::<T>(),
                 src: info.src,
                 tag: info.tag,
-            })
+            }),
+        }
+    }
+
+    /// Receives a multicast payload as a shared handle — zero-copy: the
+    /// returned `Arc` aliases the sender's single allocation.
+    pub fn recv_shared<T: Send + Sync + 'static>(
+        &self,
+        src: impl Into<Src>,
+        tag: impl Into<Tag>,
+    ) -> Result<Arc<T>> {
+        let src = src.into();
+        self.shared.note_op(self.my_global, self.local_rank)?;
+        let env = self.shared.mailbox(self.my_global).take(
+            self.context,
+            src,
+            tag.into(),
+            &self.peers_of(src),
+        )?;
+        let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
+        if !env.verify() {
+            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+        }
+        env.payload.into_shared::<T>().map(|(v, _)| v).map_err(|_| RuntimeError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            src: info.src,
+            tag: info.tag,
+        })
     }
 
     /// Receives from the remote group; `src` is a remote-local rank pattern.
@@ -203,7 +268,7 @@ impl InterComm {
             tag.into(),
             &self.peers_of(src),
         )?;
-        Self::downcast(env)
+        self.downcast(env)
     }
 
     /// Receive with a deadline (deadlock detection across programs).
@@ -232,7 +297,7 @@ impl InterComm {
             timeout,
             &self.peers_of(src),
         )?;
-        Self::downcast(env)
+        self.downcast(env)
     }
 
     /// Non-blocking receive attempt.
@@ -242,7 +307,7 @@ impl InterComm {
         tag: impl Into<Tag>,
     ) -> Result<Option<(T, MessageInfo)>> {
         match self.shared.mailbox(self.my_global).try_take(self.context, src.into(), tag.into()) {
-            Some(env) => Self::downcast(env).map(Some),
+            Some(env) => self.downcast(env).map(Some),
             None => Ok(None),
         }
     }
@@ -276,8 +341,7 @@ mod tests {
             if side == 0 {
                 ic.send(local.rank() % n, 7, local.rank() as u64).unwrap();
             } else {
-                let expect: Vec<usize> =
-                    (0..m).filter(|r| r % n == local.rank()).collect();
+                let expect: Vec<usize> = (0..m).filter(|r| r % n == local.rank()).collect();
                 let mut got = Vec::new();
                 for _ in &expect {
                     let (v, info) = ic.recv_with_info::<u64>(Src::Any, 7).unwrap();

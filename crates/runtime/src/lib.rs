@@ -57,8 +57,9 @@ pub mod universe;
 pub mod world;
 
 pub use cart::{dims_create, CartComm};
+pub use collectives::SMALL_COLLECTIVE_BYTES;
 pub use comm::Comm;
-pub use envelope::{MessageInfo, Src, Tag};
+pub use envelope::{MessageInfo, Payload, Src, Tag};
 pub use error::{Result, RuntimeError};
 pub use fault::{
     ChannelPolicy, FaultConfig, FaultEvent, FaultKind, FaultTrace, Liveness, RankDeath,
@@ -69,7 +70,7 @@ pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};
 pub use stats::{
     record_buffer_lease, record_schedule_build, record_schedule_copy, reset_schedule_stats,
-    schedule_stats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
+    schedule_stats, CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
 };
 pub use universe::{ProgramCtx, Universe};
 pub use world::{Process, World};

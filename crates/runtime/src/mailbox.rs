@@ -1,18 +1,25 @@
 //! Per-rank mailboxes.
 //!
 //! Each rank owns one mailbox; senders push envelopes into the destination's
-//! mailbox and receivers scan it for the earliest envelope matching a
-//! `(context, source, tag)` pattern. Because the queue is kept in arrival
-//! order and the scan takes the *first* match, the runtime preserves MPI's
-//! non-overtaking guarantee: two messages from the same sender with the same
-//! tag on the same context are received in the order they were sent.
+//! mailbox and receivers take the earliest envelope matching a
+//! `(context, source, tag)` pattern. Internally the mailbox is split into
+//! per-`(context, tag)` buckets so a post only scans and wakes the receivers
+//! interested in that exact tag (targeted `notify_one` instead of a broadcast
+//! to every waiter), and [`Mailbox::post_many`] deposits a whole batch under
+//! one lock acquisition.
+//!
+//! Every envelope is stamped with a mailbox-wide monotone sequence number at
+//! arrival. Within a bucket that makes the queue arrival-ordered, preserving
+//! MPI's non-overtaking guarantee per (context, src, tag); across buckets it
+//! lets wildcard (`Tag::Any`) receives pick the earliest arrival among all of
+//! a context's buckets, exactly as the single-queue design did.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::envelope::{Envelope, MessageInfo, Src, Tag};
 use crate::error::{Result, RuntimeError};
@@ -29,16 +36,25 @@ pub struct PeerRef {
     pub local: usize,
 }
 
-struct Inner {
+/// One `(context, tag)` queue plus its dedicated wakeup channel.
+struct Bucket {
     queue: VecDeque<Envelope>,
-    next_seq: u64,
     /// Queued envelopes carrying a `deliver_at` (fault-plane delays).
     /// While zero — the fault-free common case — queue scans skip the
     /// `Instant::now()` read entirely.
     delayed: usize,
+    /// Receivers currently blocked on exactly this (context, tag). Behind an
+    /// `Arc` so a waiter can keep the condvar identity stable while the
+    /// bucket map rehashes.
+    cond: Arc<Condvar>,
+    waiters: usize,
 }
 
-impl Inner {
+impl Bucket {
+    fn new() -> Self {
+        Bucket { queue: VecDeque::new(), delayed: 0, cond: Arc::new(Condvar::new()), waiters: 0 }
+    }
+
     /// Removes the envelope at `i`, maintaining the delayed-message count.
     fn remove_at(&mut self, i: usize) -> Envelope {
         let env = self.queue.remove(i).expect("index just found");
@@ -47,12 +63,129 @@ impl Inner {
         }
         env
     }
+
+    /// Index of the earliest deliverable envelope from `src`.
+    fn find(&self, src: Src) -> Option<usize> {
+        if self.delayed == 0 {
+            return self.queue.iter().position(|e| src.matches(e.src_local));
+        }
+        let now = Instant::now();
+        self.queue
+            .iter()
+            .position(|e| src.matches(e.src_local) && e.deliver_at.is_none_or(|t| t <= now))
+    }
+
+    /// Earliest future delivery instant among matching messages (network
+    /// model): the moment a blocked receive should re-check.
+    fn earliest_pending(&self, src: Src) -> Option<Instant> {
+        if self.delayed == 0 {
+            return None;
+        }
+        self.queue.iter().filter(|e| src.matches(e.src_local)).filter_map(|e| e.deliver_at).min()
+    }
+}
+
+struct Inner {
+    buckets: HashMap<(u32, i32), Bucket>,
+    next_seq: u64,
+    /// Total queued envelopes across all buckets.
+    total: usize,
+    /// Receivers currently blocked with a `Tag::Any` pattern (they wait on
+    /// the mailbox-wide condvar since any bucket could satisfy them).
+    any_waiters: usize,
+}
+
+impl Inner {
+    /// Drops a bucket that holds no messages and no waiters, so tag churn
+    /// (collectives rotate through a large tag space) cannot grow the map
+    /// without bound.
+    fn maybe_gc(&mut self, key: (u32, i32)) {
+        if let Some(b) = self.buckets.get(&key) {
+            if b.queue.is_empty() && b.waiters == 0 {
+                self.buckets.remove(&key);
+            }
+        }
+    }
+
+    /// Finds the earliest-arrival deliverable envelope matching the pattern,
+    /// returning its bucket key and queue index.
+    fn find(&self, context: u32, src: Src, tag: Tag) -> Option<((u32, i32), usize)> {
+        match tag {
+            Tag::Value(t) => {
+                let key = (context, t);
+                self.buckets.get(&key).and_then(|b| b.find(src)).map(|i| (key, i))
+            }
+            Tag::Any => {
+                let mut best: Option<((u32, i32), usize, u64)> = None;
+                for (&key, b) in &self.buckets {
+                    if key.0 != context {
+                        continue;
+                    }
+                    if let Some(i) = b.find(src) {
+                        let seq = b.queue[i].seq;
+                        if best.is_none_or(|(_, _, s)| seq < s) {
+                            best = Some((key, i, seq));
+                        }
+                    }
+                }
+                best.map(|(key, i, _)| (key, i))
+            }
+        }
+    }
+
+    /// Removes and returns the earliest matching deliverable envelope.
+    fn pop(&mut self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
+        let (key, i) = self.find(context, src, tag)?;
+        let env = self.buckets.get_mut(&key).expect("bucket just found").remove_at(i);
+        self.total -= 1;
+        self.maybe_gc(key);
+        Some(env)
+    }
+
+    /// Earliest future delivery instant among messages matching the pattern.
+    fn earliest_pending(&self, context: u32, src: Src, tag: Tag) -> Option<Instant> {
+        match tag {
+            Tag::Value(t) => self.buckets.get(&(context, t)).and_then(|b| b.earliest_pending(src)),
+            Tag::Any => self
+                .buckets
+                .iter()
+                .filter(|(key, _)| key.0 == context)
+                .filter_map(|(_, b)| b.earliest_pending(src))
+                .min(),
+        }
+    }
+
+    /// Appends `env` to its bucket (stamping the arrival sequence) and
+    /// returns the bucket's wakeup channel if any receiver is parked on it.
+    fn append(&mut self, mut env: Envelope) -> Option<(Arc<Condvar>, usize)> {
+        env.seq = self.next_seq;
+        self.next_seq += 1;
+        let bucket = self.buckets.entry((env.context, env.tag)).or_insert_with(Bucket::new);
+        if env.deliver_at.is_some() {
+            bucket.delayed += 1;
+        }
+        bucket.queue.push_back(env);
+        self.total += 1;
+        (bucket.waiters > 0).then(|| (bucket.cond.clone(), bucket.waiters))
+    }
+}
+
+/// Wakes one bucket's waiters: a single parked receiver gets a targeted
+/// `notify_one`; with several (possibly waiting on different `Src` patterns)
+/// everyone re-checks.
+fn notify_bucket(cond: &Condvar, waiters: usize) {
+    if waiters == 1 {
+        cond.notify_one();
+    } else {
+        cond.notify_all();
+    }
 }
 
 /// A single rank's incoming-message queue.
 pub struct Mailbox {
     inner: Mutex<Inner>,
-    cond: Condvar,
+    /// Wakeup channel for `Tag::Any` receivers.
+    any_cond: Condvar,
     abort: Arc<AtomicBool>,
     liveness: Arc<Liveness>,
 }
@@ -62,8 +195,13 @@ impl Mailbox {
     /// liveness registry.
     pub fn new(abort: Arc<AtomicBool>, liveness: Arc<Liveness>) -> Self {
         Mailbox {
-            inner: Mutex::new(Inner { queue: VecDeque::new(), next_seq: 0, delayed: 0 }),
-            cond: Condvar::new(),
+            inner: Mutex::new(Inner {
+                buckets: HashMap::new(),
+                next_seq: 0,
+                total: 0,
+                any_waiters: 0,
+            }),
+            any_cond: Condvar::new(),
             abort,
             liveness,
         }
@@ -80,55 +218,102 @@ impl Mailbox {
         Ok(())
     }
 
-    /// Deposits an envelope and wakes any waiting receiver.
-    pub fn push(&self, mut env: Envelope) {
+    /// Deposits an envelope and wakes receivers parked on its bucket.
+    pub fn push(&self, env: Envelope) {
         let mut inner = self.inner.lock();
-        env.seq = inner.next_seq;
-        inner.next_seq += 1;
-        if env.deliver_at.is_some() {
-            inner.delayed += 1;
-        }
-        inner.queue.push_back(env);
+        let bucket_wake = inner.append(env);
+        let any = inner.any_waiters;
         drop(inner);
-        self.cond.notify_all();
+        if let Some((cond, waiters)) = bucket_wake {
+            notify_bucket(&cond, waiters);
+        }
+        if any > 0 {
+            notify_bucket(&self.any_cond, any);
+        }
+    }
+
+    /// Deposits a batch of envelopes under a single lock acquisition,
+    /// coalescing wakeups per bucket — the entry point for multicast fan-out
+    /// and all-to-all rounds landing several messages at once.
+    pub fn post_many(&self, envs: impl IntoIterator<Item = Envelope>) {
+        let mut wakes: Vec<(Arc<Condvar>, usize)> = Vec::new();
+        let mut inner = self.inner.lock();
+        for env in envs {
+            if let Some((cond, waiters)) = inner.append(env) {
+                if !wakes.iter().any(|(c, _)| Arc::ptr_eq(c, &cond)) {
+                    wakes.push((cond, waiters));
+                }
+            }
+        }
+        let any = inner.any_waiters;
+        drop(inner);
+        for (cond, waiters) in wakes {
+            notify_bucket(&cond, waiters);
+        }
+        if any > 0 {
+            notify_bucket(&self.any_cond, any);
+        }
     }
 
     /// Wakes all waiters so they can observe the abort flag.
     pub fn wake_all(&self) {
-        self.cond.notify_all();
+        let inner = self.inner.lock();
+        let conds: Vec<Arc<Condvar>> =
+            inner.buckets.values().filter(|b| b.waiters > 0).map(|b| b.cond.clone()).collect();
+        drop(inner);
+        for cond in conds {
+            cond.notify_all();
+        }
+        self.any_cond.notify_all();
     }
 
-    fn find(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<usize> {
-        if inner.delayed == 0 {
-            // Nothing in the queue carries a future delivery time, so the
-            // scan needs no clock read (the fault-free hot path).
-            return inner.queue.iter().position(|e| e.matches(context, src, tag));
+    /// Parks the calling receiver on the wakeup channel for its pattern:
+    /// the bucket condvar for a concrete tag, the mailbox-wide channel for
+    /// `Tag::Any`. Returns whether the wait timed out at `wake_at`.
+    fn wait_for(
+        &self,
+        inner: &mut MutexGuard<'_, Inner>,
+        context: u32,
+        tag: Tag,
+        wake_at: Option<Instant>,
+    ) -> bool {
+        match tag {
+            Tag::Value(t) => {
+                let key = (context, t);
+                let cond = {
+                    let b = inner.buckets.entry(key).or_insert_with(Bucket::new);
+                    b.waiters += 1;
+                    b.cond.clone()
+                };
+                let timed_out = match wake_at {
+                    Some(at) => cond.wait_until(inner, at).timed_out(),
+                    None => {
+                        cond.wait(inner);
+                        false
+                    }
+                };
+                inner.buckets.get_mut(&key).expect("bucket pinned by waiter").waiters -= 1;
+                inner.maybe_gc(key);
+                timed_out
+            }
+            Tag::Any => {
+                inner.any_waiters += 1;
+                let timed_out = match wake_at {
+                    Some(at) => self.any_cond.wait_until(inner, at).timed_out(),
+                    None => {
+                        self.any_cond.wait(inner);
+                        false
+                    }
+                };
+                inner.any_waiters -= 1;
+                timed_out
+            }
         }
-        let now = Instant::now();
-        inner
-            .queue
-            .iter()
-            .position(|e| e.matches(context, src, tag) && e.deliver_at.is_none_or(|t| t <= now))
-    }
-
-    /// Earliest future delivery instant among matching messages (network
-    /// model): the moment a blocked receive should re-check.
-    fn earliest_pending(inner: &Inner, context: u32, src: Src, tag: Tag) -> Option<Instant> {
-        if inner.delayed == 0 {
-            return None;
-        }
-        inner
-            .queue
-            .iter()
-            .filter(|e| e.matches(context, src, tag))
-            .filter_map(|e| e.deliver_at)
-            .min()
     }
 
     /// Removes and returns the earliest matching envelope without blocking.
     pub fn try_take(&self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
-        let mut inner = self.inner.lock();
-        Self::find(&inner, context, src, tag).map(|i| inner.remove_at(i))
+        self.inner.lock().pop(context, src, tag)
     }
 
     /// Blocks until a matching envelope arrives and is deliverable, the
@@ -136,20 +321,17 @@ impl Mailbox {
     pub fn take(&self, context: u32, src: Src, tag: Tag, peers: &[PeerRef]) -> Result<Envelope> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(i) = Self::find(&inner, context, src, tag) {
-                return Ok(inner.remove_at(i));
+            if let Some(env) = inner.pop(context, src, tag) {
+                return Ok(env);
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
             self.check_peers(peers)?;
-            match Self::earliest_pending(&inner, context, src, tag) {
-                // A matching message is in flight: sleep until it lands.
-                Some(at) => {
-                    let _ = self.cond.wait_until(&mut inner, at);
-                }
-                None => self.cond.wait(&mut inner),
-            }
+            // If a matching message is in flight (network delay), sleep only
+            // until it lands.
+            let wake_at = inner.earliest_pending(context, src, tag);
+            self.wait_for(&mut inner, context, tag, wake_at);
         }
     }
 
@@ -167,21 +349,21 @@ impl Mailbox {
         let deadline = start + timeout;
         let mut inner = self.inner.lock();
         loop {
-            if let Some(i) = Self::find(&inner, context, src, tag) {
-                return Ok(inner.remove_at(i));
+            if let Some(env) = inner.pop(context, src, tag) {
+                return Ok(env);
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
             self.check_peers(peers)?;
-            let wake = match Self::earliest_pending(&inner, context, src, tag) {
+            let wake = match inner.earliest_pending(context, src, tag) {
                 Some(at) if at < deadline => at,
                 _ => deadline,
             };
-            if self.cond.wait_until(&mut inner, wake).timed_out() && wake >= deadline {
+            if self.wait_for(&mut inner, context, tag, Some(wake)) && wake >= deadline {
                 // One final scan: the message may have raced the timeout.
-                if let Some(i) = Self::find(&inner, context, src, tag) {
-                    return Ok(inner.remove_at(i));
+                if let Some(env) = inner.pop(context, src, tag) {
+                    return Ok(env);
                 }
                 return Err(RuntimeError::timeout(
                     format!("message (context={context})"),
@@ -197,52 +379,60 @@ impl Mailbox {
     /// it, or `None` if nothing matches right now.
     pub fn iprobe(&self, context: u32, src: Src, tag: Tag) -> Option<MessageInfo> {
         let inner = self.inner.lock();
-        Self::find(&inner, context, src, tag).map(|i| {
-            let e = &inner.queue[i];
+        inner.find(context, src, tag).map(|(key, i)| {
+            let e = &inner.buckets[&key].queue[i];
             MessageInfo { src: e.src_local, tag: e.tag, bytes: e.bytes }
         })
     }
 
     /// Blocks until a matching envelope is present and deliverable,
     /// returning its metadata without removing it.
-    pub fn probe(&self, context: u32, src: Src, tag: Tag, peers: &[PeerRef]) -> Result<MessageInfo> {
+    pub fn probe(
+        &self,
+        context: u32,
+        src: Src,
+        tag: Tag,
+        peers: &[PeerRef],
+    ) -> Result<MessageInfo> {
         let mut inner = self.inner.lock();
         loop {
-            if let Some(i) = Self::find(&inner, context, src, tag) {
-                let e = &inner.queue[i];
+            if let Some((key, i)) = inner.find(context, src, tag) {
+                let e = &inner.buckets[&key].queue[i];
                 return Ok(MessageInfo { src: e.src_local, tag: e.tag, bytes: e.bytes });
             }
             if self.abort.load(Ordering::Acquire) {
                 return Err(RuntimeError::Aborted);
             }
             self.check_peers(peers)?;
-            match Self::earliest_pending(&inner, context, src, tag) {
-                Some(at) => {
-                    let _ = self.cond.wait_until(&mut inner, at);
-                }
-                None => self.cond.wait(&mut inner),
-            }
+            let wake_at = inner.earliest_pending(context, src, tag);
+            self.wait_for(&mut inner, context, tag, wake_at);
         }
     }
 
     /// Number of messages currently queued (all contexts).
     pub fn len(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.inner.lock().total
     }
 
     /// Whether the mailbox is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Number of live `(context, tag)` buckets (test/diagnostic hook).
+    pub fn bucket_count(&self) -> usize {
+        self.inner.lock().buckets.len()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::envelope::Payload;
     use std::thread;
 
     fn env(src: usize, context: u32, tag: i32, val: u32) -> Envelope {
-        Envelope::new(src, src, context, tag, 4, None, Box::new(val))
+        Envelope::new(src, src, context, tag, 4, None, Payload::owned(val))
     }
 
     fn mbox() -> Mailbox {
@@ -250,7 +440,7 @@ mod tests {
     }
 
     fn val(e: Envelope) -> u32 {
-        *e.payload.downcast::<u32>().unwrap()
+        e.payload.into_owned::<u32>().unwrap().0
     }
 
     #[test]
@@ -288,6 +478,18 @@ mod tests {
     }
 
     #[test]
+    fn any_tag_takes_earliest_arrival_across_buckets() {
+        let m = mbox();
+        m.push(env(0, 0, 7, 70));
+        m.push(env(0, 0, 3, 30));
+        m.push(env(0, 0, 5, 50));
+        // Arrival order wins, not tag order or bucket-map iteration order.
+        assert_eq!(val(m.take(0, Src::Any, Tag::Any, &[]).unwrap()), 70);
+        assert_eq!(val(m.take(0, Src::Any, Tag::Any, &[]).unwrap()), 30);
+        assert_eq!(val(m.take(0, Src::Any, Tag::Any, &[]).unwrap()), 50);
+    }
+
+    #[test]
     fn take_blocks_until_push() {
         let m = Arc::new(mbox());
         let m2 = m.clone();
@@ -298,9 +500,45 @@ mod tests {
     }
 
     #[test]
+    fn push_to_other_bucket_does_not_satisfy_waiter() {
+        let m = Arc::new(mbox());
+        let m2 = m.clone();
+        let h = thread::spawn(move || val(m2.take(0, Src::Rank(0), Tag::Value(9), &[]).unwrap()));
+        thread::sleep(Duration::from_millis(10));
+        m.push(env(0, 0, 8, 88)); // different tag: waiter must keep sleeping
+        thread::sleep(Duration::from_millis(10));
+        m.push(env(0, 0, 9, 99));
+        assert_eq!(h.join().unwrap(), 99);
+        assert_eq!(m.len(), 1, "tag-8 message still queued");
+    }
+
+    #[test]
+    fn post_many_delivers_batch_in_order() {
+        let m = Arc::new(mbox());
+        let m2 = m.clone();
+        let h = thread::spawn(move || {
+            let a = val(m2.take(0, Src::Rank(0), Tag::Value(1), &[]).unwrap());
+            let b = val(m2.take(0, Src::Rank(0), Tag::Value(1), &[]).unwrap());
+            let c = val(m2.take(0, Src::Rank(0), Tag::Value(2), &[]).unwrap());
+            (a, b, c)
+        });
+        thread::sleep(Duration::from_millis(10));
+        m.post_many([env(0, 0, 1, 1), env(0, 0, 1, 2), env(0, 0, 2, 3)]);
+        assert_eq!(h.join().unwrap(), (1, 2, 3));
+    }
+
+    #[test]
     fn timeout_fires_when_no_message() {
         let m = mbox();
         let r = m.take_timeout(0, Src::Any, Tag::Any, Duration::from_millis(20), &[]);
+        assert!(matches!(r, Err(RuntimeError::Timeout { .. })));
+    }
+
+    #[test]
+    fn timeout_fires_on_concrete_tag_bucket() {
+        let m = mbox();
+        m.push(env(0, 0, 1, 10)); // traffic on another bucket must not feed the waiter
+        let r = m.take_timeout(0, Src::Rank(0), Tag::Value(2), Duration::from_millis(20), &[]);
         assert!(matches!(r, Err(RuntimeError::Timeout { .. })));
     }
 
@@ -329,6 +567,18 @@ mod tests {
             Err(e) => assert_eq!(e, RuntimeError::Aborted),
             Ok(_) => panic!("expected abort"),
         }
+    }
+
+    #[test]
+    fn abort_wakes_concrete_tag_receiver() {
+        let abort = Arc::new(AtomicBool::new(false));
+        let m = Arc::new(Mailbox::new(abort.clone(), Arc::new(Liveness::new(8))));
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.take(3, Src::Rank(1), Tag::Value(5), &[]));
+        thread::sleep(Duration::from_millis(10));
+        abort.store(true, Ordering::Release);
+        m.wake_all();
+        assert_eq!(h.join().unwrap().unwrap_err(), RuntimeError::Aborted);
     }
 
     #[test]
@@ -368,6 +618,20 @@ mod tests {
     }
 
     #[test]
+    fn dead_peer_unblocks_concrete_tag_waiter() {
+        let liveness = Arc::new(Liveness::new(4));
+        let m = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone()));
+        let m2 = m.clone();
+        let h = thread::spawn(move || {
+            m2.take(0, Src::Rank(1), Tag::Value(6), &[PeerRef { global: 2, local: 1 }])
+        });
+        thread::sleep(Duration::from_millis(10));
+        liveness.kill(2);
+        m.wake_all();
+        assert_eq!(h.join().unwrap().unwrap_err(), RuntimeError::PeerDead { rank: 1 });
+    }
+
+    #[test]
     fn message_sent_before_death_still_drains() {
         let liveness = Arc::new(Liveness::new(4));
         let m = Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone());
@@ -388,7 +652,7 @@ mod tests {
     fn delayed_envelope_held_until_deliver_at() {
         let m = mbox();
         let at = Instant::now() + Duration::from_millis(40);
-        m.push(Envelope::new(0, 0, 0, 1, 4, Some(at), Box::new(7u32)));
+        m.push(Envelope::new(0, 0, 0, 1, 4, Some(at), Payload::owned(7u32)));
         assert!(m.try_take(0, Src::Any, Tag::Any).is_none(), "not yet deliverable");
         thread::sleep(Duration::from_millis(60));
         assert_eq!(val(m.try_take(0, Src::Any, Tag::Any).unwrap()), 7);
@@ -405,5 +669,18 @@ mod tests {
         let a = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
         let b = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
         assert!(a.seq < b.seq);
+    }
+
+    #[test]
+    fn drained_buckets_are_garbage_collected() {
+        let m = mbox();
+        for tag in 0..32 {
+            m.push(env(0, 0, tag, tag as u32));
+        }
+        assert_eq!(m.bucket_count(), 32);
+        for tag in 0..32 {
+            assert_eq!(val(m.try_take(0, Src::Any, Tag::Value(tag)).unwrap()), tag as u32);
+        }
+        assert_eq!(m.bucket_count(), 0, "empty waiterless buckets must be dropped");
     }
 }

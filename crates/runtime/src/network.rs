@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn self_messages_are_immediate() {
-        let c = ChannelClock::new(
-            NetworkModel::latency_only(Duration::from_secs(1)),
-            2,
-        );
+        let c = ChannelClock::new(NetworkModel::latency_only(Duration::from_secs(1)), 2);
         let t = c.delivery_time(1, 1, 1 << 30);
         assert!(t <= Instant::now());
     }
@@ -126,58 +123,50 @@ mod integration_tests {
 
     #[test]
     fn latency_delays_visibility() {
-        World::run_with_network(
-            2,
-            NetworkModel::latency_only(Duration::from_millis(30)),
-            |p| {
-                let c = p.world();
-                if c.rank() == 0 {
-                    c.send(1, 0, 7u8).unwrap();
-                    // Tell rank 1 the send happened (also delayed 30ms, so
-                    // use it only as a lower-bound marker).
-                } else {
-                    let start = Instant::now();
-                    let v: u8 = c.recv(0, 0).unwrap();
-                    assert_eq!(v, 7);
-                    assert!(
-                        start.elapsed() >= Duration::from_millis(25),
-                        "message visible too early: {:?}",
-                        start.elapsed()
-                    );
-                }
-            },
-        );
+        World::run_with_network(2, NetworkModel::latency_only(Duration::from_millis(30)), |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.send(1, 0, 7u8).unwrap();
+                // Tell rank 1 the send happened (also delayed 30ms, so
+                // use it only as a lower-bound marker).
+            } else {
+                let start = Instant::now();
+                let v: u8 = c.recv(0, 0).unwrap();
+                assert_eq!(v, 7);
+                assert!(
+                    start.elapsed() >= Duration::from_millis(25),
+                    "message visible too early: {:?}",
+                    start.elapsed()
+                );
+            }
+        });
     }
 
     #[test]
     fn try_recv_respects_inflight_messages() {
-        World::run_with_network(
-            2,
-            NetworkModel::latency_only(Duration::from_millis(40)),
-            |p| {
-                let c = p.world();
-                if c.rank() == 0 {
-                    c.send(1, 1, 1u8).unwrap();
-                } else {
-                    // The message is in flight for ~40ms: early polls miss.
-                    let start = Instant::now();
-                    let mut polls = 0;
-                    let v = loop {
-                        if let Some((v, _)) = c.try_recv::<u8>(0, 1).unwrap() {
-                            break v;
-                        }
-                        polls += 1;
-                        std::thread::yield_now();
-                        if start.elapsed() > Duration::from_secs(5) {
-                            panic!("message never became visible");
-                        }
-                    };
-                    assert_eq!(v, 1);
-                    assert!(polls > 0, "at least one poll saw the in-flight message hidden");
-                    assert!(start.elapsed() >= Duration::from_millis(35));
-                }
-            },
-        );
+        World::run_with_network(2, NetworkModel::latency_only(Duration::from_millis(40)), |p| {
+            let c = p.world();
+            if c.rank() == 0 {
+                c.send(1, 1, 1u8).unwrap();
+            } else {
+                // The message is in flight for ~40ms: early polls miss.
+                let start = Instant::now();
+                let mut polls = 0;
+                let v = loop {
+                    if let Some((v, _)) = c.try_recv::<u8>(0, 1).unwrap() {
+                        break v;
+                    }
+                    polls += 1;
+                    std::thread::yield_now();
+                    if start.elapsed() > Duration::from_secs(5) {
+                        panic!("message never became visible");
+                    }
+                };
+                assert_eq!(v, 1);
+                assert!(polls > 0, "at least one poll saw the in-flight message hidden");
+                assert!(start.elapsed() >= Duration::from_millis(35));
+            }
+        });
     }
 
     #[test]

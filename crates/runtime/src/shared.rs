@@ -1,11 +1,10 @@
 //! World-global state shared by all ranks.
 
-use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::envelope::Envelope;
+use crate::envelope::{Envelope, Payload};
 use crate::error::{Result, RuntimeError};
 use crate::fault::{FaultConfig, FaultPlane, FaultTrace, Liveness, Verdict};
 use crate::mailbox::Mailbox;
@@ -168,10 +167,11 @@ impl WorldShared {
     ///
     /// Ranks are global except `src_local`/`_dst_local`, which are the
     /// communicator-local numbers used in envelopes and errors. `replicate`
-    /// produces a second payload when the fault plane duplicates the frame;
-    /// payloads are moved (not copied) in this in-process runtime, so
-    /// without it a duplicated frame is delivered once and the duplication
-    /// is visible only in the trace and stats.
+    /// produces a second payload when the fault plane duplicates an *owned*
+    /// frame (shared payloads replicate themselves in O(1)); payloads are
+    /// moved (not copied) in this in-process runtime, so without it a
+    /// duplicated owned frame is delivered once and the duplication is
+    /// visible only in the trace and stats.
     #[allow(clippy::too_many_arguments)]
     pub fn send_envelope(
         &self,
@@ -182,8 +182,8 @@ impl WorldShared {
         context: u32,
         tag: i32,
         bytes: usize,
-        payload: Box<dyn Any + Send>,
-        replicate: Option<&dyn Fn() -> Box<dyn Any + Send>>,
+        payload: Payload,
+        replicate: Option<&dyn Fn() -> Payload>,
         class: TrafficClass,
     ) -> Result<()> {
         self.note_op(src_global, src_local)?;
@@ -198,7 +198,8 @@ impl WorldShared {
             let delayed = Instant::now() + delay;
             deliver_at = Some(deliver_at.map_or(delayed, |t| t.max(delayed)));
         }
-        let mut env = Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, payload);
+        let mut env =
+            Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, payload);
         match verdict {
             Verdict::Deliver => {}
             Verdict::Drop => {
@@ -207,10 +208,14 @@ impl WorldShared {
             }
             Verdict::Duplicate => {
                 self.stats.record_fault(FaultClass::Duplicated);
-                if let Some(rep) = replicate {
+                let dup_payload =
+                    env.payload.another_handle().or_else(|| replicate.map(|rep| rep()));
+                if let Some(p) = dup_payload {
                     let dup =
-                        Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, rep());
-                    self.mailbox(dst_global).push(dup);
+                        Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, p);
+                    // Duplicate first, then the original, under one lock.
+                    self.mailbox(dst_global).post_many([dup, env]);
+                    return Ok(());
                 }
             }
             Verdict::Corrupt => {
@@ -219,6 +224,37 @@ impl WorldShared {
             }
         }
         self.mailbox(dst_global).push(env);
+        Ok(())
+    }
+
+    /// Posts one shared payload to many destinations: the multicast
+    /// counterpart of [`WorldShared::send_envelope`]. Each destination goes
+    /// through the same choke point (its own fault verdict, delivery clock
+    /// and traffic accounting, exactly like a loop of sends), but every
+    /// delivered envelope holds another `Arc` handle to the *same* payload
+    /// allocation — O(1) payload allocations for p receivers.
+    ///
+    /// `payload` must be [`Payload::Shared`]; owned payloads cannot be
+    /// handed to more than one mailbox.
+    #[allow(clippy::too_many_arguments)]
+    pub fn multicast_envelope(
+        &self,
+        src_global: usize,
+        src_local: usize,
+        dst_globals: &[usize],
+        context: u32,
+        tag: i32,
+        bytes: usize,
+        payload: &Payload,
+        class: TrafficClass,
+    ) -> Result<()> {
+        for &dst_global in dst_globals {
+            let handle =
+                payload.another_handle().expect("multicast requires a Payload::Shared handle");
+            self.send_envelope(
+                src_global, src_local, dst_global, 0, context, tag, bytes, handle, None, class,
+            )?;
+        }
         Ok(())
     }
 }
@@ -258,8 +294,19 @@ mod tests {
         // interleaving artifact. Detection is receive-side only.
         let s = WorldShared::new(3);
         s.kill_rank(2);
-        s.send_envelope(0, 0, 2, 2, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
-            .unwrap();
+        s.send_envelope(
+            0,
+            0,
+            2,
+            2,
+            0,
+            1,
+            4,
+            Payload::owned(1u32),
+            None,
+            TrafficClass::PointToPoint,
+        )
+        .unwrap();
         assert_eq!(s.mailbox(2).len(), 1, "delivered to a mailbox nobody reads");
         assert_eq!(s.stats().snapshot().rank_deaths, 1);
     }
@@ -269,7 +316,18 @@ mod tests {
         let s = WorldShared::new(2);
         s.kill_rank(0);
         let e = s
-            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .send_envelope(
+                0,
+                0,
+                1,
+                1,
+                0,
+                1,
+                4,
+                Payload::owned(1u32),
+                None,
+                TrafficClass::PointToPoint,
+            )
             .unwrap_err();
         assert_eq!(e, RuntimeError::PeerDead { rank: 0 }, "reports the caller's own rank");
         assert!(s.mailbox(1).is_empty(), "nothing was delivered");
@@ -280,10 +338,32 @@ mod tests {
         let cfg = FaultConfig::reliable(1).with_death(0, 1);
         let s = WorldShared::with_config(2, None, Some(cfg));
         assert!(s
-            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
+            .send_envelope(
+                0,
+                0,
+                1,
+                1,
+                0,
+                1,
+                4,
+                Payload::owned(1u32),
+                None,
+                TrafficClass::PointToPoint
+            )
             .is_ok());
         let e = s
-            .send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(2u32), None, TrafficClass::PointToPoint)
+            .send_envelope(
+                0,
+                0,
+                1,
+                1,
+                0,
+                1,
+                4,
+                Payload::owned(2u32),
+                None,
+                TrafficClass::PointToPoint,
+            )
             .unwrap_err();
         assert_eq!(e, RuntimeError::PeerDead { rank: 0 });
         assert!(s.liveness().is_dead(0));
@@ -296,8 +376,19 @@ mod tests {
         use crate::fault::ChannelPolicy;
         let cfg = FaultConfig::reliable(3).with_default_policy(ChannelPolicy::lossy(1.0));
         let s = WorldShared::with_config(2, None, Some(cfg));
-        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
-            .unwrap();
+        s.send_envelope(
+            0,
+            0,
+            1,
+            1,
+            0,
+            1,
+            4,
+            Payload::owned(1u32),
+            None,
+            TrafficClass::PointToPoint,
+        )
+        .unwrap();
         assert!(s.mailbox(1).is_empty());
         let snap = s.stats().snapshot();
         assert_eq!(snap.dropped_messages, 1);
@@ -310,9 +401,20 @@ mod tests {
         let policy = ChannelPolicy { duplicate: 1.0, ..ChannelPolicy::reliable() };
         let cfg = FaultConfig::reliable(3).with_default_policy(policy);
         let s = WorldShared::with_config(2, None, Some(cfg));
-        let rep = || Box::new(7u32) as Box<dyn Any + Send>;
-        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(7u32), Some(&rep), TrafficClass::PointToPoint)
-            .unwrap();
+        let rep = || Payload::owned(7u32);
+        s.send_envelope(
+            0,
+            0,
+            1,
+            1,
+            0,
+            1,
+            4,
+            Payload::owned(7u32),
+            Some(&rep),
+            TrafficClass::PointToPoint,
+        )
+        .unwrap();
         assert_eq!(s.mailbox(1).len(), 2);
         assert_eq!(s.stats().snapshot().duplicated_messages, 1);
     }
@@ -324,10 +426,58 @@ mod tests {
         let policy = ChannelPolicy { corrupt: 1.0, ..ChannelPolicy::reliable() };
         let cfg = FaultConfig::reliable(3).with_default_policy(policy);
         let s = WorldShared::with_config(2, None, Some(cfg));
-        s.send_envelope(0, 0, 1, 1, 0, 1, 4, Box::new(1u32), None, TrafficClass::PointToPoint)
-            .unwrap();
+        s.send_envelope(
+            0,
+            0,
+            1,
+            1,
+            0,
+            1,
+            4,
+            Payload::owned(1u32),
+            None,
+            TrafficClass::PointToPoint,
+        )
+        .unwrap();
         let env = s.mailbox(1).try_take(0, Src::Any, Tag::Any).unwrap();
         assert!(!env.verify());
         assert_eq!(s.stats().snapshot().corrupted_messages, 1);
+    }
+
+    #[test]
+    fn multicast_shares_one_allocation() {
+        use crate::envelope::{Src, Tag};
+        let s = WorldShared::new(4);
+        let arc = Arc::new(vec![1.0f64; 8]);
+        let payload = Payload::shared(Arc::clone(&arc));
+        s.multicast_envelope(0, 0, &[1, 2, 3], 0, 5, 64, &payload, TrafficClass::Collective)
+            .unwrap();
+        drop(payload);
+        // All three receivers hold handles to the same allocation.
+        assert_eq!(Arc::strong_count(&arc), 4);
+        for dst in 1..4 {
+            let env = s.mailbox(dst).try_take(0, Src::Rank(0), Tag::Value(5)).unwrap();
+            let (got, promoted) = env.payload.into_shared::<Vec<f64>>().unwrap();
+            assert!(Arc::ptr_eq(&got, &arc));
+            assert!(!promoted);
+        }
+        assert_eq!(s.stats().snapshot().collective_messages, 3);
+    }
+
+    #[test]
+    fn duplicate_verdict_replicates_shared_payload_without_replicator() {
+        use crate::envelope::{Src, Tag};
+        use crate::fault::ChannelPolicy;
+        let policy = ChannelPolicy { duplicate: 1.0, ..ChannelPolicy::reliable() };
+        let cfg = FaultConfig::reliable(3).with_default_policy(policy);
+        let s = WorldShared::with_config(2, None, Some(cfg));
+        let payload = Payload::shared(Arc::new(9u32));
+        s.send_envelope(0, 0, 1, 1, 0, 1, 4, payload, None, TrafficClass::PointToPoint).unwrap();
+        assert_eq!(s.mailbox(1).len(), 2, "shared payloads self-replicate on duplication");
+        for _ in 0..2 {
+            let env = s.mailbox(1).try_take(0, Src::Any, Tag::Any).unwrap();
+            assert_eq!(env.payload.into_owned::<u32>().unwrap().0, 9);
+        }
+        assert_eq!(s.stats().snapshot().duplicated_messages, 1);
     }
 }

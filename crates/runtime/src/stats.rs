@@ -18,6 +18,80 @@ pub enum TrafficClass {
     Collective,
 }
 
+/// A collective operation, for per-algorithm traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollOp {
+    /// Dissemination barrier.
+    Barrier,
+    /// Binomial-tree broadcast.
+    Bcast,
+    /// Root-gather.
+    Gather,
+    /// Root-scatter.
+    Scatter,
+    /// Ring allgather.
+    Allgather,
+    /// All-to-all exchange (pairwise or Bruck).
+    Alltoall,
+    /// Binomial-tree reduction.
+    Reduce,
+    /// Recursive-halving reduce-scatter.
+    ReduceScatter,
+    /// Allreduce (recursive doubling or reduce+bcast).
+    Allreduce,
+    /// Linear-chain prefix scan.
+    Scan,
+}
+
+impl CollOp {
+    /// Number of distinct collective operations.
+    pub const COUNT: usize = 10;
+    /// Every operation, in counter-table order.
+    pub const ALL: [CollOp; Self::COUNT] = [
+        CollOp::Barrier,
+        CollOp::Bcast,
+        CollOp::Gather,
+        CollOp::Scatter,
+        CollOp::Allgather,
+        CollOp::Alltoall,
+        CollOp::Reduce,
+        CollOp::ReduceScatter,
+        CollOp::Allreduce,
+        CollOp::Scan,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            CollOp::Barrier => 0,
+            CollOp::Bcast => 1,
+            CollOp::Gather => 2,
+            CollOp::Scatter => 3,
+            CollOp::Allgather => 4,
+            CollOp::Alltoall => 5,
+            CollOp::Reduce => 6,
+            CollOp::ReduceScatter => 7,
+            CollOp::Allreduce => 8,
+            CollOp::Scan => 9,
+        }
+    }
+
+    /// Stable lowercase name, for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Bcast => "bcast",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::Allgather => "allgather",
+            CollOp::Alltoall => "alltoall",
+            CollOp::Reduce => "reduce",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Scan => "scan",
+        }
+    }
+}
+
 /// A fault injected by the fault plane, for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultClass {
@@ -40,6 +114,18 @@ pub struct WorldStats {
     p2p_bytes: AtomicU64,
     coll_msgs: AtomicU64,
     coll_bytes: AtomicU64,
+    /// Per-[`CollOp`] message/byte/clone/alloc counters, indexed by
+    /// [`CollOp::index`].
+    coll_op_msgs: [AtomicU64; CollOp::COUNT],
+    coll_op_bytes: [AtomicU64; CollOp::COUNT],
+    coll_op_clones: [AtomicU64; CollOp::COUNT],
+    coll_op_allocs: [AtomicU64; CollOp::COUNT],
+    /// Deep payload copies anywhere in the transport (copy-on-write unwraps
+    /// of shared payloads, explicit collective clones, replicated sends).
+    payload_clones: AtomicU64,
+    /// Payload allocations made to *share* a value (one `Arc::new` per
+    /// multicast/shared broadcast, regardless of receiver count).
+    payload_allocs: AtomicU64,
     dropped: AtomicU64,
     duplicated: AtomicU64,
     corrupted: AtomicU64,
@@ -67,6 +153,42 @@ impl WorldStats {
         }
     }
 
+    /// Records one message of `bytes` wire bytes attributed to a specific
+    /// collective algorithm (in addition to the aggregate
+    /// [`TrafficClass::Collective`] counters, which the send path updates).
+    pub fn record_coll(&self, op: CollOp, bytes: usize) {
+        let i = op.index();
+        self.coll_op_msgs[i].fetch_add(1, Ordering::Relaxed);
+        self.coll_op_bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records `n` deep payload copies performed by a collective algorithm.
+    pub fn record_coll_clones(&self, op: CollOp, n: u64) {
+        if n > 0 {
+            self.coll_op_clones[op.index()].fetch_add(n, Ordering::Relaxed);
+            self.payload_clones.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` shared-payload allocations made by a collective algorithm.
+    pub fn record_coll_allocs(&self, op: CollOp, n: u64) {
+        if n > 0 {
+            self.coll_op_allocs[op.index()].fetch_add(n, Ordering::Relaxed);
+            self.payload_allocs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one deep payload copy outside any collective (copy-on-write
+    /// unwrap of a shared point-to-point payload, replicated send).
+    pub fn record_payload_clone(&self) {
+        self.payload_clones.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one shared-payload allocation outside any collective.
+    pub fn record_payload_alloc(&self) {
+        self.payload_allocs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one injected fault (called by the fault plane's send path).
     pub fn record_fault(&self, class: FaultClass) {
         let counter = match class {
@@ -81,11 +203,24 @@ impl WorldStats {
 
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let table = |arr: &[AtomicU64; CollOp::COUNT]| {
+            let mut out = [0u64; CollOp::COUNT];
+            for (o, a) in out.iter_mut().zip(arr) {
+                *o = a.load(Ordering::Relaxed);
+            }
+            out
+        };
         StatsSnapshot {
             p2p_messages: self.p2p_msgs.load(Ordering::Relaxed),
             p2p_bytes: self.p2p_bytes.load(Ordering::Relaxed),
             collective_messages: self.coll_msgs.load(Ordering::Relaxed),
             collective_bytes: self.coll_bytes.load(Ordering::Relaxed),
+            coll_op_messages: table(&self.coll_op_msgs),
+            coll_op_bytes: table(&self.coll_op_bytes),
+            coll_op_payload_clones: table(&self.coll_op_clones),
+            coll_op_payload_allocs: table(&self.coll_op_allocs),
+            payload_clones: self.payload_clones.load(Ordering::Relaxed),
+            payload_allocs: self.payload_allocs.load(Ordering::Relaxed),
             dropped_messages: self.dropped.load(Ordering::Relaxed),
             duplicated_messages: self.duplicated.load(Ordering::Relaxed),
             corrupted_messages: self.corrupted.load(Ordering::Relaxed),
@@ -100,6 +235,15 @@ impl WorldStats {
         self.p2p_bytes.store(0, Ordering::Relaxed);
         self.coll_msgs.store(0, Ordering::Relaxed);
         self.coll_bytes.store(0, Ordering::Relaxed);
+        for table in
+            [&self.coll_op_msgs, &self.coll_op_bytes, &self.coll_op_clones, &self.coll_op_allocs]
+        {
+            for a in table {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+        self.payload_clones.store(0, Ordering::Relaxed);
+        self.payload_allocs.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
         self.duplicated.store(0, Ordering::Relaxed);
         self.corrupted.store(0, Ordering::Relaxed);
@@ -119,6 +263,18 @@ pub struct StatsSnapshot {
     pub collective_messages: u64,
     /// Collective-internal bytes sent.
     pub collective_bytes: u64,
+    /// Messages per collective algorithm, indexed like [`CollOp::ALL`].
+    pub coll_op_messages: [u64; CollOp::COUNT],
+    /// Bytes per collective algorithm.
+    pub coll_op_bytes: [u64; CollOp::COUNT],
+    /// Deep payload copies per collective algorithm.
+    pub coll_op_payload_clones: [u64; CollOp::COUNT],
+    /// Shared-payload allocations per collective algorithm.
+    pub coll_op_payload_allocs: [u64; CollOp::COUNT],
+    /// Deep payload copies across the whole transport.
+    pub payload_clones: u64,
+    /// Shared-payload allocations across the whole transport.
+    pub payload_allocs: u64,
     /// Messages dropped by the fault plane.
     pub dropped_messages: u64,
     /// Messages duplicated by the fault plane.
@@ -151,13 +307,44 @@ impl StatsSnapshot {
             + self.rank_deaths
     }
 
+    /// Per-algorithm view: (messages, bytes, payload clones, payload allocs)
+    /// attributed to `op`.
+    pub fn coll(&self, op: CollOp) -> CollOpStats {
+        let i = CollOp::ALL.iter().position(|o| *o == op).expect("op in table");
+        CollOpStats {
+            messages: self.coll_op_messages[i],
+            bytes: self.coll_op_bytes[i],
+            payload_clones: self.coll_op_payload_clones[i],
+            payload_allocs: self.coll_op_payload_allocs[i],
+        }
+    }
+
     /// Difference `self - earlier`, for measuring a phase.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let sub = |a: &[u64; CollOp::COUNT], b: &[u64; CollOp::COUNT]| {
+            let mut out = [0u64; CollOp::COUNT];
+            for i in 0..CollOp::COUNT {
+                out[i] = a[i] - b[i];
+            }
+            out
+        };
         StatsSnapshot {
             p2p_messages: self.p2p_messages - earlier.p2p_messages,
             p2p_bytes: self.p2p_bytes - earlier.p2p_bytes,
             collective_messages: self.collective_messages - earlier.collective_messages,
             collective_bytes: self.collective_bytes - earlier.collective_bytes,
+            coll_op_messages: sub(&self.coll_op_messages, &earlier.coll_op_messages),
+            coll_op_bytes: sub(&self.coll_op_bytes, &earlier.coll_op_bytes),
+            coll_op_payload_clones: sub(
+                &self.coll_op_payload_clones,
+                &earlier.coll_op_payload_clones,
+            ),
+            coll_op_payload_allocs: sub(
+                &self.coll_op_payload_allocs,
+                &earlier.coll_op_payload_allocs,
+            ),
+            payload_clones: self.payload_clones - earlier.payload_clones,
+            payload_allocs: self.payload_allocs - earlier.payload_allocs,
             dropped_messages: self.dropped_messages - earlier.dropped_messages,
             duplicated_messages: self.duplicated_messages - earlier.duplicated_messages,
             corrupted_messages: self.corrupted_messages - earlier.corrupted_messages,
@@ -165,6 +352,19 @@ impl StatsSnapshot {
             rank_deaths: self.rank_deaths - earlier.rank_deaths,
         }
     }
+}
+
+/// Per-collective-algorithm counters extracted from a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollOpStats {
+    /// Messages sent by this algorithm.
+    pub messages: u64,
+    /// Payload bytes sent by this algorithm.
+    pub bytes: u64,
+    /// Deep payload copies performed by this algorithm.
+    pub payload_clones: u64,
+    /// Shared-payload allocations performed by this algorithm.
+    pub payload_allocs: u64,
 }
 
 /// Per-thread schedule-pipeline counters.
@@ -310,6 +510,46 @@ mod tests {
         s.record_fault(FaultClass::Dropped);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn per_collective_counters_accumulate_and_reset() {
+        let s = WorldStats::new();
+        s.record_coll(CollOp::Bcast, 100);
+        s.record_coll(CollOp::Bcast, 100);
+        s.record_coll(CollOp::Allreduce, 8);
+        s.record_coll_clones(CollOp::Bcast, 3);
+        s.record_coll_allocs(CollOp::Bcast, 1);
+        s.record_payload_clone();
+        s.record_payload_alloc();
+        let before = s.snapshot();
+        let bcast = before.coll(CollOp::Bcast);
+        assert_eq!(
+            bcast,
+            CollOpStats { messages: 2, bytes: 200, payload_clones: 3, payload_allocs: 1 }
+        );
+        assert_eq!(before.coll(CollOp::Allreduce).messages, 1);
+        assert_eq!(before.coll(CollOp::Barrier), CollOpStats::default());
+        assert_eq!(before.payload_clones, 4, "per-op clones roll up into the global counter");
+        assert_eq!(before.payload_allocs, 2);
+
+        s.record_coll(CollOp::Bcast, 50);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(
+            delta.coll(CollOp::Bcast),
+            CollOpStats { messages: 1, bytes: 50, ..Default::default() }
+        );
+
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn coll_op_table_is_consistent() {
+        assert_eq!(CollOp::ALL.len(), CollOp::COUNT);
+        for (i, op) in CollOp::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i, "{} out of order", op.name());
+        }
     }
 
     #[test]

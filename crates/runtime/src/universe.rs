@@ -29,9 +29,7 @@ impl ProgramCtx {
     /// # Panics
     /// If `other` is this rank's own program or out of range.
     pub fn intercomm(&self, other: usize) -> &InterComm {
-        self.intercomms[other]
-            .as_ref()
-            .expect("no intercomm to own program; use `comm` instead")
+        self.intercomms[other].as_ref().expect("no intercomm to own program; use `comm` instead")
     }
 
     /// Number of programs in the universe.
@@ -77,11 +75,7 @@ impl Universe {
     /// runs with the fault plane disarmed, so lossy policies and scheduled
     /// deaths cannot strand setup: faults apply to the coupling traffic
     /// only, and a death's `at_op` counts ops from the start of `f`.
-    pub fn run_with_faults<R, F>(
-        sizes: &[usize],
-        faults: FaultConfig,
-        f: F,
-    ) -> (Vec<R>, FaultTrace)
+    pub fn run_with_faults<R, F>(sizes: &[usize], faults: FaultConfig, f: F) -> (Vec<R>, FaultTrace)
     where
         R: Send,
         F: Fn(&Process, &ProgramCtx) -> R + Send + Sync,
@@ -112,17 +106,16 @@ impl Universe {
 
     fn setup(p: &Process, sizes: &[usize], starts: &[usize]) -> Result<ProgramCtx> {
         let world = p.world();
-        let my_prog = starts
-            .iter()
-            .rposition(|&s| p.rank() >= s)
-            .expect("every rank belongs to a program");
+        let my_prog =
+            starts.iter().rposition(|&s| p.rank() >= s).expect("every rank belongs to a program");
 
-        let comm = world
-            .split(my_prog as i64, 0)?
-            .expect("program color is non-negative");
+        let comm = world.split(my_prog as i64, 0)?.expect("program color is non-negative");
 
         // Establish an intercomm for every unordered pair of programs; all
-        // world ranks take part in each split (non-members opt out).
+        // world ranks take part in each split (non-members opt out). The
+        // splits and `InterComm::create` ride on the world's collectives
+        // (shared-envelope bcast/allgather), so bootstrap traffic stays
+        // O(1) payload allocations per exchange even at large p.
         let nprog = sizes.len();
         let mut intercomms: Vec<Option<InterComm>> = (0..nprog).map(|_| None).collect();
         for a in 0..nprog {
@@ -166,25 +159,23 @@ mod tests {
 
     #[test]
     fn cross_program_exchange() {
-        Universe::run(&[2, 4], |_, ctx| {
-            match ctx.program {
-                0 => {
-                    let ic = ctx.intercomm(1);
-                    assert_eq!(ic.remote_size(), 4);
-                    for dst in 0..4 {
-                        ic.send(dst, 1, ctx.comm.rank() as u64).unwrap();
-                    }
+        Universe::run(&[2, 4], |_, ctx| match ctx.program {
+            0 => {
+                let ic = ctx.intercomm(1);
+                assert_eq!(ic.remote_size(), 4);
+                for dst in 0..4 {
+                    ic.send(dst, 1, ctx.comm.rank() as u64).unwrap();
                 }
-                _ => {
-                    let ic = ctx.intercomm(0);
-                    assert_eq!(ic.remote_size(), 2);
-                    let mut got = vec![
-                        ic.recv::<u64>(Src::Any, 1).unwrap(),
-                        ic.recv::<u64>(Src::Any, 1).unwrap(),
-                    ];
-                    got.sort_unstable();
-                    assert_eq!(got, vec![0, 1]);
-                }
+            }
+            _ => {
+                let ic = ctx.intercomm(0);
+                assert_eq!(ic.remote_size(), 2);
+                let mut got = vec![
+                    ic.recv::<u64>(Src::Any, 1).unwrap(),
+                    ic.recv::<u64>(Src::Any, 1).unwrap(),
+                ];
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1]);
             }
         });
     }
@@ -208,8 +199,7 @@ mod tests {
                     .map(|o| ctx.intercomm(o).recv::<u32>(0, 9).unwrap())
                     .collect();
                 got.sort_unstable();
-                let expect: Vec<u32> =
-                    (0..3u32).filter(|&o| o as usize != me).collect();
+                let expect: Vec<u32> = (0..3u32).filter(|&o| o as usize != me).collect();
                 assert_eq!(got, expect);
             }
         });

@@ -73,14 +73,9 @@ pub struct HaloSchedule {
 }
 
 fn expand(region: &Region, width: usize, extents: &[usize]) -> Region {
-    let lo: Vec<usize> =
-        region.lo().iter().map(|&l| l.saturating_sub(width)).collect();
-    let hi: Vec<usize> = region
-        .hi()
-        .iter()
-        .zip(extents)
-        .map(|(&h, &e)| (h + width).min(e))
-        .collect();
+    let lo: Vec<usize> = region.lo().iter().map(|&l| l.saturating_sub(width)).collect();
+    let hi: Vec<usize> =
+        region.hi().iter().zip(extents).map(|(&h, &e)| (h + width).min(e)).collect();
     Region::new(lo, hi)
 }
 
@@ -267,8 +262,7 @@ mod tests {
             let comm = p.world();
             let dad = Dad::block(Extents::new([8, 8]), &[2, 2]).unwrap();
             let plan = HaloSchedule::build(&dad, comm.rank(), 1);
-            let local =
-                LocalArray::from_fn(&dad, comm.rank(), |idx| (idx[0] * 8 + idx[1]) as f64);
+            let local = LocalArray::from_fn(&dad, comm.rank(), |idx| (idx[0] * 8 + idx[1]) as f64);
             let mut g = plan.allocate(&local);
             plan.exchange(comm, &mut g, 3).unwrap();
             for idx in plan.expanded().clone().iter() {

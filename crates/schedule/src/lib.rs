@@ -36,7 +36,7 @@ pub use halo::{GhostedPatch, HaloSchedule};
 pub use linear_schedule::LinearSchedule;
 pub use plan::{CopyPlan, TransferBuffers};
 pub use redistribute::{
-    recv_redistributed, recv_redistributed_cached, redistribute_within,
-    redistribute_within_pooled, send_redistributed, send_redistributed_cached,
+    recv_redistributed, recv_redistributed_cached, redistribute_within, redistribute_within_pooled,
+    send_redistributed, send_redistributed_cached,
 };
 pub use region_schedule::{PairRegions, RegionSchedule, Role};

@@ -70,10 +70,7 @@ impl LinearSchedule {
 
     /// In-memory size of the schedule.
     pub fn schedule_bytes(&self) -> usize {
-        self.pairs
-            .iter()
-            .map(|(_, s)| std::mem::size_of::<usize>() + s.descriptor_bytes())
-            .sum()
+        self.pairs.iter().map(|(_, s)| std::mem::size_of::<usize>() + s.descriptor_bytes()).sum()
     }
 
     /// Sender side over an inter-communicator. Returns elements sent.
@@ -211,7 +208,14 @@ mod tests {
                 LocalArray::from_fn(&src, comm.rank(), |idx| (idx[0] * 4 + idx[1]) as i32);
             let mut dst_local: LocalArray<i32> = LocalArray::allocate(&dst, comm.rank());
             LinearSchedule::execute_local(
-                &send, &recv, comm, &src, &dst, &src_local, &mut dst_local, 0,
+                &send,
+                &recv,
+                comm,
+                &src,
+                &dst,
+                &src_local,
+                &mut dst_local,
+                0,
             )
             .unwrap();
             for (idx, &v) in dst_local.iter() {

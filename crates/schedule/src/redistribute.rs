@@ -198,7 +198,13 @@ mod tests {
                     (idx[0] * 6 + idx[1]) as i64 + step
                 });
                 let moved = redistribute_within_pooled(
-                    comm, &send, &recv, &src_local, &mut dst_local, step as i32, &mut pool,
+                    comm,
+                    &send,
+                    &recv,
+                    &src_local,
+                    &mut dst_local,
+                    step as i32,
+                    &mut pool,
                 )
                 .unwrap();
                 comm.barrier().unwrap();

@@ -77,7 +77,11 @@ pub struct RegionSchedule {
 /// Pieces are pairwise disjoint (distinct local patches or distinct peer
 /// patches), so lower corners are distinct and the order is deterministic
 /// and identical between the pruned and naive constructions.
-fn finish_pair(peer: usize, mine: &[Region], mut parts: Vec<(usize, Region)>) -> (PairRegions, CopyPlan) {
+fn finish_pair(
+    peer: usize,
+    mine: &[Region],
+    mut parts: Vec<(usize, Region)>,
+) -> (PairRegions, CopyPlan) {
     parts.sort_by(|a, b| a.1.lo().cmp(b.1.lo()));
     let plan = CopyPlan::from_sources(mine, &parts);
     let regions = parts.into_iter().map(|(_, r)| r).collect();
@@ -101,10 +105,7 @@ impl RegionSchedule {
             let hits = index.query(patch);
             probes += hits.probes as u64;
             for (peer, regions) in hits.hits {
-                per_peer
-                    .entry(peer)
-                    .or_default()
-                    .extend(regions.into_iter().map(|r| (pi, r)));
+                per_peer.entry(peer).or_default().extend(regions.into_iter().map(|r| (pi, r)));
             }
         }
         let mut pairs = Vec::with_capacity(per_peer.len());
@@ -239,12 +240,7 @@ impl RegionSchedule {
     ///
     /// # Panics
     /// If the schedule's role is not [`Role::Sender`].
-    pub fn execute_send<T>(
-        &self,
-        ic: &InterComm,
-        local: &LocalArray<T>,
-        tag: i32,
-    ) -> Result<usize>
+    pub fn execute_send<T>(&self, ic: &InterComm, local: &LocalArray<T>, tag: i32) -> Result<usize>
     where
         T: Copy + Send + MsgSize + 'static,
     {
@@ -448,11 +444,7 @@ mod tests {
         let stats = schedule_stats();
         assert_eq!(stats.builds, 1);
         assert_eq!(s.num_messages(), 16, "row block meets 16 non-empty col blocks");
-        assert!(
-            stats.peer_probes <= 18,
-            "probed {} peers out of 256",
-            stats.peer_probes
-        );
+        assert!(stats.peer_probes <= 18, "probed {} peers out of 256", stats.peer_probes);
 
         // Aligned 256 → 256 (same layout both sides): one overlapping peer.
         let e2 = Extents::new([4096, 16]);
@@ -495,7 +487,14 @@ mod tests {
         assert!(r.is_err());
     }
 
-    fn end_to_end(m: usize, n: usize, rows: usize, cols: usize, src_grid: &[usize], dst_grid: &[usize]) {
+    fn end_to_end(
+        m: usize,
+        n: usize,
+        rows: usize,
+        cols: usize,
+        src_grid: &[usize],
+        dst_grid: &[usize],
+    ) {
         let src_grid = src_grid.to_vec();
         let dst_grid = dst_grid.to_vec();
         Universe::run(&[m, n], move |_, ctx| {
@@ -504,8 +503,7 @@ mod tests {
             let dst = Dad::block(e, &dst_grid).unwrap();
             if ctx.program == 0 {
                 let sched = RegionSchedule::for_sender(&src, &dst, ctx.comm.rank());
-                let local =
-                    LocalArray::from_fn(&src, ctx.comm.rank(), |idx| value(idx, cols));
+                let local = LocalArray::from_fn(&src, ctx.comm.rank(), |idx| value(idx, cols));
                 sched.execute_send(ctx.intercomm(1), &local, 1).unwrap();
             } else {
                 let sched = RegionSchedule::for_receiver(&src, &dst, ctx.comm.rank());
@@ -579,10 +577,9 @@ mod tests {
             let recv = RegionSchedule::for_receiver(&src, &dst, comm.rank());
             let src_local = LocalArray::from_fn(&src, comm.rank(), |idx| value(idx, 8));
             let mut dst_local: LocalArray<f64> = LocalArray::allocate(&dst, comm.rank());
-            let moved = RegionSchedule::execute_local(
-                &send, &recv, comm, &src_local, &mut dst_local, 3,
-            )
-            .unwrap();
+            let moved =
+                RegionSchedule::execute_local(&send, &recv, comm, &src_local, &mut dst_local, 3)
+                    .unwrap();
             assert_eq!(moved, 16);
             for (idx, &v) in dst_local.iter() {
                 assert_eq!(v, value(&idx, 8));
@@ -605,7 +602,13 @@ mod tests {
             let mut after_first = 0;
             for step in 0..6 {
                 RegionSchedule::execute_local_pooled(
-                    &send, &recv, comm, &src_local, &mut dst_local, step, &mut pool,
+                    &send,
+                    &recv,
+                    comm,
+                    &src_local,
+                    &mut dst_local,
+                    step,
+                    &mut pool,
                 )
                 .unwrap();
                 // Everyone recycles what they received before the next
@@ -617,10 +620,7 @@ mod tests {
             }
             let (leases, fresh) = pool.stats();
             assert_eq!(leases, 6 * send.num_messages() as u64);
-            assert_eq!(
-                fresh, after_first,
-                "steady-state steps allocated fresh buffers"
-            );
+            assert_eq!(fresh, after_first, "steady-state steps allocated fresh buffers");
             for (idx, &v) in dst_local.iter() {
                 assert_eq!(v, value(&idx, 8));
             }
@@ -644,8 +644,7 @@ mod tests {
             } else {
                 let sched = RegionSchedule::for_receiver(&src, &dst, ctx.comm.rank());
                 for step in 0..5i64 {
-                    let mut local: LocalArray<i64> =
-                        LocalArray::allocate(&dst, ctx.comm.rank());
+                    let mut local: LocalArray<i64> = LocalArray::allocate(&dst, ctx.comm.rank());
                     sched.execute_recv(ctx.intercomm(0), &mut local, step as i32).unwrap();
                     for (idx, &v) in local.iter() {
                         assert_eq!(v, (idx[0] * 6 + idx[1]) as i64 + step * 100);

@@ -3,7 +3,7 @@
 //! descriptor pairs — same peers, same regions, same canonical order, same
 //! compiled plans — for every rank and both roles.
 
-use mxn_dad::{AxisDist, Dad, Extents, ExplicitDist, Region, Template};
+use mxn_dad::{AxisDist, Dad, ExplicitDist, Extents, Region, Template};
 use mxn_schedule::RegionSchedule;
 use proptest::prelude::*;
 
@@ -35,10 +35,7 @@ fn make_dad(rows: usize, cols: usize, family: u8, seed: u64) -> Dad {
             Template::new(
                 e,
                 vec![
-                    AxisDist::BlockCyclic {
-                        block: pick(&mut s, 1, 4),
-                        nprocs: pick(&mut s, 1, 4),
-                    },
+                    AxisDist::BlockCyclic { block: pick(&mut s, 1, 4), nprocs: pick(&mut s, 1, 4) },
                     AxisDist::Cyclic { nprocs: pick(&mut s, 1, 4) },
                 ],
             )
@@ -52,11 +49,7 @@ fn make_dad(rows: usize, cols: usize, family: u8, seed: u64) -> Dad {
                 sizes[pick(&mut s, 0, nb)] += 1;
             }
             Dad::regular(
-                Template::new(
-                    e,
-                    vec![AxisDist::GenBlock { sizes }, AxisDist::Collapsed],
-                )
-                .unwrap(),
+                Template::new(e, vec![AxisDist::GenBlock { sizes }, AxisDist::Collapsed]).unwrap(),
             )
         }
         3 => {
@@ -85,8 +78,7 @@ fn make_dad(rows: usize, cols: usize, family: u8, seed: u64) -> Dad {
                 Region::new([r, c], [rows, cols]),
             ];
             let nranks = pick(&mut s, 1, 5);
-            let patches =
-                quads.into_iter().map(|q| (q, pick(&mut s, 0, nranks))).collect();
+            let patches = quads.into_iter().map(|q| (q, pick(&mut s, 0, nranks))).collect();
             Dad::explicit(ExplicitDist::new(e, patches, nranks).unwrap())
         }
     }

@@ -106,7 +106,8 @@ fn coupler(
     let atm_grid = GeneralGrid::uniform_1d(ATM_N, 0.0, 1.0);
     let ocn_grid = GeneralGrid::uniform_1d(OCN_N, 0.0, 1.0);
 
-    let from_atm = Router::new(atm_map, 0, &GlobalSegMap::block(ATM_N, ATM_RANKS), reg, ATM).unwrap();
+    let from_atm =
+        Router::new(atm_map, 0, &GlobalSegMap::block(ATM_N, ATM_RANKS), reg, ATM).unwrap();
     let to_ocn = Router::new(ocn_map, 0, &GlobalSegMap::block(OCN_N, OCN_RANKS), reg, OCN).unwrap();
 
     for interval in 0..INTERVALS {

@@ -40,9 +40,8 @@ fn main() {
         .unwrap();
 
         // Stage 1: per-row "matched filter" (toy: value = row ⊕ col).
-        let stage1 = LocalArray::from_fn(rows_part.dad(), rank, |idx| {
-            (idx[0] * COLS + idx[1]) as f64
-        });
+        let stage1 =
+            LocalArray::from_fn(rows_part.dad(), rank, |idx| (idx[0] * COLS + idx[1]) as f64);
 
         // Corner turn, interleaved with "compute" between chunks.
         let mut reorg = DriReorg::new(rows_part, cols_part.clone(), rank, 1).unwrap();

@@ -44,7 +44,11 @@ fn coupled_run(seed: u64) -> (Vec<String>, FaultTrace) {
             } else {
                 // Consumers treat every failure mode as an outcome.
                 for _ in 0..ctx.intercomm(0).local_size() {
-                    match ctx.intercomm(0).recv_timeout::<u64>(mxn::runtime::Src::Any, round, timeout) {
+                    match ctx.intercomm(0).recv_timeout::<u64>(
+                        mxn::runtime::Src::Any,
+                        round,
+                        timeout,
+                    ) {
                         Ok(_) => delivered += 1,
                         Err(RuntimeError::Timeout { .. }) => dropped += 1,
                         Err(RuntimeError::Corrupt { .. }) => corrupt += 1,

@@ -43,19 +43,20 @@ fn main() {
     println!("\ncoupled run finished: both solvers verified the exchanged fields each transfer");
 }
 
-fn fluid(
-    ic: &mxn::runtime::InterComm,
-    rank: usize,
-    dad: &Dad,
-    mxn: &mut MxnComponent,
-) {
+fn fluid(ic: &mxn::runtime::InterComm, rank: usize, dad: &Dad, mxn: &mut MxnComponent) {
     // Register the exported pressure and the imported displacement.
     let pressure = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(dad, rank, |_| 0.0)));
     mxn.register_field("pressure", dad.clone(), AccessMode::Read, pressure.clone()).unwrap();
-    let displacement = mxn.register_allocated("displacement", dad.clone(), AccessMode::Write).unwrap();
+    let displacement =
+        mxn.register_allocated("displacement", dad.clone(), AccessMode::Write).unwrap();
 
     let mut out = mxn
-        .export_field(ic, "pressure", "pressure", ConnectionKind::Persistent { period: COUPLE_EVERY })
+        .export_field(
+            ic,
+            "pressure",
+            "pressure",
+            ConnectionKind::Persistent { period: COUPLE_EVERY },
+        )
         .unwrap();
     let mut inc = mxn.accept_connection(ic).unwrap();
 
@@ -69,7 +70,9 @@ fn fluid(
             }
         }
         out.data_ready(ic, mxn.registry()).unwrap();
-        if let TransferOutcome::Transferred { elements } = inc.data_ready(ic, mxn.registry()).unwrap() {
+        if let TransferOutcome::Transferred { elements } =
+            inc.data_ready(ic, mxn.registry()).unwrap()
+        {
             // The structure answered with displacements = -(its last pressure).
             let d = displacement.read();
             let sample = *d.iter().next().unwrap().1;
@@ -85,15 +88,11 @@ fn fluid(
     }
 }
 
-fn structure(
-    ic: &mxn::runtime::InterComm,
-    rank: usize,
-    dad: &Dad,
-    mxn: &mut MxnComponent,
-) {
+fn structure(ic: &mxn::runtime::InterComm, rank: usize, dad: &Dad, mxn: &mut MxnComponent) {
     let pressure = mxn.register_allocated("pressure", dad.clone(), AccessMode::Write).unwrap();
     let displacement = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(dad, rank, |_| 0.0)));
-    mxn.register_field("displacement", dad.clone(), AccessMode::Read, displacement.clone()).unwrap();
+    mxn.register_field("displacement", dad.clone(), AccessMode::Read, displacement.clone())
+        .unwrap();
 
     let mut inc = mxn.accept_connection(ic).unwrap();
     let mut out = mxn

@@ -63,10 +63,9 @@ fn run(policy: DeliveryPolicy) -> SubsetServeOutcome {
                         if rank == 1 {
                             println!("  caller {rank}: method B returned {v}");
                         }
-                        let _: f64 = subset_call_timeout(
-                            &all, ic, &[0, 1, 2], 0, 0, 10.0, policy, timeout,
-                        )
-                        .unwrap();
+                        let _: f64 =
+                            subset_call_timeout(&all, ic, &[0, 1, 2], 0, 0, 10.0, policy, timeout)
+                                .unwrap();
                     }
                     Err(e) => {
                         if rank == 1 {

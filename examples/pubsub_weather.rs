@@ -56,8 +56,7 @@ fn main() {
             1 => {
                 // The plotter: subscribed before step 1, Celsius as-is.
                 let region = Region::new([0], [N]);
-                Subscriber::subscribe(ic, "temperature", &region, Transform::identity())
-                    .unwrap();
+                Subscriber::subscribe(ic, "temperature", &region, Transform::identity()).unwrap();
                 ctx.comm.send(0, 1, ()).unwrap();
                 for step in 1..=STEPS {
                     let u = Subscriber::next_update(ic).unwrap();
@@ -89,7 +88,9 @@ fn main() {
                     last = u.values[0];
                     assert!(u.values.iter().all(|&t| t > 273.0), "in Kelvin");
                 }
-                println!("archiver: received {received} updates in Kelvin (last T[0] = {last:.2} K)");
+                println!(
+                    "archiver: received {received} updates in Kelvin (last T[0] = {last:.2} K)"
+                );
                 ctx.comm.recv::<()>(0, 4).unwrap();
                 Subscriber::unsubscribe(ic, "temperature").unwrap();
                 shutdown_broker(ic).unwrap();

@@ -61,8 +61,7 @@ fn probe_dca() -> bool {
         let data = vec![comm.rank() as f64, 10.0 + comm.rank() as f64];
         let spec = AlltoallvSpec::contiguous(&[1, 1]);
         let got = alltoallv_within(comm, &data, &spec).unwrap();
-        got[0] == vec![0.0 + if comm.rank() == 0 { 0.0 } else { 10.0 }]
-            && got.len() == 2
+        got[0] == vec![0.0 + if comm.rank() == 0 { 0.0 } else { 10.0 }] && got.len() == 2
     });
     ok.into_iter().all(|b| b)
 }
@@ -98,8 +97,7 @@ fn probe_intercomm() -> bool {
         let rule = MatchRule::LowerBound;
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
-            let mut ex =
-                crate::intercomm::Exporter::new(dad.clone(), dad.clone(), 0, rule, 8);
+            let mut ex = crate::intercomm::Exporter::new(dad.clone(), dad.clone(), 0, rule, 8);
             for t in 0..4 {
                 let data = LocalArray::from_fn(&dad, 0, |_| t as f64);
                 ex.export(ic, t as f64, &data).unwrap();
@@ -151,11 +149,9 @@ fn probe_mxn_component() -> bool {
         let mut reg = crate::core::FieldRegistry::new(rank);
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
-            let data = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(
-                &src,
-                rank,
-                |idx| (idx[0] + idx[1]) as f64,
-            )));
+            let data = Arc::new(parking_lot::RwLock::new(LocalArray::from_fn(&src, rank, |idx| {
+                (idx[0] + idx[1]) as f64
+            })));
             reg.register("f", src, AccessMode::Read, data).unwrap();
             let mut conn = MxnConnection::initiate(
                 ic,
@@ -167,10 +163,7 @@ fn probe_mxn_component() -> bool {
                 ConnectionKind::OneShot,
             )
             .unwrap();
-            matches!(
-                conn.data_ready(ic, &reg).unwrap(),
-                TransferOutcome::Transferred { .. }
-            )
+            matches!(conn.data_ready(ic, &reg).unwrap(), TransferOutcome::Transferred { .. })
         } else {
             let ic = ctx.intercomm(0);
             let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
@@ -212,10 +205,8 @@ fn probe_scirun_prmi() -> bool {
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
             let mut ep = ParallelEndpoint::new();
-            let local =
-                LocalArray::from_fn(&caller, ctx.comm.rank(), |idx| idx[0] as f64 + 1.0);
-            let s: f64 =
-                ep.call_with_array(ic, 0, 0.0f64, &caller, &callee, &local).unwrap();
+            let local = LocalArray::from_fn(&caller, ctx.comm.rank(), |idx| idx[0] as f64 + 1.0);
+            let s: f64 = ep.call_with_array(ic, 0, 0.0f64, &caller, &callee, &local).unwrap();
             ep.shutdown(ic).unwrap();
             s == 10.0
         } else {

@@ -100,10 +100,7 @@ fn dca_alltoallv_path() {
             for pair in sched.pairs() {
                 let mut cursor = 0;
                 for region in &pair.regions {
-                    local.unpack_region(
-                        region,
-                        &chunks[pair.peer][cursor..cursor + region.len()],
-                    );
+                    local.unpack_region(region, &chunks[pair.peer][cursor..cursor + region.len()]);
                     cursor += region.len();
                 }
             }

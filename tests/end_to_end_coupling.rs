@@ -63,8 +63,7 @@ fn persistent_coupled_time_loop() {
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
             let mut mxn = mxn::core::MxnComponent::new(rank);
-            let data =
-                mxn.register_allocated("field", src.clone(), AccessMode::ReadWrite).unwrap();
+            let data = mxn.register_allocated("field", src.clone(), AccessMode::ReadWrite).unwrap();
             let mut conn = mxn
                 .export_field(ic, "field", "field", ConnectionKind::Persistent { period: PERIOD })
                 .unwrap();
@@ -150,10 +149,8 @@ fn framework_assembled_coupling() {
                     buf.fill(42.0);
                 }
             }
-            let mut conn = port
-                .write()
-                .export_field(ic, "u", "u", ConnectionKind::OneShot)
-                .unwrap();
+            let mut conn =
+                port.write().export_field(ic, "u", "u", ConnectionKind::OneShot).unwrap();
             conn.data_ready(ic, port.read().registry()).unwrap();
         } else {
             let ic = ctx.intercomm(0);
@@ -181,11 +178,9 @@ fn bidirectional_exchange() {
         let mut mxn = mxn::core::MxnComponent::new(rank);
         if ctx.program == 0 {
             let ic = ctx.intercomm(1);
-            let pressure = Arc::new(parking_lot_rwlock(LocalArray::from_fn(
-                &a_dad,
-                rank,
-                |idx| (idx[0] * 4 + idx[1]) as f64,
-            )));
+            let pressure = Arc::new(parking_lot_rwlock(LocalArray::from_fn(&a_dad, rank, |idx| {
+                (idx[0] * 4 + idx[1]) as f64
+            })));
             mxn.register_field("pressure", a_dad.clone(), AccessMode::Read, pressure).unwrap();
             let disp =
                 mxn.register_allocated("displacement", a_dad.clone(), AccessMode::Write).unwrap();
@@ -199,11 +194,9 @@ fn bidirectional_exchange() {
             }
         } else {
             let ic = ctx.intercomm(0);
-            let disp = Arc::new(parking_lot_rwlock(LocalArray::from_fn(
-                &b_dad,
-                rank,
-                |idx| -((idx[0] * 4 + idx[1]) as f64),
-            )));
+            let disp = Arc::new(parking_lot_rwlock(LocalArray::from_fn(&b_dad, rank, |idx| {
+                -((idx[0] * 4 + idx[1]) as f64)
+            })));
             mxn.register_field("displacement", b_dad.clone(), AccessMode::Read, disp).unwrap();
             let pressure =
                 mxn.register_allocated("pressure", b_dad.clone(), AccessMode::Write).unwrap();

@@ -223,9 +223,8 @@ fn dropped_handshake_times_out_with_context() {
 /// receiver gets `PeerDead` instead of waiting out a timeout.
 #[test]
 fn initiator_death_unblocks_receiver_with_peer_dead() {
-    let cfg = FaultConfig::reliable(3)
-        .with_channel(0, 1, ChannelPolicy::lossy(1.0))
-        .with_death(0, 1);
+    let cfg =
+        FaultConfig::reliable(3).with_channel(0, 1, ChannelPolicy::lossy(1.0)).with_death(0, 1);
     let (results, trace) = World::run_with_faults(2, cfg, |p| {
         let c = p.world();
         if c.rank() == 0 {

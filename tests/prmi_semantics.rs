@@ -110,8 +110,7 @@ fn figure5_eager_deadlock_diagnosed() {
             }
         } else {
             let svc = Recorder(parking_lot::Mutex::new(Vec::new()));
-            let out =
-                subset_serve(ctx.intercomm(0), &svc, Duration::from_millis(300)).unwrap();
+            let out = subset_serve(ctx.intercomm(0), &svc, Duration::from_millis(300)).unwrap();
             match out {
                 SubsetServeOutcome::Deadlocked { calls, missing_rank, method } => {
                     assert_eq!(calls, 0);

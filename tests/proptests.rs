@@ -21,21 +21,20 @@ fn axis_dist(extent: usize) -> impl Strategy<Value = AxisDist> {
         (1..=3usize, nprocs.clone())
             .prop_map(|(b, n)| AxisDist::BlockCyclic { block: b, nprocs: n }),
         // Gen-block: random split of the extent into n parts.
-        (1..=4usize)
-            .prop_flat_map(move |n| proptest::collection::vec(0..=extent, n - 1))
-            .prop_map(move |mut cuts| {
+        (1..=4usize).prop_flat_map(move |n| proptest::collection::vec(0..=extent, n - 1)).prop_map(
+            move |mut cuts| {
                 cuts.push(0);
                 cuts.push(extent);
                 cuts.sort_unstable();
                 let sizes: Vec<usize> = cuts.windows(2).map(|w| w[1] - w[0]).collect();
                 AxisDist::GenBlock { sizes }
-            }),
+            }
+        ),
         // Implicit: arbitrary owners.
-        (1..=3usize)
-            .prop_flat_map(move |n| {
-                proptest::collection::vec(0..n, extent)
-                    .prop_map(move |owners| AxisDist::Implicit { owners, nprocs: n })
-            }),
+        (1..=3usize).prop_flat_map(move |n| {
+            proptest::collection::vec(0..n, extent)
+                .prop_map(move |owners| AxisDist::Implicit { owners, nprocs: n })
+        }),
     ]
 }
 
@@ -299,10 +298,7 @@ mod fault_determinism {
             let me = c.rank();
             let mut log = Vec::new();
             for dst in (0..N).filter(|&d| d != me) {
-                log.push(format!(
-                    "send->{dst}:{}",
-                    label(c.send(dst, 7, (me * 10 + dst) as u64))
-                ));
+                log.push(format!("send->{dst}:{}", label(c.send(dst, 7, (me * 10 + dst) as u64))));
             }
             for src in (0..N).filter(|&s| s != me) {
                 log.push(format!(
