@@ -156,9 +156,15 @@ fn allreduce_cell(p: usize, payload: usize) -> Cell {
 
 /// 8 senders flood 8 receivers (1 KiB messages, 4 tags round-robin):
 /// returns sustained messages/second through the bucketed mailboxes.
-fn mailbox_contention(msgs_per_sender: usize) -> f64 {
+/// With `traced` the same flood runs under an armed trace collector, so
+/// the traced/untraced ratio is the tracer's hot-path cost.
+///
+/// Scheduler noise on a shared box swings a single flood by ±40%, so the
+/// cell is best-of-5: noise only ever *lowers* throughput, making the max
+/// the stable estimator (the 5% regression gate needs one).
+fn mailbox_contention(msgs_per_sender: usize, traced: bool) -> f64 {
     let pairs = 8usize;
-    let secs = World::run(2 * pairs, move |proc| {
+    let body = move |proc: &mxn_runtime::Process| {
         let comm = proc.world();
         let me = comm.rank();
         comm.barrier().unwrap();
@@ -173,9 +179,47 @@ fn mailbox_contention(msgs_per_sender: usize) -> f64 {
             }
         }
         start.elapsed().as_secs_f64()
+    };
+    let mut best = 0.0f64;
+    for _ in 0..5 {
+        let secs =
+            if traced { World::run_traced(2 * pairs, body).0 } else { World::run(2 * pairs, body) };
+        let slowest = secs.into_iter().fold(0.0f64, f64::max);
+        best = best.max((pairs * msgs_per_sender) as f64 / slowest);
+    }
+    best
+}
+
+/// One traced shared bcast cell (p ranks, `payload` bytes): max per-rank
+/// ns/op with the trace collector armed, for the E20 on/off comparison.
+fn traced_bcast_ns(p: usize, payload: usize) -> f64 {
+    let iters = iters_for(payload);
+    let n = payload / 8;
+    let (ns, _) = World::run_traced(p, move |proc| {
+        let comm = proc.world();
+        let op = |comm: &Comm| {
+            let v = if comm.rank() == 0 { Some(vec![1.0f64; n]) } else { None };
+            std::hint::black_box(comm.bcast_shared(0, v).unwrap());
+        };
+        op(comm);
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            op(comm);
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
     });
-    let slowest = secs.into_iter().fold(0.0f64, f64::max);
-    (pairs * msgs_per_sender) as f64 / slowest
+    ns.into_iter().fold(0.0f64, f64::max)
+}
+
+/// The committed mailbox-flood throughput, read from `BENCH_runtime.json`
+/// *before* this run overwrites it — the baseline the disabled-tracer
+/// overhead gate compares against.
+fn committed_mailbox_baseline(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"msgs_per_sec\": ";
+    let at = text.rfind(key)? + key.len();
+    text[at..].split(|c: char| !(c.is_ascii_digit() || c == '.')).next()?.parse().ok()
 }
 
 fn bench(c: &mut Criterion) {
@@ -199,7 +243,11 @@ fn bench(c: &mut Criterion) {
             cells.push(allreduce_cell(p, payload));
         }
     }
-    let mailbox_msgs_per_sec = mailbox_contention(4000);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let baseline_msgs_per_sec = committed_mailbox_baseline(path);
+    let mailbox_msgs_per_sec = mailbox_contention(4000, false);
+    let mailbox_traced_msgs_per_sec = mailbox_contention(4000, true);
+    let bcast_p256_traced_ns = traced_bcast_ns(256, MIB);
 
     println!("\n--- runtime_collectives ---");
     for cell in &cells {
@@ -253,13 +301,40 @@ fn bench(c: &mut Criterion) {
     );
     println!("bcast shared vs cloning at p=256/1MiB: {speedup:.1}x");
 
+    // E20: tracer cost, on and off. The *disabled* tracer (the default in
+    // every cell above) must stay within 5% of the committed flood
+    // throughput; the enabled tracer's cost is reported, not gated.
+    let bcast_p256_ns = find("shared", 256, MIB).ns_per_op;
+    let flood_overhead = 1.0 - mailbox_traced_msgs_per_sec / mailbox_msgs_per_sec;
+    println!(
+        "mailbox flood traced: {mailbox_traced_msgs_per_sec:.0} msgs/s ({:.1}% tracer cost)",
+        flood_overhead * 100.0
+    );
+    println!(
+        "bcast p=256/1MiB traced: {bcast_p256_traced_ns:.0} ns/op (untraced {bcast_p256_ns:.0})"
+    );
+    if let Some(baseline) = baseline_msgs_per_sec {
+        let ratio = mailbox_msgs_per_sec / baseline;
+        println!("mailbox flood vs committed baseline: {:.1}%", ratio * 100.0);
+        if std::env::var_os("MXN_ENFORCE_TRACE_OVERHEAD").is_some() {
+            assert!(
+                ratio >= 0.95,
+                "disabled tracer costs more than 5% on the mailbox flood: \
+                 {mailbox_msgs_per_sec:.0} msgs/s vs committed {baseline:.0}"
+            );
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"runtime_collectives\",\n  \"cells\": [\n{}\n  ],\n  \"bcast_speedup_p256_1mib\": {:.2},\n  \"mailbox_flood\": {{\"senders\": 8, \"receivers\": 8, \"msgs_per_sender\": 4000, \"payload_bytes\": 1024, \"msgs_per_sec\": {:.0}}}\n}}\n",
+        "{{\n  \"bench\": \"runtime_collectives\",\n  \"cells\": [\n{}\n  ],\n  \"bcast_speedup_p256_1mib\": {:.2},\n  \"mailbox_flood\": {{\"senders\": 8, \"receivers\": 8, \"msgs_per_sender\": 4000, \"payload_bytes\": 1024, \"msgs_per_sec\": {:.0}}},\n  \"trace_overhead\": {{\"mailbox_flood_traced_msgs_per_sec\": {:.0}, \"flood_tracer_cost_frac\": {:.4}, \"bcast_p256_1mib_untraced_ns\": {:.0}, \"bcast_p256_1mib_traced_ns\": {:.0}}}\n}}\n",
         cells.iter().map(Cell::json).collect::<Vec<_>>().join(",\n"),
         speedup,
         mailbox_msgs_per_sec,
+        mailbox_traced_msgs_per_sec,
+        flood_overhead,
+        bcast_p256_ns,
+        bcast_p256_traced_ns,
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     std::fs::write(path, json).expect("write BENCH_runtime.json");
     println!("wrote {path}");
 }

@@ -161,6 +161,10 @@ impl DcaPort {
         let ranks = program_local_ranks(program, participants);
         if self.policy_for(participants).barrier_before_delivery {
             participants.barrier().map_err(PrmiError::Runtime)?;
+            mxn_trace::emit_instant(
+                mxn_trace::EventId::DcaBarrier,
+                [participants.size() as u64, program.size() as u64, 0, 0],
+            );
         }
         // Sending the share is exactly what subset_call does before its
         // blocking receive; replicate the send half.

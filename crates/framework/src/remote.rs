@@ -238,6 +238,10 @@ pub fn serve(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> 
             }
         }
         let result = service.dispatch(req.method, req.arg);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::RmiServe,
+            [req.method as u64, req.call_id, info.src as u64, u64::from(req.oneway)],
+        );
         stats.calls += 1;
         if req.token != 0 {
             seen.insert((info.src, req.token), result.take_replicator());
@@ -304,6 +308,10 @@ impl RemotePort {
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::RmiCall,
+            [method as u64, call_id, self.provider as u64, 0],
+        );
         ic.send(
             self.provider,
             RMI_REQ_TAG,
@@ -343,6 +351,10 @@ impl RemotePort {
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::RmiCall,
+            [method as u64, call_id, self.provider as u64, 0],
+        );
         let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
         let mut backoff = policy.backoff;
         let mut last = RuntimeError::timeout(
@@ -398,6 +410,10 @@ impl RemotePort {
     {
         assert_ne!(method, METHOD_SHUTDOWN, "shutdown is sent via RemotePort::shutdown");
         let call_id = self.next_call.fetch_add(1, Ordering::Relaxed);
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::RmiCall,
+            [method as u64, call_id, self.provider as u64, 1],
+        );
         ic.send(
             self.provider,
             RMI_REQ_TAG,

@@ -161,6 +161,10 @@ impl CollectiveEndpoint {
         R: 'static,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::PrmiCall,
+            [method as u64, self.call_seq, ic.remote_size() as u64, 0],
+        );
         let seq = self.send_requests(ic, method, arg, false)?;
         let responder = ic.local_rank() % ic.remote_size();
         let resp: CollResp = ic.recv(responder, COLL_RESP_TAG)?;
@@ -199,6 +203,10 @@ impl CollectiveEndpoint {
         A: Send + Sync + MsgSize + 'static + Clone,
     {
         assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::PrmiCall,
+            [method as u64, self.call_seq, ic.remote_size() as u64, 1],
+        );
         self.send_requests(ic, method, arg, true)?;
         Ok(())
     }
@@ -242,6 +250,10 @@ pub fn collective_serve(ic: &InterComm, service: &dyn RemoteService) -> Result<C
         let m = m_probe.num_callers;
         debug_assert_eq!(ic_owner(ic), j % m, "owner mapping is stable");
         let result = service.dispatch(m_probe.method, m_probe.arg);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::PrmiServe,
+            [m_probe.method as u64, m_probe.call_seq, m as u64, u64::from(m_probe.oneway)],
+        );
         stats.calls += 1;
         if m_probe.oneway {
             stats.oneway_calls += 1;

@@ -138,8 +138,16 @@ where
     R: 'static,
 {
     assert_ne!(method, METHOD_SHUTDOWN, "use subset_shutdown");
+    let _span = mxn_trace::span(
+        mxn_trace::EventId::PrmiCall,
+        [method as u64, provider as u64, participant_ranks.len() as u64, 0],
+    );
     if policy.barrier_before_delivery {
         participants.barrier().map_err(PrmiError::Runtime)?;
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::DcaBarrier,
+            [participants.size() as u64, method as u64, 0, 0],
+        );
     }
     ic.send(
         provider,
@@ -240,6 +248,15 @@ pub fn subset_serve(
         // (one-way calls skip the response phase).
         let oneway = first.oneway;
         let result = service.dispatch(method, first.arg);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::PrmiServe,
+            [
+                method as u64,
+                first.caller as u64,
+                first.participants.len() as u64,
+                u64::from(oneway),
+            ],
+        );
         calls += 1;
         if oneway {
             continue;

@@ -23,11 +23,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::comm::Comm;
-use crate::envelope::{Payload, Src, Tag};
+use crate::envelope::{Envelope, Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::stats::{CollOp, TrafficClass};
+use crate::tracing::{coll_algo, ctx_class, record_op_error, tag_arg};
+use mxn_trace::{emit_instant, span, EventId, SpanGuard};
 
 /// Payload-size threshold (bytes) at or below which latency-optimal
 /// algorithms (recursive doubling, Bruck) are preferred over
@@ -35,6 +37,12 @@ use crate::stats::{CollOp, TrafficClass};
 /// selection keys on quantities that are identical across ranks (the
 /// uniform payload size of an allreduce, or an agreed-on maximum).
 pub const SMALL_COLLECTIVE_BYTES: usize = 4096;
+
+/// ⌈log₂ p⌉ — the round count of the log-depth collectives, precomputable
+/// at span begin because it depends only on the communicator size.
+fn ceil_log2(p: usize) -> u64 {
+    p.max(1).next_power_of_two().trailing_zeros() as u64
+}
 
 impl Comm {
     fn coll_context(&self) -> u32 {
@@ -95,37 +103,64 @@ impl Comm {
         [PeerRef { global: self.group()[src], local: src }]
     }
 
+    /// One span per collective invocation, opened at entry so the guard
+    /// also closes the span on every error return. `args` = `[op, algo,
+    /// bytes_hint, rounds]`; all four are deterministic at entry (rounds
+    /// depend only on `p`, the bytes hint only on this rank's own input).
+    fn coll_span(&self, op: CollOp, algo: u64, bytes: usize, rounds: u64) -> SpanGuard {
+        span(EventId::Collective, [op.index() as u64, algo, bytes as u64, rounds])
+    }
+
+    /// The collective receive choke point: like `Comm::recv_envelope` it
+    /// keeps the two accounting planes consistent (`MailboxMatch` on a
+    /// match, [`record_op_error`] on an error return), but deliberately
+    /// skips `note_op` — collective ops are counted once on the send side.
+    fn coll_take(&self, src: usize, tag: i32, deadline: Option<Instant>) -> Result<Envelope> {
+        let mailbox = self.shared().mailbox(self.global_rank());
+        let res = match deadline {
+            None => mailbox.take(
+                self.coll_context(),
+                Src::Rank(src),
+                Tag::Value(tag),
+                &self.coll_peer(src),
+            ),
+            Some(d) => mailbox.take_timeout(
+                self.coll_context(),
+                Src::Rank(src),
+                Tag::Value(tag),
+                d.saturating_duration_since(Instant::now()),
+                &self.coll_peer(src),
+            ),
+        };
+        match &res {
+            Ok(env) => emit_instant(
+                EventId::MailboxMatch,
+                [
+                    ctx_class(self.coll_context()),
+                    tag_arg(env.tag),
+                    env.src_local as u64,
+                    env.bytes as u64,
+                ],
+            ),
+            Err(e) => record_op_error(self.shared().stats(), e),
+        }
+        res
+    }
+
     fn coll_recv<T: 'static>(&self, src: usize, tag: i32) -> Result<T> {
-        let env = self.shared().mailbox(self.global_rank()).take(
-            self.coll_context(),
-            Src::Rank(src),
-            Tag::Value(tag),
-            &self.coll_peer(src),
-        )?;
+        let env = self.coll_take(src, tag, None)?;
         self.downcast::<T>(env).map(|(v, _)| v)
     }
 
     fn coll_recv_shared<T: Send + Sync + 'static>(&self, src: usize, tag: i32) -> Result<Arc<T>> {
-        let env = self.shared().mailbox(self.global_rank()).take(
-            self.coll_context(),
-            Src::Rank(src),
-            Tag::Value(tag),
-            &self.coll_peer(src),
-        )?;
+        let env = self.coll_take(src, tag, None)?;
         self.downcast_shared::<T>(env).map(|(v, _)| v)
     }
 
     /// Like `coll_recv` but gives up after the remaining share of a
     /// deadline, mapping the mailbox timeout to the collective's name.
     fn coll_recv_deadline<T: 'static>(&self, src: usize, tag: i32, deadline: Instant) -> Result<T> {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        let env = self.shared().mailbox(self.global_rank()).take_timeout(
-            self.coll_context(),
-            Src::Rank(src),
-            Tag::Value(tag),
-            remaining,
-            &self.coll_peer(src),
-        )?;
+        let env = self.coll_take(src, tag, Some(deadline))?;
         self.downcast::<T>(env).map(|(v, _)| v)
     }
 
@@ -146,6 +181,7 @@ impl Comm {
     /// Dissemination algorithm: ⌈log₂ p⌉ rounds of pairwise notifications.
     pub fn barrier(&self) -> Result<()> {
         let p = self.size();
+        let _span = self.coll_span(CollOp::Barrier, coll_algo::DISSEMINATION, 0, ceil_log2(p));
         let r = self.rank();
         let base = self.next_coll_tag();
         let mut round = 0i32;
@@ -170,6 +206,7 @@ impl Comm {
     pub fn barrier_timeout(&self, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         let p = self.size();
+        let _span = self.coll_span(CollOp::Barrier, coll_algo::DISSEMINATION, 0, ceil_log2(p));
         let r = self.rank();
         let base = self.next_coll_tag();
         let mut round = 0i32;
@@ -197,6 +234,13 @@ impl Comm {
         root: usize,
         value: Option<T>,
     ) -> Result<T> {
+        let bytes = value.as_ref().map_or(0, MsgSize::msg_size);
+        let _span = self.coll_span(
+            CollOp::Bcast,
+            coll_algo::BINOMIAL_SHARED,
+            bytes,
+            ceil_log2(self.size()),
+        );
         let arc = self.bcast_shared_as(root, value, CollOp::Bcast)?;
         Ok(self.unwrap_cow(arc, CollOp::Bcast))
     }
@@ -209,6 +253,13 @@ impl Comm {
         root: usize,
         value: Option<T>,
     ) -> Result<Arc<T>> {
+        let bytes = value.as_ref().map_or(0, MsgSize::msg_size);
+        let _span = self.coll_span(
+            CollOp::Bcast,
+            coll_algo::BINOMIAL_SHARED,
+            bytes,
+            ceil_log2(self.size()),
+        );
         self.bcast_shared_as(root, value, CollOp::Bcast)
     }
 
@@ -271,6 +322,8 @@ impl Comm {
         value: Option<T>,
     ) -> Result<T> {
         let p = self.size();
+        let bytes = value.as_ref().map_or(0, MsgSize::msg_size);
+        let _span = self.coll_span(CollOp::Bcast, coll_algo::BINOMIAL_CLONING, bytes, ceil_log2(p));
         if root >= p {
             return Err(RuntimeError::InvalidRank { rank: root, size: p });
         }
@@ -315,6 +368,8 @@ impl Comm {
         value: T,
     ) -> Result<Option<Vec<T>>> {
         let p = self.size();
+        let _span =
+            self.coll_span(CollOp::Gather, coll_algo::LINEAR, value.msg_size(), (p as u64) - 1);
         if root >= p {
             return Err(RuntimeError::InvalidRank { rank: root, size: p });
         }
@@ -324,12 +379,30 @@ impl Comm {
             out[root] = Some(value);
             let peers = self.peers_of(Src::Any);
             for _ in 0..p - 1 {
-                let env = self.shared().mailbox(self.global_rank()).take(
+                let res = self.shared().mailbox(self.global_rank()).take(
                     self.coll_context(),
                     Src::Any,
                     Tag::Value(base),
                     &peers,
-                )?;
+                );
+                let env = match res {
+                    Ok(env) => {
+                        emit_instant(
+                            EventId::MailboxMatch,
+                            [
+                                ctx_class(self.coll_context()),
+                                tag_arg(env.tag),
+                                env.src_local as u64,
+                                env.bytes as u64,
+                            ],
+                        );
+                        env
+                    }
+                    Err(e) => {
+                        record_op_error(self.shared().stats(), &e);
+                        return Err(e);
+                    }
+                };
                 let (v, info) = self.downcast::<T>(env)?;
                 out[info.src] = Some(v);
             }
@@ -350,13 +423,32 @@ impl Comm {
         &self,
         value: T,
     ) -> Result<Vec<T>> {
-        let shared = self.allgather_shared(value)?;
+        let _span = self.coll_span(
+            CollOp::Allgather,
+            coll_algo::RING,
+            value.msg_size(),
+            (self.size() as u64) - 1,
+        );
+        let shared = self.allgather_shared_inner(value)?;
         Ok(shared.into_iter().map(|arc| self.unwrap_cow(arc, CollOp::Allgather)).collect())
     }
 
     /// The zero-clone allgather: every member receives `Arc` handles to the
     /// p shared block allocations (one per contributor).
     pub fn allgather_shared<T: Clone + Send + Sync + MsgSize + 'static>(
+        &self,
+        value: T,
+    ) -> Result<Vec<Arc<T>>> {
+        let _span = self.coll_span(
+            CollOp::Allgather,
+            coll_algo::RING,
+            value.msg_size(),
+            (self.size() as u64) - 1,
+        );
+        self.allgather_shared_inner(value)
+    }
+
+    fn allgather_shared_inner<T: Clone + Send + Sync + MsgSize + 'static>(
         &self,
         value: T,
     ) -> Result<Vec<Arc<T>>> {
@@ -389,6 +481,9 @@ impl Comm {
         root: usize,
         values: Option<Vec<T>>,
     ) -> Result<T> {
+        let bytes = values.as_ref().map_or(0, MsgSize::msg_size);
+        let _span =
+            self.coll_span(CollOp::Scatter, coll_algo::LINEAR, bytes, (self.size() as u64) - 1);
         self.scatter_as(root, values, CollOp::Scatter)
     }
 
@@ -434,6 +529,12 @@ impl Comm {
     /// [`Comm::alltoall_bruck`] does the same exchange in ⌈log₂ p⌉ rounds.
     pub fn alltoall<T: Send + MsgSize + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
         let p = self.size();
+        let _span = self.coll_span(
+            CollOp::Alltoall,
+            coll_algo::PAIRWISE,
+            values.msg_size(),
+            (p as u64).saturating_sub(1),
+        );
         let r = self.rank();
         if values.len() != p {
             return Err(RuntimeError::CollectiveMismatch {
@@ -461,6 +562,7 @@ impl Comm {
     pub fn alltoall_bruck<T: Send + MsgSize + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
         const OP: CollOp = CollOp::Alltoall;
         let p = self.size();
+        let _span = self.coll_span(OP, coll_algo::BRUCK, values.msg_size(), ceil_log2(p));
         let r = self.rank();
         if values.len() != p {
             return Err(RuntimeError::CollectiveMismatch {
@@ -533,6 +635,12 @@ impl Comm {
         T: Send + MsgSize + 'static,
         F: Fn(&mut T, T),
     {
+        let _span = self.coll_span(
+            CollOp::Reduce,
+            coll_algo::BINOMIAL_SHARED,
+            value.msg_size(),
+            ceil_log2(self.size()),
+        );
         self.reduce_as(root, value, op, CollOp::Reduce)
     }
 
@@ -586,9 +694,18 @@ impl Comm {
         if p == 1 {
             return Ok(value);
         }
-        if value.msg_size() <= SMALL_COLLECTIVE_BYTES {
+        let bytes = value.msg_size();
+        if bytes <= SMALL_COLLECTIVE_BYTES {
+            let _span = self.coll_span(
+                CollOp::Allreduce,
+                coll_algo::RECURSIVE_DOUBLING,
+                bytes,
+                ceil_log2(p),
+            );
             self.allreduce_rd(value, op)
         } else {
+            let _span =
+                self.coll_span(CollOp::Allreduce, coll_algo::REDUCE_BCAST, bytes, 2 * ceil_log2(p));
             let reduced = self.reduce_as(0, value, op, CollOp::Allreduce)?;
             let arc = self.bcast_shared_as(0, reduced, CollOp::Allreduce)?;
             Ok(self.unwrap_cow(arc, CollOp::Allreduce))
@@ -683,6 +800,9 @@ impl Comm {
         if p == 1 {
             return Ok(values.into_iter().next().expect("one block for one rank"));
         }
+        let algo =
+            if p.is_power_of_two() { coll_algo::RECURSIVE_HALVING } else { coll_algo::LINEAR };
+        let _span = self.coll_span(OP, algo, values.msg_size(), ceil_log2(p));
         if !p.is_power_of_two() {
             let reduced = self.reduce_as(
                 0,
@@ -743,6 +863,12 @@ impl Comm {
         F: Fn(&mut T, T),
     {
         let p = self.size();
+        let _span = self.coll_span(
+            CollOp::Scan,
+            coll_algo::LINEAR,
+            value.msg_size(),
+            (p as u64).saturating_sub(1),
+        );
         let r = self.rank();
         let base = self.next_coll_tag();
         let mut acc = value;

@@ -11,6 +11,8 @@ use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::shared::{WorldShared, WORLD_CONTEXT};
 use crate::stats::TrafficClass;
+use crate::tracing::{ctx_class, record_op_error, tag_arg};
+use mxn_trace::{emit_instant, EventId};
 
 /// A communicator: an ordered group of world ranks plus a private message
 /// context, held by one rank (communicators are per-thread handles, exactly
@@ -219,7 +221,9 @@ impl Comm {
     pub(crate) fn downcast<T: 'static>(&self, env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
-            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+            let err = RuntimeError::Corrupt { src: info.src, tag: info.tag };
+            record_op_error(self.shared.stats(), &err);
+            return Err(err);
         }
         match env.payload.into_owned::<T>() {
             Ok((v, cloned)) => {
@@ -228,11 +232,15 @@ impl Comm {
                 }
                 Ok((v, info))
             }
-            Err(_) => Err(RuntimeError::TypeMismatch {
-                expected: type_name::<T>(),
-                src: info.src,
-                tag: info.tag,
-            }),
+            Err(_) => {
+                let err = RuntimeError::TypeMismatch {
+                    expected: type_name::<T>(),
+                    src: info.src,
+                    tag: info.tag,
+                };
+                record_op_error(self.shared.stats(), &err);
+                Err(err)
+            }
         }
     }
 
@@ -242,16 +250,52 @@ impl Comm {
     ) -> Result<(Arc<T>, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
-            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+            let err = RuntimeError::Corrupt { src: info.src, tag: info.tag };
+            record_op_error(self.shared.stats(), &err);
+            return Err(err);
         }
         match env.payload.into_shared::<T>() {
             Ok((arc, _promoted)) => Ok((arc, info)),
-            Err(_) => Err(RuntimeError::TypeMismatch {
-                expected: type_name::<T>(),
-                src: info.src,
-                tag: info.tag,
-            }),
+            Err(_) => {
+                let err = RuntimeError::TypeMismatch {
+                    expected: type_name::<T>(),
+                    src: info.src,
+                    tag: info.tag,
+                };
+                record_op_error(self.shared.stats(), &err);
+                Err(err)
+            }
         }
+    }
+
+    /// Every blocking receive funnels through here: counts the caller's
+    /// operation, takes the earliest match, and keeps both accounting
+    /// planes consistent — a matched envelope emits `MailboxMatch`, an
+    /// error return (`Timeout`/`PeerDead`/`Aborted`) goes through
+    /// [`record_op_error`] so it bumps the stats counters *and* the trace,
+    /// never just one.
+    pub(crate) fn recv_envelope(
+        &self,
+        context: u32,
+        src: Src,
+        tag: Tag,
+        timeout: Option<Duration>,
+    ) -> Result<Envelope> {
+        let res = self.shared.note_op(self.global_rank(), self.local_rank).and_then(|()| {
+            let mailbox = self.shared.mailbox(self.global_rank());
+            match timeout {
+                None => mailbox.take(context, src, tag, &self.peers_of(src)),
+                Some(t) => mailbox.take_timeout(context, src, tag, t, &self.peers_of(src)),
+            }
+        });
+        match &res {
+            Ok(env) => emit_instant(
+                EventId::MailboxMatch,
+                [ctx_class(context), tag_arg(env.tag), env.src_local as u64, env.bytes as u64],
+            ),
+            Err(e) => record_op_error(self.shared.stats(), e),
+        }
+        res
     }
 
     /// Receives the earliest message matching `src`/`tag`, blocking until one
@@ -273,13 +317,7 @@ impl Comm {
         tag: impl Into<Tag>,
     ) -> Result<(T, MessageInfo)> {
         let src = src.into();
-        self.shared.note_op(self.global_rank(), self.local_rank)?;
-        let env = self.shared.mailbox(self.global_rank()).take(
-            self.context,
-            src,
-            tag.into(),
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(self.context, src, tag.into(), None)?;
         self.downcast(env)
     }
 
@@ -293,13 +331,7 @@ impl Comm {
         tag: impl Into<Tag>,
     ) -> Result<Arc<T>> {
         let src = src.into();
-        self.shared.note_op(self.global_rank(), self.local_rank)?;
-        let env = self.shared.mailbox(self.global_rank()).take(
-            self.context,
-            src,
-            tag.into(),
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(self.context, src, tag.into(), None)?;
         self.downcast_shared(env).map(|(v, _)| v)
     }
 
@@ -312,14 +344,7 @@ impl Comm {
         timeout: Duration,
     ) -> Result<T> {
         let src = src.into();
-        self.shared.note_op(self.global_rank(), self.local_rank)?;
-        let env = self.shared.mailbox(self.global_rank()).take_timeout(
-            self.context,
-            src,
-            tag.into(),
-            timeout,
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(self.context, src, tag.into(), Some(timeout))?;
         self.downcast(env).map(|(v, _)| v)
     }
 
@@ -339,13 +364,18 @@ impl Comm {
     /// Blocks until a matching message is queued, without consuming it.
     pub fn probe(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Result<MessageInfo> {
         let src = src.into();
-        self.shared.note_op(self.global_rank(), self.local_rank)?;
-        self.shared.mailbox(self.global_rank()).probe(
-            self.context,
-            src,
-            tag.into(),
-            &self.peers_of(src),
-        )
+        let res = self.shared.note_op(self.global_rank(), self.local_rank).and_then(|()| {
+            self.shared.mailbox(self.global_rank()).probe(
+                self.context,
+                src,
+                tag.into(),
+                &self.peers_of(src),
+            )
+        });
+        if let Err(e) = &res {
+            record_op_error(self.shared.stats(), e);
+        }
+        res
     }
 
     /// Checks for a matching queued message without consuming or blocking.

@@ -12,6 +12,8 @@ use crate::mailbox::PeerRef;
 use crate::msgsize::MsgSize;
 use crate::shared::WorldShared;
 use crate::stats::TrafficClass;
+use crate::tracing::{ctx_class, record_op_error, tag_arg};
+use mxn_trace::{emit_instant, EventId};
 
 /// A one-sided handle to an inter-communicator.
 ///
@@ -203,7 +205,9 @@ impl InterComm {
     fn downcast<T: 'static>(&self, env: Envelope) -> Result<(T, MessageInfo)> {
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
-            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+            let err = RuntimeError::Corrupt { src: info.src, tag: info.tag };
+            record_op_error(self.shared.stats(), &err);
+            return Err(err);
         }
         match env.payload.into_owned::<T>() {
             Ok((v, cloned)) => {
@@ -212,12 +216,36 @@ impl InterComm {
                 }
                 Ok((v, info))
             }
-            Err(_) => Err(RuntimeError::TypeMismatch {
-                expected: std::any::type_name::<T>(),
-                src: info.src,
-                tag: info.tag,
-            }),
+            Err(_) => {
+                let err = RuntimeError::TypeMismatch {
+                    expected: std::any::type_name::<T>(),
+                    src: info.src,
+                    tag: info.tag,
+                };
+                record_op_error(self.shared.stats(), &err);
+                Err(err)
+            }
         }
+    }
+
+    /// The intercomm's receive choke point, mirroring `Comm::recv_envelope`:
+    /// `MailboxMatch` on a match, uniform error accounting on failure.
+    fn recv_envelope(&self, src: Src, tag: Tag, timeout: Option<Duration>) -> Result<Envelope> {
+        let res = self.shared.note_op(self.my_global, self.local_rank).and_then(|()| {
+            let mailbox = self.shared.mailbox(self.my_global);
+            match timeout {
+                None => mailbox.take(self.context, src, tag, &self.peers_of(src)),
+                Some(t) => mailbox.take_timeout(self.context, src, tag, t, &self.peers_of(src)),
+            }
+        });
+        match &res {
+            Ok(env) => emit_instant(
+                EventId::MailboxMatch,
+                [ctx_class(self.context), tag_arg(env.tag), env.src_local as u64, env.bytes as u64],
+            ),
+            Err(e) => record_op_error(self.shared.stats(), e),
+        }
+        res
     }
 
     /// Receives a multicast payload as a shared handle — zero-copy: the
@@ -228,21 +256,21 @@ impl InterComm {
         tag: impl Into<Tag>,
     ) -> Result<Arc<T>> {
         let src = src.into();
-        self.shared.note_op(self.my_global, self.local_rank)?;
-        let env = self.shared.mailbox(self.my_global).take(
-            self.context,
-            src,
-            tag.into(),
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(src, tag.into(), None)?;
         let info = MessageInfo { src: env.src_local, tag: env.tag, bytes: env.bytes };
         if !env.verify() {
-            return Err(RuntimeError::Corrupt { src: info.src, tag: info.tag });
+            let err = RuntimeError::Corrupt { src: info.src, tag: info.tag };
+            record_op_error(self.shared.stats(), &err);
+            return Err(err);
         }
-        env.payload.into_shared::<T>().map(|(v, _)| v).map_err(|_| RuntimeError::TypeMismatch {
-            expected: std::any::type_name::<T>(),
-            src: info.src,
-            tag: info.tag,
+        env.payload.into_shared::<T>().map(|(v, _)| v).map_err(|_| {
+            let err = RuntimeError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                src: info.src,
+                tag: info.tag,
+            };
+            record_op_error(self.shared.stats(), &err);
+            err
         })
     }
 
@@ -261,13 +289,7 @@ impl InterComm {
         tag: impl Into<Tag>,
     ) -> Result<(T, MessageInfo)> {
         let src = src.into();
-        self.shared.note_op(self.my_global, self.local_rank)?;
-        let env = self.shared.mailbox(self.my_global).take(
-            self.context,
-            src,
-            tag.into(),
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(src, tag.into(), None)?;
         self.downcast(env)
     }
 
@@ -289,14 +311,7 @@ impl InterComm {
         timeout: Duration,
     ) -> Result<(T, MessageInfo)> {
         let src = src.into();
-        self.shared.note_op(self.my_global, self.local_rank)?;
-        let env = self.shared.mailbox(self.my_global).take_timeout(
-            self.context,
-            src,
-            tag.into(),
-            timeout,
-            &self.peers_of(src),
-        )?;
+        let env = self.recv_envelope(src, tag.into(), Some(timeout))?;
         self.downcast(env)
     }
 

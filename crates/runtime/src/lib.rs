@@ -53,6 +53,7 @@ pub mod ops;
 pub mod request;
 pub mod shared;
 pub mod stats;
+pub mod tracing;
 pub mod universe;
 pub mod world;
 
@@ -72,5 +73,13 @@ pub use stats::{
     record_buffer_lease, record_schedule_build, record_schedule_copy, reset_schedule_stats,
     schedule_stats, CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
 };
+pub use tracing::{coll_algo, err_code, fault_kind};
 pub use universe::{ProgramCtx, Universe};
 pub use world::{Process, World};
+
+// The trace plane's public surface, re-exported so downstream code (tests,
+// examples, benches) can collect and digest traces without a direct
+// `mxn-trace` dependency.
+pub use mxn_trace::{
+    CollTotals, EventId, Phase, RunTrace, TraceAggregate, TraceCollector, TraceEvent, TraceHandle,
+};

@@ -10,6 +10,8 @@ use crate::fault::{FaultConfig, FaultPlane, FaultTrace, Liveness, Verdict};
 use crate::mailbox::Mailbox;
 use crate::network::{ChannelClock, NetworkModel};
 use crate::stats::{FaultClass, TrafficClass, WorldStats};
+use crate::tracing::{ctx_class, fault_kind, tag_arg};
+use mxn_trace::{emit_instant, EventId};
 
 /// Context id of the world communicator's point-to-point traffic.
 ///
@@ -132,6 +134,7 @@ impl WorldShared {
     pub fn kill_rank(&self, global: usize) {
         if self.liveness.kill(global) {
             self.stats.record_fault(FaultClass::RankDeath);
+            emit_instant(EventId::FaultInject, [fault_kind::DEATH, global as u64, 0, 0]);
         }
         for m in &self.mailboxes {
             m.wake_all();
@@ -188,6 +191,10 @@ impl WorldShared {
     ) -> Result<()> {
         self.note_op(src_global, src_local)?;
         self.stats.record(class, bytes);
+        emit_instant(
+            EventId::MailboxPost,
+            [ctx_class(context), tag_arg(tag), dst_global as u64, bytes as u64],
+        );
         let mut deliver_at = self.delivery_time(src_global, dst_global, bytes);
         let (verdict, delay) = match &self.fault {
             Some(fp) => fp.judge(src_global, dst_global),
@@ -195,6 +202,10 @@ impl WorldShared {
         };
         if verdict != Verdict::Drop && !delay.is_zero() {
             self.stats.record_fault(FaultClass::Delayed);
+            emit_instant(
+                EventId::FaultInject,
+                [fault_kind::DELAY, dst_global as u64, tag_arg(tag), bytes as u64],
+            );
             let delayed = Instant::now() + delay;
             deliver_at = Some(deliver_at.map_or(delayed, |t| t.max(delayed)));
         }
@@ -204,10 +215,18 @@ impl WorldShared {
             Verdict::Deliver => {}
             Verdict::Drop => {
                 self.stats.record_fault(FaultClass::Dropped);
+                emit_instant(
+                    EventId::FaultInject,
+                    [fault_kind::DROP, dst_global as u64, tag_arg(tag), bytes as u64],
+                );
                 return Ok(());
             }
             Verdict::Duplicate => {
                 self.stats.record_fault(FaultClass::Duplicated);
+                emit_instant(
+                    EventId::FaultInject,
+                    [fault_kind::DUPLICATE, dst_global as u64, tag_arg(tag), bytes as u64],
+                );
                 let dup_payload =
                     env.payload.another_handle().or_else(|| replicate.map(|rep| rep()));
                 if let Some(p) = dup_payload {
@@ -220,6 +239,10 @@ impl WorldShared {
             }
             Verdict::Corrupt => {
                 self.stats.record_fault(FaultClass::Corrupted);
+                emit_instant(
+                    EventId::FaultInject,
+                    [fault_kind::CORRUPT, dst_global as u64, tag_arg(tag), bytes as u64],
+                );
                 env.corrupt();
             }
         }

@@ -60,7 +60,9 @@ impl CollOp {
         CollOp::Scan,
     ];
 
-    fn index(self) -> usize {
+    /// Position in the per-op counter tables. Also the stable op code
+    /// carried in trace-event args (`CollMsg`/`CollClone`/`CollAlloc`).
+    pub fn index(self) -> usize {
         match self {
             CollOp::Barrier => 0,
             CollOp::Bcast => 1,
@@ -131,6 +133,10 @@ pub struct WorldStats {
     corrupted: AtomicU64,
     delayed: AtomicU64,
     deaths: AtomicU64,
+    /// Receives that failed with [`crate::RuntimeError::Timeout`].
+    recv_timeouts: AtomicU64,
+    /// Operations that failed with [`crate::RuntimeError::PeerDead`].
+    peer_dead_errors: AtomicU64,
 }
 
 impl WorldStats {
@@ -160,6 +166,9 @@ impl WorldStats {
         let i = op.index();
         self.coll_op_msgs[i].fetch_add(1, Ordering::Relaxed);
         self.coll_op_bytes[i].fetch_add(bytes as u64, Ordering::Relaxed);
+        // Trace and counters update at the same site so the two accounting
+        // paths cannot drift (asserted by the trace/stats cross-check test).
+        mxn_trace::emit_instant(mxn_trace::EventId::CollMsg, [i as u64, bytes as u64, 0, 0]);
     }
 
     /// Records `n` deep payload copies performed by a collective algorithm.
@@ -167,6 +176,7 @@ impl WorldStats {
         if n > 0 {
             self.coll_op_clones[op.index()].fetch_add(n, Ordering::Relaxed);
             self.payload_clones.fetch_add(n, Ordering::Relaxed);
+            mxn_trace::emit_instant(mxn_trace::EventId::CollClone, [op.index() as u64, n, 0, 0]);
         }
     }
 
@@ -175,6 +185,7 @@ impl WorldStats {
         if n > 0 {
             self.coll_op_allocs[op.index()].fetch_add(n, Ordering::Relaxed);
             self.payload_allocs.fetch_add(n, Ordering::Relaxed);
+            mxn_trace::emit_instant(mxn_trace::EventId::CollAlloc, [op.index() as u64, n, 0, 0]);
         }
     }
 
@@ -199,6 +210,16 @@ impl WorldStats {
             FaultClass::RankDeath => &self.deaths,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one receive that failed with `Timeout`.
+    pub fn record_recv_timeout(&self) {
+        self.recv_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one operation that failed with `PeerDead`.
+    pub fn record_peer_dead_error(&self) {
+        self.peer_dead_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of the counters.
@@ -226,6 +247,8 @@ impl WorldStats {
             corrupted_messages: self.corrupted.load(Ordering::Relaxed),
             delayed_messages: self.delayed.load(Ordering::Relaxed),
             rank_deaths: self.deaths.load(Ordering::Relaxed),
+            recv_timeouts: self.recv_timeouts.load(Ordering::Relaxed),
+            peer_dead_errors: self.peer_dead_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -249,6 +272,8 @@ impl WorldStats {
         self.corrupted.store(0, Ordering::Relaxed);
         self.delayed.store(0, Ordering::Relaxed);
         self.deaths.store(0, Ordering::Relaxed);
+        self.recv_timeouts.store(0, Ordering::Relaxed);
+        self.peer_dead_errors.store(0, Ordering::Relaxed);
     }
 }
 
@@ -285,6 +310,10 @@ pub struct StatsSnapshot {
     pub delayed_messages: u64,
     /// Ranks that died (scheduled or explicit kills).
     pub rank_deaths: u64,
+    /// Receives that returned a `Timeout` error.
+    pub recv_timeouts: u64,
+    /// Operations that returned a `PeerDead` error.
+    pub peer_dead_errors: u64,
 }
 
 impl StatsSnapshot {
@@ -350,6 +379,8 @@ impl StatsSnapshot {
             corrupted_messages: self.corrupted_messages - earlier.corrupted_messages,
             delayed_messages: self.delayed_messages - earlier.delayed_messages,
             rank_deaths: self.rank_deaths - earlier.rank_deaths,
+            recv_timeouts: self.recv_timeouts - earlier.recv_timeouts,
+            peer_dead_errors: self.peer_dead_errors - earlier.peer_dead_errors,
         }
     }
 }
@@ -569,5 +600,20 @@ mod tests {
         assert_eq!(snap.rank_deaths, 1);
         assert_eq!(snap.total_faults(), 6);
         assert_eq!(snap.total_messages(), 0, "faults are not traffic");
+    }
+
+    #[test]
+    fn recv_error_counters_accumulate_and_reset() {
+        let s = WorldStats::new();
+        s.record_recv_timeout();
+        s.record_recv_timeout();
+        s.record_peer_dead_error();
+        let snap = s.snapshot();
+        assert_eq!(snap.recv_timeouts, 2);
+        assert_eq!(snap.peer_dead_errors, 1);
+        let delta = s.snapshot().since(&snap);
+        assert_eq!(delta.recv_timeouts, 0);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
 }

@@ -11,6 +11,7 @@ use crate::fault::{FaultConfig, FaultTrace};
 use crate::intercomm::InterComm;
 use crate::stats::StatsSnapshot;
 use crate::world::{Process, World};
+use mxn_trace::RunTrace;
 
 /// Per-rank context inside a multi-program universe.
 pub struct ProgramCtx {
@@ -61,6 +62,21 @@ impl Universe {
     {
         let (total, starts) = Self::layout(sizes);
         World::run_with_stats(total, move |p| {
+            let ctx = Self::setup(p, sizes, &starts).expect("universe setup is deadlock-free");
+            f(p, &ctx)
+        })
+    }
+
+    /// Like [`Universe::run`] but with the trace plane armed: the merged
+    /// [`RunTrace`] covers bootstrap (program splits, intercomm mesh) and
+    /// the coupling traffic of `f` alike.
+    pub fn run_traced<R, F>(sizes: &[usize], f: F) -> (Vec<R>, RunTrace)
+    where
+        R: Send,
+        F: Fn(&Process, &ProgramCtx) -> R + Send + Sync,
+    {
+        let (total, starts) = Self::layout(sizes);
+        World::run_traced(total, move |p| {
             let ctx = Self::setup(p, sizes, &starts).expect("universe setup is deadlock-free");
             f(p, &ctx)
         })

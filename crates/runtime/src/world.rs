@@ -13,6 +13,7 @@ use crate::fault::{FaultConfig, FaultTrace};
 use crate::network::NetworkModel;
 use crate::shared::WorldShared;
 use crate::stats::StatsSnapshot;
+use mxn_trace::{RunTrace, TraceCollector};
 
 /// A rank's handle to its world: gives access to the world communicator.
 pub struct Process {
@@ -100,7 +101,7 @@ impl World {
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
-        Self::run_inner(n, Some(network), None, f).0
+        Self::run_inner(n, Some(network), None, false, f).0
     }
 
     /// Like [`World::run`] but also returns the final traffic counters.
@@ -109,8 +110,64 @@ impl World {
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
-        let (results, stats, _) = Self::run_inner(n, None, None, f);
+        let (results, stats, _, _) = Self::run_inner(n, None, None, false, f);
         (results, stats)
+    }
+
+    /// Like [`World::run`] but with the trace plane armed: every rank
+    /// records structured events into a per-rank buffer, and the merged
+    /// [`RunTrace`] is returned after teardown. Identical programs with
+    /// identical seeds produce identical trace digests (see
+    /// [`RunTrace::digest`]).
+    pub fn run_traced<R, F>(n: usize, f: F) -> (Vec<R>, RunTrace)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        let (results, _, _, trace) = Self::run_inner(n, None, None, true, f);
+        (results, trace.expect("tracing was requested"))
+    }
+
+    /// [`World::run_traced`] plus the final traffic counters, for
+    /// cross-checking trace aggregates against [`StatsSnapshot`].
+    pub fn run_traced_with_stats<R, F>(n: usize, f: F) -> (Vec<R>, StatsSnapshot, RunTrace)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        let (results, stats, _, trace) = Self::run_inner(n, None, None, true, f);
+        (results, stats, trace.expect("tracing was requested"))
+    }
+
+    /// [`World::run_with_faults`] with the trace plane armed: fault
+    /// injections appear in the [`RunTrace`] as `FaultInject` events
+    /// alongside the runtime's own spans.
+    pub fn run_traced_with_faults<R, F>(
+        n: usize,
+        faults: FaultConfig,
+        f: F,
+    ) -> (Vec<R>, FaultTrace, RunTrace)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        let (results, _, fault_trace, trace) = Self::run_inner(n, None, Some(faults), true, f);
+        (results, fault_trace, trace.expect("tracing was requested"))
+    }
+
+    /// [`World::run_traced_with_faults`] plus the final traffic counters —
+    /// the full-visibility harness the error-accounting cross-checks use.
+    pub fn run_traced_with_stats_and_faults<R, F>(
+        n: usize,
+        faults: FaultConfig,
+        f: F,
+    ) -> (Vec<R>, StatsSnapshot, RunTrace)
+    where
+        R: Send,
+        F: Fn(&Process) -> R + Send + Sync,
+    {
+        let (results, stats, _, trace) = Self::run_inner(n, None, Some(faults), true, f);
+        (results, stats, trace.expect("tracing was requested"))
     }
 
     /// Like [`World::run`] but with a deterministic [`FaultConfig`] injecting
@@ -126,7 +183,7 @@ impl World {
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
-        let (results, _, trace) = Self::run_inner(n, None, Some(faults), f);
+        let (results, _, trace, _) = Self::run_inner(n, None, Some(faults), false, f);
         (results, trace)
     }
 
@@ -134,14 +191,16 @@ impl World {
         n: usize,
         network: Option<NetworkModel>,
         faults: Option<FaultConfig>,
+        trace: bool,
         f: F,
-    ) -> (Vec<R>, StatsSnapshot, FaultTrace)
+    ) -> (Vec<R>, StatsSnapshot, FaultTrace, Option<RunTrace>)
     where
         R: Send,
         F: Fn(&Process) -> R + Send + Sync,
     {
         assert!(n > 0, "world must have at least one rank");
         let shared = WorldShared::with_config(n, network, faults);
+        let collector = trace.then(|| TraceCollector::new(n));
         let f = &f;
         let mut outcomes: Vec<std::thread::Result<R>> = Vec::with_capacity(n);
 
@@ -149,7 +208,9 @@ impl World {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
                 let shared = shared.clone();
+                let recorder = collector.as_ref().map(|c| c.handle(rank));
                 handles.push(scope.spawn(move || {
+                    let _trace_guard = recorder.as_ref().map(|h| h.install());
                     let proc = Process::new(shared.clone(), rank);
                     let result = catch_unwind(AssertUnwindSafe(|| f(&proc)));
                     if result.is_err() {
@@ -163,6 +224,7 @@ impl World {
                 outcomes.push(h.join().expect("rank thread itself never panics"));
             }
         });
+        let run_trace = collector.map(TraceCollector::finish);
 
         let mut results = Vec::with_capacity(n);
         let mut first_panic = None;
@@ -180,7 +242,7 @@ impl World {
             resume_unwind(p);
         }
         let trace = shared.fault_trace();
-        (results, shared.stats().snapshot(), trace)
+        (results, shared.stats().snapshot(), trace, run_trace)
     }
 }
 

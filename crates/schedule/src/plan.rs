@@ -83,6 +83,10 @@ impl CopyPlan {
         }
         debug_assert_eq!(out.len(), self.total);
         record_schedule_copy(self.total as u64, self.runs.len() as u64);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::CopyPack,
+            [self.total as u64, self.runs.len() as u64, 0, 0],
+        );
     }
 
     /// Unpacks a packed per-peer buffer into local storage with straight
@@ -95,6 +99,10 @@ impl CopyPlan {
                 .copy_from_slice(&data[run.sub_off..run.sub_off + run.len]);
         }
         record_schedule_copy(self.total as u64, self.runs.len() as u64);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::CopyUnpack,
+            [self.total as u64, self.runs.len() as u64, 0, 0],
+        );
     }
 }
 
@@ -139,6 +147,10 @@ impl<T> TransferBuffers<T> {
         match self.free.pop() {
             Some(mut buf) => {
                 record_buffer_lease(false);
+                mxn_trace::emit_instant(
+                    mxn_trace::EventId::BufferLease,
+                    [0, capacity as u64, 0, 0],
+                );
                 buf.clear();
                 buf.reserve(capacity);
                 buf
@@ -146,6 +158,10 @@ impl<T> TransferBuffers<T> {
             None => {
                 self.fresh_allocs += 1;
                 record_buffer_lease(true);
+                mxn_trace::emit_instant(
+                    mxn_trace::EventId::BufferLease,
+                    [1, capacity as u64, 0, 0],
+                );
                 Vec::with_capacity(capacity)
             }
         }

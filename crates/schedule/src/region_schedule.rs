@@ -97,6 +97,10 @@ impl RegionSchedule {
             me_dad.conforms(peer_dad),
             "source and destination descriptors must share global extents"
         );
+        let mut build_span = mxn_trace::span(
+            mxn_trace::EventId::ScheduleBuild,
+            [role as u64, me_dad.nranks() as u64, peer_dad.nranks() as u64, 0],
+        );
         let mine = me_dad.patches(my_rank);
         let index = peer_dad.overlap_index();
         let mut probes = 0u64;
@@ -116,6 +120,7 @@ impl RegionSchedule {
             plans.push(plan);
         }
         record_schedule_build(probes, pairs.len() as u64);
+        build_span.set_end([role as u64, probes, pairs.len() as u64, 0]);
         RegionSchedule { role, my_rank, pairs, plans, my_patches: mine }
     }
 
@@ -125,6 +130,10 @@ impl RegionSchedule {
         assert!(
             me_dad.conforms(peer_dad),
             "source and destination descriptors must share global extents"
+        );
+        let mut build_span = mxn_trace::span(
+            mxn_trace::EventId::ScheduleBuild,
+            [role as u64, me_dad.nranks() as u64, peer_dad.nranks() as u64, 0],
         );
         let mine = me_dad.patches(my_rank);
         let mut pairs = Vec::new();
@@ -146,6 +155,7 @@ impl RegionSchedule {
             }
         }
         record_schedule_build(peer_dad.nranks() as u64, pairs.len() as u64);
+        build_span.set_end([role as u64, peer_dad.nranks() as u64, pairs.len() as u64, 0]);
         RegionSchedule { role, my_rank, pairs, plans, my_patches: mine }
     }
 

@@ -106,6 +106,11 @@ pub mod pipeline {
     pub use mxn_pipeline::*;
 }
 
+/// Structured event tracing (`mxn-trace`).
+pub mod trace {
+    pub use mxn_trace::*;
+}
+
 /// The Data Reorganization Interface standard (`mxn-dri`).
 pub mod dri {
     pub use mxn_dri::*;
