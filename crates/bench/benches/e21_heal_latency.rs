@@ -1,0 +1,96 @@
+//! E21 — heal latency vs survivor count (§4e, extension).
+//!
+//! Measures the critical path of `MxnConnection::heal` — revoke, the
+//! shrink agreement, survivor re-decomposition (`Dad::shrink`), field
+//! rebind and the region-schedule rebuild — as the coupling grows. A
+//! fixed 64×64 field is exported by M ranks to 2 importers; after one
+//! committed epoch the last exporter dies, the next epoch aborts, and
+//! every survivor times its `heal` call. The per-run figure is the *max*
+//! across survivors (the protocol's critical path), the reported figure
+//! the median of `RUNS` runs.
+//!
+//! Results are written to `BENCH_recovery.json` at the repo root.
+
+use std::time::{Duration, Instant};
+
+use mxn_core::{ConnectionKind, Direction, FieldRegistry, MxnConnection};
+use mxn_dad::{AccessMode, Dad, Extents};
+use mxn_runtime::Universe;
+
+const RUNS: usize = 5;
+const IMPORTERS: usize = 2;
+
+/// One coupled run with `m` exporters; returns the slowest survivor's
+/// heal wall-clock.
+fn heal_once(m: usize) -> Duration {
+    let dead = m - 1; // exporter with the highest local (and world) rank
+    let durations = Universe::run(&[m, IMPORTERS], |p, ctx| {
+        let rank = ctx.comm.rank();
+        let exporting = ctx.program == 0;
+        let src = Dad::block(Extents::new([64, 64]), &[m, 1]).unwrap();
+        let dst = Dad::block(Extents::new([64, 64]), &[1, IMPORTERS]).unwrap();
+        let mut reg = FieldRegistry::new(rank);
+        let _data = if exporting {
+            reg.register_allocated("f", src, AccessMode::Read).unwrap()
+        } else {
+            reg.register_allocated("f", dst, AccessMode::Write).unwrap()
+        };
+        let mut conn = if exporting {
+            MxnConnection::initiate(
+                ctx.intercomm(1),
+                &reg,
+                0,
+                "f",
+                "f",
+                Direction::Export,
+                ConnectionKind::Persistent { period: 1 },
+            )
+            .unwrap()
+        } else {
+            MxnConnection::accept(ctx.intercomm(0), &reg, 0).unwrap()
+        };
+        conn.set_transactional(true);
+        let ic = if exporting { ctx.intercomm(1) } else { ctx.intercomm(0) };
+        conn.data_ready(ic, &reg).unwrap();
+        p.world().barrier().unwrap();
+        if p.rank() == dead {
+            p.kill_rank(dead);
+            return None;
+        }
+        while !p.is_dead(dead) {
+            std::thread::yield_now();
+        }
+        conn.data_ready(ic, &reg).unwrap_err();
+        let start = Instant::now();
+        conn.heal(ic, &mut reg).unwrap();
+        Some(start.elapsed())
+    });
+    durations.into_iter().flatten().max().expect("at least one survivor timed the heal")
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("{:>10} {:>10} {:>14}", "exporters", "survivors", "heal (median)");
+    for m in [2usize, 4, 8, 16, 32] {
+        let med = median((0..RUNS).map(|_| heal_once(m)).collect());
+        println!("{:>10} {:>10} {:>12.1}us", m, m + IMPORTERS - 1, med.as_secs_f64() * 1e6);
+        rows.push(format!(
+            "    {{\"exporters\": {m}, \"survivors\": {}, \"heal_ns_median_of_max\": {}}}",
+            m + IMPORTERS - 1,
+            med.as_nanos()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"field\": \"64x64 f64, M exporters -> {IMPORTERS} importers, last exporter dies\",\
+         \n  \"runs_per_point\": {RUNS},\n  \"heal_latency\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, json).expect("write BENCH_recovery.json");
+    println!("wrote {path}");
+}

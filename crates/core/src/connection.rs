@@ -20,19 +20,21 @@
 //!   `data_ready` call (the CUMULVS channel model).
 
 use mxn_dad::Dad;
-use mxn_runtime::{InterComm, MsgSize, RuntimeError};
+use mxn_runtime::{InterComm, MsgSize, RuntimeError, ShrinkReport};
 use mxn_schedule::RegionSchedule;
+use mxn_trace::EventId;
 
 use crate::error::{MxnError, Result};
 use crate::field::FieldRegistry;
 
 /// Rewrites a runtime-level failure detection (`PeerDead`) into the
-/// coupling-level [`MxnError::PeerFailed`], naming the first dead world
-/// rank on either side of the intercomm.
-fn map_dead(ic: &InterComm, e: MxnError) -> MxnError {
+/// coupling-level [`MxnError::PeerFailed`], preserving the rank the failing
+/// operation itself reported and the tag it ran under — not whichever dead
+/// rank a liveness scan happens to find first.
+fn map_dead(tag: i32, e: MxnError) -> MxnError {
     match e {
         MxnError::Runtime(RuntimeError::PeerDead { rank }) => {
-            MxnError::PeerFailed { rank: ic.any_dead().unwrap_or(rank) }
+            MxnError::PeerFailed { rank, tag: Some(tag) }
         }
         other => other,
     }
@@ -148,8 +150,20 @@ pub struct MxnConnection {
     field: String,
     direction: Direction,
     kind: ConnectionKind,
+    /// The descriptors the current schedule was built from, kept so a
+    /// heal can re-derive survivor descriptors and rebuild the schedule.
+    my_dad: Dad,
+    peer_dad: Dad,
     schedule: RegionSchedule,
     tag: i32,
+    /// Recovery epoch: 0 until the first heal, +1 per heal. Transfers from
+    /// different epochs never mix — a heal revokes the old intercomm
+    /// context, so in-flight messages from before the shrink are dropped.
+    epoch: u64,
+    /// When set, each due transfer is a transaction: data is staged, a
+    /// collective commit vote runs over both sides, and the field is only
+    /// updated (and the sequence number advanced) on a unanimous yes.
+    transactional: bool,
     calls: u64,
     transfers: u64,
     closed: bool,
@@ -203,10 +217,10 @@ impl MxnConnection {
                         dad: entry.dad().clone(),
                     },
                 )
-                .map_err(|e| map_dead(ic, e.into()))?;
+                .map_err(|e| map_dead(REQ_TAG, e.into()))?;
             }
         }
-        let ack: ConnAck = ic.recv(0, ACK_TAG).map_err(|e| map_dead(ic, e.into()))?;
+        let ack: ConnAck = ic.recv(0, ACK_TAG).map_err(|e| map_dead(ACK_TAG, e.into()))?;
         let peer_dad = match ack.body {
             Ok(dad) => dad,
             Err(reason) => {
@@ -231,7 +245,7 @@ impl MxnConnection {
     /// Accepts the next incoming connection request. Collective over the
     /// local program. `my_id` as in [`MxnConnection::initiate`].
     pub fn accept(ic: &InterComm, registry: &FieldRegistry, my_id: u32) -> Result<MxnConnection> {
-        let req: ConnReq = ic.recv(0, REQ_TAG).map_err(|e| map_dead(ic, e.into()))?;
+        let req: ConnReq = ic.recv(0, REQ_TAG).map_err(|e| map_dead(REQ_TAG, e.into()))?;
         let direction = req.initiator_direction.opposite();
         let entry = match direction {
             Direction::Export => registry.check_exportable(&req.field),
@@ -301,8 +315,12 @@ impl MxnConnection {
             field: field.to_string(),
             direction,
             kind,
+            my_dad,
+            peer_dad,
             schedule,
             tag: conn_tag(ic, my_id, peer_id),
+            epoch: 0,
+            transactional: false,
             calls: 0,
             transfers: 0,
             closed: false,
@@ -334,6 +352,23 @@ impl MxnConnection {
         self.closed
     }
 
+    /// Current recovery epoch (0 = never healed).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether transfers run transactionally.
+    pub fn is_transactional(&self) -> bool {
+        self.transactional
+    }
+
+    /// Switches transactional transfers on or off. Both sides of the
+    /// connection must agree (the commit vote is collective); the default
+    /// is off, which keeps the legacy non-voting fast path.
+    pub fn set_transactional(&mut self, on: bool) {
+        self.transactional = on;
+    }
+
     /// Number of peer ranks this rank exchanges messages with.
     pub fn num_partners(&self) -> usize {
         self.schedule.num_messages()
@@ -358,6 +393,9 @@ impl MxnConnection {
         if !due {
             return Ok(TransferOutcome::Skipped);
         }
+        if self.transactional {
+            return self.transactional_transfer(ic, registry);
+        }
         let entry = registry.get(&self.field)?;
         let moved = match self.direction {
             Direction::Export => {
@@ -371,20 +409,143 @@ impl MxnConnection {
         };
         let elements = match moved {
             Ok(n) => n,
-            Err(e) => return Err(map_dead(ic, e.into())),
+            Err(e) => return Err(map_dead(self.tag, e.into())),
         };
         // Consistent collective failure: even when this rank's own pairwise
         // schedule completed, a death anywhere in the coupling voids the
         // transfer, so every surviving rank reports the same outcome
         // instead of some ranks silently succeeding on partial data.
         if let Some(rank) = ic.any_dead() {
-            return Err(MxnError::PeerFailed { rank });
+            return Err(MxnError::PeerFailed { rank, tag: None });
         }
         self.transfers += 1;
         if self.kind == ConnectionKind::OneShot {
             self.closed = true;
         }
         Ok(TransferOutcome::Transferred { elements })
+    }
+
+    /// One due transfer as a transaction. The import side *stages* each
+    /// pairwise message instead of unpacking it; then both sides run a
+    /// collective commit vote ([`InterComm::agree_all`]) on the reliable
+    /// control channel. The decision is a pure function of the agreed
+    /// value, so every survivor commits or rolls back identically — a
+    /// transfer is never half-committed. On rollback the period slot is
+    /// given back (`calls` is undone), so after [`MxnConnection::heal`]
+    /// the next `data_ready` retries the same sequence number.
+    fn transactional_transfer(
+        &mut self,
+        ic: &InterComm,
+        registry: &FieldRegistry,
+    ) -> Result<TransferOutcome> {
+        let seq = self.transfers + 1;
+        let entry = registry.get(&self.field)?;
+        let mut staged: Vec<Vec<f64>> = Vec::new();
+        let mut elements = 0usize;
+        let mut failure: Option<MxnError> = None;
+        match self.direction {
+            Direction::Export => {
+                let data = entry.data().read();
+                match self.schedule.execute_send(ic, &data, self.tag) {
+                    Ok(n) => elements = n,
+                    Err(e) => failure = Some(map_dead(self.tag, e.into())),
+                }
+            }
+            Direction::Import => {
+                for pair in self.schedule.pairs() {
+                    match ic.recv::<Vec<f64>>(pair.peer, self.tag) {
+                        Ok(buf) => {
+                            elements += buf.len();
+                            staged.push(buf);
+                        }
+                        Err(e) => {
+                            failure = Some(map_dead(self.tag, MxnError::Runtime(e)));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let ok = failure.is_none() && ic.any_dead().is_none();
+        let commit = ic.agree_all(ok).map_err(|e| map_dead(self.tag, e.into()))?;
+        if commit {
+            if self.direction == Direction::Import {
+                let mut data = entry.data().write();
+                for (i, buf) in staged.iter().enumerate() {
+                    self.schedule.unpack_pair_from(i, &mut data, buf);
+                }
+            }
+            self.transfers += 1;
+            mxn_trace::emit_instant(EventId::Commit, [self.epoch, seq, 0, 0]);
+            if self.kind == ConnectionKind::OneShot {
+                self.closed = true;
+            }
+            Ok(TransferOutcome::Transferred { elements })
+        } else {
+            // Staged data is dropped untouched; the field still holds the
+            // last committed transfer. Undo the call so the period slot is
+            // re-offered when the caller retries after healing.
+            self.calls -= 1;
+            mxn_trace::emit_instant(EventId::Rollback, [self.epoch, seq, 0, 0]);
+            Err(failure.unwrap_or(MxnError::TransferAborted { epoch: self.epoch, seq }))
+        }
+    }
+
+    /// Collectively heals the connection after a rank death: revokes the
+    /// failed intercomm context (dropping in-flight transfers from the old
+    /// epoch), shrinks the intercomm to the survivors, re-derives both
+    /// sides' descriptors over their survivor sets ([`Dad::shrink`]),
+    /// rebinds this rank's field storage to the survivor decomposition and
+    /// rebuilds the communication schedule. Every surviving rank of both
+    /// programs must call this; returns the healed intercomm (use it for
+    /// all subsequent `data_ready` calls) and the shrink report.
+    ///
+    /// The committed transfer count is untouched: a transfer rolled back
+    /// just before the heal is retried — same sequence number — by the
+    /// next `data_ready` on the healed intercomm. Data owned exclusively
+    /// by dead ranks is lost (survivors' rebound storage holds zeros there
+    /// until the next transfer overwrites it); see `FieldRegistry::rebind`.
+    ///
+    /// # Panics
+    /// If called on a closed connection.
+    pub fn heal(
+        &mut self,
+        ic: &InterComm,
+        registry: &mut FieldRegistry,
+    ) -> Result<(InterComm, ShrinkReport)> {
+        assert!(!self.closed, "cannot heal a closed connection");
+        let mut span = mxn_trace::span(EventId::Heal, [self.epoch + 1, 0, 0, 0]);
+        ic.revoke();
+        let (healed, report) = ic.shrink_with_report().map_err(|e| map_dead(self.tag, e.into()))?;
+        let old_rank = self.schedule.rank();
+        let new_rank = report
+            .local_survivors
+            .iter()
+            .position(|&r| r == old_rank)
+            .expect("a rank that reached heal() is a survivor");
+        let my_dad = self
+            .my_dad
+            .shrink(&report.local_survivors)
+            .map_err(|detail| MxnError::Handshake { detail })?;
+        let peer_dad = self
+            .peer_dad
+            .shrink(&report.remote_survivors)
+            .map_err(|detail| MxnError::Handshake { detail })?;
+        registry.rebind(&self.field, my_dad.clone(), old_rank, new_rank)?;
+        self.schedule = match self.direction {
+            Direction::Export => RegionSchedule::for_sender(&my_dad, &peer_dad, new_rank),
+            Direction::Import => RegionSchedule::for_receiver(&peer_dad, &my_dad, new_rank),
+        };
+        self.my_dad = my_dad;
+        self.peer_dad = peer_dad;
+        self.epoch += 1;
+        span.set_end([
+            self.epoch,
+            report.local_survivors.len() as u64,
+            report.remote_survivors.len() as u64,
+            0,
+        ]);
+        Ok((healed, report))
     }
 
     /// CUMULVS-style *loose* synchronization for import connections:
@@ -414,7 +575,7 @@ impl MxnConnection {
             let mut data = entry.data().write();
             self.schedule
                 .execute_recv(ic, &mut data, self.tag)
-                .map_err(|e| map_dead(ic, e.into()))?;
+                .map_err(|e| map_dead(self.tag, e.into()))?;
             drop(data);
             self.transfers += 1;
             rounds += 1;
@@ -679,6 +840,176 @@ mod tests {
                 (idx[0] * 4 + idx[1]) as f64 + off
             })))
         }
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use crate::field::FieldRegistry;
+    use mxn_dad::{AccessMode, Extents, LocalArray};
+    use mxn_runtime::Universe;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+
+    fn src_dad() -> Dad {
+        Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap()
+    }
+
+    fn dst_dad() -> Dad {
+        Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap()
+    }
+
+    /// `(idx, step)`-coded value so each transfer's payload is unique.
+    fn coded(idx: &[usize], step: f64) -> f64 {
+        (idx[0] * 6 + idx[1]) as f64 + step * 100.0
+    }
+
+    fn refill(data: &crate::field::FieldData, step: f64) {
+        let mut d = data.write();
+        let idxs: Vec<Vec<usize>> = d.iter().map(|(i, _)| i).collect();
+        for idx in idxs {
+            *d.get_mut(&idx).unwrap() = coded(&idx, step);
+        }
+    }
+
+    /// A transactional one-shot behaves like the legacy path when nothing
+    /// fails: data lands, the connection closes, the commit advances seq.
+    #[test]
+    fn transactional_one_shot_commits_and_closes() {
+        Universe::run(&[2, 3], |_, ctx| {
+            let rank = ctx.comm.rank();
+            let mut reg = FieldRegistry::new(rank);
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let data: crate::field::FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src_dad(), rank, |idx| {
+                        coded(idx, 1.0)
+                    })));
+                reg.register("f", src_dad(), AccessMode::Read, data).unwrap();
+                let mut conn = MxnConnection::initiate(
+                    ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::OneShot,
+                )
+                .unwrap();
+                conn.set_transactional(true);
+                assert!(matches!(
+                    conn.data_ready(ic, &reg).unwrap(),
+                    TransferOutcome::Transferred { elements: 18 }
+                ));
+                assert!(conn.is_closed());
+                assert_eq!(conn.epoch(), 0);
+            } else {
+                let dst = Dad::block(Extents::new([6, 6]), &[1, 3]).unwrap();
+                let ic = ctx.intercomm(0);
+                let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                conn.set_transactional(true);
+                conn.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in data.read().iter() {
+                    assert_eq!(v, coded(&idx, 1.0));
+                }
+            }
+        });
+    }
+
+    /// The full self-healing cycle: a committed step, an importer death,
+    /// a collective rollback (committed data untouched on every rank), a
+    /// heal (shrink + survivor descriptors + rebound storage + rebuilt
+    /// schedule), and a retried transfer of the *same* sequence number
+    /// that completes over the survivors.
+    #[test]
+    fn transactional_rollback_then_heal_completes() {
+        Universe::run(&[2, 2], |p, ctx| {
+            let rank = ctx.comm.rank();
+            let mut reg = FieldRegistry::new(rank);
+            let kind = ConnectionKind::Persistent { period: 1 };
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let data: crate::field::FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src_dad(), rank, |idx| {
+                        coded(idx, 1.0)
+                    })));
+                reg.register("f", src_dad(), AccessMode::Read, data.clone()).unwrap();
+                let mut conn =
+                    MxnConnection::initiate(ic, &reg, 0, "f", "f", Direction::Export, kind)
+                        .unwrap();
+                conn.set_transactional(true);
+                // Step 1 commits on every rank.
+                conn.data_ready(ic, &reg).unwrap();
+                p.world().barrier().unwrap();
+                // World rank 3 (importer 1) kills itself after the barrier.
+                while !p.is_dead(3) {
+                    std::thread::yield_now();
+                }
+                // Step 2: the attempt must roll back collectively.
+                refill(&data, 2.0);
+                let err = conn.data_ready(ic, &reg).unwrap_err();
+                assert!(
+                    matches!(err, MxnError::PeerFailed { .. } | MxnError::TransferAborted { .. }),
+                    "unexpected rollback error: {err}"
+                );
+                assert_eq!(conn.stats().1, 1, "seq 1 stays the last committed transfer");
+                // Heal: shrink, survivor descriptors, rebuilt schedule.
+                let (healed, report) = conn.heal(ic, &mut reg).unwrap();
+                assert_eq!(report.local_survivors, vec![0, 1]);
+                assert_eq!(report.remote_survivors, vec![0]);
+                assert_eq!(conn.epoch(), 1);
+                // Retry the same sequence over the healed intercomm.
+                conn.data_ready(&healed, &reg).unwrap();
+                assert_eq!(conn.stats().1, 2);
+            } else if rank == 1 {
+                // The importer that dies: participates in the committed
+                // step, then drops dead.
+                let ic = ctx.intercomm(0);
+                let _data = reg.register_allocated("f", dst_dad(), AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                conn.set_transactional(true);
+                conn.data_ready(ic, &reg).unwrap();
+                p.world().barrier().unwrap();
+                p.kill_rank(p.rank());
+            } else {
+                // The surviving importer.
+                let ic = ctx.intercomm(0);
+                let data = reg.register_allocated("f", dst_dad(), AccessMode::Write).unwrap();
+                let mut conn = MxnConnection::accept(ic, &reg, 0).unwrap();
+                conn.set_transactional(true);
+                conn.data_ready(ic, &reg).unwrap();
+                for (idx, &v) in data.read().iter() {
+                    assert_eq!(v, coded(&idx, 1.0));
+                }
+                p.world().barrier().unwrap();
+                while !p.is_dead(3) {
+                    std::thread::yield_now();
+                }
+                let err = conn.data_ready(ic, &reg).unwrap_err();
+                assert!(matches!(
+                    err,
+                    MxnError::PeerFailed { .. } | MxnError::TransferAborted { .. }
+                ));
+                // The rollback never touched the committed step-1 data.
+                for (idx, &v) in data.read().iter() {
+                    assert_eq!(v, coded(&idx, 1.0), "rollback preserved committed data");
+                }
+                let (healed, report) = conn.heal(ic, &mut reg).unwrap();
+                assert_eq!(report.local_survivors, vec![0]);
+                assert_eq!(report.remote_survivors, vec![0, 1]);
+                assert_eq!(conn.epoch(), 1);
+                conn.data_ready(&healed, &reg).unwrap();
+                // The survivor now owns the whole array, filled with the
+                // retried step-2 payload — nothing half-committed.
+                let d = data.read();
+                assert_eq!(d.len(), 36, "rebound storage covers the survivor share");
+                for (idx, &v) in d.iter() {
+                    assert_eq!(v, coded(&idx, 2.0));
+                }
+            }
+        });
     }
 }
 

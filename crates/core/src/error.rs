@@ -50,8 +50,23 @@ pub enum MxnError {
     /// rank of the transfer reports this consistently — no partial silent
     /// delivery.
     PeerFailed {
-        /// World rank of the (first) failed participant.
+        /// Rank of the failed participant as reported by the failing
+        /// operation itself (the partner whose death was detected), not
+        /// whichever dead rank a liveness scan happens to find first.
         rank: usize,
+        /// Tag of the operation that detected the failure, when the error
+        /// originated from a specific send/receive (`None` for failures
+        /// found by a post-transfer liveness sweep or a commit vote).
+        tag: Option<i32>,
+    },
+    /// A transactional transfer's collective commit vote failed: every
+    /// surviving rank rolled the attempt back, so no rank holds partially
+    /// delivered data. Heal the connection and retry the same sequence.
+    TransferAborted {
+        /// Recovery epoch the aborted attempt ran under.
+        epoch: u64,
+        /// Transfer sequence number that was rolled back.
+        seq: u64,
     },
     /// Underlying messaging failure.
     Runtime(RuntimeError),
@@ -73,9 +88,16 @@ impl fmt::Display for MxnError {
             MxnError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
             MxnError::ConnectionClosed => write!(f, "connection is closed"),
             MxnError::Handshake { detail } => write!(f, "connection handshake failed: {detail}"),
-            MxnError::PeerFailed { rank } => {
-                write!(f, "world rank {rank} failed during an M×N operation")
-            }
+            MxnError::PeerFailed { rank, tag } => match tag {
+                Some(tag) => {
+                    write!(f, "rank {rank} failed during an M×N operation (detected on tag {tag})")
+                }
+                None => write!(f, "rank {rank} failed during an M×N operation"),
+            },
+            MxnError::TransferAborted { epoch, seq } => write!(
+                f,
+                "transfer {seq} (epoch {epoch}) rolled back: the collective commit vote failed"
+            ),
             MxnError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
@@ -107,5 +129,19 @@ mod tests {
     fn runtime_conversion() {
         let e: MxnError = RuntimeError::Aborted.into();
         assert_eq!(e, MxnError::Runtime(RuntimeError::Aborted));
+    }
+
+    #[test]
+    fn peer_failed_reports_origin() {
+        let s = MxnError::PeerFailed { rank: 3, tag: Some(42) }.to_string();
+        assert!(s.contains('3') && s.contains("42"), "{s}");
+        let s = MxnError::PeerFailed { rank: 3, tag: None }.to_string();
+        assert!(s.contains('3') && !s.contains("tag"), "{s}");
+    }
+
+    #[test]
+    fn transfer_aborted_names_epoch_and_seq() {
+        let s = MxnError::TransferAborted { epoch: 2, seq: 7 }.to_string();
+        assert!(s.contains('2') && s.contains('7') && s.contains("rolled back"), "{s}");
     }
 }

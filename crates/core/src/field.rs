@@ -102,6 +102,40 @@ impl FieldRegistry {
         Ok(data)
     }
 
+    /// Rebinds `name` to a post-shrink descriptor: reallocates this rank's
+    /// storage for `new_dad` at `new_rank`, carrying over every element the
+    /// rank owned under the old descriptor (as `old_rank`) and zeroing the
+    /// rest. Elements owned only by ranks that did not survive are the data
+    /// lost to the failure. The `FieldData` handle itself is preserved —
+    /// the new storage is swapped in under the same `Arc`, so every clone
+    /// held by application code observes the rebound field.
+    pub fn rebind(
+        &mut self,
+        name: &str,
+        new_dad: Dad,
+        old_rank: usize,
+        new_rank: usize,
+    ) -> Result<()> {
+        let entry = self
+            .fields
+            .get_mut(name)
+            .ok_or_else(|| MxnError::FieldNotFound { field: name.to_string() })?;
+        let fresh = {
+            let old = entry.data.read();
+            let old_dad = &entry.dad;
+            LocalArray::from_fn(&new_dad, new_rank, |idx| {
+                if old_dad.owner(idx) == old_rank {
+                    old.get(idx).copied().unwrap_or_default()
+                } else {
+                    0.0
+                }
+            })
+        };
+        *entry.data.write() = fresh;
+        entry.dad = new_dad;
+        Ok(())
+    }
+
     /// Unregisters a field (e.g. before re-decomposition).
     pub fn unregister(&mut self, name: &str) -> Result<()> {
         self.fields
@@ -203,6 +237,37 @@ mod tests {
             reg.check_exportable("wo"),
             Err(MxnError::AccessDenied { needed: "read", .. })
         ));
+    }
+
+    #[test]
+    fn rebind_carries_over_surviving_data() {
+        // 4×4 over 2 row-block ranks; rank 0 owns rows 0..2. After rank 1
+        // dies the survivor descriptor gives everything to (new) rank 0.
+        let old = Dad::block(Extents::new([4, 4]), &[2, 1]).unwrap();
+        let mut reg = FieldRegistry::new(0);
+        let data = reg.register_allocated("t", old.clone(), AccessMode::ReadWrite).unwrap();
+        {
+            let mut d = data.write();
+            for r in 0..2 {
+                for c in 0..4 {
+                    *d.get_mut(&[r, c]).unwrap() = (r * 4 + c) as f64 + 1.0;
+                }
+            }
+        }
+        let shrunk = old.shrink(&[0]).unwrap();
+        reg.rebind("t", shrunk.clone(), 0, 0).unwrap();
+        assert_eq!(reg.get("t").unwrap().dad().fingerprint(), shrunk.fingerprint());
+        let local = data.read();
+        assert_eq!(local.len(), 16, "same Arc now holds the full array");
+        assert_eq!(*local.get(&[0, 0]).unwrap(), 1.0, "owned-before data carried over");
+        assert_eq!(*local.get(&[1, 3]).unwrap(), 8.0);
+        assert_eq!(*local.get(&[3, 3]).unwrap(), 0.0, "dead rank's data is zeroed");
+    }
+
+    #[test]
+    fn rebind_missing_field_errors() {
+        let mut reg = FieldRegistry::new(0);
+        assert!(matches!(reg.rebind("nope", dad(), 0, 0), Err(MxnError::FieldNotFound { .. })));
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod explicit;
 pub mod local;
 pub mod overlap;
 pub mod shape;
+pub mod shrink;
 pub mod template;
 
 pub use align::AlignedArray;

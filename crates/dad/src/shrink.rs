@@ -1,0 +1,234 @@
+//! Survivor re-decomposition: rebuilding a descriptor over the ranks that
+//! outlived a failure.
+//!
+//! After a rank death the recovery plane shrinks the communicator to a
+//! dense survivor set (old ranks in ascending order, renumbered `0..s`).
+//! The array the dead rank co-owned still has its full global extents; what
+//! changes is *who owns what*. [`Dad::shrink`] derives the new ownership
+//! deterministically from the old descriptor and the survivor list alone,
+//! so every survivor computes the identical descriptor without exchanging
+//! a byte:
+//!
+//! * **Regular** templates are re-decomposed as a balanced *block*
+//!   distribution over the survivor count — collapsed axes stay collapsed,
+//!   and the survivor count is factored across the originally-distributed
+//!   axes. The original flavor (cyclic, block-cyclic, …) is not preserved:
+//!   a shrink is a full redistribution anyway, so the rebuilt descriptor
+//!   uses the layout that packs and transfers best.
+//! * **Explicit** distributions keep their patch geometry. A patch whose
+//!   owner survived follows its owner to the owner's new dense index; a
+//!   dead owner's patches are reassigned to survivor index
+//!   `old_owner % survivor_count`, spreading orphaned patches instead of
+//!   piling them on rank 0.
+
+use crate::descriptor::{Dad, Distribution};
+use crate::explicit::ExplicitDist;
+use crate::template::Template;
+
+/// Factors `n` across the originally-distributed axes of `old_grid` (those
+/// with more than one process), balancing the products: each prime factor
+/// of `n`, largest first, multiplies the currently-smallest new dimension.
+/// Collapsed axes stay 1. Deterministic for a given `(n, old_grid)`.
+fn balanced_grid(n: usize, old_grid: &[usize]) -> Vec<usize> {
+    let mut grid = vec![1usize; old_grid.len()];
+    let spread: Vec<usize> = (0..old_grid.len()).filter(|&d| old_grid[d] > 1).collect();
+    if spread.is_empty() {
+        // Nothing was distributed; degenerate but valid (n must be 1 for
+        // the old descriptor to have had n ranks).
+        return grid;
+    }
+    let mut factors = Vec::new();
+    let mut m = n;
+    let mut p = 2;
+    while p * p <= m {
+        while m.is_multiple_of(p) {
+            factors.push(p);
+            m /= p;
+        }
+        p += 1;
+    }
+    if m > 1 {
+        factors.push(m);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let &axis = spread.iter().min_by_key(|&&d| (grid[d], d)).expect("spread is non-empty");
+        grid[axis] *= f;
+    }
+    grid
+}
+
+/// Checks that `survivors` is a valid dense survivor list for `nranks` old
+/// ranks: non-empty, strictly ascending, all in range.
+fn check_survivors(survivors: &[usize], nranks: usize) -> Result<(), String> {
+    if survivors.is_empty() {
+        return Err("survivor set is empty".into());
+    }
+    for (i, &r) in survivors.iter().enumerate() {
+        if r >= nranks {
+            return Err(format!("survivor {r} out of range ({nranks} old ranks)"));
+        }
+        if i > 0 && survivors[i - 1] >= r {
+            return Err("survivors must be strictly ascending".into());
+        }
+    }
+    Ok(())
+}
+
+impl Dad {
+    /// Rebuilds this descriptor over a survivor set.
+    ///
+    /// `survivors` lists the old ranks that remain, strictly ascending —
+    /// exactly the renumbering a communicator shrink produces (old rank
+    /// `survivors[k]` becomes new rank `k`). The global extents are
+    /// unchanged; ownership is re-derived as described in the module docs.
+    /// Pure and deterministic: every survivor computes the same result.
+    pub fn shrink(&self, survivors: &[usize]) -> Result<Dad, String> {
+        check_survivors(survivors, self.nranks())?;
+        let s = survivors.len();
+        match self.distribution() {
+            Distribution::Regular(t) => {
+                let grid = balanced_grid(s, &t.grid());
+                Template::block(t.extents().clone(), &grid).map(Dad::regular)
+            }
+            Distribution::Explicit(e) => {
+                // Old rank -> new dense index (None = dead).
+                let mut new_index = vec![None; e.nranks()];
+                for (k, &r) in survivors.iter().enumerate() {
+                    new_index[r] = Some(k);
+                }
+                let patches = e
+                    .all_patches()
+                    .iter()
+                    .map(|(patch, owner)| {
+                        let new_owner = new_index[*owner].unwrap_or(*owner % s);
+                        (patch.clone(), new_owner)
+                    })
+                    .collect();
+                ExplicitDist::new(e.extents().clone(), patches, s).map(Dad::explicit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisDist;
+    use crate::shape::{Extents, Region};
+
+    fn cover_once(d: &Dad) {
+        let mut per_rank = vec![0usize; d.nranks()];
+        for idx in d.extents().iter() {
+            per_rank[d.owner(&idx)] += 1;
+        }
+        assert_eq!(per_rank.iter().sum::<usize>(), d.extents().total());
+        for (r, &n) in per_rank.iter().enumerate() {
+            assert_eq!(d.local_size(r), n, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn regular_shrink_balances_over_distributed_axes() {
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let s = d.shrink(&[0, 2, 3]).unwrap();
+        assert_eq!(s.nranks(), 3);
+        assert_eq!(s.extents(), d.extents());
+        match s.distribution() {
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![3, 1]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&s);
+    }
+
+    #[test]
+    fn collapsed_axes_stay_collapsed() {
+        let d = Dad::block(Extents::new([8, 4]), &[4, 1]).unwrap();
+        let s = d.shrink(&[1, 3]).unwrap();
+        match s.distribution() {
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![2, 1]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&s);
+    }
+
+    #[test]
+    fn composite_survivor_count_factors_across_axes() {
+        let d = Dad::block(Extents::new([8, 8]), &[4, 2]).unwrap();
+        let s = d.shrink(&[0, 1, 2, 3, 4, 6]).unwrap();
+        match s.distribution() {
+            // 6 = 3 · 2: largest factor to the first axis, 2 to the second.
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![3, 2]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&s);
+    }
+
+    #[test]
+    fn cyclic_rebuilds_as_block() {
+        let t = Template::new(Extents::new([12]), vec![AxisDist::Cyclic { nprocs: 3 }]).unwrap();
+        let s = Dad::regular(t).shrink(&[0, 2]).unwrap();
+        match s.distribution() {
+            Distribution::Regular(t) => {
+                assert_eq!(t.grid(), vec![2]);
+                assert_eq!(t.patches(0), vec![Region::new([0], [6])], "block, not cyclic");
+            }
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&s);
+    }
+
+    #[test]
+    fn explicit_keeps_patches_and_remaps_owners() {
+        let e = ExplicitDist::new(
+            Extents::new([4, 4]),
+            vec![
+                (Region::new([0, 0], [4, 2]), 0),
+                (Region::new([0, 2], [4, 3]), 1),
+                (Region::new([0, 3], [4, 4]), 2),
+            ],
+            3,
+        )
+        .unwrap();
+        let d = Dad::explicit(e);
+        // Rank 1 dies; survivors are old ranks {0, 2}.
+        let s = d.shrink(&[0, 2]).unwrap();
+        assert_eq!(s.nranks(), 2);
+        assert_eq!(s.owner(&[0, 0]), 0, "live owner 0 keeps its patch");
+        assert_eq!(s.owner(&[0, 3]), 1, "live owner 2 becomes new rank 1");
+        assert_eq!(s.owner(&[0, 2]), 1, "dead owner 1 -> 1 % 2 = survivor index 1");
+        cover_once(&s);
+    }
+
+    #[test]
+    fn shrink_to_one_rank_owns_everything() {
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let s = d.shrink(&[3]).unwrap();
+        assert_eq!(s.nranks(), 1);
+        assert_eq!(s.local_size(0), 36);
+    }
+
+    #[test]
+    fn shrink_is_deterministic_and_fingerprinted() {
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let a = d.shrink(&[0, 1, 3]).unwrap();
+        let b = d.shrink(&[0, 1, 3]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let c = d.shrink(&[0, 1, 2]).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            c.fingerprint(),
+            "regular shrink depends only on the survivor count"
+        );
+    }
+
+    #[test]
+    fn invalid_survivor_lists_are_rejected() {
+        let d = Dad::block(Extents::new([4]), &[4]).unwrap();
+        assert!(d.shrink(&[]).is_err());
+        assert!(d.shrink(&[0, 4]).is_err(), "out of range");
+        assert!(d.shrink(&[1, 0]).is_err(), "not ascending");
+        assert!(d.shrink(&[1, 1]).is_err(), "duplicate");
+    }
+}

@@ -12,7 +12,9 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use mxn_runtime::{Comm, InterComm, MsgSize, Result as RtResult, RuntimeError, Src};
+use mxn_runtime::{
+    splitmix64, unit, Comm, InterComm, MsgSize, Result as RtResult, RuntimeError, Src,
+};
 
 use crate::error::{FrameworkError, Result};
 
@@ -265,6 +267,17 @@ pub struct CallPolicy {
     pub max_retries: u32,
     /// Pause before the first retry; doubles on each further retry.
     pub backoff: Duration,
+    /// Deterministic jitter seed for the retry pauses. `None` sleeps the
+    /// exact `backoff` schedule; `Some(seed)` draws each pause uniformly
+    /// from `[backoff/2, backoff)` using the seed and the attempt number,
+    /// so replaying the same seed (typically `Process::fault_seed()`)
+    /// replays the same pauses while distinct ranks decorrelate.
+    pub jitter: Option<u64>,
+    /// Whether collective PRMI calls made under this policy may heal the
+    /// intercommunicator (revoke, shrink to survivors) and retry the same
+    /// call sequence after a failed commit vote. Plain point-to-point RMI
+    /// ignores this flag.
+    pub recover: bool,
 }
 
 impl Default for CallPolicy {
@@ -273,6 +286,38 @@ impl Default for CallPolicy {
             deadline: Duration::from_millis(200),
             max_retries: 3,
             backoff: Duration::from_millis(5),
+            jitter: None,
+            recover: false,
+        }
+    }
+}
+
+impl CallPolicy {
+    /// Returns this policy with the jitter seed set (builder style). Pass
+    /// `Process::fault_seed()` to tie retry pacing to the fault plane's
+    /// replayable RNG.
+    pub fn seeded(mut self, seed: Option<u64>) -> Self {
+        self.jitter = seed;
+        self
+    }
+
+    /// Returns this policy with collective-call recovery enabled.
+    pub fn recovering(mut self) -> Self {
+        self.recover = true;
+        self
+    }
+
+    /// The pause before retry `attempt` (0-based) given the doubled `base`
+    /// backoff for that attempt: `base` exactly without a jitter seed,
+    /// otherwise a deterministic draw from `[base/2, base)`.
+    pub fn retry_pause(&self, base: Duration, attempt: u32) -> Duration {
+        match self.jitter {
+            None => base,
+            Some(seed) => {
+                let draw = unit(splitmix64(seed ^ (u64::from(attempt) + 1)));
+                let half = base.as_secs_f64() / 2.0;
+                Duration::from_secs_f64(half + half * draw)
+            }
         }
     }
 }
@@ -363,7 +408,7 @@ impl RemotePort {
             Src::Rank(self.provider),
             RMI_RESP_TAG.into(),
         );
-        for _attempt in 0..=policy.max_retries {
+        for attempt in 0..=policy.max_retries {
             ic.send(
                 self.provider,
                 RMI_REQ_TAG,
@@ -395,7 +440,7 @@ impl RemotePort {
                     Err(e) => return Err(e.into()), // PeerDead etc. fail fast
                 }
             }
-            std::thread::sleep(backoff);
+            std::thread::sleep(policy.retry_pause(backoff, attempt));
             backoff = backoff.saturating_mul(2);
         }
         Err(FrameworkError::RetriesExhausted { method, attempts: policy.max_retries + 1, last })
@@ -582,5 +627,37 @@ mod tests {
         let p = AnyPayload::new(3.5f64);
         assert_eq!(p.bytes(), 8);
         assert!(p.downcast::<String>().is_err());
+    }
+
+    #[test]
+    fn unseeded_policy_keeps_exact_backoff() {
+        let policy = CallPolicy::default();
+        let base = Duration::from_millis(40);
+        assert_eq!(policy.retry_pause(base, 0), base);
+        assert_eq!(policy.retry_pause(base, 7), base);
+    }
+
+    #[test]
+    fn seeded_jitter_is_deterministic_and_bounded() {
+        let a = CallPolicy::default().seeded(Some(0xfeed));
+        let b = CallPolicy::default().seeded(Some(0xfeed));
+        let c = CallPolicy::default().seeded(Some(0xbeef));
+        let base = Duration::from_millis(40);
+        let mut diverged = false;
+        for attempt in 0..8 {
+            let pa = a.retry_pause(base, attempt);
+            assert_eq!(pa, b.retry_pause(base, attempt), "same seed replays the same pauses");
+            assert!(pa >= base / 2 && pa < base, "pause {pa:?} outside [base/2, base)");
+            diverged |= pa != c.retry_pause(base, attempt);
+        }
+        assert!(diverged, "distinct seeds should decorrelate");
+    }
+
+    #[test]
+    fn seeded_jitter_varies_across_attempts() {
+        let policy = CallPolicy::default().seeded(Some(1));
+        let base = Duration::from_millis(64);
+        let pauses: Vec<Duration> = (0..4).map(|i| policy.retry_pause(base, i)).collect();
+        assert!(pauses.windows(2).any(|w| w[0] != w[1]), "{pauses:?}");
     }
 }

@@ -22,7 +22,9 @@
 //! Every provider executes exactly once per collective call, and every
 //! caller gets exactly one return value, for any M and N.
 
-use mxn_framework::{AnyPayload, RemoteService};
+use std::time::{Duration, Instant};
+
+use mxn_framework::{AnyPayload, CallPolicy, RemoteService};
 use mxn_runtime::{Comm, InterComm, MsgSize, RuntimeError};
 
 use crate::error::{PrmiError, Result};
@@ -34,12 +36,21 @@ pub const COLL_RESP_TAG: i32 = 0x4352; // "CR"
 /// Reserved method id: collective shutdown.
 pub const METHOD_SHUTDOWN: u32 = u32::MAX;
 
+/// How often a recovering serve loop re-checks participant liveness while
+/// blocked waiting for its owner caller's request.
+const COLL_LIVENESS_POLL: Duration = Duration::from_millis(25);
+
 /// A collective invocation envelope.
 pub struct CollReq {
     /// Method selector.
     pub method: u32,
     /// Per-endpoint collective sequence number (callers stay in lock-step).
     pub call_seq: u64,
+    /// Recovery epoch the call was issued under. Every heal (revoke +
+    /// shrink to survivors) advances the epoch on both sides in lock-step;
+    /// a recovering serve loop fences on it, discarding stragglers from an
+    /// aborted pre-heal attempt instead of dispatching them.
+    pub epoch: u64,
     /// Number of caller ranks (lets the provider compute ghost returns).
     pub num_callers: usize,
     /// One-way calls produce no responses.
@@ -51,7 +62,7 @@ pub struct CollReq {
 
 impl MsgSize for CollReq {
     fn msg_size(&self) -> usize {
-        4 + 8 + 8 + 1 + self.arg.msg_size()
+        4 + 8 + 8 + 8 + 1 + self.arg.msg_size()
     }
 }
 
@@ -64,6 +75,7 @@ impl Clone for CollReq {
         CollReq {
             method: self.method,
             call_seq: self.call_seq,
+            epoch: self.epoch,
             num_callers: self.num_callers,
             oneway: self.oneway,
             arg: self.arg.replicate().expect("collective request args are replicable"),
@@ -107,8 +119,17 @@ pub fn respondents_of(j: usize, m: usize, n: usize) -> Vec<usize> {
 }
 
 /// Caller-side endpoint for collective calls on one remote parallel port.
+///
+/// The endpoint tracks the connection's *recovery epoch*: after a failed
+/// commit vote, [`CollectiveEndpoint::call_recovering`] revokes the
+/// intercommunicator, shrinks it to the survivors, and retries the same
+/// call sequence on the healed connection. The healed intercommunicator is
+/// held inside the endpoint, so later plain calls (and the shutdown)
+/// transparently route over it.
 pub struct CollectiveEndpoint {
     call_seq: u64,
+    epoch: u64,
+    healed: Option<InterComm>,
 }
 
 impl Default for CollectiveEndpoint {
@@ -121,7 +142,18 @@ impl CollectiveEndpoint {
     /// Creates an endpoint; every caller rank must create one and make the
     /// same sequence of calls on it.
     pub fn new() -> Self {
-        CollectiveEndpoint { call_seq: 0 }
+        CollectiveEndpoint { call_seq: 0, epoch: 0, healed: None }
+    }
+
+    /// The intercommunicator calls currently travel over: `ic` until the
+    /// first heal, the latest survivor intercommunicator afterwards.
+    pub fn current<'a>(&'a self, ic: &'a InterComm) -> &'a InterComm {
+        self.healed.as_ref().unwrap_or(ic)
+    }
+
+    /// The recovery epoch (number of heals performed on this endpoint).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn send_requests<A: Send + Sync + MsgSize + 'static + Clone>(
@@ -131,10 +163,24 @@ impl CollectiveEndpoint {
         arg: A,
         oneway: bool,
     ) -> Result<u64> {
-        let (m, n) = (ic.local_size(), ic.remote_size());
-        let k = ic.local_rank();
         let seq = self.call_seq;
         self.call_seq += 1;
+        let epoch = self.epoch;
+        let cur = self.current(ic);
+        Self::multicast_request(cur, method, seq, epoch, oneway, arg)?;
+        Ok(seq)
+    }
+
+    fn multicast_request<A: Send + Sync + MsgSize + 'static + Clone>(
+        ic: &InterComm,
+        method: u32,
+        seq: u64,
+        epoch: u64,
+        oneway: bool,
+        arg: A,
+    ) -> Result<()> {
+        let (m, n) = (ic.local_size(), ic.remote_size());
+        let k = ic.local_rank();
         // Ghost invocations (N > M) fan one request out to several
         // providers: a single shared multicast envelope, so the argument is
         // marshalled once however many providers this caller owns.
@@ -145,12 +191,13 @@ impl CollectiveEndpoint {
             CollReq {
                 method,
                 call_seq: seq,
+                epoch,
                 num_callers: m,
                 oneway,
                 arg: AnyPayload::replicable(arg),
             },
         )?;
-        Ok(seq)
+        Ok(())
     }
 
     /// Collective call: every caller rank invokes this with (by convention)
@@ -166,8 +213,9 @@ impl CollectiveEndpoint {
             [method as u64, self.call_seq, ic.remote_size() as u64, 0],
         );
         let seq = self.send_requests(ic, method, arg, false)?;
-        let responder = ic.local_rank() % ic.remote_size();
-        let resp: CollResp = ic.recv(responder, COLL_RESP_TAG)?;
+        let cur = self.current(ic);
+        let responder = cur.local_rank() % cur.remote_size();
+        let resp: CollResp = cur.recv(responder, COLL_RESP_TAG)?;
         if resp.call_seq != seq {
             return Err(PrmiError::Protocol {
                 detail: format!("response seq {} for call {}", resp.call_seq, seq),
@@ -195,6 +243,94 @@ impl CollectiveEndpoint {
             return Err(PrmiError::SimpleArgMismatch { method });
         }
         self.call(ic, method, arg)
+    }
+
+    /// Collective call with self-healing failover, paired with
+    /// [`collective_serve_recovering`] on the provider side.
+    ///
+    /// Each attempt ends in a collective commit vote over the
+    /// intercommunicator: a caller votes yes only if it holds its return
+    /// value and observed no participant death. The vote's outcome is the
+    /// same agreed value on every survivor, so either *all* callers accept
+    /// their results (and the sequence number advances) or *all* roll the
+    /// attempt back, heal the connection — revoke, shrink to the survivor
+    /// set, bump the epoch — and retry the *same* sequence number after a
+    /// [`CallPolicy`] backoff pause. Providers deduplicate by sequence
+    /// number, so a retried call is never executed twice: a provider that
+    /// already dispatched it replays the cached result.
+    ///
+    /// Requires `policy.recover`; without it this degrades to a plain
+    /// [`CollectiveEndpoint::call`]. Results must be built with
+    /// [`AnyPayload::replicable`] so the provider can cache replays.
+    pub fn call_recovering<A, R>(
+        &mut self,
+        ic: &InterComm,
+        method: u32,
+        arg: A,
+        policy: CallPolicy,
+    ) -> Result<R>
+    where
+        A: Send + Sync + MsgSize + 'static + Clone,
+        R: 'static,
+    {
+        assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
+        if !policy.recover {
+            return self.call(ic, method, arg);
+        }
+        let seq = self.call_seq;
+        let mut backoff = policy.backoff;
+        for attempt in 0..=policy.max_retries {
+            let _span = mxn_trace::span(
+                mxn_trace::EventId::PrmiCall,
+                [method as u64, seq, self.epoch, u64::from(attempt)],
+            );
+            let next = {
+                let cur = self.current(ic);
+                let mut got: Option<AnyPayload> = None;
+                // A send failure (the provider died mid-multicast) is not
+                // fatal: it becomes this caller's 'no' vote below.
+                let sent =
+                    Self::multicast_request(cur, method, seq, self.epoch, false, arg.clone())
+                        .is_ok();
+                if sent {
+                    let responder = cur.local_rank() % cur.remote_size();
+                    let deadline = Instant::now() + policy.deadline;
+                    loop {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        match cur.recv_timeout::<CollResp>(responder, COLL_RESP_TAG, remaining) {
+                            Ok(resp) if resp.call_seq == seq => {
+                                got = Some(resp.result);
+                                break;
+                            }
+                            // A duplicate replay for an earlier sequence:
+                            // keep draining until the deadline.
+                            Ok(_) => continue,
+                            Err(RuntimeError::Timeout { .. } | RuntimeError::PeerDead { .. }) => {
+                                break
+                            }
+                            Err(RuntimeError::Corrupt { .. }) => continue,
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+                let ok = got.is_some() && cur.any_dead().is_none();
+                if cur.agree_all(ok)? {
+                    self.call_seq = seq + 1;
+                    return got
+                        .expect("a unanimous commit vote implies every caller holds its result")
+                        .downcast::<R>()
+                        .map_err(PrmiError::from);
+                }
+                heal_intercomm(cur, self.epoch)?
+            };
+            self.healed = Some(next);
+            self.epoch += 1;
+            if attempt < policy.max_retries {
+                std::thread::sleep(policy.retry_pause(backoff, attempt));
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+        Err(PrmiError::RecoveryExhausted { method, attempts: policy.max_retries + 1 })
     }
 
     /// One-way collective call: returns immediately, no response (§2.4).
@@ -273,6 +409,116 @@ pub fn collective_serve(ic: &InterComm, service: &dyn RemoteService) -> Result<C
 /// M is fixed per intercomm we read it from the intercomm itself.
 fn ic_owner(ic: &InterComm) -> usize {
     ic.local_rank() % ic.remote_size()
+}
+
+/// Revokes `ic` and shrinks it to the survivor set. Both sides of a
+/// recovering collective call run this in lock-step after a failed commit
+/// vote, so their epochs (and hence the request fence) stay aligned.
+fn heal_intercomm(ic: &InterComm, epoch: u64) -> Result<InterComm> {
+    ic.revoke();
+    let (healed, report) = ic.shrink_with_report()?;
+    mxn_trace::emit_instant(
+        mxn_trace::EventId::Heal,
+        [
+            epoch + 1,
+            report.local_survivors.len() as u64,
+            report.remote_survivors.len() as u64,
+            1, // PRMI control plane (the M×N data plane stamps 0 here)
+        ],
+    );
+    Ok(healed)
+}
+
+/// Self-healing provider-side serve loop, paired with
+/// [`CollectiveEndpoint::call_recovering`].
+///
+/// Like [`collective_serve`], but every two-way call ends in a collective
+/// commit vote. On an aborted attempt (a participant died, or a delivery
+/// failed) the loop heals the intercommunicator — revoke, shrink to the
+/// survivors, bump the epoch — and keeps serving on the healed connection.
+/// The last dispatched result is cached by sequence number, so when the
+/// callers retry the aborted sequence the provider *replays* the cached
+/// result instead of executing the method again (exactly-once execution),
+/// which is why every result must be built with [`AnyPayload::replicable`].
+/// Requests still carrying a stale epoch are fenced off and dropped
+/// without dispatch.
+///
+/// One-way calls stay fire-and-forget: they are dispatched without a vote,
+/// exactly as in the plain loop.
+pub fn collective_serve_recovering(
+    ic: &InterComm,
+    service: &dyn RemoteService,
+) -> Result<CollectiveStats> {
+    let mut healed: Option<InterComm> = None;
+    let mut epoch = 0u64;
+    let mut cached: Option<(u64, std::sync::Arc<dyn Fn() -> AnyPayload + Send + Sync>)> = None;
+    let mut stats = CollectiveStats::default();
+    'serve: loop {
+        let next = {
+            let cur = healed.as_ref().unwrap_or(ic);
+            let (n, j) = (cur.local_size(), cur.local_rank());
+            let m = cur.remote_size();
+            // Wait for the owner caller's request, polling liveness so a
+            // death anywhere lets this rank join the abort vote even when
+            // its own request never arrives (e.g. its owner is the one
+            // that died).
+            let req: Option<CollReq> = loop {
+                match cur.recv_timeout::<CollReq>(j % m, COLL_REQ_TAG, COLL_LIVENESS_POLL) {
+                    Ok(r) if r.method == METHOD_SHUTDOWN => return Ok(stats),
+                    // Epoch fence: a straggler from an aborted pre-heal
+                    // attempt must not be dispatched.
+                    Ok(r) if r.epoch != epoch => continue,
+                    Ok(r) => break Some(r),
+                    Err(RuntimeError::Timeout { .. }) => {
+                        if cur.any_dead().is_some() {
+                            break None;
+                        }
+                    }
+                    Err(RuntimeError::PeerDead { .. } | RuntimeError::Corrupt { .. }) => {
+                        break None
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            let ok = match req {
+                None => false,
+                Some(r) => {
+                    let replay = matches!(&cached, Some((seq, _)) if *seq == r.call_seq);
+                    let replicator = if replay {
+                        cached.as_ref().expect("matched above").1.clone()
+                    } else {
+                        let result = service.dispatch(r.method, r.arg);
+                        mxn_trace::emit_instant(
+                            mxn_trace::EventId::PrmiServe,
+                            [r.method as u64, r.call_seq, m as u64, u64::from(r.oneway)],
+                        );
+                        stats.calls += 1;
+                        if r.oneway {
+                            stats.oneway_calls += 1;
+                            continue 'serve;
+                        }
+                        let rep = result.take_replicator().ok_or_else(|| PrmiError::Protocol {
+                            detail: "recovering collective results must be replayable; wrap \
+                                     them with AnyPayload::replicable"
+                                .into(),
+                        })?;
+                        cached = Some((r.call_seq, rep.clone()));
+                        rep
+                    };
+                    let respondents = respondents_of(j, m, n);
+                    stats.ghost_returns += respondents.len().saturating_sub(1) as u64;
+                    let sent = send_replicated(cur, &respondents, r.call_seq, replicator()).is_ok();
+                    sent && cur.any_dead().is_none()
+                }
+            };
+            if cur.agree_all(ok)? {
+                continue 'serve;
+            }
+            heal_intercomm(cur, epoch)?
+        };
+        healed = Some(next);
+        epoch += 1;
+    }
 }
 
 /// Sends `result` to every respondent. A single respondent receives the
@@ -453,6 +699,71 @@ mod tests {
                 let svc = Accum(parking_lot::Mutex::new(0.0));
                 let stats = collective_serve(ctx.intercomm(0), &svc).unwrap();
                 assert_eq!(stats.calls, 1, "the failed check never reached the provider");
+            }
+        });
+    }
+
+    #[test]
+    fn recovering_call_over_healthy_universe() {
+        Universe::run(&[2, 3], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let policy = CallPolicy::default().recovering();
+                let r: f64 = ep.call_recovering(ic, 0, 2.0f64, policy).unwrap();
+                assert_eq!(r, 2.0);
+                let r2: f64 = ep.call_recovering(ic, 0, 3.0f64, policy).unwrap();
+                assert_eq!(r2, 5.0);
+                assert_eq!(ep.epoch(), 0, "no failure, no heal");
+                assert_eq!(ep.calls(), 2);
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_recovering(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 2);
+                assert_eq!(*svc.0.lock(), 5.0);
+            }
+        });
+    }
+
+    #[test]
+    fn recovering_call_heals_after_caller_death() {
+        // Three callers, two providers. Caller 2 dies between calls; the
+        // second collective call aborts (all survivors roll back on the
+        // commit vote), the connection heals to a 2×2 coupling, and the
+        // retried sequence completes — with each provider executing each
+        // method exactly once thanks to the sequence-number dedup.
+        Universe::run(&[3, 2], |p, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let policy = CallPolicy {
+                    deadline: Duration::from_millis(100),
+                    max_retries: 4,
+                    backoff: Duration::from_millis(2),
+                    jitter: Some(7),
+                    recover: true,
+                };
+                let r: f64 = ep.call_recovering(ic, 0, 2.5f64, policy).unwrap();
+                assert_eq!(r, 2.5);
+                if ctx.comm.rank() == 2 {
+                    p.kill_rank(p.rank());
+                    return;
+                }
+                while !p.is_dead(2) {
+                    std::thread::yield_now();
+                }
+                let r2: f64 = ep.call_recovering(ic, 0, 1.5f64, policy).unwrap();
+                assert_eq!(r2, 4.0);
+                assert!(ep.epoch() >= 1, "the failure forced at least one heal");
+                assert_eq!(ep.calls(), 2);
+                assert_eq!(ep.current(ic).local_size(), 2, "healed to the survivor set");
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_recovering(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 2, "aborted attempts replay the cached result");
+                assert_eq!(*svc.0.lock(), 4.0, "each call executed exactly once per provider");
             }
         });
     }

@@ -26,6 +26,15 @@ pub enum PrmiError {
         /// What the blocked side was waiting for.
         waiting_for: String,
     },
+    /// A recovering collective call ran out of retry attempts without ever
+    /// winning a commit vote (the connection kept failing faster than it
+    /// could be healed).
+    RecoveryExhausted {
+        /// The method being invoked.
+        method: u32,
+        /// Attempts made (initial call plus retries).
+        attempts: u32,
+    },
     /// Marshalling/unmarshalling type error.
     Framework(FrameworkError),
     /// Underlying messaging failure.
@@ -42,6 +51,10 @@ impl fmt::Display for PrmiError {
             PrmiError::DeliveryDeadlock { waiting_for } => {
                 write!(f, "collective delivery deadlocked waiting for {waiting_for}")
             }
+            PrmiError::RecoveryExhausted { method, attempts } => write!(
+                f,
+                "collective call of method {method} failed after {attempts} attempts with healing"
+            ),
             PrmiError::Framework(e) => write!(f, "framework error: {e}"),
             PrmiError::Runtime(e) => write!(f, "runtime error: {e}"),
         }

@@ -151,6 +151,7 @@ impl ParallelEndpoint {
             CollReq {
                 method,
                 call_seq: seq,
+                epoch: 0,
                 num_callers: m,
                 oneway: false,
                 arg: AnyPayload::replicable(simple_arg),
@@ -170,6 +171,7 @@ impl ParallelEndpoint {
             CollReq {
                 method: METHOD_SHUTDOWN,
                 call_seq: self.call_seq,
+                epoch: 0,
                 num_callers: m,
                 oneway: true,
                 arg: AnyPayload::replicable(()),

@@ -32,6 +32,9 @@ pub struct Comm {
     /// Per-handle collective sequence number; members stay in lock-step
     /// because collectives are ordered.
     pub(crate) coll_seq: Cell<u64>,
+    /// Per-handle recovery sequence number (agreements/shrinks are ordered
+    /// collectives too, on the recovery tag space).
+    pub(crate) recovery_seq: Cell<u64>,
 }
 
 impl Comm {
@@ -44,6 +47,7 @@ impl Comm {
             local_rank: global_rank,
             context: WORLD_CONTEXT,
             coll_seq: Cell::new(0),
+            recovery_seq: Cell::new(0),
         }
     }
 
@@ -53,7 +57,14 @@ impl Comm {
         local_rank: usize,
         context: u32,
     ) -> Self {
-        Comm { shared, group, local_rank, context, coll_seq: Cell::new(0) }
+        Comm {
+            shared,
+            group,
+            local_rank,
+            context,
+            coll_seq: Cell::new(0),
+            recovery_seq: Cell::new(0),
+        }
     }
 
     /// This rank's rank within the communicator.
@@ -83,6 +94,12 @@ impl Comm {
 
     pub(crate) fn shared(&self) -> &Arc<WorldShared> {
         &self.shared
+    }
+
+    /// The recovery view of this communicator: ULFM-style revoke / agree /
+    /// shrink. See [`crate::membership::Membership`].
+    pub fn membership(&self) -> crate::membership::Membership<'_> {
+        crate::membership::Membership::new(self)
     }
 
     fn check_rank(&self, rank: usize) -> Result<()> {

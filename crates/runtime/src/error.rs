@@ -70,6 +70,14 @@ pub enum RuntimeError {
         /// Description of the inconsistency.
         detail: String,
     },
+    /// The communicator context was revoked by the recovery plane: a
+    /// survivor called `Membership::revoke` (or `InterComm::revoke`) after
+    /// observing a failure, poisoning every pending and future operation on
+    /// that context so all participants fall out of the old epoch together.
+    Revoked {
+        /// The revoked context id (point-to-point context of the pair).
+        context: u32,
+    },
 }
 
 impl RuntimeError {
@@ -82,6 +90,13 @@ impl RuntimeError {
     /// the errors a caller can meaningfully retry or degrade around.
     pub fn is_failure_detection(&self) -> bool {
         matches!(self, RuntimeError::Timeout { .. } | RuntimeError::PeerDead { .. })
+    }
+
+    /// True if the operation failed because its communicator was revoked;
+    /// the caller should join the shrink/heal protocol rather than retry
+    /// on the same context.
+    pub fn is_revoked(&self) -> bool {
+        matches!(self, RuntimeError::Revoked { .. })
     }
 }
 
@@ -111,6 +126,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::CollectiveMismatch { detail } => {
                 write!(f, "inconsistent collective arguments: {detail}")
+            }
+            RuntimeError::Revoked { context } => {
+                write!(f, "communicator context {context} was revoked by the recovery plane")
             }
         }
     }
@@ -175,6 +193,15 @@ mod tests {
             RuntimeError::timeout("x", Duration::ZERO, Src::Any, Tag::Any).is_failure_detection()
         );
         assert!(!RuntimeError::Aborted.is_failure_detection());
+    }
+
+    #[test]
+    fn revoked_classification_and_display() {
+        let e = RuntimeError::Revoked { context: 6 };
+        assert!(e.is_revoked());
+        assert!(!e.is_failure_detection());
+        assert!(e.to_string().contains("context 6"));
+        assert!(!RuntimeError::Aborted.is_revoked());
     }
 
     #[test]

@@ -219,8 +219,10 @@ pub enum Verdict {
     Corrupt,
 }
 
-/// SplitMix64: the standard small deterministic mixer.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: the standard small deterministic mixer. Public so other
+/// layers that need seeded, replayable draws (e.g. `CallPolicy` retry
+/// jitter) share the fault plane's RNG instead of growing their own.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -229,7 +231,7 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Maps a u64 draw to `[0, 1)`.
-fn unit(draw: u64) -> f64 {
+pub fn unit(draw: u64) -> f64 {
     (draw >> 11) as f64 / (1u64 << 53) as f64
 }
 
@@ -303,8 +305,18 @@ impl FaultPlane {
         self.armed[rank].store(armed, Ordering::Release);
     }
 
-    fn is_armed(&self, rank: usize) -> bool {
+    /// Whether `rank`'s outgoing traffic currently goes through the plane.
+    /// Public so recovery code can save/restore the arming state around a
+    /// reliable control phase.
+    pub fn is_armed(&self, rank: usize) -> bool {
         self.armed[rank].load(Ordering::Acquire)
+    }
+
+    /// The configured seed — the root of every verdict drawn here. Exposed
+    /// so derived randomness (retry jitter, experiment shuffles) can be
+    /// keyed off the same value and stay replayable.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
     }
 
     fn policy(&self, src: usize, dst: usize) -> &ChannelPolicy {

@@ -2,6 +2,7 @@
 //! groups ("parallel programs"), the substrate for inter-framework M×N
 //! transfers (Figure 3 of the paper).
 
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -9,6 +10,7 @@ use crate::comm::Comm;
 use crate::envelope::{Envelope, MessageInfo, Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
+use crate::membership::{agree_over, ShrinkReport};
 use crate::msgsize::MsgSize;
 use crate::shared::WorldShared;
 use crate::stats::TrafficClass;
@@ -37,6 +39,9 @@ pub struct InterComm {
     /// Which side of the intercomm this handle is (0 or 1, as passed to
     /// [`InterComm::create`]); gives the two programs a symmetric identity.
     side: usize,
+    /// Per-handle recovery sequence number (agreements and shrinks over an
+    /// intercomm are ordered, like collectives).
+    recovery_seq: Cell<u64>,
 }
 
 impl InterComm {
@@ -74,6 +79,7 @@ impl InterComm {
             remote_group: Arc::new(remote_group),
             context: ctx,
             side,
+            recovery_seq: Cell::new(0),
         };
         Ok((local, ic))
     }
@@ -331,6 +337,108 @@ impl InterComm {
     pub fn iprobe(&self, src: impl Into<Src>, tag: impl Into<Tag>) -> Option<MessageInfo> {
         self.shared.mailbox(self.my_global).iprobe(self.context, src.into(), tag.into())
     }
+
+    /// Both groups' global ranks, sorted — the agreement membership, which
+    /// every rank of either side computes identically.
+    fn union_sorted(&self) -> Vec<usize> {
+        let mut m: Vec<usize> =
+            self.local_group.iter().chain(self.remote_group.iter()).copied().collect();
+        m.sort_unstable();
+        m
+    }
+
+    /// Poisons this intercomm's context: every pending and future operation
+    /// on it fails with [`RuntimeError::Revoked`] on both sides. Idempotent;
+    /// returns whether this call newly revoked it.
+    pub fn revoke(&self) -> bool {
+        self.shared.revoke_context(self.context)
+    }
+
+    /// Whether this intercomm's context has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.shared.revocations().is_revoked(self.context)
+    }
+
+    /// Fault-tolerant agreement across *both* groups: returns the bitwise
+    /// AND of every surviving participant's `value`. Must be called by all
+    /// survivors of both sides, in the same recovery order.
+    pub fn agree(&self, value: u64) -> Result<u64> {
+        let members = self.union_sorted();
+        let seq = self.recovery_seq.get();
+        self.recovery_seq.set(seq + 1);
+        agree_over(&self.shared, self.my_global, &members, self.context, seq, value)
+    }
+
+    /// Boolean all-or-nothing vote over both groups: `true` iff every
+    /// surviving participant voted `true`. The decision is a pure function
+    /// of the agreed value, so all survivors decide identically — the
+    /// primitive under transactional transfer commit.
+    pub fn agree_all(&self, ok: bool) -> Result<bool> {
+        self.agree(if ok { u64::MAX } else { 0 }).map(|v| v == u64::MAX)
+    }
+
+    /// Shrinks the intercomm to its survivors: both sides agree on the
+    /// alive set, dead ranks are dropped from both groups, and each side is
+    /// densely renumbered in ascending old-rank order on a fresh context.
+    /// Idempotent for a given failure pattern (the survivor context is
+    /// keyed on the agreed mask), so repeated heals of the same failure
+    /// converge. The report maps new ranks back to old ones so coupling
+    /// layers can re-derive data decompositions.
+    pub fn shrink_with_report(&self) -> Result<(InterComm, ShrinkReport)> {
+        let members = self.union_sorted();
+        assert!(members.len() <= 64, "shrink masks are u64: at most 64 participants");
+        let liveness = self.shared.liveness();
+        let mut mask = 0u64;
+        for (i, &g) in members.iter().enumerate() {
+            if !liveness.is_dead(g) {
+                mask |= 1 << i;
+            }
+        }
+        let seq = self.recovery_seq.get();
+        self.recovery_seq.set(seq + 1);
+        let agreed = agree_over(&self.shared, self.my_global, &members, self.context, seq, mask)?;
+        let alive = |g: usize| {
+            let i = members.binary_search(&g).expect("member lists are identical");
+            agreed & (1 << i) != 0
+        };
+        let local_survivors: Vec<usize> =
+            (0..self.local_group.len()).filter(|&r| alive(self.local_group[r])).collect();
+        let remote_survivors: Vec<usize> =
+            (0..self.remote_group.len()).filter(|&r| alive(self.remote_group[r])).collect();
+        if local_survivors.is_empty() || remote_survivors.is_empty() {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: "shrink would leave one side of the intercomm empty".into(),
+            });
+        }
+        let my_new = local_survivors
+            .iter()
+            .position(|&r| r == self.local_rank)
+            .ok_or(RuntimeError::PeerDead { rank: self.local_rank })?;
+        let (ctx, epoch) = self.shared.survivor_context(self.context, agreed);
+        emit_instant(
+            EventId::Shrink,
+            [
+                members.len() as u64,
+                (local_survivors.len() + remote_survivors.len()) as u64,
+                ctx_class(ctx),
+                0,
+            ],
+        );
+        let ic = InterComm {
+            shared: self.shared.clone(),
+            local_rank: my_new,
+            local_size: local_survivors.len(),
+            my_global: self.my_global,
+            local_group: Arc::new(local_survivors.iter().map(|&r| self.local_group[r]).collect()),
+            remote_group: Arc::new(
+                remote_survivors.iter().map(|&r| self.remote_group[r]).collect(),
+            ),
+            context: ctx,
+            side: self.side,
+            recovery_seq: Cell::new(0),
+        };
+        Ok((ic, ShrinkReport { local_survivors, remote_survivors, epoch }))
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +539,82 @@ mod tests {
             let (_, ic) = InterComm::create(p.world(), p.rank()).unwrap();
             let e = ic.recv_timeout::<u8>(0, 0, Duration::from_millis(10)).unwrap_err();
             assert!(matches!(e, RuntimeError::Timeout { .. }));
+        });
+    }
+
+    #[test]
+    fn revoke_poisons_both_sides() {
+        World::run(4, |p| {
+            let side = usize::from(p.rank() >= 2);
+            let (local, ic) = InterComm::create(p.world(), side).unwrap();
+            if p.rank() == 0 {
+                assert!(ic.revoke());
+                assert!(!ic.revoke(), "idempotent");
+                assert!(ic.is_revoked());
+                let e = ic.send(0, 1, 1u8).unwrap_err();
+                assert!(e.is_revoked());
+            } else {
+                let e = ic.recv::<u8>(Src::Any, Tag::Any).unwrap_err();
+                assert!(e.is_revoked(), "both sides fall out of the epoch: {e}");
+            }
+            // Intra-side communicators and the world keep working.
+            local.barrier().unwrap();
+        });
+    }
+
+    #[test]
+    fn agree_all_is_unanimous_or_false_everywhere() {
+        let votes = World::run(4, |p| {
+            let side = usize::from(p.rank() >= 2);
+            let (_, ic) = InterComm::create(p.world(), side).unwrap();
+            let first = ic.agree_all(true).unwrap();
+            let second = ic.agree_all(p.rank() != 3).unwrap();
+            (first, second)
+        });
+        for (first, second) in votes {
+            assert!(first, "unanimous yes commits");
+            assert!(!second, "one dissent rolls everyone back");
+        }
+    }
+
+    #[test]
+    fn shrink_drops_dead_ranks_from_both_groups() {
+        use crate::fault::FaultConfig;
+        let cfg = FaultConfig::reliable(5);
+        World::run_with_faults(5, cfg, |p| {
+            // Side 0 = ranks {0,1,2}, side 1 = ranks {3,4}; rank 1 dies.
+            let side = usize::from(p.rank() >= 3);
+            let (_, ic) = InterComm::create(p.world(), side).unwrap();
+            if p.rank() == 1 {
+                p.kill_rank(1);
+                return;
+            }
+            // Shrink drops only deaths already visible; wait for the kill.
+            while !p.is_dead(1) {
+                std::thread::yield_now();
+            }
+            let (healed, report) = ic.shrink_with_report().unwrap();
+            if side == 0 {
+                assert_eq!(report.local_survivors, vec![0, 2]);
+                assert_eq!(report.remote_survivors, vec![0, 1]);
+                assert_eq!(healed.local_size(), 2);
+                assert_eq!(healed.remote_size(), 2);
+                assert_eq!(healed.local_rank(), if p.rank() == 0 { 0 } else { 1 });
+            } else {
+                assert_eq!(report.local_survivors, vec![0, 1]);
+                assert_eq!(report.remote_survivors, vec![0, 2]);
+                assert_eq!(healed.remote_size(), 2);
+            }
+            assert_eq!(report.epoch, 1);
+            // The healed channel carries traffic with the new numbering:
+            // side-0 new rank r sends to side-1 new rank r.
+            if side == 0 {
+                healed.send(healed.local_rank(), 9, p.rank() as u64).unwrap();
+            } else {
+                let (v, info) = healed.recv_with_info::<u64>(Src::Any, 9).unwrap();
+                assert_eq!(info.src, healed.local_rank());
+                assert_eq!(v, 2 * healed.local_rank() as u64, "old rank of the new sender");
+            }
         });
     }
 }

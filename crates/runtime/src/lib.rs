@@ -26,6 +26,11 @@
 //!   kills ranks mid-run ([`World::run_with_faults`]); blocked peers of a
 //!   dead rank get [`RuntimeError::PeerDead`] instead of hanging, and the
 //!   same seed always reproduces a byte-identical [`FaultTrace`].
+//! * **Self-healing recovery** ([`membership`]): ULFM-style epoch-based
+//!   membership — survivors `revoke` a failed communicator's context,
+//!   `agree` on the alive set with a fault-tolerant agreement, and `shrink`
+//!   to a dense survivor communicator on a fresh context
+//!   ([`Comm::membership`], [`InterComm::shrink_with_report`]).
 //!
 //! ## Quick example
 //!
@@ -47,6 +52,7 @@ pub mod error;
 pub mod fault;
 pub mod intercomm;
 pub mod mailbox;
+pub mod membership;
 pub mod msgsize;
 pub mod network;
 pub mod ops;
@@ -63,9 +69,11 @@ pub use comm::Comm;
 pub use envelope::{MessageInfo, Payload, Src, Tag};
 pub use error::{Result, RuntimeError};
 pub use fault::{
-    ChannelPolicy, FaultConfig, FaultEvent, FaultKind, FaultTrace, Liveness, RankDeath,
+    splitmix64, unit, ChannelPolicy, FaultConfig, FaultEvent, FaultKind, FaultTrace, Liveness,
+    RankDeath,
 };
 pub use intercomm::InterComm;
+pub use membership::{Membership, Revocations, ShrinkReport};
 pub use msgsize::MsgSize;
 pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};

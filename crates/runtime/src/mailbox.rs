@@ -24,6 +24,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use crate::envelope::{Envelope, MessageInfo, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::fault::Liveness;
+use crate::membership::Revocations;
 
 /// Identity of the peer a blocked receive is waiting on, for liveness
 /// checks: `global` indexes the world liveness registry, `local` is the
@@ -188,12 +189,17 @@ pub struct Mailbox {
     any_cond: Condvar,
     abort: Arc<AtomicBool>,
     liveness: Arc<Liveness>,
+    revocations: Arc<Revocations>,
 }
 
 impl Mailbox {
-    /// Creates an empty mailbox wired to the world's abort flag and
-    /// liveness registry.
-    pub fn new(abort: Arc<AtomicBool>, liveness: Arc<Liveness>) -> Self {
+    /// Creates an empty mailbox wired to the world's abort flag, liveness
+    /// registry and revocation state.
+    pub fn new(
+        abort: Arc<AtomicBool>,
+        liveness: Arc<Liveness>,
+        revocations: Arc<Revocations>,
+    ) -> Self {
         Mailbox {
             inner: Mutex::new(Inner {
                 buckets: HashMap::new(),
@@ -204,6 +210,7 @@ impl Mailbox {
             any_cond: Condvar::new(),
             abort,
             liveness,
+            revocations,
         }
     }
 
@@ -312,6 +319,10 @@ impl Mailbox {
     }
 
     /// Removes and returns the earliest matching envelope without blocking.
+    ///
+    /// Not revocation-checked: a non-blocking scan cannot report an error,
+    /// and its callers (`iprobe`, diagnostics) tolerate stale reads. The
+    /// blocking paths are the epoch boundary.
     pub fn try_take(&self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
         self.inner.lock().pop(context, src, tag)
     }
@@ -321,6 +332,9 @@ impl Mailbox {
     pub fn take(&self, context: u32, src: Src, tag: Tag, peers: &[PeerRef]) -> Result<Envelope> {
         let mut inner = self.inner.lock();
         loop {
+            // Revocation wins over queued messages: traffic from the old
+            // epoch must never deliver once the context is poisoned.
+            self.revocations.check(context)?;
             if let Some(env) = inner.pop(context, src, tag) {
                 return Ok(env);
             }
@@ -349,6 +363,7 @@ impl Mailbox {
         let deadline = start + timeout;
         let mut inner = self.inner.lock();
         loop {
+            self.revocations.check(context)?;
             if let Some(env) = inner.pop(context, src, tag) {
                 return Ok(env);
             }
@@ -396,6 +411,7 @@ impl Mailbox {
     ) -> Result<MessageInfo> {
         let mut inner = self.inner.lock();
         loop {
+            self.revocations.check(context)?;
             if let Some((key, i)) = inner.find(context, src, tag) {
                 let e = &inner.buckets[&key].queue[i];
                 return Ok(MessageInfo { src: e.src_local, tag: e.tag, bytes: e.bytes });
@@ -436,7 +452,11 @@ mod tests {
     }
 
     fn mbox() -> Mailbox {
-        Mailbox::new(Arc::new(AtomicBool::new(false)), Arc::new(Liveness::new(8)))
+        Mailbox::new(
+            Arc::new(AtomicBool::new(false)),
+            Arc::new(Liveness::new(8)),
+            Arc::new(Revocations::new()),
+        )
     }
 
     fn val(e: Envelope) -> u32 {
@@ -557,7 +577,11 @@ mod tests {
     #[test]
     fn abort_wakes_blocked_receiver() {
         let abort = Arc::new(AtomicBool::new(false));
-        let m = Arc::new(Mailbox::new(abort.clone(), Arc::new(Liveness::new(8))));
+        let m = Arc::new(Mailbox::new(
+            abort.clone(),
+            Arc::new(Liveness::new(8)),
+            Arc::new(Revocations::new()),
+        ));
         let m2 = m.clone();
         let h = thread::spawn(move || m2.take(0, Src::Any, Tag::Any, &[]));
         thread::sleep(Duration::from_millis(10));
@@ -572,7 +596,11 @@ mod tests {
     #[test]
     fn abort_wakes_concrete_tag_receiver() {
         let abort = Arc::new(AtomicBool::new(false));
-        let m = Arc::new(Mailbox::new(abort.clone(), Arc::new(Liveness::new(8))));
+        let m = Arc::new(Mailbox::new(
+            abort.clone(),
+            Arc::new(Liveness::new(8)),
+            Arc::new(Revocations::new()),
+        ));
         let m2 = m.clone();
         let h = thread::spawn(move || m2.take(3, Src::Rank(1), Tag::Value(5), &[]));
         thread::sleep(Duration::from_millis(10));
@@ -606,7 +634,11 @@ mod tests {
     #[test]
     fn dead_peer_unblocks_waiter() {
         let liveness = Arc::new(Liveness::new(4));
-        let m = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone()));
+        let m = Arc::new(Mailbox::new(
+            Arc::new(AtomicBool::new(false)),
+            liveness.clone(),
+            Arc::new(Revocations::new()),
+        ));
         let m2 = m.clone();
         let h = thread::spawn(move || {
             m2.take(0, Src::Rank(1), Tag::Any, &[PeerRef { global: 2, local: 1 }])
@@ -620,7 +652,11 @@ mod tests {
     #[test]
     fn dead_peer_unblocks_concrete_tag_waiter() {
         let liveness = Arc::new(Liveness::new(4));
-        let m = Arc::new(Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone()));
+        let m = Arc::new(Mailbox::new(
+            Arc::new(AtomicBool::new(false)),
+            liveness.clone(),
+            Arc::new(Revocations::new()),
+        ));
         let m2 = m.clone();
         let h = thread::spawn(move || {
             m2.take(0, Src::Rank(1), Tag::Value(6), &[PeerRef { global: 2, local: 1 }])
@@ -634,7 +670,11 @@ mod tests {
     #[test]
     fn message_sent_before_death_still_drains() {
         let liveness = Arc::new(Liveness::new(4));
-        let m = Mailbox::new(Arc::new(AtomicBool::new(false)), liveness.clone());
+        let m = Mailbox::new(
+            Arc::new(AtomicBool::new(false)),
+            liveness.clone(),
+            Arc::new(Revocations::new()),
+        );
         m.push(env(1, 0, 5, 77));
         liveness.kill(1);
         // The queued message wins over the dead-peer check...

@@ -8,6 +8,7 @@ use crate::envelope::{Envelope, Payload};
 use crate::error::{Result, RuntimeError};
 use crate::fault::{FaultConfig, FaultPlane, FaultTrace, Liveness, Verdict};
 use crate::mailbox::Mailbox;
+use crate::membership::Revocations;
 use crate::network::{ChannelClock, NetworkModel};
 use crate::stats::{FaultClass, TrafficClass, WorldStats};
 use crate::tracing::{ctx_class, fault_kind, tag_arg};
@@ -29,6 +30,7 @@ pub struct WorldShared {
     network: Option<ChannelClock>,
     fault: Option<FaultPlane>,
     liveness: Arc<Liveness>,
+    revocations: Arc<Revocations>,
 }
 
 impl WorldShared {
@@ -51,7 +53,10 @@ impl WorldShared {
     ) -> Arc<Self> {
         let abort = Arc::new(AtomicBool::new(false));
         let liveness = Arc::new(Liveness::new(n));
-        let mailboxes = (0..n).map(|_| Mailbox::new(abort.clone(), liveness.clone())).collect();
+        let revocations = Arc::new(Revocations::new());
+        let mailboxes = (0..n)
+            .map(|_| Mailbox::new(abort.clone(), liveness.clone(), revocations.clone()))
+            .collect();
         Arc::new(WorldShared {
             mailboxes,
             abort,
@@ -61,6 +66,7 @@ impl WorldShared {
             network: network.map(|m| ChannelClock::new(m, n)),
             fault: faults.map(|c| FaultPlane::new(c, n)),
             liveness,
+            revocations,
         })
     }
 
@@ -114,6 +120,42 @@ impl WorldShared {
     /// The fault plane, if one is configured.
     pub fn fault(&self) -> Option<&FaultPlane> {
         self.fault.as_ref()
+    }
+
+    /// The world's revocation state (recovery plane).
+    pub fn revocations(&self) -> &Arc<Revocations> {
+        &self.revocations
+    }
+
+    /// Revokes a communicator's context pair: every pending and future
+    /// operation on either context fails with [`RuntimeError::Revoked`] on
+    /// every rank, and all blocked receivers are woken to observe it.
+    /// `context` may be either member of the pair. Idempotent; returns
+    /// whether this call newly revoked the pair.
+    ///
+    /// The world pair (0/1) cannot be revoked — recovery protocols run on
+    /// it — so revoking it is a no-op returning `false`.
+    pub fn revoke_context(&self, context: u32) -> bool {
+        let base = context & !1;
+        if base == WORLD_CONTEXT {
+            return false;
+        }
+        let newly = self.revocations.mark(base);
+        if newly {
+            emit_instant(EventId::Revoke, [ctx_class(base), 0, 0, 0]);
+            for m in &self.mailboxes {
+                m.wake_all();
+            }
+        }
+        newly
+    }
+
+    /// Survivor context pair for the shrink of `old_context` with agreed
+    /// alive-mask `mask`: the first survivor to call allocates a fresh
+    /// pair, every later survivor of the same shrink reads the identical
+    /// `(context, shrink_epoch)` back.
+    pub fn survivor_context(&self, old_context: u32, mask: u64) -> (u32, u64) {
+        self.revocations.survivor_context(old_context, mask, || self.allocate_context_pair())
     }
 
     /// The canonical trace of injected faults (empty without a fault plane).
@@ -189,6 +231,9 @@ impl WorldShared {
         replicate: Option<&dyn Fn() -> Payload>,
         class: TrafficClass,
     ) -> Result<()> {
+        // A revoked context refuses new traffic before it is counted, so
+        // post-revoke sends leave no trace in either accounting plane.
+        self.revocations.check(context)?;
         self.note_op(src_global, src_local)?;
         self.stats.record(class, bytes);
         emit_instant(
@@ -465,6 +510,58 @@ mod tests {
         let env = s.mailbox(1).try_take(0, Src::Any, Tag::Any).unwrap();
         assert!(!env.verify());
         assert_eq!(s.stats().snapshot().corrupted_messages, 1);
+    }
+
+    #[test]
+    fn revoked_context_refuses_sends_but_world_is_protected() {
+        let s = WorldShared::new(2);
+        let ctx = s.allocate_context_pair();
+        assert!(s.revoke_context(ctx + 1), "either member of the pair revokes it");
+        assert!(!s.revoke_context(ctx), "idempotent across the pair");
+        let e = s
+            .send_envelope(
+                0,
+                0,
+                1,
+                1,
+                ctx,
+                1,
+                4,
+                Payload::owned(1u32),
+                None,
+                TrafficClass::PointToPoint,
+            )
+            .unwrap_err();
+        assert!(e.is_revoked());
+        assert!(s.mailbox(1).is_empty(), "refused before delivery");
+        assert_eq!(s.stats().snapshot().p2p_messages, 0, "refused before accounting");
+        assert!(!s.revoke_context(0), "world pair is not revocable");
+        assert!(!s.revoke_context(1));
+        s.send_envelope(
+            0,
+            0,
+            1,
+            1,
+            0,
+            1,
+            4,
+            Payload::owned(1u32),
+            None,
+            TrafficClass::PointToPoint,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn survivor_context_is_shared_across_callers() {
+        let s = WorldShared::new(2);
+        let (a, e1) = s.survivor_context(2, 0b01);
+        let (b, e2) = s.survivor_context(2, 0b01);
+        assert_eq!((a, e1), (b, e2));
+        assert!(a >= 2 && a % 2 == 0, "a real allocated pair");
+        let (c, e3) = s.survivor_context(2, 0b10);
+        assert_ne!(c, a);
+        assert_eq!((e1, e3), (1, 2), "shrink epochs count per old context");
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub mod err_code {
     pub const ABORTED: u64 = 5;
     /// Any other runtime error.
     pub const OTHER: u64 = 6;
+    /// The operation's communicator context was revoked.
+    pub const REVOKED: u64 = 7;
 }
 
 /// Fault kinds: `args[0]` of [`EventId::FaultInject`].
@@ -126,6 +128,7 @@ pub(crate) fn record_op_error(stats: &WorldStats, err: &RuntimeError) {
             (err_code::TYPE_MISMATCH, *src as u64, tag_arg(*tag))
         }
         RuntimeError::Aborted => (err_code::ABORTED, 0, 0),
+        RuntimeError::Revoked { context } => (err_code::REVOKED, ctx_class(*context), 0),
         _ => (err_code::OTHER, 0, 0),
     };
     emit_instant(EventId::OpError, [code, src, tag, 0]);

@@ -77,6 +77,13 @@ impl Process {
     pub fn set_faults_armed(&self, armed: bool) {
         self.shared.fault_set_armed(self.global_rank, armed);
     }
+
+    /// Seed of the world's fault plane, if one is configured. Lets retry
+    /// policies derive deterministic jitter from the same seed that drives
+    /// the injected faults, so a whole faulted run replays from one number.
+    pub fn fault_seed(&self) -> Option<u64> {
+        self.shared.fault().map(|f| f.seed())
+    }
 }
 
 /// A parallel "machine": `n` ranks running one function SPMD-style.

@@ -29,6 +29,10 @@ struct Key {
     dst_fp: u128,
     rank: usize,
     role: Role,
+    /// Recovery epoch salt. Healed connections rebuild schedules for the
+    /// same descriptor pair under a new epoch, so plans from before a
+    /// shrink can never be served to the survivor topology.
+    epoch: u64,
 }
 
 /// A thread-safe cache of built [`RegionSchedule`]s with hit/miss counters.
@@ -46,7 +50,7 @@ impl ScheduleCache {
     }
 
     /// Returns the cached schedule for `(src, dst, rank, role)`, building
-    /// and inserting it on first use.
+    /// and inserting it on first use. Epoch 0 — the pre-failure plan.
     pub fn get_or_build(
         &self,
         src: &Dad,
@@ -54,8 +58,22 @@ impl ScheduleCache {
         rank: usize,
         role: Role,
     ) -> Arc<RegionSchedule> {
+        self.get_or_build_for_epoch(src, dst, rank, role, 0)
+    }
+
+    /// [`ScheduleCache::get_or_build`] salted with a recovery epoch: the
+    /// entry point for healed connections, which must rebuild rather than
+    /// reuse plans computed for the pre-shrink topology.
+    pub fn get_or_build_for_epoch(
+        &self,
+        src: &Dad,
+        dst: &Dad,
+        rank: usize,
+        role: Role,
+        epoch: u64,
+    ) -> Arc<RegionSchedule> {
         use std::sync::atomic::Ordering;
-        let key = Key { src_fp: src.fingerprint(), dst_fp: dst.fingerprint(), rank, role };
+        let key = Key { src_fp: src.fingerprint(), dst_fp: dst.fingerprint(), rank, role, epoch };
         let mut map = self.map.lock();
         if let Some(s) = map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -146,6 +164,19 @@ mod tests {
         assert!(cache.is_empty());
         cache.get_or_build(&src, &dst, 0, Role::Sender);
         assert_eq!(cache.stats(), (0, 2), "rebuild after clear is a miss");
+    }
+
+    #[test]
+    fn epochs_are_distinct_entries() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        let a = cache.get_or_build(&src, &dst, 0, Role::Sender);
+        let b = cache.get_or_build_for_epoch(&src, &dst, 0, Role::Sender, 1);
+        assert!(!Arc::ptr_eq(&a, &b), "a new epoch must rebuild, not reuse");
+        let c = cache.get_or_build_for_epoch(&src, &dst, 0, Role::Sender, 1);
+        assert!(Arc::ptr_eq(&b, &c), "within an epoch the plan is reused");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (1, 2));
     }
 
     #[test]

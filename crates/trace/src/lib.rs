@@ -86,10 +86,24 @@ pub enum EventId {
     /// Fault-plane injection applied to a message; args =
     /// `[kind, dst, tag, bytes]`.
     FaultInject = 18,
+    /// A communicator context pair was revoked; args = `[context]`.
+    Revoke = 19,
+    /// Fault-tolerant agreement span; End args = `[members, heard]`
+    /// (`heard` = peers whose contribution arrived before the deadline).
+    Agree = 20,
+    /// Survivor-set shrink; args = `[old_size, new_size, new_context]`.
+    Shrink = 21,
+    /// Connection heal span (shrink + schedule rebuild); End args =
+    /// `[epoch, survivors]`.
+    Heal = 22,
+    /// Transactional transfer committed; args = `[epoch, seq]`.
+    Commit = 23,
+    /// Transactional transfer rolled back; args = `[epoch, seq]`.
+    Rollback = 24,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 18] = [
+pub const ALL_EVENT_IDS: [EventId; 24] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -108,6 +122,12 @@ pub const ALL_EVENT_IDS: [EventId; 18] = [
     EventId::DcaAlltoallv,
     EventId::DcaBarrier,
     EventId::FaultInject,
+    EventId::Revoke,
+    EventId::Agree,
+    EventId::Shrink,
+    EventId::Heal,
+    EventId::Commit,
+    EventId::Rollback,
 ];
 
 impl EventId {
@@ -132,6 +152,12 @@ impl EventId {
             EventId::DcaAlltoallv => "DcaAlltoallv",
             EventId::DcaBarrier => "DcaBarrier",
             EventId::FaultInject => "FaultInject",
+            EventId::Revoke => "Revoke",
+            EventId::Agree => "Agree",
+            EventId::Shrink => "Shrink",
+            EventId::Heal => "Heal",
+            EventId::Commit => "Commit",
+            EventId::Rollback => "Rollback",
         }
     }
 
@@ -150,6 +176,12 @@ impl EventId {
             EventId::RmiCall | EventId::RmiServe => "rmi",
             EventId::DcaAlltoallv => "dca",
             EventId::FaultInject => "fault",
+            EventId::Revoke
+            | EventId::Agree
+            | EventId::Shrink
+            | EventId::Heal
+            | EventId::Commit
+            | EventId::Rollback => "recovery",
         }
     }
 
@@ -165,14 +197,20 @@ impl EventId {
     /// between runs of the same seeded program: which receiver won an
     /// `Arc` refcount race ([`EventId::CollClone`], [`EventId::CollAlloc`]),
     /// which sender a wildcard receive happened to match
-    /// ([`EventId::MailboxMatch`]), and how many timeout polls a serve loop
-    /// spun before its message arrived ([`EventId::OpError`]). They are
-    /// still recorded, merged, exported and aggregated — they just never
-    /// participate in golden digests, exactly like `wall_us`.
+    /// ([`EventId::MailboxMatch`]), how many timeout polls a serve loop
+    /// spun before its message arrived ([`EventId::OpError`]), and how many
+    /// agreement contributions beat the deadline ([`EventId::Agree`] —
+    /// whether a dying rank's vote lands depends on thread interleaving).
+    /// They are still recorded, merged, exported and aggregated — they just
+    /// never participate in golden digests, exactly like `wall_us`.
     pub fn in_digest(self) -> bool {
         !matches!(
             self,
-            EventId::CollClone | EventId::CollAlloc | EventId::MailboxMatch | EventId::OpError
+            EventId::CollClone
+                | EventId::CollAlloc
+                | EventId::MailboxMatch
+                | EventId::OpError
+                | EventId::Agree
         )
     }
 }
@@ -840,6 +878,8 @@ mod tests {
         // invalidates every committed digest on purpose.
         assert_eq!(EventId::ScheduleBuild as u16, 1);
         assert_eq!(EventId::FaultInject as u16, 18);
+        assert_eq!(EventId::Revoke as u16, 19);
+        assert_eq!(EventId::Rollback as u16, 24);
         for id in ALL_EVENT_IDS {
             assert_eq!(EventId::from_u16(id as u16), Some(id));
         }

@@ -1,0 +1,285 @@
+//! End-to-end self-healing: survivors of a rank death shrink the coupling,
+//! rebuild their schedules over the survivor decomposition, and complete
+//! the remaining epochs with data identical to a no-fault oracle — and no
+//! transfer is ever half-committed along the way.
+
+use mxn::core::{
+    ConnectionKind, Direction, FieldData, FieldRegistry, MxnConnection, MxnError, TransferOutcome,
+};
+use mxn::dad::{AccessMode, Dad, Extents, LocalArray};
+use mxn::framework::{serve, AnyPayload, CallPolicy, RemotePort, RemoteService, ServeStats};
+use mxn::prmi::{collective_serve_recovering, CollectiveEndpoint};
+use mxn::runtime::{ChannelPolicy, FaultConfig, Universe};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Step-coded cell value: the global index plus a per-epoch offset, so a
+/// transferred field identifies both *what* arrived and *when* it was
+/// produced.
+fn coded(idx: &[usize], step: f64) -> f64 {
+    (idx[0] * 6 + idx[1]) as f64 + step * 100.0
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Rewrites every element this rank owns (under its *current* descriptor)
+/// with step-coded values — the per-epoch producer refresh.
+fn refill(reg: &FieldRegistry, data: &FieldData, step: f64) {
+    let _ = reg;
+    let mut d = data.write();
+    for r in 0..6 {
+        for c in 0..6 {
+            if let Some(v) = d.get_mut(&[r, c]) {
+                *v = coded(&[r, c], step);
+            }
+        }
+    }
+}
+
+/// The acceptance scenario: a 3-exporter / 2-importer transactional
+/// coupling loses an importer between epochs 2 and 3. Epoch 3's first
+/// attempt aborts collectively (rollback everywhere, committed data
+/// untouched), the survivors heal — revoke, shrink, re-decompose, rebind,
+/// rebuild schedules — and epochs 3 and 4 then complete on the healed
+/// coupling. The surviving importer's final field equals a no-fault
+/// oracle restricted to the survivor decomposition.
+#[test]
+fn survivors_heal_and_complete_remaining_epochs() {
+    const DEAD_WORLD_RANK: usize = 4; // importer local rank 1
+    let results = Universe::run(&[3, 2], |p, ctx| {
+        let rank = ctx.comm.rank();
+        let src = Dad::block(Extents::new([6, 6]), &[3, 1]).unwrap();
+        let dst = Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap();
+        let exporting = ctx.program == 0;
+        let mut reg = FieldRegistry::new(rank);
+        let data = if exporting {
+            reg.register_allocated("f", src, AccessMode::Read).unwrap()
+        } else {
+            reg.register_allocated("f", dst, AccessMode::Write).unwrap()
+        };
+        let mut conn = if exporting {
+            MxnConnection::initiate(
+                ctx.intercomm(1),
+                &reg,
+                0,
+                "f",
+                "f",
+                Direction::Export,
+                ConnectionKind::Persistent { period: 1 },
+            )
+            .unwrap()
+        } else {
+            MxnConnection::accept(ctx.intercomm(0), &reg, 0).unwrap()
+        };
+        conn.set_transactional(true);
+        let ic = if exporting { ctx.intercomm(1) } else { ctx.intercomm(0) };
+        // Epochs 1 and 2 commit cleanly.
+        for step in 1..=2u64 {
+            if exporting {
+                refill(&reg, &data, step as f64);
+            }
+            assert!(matches!(
+                conn.data_ready(ic, &reg).unwrap(),
+                TransferOutcome::Transferred { .. }
+            ));
+        }
+        p.world().barrier().unwrap();
+        if p.rank() == DEAD_WORLD_RANK {
+            p.kill_rank(DEAD_WORLD_RANK);
+            return None;
+        }
+        while !p.is_dead(DEAD_WORLD_RANK) {
+            std::thread::yield_now();
+        }
+        // Epoch 3's first attempt aborts *collectively*: the commit vote
+        // fails on every survivor, nobody unpacks partial data.
+        if exporting {
+            refill(&reg, &data, 3.0);
+        }
+        let e = conn.data_ready(ic, &reg).unwrap_err();
+        assert!(
+            matches!(e, MxnError::PeerFailed { .. } | MxnError::TransferAborted { .. }),
+            "unexpected abort error: {e}"
+        );
+        assert_eq!(conn.stats().1, 2, "no transfer is ever half-committed");
+        if !exporting {
+            // The surviving importer still holds epoch 2, bit-for-bit.
+            let d = data.read();
+            for (idx, v) in d.iter() {
+                assert_eq!(*v, coded(&idx, 2.0), "rolled-back attempt left {idx:?} dirty");
+            }
+        }
+        // Survivors shrink the membership, re-derive both descriptors and
+        // rebuild the transfer schedule.
+        let (healed, report) = conn.heal(ic, &mut reg).unwrap();
+        assert_eq!(conn.epoch(), 1);
+        if exporting {
+            assert_eq!(report.local_survivors, vec![0, 1, 2]);
+            assert_eq!(report.remote_survivors, vec![0]);
+        } else {
+            assert_eq!(report.local_survivors, vec![0]);
+            assert_eq!(report.remote_survivors, vec![0, 1, 2]);
+        }
+        // Epoch 3 retries (same sequence number), epoch 4 follows.
+        for step in 3..=4u64 {
+            if exporting {
+                refill(&reg, &data, step as f64);
+            }
+            assert!(matches!(
+                conn.data_ready(&healed, &reg).unwrap(),
+                TransferOutcome::Transferred { .. }
+            ));
+        }
+        assert_eq!(conn.stats().1, 4, "all four epochs committed exactly once");
+        if exporting {
+            None
+        } else {
+            // Compare against the no-fault oracle restricted to the
+            // survivor decomposition: what a fault-free run over the
+            // survivor set would have delivered at epoch 4.
+            let survivor_dad = reg.get("f").unwrap().dad().clone();
+            let oracle = LocalArray::from_fn(&survivor_dad, 0, |idx| coded(idx, 4.0));
+            let d = data.read();
+            let mut elems = 0usize;
+            for (idx, v) in d.iter() {
+                assert_eq!(*v, *oracle.get(&idx).unwrap(), "mismatch vs oracle at {idx:?}");
+                elems += 1;
+            }
+            assert_eq!(elems, 36, "the survivor owns the whole array after the shrink");
+            Some(elems)
+        }
+    });
+    assert_eq!(results.iter().filter(|r| r.is_some()).count(), 1);
+}
+
+/// CI fault-matrix entry point: `MXN_FAULT_SEED` selects the fault
+/// plane's RNG stream, `MXN_FAULT_KIND` ∈ {drop, corrupt, death} selects
+/// the failure class. Every combination must end in a correct result —
+/// never a hang, never a double execution.
+#[test]
+fn seeded_fault_matrix() {
+    let seed = env_u64("MXN_FAULT_SEED", 1);
+    match std::env::var("MXN_FAULT_KIND").as_deref() {
+        Ok("drop") => drop_matrix(seed),
+        Ok("corrupt") => corrupt_matrix(seed),
+        _ => death_matrix(seed),
+    }
+}
+
+/// Service used by the drop/corrupt matrix arms: counts dispatches so the
+/// exactly-once guarantee is checkable.
+struct Doubler(AtomicUsize);
+impl RemoteService for Doubler {
+    fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+        let x: u64 = arg.downcast().unwrap();
+        self.0.fetch_add(1, Ordering::SeqCst);
+        AnyPayload::replicable(x * 2)
+    }
+}
+
+/// Half the requests vanish: the retry policy (with the backoff jitter
+/// seeded from the fault plane) retransmits until the provider answers;
+/// the idempotency token keeps execution exactly-once.
+fn drop_matrix(seed: u64) {
+    let cfg = FaultConfig::reliable(seed).with_channel(0, 1, ChannelPolicy::lossy(0.5));
+    Universe::run_with_faults(&[1, 1], cfg, |p, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let port = RemotePort::to_rank(0);
+            let policy = CallPolicy {
+                deadline: Duration::from_millis(30),
+                max_retries: 20,
+                backoff: Duration::from_millis(1),
+                ..CallPolicy::default()
+            }
+            .seeded(p.fault_seed());
+            let got: u64 = port.call_with_policy(ic, 0, 21u64, policy).unwrap();
+            assert_eq!(got, 42);
+            // The shutdown must not be eaten by the lossy channel.
+            p.set_faults_armed(false);
+            port.shutdown(ic).unwrap();
+        } else {
+            let svc = Doubler(AtomicUsize::new(0));
+            let stats: ServeStats = serve(ctx.intercomm(0), &svc).unwrap();
+            assert_eq!(svc.0.load(Ordering::SeqCst), 1, "exactly-once despite drops");
+            assert_eq!(stats.calls, 1);
+        }
+    });
+}
+
+/// Both directions corrupt messages: corrupt requests are NACKed back,
+/// corrupt responses are re-fetched from the provider's cache; execution
+/// stays exactly-once.
+fn corrupt_matrix(seed: u64) {
+    let corrupting = ChannelPolicy { corrupt: 0.4, ..ChannelPolicy::reliable() };
+    let cfg =
+        FaultConfig::reliable(seed).with_channel(0, 1, corrupting).with_channel(1, 0, corrupting);
+    Universe::run_with_faults(&[1, 1], cfg, |p, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let port = RemotePort::to_rank(0);
+            let policy = CallPolicy {
+                deadline: Duration::from_millis(30),
+                max_retries: 20,
+                backoff: Duration::from_millis(1),
+                ..CallPolicy::default()
+            }
+            .seeded(p.fault_seed());
+            let got: u64 = port.call_with_policy(ic, 0, 21u64, policy).unwrap();
+            assert_eq!(got, 42);
+            p.set_faults_armed(false);
+            port.shutdown(ic).unwrap();
+        } else {
+            let svc = Doubler(AtomicUsize::new(0));
+            let _ = serve(ctx.intercomm(0), &svc).unwrap();
+            assert_eq!(svc.0.load(Ordering::SeqCst), 1, "exactly-once despite corruption");
+        }
+    });
+}
+
+/// A caller dies between collective calls: the next call's commit vote
+/// fails on every survivor, both sides heal in lock-step (the retry
+/// backoff jittered from the fault seed), and the retried sequence
+/// completes with each provider executing it exactly once.
+fn death_matrix(seed: u64) {
+    struct Bump;
+    impl RemoteService for Bump {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+            let x: f64 = arg.downcast().unwrap();
+            AnyPayload::replicable(x + 1.0)
+        }
+    }
+    let cfg = FaultConfig::reliable(seed);
+    Universe::run_with_faults(&[3, 2], cfg, |p, ctx| {
+        if ctx.program == 0 {
+            let ic = ctx.intercomm(1);
+            let mut ep = CollectiveEndpoint::new();
+            let policy = CallPolicy {
+                deadline: Duration::from_millis(100),
+                max_retries: 4,
+                backoff: Duration::from_millis(2),
+                jitter: p.fault_seed(),
+                recover: true,
+            };
+            let r: f64 = ep.call_recovering(ic, 0, 1.0f64, policy).unwrap();
+            assert_eq!(r, 2.0);
+            if ctx.comm.rank() == 2 {
+                p.kill_rank(p.rank());
+                return;
+            }
+            while !p.is_dead(2) {
+                std::thread::yield_now();
+            }
+            let r2: f64 = ep.call_recovering(ic, 0, 5.0f64, policy).unwrap();
+            assert_eq!(r2, 6.0);
+            assert!(ep.epoch() >= 1, "the death forced at least one heal");
+            ep.shutdown(ic).unwrap();
+        } else {
+            let stats = collective_serve_recovering(ctx.intercomm(0), &Bump).unwrap();
+            assert_eq!(stats.calls, 2, "exactly-once per provider across the heal");
+        }
+    });
+}
