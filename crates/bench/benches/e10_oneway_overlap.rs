@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mxn_bench::time_universe;
-use mxn_framework::{AnyPayload, RemoteService};
+use mxn_framework::{AnyPayload, Dispatch, RemoteService};
 use mxn_prmi::{collective_serve, CollectiveEndpoint};
 
 const SERVICE: Duration = Duration::from_millis(2);
@@ -21,12 +21,12 @@ const STAGES: usize = 6;
 
 struct SlowService;
 impl RemoteService for SlowService {
-    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
         if method != 9 {
             std::thread::sleep(SERVICE);
         }
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::replicable(v)
+        AnyPayload::replicable(v).into()
     }
 }
 

@@ -16,14 +16,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mxn_bench::{criterion_config, time_universe};
 use mxn_dca::DcaPort;
-use mxn_framework::{AnyPayload, RemoteService};
+use mxn_framework::{AnyPayload, Dispatch, RemoteService};
 use mxn_prmi::subset_serve;
 
 struct Echo;
 impl RemoteService for Echo {
-    fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::replicable(v)
+        AnyPayload::replicable(v).into()
     }
 }
 

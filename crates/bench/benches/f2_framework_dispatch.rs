@@ -16,8 +16,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use mxn_bench::{criterion_config, time_universe};
 use mxn_framework::{
-    serve, AnyPayload, Component, Framework, RemotePort, RemoteService, Result as FwResult,
-    Services,
+    serve, AnyPayload, Component, Dispatch, Framework, RemotePort, RemoteService,
+    Result as FwResult, Services,
 };
 
 trait Compute: Send + Sync {
@@ -52,9 +52,9 @@ impl Component for User {
 
 struct Echo;
 impl RemoteService for Echo {
-    fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::new(v * 2.0)
+        AnyPayload::new(v * 2.0).into()
     }
 }
 

@@ -10,14 +10,14 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mxn_bench::{criterion_config, time_universe};
-use mxn_framework::{AnyPayload, RemoteService};
+use mxn_framework::{AnyPayload, Dispatch, RemoteService};
 use mxn_prmi::{subset_call, subset_serve, subset_shutdown, DeliveryPolicy};
 
 struct Echo;
 impl RemoteService for Echo {
-    fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::replicable(v)
+        AnyPayload::replicable(v).into()
     }
 }
 

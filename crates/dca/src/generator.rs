@@ -151,7 +151,7 @@ impl GeneratedStub {
 mod tests {
     use super::*;
     use mxn_framework::sidl::parse_interface;
-    use mxn_framework::{AnyPayload, RemoteService};
+    use mxn_framework::{AnyPayload, Dispatch, RemoteService};
     use mxn_prmi::{subset_serve, SubsetServeOutcome};
     use mxn_runtime::Universe;
 
@@ -165,9 +165,9 @@ mod tests {
 
     struct Thermo;
     impl RemoteService for Thermo {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             let v: f64 = arg.downcast().unwrap();
-            AnyPayload::replicable(v + method as f64 * 100.0)
+            AnyPayload::replicable(v + method as f64 * 100.0).into()
         }
     }
 

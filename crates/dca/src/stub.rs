@@ -193,15 +193,15 @@ impl DcaPort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mxn_framework::{AnyPayload, RemoteService};
+    use mxn_framework::{AnyPayload, Dispatch, RemoteService};
     use mxn_prmi::{subset_serve, SubsetServeOutcome};
     use mxn_runtime::Universe;
 
     struct AddTen;
     impl RemoteService for AddTen {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             let v: f64 = arg.downcast().unwrap();
-            AnyPayload::replicable(v + 10.0 + method as f64)
+            AnyPayload::replicable(v + 10.0 + method as f64).into()
         }
     }
 
@@ -299,9 +299,9 @@ mod tests {
 
         struct OneWayAware;
         impl RemoteService for OneWayAware {
-            fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+            fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
                 let v: f64 = arg.downcast().unwrap();
-                AnyPayload::replicable(v + 10.0 + if method == 2 { 100.0 } else { 0.0 })
+                AnyPayload::replicable(v + 10.0 + if method == 2 { 100.0 } else { 0.0 }).into()
             }
         }
     }

@@ -48,6 +48,12 @@ pub enum FrameworkError {
         /// The requested Rust type.
         requested: &'static str,
     },
+    /// The provider answered with a typed NACK: it does not implement the
+    /// requested method id. Authoritative — retrying cannot help.
+    MethodNotFound {
+        /// The unknown method id.
+        method: u32,
+    },
     /// A policy-governed RMI call used up all its attempts without seeing a
     /// response (the provider may still have executed the call).
     RetriesExhausted {
@@ -84,6 +90,9 @@ impl fmt::Display for FrameworkError {
             }
             FrameworkError::PortDowncast { port, requested } => {
                 write!(f, "port `{port}` does not hold a `{requested}`")
+            }
+            FrameworkError::MethodNotFound { method } => {
+                write!(f, "remote service does not implement method {method}")
             }
             FrameworkError::RetriesExhausted { method, attempts, last } => write!(
                 f,

@@ -88,6 +88,13 @@ impl AnyPayload {
         self.bytes
     }
 
+    /// Whether the wrapped value is a `T` (peek without consuming — used by
+    /// callers to recognize typed NACK payloads like [`MethodNotFound`]
+    /// before committing to a downcast).
+    pub fn is<T: 'static>(&self) -> bool {
+        self.value.is::<T>()
+    }
+
     /// Recovers the wrapped value.
     pub fn downcast<T: 'static>(self) -> Result<T> {
         self.value.downcast::<T>().map(|b| *b).map_err(|_| FrameworkError::PortDowncast {
@@ -139,11 +146,49 @@ impl MsgSize for RmiResponse {
     }
 }
 
+/// Typed NACK payload a server returns when a request names a method id the
+/// service does not implement. Callers recognize it with
+/// [`AnyPayload::is`] and surface [`FrameworkError::MethodNotFound`]
+/// instead of a downcast error — and the provider keeps serving instead of
+/// unwinding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodNotFound {
+    /// The unknown method id the client asked for.
+    pub method: u32,
+}
+
+impl MsgSize for MethodNotFound {
+    fn msg_size(&self) -> usize {
+        4
+    }
+}
+
+/// Outcome of one [`RemoteService::dispatch`].
+///
+/// `Reply` carries the marshalled result (dropped for one-way methods);
+/// `MethodNotFound` tells the serve loop to NACK the caller with a typed
+/// [`MethodNotFound`] payload. A misbehaving client can therefore never
+/// take down a provider: an unknown method id is an answered error, not a
+/// panic in the serve loop.
+pub enum Dispatch {
+    /// The method executed; here is its marshalled result.
+    Reply(AnyPayload),
+    /// The service does not implement the requested method id.
+    MethodNotFound,
+}
+
+impl From<AnyPayload> for Dispatch {
+    fn from(p: AnyPayload) -> Self {
+        Dispatch::Reply(p)
+    }
+}
+
 /// A provides-port implementation servable over RMI: dispatch by method id.
 pub trait RemoteService: Send + Sync {
     /// Handles one invocation. One-way methods still return a payload; it
-    /// is dropped by the server.
-    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload;
+    /// is dropped by the server. Return [`Dispatch::MethodNotFound`] for
+    /// method ids the service does not implement — never panic.
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch;
 }
 
 /// Statistics from one [`serve`] run.
@@ -157,6 +202,9 @@ pub struct ServeStats {
     pub duplicate_requests: usize,
     /// Undecodable (corrupt or mistyped) requests answered with a NACK.
     pub nacks: usize,
+    /// Requests naming an unimplemented method id, answered with a typed
+    /// [`MethodNotFound`] payload.
+    pub method_not_found: usize,
     /// Remote ranks that died before sending their shutdown.
     pub dead_clients: usize,
 }
@@ -239,18 +287,29 @@ pub fn serve(ic: &InterComm, service: &dyn RemoteService) -> Result<ServeStats> 
                 continue;
             }
         }
-        let result = service.dispatch(req.method, req.arg);
+        let (result, found) = match service.dispatch(req.method, req.arg) {
+            Dispatch::Reply(p) => (p, true),
+            Dispatch::MethodNotFound => {
+                stats.method_not_found += 1;
+                // Replicable so a retransmission re-fetches the same NACK
+                // from the dedup cache.
+                (AnyPayload::replicable(MethodNotFound { method: req.method }), false)
+            }
+        };
         mxn_trace::emit_instant(
             mxn_trace::EventId::RmiServe,
             [req.method as u64, req.call_id, info.src as u64, u64::from(req.oneway)],
         );
-        stats.calls += 1;
         if req.token != 0 {
             seen.insert((info.src, req.token), result.take_replicator());
         }
-        if req.oneway {
-            stats.oneway_calls += 1;
-        } else {
+        if found {
+            stats.calls += 1;
+            if req.oneway {
+                stats.oneway_calls += 1;
+            }
+        }
+        if !req.oneway {
             send_response(info.src, RmiResponse { call_id: req.call_id, result })?;
         }
     }
@@ -367,6 +426,9 @@ impl RemotePort {
             // Skip leftovers of earlier retried calls (duplicate responses)
             // and NACKs; FIFO guarantees ours eventually arrives.
             if resp.call_id == call_id {
+                if resp.result.is::<MethodNotFound>() {
+                    return Err(FrameworkError::MethodNotFound { method });
+                }
                 return resp.result.downcast::<R>();
             }
         }
@@ -425,7 +487,14 @@ impl RemotePort {
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 match ic.recv_timeout::<RmiResponse>(self.provider, RMI_RESP_TAG, remaining) {
-                    Ok(resp) if resp.call_id == call_id => return resp.result.downcast::<R>(),
+                    // A MethodNotFound NACK is authoritative: no retry can
+                    // make the provider grow the method, so fail fast.
+                    Ok(resp) if resp.call_id == call_id => {
+                        if resp.result.is::<MethodNotFound>() {
+                            return Err(FrameworkError::MethodNotFound { method });
+                        }
+                        return resp.result.downcast::<R>();
+                    }
                     // Stale duplicate of an earlier call, or a NACK asking
                     // us to retransmit: either way keep draining until our
                     // deadline, then retry.
@@ -520,19 +589,19 @@ mod tests {
     /// method 1 (one-way) = reset.
     struct Counter(parking_lot::Mutex<i64>);
     impl RemoteService for Counter {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             match method {
                 0 => {
                     let delta: i64 = arg.downcast().unwrap();
                     let mut v = self.0.lock();
                     *v += delta;
-                    AnyPayload::new(*v)
+                    AnyPayload::new(*v).into()
                 }
                 1 => {
                     *self.0.lock() = 0;
-                    AnyPayload::new(())
+                    AnyPayload::new(()).into()
                 }
-                _ => panic!("unknown method {method}"),
+                _ => Dispatch::MethodNotFound,
             }
         }
     }
@@ -618,6 +687,30 @@ mod tests {
             } else {
                 let names = receive_port_names(ctx.intercomm(1)).unwrap();
                 assert_eq!(names, vec!["field".to_string(), "control".to_string()]);
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_method_is_nacked_not_fatal() {
+        Universe::run(&[1, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let port = RemotePort::to_rank(0);
+                // Unknown method: a typed error, and the server survives.
+                let e = port.call::<i64, i64>(ic, 99, 5).unwrap_err();
+                assert!(matches!(e, FrameworkError::MethodNotFound { method: 99 }), "{e}");
+                // Policy-governed calls fail fast instead of burning retries.
+                let e = port.call_with_policy::<i64, i64>(ic, 7, 1, CallPolicy::default());
+                assert!(matches!(e, Err(FrameworkError::MethodNotFound { method: 7 })));
+                // The port still works afterwards.
+                assert_eq!(port.call::<i64, i64>(ic, 0, 5).unwrap(), 5);
+                port.shutdown(ic).unwrap();
+            } else {
+                let svc = Counter(parking_lot::Mutex::new(0));
+                let stats = serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.method_not_found, 2);
+                assert_eq!(stats.calls, 1, "unknown methods are not counted as calls");
             }
         });
     }

@@ -24,7 +24,7 @@
 
 use std::time::{Duration, Instant};
 
-use mxn_framework::{AnyPayload, CallPolicy, RemoteService};
+use mxn_framework::{AnyPayload, CallPolicy, Dispatch, MethodNotFound, RemoteService};
 use mxn_runtime::{Comm, InterComm, MsgSize, RuntimeError};
 
 use crate::error::{PrmiError, Result};
@@ -221,6 +221,9 @@ impl CollectiveEndpoint {
                 detail: format!("response seq {} for call {}", resp.call_seq, seq),
             });
         }
+        if resp.result.is::<MethodNotFound>() {
+            return Err(PrmiError::MethodNotFound { method });
+        }
         resp.result.downcast::<R>().map_err(PrmiError::from)
     }
 
@@ -316,10 +319,14 @@ impl CollectiveEndpoint {
                 let ok = got.is_some() && cur.any_dead().is_none();
                 if cur.agree_all(ok)? {
                     self.call_seq = seq + 1;
-                    return got
-                        .expect("a unanimous commit vote implies every caller holds its result")
-                        .downcast::<R>()
-                        .map_err(PrmiError::from);
+                    let result =
+                        got.expect("a unanimous commit vote implies every caller holds its result");
+                    // A committed NACK: every caller got the same typed
+                    // MethodNotFound, the sequence advanced, no heal needed.
+                    if result.is::<MethodNotFound>() {
+                        return Err(PrmiError::MethodNotFound { method });
+                    }
+                    return result.downcast::<R>().map_err(PrmiError::from);
                 }
                 heal_intercomm(cur, self.epoch)?
             };
@@ -369,6 +376,9 @@ pub struct CollectiveStats {
     pub oneway_calls: u64,
     /// Ghost return values sent (beyond the one-per-call minimum).
     pub ghost_returns: u64,
+    /// Requests naming an unimplemented method id, answered with a typed
+    /// [`MethodNotFound`] NACK instead of crashing the provider.
+    pub method_not_found: u64,
 }
 
 /// Provider-side serve loop for one rank of the parallel component:
@@ -385,15 +395,27 @@ pub fn collective_serve(ic: &InterComm, service: &dyn RemoteService) -> Result<C
         }
         let m = m_probe.num_callers;
         debug_assert_eq!(ic_owner(ic), j % m, "owner mapping is stable");
-        let result = service.dispatch(m_probe.method, m_probe.arg);
+        let (result, found) = match service.dispatch(m_probe.method, m_probe.arg) {
+            Dispatch::Reply(p) => (p, true),
+            Dispatch::MethodNotFound => {
+                stats.method_not_found += 1;
+                // Replicable so the NACK fans out as ghost returns too.
+                (AnyPayload::replicable(MethodNotFound { method: m_probe.method }), false)
+            }
+        };
         mxn_trace::emit_instant(
             mxn_trace::EventId::PrmiServe,
             [m_probe.method as u64, m_probe.call_seq, m as u64, u64::from(m_probe.oneway)],
         );
-        stats.calls += 1;
         if m_probe.oneway {
-            stats.oneway_calls += 1;
+            if found {
+                stats.calls += 1;
+                stats.oneway_calls += 1;
+            }
             continue;
+        }
+        if found {
+            stats.calls += 1;
         }
         let respondents = respondents_of(j, m, n);
         stats.ghost_returns += respondents.len().saturating_sub(1) as u64;
@@ -487,15 +509,26 @@ pub fn collective_serve_recovering(
                     let replicator = if replay {
                         cached.as_ref().expect("matched above").1.clone()
                     } else {
-                        let result = service.dispatch(r.method, r.arg);
+                        let (result, found) = match service.dispatch(r.method, r.arg) {
+                            Dispatch::Reply(p) => (p, true),
+                            Dispatch::MethodNotFound => {
+                                stats.method_not_found += 1;
+                                (AnyPayload::replicable(MethodNotFound { method: r.method }), false)
+                            }
+                        };
                         mxn_trace::emit_instant(
                             mxn_trace::EventId::PrmiServe,
                             [r.method as u64, r.call_seq, m as u64, u64::from(r.oneway)],
                         );
-                        stats.calls += 1;
                         if r.oneway {
-                            stats.oneway_calls += 1;
+                            if found {
+                                stats.calls += 1;
+                                stats.oneway_calls += 1;
+                            }
                             continue 'serve;
+                        }
+                        if found {
+                            stats.calls += 1;
                         }
                         let rep = result.take_replicator().ok_or_else(|| PrmiError::Protocol {
                             detail: "recovering collective results must be replayable; wrap \
@@ -568,20 +601,20 @@ mod tests {
     /// method 1 (one-way) = multiply state.
     struct Accum(parking_lot::Mutex<f64>);
     impl RemoteService for Accum {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             match method {
                 0 => {
                     let v: f64 = arg.downcast().unwrap();
                     let mut s = self.0.lock();
                     *s += v;
-                    AnyPayload::replicable(*s)
+                    AnyPayload::replicable(*s).into()
                 }
                 1 => {
                     let v: f64 = arg.downcast().unwrap();
                     *self.0.lock() *= v;
-                    AnyPayload::new(())
+                    AnyPayload::new(()).into()
                 }
-                _ => panic!("unknown method {method}"),
+                _ => Dispatch::MethodNotFound,
             }
         }
     }
@@ -764,6 +797,52 @@ mod tests {
                 let stats = collective_serve_recovering(ctx.intercomm(0), &svc).unwrap();
                 assert_eq!(stats.calls, 2, "aborted attempts replay the cached result");
                 assert_eq!(*svc.0.lock(), 4.0, "each call executed exactly once per provider");
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_method_nacks_across_ghost_fanout() {
+        // 4 callers, 1 provider: the NACK itself must fan out as ghost
+        // returns, and the provider keeps serving afterwards.
+        Universe::run(&[4, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let e = ep.call::<f64, f64>(ic, 42, 1.0).unwrap_err();
+                assert!(matches!(e, PrmiError::MethodNotFound { method: 42 }), "{e}");
+                let r: f64 = ep.call(ic, 0, 2.0f64).unwrap();
+                assert_eq!(r, 2.0);
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.method_not_found, 1);
+                assert_eq!(stats.calls, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_method_commits_under_recovery_without_healing() {
+        // The NACK is a *successful* protocol round: the commit vote passes,
+        // the sequence advances, and no heal is triggered.
+        Universe::run(&[2, 2], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let policy = CallPolicy::default().recovering();
+                let e = ep.call_recovering::<f64, f64>(ic, 9, 1.0, policy).unwrap_err();
+                assert!(matches!(e, PrmiError::MethodNotFound { method: 9 }), "{e}");
+                assert_eq!(ep.epoch(), 0, "a NACK is not a failure: no heal");
+                let r: f64 = ep.call_recovering(ic, 0, 3.0f64, policy).unwrap();
+                assert_eq!(r, 3.0);
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_recovering(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.method_not_found, 1);
+                assert_eq!(stats.calls, 1);
             }
         });
     }

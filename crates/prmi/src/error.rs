@@ -26,6 +26,13 @@ pub enum PrmiError {
         /// What the blocked side was waiting for.
         waiting_for: String,
     },
+    /// Every provider answered with a typed NACK: the service does not
+    /// implement the requested method id. Authoritative — neither retrying
+    /// nor healing can help.
+    MethodNotFound {
+        /// The unknown method id.
+        method: u32,
+    },
     /// A recovering collective call ran out of retry attempts without ever
     /// winning a commit vote (the connection kept failing faster than it
     /// could be healed).
@@ -50,6 +57,9 @@ impl fmt::Display for PrmiError {
             PrmiError::Protocol { detail } => write!(f, "PRMI protocol error: {detail}"),
             PrmiError::DeliveryDeadlock { waiting_for } => {
                 write!(f, "collective delivery deadlocked waiting for {waiting_for}")
+            }
+            PrmiError::MethodNotFound { method } => {
+                write!(f, "parallel service does not implement method {method}")
             }
             PrmiError::RecoveryExhausted { method, attempts } => write!(
                 f,

@@ -22,14 +22,14 @@ pub fn serve_independent(ic: &InterComm, service: &dyn RemoteService) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mxn_framework::{shutdown_all, AnyPayload};
+    use mxn_framework::{shutdown_all, AnyPayload, Dispatch};
     use mxn_runtime::Universe;
 
     struct Echo;
     impl RemoteService for Echo {
-        fn dispatch(&self, _method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, _method: u32, arg: AnyPayload) -> Dispatch {
             let v: u64 = arg.downcast().unwrap();
-            AnyPayload::new(v + 1)
+            AnyPayload::new(v + 1).into()
         }
     }
 

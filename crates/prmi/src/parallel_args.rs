@@ -14,7 +14,7 @@
 //! call, via [`ParallelPortSpec`] registered with the serve loop.
 
 use mxn_dad::{Dad, LocalArray};
-use mxn_framework::AnyPayload;
+use mxn_framework::{AnyPayload, MethodNotFound};
 use mxn_runtime::{InterComm, MsgSize};
 use mxn_schedule::RegionSchedule;
 
@@ -42,8 +42,11 @@ pub struct ParallelPortSpec {
 /// A service method over parallel data: receives its local portion of the
 /// redistributed input and produces its local portion of the output.
 pub trait ParallelService: Send + Sync {
-    /// The layouts this provider expects, per method id.
-    fn spec(&self, method: u32) -> ParallelPortSpec;
+    /// The layouts this provider expects, per method id. `None` means the
+    /// method id is not implemented: the serve loop NACKs the callers with
+    /// a typed [`MethodNotFound`] (without touching the array plane) and
+    /// never calls [`ParallelService::execute`] for it.
+    fn spec(&self, method: u32) -> Option<ParallelPortSpec>;
 
     /// Executes the method on this rank's portion. `input` is this rank's
     /// patch set of the redistributed argument. Returns `(simple_result,
@@ -101,6 +104,9 @@ impl ParallelEndpoint {
         // Await the simple return value.
         let responder = ic.local_rank() % ic.remote_size();
         let resp: CollResp = ic.recv(responder, COLL_RESP_TAG).map_err(PrmiError::Runtime)?;
+        if resp.result.is::<MethodNotFound>() {
+            return Err(PrmiError::MethodNotFound { method });
+        }
         resp.result.downcast::<R>().map_err(PrmiError::from)
     }
 
@@ -127,11 +133,19 @@ impl ParallelEndpoint {
         let seq = self.begin_call(ic, method, simple_arg)?;
         let sched = RegionSchedule::for_sender(caller_dad, callee_dad, ic.local_rank());
         sched.execute_send(ic, local, array_tag(seq)).map_err(PrmiError::Runtime)?;
+        // Await the simple return *first*: a provider that NACKs an unknown
+        // method sends no parallel return, so blocking on the array plane
+        // before seeing the response would hang forever. Messages buffer
+        // eagerly in the mailbox, so taking the response before draining
+        // the (earlier-sent) array patches loses nothing.
+        let responder = ic.local_rank() % ic.remote_size();
+        let resp: CollResp = ic.recv(responder, COLL_RESP_TAG).map_err(PrmiError::Runtime)?;
+        if resp.result.is::<MethodNotFound>() {
+            return Err(PrmiError::MethodNotFound { method });
+        }
         // Receive the redistributed parallel return.
         let rsched = RegionSchedule::for_receiver(callee_out_dad, result_dad, ic.local_rank());
         rsched.execute_recv(ic, result_local, array_tag(seq) + 1).map_err(PrmiError::Runtime)?;
-        let responder = ic.local_rank() % ic.remote_size();
-        let resp: CollResp = ic.recv(responder, COLL_RESP_TAG).map_err(PrmiError::Runtime)?;
         resp.result.downcast::<R>().map_err(PrmiError::from)
     }
 
@@ -201,7 +215,25 @@ pub fn parallel_serve(
             return Ok(calls);
         }
         let m = req.num_callers;
-        let spec = service.spec(req.method);
+        let Some(spec) = service.spec(req.method) else {
+            // Unknown method: NACK every respondent with a typed payload
+            // and keep serving. The callers' already-sent array patches
+            // stay unmatched in the mailbox — they are never dispatched,
+            // and per-call tags keep them from colliding with later calls.
+            let respondents = respondents_of(j, m, n);
+            for &k in &respondents {
+                ic.send(
+                    k,
+                    COLL_RESP_TAG,
+                    CollResp {
+                        call_seq: req.call_seq,
+                        result: AnyPayload::replicable(MethodNotFound { method: req.method }),
+                    },
+                )
+                .map_err(PrmiError::Runtime)?;
+            }
+            continue;
+        };
         // Receive this rank's portion of the redistributed input.
         let mut input = LocalArray::allocate(&spec.input, j);
         let rsched = RegionSchedule::for_receiver(caller_dad, &spec.input, j);
@@ -258,11 +290,11 @@ mod tests {
     }
 
     impl ParallelService for NormService {
-        fn spec(&self, method: u32) -> ParallelPortSpec {
-            ParallelPortSpec {
+        fn spec(&self, method: u32) -> Option<ParallelPortSpec> {
+            (method <= 1).then(|| ParallelPortSpec {
                 input: self.input_dad.clone(),
                 output: (method == 1).then(|| self.output_dad.clone()),
-            }
+            })
         }
 
         fn execute(
@@ -286,7 +318,7 @@ mod tests {
                     }
                     (AnyPayload::replicable(local_sum), Some(out))
                 }
-                _ => panic!("unknown method"),
+                _ => unreachable!("parallel_serve gates unknown methods via spec()"),
             }
         }
     }
@@ -369,6 +401,58 @@ mod tests {
                     partial_sums: Default::default(),
                 };
                 parallel_serve(ctx.intercomm(0), &caller_dad, Some(&caller_dad), &svc).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn unknown_parallel_method_nacks_without_touching_array_plane() {
+        Universe::run(&[2, 2], |_, ctx| {
+            let e = Extents::new([4, 4]);
+            let caller_dad = Dad::block(e.clone(), &[2, 1]).unwrap();
+            let callee_dad = Dad::block(e, &[1, 2]).unwrap();
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = ParallelEndpoint::new();
+                let local = LocalArray::from_fn(&caller_dad, ctx.comm.rank(), |idx| {
+                    (idx[0] * 4 + idx[1]) as f64
+                });
+                // Unknown method with a declared parallel return: the call
+                // must fail with a typed error, not hang on the array plane.
+                let mut result: LocalArray<f64> =
+                    LocalArray::allocate(&caller_dad, ctx.comm.rank());
+                let err = ep
+                    .call_with_array_ret::<f64, f64>(
+                        ic,
+                        77,
+                        1.0,
+                        &caller_dad,
+                        &callee_dad,
+                        &local,
+                        &callee_dad,
+                        &caller_dad,
+                        &mut result,
+                    )
+                    .unwrap_err();
+                assert!(matches!(err, PrmiError::MethodNotFound { method: 77 }), "{err}");
+                // Input-only variant NACKs too, and the service survives.
+                let err = ep
+                    .call_with_array::<f64, f64>(ic, 8, 1.0, &caller_dad, &callee_dad, &local)
+                    .unwrap_err();
+                assert!(matches!(err, PrmiError::MethodNotFound { method: 8 }), "{err}");
+                let sum: f64 =
+                    ep.call_with_array(ic, 0, 1.0f64, &caller_dad, &callee_dad, &local).unwrap();
+                assert!(sum.is_finite());
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = NormService {
+                    input_dad: callee_dad.clone(),
+                    output_dad: callee_dad.clone(),
+                    partial_sums: Default::default(),
+                };
+                let calls =
+                    parallel_serve(ctx.intercomm(0), &caller_dad, Some(&caller_dad), &svc).unwrap();
+                assert_eq!(calls, 1, "NACKed requests are not dispatched");
             }
         });
     }

@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use mxn_framework::{AnyPayload, RemoteService};
+use mxn_framework::{AnyPayload, Dispatch, MethodNotFound, RemoteService};
 use mxn_runtime::{Comm, InterComm, MsgSize, RuntimeError, Src};
 
 use crate::error::{PrmiError, Result};
@@ -172,6 +172,9 @@ where
             Err(e) => return Err(PrmiError::Runtime(e)),
         },
     };
+    if resp.is::<MethodNotFound>() {
+        return Err(PrmiError::MethodNotFound { method });
+    }
     resp.downcast::<R>().map_err(PrmiError::from)
 }
 
@@ -247,7 +250,10 @@ pub fn subset_serve(
         // All shares in: execute once, respond to every participant
         // (one-way calls skip the response phase).
         let oneway = first.oneway;
-        let result = service.dispatch(method, first.arg);
+        let (result, found) = match service.dispatch(method, first.arg) {
+            Dispatch::Reply(p) => (p, true),
+            Dispatch::MethodNotFound => (AnyPayload::replicable(MethodNotFound { method }), false),
+        };
         mxn_trace::emit_instant(
             mxn_trace::EventId::PrmiServe,
             [
@@ -257,7 +263,9 @@ pub fn subset_serve(
                 u64::from(oneway),
             ],
         );
-        calls += 1;
+        if found {
+            calls += 1;
+        }
         if oneway {
             continue;
         }
@@ -298,9 +306,9 @@ mod tests {
     /// Echo service doubling an f64.
     struct Doubler;
     impl RemoteService for Doubler {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             let v: f64 = arg.downcast().unwrap();
-            AnyPayload::replicable(v * 2.0 + method as f64)
+            AnyPayload::replicable(v * 2.0 + method as f64).into()
         }
     }
 

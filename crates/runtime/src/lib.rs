@@ -60,6 +60,7 @@ pub mod request;
 pub mod shared;
 pub mod stats;
 pub mod tracing;
+pub mod transport;
 pub mod universe;
 pub mod world;
 
@@ -82,6 +83,7 @@ pub use stats::{
     schedule_stats, CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
 };
 pub use tracing::{coll_algo, err_code, fault_kind};
+pub use transport::{InProcTransport, Transport};
 pub use universe::{ProgramCtx, Universe};
 pub use world::{Process, World};
 

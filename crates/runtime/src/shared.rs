@@ -12,6 +12,7 @@ use crate::membership::Revocations;
 use crate::network::{ChannelClock, NetworkModel};
 use crate::stats::{FaultClass, TrafficClass, WorldStats};
 use crate::tracing::{ctx_class, fault_kind, tag_arg};
+use crate::transport::{InProcTransport, Transport};
 use mxn_trace::{emit_instant, EventId};
 
 /// Context id of the world communicator's point-to-point traffic.
@@ -23,7 +24,7 @@ pub const WORLD_CONTEXT: u32 = 0;
 /// State shared by every rank of one [`crate::World`]: the mailboxes, the
 /// abort flag, the communicator-context allocator and the traffic counters.
 pub struct WorldShared {
-    mailboxes: Vec<Mailbox>,
+    transport: InProcTransport,
     abort: Arc<AtomicBool>,
     next_context: AtomicU32,
     stats: WorldStats,
@@ -54,11 +55,10 @@ impl WorldShared {
         let abort = Arc::new(AtomicBool::new(false));
         let liveness = Arc::new(Liveness::new(n));
         let revocations = Arc::new(Revocations::new());
-        let mailboxes = (0..n)
-            .map(|_| Mailbox::new(abort.clone(), liveness.clone(), revocations.clone()))
-            .collect();
+        let transport =
+            InProcTransport::new(n, abort.clone(), liveness.clone(), revocations.clone());
         Arc::new(WorldShared {
-            mailboxes,
+            transport,
             abort,
             // Context 0/1 belong to the world communicator.
             next_context: AtomicU32::new(2),
@@ -77,12 +77,17 @@ impl WorldShared {
 
     /// Number of ranks in the world.
     pub fn size(&self) -> usize {
-        self.mailboxes.len()
+        self.transport.size()
+    }
+
+    /// The world's delivery mechanism.
+    pub fn transport(&self) -> &InProcTransport {
+        &self.transport
     }
 
     /// The mailbox of a global rank.
     pub fn mailbox(&self, global_rank: usize) -> &Mailbox {
-        &self.mailboxes[global_rank]
+        self.transport.mailbox(global_rank)
     }
 
     /// Allocates a fresh context *pair* and returns its point-to-point id.
@@ -97,9 +102,7 @@ impl WorldShared {
     /// Marks the world aborted and wakes every blocked receiver.
     pub fn abort(&self) {
         self.abort.store(true, Ordering::Release);
-        for m in &self.mailboxes {
-            m.wake_all();
-        }
+        self.transport.wake_all();
     }
 
     /// Whether the world has been aborted.
@@ -143,9 +146,7 @@ impl WorldShared {
         let newly = self.revocations.mark(base);
         if newly {
             emit_instant(EventId::Revoke, [ctx_class(base), 0, 0, 0]);
-            for m in &self.mailboxes {
-                m.wake_all();
-            }
+            self.transport.wake_all();
         }
         newly
     }
@@ -178,9 +179,7 @@ impl WorldShared {
             self.stats.record_fault(FaultClass::RankDeath);
             emit_instant(EventId::FaultInject, [fault_kind::DEATH, global as u64, 0, 0]);
         }
-        for m in &self.mailboxes {
-            m.wake_all();
-        }
+        self.transport.wake_all();
     }
 
     /// Counts one operation by the calling rank and enforces its liveness:
@@ -278,8 +277,7 @@ impl WorldShared {
                     let dup =
                         Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, p);
                     // Duplicate first, then the original, under one lock.
-                    self.mailbox(dst_global).post_many([dup, env]);
-                    return Ok(());
+                    return self.transport.deliver_pair(dst_global, dup, env);
                 }
             }
             Verdict::Corrupt => {
@@ -291,8 +289,7 @@ impl WorldShared {
                 env.corrupt();
             }
         }
-        self.mailbox(dst_global).push(env);
-        Ok(())
+        self.transport.deliver(dst_global, env)
     }
 
     /// Posts one shared payload to many destinations: the multicast

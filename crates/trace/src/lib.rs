@@ -100,10 +100,22 @@ pub enum EventId {
     Commit = 23,
     /// Transactional transfer rolled back; args = `[epoch, seq]`.
     Rollback = 24,
+    /// A wire-transport link was established (or accepted); args =
+    /// `[peer, attempt, resumed_frames, listener]`.
+    WireConnect = 25,
+    /// A wire-transport reconnect attempt span; End args =
+    /// `[peer, attempt, success]`.
+    WireReconnect = 26,
+    /// A received frame failed its CRC (payload or header); args =
+    /// `[peer, kind, bytes, header_ok]`.
+    WireFrameCorrupt = 27,
+    /// A peer missed its heartbeat/liveness deadline; args =
+    /// `[peer, silence_micros, deadline_micros]`.
+    HeartbeatMiss = 28,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 24] = [
+pub const ALL_EVENT_IDS: [EventId; 28] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -128,6 +140,10 @@ pub const ALL_EVENT_IDS: [EventId; 24] = [
     EventId::Heal,
     EventId::Commit,
     EventId::Rollback,
+    EventId::WireConnect,
+    EventId::WireReconnect,
+    EventId::WireFrameCorrupt,
+    EventId::HeartbeatMiss,
 ];
 
 impl EventId {
@@ -158,6 +174,10 @@ impl EventId {
             EventId::Heal => "Heal",
             EventId::Commit => "Commit",
             EventId::Rollback => "Rollback",
+            EventId::WireConnect => "WireConnect",
+            EventId::WireReconnect => "WireReconnect",
+            EventId::WireFrameCorrupt => "WireFrameCorrupt",
+            EventId::HeartbeatMiss => "HeartbeatMiss",
         }
     }
 
@@ -182,6 +202,10 @@ impl EventId {
             | EventId::Heal
             | EventId::Commit
             | EventId::Rollback => "recovery",
+            EventId::WireConnect
+            | EventId::WireReconnect
+            | EventId::WireFrameCorrupt
+            | EventId::HeartbeatMiss => "wire",
         }
     }
 
@@ -198,9 +222,13 @@ impl EventId {
     /// `Arc` refcount race ([`EventId::CollClone`], [`EventId::CollAlloc`]),
     /// which sender a wildcard receive happened to match
     /// ([`EventId::MailboxMatch`]), how many timeout polls a serve loop
-    /// spun before its message arrived ([`EventId::OpError`]), and how many
+    /// spun before its message arrived ([`EventId::OpError`]), how many
     /// agreement contributions beat the deadline ([`EventId::Agree`] —
-    /// whether a dying rank's vote lands depends on thread interleaving).
+    /// whether a dying rank's vote lands depends on thread interleaving),
+    /// and every wire-transport event ([`EventId::WireConnect`],
+    /// [`EventId::WireReconnect`], [`EventId::WireFrameCorrupt`],
+    /// [`EventId::HeartbeatMiss`] — socket timing is real wall-clock
+    /// physics, not seeded simulation).
     /// They are still recorded, merged, exported and aggregated — they just
     /// never participate in golden digests, exactly like `wall_us`.
     pub fn in_digest(self) -> bool {
@@ -211,6 +239,10 @@ impl EventId {
                 | EventId::MailboxMatch
                 | EventId::OpError
                 | EventId::Agree
+                | EventId::WireConnect
+                | EventId::WireReconnect
+                | EventId::WireFrameCorrupt
+                | EventId::HeartbeatMiss
         )
     }
 }

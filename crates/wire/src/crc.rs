@@ -1,0 +1,72 @@
+//! CRC-32 (IEEE 802.3, reflected) — the per-frame integrity check.
+//!
+//! The in-proc fault plane damages a 64-bit envelope checksum to *model*
+//! corruption; on a real byte stream the damage is physical, so the wire
+//! layer needs a checksum computed over the actual bytes. CRC-32 is the
+//! standard choice for frame-sized payloads: cheap, table-driven, and its
+//! burst-error detection matches the failure mode of a torn or bit-flipped
+//! socket stream.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// Table of CRCs of all single-byte messages, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (init `!0`, xor-out `!0` — the standard parameters,
+/// matching `cksum`-style implementations).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let msg = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc32(&msg);
+        for byte in 0..msg.len() {
+            for bit in 0..8 {
+                let mut damaged = msg.clone();
+                damaged[byte] ^= 1 << bit;
+                assert_ne!(crc32(&damaged), clean, "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_crc() {
+        let msg = b"framed payload bytes".to_vec();
+        let clean = crc32(&msg);
+        for cut in 0..msg.len() {
+            assert_ne!(crc32(&msg[..cut]), clean, "truncation to {cut} bytes undetected");
+        }
+    }
+}

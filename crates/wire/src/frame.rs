@@ -1,0 +1,407 @@
+//! Length-prefixed framing with per-frame CRCs and magic-based resync.
+//!
+//! A byte stream has no message boundaries, so the wire transport frames
+//! every message:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     MAGIC  b"MxN1"
+//! 4       1     kind   (Data | Heartbeat | Hello | Bye)
+//! 5       3     reserved (zero)
+//! 8       4     src    sender's global rank
+//! 12      4     context
+//! 16      4     tag    (i32)
+//! 20      8     seq    per-link data sequence number
+//! 28      4     codec  payload-type tag (see CodecRegistry)
+//! 32      4     payload_len
+//! 36      4     header CRC-32 over bytes 0..36
+//! 40      n     payload bytes
+//! 40+n    4     payload CRC-32
+//! ```
+//!
+//! Two CRCs, not one: the header CRC lets the reader trust `payload_len`
+//! before committing to read that many bytes (a corrupt length would
+//! otherwise desynchronize the stream or allocate unboundedly), and the
+//! payload CRC detects damage to the bytes themselves. When either check
+//! fails the [`FrameReader`] *resynchronizes* by scanning for the next
+//! `MAGIC`, so one damaged frame costs one frame — never the rest of the
+//! stream, and never a panic.
+
+use crate::crc::crc32;
+
+/// Frame delimiter; also the resync scan target after corruption.
+pub const MAGIC: [u8; 4] = *b"MxN1";
+
+/// Fixed frame header size, including the header CRC.
+pub const HEADER_LEN: usize = 40;
+
+/// Upper bound on a single frame's payload; a "length" beyond this is
+/// treated as header corruption rather than honored.
+pub const MAX_PAYLOAD: usize = 1 << 26; // 64 MiB
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// An application message: codec-encoded payload destined for a
+    /// mailbox `(context, tag)` bucket.
+    Data = 1,
+    /// Link-level liveness beacon; carries no payload.
+    Heartbeat = 2,
+    /// Connection/session handshake. Payload is `(session, last_recv_seq)`
+    /// — the receiver retransmits every retained data frame with a higher
+    /// sequence number (session resume after reconnect).
+    Hello = 3,
+    /// Orderly goodbye: the peer is leaving on purpose, not crashing.
+    Bye = 4,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(FrameKind::Data),
+            2 => Some(FrameKind::Heartbeat),
+            3 => Some(FrameKind::Hello),
+            4 => Some(FrameKind::Bye),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame carries.
+    pub kind: FrameKind,
+    /// Sender's global rank.
+    pub src: u32,
+    /// Destination mailbox context (Data frames).
+    pub context: u32,
+    /// Destination mailbox tag (Data frames).
+    pub tag: i32,
+    /// Per-link data sequence number (0 for control frames).
+    pub seq: u64,
+    /// Codec tag of the payload encoding.
+    pub codec: u32,
+    /// Encoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A payload-free control frame.
+    pub fn control(kind: FrameKind, src: u32) -> Self {
+        Frame { kind, src, context: 0, tag: 0, seq: 0, codec: 0, payload: Vec::new() }
+    }
+
+    /// Serializes the frame, stamping both CRCs.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len() + 4);
+        out.extend_from_slice(&MAGIC);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&[0; 3]);
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.context.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.codec.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let hcrc = crc32(&out);
+        out.extend_from_slice(&hcrc.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out
+    }
+}
+
+/// Routing metadata recovered from an intact header whose *payload* CRC
+/// failed — enough to tell the destination mailbox "something for you was
+/// damaged" so the receiver observes `Corrupt` instead of silence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptHeader {
+    /// Sender's global rank.
+    pub src: u32,
+    /// Destination context.
+    pub context: u32,
+    /// Destination tag.
+    pub tag: i32,
+    /// Data sequence number.
+    pub seq: u64,
+}
+
+/// A frame-level integrity failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Bytes were damaged. `skipped` counts the bytes discarded while
+    /// resynchronizing; `header` is present when the header itself was
+    /// intact (payload-CRC failure), letting the caller surface a
+    /// routable corruption error.
+    Corrupt {
+        /// Bytes discarded to get back in sync.
+        skipped: usize,
+        /// The intact header, if only the payload was damaged.
+        header: Option<CorruptHeader>,
+        /// Which check failed.
+        reason: &'static str,
+    },
+}
+
+/// Incremental frame decoder over an arbitrary byte-chunk stream.
+///
+/// Feed it whatever `read` returned; it buffers partial frames and yields
+/// complete ones. All corruption — bad magic, damaged headers, damaged
+/// payloads, truncation mid-stream — surfaces as [`FrameError::Corrupt`]
+/// followed by successful resync on the next intact frame.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered (complete or partial frames).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Scans to the next `MAGIC`, returning how many bytes were dropped.
+    /// Keeps a possible magic prefix at the tail so a magic split across
+    /// two `feed`s is not lost.
+    fn resync(&mut self) -> usize {
+        let n = self.buf.len();
+        let mut i = 1; // byte 0 is known-bad when resync is called
+        while i < n {
+            let window = &self.buf[i..(i + 4).min(n)];
+            if MAGIC.starts_with(window) || window == MAGIC {
+                break;
+            }
+            i += 1;
+        }
+        self.buf.drain(..i);
+        i
+    }
+
+    /// Pulls the next complete frame, a corruption report, or `None` when
+    /// more bytes are needed.
+    #[allow(clippy::should_implement_trait)] // pull-style API, deliberately not an Iterator
+    pub fn next(&mut self) -> Option<Result<Frame, FrameError>> {
+        if self.buf.len() < 4 {
+            // A partial magic prefix stays buffered; junk is dropped.
+            if !MAGIC.starts_with(&self.buf) {
+                let skipped = self.resync();
+                if skipped > 0 {
+                    return Some(Err(FrameError::Corrupt {
+                        skipped,
+                        header: None,
+                        reason: "garbage before frame magic",
+                    }));
+                }
+            }
+            return None;
+        }
+        if self.buf[..4] != MAGIC {
+            let skipped = self.resync();
+            return Some(Err(FrameError::Corrupt {
+                skipped,
+                header: None,
+                reason: "garbage before frame magic",
+            }));
+        }
+        if self.buf.len() < HEADER_LEN {
+            return None;
+        }
+        let stored_hcrc = read_u32(&self.buf[36..40]);
+        let kind = FrameKind::from_u8(self.buf[4]);
+        let payload_len = read_u32(&self.buf[32..36]) as usize;
+        if crc32(&self.buf[..36]) != stored_hcrc || kind.is_none() || payload_len > MAX_PAYLOAD {
+            // The "magic" was a lie (or the header was hit): drop one
+            // byte and rescan so a real frame hiding behind it is found.
+            self.buf.drain(..1);
+            let skipped = 1 + self.resync();
+            return Some(Err(FrameError::Corrupt {
+                skipped,
+                header: None,
+                reason: "damaged frame header",
+            }));
+        }
+        let total = HEADER_LEN + payload_len + 4;
+        if self.buf.len() < total {
+            return None;
+        }
+        let header = CorruptHeader {
+            src: read_u32(&self.buf[8..12]),
+            context: read_u32(&self.buf[12..16]),
+            tag: read_u32(&self.buf[16..20]) as i32,
+            seq: read_u64(&self.buf[20..28]),
+        };
+        let payload = &self.buf[HEADER_LEN..HEADER_LEN + payload_len];
+        let stored_pcrc = read_u32(&self.buf[HEADER_LEN + payload_len..total]);
+        if crc32(payload) != stored_pcrc {
+            // Header was sound, so the whole (length-delimited) frame
+            // can be discarded in one step: stream stays in sync.
+            self.buf.drain(..total);
+            return Some(Err(FrameError::Corrupt {
+                skipped: total,
+                header: Some(header),
+                reason: "damaged frame payload",
+            }));
+        }
+        let frame = Frame {
+            kind: kind.expect("checked above"),
+            src: header.src,
+            context: header.context,
+            tag: header.tag,
+            seq: header.seq,
+            codec: read_u32(&self.buf[28..32]),
+            payload: payload.to_vec(),
+        };
+        self.buf.drain(..total);
+        Some(Ok(frame))
+    }
+}
+
+fn read_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4-byte slice"))
+}
+
+fn read_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8-byte slice"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_frame(seq: u64, payload: &[u8]) -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            src: 2,
+            context: 7,
+            tag: 0x5252,
+            seq,
+            codec: 15,
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_reader() {
+        let f = data_frame(9, b"hello");
+        let mut r = FrameReader::new();
+        r.feed(&f.encode());
+        assert_eq!(r.next(), Some(Ok(f)));
+        assert_eq!(r.next(), None);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let frames: Vec<Frame> = (0..3).map(|i| data_frame(i, &[i as u8; 5])).collect();
+        let bytes: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let mut r = FrameReader::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            r.feed(&[b]);
+            while let Some(res) = r.next() {
+                got.push(res.unwrap());
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn payload_bit_flip_reports_corrupt_with_header_and_resyncs() {
+        let a = data_frame(1, b"aaaa");
+        let b = data_frame(2, b"bbbb");
+        let mut bytes = a.encode();
+        bytes[HEADER_LEN + 1] ^= 0x10; // damage a payload byte of `a`
+        bytes.extend_from_slice(&b.encode());
+        let mut r = FrameReader::new();
+        r.feed(&bytes);
+        match r.next() {
+            Some(Err(FrameError::Corrupt { header: Some(h), reason, .. })) => {
+                assert_eq!(h.seq, 1);
+                assert_eq!(h.context, 7);
+                assert_eq!(reason, "damaged frame payload");
+            }
+            other => panic!("expected payload corruption, got {other:?}"),
+        }
+        assert_eq!(r.next(), Some(Ok(b)), "stream resynced on the very next frame");
+    }
+
+    #[test]
+    fn header_bit_flip_resyncs_to_next_frame() {
+        let a = data_frame(1, b"aaaa");
+        let b = data_frame(2, b"bbbb");
+        let mut bytes = a.encode();
+        bytes[20] ^= 0x01; // damage seq inside the protected header
+        bytes.extend_from_slice(&b.encode());
+        let mut r = FrameReader::new();
+        r.feed(&bytes);
+        let mut corrupt = 0;
+        let mut good = Vec::new();
+        while let Some(res) = r.next() {
+            match res {
+                Ok(f) => good.push(f),
+                Err(FrameError::Corrupt { .. }) => corrupt += 1,
+            }
+        }
+        assert!(corrupt >= 1, "header damage must be reported");
+        assert_eq!(good, vec![b], "the frame after the damaged one survives");
+    }
+
+    #[test]
+    fn leading_garbage_is_skipped() {
+        let f = data_frame(3, b"x");
+        let mut r = FrameReader::new();
+        r.feed(b"NOISEnoiseNOISE");
+        r.feed(&f.encode());
+        let mut good = None;
+        while let Some(res) = r.next() {
+            if let Ok(frame) = res {
+                good = Some(frame);
+            }
+        }
+        assert_eq!(good, Some(f));
+    }
+
+    #[test]
+    fn absurd_length_is_header_corruption_not_allocation() {
+        let f = data_frame(1, b"ok");
+        let mut bytes = f.encode();
+        bytes[32..36].copy_from_slice(&u32::MAX.to_le_bytes()); // forge payload_len
+        let mut r = FrameReader::new();
+        r.feed(&bytes);
+        assert!(matches!(r.next(), Some(Err(FrameError::Corrupt { .. }))));
+    }
+
+    #[test]
+    fn truncated_final_frame_stays_pending_not_corrupt() {
+        let f = data_frame(1, b"pppp");
+        let bytes = f.encode();
+        let mut r = FrameReader::new();
+        r.feed(&bytes[..bytes.len() - 3]);
+        assert_eq!(r.next(), None, "incomplete frame waits for more bytes");
+        r.feed(&bytes[bytes.len() - 3..]);
+        assert_eq!(r.next(), Some(Ok(f)));
+    }
+
+    #[test]
+    fn control_frames_are_payload_free() {
+        let hb = Frame::control(FrameKind::Heartbeat, 4);
+        let mut r = FrameReader::new();
+        r.feed(&hb.encode());
+        let got = r.next().unwrap().unwrap();
+        assert_eq!(got.kind, FrameKind::Heartbeat);
+        assert_eq!(got.src, 4);
+        assert!(got.payload.is_empty());
+    }
+}

@@ -1,0 +1,1117 @@
+//! A wire-transport node: one OS process's endpoint in a UDS mesh.
+//!
+//! Each of the `size` participants binds `dir/rank_<r>.sock` and the mesh
+//! is completed by the *higher* rank dialing the lower — every pair gets
+//! exactly one bidirectional stream. On top of that sit the robustness
+//! layers, bottom to top:
+//!
+//! * **Framing + CRC** ([`crate::frame`]): damage is detected, reported as
+//!   a `WireFrameCorrupt` trace event, surfaced to the blocked receiver as
+//!   [`RuntimeError::Corrupt`] when the header was routable, and the
+//!   stream resyncs.
+//! * **Sequencing + session resume** ([`crate::link`]): data frames carry
+//!   per-link sequence numbers; a reconnecting peer announces the highest
+//!   one it saw (`Hello`) and the sender replays the missing tail from its
+//!   ring, while the receiver's duplicate guard drops any overlap — at
+//!   the link layer, disconnects lose nothing the ring still holds.
+//! * **Heartbeats** : every link is beaconed; silence past the liveness
+//!   deadline is a `HeartbeatMiss` and tears the link down for reconnect.
+//! * **Bounded reconnect**: the dialing side retries with deterministic
+//!   seeded exponential backoff (the fault plane's RNG via
+//!   [`CallPolicy::retry_pause`]); when attempts exhaust — or, on the
+//!   passive side, the reconnect window passes without a new `Hello` —
+//!   the peer is *reported dead* in the same [`Liveness`] registry the
+//!   in-proc runtime uses, every blocked receive wakes with
+//!   [`RuntimeError::PeerDead`], and recovery proceeds exactly as for an
+//!   in-proc rank death: agree on survivors, shrink, go on.
+//!
+//! The mailbox behind `recv` *is* `mxn_runtime::mailbox::Mailbox` — the
+//! wire transport changes how envelopes arrive, not how they match.
+
+use std::any::Any;
+use std::io::{self, Read};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mxn_framework::CallPolicy;
+use mxn_runtime::envelope::{Envelope, Payload, Src, Tag};
+use mxn_runtime::fault::Liveness;
+use mxn_runtime::mailbox::{Mailbox, PeerRef};
+use mxn_runtime::membership::Revocations;
+use mxn_runtime::{splitmix64, Result, RuntimeError, Transport};
+use mxn_trace::{emit, emit_instant, EventId, Phase, TraceHandle};
+
+use crate::codec::CodecRegistry;
+use crate::fault::WireFaults;
+use crate::frame::{Frame, FrameError, FrameKind, FrameReader};
+use crate::link::LinkSender;
+
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// Context id reserved for the node's own control protocol (survivor
+/// agreement); application traffic must stay below it.
+pub const WIRE_CTRL_CONTEXT: u32 = 0xffff_fff0;
+
+/// Configuration of one wire node.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Directory holding the per-rank socket files.
+    pub dir: PathBuf,
+    /// This process's global rank.
+    pub rank: usize,
+    /// Total participants in the mesh.
+    pub size: usize,
+    /// Interval between heartbeat frames on every live link.
+    pub heartbeat: Duration,
+    /// Silence beyond this is a heartbeat miss: the link is torn down and
+    /// reconnect (or the passive reconnect window) begins.
+    pub liveness_deadline: Duration,
+    /// Reconnect attempts after the first (total dials = attempts + 1)
+    /// before the peer is declared dead.
+    pub reconnect_attempts: u32,
+    /// Base reconnect backoff; doubles per attempt, jittered by `seed`.
+    pub reconnect_backoff: Duration,
+    /// How long `connect` waits for the full mesh at startup.
+    pub connect_timeout: Duration,
+    /// Seed for reconnect jitter (and anything else that must replay).
+    pub seed: u64,
+    /// Frame-layer fault injection policy.
+    pub faults: WireFaults,
+}
+
+impl WireConfig {
+    /// Defaults tuned for tests: sub-second failure detection.
+    pub fn new(dir: impl Into<PathBuf>, rank: usize, size: usize) -> Self {
+        WireConfig {
+            dir: dir.into(),
+            rank,
+            size,
+            heartbeat: Duration::from_millis(20),
+            liveness_deadline: Duration::from_millis(250),
+            reconnect_attempts: 4,
+            reconnect_backoff: Duration::from_millis(25),
+            connect_timeout: Duration::from_secs(10),
+            seed: 1,
+            faults: WireFaults::none(),
+        }
+    }
+
+    /// Socket path of `rank` under this configuration.
+    pub fn sock_path(&self, rank: usize) -> PathBuf {
+        self.dir.join(format!("rank_{rank}.sock"))
+    }
+
+    /// The longest a passive side waits for a dialer to come back before
+    /// declaring it dead: the dialer's full (un-jittered) backoff schedule
+    /// plus one liveness deadline of slack.
+    pub fn reconnect_window(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        let mut base = self.reconnect_backoff;
+        for _ in 0..=self.reconnect_attempts {
+            total += base;
+            base = base.saturating_mul(2);
+        }
+        total + self.liveness_deadline * 2
+    }
+}
+
+/// Monotone wire-level counters (diagnostics and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Data frames handed to the link layer.
+    pub frames_sent: u64,
+    /// Data frames delivered into the mailbox.
+    pub frames_received: u64,
+    /// Frames rejected by CRC/framing checks.
+    pub corrupt_frames: u64,
+    /// Duplicate data frames suppressed by the resume guard.
+    pub duplicates_dropped: u64,
+    /// Reconnect dials attempted.
+    pub reconnect_dials: u64,
+    /// Heartbeat misses observed.
+    pub heartbeat_misses: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    corrupt_frames: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    reconnect_dials: AtomicU64,
+    heartbeat_misses: AtomicU64,
+}
+
+/// Per-peer connection state. The `LinkSender` (sequencing, ring) persists
+/// across socket generations; everything else is per-connection.
+struct Peer {
+    sender: Mutex<LinkSender>,
+    /// Last time any intact frame arrived from this peer.
+    last_heard: Mutex<Instant>,
+    /// Last time we beaconed this peer.
+    last_beat: Mutex<Instant>,
+    /// When the link dropped; `None` while connected or never-connected.
+    disconnected_at: Mutex<Option<Instant>>,
+    /// Whether the link has ever been established (gates the monitor).
+    ever_connected: AtomicBool,
+    /// Bumped on every (re)attach; readers use it to tell whether the
+    /// stream that failed is still the current one.
+    generation: AtomicU64,
+    /// Highest data seq received from this peer (duplicate guard + the
+    /// value announced in our `Hello`s).
+    last_recv_seq: AtomicU64,
+    /// The peer's session id, to detect a restarted peer process.
+    session: AtomicU64,
+    /// A reconnect thread is in flight.
+    reconnecting: AtomicBool,
+}
+
+impl Peer {
+    fn new(src: u32, dst: u32, faults: WireFaults) -> Self {
+        let now = Instant::now();
+        Peer {
+            sender: Mutex::new(LinkSender::new(src, dst, faults)),
+            last_heard: Mutex::new(now),
+            last_beat: Mutex::new(now),
+            disconnected_at: Mutex::new(None),
+            ever_connected: AtomicBool::new(false),
+            generation: AtomicU64::new(0),
+            last_recv_seq: AtomicU64::new(0),
+            session: AtomicU64::new(0),
+            reconnecting: AtomicBool::new(false),
+        }
+    }
+}
+
+struct NodeShared {
+    cfg: WireConfig,
+    /// This process incarnation's session id (announced in `Hello`).
+    session: u64,
+    mailbox: Mailbox,
+    liveness: Arc<Liveness>,
+    registry: CodecRegistry,
+    peers: Vec<Peer>,
+    abort: Arc<AtomicBool>,
+    shutdown: AtomicBool,
+    stats: StatsInner,
+    /// Recorder the node's internal threads install, so wire spans
+    /// (connect/reconnect/corrupt/heartbeat-miss) land in Chrome traces.
+    trace: Option<TraceHandle>,
+}
+
+impl NodeShared {
+    /// Installs this node's trace recorder on the calling thread (no-op
+    /// without one). Every internal thread calls this at entry.
+    fn install_trace(&self) -> Option<mxn_trace::InstallGuard> {
+        self.trace.as_ref().map(TraceHandle::install)
+    }
+    fn declare_dead(&self, peer: usize) {
+        if self.liveness.kill(peer) {
+            self.mailbox.wake_all();
+        }
+    }
+
+    fn mark_disconnected(&self, peer: usize) {
+        let mut at = self.peers[peer].disconnected_at.lock();
+        if at.is_none() {
+            *at = Some(Instant::now());
+        }
+    }
+
+    /// Routes one decoded frame from `peer`.
+    fn handle_frame(self: &Arc<Self>, peer: usize, frame: Frame) {
+        match frame.kind {
+            FrameKind::Data => {
+                let p = &self.peers[peer];
+                // Duplicate guard: session resume may replay frames the
+                // original delivery already landed.
+                if frame.seq <= p.last_recv_seq.load(Ordering::Acquire) {
+                    self.stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                p.last_recv_seq.store(frame.seq, Ordering::Release);
+                let bytes = frame.payload.len();
+                match self.registry.decode_any(frame.codec, &frame.payload) {
+                    Ok(boxed) => {
+                        self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                        self.mailbox.push(Envelope::new(
+                            peer,
+                            peer,
+                            frame.context,
+                            frame.tag,
+                            bytes,
+                            None,
+                            Payload::Owned(boxed),
+                        ));
+                    }
+                    // Bytes passed CRC but no/odd codec: a registry
+                    // mismatch between the two processes. Surface it as a
+                    // detectable Corrupt — never a panic — so the
+                    // receiver's retry/NACK machinery engages.
+                    Err(_) => self.push_corrupt(peer, frame.context, frame.tag, bytes),
+                }
+            }
+            FrameKind::Heartbeat => {} // `last_heard` already refreshed
+            FrameKind::Hello => {
+                if let Ok((session, last_recv)) =
+                    crate::codec::decode_value::<(u64, u64)>(&frame.payload)
+                {
+                    self.note_peer_session(peer, session);
+                    let mut sender = self.peers[peer].sender.lock();
+                    let _ = sender.resend_since(last_recv);
+                }
+            }
+            FrameKind::Bye => {
+                // An orderly goodbye still marks the peer dead: blocked
+                // receives must fail fast, exactly as for a crash; the
+                // difference is no reconnect is attempted.
+                self.declare_dead(peer);
+            }
+        }
+    }
+
+    /// Delivers a checksum-damaged envelope so a receiver blocked on this
+    /// `(context, tag)` observes `RuntimeError::Corrupt`, mirroring the
+    /// in-proc fault plane's corrupt verdict.
+    fn push_corrupt(&self, peer: usize, context: u32, tag: i32, bytes: usize) {
+        let mut env = Envelope::new(peer, peer, context, tag, bytes, None, Payload::owned(()));
+        env.corrupt();
+        self.mailbox.push(env);
+    }
+
+    /// Records the peer's session id; a changed id means the peer process
+    /// restarted, so its data sequence numbers start over.
+    fn note_peer_session(&self, peer: usize, session: u64) {
+        let p = &self.peers[peer];
+        let prev = p.session.swap(session, Ordering::AcqRel);
+        if prev != 0 && prev != session {
+            p.last_recv_seq.store(0, Ordering::Release);
+        }
+    }
+
+    /// Attaches a fresh stream for `peer` and spawns its reader thread.
+    /// `reader` carries any bytes already consumed during the handshake.
+    fn attach(
+        self: &Arc<Self>,
+        peer: usize,
+        stream: UnixStream,
+        reader: FrameReader,
+        via_listener: bool,
+        attempt: u64,
+    ) -> io::Result<()> {
+        let p = &self.peers[peer];
+        let read_half = stream.try_clone()?;
+        let generation = {
+            let mut sender = p.sender.lock();
+            sender.attach(stream);
+            let generation = p.generation.fetch_add(1, Ordering::AcqRel) + 1;
+            *p.last_heard.lock() = Instant::now();
+            *p.disconnected_at.lock() = None;
+            p.ever_connected.store(true, Ordering::Release);
+            // Announce our session and what we have seen, triggering the
+            // peer's resume replay toward us.
+            sender.send_hello(self.session, p.last_recv_seq.load(Ordering::Acquire))?;
+            generation
+        };
+        emit_instant(
+            EventId::WireConnect,
+            [
+                peer as u64,
+                attempt,
+                self.peers[peer].last_recv_seq.load(Ordering::Relaxed),
+                u64::from(via_listener),
+            ],
+        );
+        let shared = Arc::clone(self);
+        std::thread::Builder::new().name(format!("wire-read-{}-{peer}", self.cfg.rank)).spawn(
+            move || {
+                let _trace = shared.install_trace();
+                shared.reader_loop(peer, read_half, reader, generation)
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Blocking per-connection read loop: bytes → frames → mailbox.
+    fn reader_loop(
+        self: Arc<Self>,
+        peer: usize,
+        mut stream: UnixStream,
+        mut frames: FrameReader,
+        generation: u64,
+    ) {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            // Drain frames already buffered (handshake leftovers first).
+            while let Some(res) = frames.next() {
+                *self.peers[peer].last_heard.lock() = Instant::now();
+                match res {
+                    Ok(frame) => self.handle_frame(peer, frame),
+                    Err(FrameError::Corrupt { skipped, header, .. }) => {
+                        self.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        emit_instant(
+                            EventId::WireFrameCorrupt,
+                            [peer as u64, u64::from(header.is_some()), skipped as u64, 0],
+                        );
+                        if let Some(h) = header {
+                            self.push_corrupt(peer, h.context, h.tag, skipped);
+                        }
+                    }
+                }
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break, // EOF or failure: the link is down
+                Ok(n) => frames.feed(&buf[..n]),
+            }
+        }
+        // Only the *current* stream's reader tears the link down; a stale
+        // generation means a reconnect already replaced us.
+        let p = &self.peers[peer];
+        if p.generation.load(Ordering::Acquire) == generation
+            && !self.shutdown.load(Ordering::Acquire)
+        {
+            p.sender.lock().detach();
+            self.mark_disconnected(peer);
+        }
+    }
+
+    /// Reads the peer's opening `Hello` off a freshly accepted stream.
+    fn read_hello(stream: &UnixStream) -> io::Result<(Frame, FrameReader)> {
+        let mut s = stream.try_clone()?;
+        s.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut frames = FrameReader::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(res) = frames.next() {
+                match res {
+                    Ok(f) if f.kind == FrameKind::Hello => {
+                        stream.set_read_timeout(None)?;
+                        return Ok((f, frames));
+                    }
+                    // Anything else before Hello is a protocol violation
+                    // from an unknown peer: drop the connection.
+                    Ok(_) | Err(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "expected Hello as first frame",
+                        ));
+                    }
+                }
+            }
+            let n = s.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF before Hello"));
+            }
+            frames.feed(&buf[..n]);
+        }
+    }
+
+    /// Accept loop: polls the nonblocking listener, handshakes inbound
+    /// connections, attaches them.
+    fn acceptor_loop(self: Arc<Self>, listener: UnixListener) {
+        while !self.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self);
+                    // Handshake off-thread so one slow dialer cannot stall
+                    // the accept queue.
+                    let _ = std::thread::Builder::new()
+                        .name(format!("wire-hello-{}", self.cfg.rank))
+                        .spawn(move || {
+                            let _trace = shared.install_trace();
+                            if let Ok((hello, frames)) = NodeShared::read_hello(&stream) {
+                                let peer = hello.src as usize;
+                                if peer < shared.cfg.size && peer != shared.cfg.rank {
+                                    if let Ok((session, last_recv)) =
+                                        crate::codec::decode_value::<(u64, u64)>(&hello.payload)
+                                    {
+                                        shared.note_peer_session(peer, session);
+                                        let _ = shared.attach(peer, stream, frames, true, 0);
+                                        let mut sender = shared.peers[peer].sender.lock();
+                                        let _ = sender.resend_since(last_recv);
+                                    }
+                                }
+                            }
+                        });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Heartbeat/liveness monitor: beacons live links, detects silence,
+    /// launches reconnects, and expires the passive reconnect window.
+    fn monitor_loop(self: Arc<Self>) {
+        let tick = self.cfg.heartbeat / 2;
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(tick);
+            let now = Instant::now();
+            for peer in 0..self.cfg.size {
+                if peer == self.cfg.rank || self.liveness.is_dead(peer) {
+                    continue;
+                }
+                let p = &self.peers[peer];
+                if !p.ever_connected.load(Ordering::Acquire) {
+                    continue; // still in startup; `connect` owns this phase
+                }
+                let connected = p.sender.lock().is_connected();
+                if connected {
+                    if now.duration_since(*p.last_beat.lock()) >= self.cfg.heartbeat {
+                        *p.last_beat.lock() = now;
+                        let mut sender = p.sender.lock();
+                        if sender.send_control(FrameKind::Heartbeat).is_err() {
+                            sender.detach();
+                            drop(sender);
+                            self.mark_disconnected(peer);
+                            continue;
+                        }
+                    }
+                    let silence = now.duration_since(*p.last_heard.lock());
+                    if silence > self.cfg.liveness_deadline {
+                        self.stats.heartbeat_misses.fetch_add(1, Ordering::Relaxed);
+                        emit_instant(
+                            EventId::HeartbeatMiss,
+                            [
+                                peer as u64,
+                                silence.as_micros() as u64,
+                                self.cfg.liveness_deadline.as_micros() as u64,
+                                0,
+                            ],
+                        );
+                        // Tear the link down; reconnect (or the passive
+                        // window) decides whether the peer is dead.
+                        let mut sender = p.sender.lock();
+                        sender.shutdown();
+                        drop(sender);
+                        self.mark_disconnected(peer);
+                    }
+                } else {
+                    let since = p.disconnected_at.lock().map(|at| now.duration_since(at));
+                    let Some(since) = since else { continue };
+                    if peer < self.cfg.rank {
+                        // We are the dialer: bounded reconnect attempts.
+                        if !p.reconnecting.swap(true, Ordering::AcqRel) {
+                            let shared = Arc::clone(&self);
+                            let _ = std::thread::Builder::new()
+                                .name(format!("wire-redial-{}-{peer}", self.cfg.rank))
+                                .spawn(move || {
+                                    let _trace = shared.install_trace();
+                                    shared.reconnect_loop(peer)
+                                });
+                        }
+                    } else if since > self.cfg.reconnect_window() {
+                        // Passive side: the dialer's whole backoff schedule
+                        // has passed without a new Hello. It is gone.
+                        self.declare_dead(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dials `peer` with seeded exponential backoff; on exhaustion the
+    /// peer is declared dead and heal takes over.
+    fn reconnect_loop(self: Arc<Self>, peer: usize) {
+        emit(EventId::WireReconnect, Phase::Begin, [peer as u64, 0, 0, 0]);
+        // The jitter draws come from the same splitmix stream as the
+        // in-proc retry plane, keyed so each (rank, peer) pair decorrelates.
+        let policy = CallPolicy {
+            backoff: self.cfg.reconnect_backoff,
+            max_retries: self.cfg.reconnect_attempts,
+            jitter: Some(splitmix64(self.cfg.seed ^ ((self.cfg.rank as u64) << 32 | peer as u64))),
+            ..CallPolicy::default()
+        };
+        let mut base = self.cfg.reconnect_backoff;
+        for attempt in 0..=self.cfg.reconnect_attempts {
+            if self.shutdown.load(Ordering::Acquire) || self.liveness.is_dead(peer) {
+                break;
+            }
+            self.stats.reconnect_dials.fetch_add(1, Ordering::Relaxed);
+            if let Ok(stream) = UnixStream::connect(self.cfg.sock_path(peer)) {
+                if self.attach(peer, stream, FrameReader::new(), false, u64::from(attempt)).is_ok()
+                {
+                    emit(
+                        EventId::WireReconnect,
+                        Phase::End,
+                        [peer as u64, u64::from(attempt), 1, 0],
+                    );
+                    self.peers[peer].reconnecting.store(false, Ordering::Release);
+                    return;
+                }
+            }
+            std::thread::sleep(policy.retry_pause(base, attempt));
+            base = base.saturating_mul(2);
+        }
+        emit(
+            EventId::WireReconnect,
+            Phase::End,
+            [peer as u64, u64::from(self.cfg.reconnect_attempts) + 1, 0, 0],
+        );
+        self.declare_dead(peer);
+        self.peers[peer].reconnecting.store(false, Ordering::Release);
+    }
+
+    /// Encodes and sends one type-erased payload to `dst`. A send while
+    /// the link is down still succeeds: the frame enters the resend ring
+    /// and session resume redelivers it (or the peer is declared dead and
+    /// later operations fail with `PeerDead`).
+    fn send_encoded(
+        &self,
+        dst: usize,
+        context: u32,
+        tag: i32,
+        codec: u32,
+        bytes: Vec<u8>,
+    ) -> Result<()> {
+        if dst >= self.cfg.size {
+            return Err(RuntimeError::InvalidRank { rank: dst, size: self.cfg.size });
+        }
+        if self.liveness.is_dead(dst) {
+            return Err(RuntimeError::PeerDead { rank: dst });
+        }
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(RuntimeError::Aborted);
+        }
+        let p = &self.peers[dst];
+        let mut sender = p.sender.lock();
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        if sender.send_data(context, tag, codec, bytes).is_err() {
+            // The write failed but the frame is ring-retained; the
+            // reconnect/resume machinery owns redelivery from here.
+            sender.detach();
+            drop(sender);
+            self.mark_disconnected(dst);
+        }
+        Ok(())
+    }
+}
+
+/// A running wire-transport endpoint. See the module docs for the design.
+pub struct WireNode {
+    shared: Arc<NodeShared>,
+    acceptor: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl WireNode {
+    /// Binds this rank's socket and starts the acceptor and monitor
+    /// threads. The mesh is not connected until [`WireNode::connect`].
+    pub fn start(cfg: WireConfig, registry: CodecRegistry) -> io::Result<WireNode> {
+        Self::start_traced(cfg, registry, None)
+    }
+
+    /// [`WireNode::start`] with a trace recorder the node's internal
+    /// threads install, so wire events show up in Chrome traces.
+    pub fn start_traced(
+        cfg: WireConfig,
+        registry: CodecRegistry,
+        trace: Option<TraceHandle>,
+    ) -> io::Result<WireNode> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let path = cfg.sock_path(cfg.rank);
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        let abort = Arc::new(AtomicBool::new(false));
+        let liveness = Arc::new(Liveness::new(cfg.size));
+        let revocations = Arc::new(Revocations::default());
+        let session = splitmix64((u64::from(std::process::id()) << 20) ^ cfg.rank as u64 | 1);
+        let peers =
+            (0..cfg.size).map(|peer| Peer::new(cfg.rank as u32, peer as u32, cfg.faults)).collect();
+        let shared = Arc::new(NodeShared {
+            mailbox: Mailbox::new(abort.clone(), liveness.clone(), revocations),
+            session,
+            liveness,
+            registry,
+            peers,
+            abort,
+            shutdown: AtomicBool::new(false),
+            stats: StatsInner::default(),
+            trace,
+            cfg,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new().name(format!("wire-accept-{}", shared.cfg.rank)).spawn(
+                move || {
+                    let _trace = shared.install_trace();
+                    let s = Arc::clone(&shared);
+                    s.acceptor_loop(listener)
+                },
+            )?
+        };
+        let monitor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new().name(format!("wire-monitor-{}", shared.cfg.rank)).spawn(
+                move || {
+                    let _trace = shared.install_trace();
+                    shared.monitor_loop()
+                },
+            )?
+        };
+        Ok(WireNode { shared, acceptor: Some(acceptor), monitor: Some(monitor) })
+    }
+
+    /// Completes the mesh: dials every lower rank (retrying while peers
+    /// are still binding) and waits until every higher rank has dialed us.
+    pub fn connect(&self) -> io::Result<()> {
+        let cfg = &self.shared.cfg;
+        let deadline = Instant::now() + cfg.connect_timeout;
+        for peer in 0..cfg.rank {
+            loop {
+                match UnixStream::connect(cfg.sock_path(peer)) {
+                    Ok(stream) => {
+                        self.shared.attach(peer, stream, FrameReader::new(), false, 0)?;
+                        break;
+                    }
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("rank {peer} never bound its socket: {e}"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+        // Higher ranks dial us; wait for all of them.
+        for peer in cfg.rank + 1..cfg.size {
+            loop {
+                if self.shared.peers[peer].ever_connected.load(Ordering::Acquire) {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("rank {peer} never dialed us"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        Ok(())
+    }
+
+    /// This node's global rank.
+    pub fn rank(&self) -> usize {
+        self.shared.cfg.rank
+    }
+
+    /// Mesh size.
+    pub fn size(&self) -> usize {
+        self.shared.cfg.size
+    }
+
+    /// The shared liveness registry — the same type, with the same
+    /// semantics, the in-proc world uses.
+    pub fn liveness(&self) -> &Arc<Liveness> {
+        &self.shared.liveness
+    }
+
+    /// Whether `rank` has been declared dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.shared.liveness.is_dead(rank)
+    }
+
+    /// Blocks until `rank` is declared dead or `timeout` passes; returns
+    /// whether it died in time.
+    pub fn await_death(&self, rank: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_dead(rank) {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Arms or disarms frame-layer fault injection on every link (the
+    /// wire analogue of `Process::set_faults_armed`).
+    pub fn set_faults_armed(&self, armed: bool) {
+        for peer in 0..self.shared.cfg.size {
+            if peer != self.shared.cfg.rank {
+                self.shared.peers[peer].sender.lock().set_armed(armed);
+            }
+        }
+    }
+
+    /// Sends `value` to `dst`'s mailbox bucket `(context, tag)`. The type
+    /// must be registered in both processes' codec registries.
+    pub fn send<T: Any + Send>(&self, dst: usize, context: u32, tag: i32, value: T) -> Result<()> {
+        let (codec, bytes) =
+            self.shared.registry.encode_any(&value).ok_or(RuntimeError::TypeMismatch {
+                expected: std::any::type_name::<T>(),
+                src: self.shared.cfg.rank,
+                tag,
+            })?;
+        self.shared.send_encoded(dst, context, tag, codec, bytes)
+    }
+
+    /// Receives a `T` from `src` on `(context, tag)`, blocking until it
+    /// arrives, `src` is declared dead, or a damaged frame for this bucket
+    /// surfaces as [`RuntimeError::Corrupt`].
+    pub fn recv<T: Any>(&self, src: usize, context: u32, tag: i32) -> Result<T> {
+        let env = self.shared.mailbox.take(
+            context,
+            Src::Rank(src),
+            Tag::Value(tag),
+            &[PeerRef { global: src, local: src }],
+        )?;
+        Self::unpack(env, src, tag)
+    }
+
+    /// [`WireNode::recv`] with a deadline.
+    pub fn recv_timeout<T: Any>(
+        &self,
+        src: usize,
+        context: u32,
+        tag: i32,
+        timeout: Duration,
+    ) -> Result<T> {
+        let env = self.shared.mailbox.take_timeout(
+            context,
+            Src::Rank(src),
+            Tag::Value(tag),
+            timeout,
+            &[PeerRef { global: src, local: src }],
+        )?;
+        Self::unpack(env, src, tag)
+    }
+
+    fn unpack<T: Any>(env: Envelope, src: usize, tag: i32) -> Result<T> {
+        if !env.verify() {
+            return Err(RuntimeError::Corrupt { src, tag });
+        }
+        env.payload.into_owned::<T>().map(|(v, _)| v).map_err(|_| RuntimeError::TypeMismatch {
+            expected: std::any::type_name::<T>(),
+            src,
+            tag,
+        })
+    }
+
+    /// Agrees with the surviving peers on who is alive: two rounds of
+    /// dead-set exchange on the reserved control context (round two
+    /// spreads unions, so every survivor leaves with the same set — the
+    /// wire analogue of the membership plane's agreement). Peers that stay
+    /// silent past `timeout` are treated as dead.
+    pub fn agree_survivors(&self, epoch: u32, timeout: Duration) -> Result<Vec<usize>> {
+        let size = self.shared.cfg.size;
+        assert!(size <= 64, "bitmap agreement supports up to 64 ranks");
+        let me = self.shared.cfg.rank;
+        let mut view: u64 = 0;
+        for r in self.shared.liveness.dead_ranks() {
+            view |= 1 << r;
+        }
+        for round in 0..2i32 {
+            let tag = (epoch as i32) * 2 + round;
+            let audience: Vec<usize> =
+                (0..size).filter(|&r| r != me && view & (1 << r) == 0).collect();
+            for &r in &audience {
+                match self.send(r, WIRE_CTRL_CONTEXT, tag, view) {
+                    Ok(()) | Err(RuntimeError::PeerDead { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            for &r in &audience {
+                match self.recv_timeout::<u64>(r, WIRE_CTRL_CONTEXT, tag, timeout) {
+                    Ok(bits) => view |= bits,
+                    Err(RuntimeError::PeerDead { .. }) | Err(RuntimeError::Timeout { .. }) => {
+                        view |= 1 << r;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok((0..size).filter(|r| view & (1 << r) == 0).collect())
+    }
+
+    /// Snapshot of the wire counters.
+    pub fn stats(&self) -> WireStats {
+        let s = &self.shared.stats;
+        WireStats {
+            frames_sent: s.frames_sent.load(Ordering::Relaxed),
+            frames_received: s.frames_received.load(Ordering::Relaxed),
+            corrupt_frames: s.corrupt_frames.load(Ordering::Relaxed),
+            duplicates_dropped: s.duplicates_dropped.load(Ordering::Relaxed),
+            reconnect_dials: s.reconnect_dials.load(Ordering::Relaxed),
+            heartbeat_misses: s.heartbeat_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A [`Transport`] handle over this node, for code written against
+    /// the runtime's transport seam.
+    pub fn transport(&self) -> UdsTransport {
+        UdsTransport { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Orderly shutdown: says goodbye to every live peer, stops the
+    /// service threads, closes every link, and removes the socket file.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for peer in 0..self.shared.cfg.size {
+            if peer == self.shared.cfg.rank || self.shared.liveness.is_dead(peer) {
+                continue;
+            }
+            let mut sender = self.shared.peers[peer].sender.lock();
+            let _ = sender.send_control(FrameKind::Bye);
+            sender.shutdown();
+        }
+        self.shared.abort.store(true, Ordering::Release);
+        self.shared.mailbox.wake_all();
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let _ = std::fs::remove_file(self.shared.cfg.sock_path(self.shared.cfg.rank));
+    }
+}
+
+impl Drop for WireNode {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The Unix-domain-socket [`Transport`]: envelopes crossing this seam are
+/// codec-encoded into frames. [`Payload::Shared`] — the `Arc`-based
+/// zero-clone multicast representation — is rejected: sharing one
+/// allocation only means something inside one address space, and a silent
+/// deep copy here would falsify the in-proc zero-clone accounting.
+pub struct UdsTransport {
+    shared: Arc<NodeShared>,
+}
+
+impl Transport for UdsTransport {
+    fn kind(&self) -> &'static str {
+        "uds"
+    }
+
+    fn size(&self) -> usize {
+        self.shared.cfg.size
+    }
+
+    fn deliver(&self, dst: usize, env: Envelope) -> Result<()> {
+        match env.payload {
+            Payload::Shared { .. } => Err(RuntimeError::TypeMismatch {
+                expected: "wire-encodable payload (Payload::Shared is in-proc-only)",
+                src: env.src_global,
+                tag: env.tag,
+            }),
+            Payload::Owned(boxed) => {
+                let (codec, bytes) = self.shared.registry.encode_any(boxed.as_ref()).ok_or(
+                    RuntimeError::TypeMismatch {
+                        expected: "a type registered in the CodecRegistry",
+                        src: env.src_global,
+                        tag: env.tag,
+                    },
+                )?;
+                self.shared.send_encoded(dst, env.context, env.tag, codec, bytes)
+            }
+        }
+    }
+
+    fn deliver_pair(&self, dst: usize, first: Envelope, second: Envelope) -> Result<()> {
+        self.deliver(dst, first)?;
+        self.deliver(dst, second)
+    }
+
+    fn wake_all(&self) {
+        self.shared.mailbox.wake_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mxn-wire-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn mesh(dir: &Path, n: usize) -> Vec<WireNode> {
+        let nodes: Vec<WireNode> = (0..n)
+            .map(|r| {
+                WireNode::start(WireConfig::new(dir, r, n), CodecRegistry::with_defaults()).unwrap()
+            })
+            .collect();
+        // Connect concurrently: dialing blocks until the peer binds, and
+        // every node both dials and is dialed.
+        std::thread::scope(|s| {
+            for node in &nodes {
+                s.spawn(move || node.connect().unwrap());
+            }
+        });
+        nodes
+    }
+
+    #[test]
+    fn two_nodes_exchange_typed_messages() {
+        let dir = test_dir("pair");
+        let nodes = mesh(&dir, 2);
+        nodes[0].send(1, 7, 3, vec![1.5f64, 2.5]).unwrap();
+        nodes[1].send(0, 7, 4, String::from("pong")).unwrap();
+        let v: Vec<f64> = nodes[1].recv_timeout(0, 7, 3, Duration::from_secs(5)).unwrap();
+        assert_eq!(v, vec![1.5, 2.5]);
+        let s: String = nodes[0].recv_timeout(1, 7, 4, Duration::from_secs(5)).unwrap();
+        assert_eq!(s, "pong");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fifo_order_per_link() {
+        let dir = test_dir("fifo");
+        let nodes = mesh(&dir, 2);
+        for i in 0..100u64 {
+            nodes[0].send(1, 1, 1, i).unwrap();
+        }
+        for i in 0..100u64 {
+            let got: u64 = nodes[1].recv_timeout(0, 1, 1, Duration::from_secs(5)).unwrap();
+            assert_eq!(got, i);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unregistered_type_is_a_type_error_not_a_hang() {
+        struct Opaque;
+        let dir = test_dir("unreg");
+        let nodes = mesh(&dir, 2);
+        let err = nodes[0].send(1, 1, 1, Opaque).unwrap_err();
+        assert!(matches!(err, RuntimeError::TypeMismatch { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_payloads_are_rejected_by_the_uds_transport() {
+        let dir = test_dir("shared");
+        let nodes = mesh(&dir, 2);
+        let t = nodes[0].transport();
+        let env = Envelope::new(0, 0, 1, 1, 8, None, Payload::shared(Arc::new(5u64)));
+        assert!(matches!(t.deliver(1, env), Err(RuntimeError::TypeMismatch { .. })));
+        // Owned payloads of registered types go through the same seam.
+        let env = Envelope::new(0, 0, 1, 2, 8, None, Payload::owned(9u64));
+        t.deliver(1, env).unwrap();
+        let got: u64 = nodes[1].recv_timeout(0, 1, 2, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, 9);
+        assert_eq!(t.kind(), "uds");
+        assert_eq!(t.size(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // (s, d) pair indexing reads clearer
+    fn three_node_mesh_all_pairs() {
+        let dir = test_dir("mesh3");
+        let nodes = mesh(&dir, 3);
+        for s in 0..3 {
+            for d in 0..3 {
+                if s != d {
+                    nodes[s].send(d, 2, (s * 3 + d) as i32, (s as u64, d as u64)).unwrap();
+                }
+            }
+        }
+        for s in 0..3 {
+            for d in 0..3 {
+                if s != d {
+                    let got: (u64, u64) = nodes[d]
+                        .recv_timeout(s, 2, (s * 3 + d) as i32, Duration::from_secs(5))
+                        .unwrap();
+                    assert_eq!(got, (s as u64, d as u64));
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orderly_shutdown_marks_peer_dead_not_hung() {
+        let dir = test_dir("bye");
+        let mut nodes = mesh(&dir, 2);
+        let n1 = nodes.pop().unwrap();
+        n1.shutdown();
+        assert!(nodes[0].await_death(1, Duration::from_secs(5)), "Bye marks the peer dead");
+        let err = nodes[0].recv::<u64>(1, 1, 1).unwrap_err();
+        assert!(matches!(err, RuntimeError::PeerDead { rank: 1 }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn abrupt_death_is_detected_and_survivors_agree() {
+        let dir = test_dir("crash");
+        let mut nodes = mesh(&dir, 3);
+        // Simulate a crash of rank 2: close its sockets without Bye.
+        let crashed = nodes.pop().unwrap();
+        {
+            // Mark shutdown without the goodbye protocol: readers on the
+            // peers see raw EOF, exactly like a kill -9.
+            crashed.shared.shutdown.store(true, Ordering::Release);
+            for peer in 0..2 {
+                crashed.shared.peers[peer].sender.lock().shutdown();
+            }
+        }
+        for node in &nodes {
+            assert!(
+                node.await_death(2, Duration::from_secs(10)),
+                "rank {} never declared 2 dead",
+                node.rank()
+            );
+        }
+        let survivors = std::thread::scope(|s| {
+            let handles: Vec<_> = nodes
+                .iter()
+                .map(|n| s.spawn(move || n.agree_survivors(1, Duration::from_secs(5)).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        assert_eq!(survivors[0], vec![0, 1]);
+        assert_eq!(survivors[1], vec![0, 1]);
+        drop(crashed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn messages_sent_while_disconnected_resume_after_reconnect() {
+        let dir = test_dir("resume");
+        let nodes = mesh(&dir, 2);
+        // Tear down the link from under node 1 (the dialer side).
+        nodes[1].shared.peers[0].sender.lock().shutdown();
+        nodes[1].shared.peers[0].sender.lock().detach();
+        nodes[1].shared.mark_disconnected(0);
+        // Send while down: frames land in the ring.
+        for i in 0..5u64 {
+            nodes[1].send(0, 3, 3, i * 10).unwrap();
+        }
+        // The monitor redials, Hello resumes, and the ring drains.
+        for i in 0..5u64 {
+            let got: u64 = nodes[0].recv_timeout(1, 3, 3, Duration::from_secs(10)).unwrap();
+            assert_eq!(got, i * 10);
+        }
+        assert!(nodes[0].stats().frames_received >= 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

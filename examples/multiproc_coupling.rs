@@ -1,0 +1,226 @@
+//! M×N coupling across *real OS processes*, surviving `kill -9`.
+//!
+//! ```text
+//! cargo run --release --example multiproc_coupling [trace.json]
+//! ```
+//!
+//! The driver (rank 0, this process) forks two worker processes (ranks 1
+//! and 2, re-execs of this binary) and couples with them over the
+//! Unix-domain-socket transport: each epoch the driver partitions a
+//! 36-element field among the live workers, the workers compute their
+//! slices, and the driver assembles and checks the result.
+//!
+//! After epoch 1 the driver SIGKILLs worker 1 — no goodbye frame, no
+//! flush; the wire just goes quiet. What follows is the whole robustness
+//! story end to end:
+//!
+//! 1. Heartbeats stop; peers observe silence past the liveness deadline.
+//! 2. Rank 2 (which dials rank 1) retries with seeded exponential backoff
+//!    until its attempt budget exhausts; rank 0 (the passive side of that
+//!    link) waits out the reconnect window. Both then declare rank 1 dead
+//!    in their liveness registries — the same registry, with the same
+//!    semantics, as an in-proc rank death.
+//! 3. The driver announces recovery; the survivors agree on the survivor
+//!    set, the field is re-partitioned onto it, and the interrupted epoch
+//!    is retried and completed.
+//!
+//! The final fields are identical to a fault-free run — the same oracle
+//! the in-proc heal tests pin — so the run ends in a committed shrink,
+//! not a hang and not wrong answers.
+
+use std::time::Duration;
+
+use mxn::trace::TraceCollector;
+use mxn::wire::{spawn_worker, wire_role, CodecRegistry, WireConfig, WireNode};
+use mxn_runtime::RuntimeError;
+
+const SIZE: usize = 3;
+const FIELD: usize = 36;
+const EPOCHS: u64 = 4;
+const KILL_AFTER_EPOCH: u64 = 1;
+const APP: u32 = 7;
+const ASSIGN_TAG: i32 = 1000;
+/// Reply tag for (epoch, attempt): retried epochs use fresh tags so a
+/// stale pre-failure reply can never be mistaken for the retry's.
+fn reply_tag(epoch: u64, attempt: u64) -> i32 {
+    (epoch * 8 + attempt) as i32
+}
+
+const MSG_DONE: u64 = u64::MAX;
+const MSG_RECOVER: u64 = u64::MAX - 1;
+
+fn value(idx: usize, epoch: u64) -> f64 {
+    (idx as u64 + epoch * 100) as f64
+}
+
+fn config(dir: &std::path::Path, rank: usize) -> WireConfig {
+    let mut cfg = WireConfig::new(dir, rank, SIZE);
+    cfg.seed = 42;
+    cfg
+}
+
+/// Worker: serve assignments until told we are done. Each assignment is
+/// `[epoch, lo, hi, attempt]`; the reply is the owned slice's values.
+fn worker_main(rank: usize, dir: std::path::PathBuf) {
+    let node =
+        WireNode::start(config(&dir, rank), CodecRegistry::with_defaults()).expect("start node");
+    node.connect().expect("connect mesh");
+    loop {
+        let msg: Vec<u64> = match node.recv(0, APP, ASSIGN_TAG) {
+            Ok(m) => m,
+            Err(RuntimeError::PeerDead { .. }) => std::process::exit(1), // driver gone
+            Err(e) => panic!("worker {rank}: assignment recv failed: {e}"),
+        };
+        match msg[0] {
+            MSG_DONE => break,
+            MSG_RECOVER => {
+                let epoch = msg[1] as u32;
+                let survivors = node.agree_survivors(epoch, Duration::from_secs(5)).expect("agree");
+                eprintln!("[worker {rank}] agreed survivors after failure: {survivors:?}");
+            }
+            epoch => {
+                let (lo, hi, attempt) = (msg[1] as usize, msg[2] as usize, msg[3]);
+                let slice: Vec<(usize, f64)> =
+                    (lo..hi).map(|idx| (idx, value(idx, epoch))).collect();
+                node.send(0, APP, reply_tag(epoch, attempt), slice).expect("send slice");
+            }
+        }
+    }
+    node.shutdown();
+}
+
+/// Even split of `0..FIELD` over `workers`, as `(rank, lo, hi)` triples.
+fn partition(workers: &[usize]) -> Vec<(usize, usize, usize)> {
+    let chunk = FIELD.div_ceil(workers.len());
+    workers
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (w, (i * chunk).min(FIELD), ((i + 1) * chunk).min(FIELD)))
+        .collect()
+}
+
+fn driver_main(dir: std::path::PathBuf, trace_out: String) {
+    let collector = TraceCollector::new(1);
+    let handle = collector.handle(0);
+    let _guard = handle.install();
+
+    let node =
+        WireNode::start_traced(config(&dir, 0), CodecRegistry::with_defaults(), Some(handle))
+            .expect("start driver node");
+
+    let mut workers: Vec<_> =
+        (1..SIZE).map(|r| spawn_worker(r, SIZE, &dir, 42, &[]).expect("spawn worker")).collect();
+    node.connect().expect("connect mesh");
+    println!("mesh up: driver + {} workers over {}", workers.len(), dir.display());
+
+    let mut live: Vec<usize> = (1..SIZE).collect();
+    let mut epoch = 0u64;
+    let mut attempt = 0u64;
+    let mut healed = false;
+    while epoch < EPOCHS {
+        let parts = partition(&live);
+        for &(w, lo, hi) in &parts {
+            node.send(w, APP, ASSIGN_TAG, vec![epoch, lo as u64, hi as u64, attempt])
+                .expect("send assignment");
+        }
+        let mut field = vec![f64::NAN; FIELD];
+        let mut failed: Option<usize> = None;
+        for &(w, _, _) in &parts {
+            match node.recv_timeout::<Vec<(usize, f64)>>(
+                w,
+                APP,
+                reply_tag(epoch, attempt),
+                Duration::from_secs(2),
+            ) {
+                Ok(slice) => {
+                    for (idx, v) in slice {
+                        field[idx] = v;
+                    }
+                }
+                Err(RuntimeError::Timeout { .. }) | Err(RuntimeError::PeerDead { .. }) => {
+                    failed = Some(w);
+                }
+                Err(e) => panic!("driver: epoch {epoch} recv from {w}: {e}"),
+            }
+        }
+        if let Some(dead) = failed {
+            println!("epoch {epoch}: worker {dead} stopped answering; awaiting liveness verdict");
+            assert!(
+                node.await_death(dead, Duration::from_secs(15)),
+                "reconnect never exhausted for rank {dead}"
+            );
+            live.retain(|&w| w != dead);
+            for &w in &live {
+                node.send(w, APP, ASSIGN_TAG, vec![MSG_RECOVER, epoch, 0, 0])
+                    .expect("send recover marker");
+            }
+            let survivors = node
+                .agree_survivors(epoch as u32, Duration::from_secs(5))
+                .expect("agree survivors");
+            println!("epoch {epoch}: survivors committed: {survivors:?}; retrying epoch");
+            assert_eq!(survivors, {
+                let mut s = vec![0];
+                s.extend(&live);
+                s
+            });
+            healed = true;
+            attempt += 1;
+            continue; // retry the interrupted epoch on the survivor set
+        }
+        for (idx, &v) in field.iter().enumerate() {
+            assert_eq!(v, value(idx, epoch), "field[{idx}] wrong in epoch {epoch}");
+        }
+        println!("epoch {epoch}: field complete and correct across {} worker(s)", parts.len());
+        if epoch == KILL_AFTER_EPOCH {
+            let victim = &mut workers[0]; // worker rank 1
+            println!("kill -9 worker rank {} (pid {})", victim.rank(), victim.pid());
+            victim.kill();
+        }
+        epoch += 1;
+        attempt = 0;
+    }
+    assert!(healed, "the kill never forced a heal");
+
+    for &w in &live {
+        node.send(w, APP, ASSIGN_TAG, vec![MSG_DONE, 0, 0, 0]).expect("send done");
+    }
+    for g in &mut workers {
+        if live.contains(&g.rank()) {
+            assert!(g.wait_success(Duration::from_secs(10)), "worker exited unclean");
+        }
+    }
+    let stats = node.stats();
+    println!(
+        "wire stats: sent={} received={} corrupt={} dup={} redials={} hb_misses={}",
+        stats.frames_sent,
+        stats.frames_received,
+        stats.corrupt_frames,
+        stats.duplicates_dropped,
+        stats.reconnect_dials,
+        stats.heartbeat_misses
+    );
+    node.shutdown();
+
+    let trace = collector.finish();
+    if let Some(parent) = std::path::Path::new(&trace_out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&trace_out, trace.chrome_json()).expect("write chrome trace");
+    println!(
+        "all {EPOCHS} epochs match the fault-free oracle after a real kill -9; trace: {trace_out}"
+    );
+}
+
+fn main() {
+    if let Some(role) = wire_role() {
+        worker_main(role.rank, role.dir);
+        return;
+    }
+    let trace_out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/multiproc_coupling_trace.json".to_string());
+    let dir = std::env::temp_dir().join(format!("mxn-multiproc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    driver_main(dir.clone(), trace_out);
+    let _ = std::fs::remove_dir_all(&dir);
+}

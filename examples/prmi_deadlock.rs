@@ -19,7 +19,7 @@
 
 use std::time::Duration;
 
-use mxn::framework::{AnyPayload, RemoteService};
+use mxn::framework::{AnyPayload, Dispatch, RemoteService};
 use mxn::prmi::{
     subset_call_timeout, subset_serve, subset_shutdown, DeliveryPolicy, PrmiError,
     SubsetServeOutcome,
@@ -28,9 +28,9 @@ use mxn::runtime::Universe;
 
 struct Doubler;
 impl RemoteService for Doubler {
-    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::replicable(v * 2.0 + method as f64)
+        AnyPayload::replicable(v * 2.0 + method as f64).into()
     }
 }
 

@@ -68,11 +68,11 @@ fn probe_dca() -> bool {
 
 /// Probes DCA's PRMI: a collective call with ghost returns must complete.
 fn probe_prmi_collective() -> bool {
-    use crate::framework::{AnyPayload, RemoteService};
+    use crate::framework::{AnyPayload, Dispatch, RemoteService};
     struct Echo;
     impl RemoteService for Echo {
-        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
-            AnyPayload::replicable(arg.downcast::<f64>().unwrap() * 2.0)
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
+            AnyPayload::replicable(arg.downcast::<f64>().unwrap() * 2.0).into()
         }
     }
     let results = Universe::run(&[3, 2], |_, ctx| {
@@ -185,8 +185,8 @@ fn probe_scirun_prmi() -> bool {
         dad: Dad,
     }
     impl ParallelService for SumSvc {
-        fn spec(&self, _m: u32) -> ParallelPortSpec {
-            ParallelPortSpec { input: self.dad.clone(), output: None }
+        fn spec(&self, _m: u32) -> Option<ParallelPortSpec> {
+            Some(ParallelPortSpec { input: self.dad.clone(), output: None })
         }
         fn execute(
             &self,

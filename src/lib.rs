@@ -120,3 +120,9 @@ pub mod dri {
 pub mod pubsub {
     pub use mxn_pubsub::*;
 }
+
+/// The Unix-domain-socket transport: M×N across real OS processes
+/// (`mxn-wire`).
+pub mod wire {
+    pub use mxn_wire::*;
+}

@@ -3,7 +3,7 @@
 
 use mxn::core::{ConnectionKind, Direction, FieldRegistry, MxnConnection, MxnError};
 use mxn::dad::{AccessMode, Dad, Extents};
-use mxn::framework::{serve, AnyPayload, RemotePort, RemoteService};
+use mxn::framework::{serve, AnyPayload, Dispatch, RemotePort, RemoteService};
 use mxn::runtime::{RuntimeError, Src, Tag, Universe, World};
 
 /// RMI marshalling type confusion is caught, not UB: the callee asked for
@@ -12,12 +12,13 @@ use mxn::runtime::{RuntimeError, Src, Tag, Universe, World};
 fn rmi_type_confusion_is_detected() {
     struct WrongTypes;
     impl RemoteService for WrongTypes {
-        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
             // Service expects a String but the caller sent f64.
             match arg.downcast::<String>() {
                 Ok(_) => AnyPayload::new(0u8),
                 Err(e) => AnyPayload::new(format!("caught: {e}")),
             }
+            .into()
         }
     }
     Universe::run(&[1, 1], |_, ctx| {
@@ -249,13 +250,13 @@ fn initiator_death_unblocks_receiver_with_peer_dead() {
 fn retried_prmi_call_executes_exactly_once() {
     struct SlowCounter(AtomicUsize);
     impl RemoteService for SlowCounter {
-        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
             // Slower than the client's per-attempt deadline, so at least
             // one retransmission is in flight before we answer.
             std::thread::sleep(Duration::from_millis(120));
             let x: u64 = arg.downcast().unwrap();
             let n = self.0.fetch_add(1, Ordering::SeqCst) + 1;
-            AnyPayload::replicable(x + n as u64)
+            AnyPayload::replicable(x + n as u64).into()
         }
     }
     Universe::run(&[1, 1], |_, ctx| {

@@ -19,7 +19,7 @@
 
 use mxn::dad::{AxisDist, Dad, Extents, LocalArray, Template};
 use mxn::dca::{alltoallv_within, AlltoallvSpec};
-use mxn::framework::{AnyPayload, RemoteService};
+use mxn::framework::{AnyPayload, Dispatch, RemoteService};
 use mxn::prmi::{collective_serve, CollectiveEndpoint};
 use mxn::runtime::{ChannelPolicy, FaultConfig, RunTrace, Universe, World};
 use mxn::schedule::{recv_redistributed, send_redistributed};
@@ -110,9 +110,9 @@ fn dca_alltoallv_large() -> RunTrace {
 fn prmi_collective_call() -> RunTrace {
     struct AddMethod;
     impl RemoteService for AddMethod {
-        fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
             let v: f64 = arg.downcast().unwrap();
-            AnyPayload::replicable(v + method as f64)
+            AnyPayload::replicable(v + method as f64).into()
         }
     }
     let (_, trace) = Universe::run_traced(&[2, 2], |_, ctx| {

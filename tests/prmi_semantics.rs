@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use mxn::framework::{AnyPayload, RemoteService};
+use mxn::framework::{AnyPayload, Dispatch, RemoteService};
 use mxn::prmi::{
     collective_serve, subset_serve, CollectiveEndpoint, DeliveryPolicy, SubsetServeOutcome,
 };
@@ -14,10 +14,10 @@ use mxn::runtime::Universe;
 struct Recorder(parking_lot::Mutex<Vec<u32>>);
 
 impl RemoteService for Recorder {
-    fn dispatch(&self, method: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch {
         self.0.lock().push(method);
         let v: f64 = arg.downcast().unwrap();
-        AnyPayload::replicable(v + method as f64)
+        AnyPayload::replicable(v + method as f64).into()
     }
 }
 
@@ -131,9 +131,9 @@ fn oneway_overlaps_service_time() {
 
     struct Slow;
     impl RemoteService for Slow {
-        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
             std::thread::sleep(Duration::from_millis(20));
-            arg
+            arg.into()
         }
     }
 

@@ -7,7 +7,9 @@ use mxn::core::{
     ConnectionKind, Direction, FieldData, FieldRegistry, MxnConnection, MxnError, TransferOutcome,
 };
 use mxn::dad::{AccessMode, Dad, Extents, LocalArray};
-use mxn::framework::{serve, AnyPayload, CallPolicy, RemotePort, RemoteService, ServeStats};
+use mxn::framework::{
+    serve, AnyPayload, CallPolicy, Dispatch, RemotePort, RemoteService, ServeStats,
+};
 use mxn::prmi::{collective_serve_recovering, CollectiveEndpoint};
 use mxn::runtime::{ChannelPolicy, FaultConfig, Universe};
 
@@ -173,10 +175,10 @@ fn seeded_fault_matrix() {
 /// exactly-once guarantee is checkable.
 struct Doubler(AtomicUsize);
 impl RemoteService for Doubler {
-    fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+    fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
         let x: u64 = arg.downcast().unwrap();
         self.0.fetch_add(1, Ordering::SeqCst);
-        AnyPayload::replicable(x * 2)
+        AnyPayload::replicable(x * 2).into()
     }
 }
 
@@ -247,9 +249,9 @@ fn corrupt_matrix(seed: u64) {
 fn death_matrix(seed: u64) {
     struct Bump;
     impl RemoteService for Bump {
-        fn dispatch(&self, _m: u32, arg: AnyPayload) -> AnyPayload {
+        fn dispatch(&self, _m: u32, arg: AnyPayload) -> Dispatch {
             let x: f64 = arg.downcast().unwrap();
-            AnyPayload::replicable(x + 1.0)
+            AnyPayload::replicable(x + 1.0).into()
         }
     }
     let cfg = FaultConfig::reliable(seed);
