@@ -139,13 +139,10 @@ fn allreduce_cell(p: usize, payload: usize) -> Cell {
     let coll = stats.coll(CollOp::Allreduce);
     Cell {
         op: "allreduce",
-        // Selection is size-keyed: recursive doubling below the threshold,
-        // binomial reduce + shared bcast above it.
-        variant: if payload <= mxn_runtime::SMALL_COLLECTIVE_BYTES {
-            "recursive_doubling"
-        } else {
-            "reduce_bcast_shared"
-        },
+        // Single path at every size: binomial reduce folding moved blocks
+        // in place + one-alloc shared bcast (recursive doubling and its
+        // clone-per-round cost were removed).
+        variant: "reduce_bcast_shared",
         p,
         payload_bytes: payload,
         ns_per_op: ns,

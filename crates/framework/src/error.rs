@@ -54,6 +54,15 @@ pub enum FrameworkError {
         /// The unknown method id.
         method: u32,
     },
+    /// The server answered with a typed `Overloaded` NACK: admission
+    /// control shed the request instead of queueing it unboundedly. The
+    /// carried queue depth lets retry backoff scale with observed load.
+    Overloaded {
+        /// The method id of the shed call.
+        method: u32,
+        /// The shard's queue depth observed when the request was shed.
+        queue_depth: u32,
+    },
     /// A policy-governed RMI call used up all its attempts without seeing a
     /// response (the provider may still have executed the call).
     RetriesExhausted {
@@ -93,6 +102,9 @@ impl fmt::Display for FrameworkError {
             }
             FrameworkError::MethodNotFound { method } => {
                 write!(f, "remote service does not implement method {method}")
+            }
+            FrameworkError::Overloaded { method, queue_depth } => {
+                write!(f, "server shed RMI method {method} under load (queue depth {queue_depth})")
             }
             FrameworkError::RetriesExhausted { method, attempts, last } => write!(
                 f,

@@ -28,9 +28,9 @@ pub use direct::{Component, Framework, Services};
 pub use error::{FrameworkError, Result};
 pub use port::{GoPort, ProvidedPort, UsesPort, GO_PORT_TYPE};
 pub use remote::{
-    publish_port_names, receive_port_names, serve, shutdown_all, AnyPayload, CallPolicy, Dispatch,
-    MethodNotFound, RemotePort, RemoteService, RmiRequest, RmiResponse, ServeStats,
-    METHOD_SHUTDOWN, NACK_CALL_ID, RMI_REQ_TAG, RMI_RESP_TAG,
+    publish_port_names, receive_port_names, serve, shutdown_all, AnyPayload, BatchService,
+    CallPolicy, Dispatch, MethodNotFound, Overloaded, RemotePort, RemoteService, RmiRequest,
+    RmiResponse, ServeStats, ShedReason, METHOD_SHUTDOWN, NACK_CALL_ID, RMI_REQ_TAG, RMI_RESP_TAG,
 };
 pub use sidl::{
     parse_interface, ArgSpec, Intent, InterfaceSpec, InvocationMode, MethodSpec, SidlError,

@@ -163,6 +163,37 @@ impl MsgSize for MethodNotFound {
     }
 }
 
+/// Why an [`Overloaded`] NACK shed the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Admission control refused the request outright: the shard's
+    /// in-flight budget was exhausted when the request arrived.
+    AdmissionFull,
+    /// The request was admitted but aged out of the shard queue before an
+    /// executor reached it (`ServePolicy::queue_deadline`).
+    QueueDeadline,
+}
+
+/// Typed NACK payload a server returns when admission control sheds a
+/// request instead of queueing it unboundedly. Carries the shard's queue
+/// depth at shed time so the client's [`CallPolicy`] can scale its retry
+/// backoff with *observed* load rather than guessing — a depth-1 blip and
+/// a thousand-deep pileup warrant very different pauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Shard queue depth (admitted, not-yet-dispatched requests) observed
+    /// at the moment the request was shed.
+    pub queue_depth: u32,
+    /// Whether the request was refused at admission or expired in queue.
+    pub reason: ShedReason,
+}
+
+impl MsgSize for Overloaded {
+    fn msg_size(&self) -> usize {
+        4 + 1
+    }
+}
+
 /// Outcome of one [`RemoteService::dispatch`].
 ///
 /// `Reply` carries the marshalled result (dropped for one-way methods);
@@ -189,6 +220,23 @@ pub trait RemoteService: Send + Sync {
     /// is dropped by the server. Return [`Dispatch::MethodNotFound`] for
     /// method ids the service does not implement — never panic.
     fn dispatch(&self, method: u32, arg: AnyPayload) -> Dispatch;
+}
+
+/// Batch-aware extension of [`RemoteService`]: the serving plane hands a
+/// whole per-method request batch to the service in one call, letting
+/// implementations amortize per-invocation overhead (shared lock
+/// acquisition, vectorized math, one allocation for N results).
+///
+/// The default implementation falls back to item-by-item
+/// [`RemoteService::dispatch`], so opting in is one empty `impl` block;
+/// overriding it must preserve the contract that **result `i` answers
+/// argument `i`** — the plane demultiplexes replies by position.
+pub trait BatchService: RemoteService {
+    /// Dispatches a batch of same-method invocations. Must return exactly
+    /// `args.len()` outcomes, position-aligned with the arguments.
+    fn dispatch_batch(&self, method: u32, args: Vec<AnyPayload>) -> Vec<Dispatch> {
+        args.into_iter().map(|arg| self.dispatch(method, arg)).collect()
+    }
 }
 
 /// Statistics from one [`serve`] run.
@@ -379,6 +427,25 @@ impl CallPolicy {
             }
         }
     }
+
+    /// Load-scaling factor for a backoff pause given the queue depth an
+    /// [`Overloaded`] NACK reported: `1 + ⌊log₂(depth + 1)⌋`, capped at
+    /// 16×. Logarithmic so the pause tracks the *order of magnitude* of
+    /// the pileup (depth 1 → 2×, depth 1000 → 10×) without any single
+    /// client stalling for minutes; purely arithmetic, so the same
+    /// observed depth always yields the same factor (determinism is
+    /// preserved end to end — the jitter draw stays seeded).
+    pub fn load_factor(queue_depth: u32) -> u32 {
+        (u32::BITS - queue_depth.saturating_add(1).leading_zeros()).min(16)
+    }
+
+    /// The pause before retry `attempt` when the previous attempt was shed
+    /// with an [`Overloaded`] NACK carrying `queue_depth`: the base backoff
+    /// stretched by [`CallPolicy::load_factor`], then jittered exactly as
+    /// [`CallPolicy::retry_pause`].
+    pub fn retry_pause_loaded(&self, base: Duration, attempt: u32, queue_depth: u32) -> Duration {
+        self.retry_pause(base.saturating_mul(Self::load_factor(queue_depth)), attempt)
+    }
 }
 
 /// Client handle to one remote provider rank's port.
@@ -429,6 +496,13 @@ impl RemotePort {
                 if resp.result.is::<MethodNotFound>() {
                     return Err(FrameworkError::MethodNotFound { method });
                 }
+                if resp.result.is::<Overloaded>() {
+                    let shed: Overloaded = resp.result.downcast()?;
+                    return Err(FrameworkError::Overloaded {
+                        method,
+                        queue_depth: shed.queue_depth,
+                    });
+                }
                 return resp.result.downcast::<R>();
             }
         }
@@ -470,6 +544,10 @@ impl RemotePort {
             Src::Rank(self.provider),
             RMI_RESP_TAG.into(),
         );
+        // Queue depth carried by the most recent `Overloaded` shed, if the
+        // last failure was a shed rather than a timeout: scales the next
+        // pause and selects the terminal error.
+        let mut shed_depth: Option<u32> = None;
         for attempt in 0..=policy.max_retries {
             ic.send(
                 self.provider,
@@ -484,6 +562,7 @@ impl RemotePort {
             )
             .map_err(FrameworkError::Runtime)?; // PeerDead fails fast
             let deadline = Instant::now() + policy.deadline;
+            shed_depth = None;
             loop {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 match ic.recv_timeout::<RmiResponse>(self.provider, RMI_RESP_TAG, remaining) {
@@ -492,6 +571,14 @@ impl RemotePort {
                     Ok(resp) if resp.call_id == call_id => {
                         if resp.result.is::<MethodNotFound>() {
                             return Err(FrameworkError::MethodNotFound { method });
+                        }
+                        // An Overloaded shed is retryable — the server did
+                        // not execute (or cache) the call — but the pause
+                        // must scale with the depth the NACK reported.
+                        if resp.result.is::<Overloaded>() {
+                            let shed: Overloaded = resp.result.downcast()?;
+                            shed_depth = Some(shed.queue_depth);
+                            break;
                         }
                         return resp.result.downcast::<R>();
                     }
@@ -509,10 +596,20 @@ impl RemotePort {
                     Err(e) => return Err(e.into()), // PeerDead etc. fail fast
                 }
             }
-            std::thread::sleep(policy.retry_pause(backoff, attempt));
+            std::thread::sleep(match shed_depth {
+                Some(depth) => policy.retry_pause_loaded(backoff, attempt, depth),
+                None => policy.retry_pause(backoff, attempt),
+            });
             backoff = backoff.saturating_mul(2);
         }
-        Err(FrameworkError::RetriesExhausted { method, attempts: policy.max_retries + 1, last })
+        match shed_depth {
+            Some(queue_depth) => Err(FrameworkError::Overloaded { method, queue_depth }),
+            None => Err(FrameworkError::RetriesExhausted {
+                method,
+                attempts: policy.max_retries + 1,
+                last,
+            }),
+        }
     }
 
     /// One-way RMI: "the calling component continues execution immediately,
@@ -752,5 +849,69 @@ mod tests {
         let base = Duration::from_millis(64);
         let pauses: Vec<Duration> = (0..4).map(|i| policy.retry_pause(base, i)).collect();
         assert!(pauses.windows(2).any(|w| w[0] != w[1]), "{pauses:?}");
+    }
+
+    #[test]
+    fn load_factor_tracks_order_of_magnitude() {
+        assert_eq!(CallPolicy::load_factor(0), 1);
+        assert_eq!(CallPolicy::load_factor(1), 2);
+        assert_eq!(CallPolicy::load_factor(3), 3);
+        assert_eq!(CallPolicy::load_factor(7), 4);
+        assert_eq!(CallPolicy::load_factor(1000), 10);
+        assert_eq!(CallPolicy::load_factor(u32::MAX), 16, "factor is capped");
+    }
+
+    #[test]
+    fn loaded_pause_scales_with_depth_and_stays_deterministic() {
+        let policy = CallPolicy::default().seeded(Some(0xfeed));
+        let base = Duration::from_millis(8);
+        for attempt in 0..4 {
+            let calm = policy.retry_pause_loaded(base, attempt, 0);
+            let deep = policy.retry_pause_loaded(base, attempt, 1 << 12);
+            assert_eq!(calm, policy.retry_pause(base, attempt), "depth 0 is the plain schedule");
+            assert!(deep > calm, "observed load must stretch the pause");
+            assert_eq!(
+                deep,
+                policy.retry_pause_loaded(base, attempt, 1 << 12),
+                "same depth + seed replays the same pause"
+            );
+            // Jitter bounds hold around the scaled base.
+            let scaled = base * CallPolicy::load_factor(1 << 12);
+            assert!(deep >= scaled / 2 && deep < scaled);
+        }
+    }
+
+    impl BatchService for Counter {}
+
+    #[test]
+    fn batch_service_default_matches_item_dispatch() {
+        let svc = Counter(parking_lot::Mutex::new(0));
+        let outs =
+            svc.dispatch_batch(0, (1..=4).map(|d| AnyPayload::new(d as i64)).collect::<Vec<_>>());
+        assert_eq!(outs.len(), 4);
+        let totals: Vec<i64> = outs
+            .into_iter()
+            .map(|d| match d {
+                Dispatch::Reply(p) => p.downcast::<i64>().unwrap(),
+                Dispatch::MethodNotFound => panic!("known method"),
+            })
+            .collect();
+        assert_eq!(totals, vec![1, 3, 6, 10], "position i answers argument i, in order");
+        let outs = svc.dispatch_batch(99, vec![AnyPayload::new(1i64)]);
+        assert!(matches!(outs[0], Dispatch::MethodNotFound));
+    }
+
+    #[test]
+    fn overloaded_nack_payload_is_recognizable() {
+        let p = AnyPayload::replicable(Overloaded {
+            queue_depth: 37,
+            reason: ShedReason::AdmissionFull,
+        });
+        assert_eq!(p.bytes(), 5);
+        assert!(p.is::<Overloaded>());
+        let copy = p.replicate().expect("replicable");
+        let shed: Overloaded = copy.downcast().unwrap();
+        assert_eq!(shed.queue_depth, 37);
+        assert_eq!(shed.reason, ShedReason::AdmissionFull);
     }
 }

@@ -24,7 +24,9 @@
 
 use std::time::{Duration, Instant};
 
-use mxn_framework::{AnyPayload, CallPolicy, Dispatch, MethodNotFound, RemoteService};
+use mxn_framework::{
+    AnyPayload, BatchService, CallPolicy, Dispatch, MethodNotFound, RemoteService,
+};
 use mxn_runtime::{Comm, InterComm, MsgSize, RuntimeError};
 
 use crate::error::{PrmiError, Result};
@@ -104,6 +106,72 @@ impl Clone for CollResp {
         CollResp {
             call_seq: self.call_seq,
             result: self.result.replicate().expect("ghost return results are replicable"),
+        }
+    }
+}
+
+/// A per-method request batch travelling as **one** [`CollReq`]: the
+/// serving plane's shard executors coalesce admitted client calls into
+/// these, so a full batch costs one collective invocation — one envelope,
+/// one serve-loop wakeup, one reply — instead of one per client call.
+///
+/// Items are `(request id, marshalled argument)` pairs in admission order.
+/// The id is opaque to PRMI (the plane packs a connection/sequence pair
+/// into it) and comes back verbatim on the matching
+/// [`CollBatchResult`] item, which is how replies are demultiplexed.
+pub struct CollBatch {
+    /// `(plane-assigned request id, argument)`, in admission order.
+    pub items: Vec<(u64, AnyPayload)>,
+}
+
+impl MsgSize for CollBatch {
+    fn msg_size(&self) -> usize {
+        8 + self.items.iter().map(|(_, a)| 8 + a.msg_size()).sum::<usize>()
+    }
+}
+
+impl Clone for CollBatch {
+    /// Ghost-invocation fan-out (N providers > M callers) replicates the
+    /// whole batch; requires every item built with
+    /// [`AnyPayload::replicable`], like any collective argument.
+    fn clone(&self) -> Self {
+        CollBatch {
+            items: self
+                .items
+                .iter()
+                .map(|(id, a)| (*id, a.replicate().expect("batched args are replicable")))
+                .collect(),
+        }
+    }
+}
+
+/// Position-aligned results for one [`CollBatch`]: item `i` answers batch
+/// item `i` and carries the same request id. Per-item failures travel as
+/// typed payloads ([`MethodNotFound`], `Overloaded`) rather than failing
+/// the whole batch.
+pub struct CollBatchResult {
+    /// `(request id, marshalled result-or-NACK)`, batch order.
+    pub items: Vec<(u64, AnyPayload)>,
+}
+
+impl MsgSize for CollBatchResult {
+    fn msg_size(&self) -> usize {
+        8 + self.items.iter().map(|(_, a)| 8 + a.msg_size()).sum::<usize>()
+    }
+}
+
+impl Clone for CollBatchResult {
+    /// Ghost-return fan-out (M callers > N providers) replicates the batch
+    /// results; requires the service to build them replicable.
+    fn clone(&self) -> Self {
+        CollBatchResult {
+            items: self
+                .items
+                .iter()
+                .map(|(id, a)| {
+                    (*id, a.replicate().expect("ghost-returned batch results are replicable"))
+                })
+                .collect(),
         }
     }
 }
@@ -340,6 +408,62 @@ impl CollectiveEndpoint {
         Err(PrmiError::RecoveryExhausted { method, attempts: policy.max_retries + 1 })
     }
 
+    /// Collective **batch** call: ships `items` — `(request id, argument)`
+    /// pairs, every argument built with [`AnyPayload::replicable`] — as one
+    /// [`CollReq`] carrying a [`CollBatch`], and returns the per-item
+    /// results in batch order, each tagged with the id the caller assigned.
+    /// Pair with [`collective_serve_batched`] on the provider side.
+    ///
+    /// This is the serving plane's amortization lever: a shard that has
+    /// drained `k` same-method client requests pays one collective
+    /// invocation (one envelope each way, one serve-loop wakeup) instead
+    /// of `k`. Per-item failures come back as typed payloads
+    /// ([`MethodNotFound`]) inside the result items; the call itself only
+    /// errors on transport or protocol failures.
+    pub fn call_batch(
+        &mut self,
+        ic: &InterComm,
+        method: u32,
+        items: Vec<(u64, AnyPayload)>,
+    ) -> Result<Vec<(u64, AnyPayload)>> {
+        assert_ne!(method, METHOD_SHUTDOWN, "use CollectiveEndpoint::shutdown");
+        let batch_len = items.len() as u64;
+        let _span = mxn_trace::span(
+            mxn_trace::EventId::PrmiCall,
+            [method as u64, self.call_seq, ic.remote_size() as u64, batch_len],
+        );
+        let seq = self.call_seq;
+        self.call_seq += 1;
+        let epoch = self.epoch;
+        let cur = self.current(ic);
+        let (m, n) = (cur.local_size(), cur.remote_size());
+        let k = cur.local_rank();
+        cur.multicast(
+            &providers_of(k, m, n),
+            COLL_REQ_TAG,
+            CollReq {
+                method,
+                call_seq: seq,
+                epoch,
+                num_callers: m,
+                oneway: false,
+                arg: AnyPayload::replicable(CollBatch { items }),
+            },
+        )?;
+        let responder = cur.local_rank() % cur.remote_size();
+        let resp: CollResp = cur.recv(responder, COLL_RESP_TAG)?;
+        if resp.call_seq != seq {
+            return Err(PrmiError::Protocol {
+                detail: format!("response seq {} for batch call {}", resp.call_seq, seq),
+            });
+        }
+        if resp.result.is::<MethodNotFound>() {
+            return Err(PrmiError::MethodNotFound { method });
+        }
+        let result: CollBatchResult = resp.result.downcast().map_err(PrmiError::from)?;
+        Ok(result.items)
+    }
+
     /// One-way collective call: returns immediately, no response (§2.4).
     pub fn call_oneway<A>(&mut self, ic: &InterComm, method: u32, arg: A) -> Result<()>
     where
@@ -431,6 +555,102 @@ pub fn collective_serve(ic: &InterComm, service: &dyn RemoteService) -> Result<C
 /// M is fixed per intercomm we read it from the intercomm itself.
 fn ic_owner(ic: &InterComm) -> usize {
     ic.local_rank() % ic.remote_size()
+}
+
+/// Batch-aware provider-side serve loop, paired with
+/// [`CollectiveEndpoint::call_batch`].
+///
+/// Like [`collective_serve`], but a request whose argument is a
+/// [`CollBatch`] is dispatched **once** through
+/// [`BatchService::dispatch_batch`] — the whole per-method batch in one
+/// call — and answered with a single [`CollResp`] carrying a
+/// position-aligned [`CollBatchResult`]. Per-item unknown methods become
+/// typed [`MethodNotFound`] payloads *inside* the batch result, so one bad
+/// request never poisons its batch-mates. Plain (non-batch) requests are
+/// served exactly as in [`collective_serve`], so a provider can field
+/// traffic from both the serving plane and direct collective callers.
+pub fn collective_serve_batched(
+    ic: &InterComm,
+    service: &dyn BatchService,
+) -> Result<CollectiveStats> {
+    let (n, j) = (ic.local_size(), ic.local_rank());
+    let mut stats = CollectiveStats::default();
+    loop {
+        let req: CollReq = ic.recv(ic_owner(ic), COLL_REQ_TAG)?;
+        if req.method == METHOD_SHUTDOWN {
+            return Ok(stats);
+        }
+        let m = req.num_callers;
+        if req.arg.is::<CollBatch>() {
+            let batch: CollBatch = req.arg.downcast().map_err(|e| PrmiError::Protocol {
+                detail: format!("batch downcast failed: {e}"),
+            })?;
+            let (ids, args): (Vec<u64>, Vec<AnyPayload>) = batch.items.into_iter().unzip();
+            mxn_trace::emit_instant(
+                mxn_trace::EventId::PrmiServe,
+                [req.method as u64, req.call_seq, m as u64, ids.len() as u64],
+            );
+            let outs = service.dispatch_batch(req.method, args);
+            assert_eq!(
+                outs.len(),
+                ids.len(),
+                "BatchService must return one outcome per batch item"
+            );
+            let items: Vec<(u64, AnyPayload)> = ids
+                .into_iter()
+                .zip(outs)
+                .map(|(id, d)| match d {
+                    Dispatch::Reply(p) => {
+                        stats.calls += 1;
+                        (id, p)
+                    }
+                    Dispatch::MethodNotFound => {
+                        stats.method_not_found += 1;
+                        (id, AnyPayload::replicable(MethodNotFound { method: req.method }))
+                    }
+                })
+                .collect();
+            if req.oneway {
+                continue;
+            }
+            let respondents = respondents_of(j, m, n);
+            stats.ghost_returns += respondents.len().saturating_sub(1) as u64;
+            // Only the ghost-return fan-out needs a replicable wrapper (and
+            // pays its one up-front deep copy); the common single-respondent
+            // plane topology sends the results without copying anything.
+            let result = if respondents.len() > 1 {
+                AnyPayload::replicable(CollBatchResult { items })
+            } else {
+                AnyPayload::new(CollBatchResult { items })
+            };
+            send_replicated(ic, &respondents, req.call_seq, result)?;
+            continue;
+        }
+        // Plain request: identical to collective_serve's body.
+        let (result, found) = match service.dispatch(req.method, req.arg) {
+            Dispatch::Reply(p) => (p, true),
+            Dispatch::MethodNotFound => {
+                stats.method_not_found += 1;
+                (AnyPayload::replicable(MethodNotFound { method: req.method }), false)
+            }
+        };
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::PrmiServe,
+            [req.method as u64, req.call_seq, m as u64, u64::from(req.oneway)],
+        );
+        if found {
+            stats.calls += 1;
+            if req.oneway {
+                stats.oneway_calls += 1;
+            }
+        }
+        if req.oneway {
+            continue;
+        }
+        let respondents = respondents_of(j, m, n);
+        stats.ghost_returns += respondents.len().saturating_sub(1) as u64;
+        send_replicated(ic, &respondents, req.call_seq, result)?;
+    }
 }
 
 /// Revokes `ic` and shrinks it to the survivor set. Both sides of a
@@ -842,6 +1062,81 @@ mod tests {
                 let svc = Accum(parking_lot::Mutex::new(0.0));
                 let stats = collective_serve_recovering(ctx.intercomm(0), &svc).unwrap();
                 assert_eq!(stats.method_not_found, 1);
+                assert_eq!(stats.calls, 1);
+            }
+        });
+    }
+
+    impl BatchService for Accum {}
+
+    #[test]
+    fn batched_call_roundtrips_and_demuxes_by_id() {
+        Universe::run(&[1, 2], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                // Ids are arbitrary and non-contiguous: replies must carry
+                // them back verbatim, in batch order.
+                let items = vec![
+                    (700u64, AnyPayload::replicable(1.0f64)),
+                    (13u64, AnyPayload::replicable(2.0f64)),
+                    (9_999u64, AnyPayload::replicable(0.5f64)),
+                ];
+                let results = ep.call_batch(ic, 0, items).unwrap();
+                let got: Vec<(u64, f64)> =
+                    results.into_iter().map(|(id, p)| (id, p.downcast().unwrap())).collect();
+                // Running sums, dispatched in admission order.
+                assert_eq!(got, vec![(700, 1.0), (13, 3.0), (9_999, 3.5)]);
+                assert_eq!(ep.calls(), 1, "a whole batch is one collective call");
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_batched(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.calls, 3, "every batch item dispatched");
+                assert_eq!(*svc.0.lock(), 3.5);
+            }
+        });
+    }
+
+    #[test]
+    fn batched_unknown_method_nacks_per_item() {
+        Universe::run(&[1, 1], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let items = vec![
+                    (1u64, AnyPayload::replicable(2.0f64)),
+                    (2u64, AnyPayload::replicable(3.0f64)),
+                ];
+                // Unknown method: each item carries a typed NACK, and the
+                // provider keeps serving.
+                let results = ep.call_batch(ic, 42, items).unwrap();
+                assert!(results.iter().all(|(_, p)| p.is::<MethodNotFound>()));
+                let ok =
+                    ep.call_batch(ic, 0, vec![(5u64, AnyPayload::replicable(4.0f64))]).unwrap();
+                assert!(!ok[0].1.is::<MethodNotFound>());
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_batched(ctx.intercomm(0), &svc).unwrap();
+                assert_eq!(stats.method_not_found, 2);
+                assert_eq!(stats.calls, 1);
+            }
+        });
+    }
+
+    #[test]
+    fn batched_serve_still_fields_plain_collective_calls() {
+        Universe::run(&[2, 2], |_, ctx| {
+            if ctx.program == 0 {
+                let ic = ctx.intercomm(1);
+                let mut ep = CollectiveEndpoint::new();
+                let r: f64 = ep.call(ic, 0, 2.5f64).unwrap();
+                assert_eq!(r, 2.5);
+                ep.shutdown(ic).unwrap();
+            } else {
+                let svc = Accum(parking_lot::Mutex::new(0.0));
+                let stats = collective_serve_batched(ctx.intercomm(0), &svc).unwrap();
                 assert_eq!(stats.calls, 1);
             }
         });

@@ -25,8 +25,9 @@ pub mod parallel_args;
 pub mod subset;
 
 pub use collective::{
-    collective_serve, collective_serve_recovering, providers_of, respondents_of, CollReq, CollResp,
-    CollectiveEndpoint, CollectiveStats,
+    collective_serve, collective_serve_batched, collective_serve_recovering, providers_of,
+    respondents_of, CollBatch, CollBatchResult, CollReq, CollResp, CollectiveEndpoint,
+    CollectiveStats,
 };
 pub use error::{PrmiError, Result};
 pub use independent::{serve_independent, IndependentPort};

@@ -32,10 +32,10 @@ use crate::tracing::{coll_algo, ctx_class, record_op_error, tag_arg};
 use mxn_trace::{emit_instant, span, EventId, SpanGuard};
 
 /// Payload-size threshold (bytes) at or below which latency-optimal
-/// algorithms (recursive doubling, Bruck) are preferred over
+/// algorithms (e.g. Bruck for the DCA alltoallv) are preferred over
 /// bandwidth-optimal ones. Every member must arrive at the same choice, so
 /// selection keys on quantities that are identical across ranks (the
-/// uniform payload size of an allreduce, or an agreed-on maximum).
+/// uniform payload size of a collective, or an agreed-on maximum).
 pub const SMALL_COLLECTIVE_BYTES: usize = 4096;
 
 /// ⌈log₂ p⌉ — the round count of the log-depth collectives, precomputable
@@ -679,12 +679,20 @@ impl Comm {
 
     /// Every member receives `op` folded over all members' values.
     ///
-    /// Size-aware selection (every rank must pass the same-sized value, as
-    /// in MPI, so all members pick the same algorithm): payloads at or below
-    /// [`SMALL_COLLECTIVE_BYTES`] use recursive doubling — ⌈log₂ p⌉ rounds
-    /// per rank, latency-optimal — while larger payloads use binomial
-    /// reduce (partials move, no clones) followed by the zero-clone shared
-    /// broadcast.
+    /// One algorithm at every size: binomial reduce — partials are *moved*
+    /// up the tree and folded in place, never cloned — followed by the
+    /// zero-clone shared broadcast (one allocation, `Arc` handles fanned
+    /// out). This replaced recursive doubling for small payloads: RD's
+    /// owned-message exchange rounds force every rank to clone its
+    /// accumulator once per round (both partners need both values, so the
+    /// copy is inherent to the algorithm, not the transport) — p·⌈log₂ p⌉
+    /// deep copies and messages per op, 2048 of each at p=256. Reduce+bcast
+    /// doubles the critical-path round count to 2⌈log₂ p⌉ but sends only
+    /// 2(p−1) messages and copies nothing in the reduce phase (the shared
+    /// bcast's final unwrap still costs one clone per non-root rank), which
+    /// wins outright in this runtime where per-message cost dominates
+    /// (BENCH_runtime.json allreduce cells vs the last recursive-doubling
+    /// run: 1.5x at p=16, 2.4x at p=64, 2.8x at p=256, all at 1KiB).
     pub fn allreduce<T, F>(&self, value: T, op: F) -> Result<T>
     where
         T: Clone + Send + Sync + MsgSize + 'static,
@@ -695,83 +703,11 @@ impl Comm {
             return Ok(value);
         }
         let bytes = value.msg_size();
-        if bytes <= SMALL_COLLECTIVE_BYTES {
-            let _span = self.coll_span(
-                CollOp::Allreduce,
-                coll_algo::RECURSIVE_DOUBLING,
-                bytes,
-                ceil_log2(p),
-            );
-            self.allreduce_rd(value, op)
-        } else {
-            let _span =
-                self.coll_span(CollOp::Allreduce, coll_algo::REDUCE_BCAST, bytes, 2 * ceil_log2(p));
-            let reduced = self.reduce_as(0, value, op, CollOp::Allreduce)?;
-            let arc = self.bcast_shared_as(0, reduced, CollOp::Allreduce)?;
-            Ok(self.unwrap_cow(arc, CollOp::Allreduce))
-        }
-    }
-
-    /// Recursive-doubling allreduce with the classic fold-in/fold-out for
-    /// non-power-of-two sizes: the first `2*rem` ranks pair up so a power
-    /// of two remains, run ⌈log₂ p⌉ exchange rounds, then hand the result
-    /// back to the retired ranks.
-    fn allreduce_rd<T, F>(&self, value: T, op: F) -> Result<T>
-    where
-        T: Clone + Send + MsgSize + 'static,
-        F: Fn(&mut T, T),
-    {
-        const OP: CollOp = CollOp::Allreduce;
-        /// Round index for the fold-out message (outside the exchange
-        /// rounds, within the collective's 2^12-tag block).
-        const FOLD_OUT: i32 = 4095;
-        let p = self.size();
-        let r = self.rank();
-        let base = self.next_coll_tag();
-        let pof2 = 1usize << p.ilog2();
-        let rem = p - pof2;
-
-        let mut acc = value;
-        // Fold-in: evens below 2*rem send to their odd neighbour and
-        // retire, waiting for the final result at fold-out.
-        let nr = if r < 2 * rem {
-            if r.is_multiple_of(2) {
-                self.coll_send(r + 1, base, acc, OP)?;
-                return self.coll_recv::<T>(r + 1, base + FOLD_OUT);
-            }
-            let other = self.coll_recv::<T>(r - 1, base)?;
-            let mine = std::mem::replace(&mut acc, other);
-            op(&mut acc, mine);
-            r / 2
-        } else {
-            r - rem
-        };
-
-        let mut mask = 1usize;
-        let mut round = 1i32;
-        while mask < pof2 {
-            let partner_new = nr ^ mask;
-            let partner = if partner_new < rem { 2 * partner_new + 1 } else { partner_new + rem };
-            self.shared().stats().record_coll_clones(OP, 1);
-            self.coll_send(partner, base + round, acc.clone(), OP)?;
-            let other = self.coll_recv::<T>(partner, base + round)?;
-            // Canonical combine order: lower ranks' contribution first, so
-            // non-commutative ops fold left-to-right.
-            if partner < r {
-                let mine = std::mem::replace(&mut acc, other);
-                op(&mut acc, mine);
-            } else {
-                op(&mut acc, other);
-            }
-            mask <<= 1;
-            round += 1;
-        }
-        if r < 2 * rem {
-            // Fold-out: hand the result back to the retired even rank.
-            self.shared().stats().record_coll_clones(OP, 1);
-            self.coll_send(r - 1, base + FOLD_OUT, acc.clone(), OP)?;
-        }
-        Ok(acc)
+        let _span =
+            self.coll_span(CollOp::Allreduce, coll_algo::REDUCE_BCAST, bytes, 2 * ceil_log2(p));
+        let reduced = self.reduce_as(0, value, op, CollOp::Allreduce)?;
+        let arc = self.bcast_shared_as(0, reduced, CollOp::Allreduce)?;
+        Ok(self.unwrap_cow(arc, CollOp::Allreduce))
     }
 
     /// Reduces `values` (one block per member, rank order) element-wise and
@@ -1124,17 +1060,16 @@ mod tests {
     }
 
     #[test]
-    fn allreduce_small_and_large_paths_agree() {
-        // Small payloads take recursive doubling, large ones reduce+bcast;
-        // both must produce the fold of every rank's value, at every size
+    fn allreduce_small_and_large_payloads_agree() {
+        // Every payload size takes reduce+bcast; both a scalar and a bulk
+        // vector must produce the fold of every rank's value, at every size
         // (power of two or not).
         for p in [1, 2, 3, 4, 5, 6, 7, 8, 9] {
             World::run(p, move |proc| {
                 let c = proc.world();
                 let r = c.rank() as u64;
                 let small = c.allreduce(r + 1, |a, b| *a += b).unwrap();
-                assert_eq!(small, (p * (p + 1) / 2) as u64, "rd path at p={p}");
-                // 1024 f64s = 8 KiB > SMALL_COLLECTIVE_BYTES.
+                assert_eq!(small, (p * (p + 1) / 2) as u64, "scalar at p={p}");
                 let big = c
                     .allreduce(vec![r as f64; 1024], |a, b| {
                         for (x, y) in a.iter_mut().zip(b) {
@@ -1143,18 +1078,26 @@ mod tests {
                     })
                     .unwrap();
                 let expect = (p * (p - 1) / 2) as f64;
-                assert!(big.iter().all(|&x| x == expect), "reduce+bcast path at p={p}");
+                assert!(big.iter().all(|&x| x == expect), "bulk at p={p}");
             });
         }
     }
 
     #[test]
-    fn allreduce_rd_message_complexity() {
-        // Power of two: exactly log2(p) exchange messages per rank.
+    fn allreduce_message_complexity_and_zero_clones() {
+        // Reduce (p-1 moved partials) + shared bcast (p-1 Arc handles):
+        // 2(p-1) messages total, no payload deep copies, one allocation.
         let (_, stats) = World::run_with_stats(8, |proc| {
             proc.world().allreduce(1u64, |a, b| *a += b).unwrap();
         });
-        assert_eq!(stats.coll(crate::stats::CollOp::Allreduce).messages, 8 * 3);
+        let cell = stats.coll(crate::stats::CollOp::Allreduce);
+        assert_eq!(cell.messages, 2 * (8 - 1));
+        // The algorithm itself never clones (partials move and fold in
+        // place); the only copies are COW unwraps of the shared broadcast
+        // result when handles race — bounded by p, vs p·log₂p (24) for the
+        // recursive doubling this replaced.
+        assert!(cell.payload_clones <= 8, "got {}", cell.payload_clones);
+        assert_eq!(cell.payload_allocs, 1, "the bcast's single shared allocation");
     }
 
     #[test]

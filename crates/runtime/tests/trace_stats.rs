@@ -32,8 +32,7 @@ fn per_collective_trace_aggregates_match_world_stats() {
         if r == 0 {
             assert_eq!(red, Some(6));
         }
-        // Small allreduce (recursive doubling) and a large one (reduce +
-        // shared bcast) hit both algorithm paths.
+        // A scalar allreduce and a bulk one (both reduce + shared bcast).
         assert_eq!(c.allreduce(1u64, |a, b| *a += b).unwrap(), 4);
         let big = c.allreduce(vec![1.0f64; 1024], |a, b| {
             for (x, y) in a.iter_mut().zip(b) {

@@ -1,0 +1,136 @@
+//! What a shard executor dispatches its batches *into*.
+//!
+//! The plane is agnostic about where method implementations live. Each
+//! shard owns one [`PlaneBackend`]:
+//!
+//! * [`ServiceBackend`] — the method lives in-process behind a
+//!   [`BatchService`]. This is the 1M-calls/s path: a batch costs one
+//!   dynamic dispatch, not one per request.
+//! * [`PrmiBackend`] — the method lives on a *parallel component* behind
+//!   the PRMI collective layer: the whole batch ships as one
+//!   [`mxn_prmi::CollBatch`] inside one `CollReq`, is executed by the
+//!   provider's [`mxn_prmi::collective_serve_batched`] loop, and comes
+//!   back position-tagged in one `CollResp` (§2.4's collective invocation,
+//!   amortized). One serve-loop wakeup per *batch*, not per call.
+
+use mxn_framework::{AnyPayload, BatchService, Dispatch, MethodNotFound};
+use mxn_prmi::CollectiveEndpoint;
+use mxn_runtime::InterComm;
+use std::sync::Arc;
+
+// `InterComm` is intentionally per-rank state (it carries a `Cell` of
+// send-sequence bookkeeping), so `PrmiBackend` owns its intercomm outright
+// — exactly one shard executor thread drives it, matching the collective
+// layer's one-caller-per-rank discipline.
+
+/// Outcome of one request inside a dispatched batch, position-aligned
+/// with the argument it answers.
+pub enum BatchReply {
+    /// The method executed; here is its result.
+    Reply(AnyPayload),
+    /// The backend does not implement the method.
+    MethodNotFound,
+}
+
+/// One shard's dispatch target. `dispatch_batch` runs on the shard's
+/// executor thread; it may block (the shard is the unit of concurrency),
+/// but must return exactly one outcome per argument, in order.
+pub trait PlaneBackend: Send {
+    /// Executes a batch of same-method requests.
+    fn dispatch_batch(&mut self, method: u32, args: Vec<AnyPayload>) -> Vec<BatchReply>;
+
+    /// Called once on the executor thread when the plane shuts down.
+    fn shutdown(&mut self) {}
+}
+
+/// In-process backend: requests dispatch straight into a shared
+/// [`BatchService`].
+pub struct ServiceBackend {
+    service: Arc<dyn BatchService>,
+}
+
+impl ServiceBackend {
+    /// Wraps `service`; clones of the `Arc` may back several shards.
+    pub fn new(service: Arc<dyn BatchService>) -> Self {
+        ServiceBackend { service }
+    }
+}
+
+impl PlaneBackend for ServiceBackend {
+    fn dispatch_batch(&mut self, method: u32, args: Vec<AnyPayload>) -> Vec<BatchReply> {
+        self.service
+            .dispatch_batch(method, args)
+            .into_iter()
+            .map(|d| match d {
+                Dispatch::Reply(p) => BatchReply::Reply(p),
+                Dispatch::MethodNotFound => BatchReply::MethodNotFound,
+            })
+            .collect()
+    }
+}
+
+/// PRMI bridge backend: forwards each batch as one collective batch call
+/// to a parallel provider.
+///
+/// Arguments **must** be built with [`AnyPayload::replicable`] — the
+/// collective layer multicasts the request to every provider this caller
+/// rank owns, and non-replicable payloads cannot fan out. On shutdown the
+/// backend sends the collective shutdown so provider serve loops exit.
+pub struct PrmiBackend {
+    ic: InterComm,
+    endpoint: CollectiveEndpoint,
+    /// Whether to send the collective shutdown when the plane stops.
+    shutdown_providers: bool,
+}
+
+impl PrmiBackend {
+    /// Bridges to the providers on the far side of `ic` (taking ownership:
+    /// one shard thread drives this intercomm rank).
+    pub fn new(ic: InterComm) -> Self {
+        PrmiBackend { ic, endpoint: CollectiveEndpoint::new(), shutdown_providers: true }
+    }
+
+    /// Leaves provider serve loops running at plane shutdown (for planes
+    /// that share an intercomm with other callers).
+    pub fn leave_providers_running(mut self) -> Self {
+        self.shutdown_providers = false;
+        self
+    }
+}
+
+impl PlaneBackend for PrmiBackend {
+    fn dispatch_batch(&mut self, method: u32, args: Vec<AnyPayload>) -> Vec<BatchReply> {
+        // Position index as the batch-item id: the collective layer hands
+        // ids back verbatim, so order is reconstructible even if a future
+        // provider reorders items.
+        let items: Vec<(u64, AnyPayload)> =
+            args.into_iter().enumerate().map(|(i, a)| (i as u64, a)).collect();
+        let n = items.len();
+        match self.endpoint.call_batch(&self.ic, method, items) {
+            Ok(results) => {
+                let mut out: Vec<Option<BatchReply>> = (0..n).map(|_| None).collect();
+                for (id, payload) in results {
+                    let slot = out.get_mut(id as usize).expect("provider echoed a foreign id");
+                    *slot = Some(if payload.is::<MethodNotFound>() {
+                        BatchReply::MethodNotFound
+                    } else {
+                        BatchReply::Reply(payload)
+                    });
+                }
+                out.into_iter().map(|s| s.expect("provider answered every batch item")).collect()
+            }
+            // A whole-batch MethodNotFound (providers that predate batch
+            // support NACK the batch itself).
+            Err(mxn_prmi::PrmiError::MethodNotFound { .. }) => {
+                (0..n).map(|_| BatchReply::MethodNotFound).collect()
+            }
+            Err(e) => panic!("PRMI bridge dispatch failed: {e}"),
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if self.shutdown_providers {
+            let _ = self.endpoint.shutdown(&self.ic);
+        }
+    }
+}

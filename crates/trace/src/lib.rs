@@ -112,10 +112,22 @@ pub enum EventId {
     /// A peer missed its heartbeat/liveness deadline; args =
     /// `[peer, silence_micros, deadline_micros]`.
     HeartbeatMiss = 28,
+    /// Serving-plane client connection lifecycle; args =
+    /// `[conn, shard, opened]` (1 = accepted, 0 = closed).
+    ServeConn = 29,
+    /// One shard batch dispatch span; Begin args =
+    /// `[shard, method, batch_len, queue_depth]`.
+    ServeBatch = 30,
+    /// Admission control shed a request with an `Overloaded` NACK; args =
+    /// `[shard, conn, queue_depth]`.
+    ServeOverload = 31,
+    /// A slow client's reader was parked (cooperative backpressure);
+    /// args = `[conn, inflight, budget]`.
+    ServePark = 32,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 28] = [
+pub const ALL_EVENT_IDS: [EventId; 32] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -144,6 +156,10 @@ pub const ALL_EVENT_IDS: [EventId; 28] = [
     EventId::WireReconnect,
     EventId::WireFrameCorrupt,
     EventId::HeartbeatMiss,
+    EventId::ServeConn,
+    EventId::ServeBatch,
+    EventId::ServeOverload,
+    EventId::ServePark,
 ];
 
 impl EventId {
@@ -178,6 +194,10 @@ impl EventId {
             EventId::WireReconnect => "WireReconnect",
             EventId::WireFrameCorrupt => "WireFrameCorrupt",
             EventId::HeartbeatMiss => "HeartbeatMiss",
+            EventId::ServeConn => "ServeConn",
+            EventId::ServeBatch => "ServeBatch",
+            EventId::ServeOverload => "ServeOverload",
+            EventId::ServePark => "ServePark",
         }
     }
 
@@ -206,6 +226,10 @@ impl EventId {
             | EventId::WireReconnect
             | EventId::WireFrameCorrupt
             | EventId::HeartbeatMiss => "wire",
+            EventId::ServeConn
+            | EventId::ServeBatch
+            | EventId::ServeOverload
+            | EventId::ServePark => "serve",
         }
     }
 
@@ -228,7 +252,10 @@ impl EventId {
     /// and every wire-transport event ([`EventId::WireConnect`],
     /// [`EventId::WireReconnect`], [`EventId::WireFrameCorrupt`],
     /// [`EventId::HeartbeatMiss`] — socket timing is real wall-clock
-    /// physics, not seeded simulation).
+    /// physics, not seeded simulation). Serving-plane events
+    /// ([`EventId::ServeConn`] … [`EventId::ServePark`]) are likewise
+    /// physical: which requests share a batch and when admission sheds
+    /// depend on OS thread scheduling across free-running clients.
     /// They are still recorded, merged, exported and aggregated — they just
     /// never participate in golden digests, exactly like `wall_us`.
     pub fn in_digest(self) -> bool {
@@ -243,6 +270,10 @@ impl EventId {
                 | EventId::WireReconnect
                 | EventId::WireFrameCorrupt
                 | EventId::HeartbeatMiss
+                | EventId::ServeConn
+                | EventId::ServeBatch
+                | EventId::ServeOverload
+                | EventId::ServePark
         )
     }
 }

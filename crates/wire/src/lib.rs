@@ -29,6 +29,10 @@
 //!   N attempts, after which the peer is *dead* and recovery proceeds
 //!   exactly as for an in-proc rank death. [`node::UdsTransport`] is the
 //!   `Transport` impl.
+//! * [`mux`] — connection multiplexing over *one* UDS listener: the
+//!   serving plane's wire front. Any number of client connections, each
+//!   with a reader/writer thread pair, requests handed to a pluggable
+//!   [`mux::MuxHandler`]; blocking the handler parks exactly one client.
 //! * [`process`] — self re-exec helpers for multi-process tests and
 //!   examples (spawn workers, kill-on-drop guards, `kill -9` on demand).
 
@@ -37,6 +41,7 @@ pub mod crc;
 pub mod fault;
 pub mod frame;
 pub mod link;
+pub mod mux;
 pub mod node;
 pub mod process;
 
@@ -45,5 +50,9 @@ pub use crc::crc32;
 pub use fault::{WireFaults, WireVerdict};
 pub use frame::{Frame, FrameError, FrameKind, FrameReader, HEADER_LEN, MAX_PAYLOAD};
 pub use link::{LinkSender, RING_FRAMES};
+pub use mux::{
+    ConnId, MuxClient, MuxHandler, MuxReplier, MuxRequest, MuxResponse, MuxServer, MuxStatus,
+    MUX_REQ_CODEC, MUX_RESP_CODEC,
+};
 pub use node::{UdsTransport, WireConfig, WireNode, WireStats, WIRE_CTRL_CONTEXT};
 pub use process::{spawn_worker, wire_role, WireRole, WorkerGuard};
