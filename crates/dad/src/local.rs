@@ -210,6 +210,41 @@ impl<T> LocalArray<T> {
     }
 }
 
+impl<T> LocalArray<T> {
+    /// Rebuilds `rank`'s storage from a flat buffer holding its patches
+    /// concatenated in canonical (descriptor) order — the inverse of
+    /// [`LocalArray::to_flat`]. Collective redistribution routes use this
+    /// to reconstitute a peer's shard after moving it whole (allgather)
+    /// and slice out the needed regions locally.
+    ///
+    /// # Panics
+    /// If `data.len()` differs from the rank's local size under `dad`.
+    pub fn from_flat(dad: &Dad, rank: usize, data: Vec<T>) -> LocalArray<T> {
+        let regions = dad.patches(rank);
+        let expected: usize = regions.iter().map(|r| r.len()).sum();
+        assert_eq!(data.len(), expected, "flat shard length mismatch for rank {rank}");
+        let mut rest = data;
+        let mut patches = Vec::with_capacity(regions.len());
+        for r in regions {
+            let tail = rest.split_off(r.len());
+            patches.push((r, std::mem::replace(&mut rest, tail)));
+        }
+        LocalArray { rank, patches }
+    }
+}
+
+impl<T: Clone> LocalArray<T> {
+    /// Concatenates the patch buffers in canonical (descriptor) order into
+    /// one flat shard buffer, row-major within each patch.
+    pub fn to_flat(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for (_, d) in &self.patches {
+            out.extend_from_slice(d);
+        }
+        out
+    }
+}
+
 impl<T: Copy> LocalArray<T> {
     /// Copies the elements of `sub` (which must be covered by local
     /// patches) out into a row-major buffer ordered like `sub.iter()`.
@@ -416,6 +451,30 @@ mod tests {
         let a: LocalArray<u8> = LocalArray::allocate(&d, 4);
         assert!(a.is_empty());
         assert_eq!(a.num_patches(), 0);
+    }
+
+    #[test]
+    fn flat_round_trip_preserves_patch_layout() {
+        // Cyclic rows give rank 0 two disjoint patches — the flat form must
+        // split back onto them in canonical order.
+        let t = Template::new(
+            Extents::new([4, 3]),
+            vec![AxisDist::Cyclic { nprocs: 2 }, AxisDist::Collapsed],
+        )
+        .unwrap();
+        let d = Dad::regular(t);
+        let a = LocalArray::from_fn(&d, 0, |idx| (idx[0] * 3 + idx[1]) as i32);
+        let flat = a.to_flat();
+        assert_eq!(flat, vec![0, 1, 2, 6, 7, 8]);
+        let b = LocalArray::from_flat(&d, 0, flat);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat shard length mismatch")]
+    fn from_flat_rejects_wrong_length() {
+        let d = dad_2x2();
+        let _ = LocalArray::<u8>::from_flat(&d, 0, vec![0; 3]);
     }
 
     #[test]

@@ -75,28 +75,31 @@ impl AlltoallvSpec {
         Ok(())
     }
 
-    fn chunk<'a>(&self, peer: usize, data: &'a [f64]) -> &'a [f64] {
+    fn chunk<'a, T>(&self, peer: usize, data: &'a [T]) -> &'a [T] {
         &data[self.displs[peer]..self.displs[peer] + self.counts[peer]]
     }
 }
 
-/// Intra-program redistribution: every rank contributes `data` carved by
-/// `spec`; returns the chunk received from each rank, in rank order.
+/// Element-type-generic alltoallv over *any* communicator — including the
+/// sub-group communicators of [`Comm::split`] / [`Comm::subgroup`], which
+/// is what axis-wise collective lowerings run their per-axis exchanges on.
+/// `spec` must address exactly `comm.size()` peers (sub-group local ranks).
 ///
-/// Picks the exchange algorithm by message size: since counts are
-/// user-defined and may differ per rank, the ranks first *agree* on the
-/// regime by allreducing the largest per-peer chunk size, then all take the
-/// same path — Bruck's ⌈log₂ p⌉-round algorithm when every chunk is small
-/// (latency-bound regime), the pairwise p−1-round exchange otherwise
-/// (bandwidth-bound; each block travels exactly one hop).
-pub fn alltoallv_within(comm: &Comm, data: &[f64], spec: &AlltoallvSpec) -> Result<Vec<Vec<f64>>> {
+/// Algorithm selection matches [`alltoallv_within`]: the group first agrees
+/// on the size regime by allreducing the largest chunk, then every member
+/// takes the same path — Bruck's ⌈log₂ p⌉-round algorithm in the
+/// latency-bound small-message regime, pairwise exchange otherwise.
+pub fn alltoallv_subgroup<T>(comm: &Comm, data: &[T], spec: &AlltoallvSpec) -> Result<Vec<Vec<T>>>
+where
+    T: Clone + Send + MsgSize + 'static,
+{
     if spec.npeers() != comm.size() {
         return Err(RuntimeError::CollectiveMismatch {
             detail: format!("{} chunks for {} ranks", spec.npeers(), comm.size()),
         });
     }
     spec.validate(data.len())?;
-    let chunks: Vec<Vec<f64>> = (0..comm.size()).map(|p| spec.chunk(p, data).to_vec()).collect();
+    let chunks: Vec<Vec<T>> = (0..comm.size()).map(|p| spec.chunk(p, data).to_vec()).collect();
     let my_max = chunks.iter().map(|c| c.msg_size()).max().unwrap_or(0) as u64;
     let global_max = comm.allreduce(my_max, |a, b| *a = (*a).max(b))?;
     let small = global_max as usize <= SMALL_COLLECTIVE_BYTES && comm.size() > 2;
@@ -110,6 +113,19 @@ pub fn alltoallv_within(comm: &Comm, data: &[f64], spec: &AlltoallvSpec) -> Resu
     } else {
         comm.alltoallv(chunks)
     }
+}
+
+/// Intra-program redistribution: every rank contributes `data` carved by
+/// `spec`; returns the chunk received from each rank, in rank order.
+///
+/// Picks the exchange algorithm by message size: since counts are
+/// user-defined and may differ per rank, the ranks first *agree* on the
+/// regime by allreducing the largest per-peer chunk size, then all take the
+/// same path — Bruck's ⌈log₂ p⌉-round algorithm when every chunk is small
+/// (latency-bound regime), the pairwise p−1-round exchange otherwise
+/// (bandwidth-bound; each block travels exactly one hop).
+pub fn alltoallv_within(comm: &Comm, data: &[f64], spec: &AlltoallvSpec) -> Result<Vec<Vec<f64>>> {
+    alltoallv_subgroup(comm, data, spec)
 }
 
 /// Cross-program, caller side: ship each provider its chunk (the extra
@@ -236,6 +252,25 @@ mod tests {
                 let sn = if s == 3 { 1024 } else { 1 };
                 let expect: Vec<f64> = (0..sn).map(|i| (s * 100_000 + r * sn + i) as f64).collect();
                 assert_eq!(chunk, &expect, "chunk from rank {s}");
+            }
+        });
+    }
+
+    #[test]
+    fn generic_exchange_over_split_subgroups() {
+        // 6 ranks split into two 3-rank sub-groups; each runs an
+        // independent u32 alltoallv on its sub-communicator.
+        World::run(6, |p| {
+            let comm = p.world();
+            let color = comm.rank() % 2;
+            let sub = comm.split(color as i64, comm.rank() as i64).unwrap().unwrap();
+            assert_eq!(sub.size(), 3);
+            let r = sub.rank();
+            let data: Vec<u32> = (0..3).map(|d| (color * 1000 + r * 10 + d) as u32).collect();
+            let spec = AlltoallvSpec::contiguous(&[1, 1, 1]);
+            let got = alltoallv_subgroup(&sub, &data, &spec).unwrap();
+            for (s, chunk) in got.iter().enumerate() {
+                assert_eq!(chunk, &vec![(color * 1000 + s * 10 + r) as u32], "from sub-rank {s}");
             }
         });
     }

@@ -21,7 +21,8 @@ pub mod generator;
 pub mod stub;
 
 pub use alltoall::{
-    alltoallv_within, gather_from_remote, scatter_to_remote, spec_from_dads, AlltoallvSpec,
+    alltoallv_subgroup, alltoallv_within, gather_from_remote, scatter_to_remote, spec_from_dads,
+    AlltoallvSpec,
 };
 pub use generator::GeneratedStub;
 pub use stub::{program_local_ranks, DcaPort};

@@ -92,6 +92,20 @@ impl Comm {
         self.context
     }
 
+    /// `(live, peak)` payload bytes of this rank's own mailbox: what is
+    /// queued for this rank right now, and the most that has ever been.
+    /// Spans all communicators of the world (the mailbox is per *rank*).
+    pub fn mailbox_bytes(&self) -> (u64, u64) {
+        let mb = self.shared.mailbox(self.global_rank());
+        (mb.live_bytes(), mb.peak_bytes())
+    }
+
+    /// Resets this rank's mailbox byte high-water mark to its current live
+    /// level (between measurement phases).
+    pub fn reset_mailbox_peak(&self) {
+        self.shared.mailbox(self.global_rank()).reset_peak_bytes();
+    }
+
     pub(crate) fn shared(&self) -> &Arc<WorldShared> {
         &self.shared
     }

@@ -105,6 +105,20 @@ impl InterComm {
         self.remote_group.len()
     }
 
+    /// `(live, peak)` payload bytes of this rank's own mailbox — what the
+    /// eager transport has queued for this rank right now and the most it
+    /// ever held. Spans all communicators (the mailbox is per *rank*).
+    pub fn mailbox_bytes(&self) -> (u64, u64) {
+        let mb = self.shared.mailbox(self.local_group[self.local_rank]);
+        (mb.live_bytes(), mb.peak_bytes())
+    }
+
+    /// Resets this rank's mailbox byte high-water mark to its current live
+    /// level (between measurement phases).
+    pub fn reset_mailbox_peak(&self) {
+        self.shared.mailbox(self.local_group[self.local_rank]).reset_peak_bytes();
+    }
+
     fn check_remote(&self, rank: usize) -> Result<()> {
         if rank < self.remote_group.len() {
             Ok(())

@@ -79,8 +79,9 @@ pub use msgsize::MsgSize;
 pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};
 pub use stats::{
-    record_buffer_lease, record_schedule_build, record_schedule_copy, reset_schedule_stats,
-    schedule_stats, CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
+    record_buffer_lease, record_pool_bytes, record_schedule_build, record_schedule_copy,
+    record_transfer_acquired, record_transfer_released, reset_schedule_stats, schedule_stats,
+    CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
 };
 pub use tracing::{coll_algo, err_code, fault_kind};
 pub use transport::{InProcTransport, Transport};

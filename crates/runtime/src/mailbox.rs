@@ -15,7 +15,7 @@
 //! a context's buckets, exactly as the single-queue design did.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -190,6 +190,13 @@ pub struct Mailbox {
     abort: Arc<AtomicBool>,
     liveness: Arc<Liveness>,
     revocations: Arc<Revocations>,
+    /// Payload bytes currently queued (sent but not yet taken). In an eager
+    /// transport a sent buffer is resident *here* until the receiver drains
+    /// it, so this — not the sender's working set — is where redistribution
+    /// memory pressure shows up.
+    live_bytes: AtomicU64,
+    /// High-water mark of [`Self::live_bytes`].
+    peak_bytes: AtomicU64,
 }
 
 impl Mailbox {
@@ -211,7 +218,43 @@ impl Mailbox {
             abort,
             liveness,
             revocations,
+            live_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Accounts `bytes` of newly-queued payload, raising the high-water
+    /// mark. Called with the inner lock held so the peak is exact.
+    fn add_live(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let live = self.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_bytes.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Releases `bytes` of queued payload (an envelope was taken).
+    fn sub_live(&self, bytes: u64) {
+        if bytes > 0 {
+            self.live_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Payload bytes currently queued in this mailbox.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of queued payload bytes since creation (or the last
+    /// [`Self::reset_peak_bytes`]).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live level (between
+    /// measurement phases).
+    pub fn reset_peak_bytes(&self) {
+        self.peak_bytes.store(self.live_bytes.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// `PeerDead` when every peer that could satisfy the wait has died.
@@ -227,8 +270,10 @@ impl Mailbox {
 
     /// Deposits an envelope and wakes receivers parked on its bucket.
     pub fn push(&self, env: Envelope) {
+        let bytes = env.bytes as u64;
         let mut inner = self.inner.lock();
         let bucket_wake = inner.append(env);
+        self.add_live(bytes);
         let any = inner.any_waiters;
         drop(inner);
         if let Some((cond, waiters)) = bucket_wake {
@@ -244,14 +289,17 @@ impl Mailbox {
     /// and all-to-all rounds landing several messages at once.
     pub fn post_many(&self, envs: impl IntoIterator<Item = Envelope>) {
         let mut wakes: Vec<(Arc<Condvar>, usize)> = Vec::new();
+        let mut batch_bytes = 0u64;
         let mut inner = self.inner.lock();
         for env in envs {
+            batch_bytes += env.bytes as u64;
             if let Some((cond, waiters)) = inner.append(env) {
                 if !wakes.iter().any(|(c, _)| Arc::ptr_eq(c, &cond)) {
                     wakes.push((cond, waiters));
                 }
             }
         }
+        self.add_live(batch_bytes);
         let any = inner.any_waiters;
         drop(inner);
         for (cond, waiters) in wakes {
@@ -324,7 +372,9 @@ impl Mailbox {
     /// and its callers (`iprobe`, diagnostics) tolerate stale reads. The
     /// blocking paths are the epoch boundary.
     pub fn try_take(&self, context: u32, src: Src, tag: Tag) -> Option<Envelope> {
-        self.inner.lock().pop(context, src, tag)
+        let env = self.inner.lock().pop(context, src, tag)?;
+        self.sub_live(env.bytes as u64);
+        Some(env)
     }
 
     /// Blocks until a matching envelope arrives and is deliverable, the
@@ -336,6 +386,7 @@ impl Mailbox {
             // epoch must never deliver once the context is poisoned.
             self.revocations.check(context)?;
             if let Some(env) = inner.pop(context, src, tag) {
+                self.sub_live(env.bytes as u64);
                 return Ok(env);
             }
             if self.abort.load(Ordering::Acquire) {
@@ -365,6 +416,7 @@ impl Mailbox {
         loop {
             self.revocations.check(context)?;
             if let Some(env) = inner.pop(context, src, tag) {
+                self.sub_live(env.bytes as u64);
                 return Ok(env);
             }
             if self.abort.load(Ordering::Acquire) {
@@ -378,6 +430,7 @@ impl Mailbox {
             if self.wait_for(&mut inner, context, tag, Some(wake)) && wake >= deadline {
                 // One final scan: the message may have raced the timeout.
                 if let Some(env) = inner.pop(context, src, tag) {
+                    self.sub_live(env.bytes as u64);
                     return Ok(env);
                 }
                 return Err(RuntimeError::timeout(
@@ -709,6 +762,24 @@ mod tests {
         let a = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
         let b = m.take(0, Src::Any, Tag::Any, &[]).unwrap();
         assert!(a.seq < b.seq);
+    }
+
+    #[test]
+    fn live_and_peak_bytes_track_queue_occupancy() {
+        let m = mbox();
+        assert_eq!((m.live_bytes(), m.peak_bytes()), (0, 0));
+        m.push(env(0, 0, 1, 10)); // 4 bytes per envelope
+        m.post_many([env(0, 0, 1, 20), env(0, 0, 2, 30)]);
+        assert_eq!(m.live_bytes(), 12);
+        assert_eq!(m.peak_bytes(), 12);
+        m.take(0, Src::Any, Tag::Any, &[]).unwrap();
+        assert_eq!(m.live_bytes(), 8);
+        assert_eq!(m.peak_bytes(), 12, "high-water mark persists after drain");
+        m.reset_peak_bytes();
+        assert_eq!(m.peak_bytes(), 8, "reset lands on the current live level");
+        m.try_take(0, Src::Any, Tag::Any).unwrap();
+        m.try_take(0, Src::Any, Tag::Any).unwrap();
+        assert_eq!(m.live_bytes(), 0);
     }
 
     #[test]

@@ -277,7 +277,9 @@ impl WorldShared {
                     let dup =
                         Envelope::new(src_global, src_local, context, tag, bytes, deliver_at, p);
                     // Duplicate first, then the original, under one lock.
-                    return self.transport.deliver_pair(dst_global, dup, env);
+                    let res = self.transport.deliver_pair(dst_global, dup, env);
+                    self.stats.note_transfer_peak(self.mailbox(dst_global).peak_bytes());
+                    return res;
                 }
             }
             Verdict::Corrupt => {
@@ -289,7 +291,11 @@ impl WorldShared {
                 env.corrupt();
             }
         }
-        self.transport.deliver(dst_global, env)
+        let res = self.transport.deliver(dst_global, env);
+        // Fold this destination's mailbox high-water mark into the world
+        // peak at the same choke point that counted the bytes.
+        self.stats.note_transfer_peak(self.mailbox(dst_global).peak_bytes());
+        res
     }
 
     /// Posts one shared payload to many destinations: the multicast

@@ -137,6 +137,10 @@ pub struct WorldStats {
     recv_timeouts: AtomicU64,
     /// Operations that failed with [`crate::RuntimeError::PeerDead`].
     peer_dead_errors: AtomicU64,
+    /// High-water mark of payload bytes resident in any single rank's
+    /// mailbox — the per-rank peak transfer memory an eager transport
+    /// actually commits. Folded in at the send choke point.
+    transfer_peak_bytes: AtomicU64,
 }
 
 impl WorldStats {
@@ -222,6 +226,12 @@ impl WorldStats {
         self.peer_dead_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Raises the per-rank transfer-memory high-water mark to `peak` if it
+    /// is higher than anything recorded so far (CAS-max).
+    pub fn note_transfer_peak(&self, peak: u64) {
+        self.transfer_peak_bytes.fetch_max(peak, Ordering::Relaxed);
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let table = |arr: &[AtomicU64; CollOp::COUNT]| {
@@ -249,6 +259,7 @@ impl WorldStats {
             rank_deaths: self.deaths.load(Ordering::Relaxed),
             recv_timeouts: self.recv_timeouts.load(Ordering::Relaxed),
             peer_dead_errors: self.peer_dead_errors.load(Ordering::Relaxed),
+            transfer_peak_bytes: self.transfer_peak_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -274,6 +285,7 @@ impl WorldStats {
         self.deaths.store(0, Ordering::Relaxed);
         self.recv_timeouts.store(0, Ordering::Relaxed);
         self.peer_dead_errors.store(0, Ordering::Relaxed);
+        self.transfer_peak_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -314,6 +326,11 @@ pub struct StatsSnapshot {
     pub recv_timeouts: u64,
     /// Operations that returned a `PeerDead` error.
     pub peer_dead_errors: u64,
+    /// High-water mark of payload bytes resident in any single rank's
+    /// mailbox. A *high-water mark*, not a counter: [`Self::since`] carries
+    /// the later value instead of subtracting (reset between phases to
+    /// measure one phase's peak).
+    pub transfer_peak_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -381,6 +398,9 @@ impl StatsSnapshot {
             rank_deaths: self.rank_deaths - earlier.rank_deaths,
             recv_timeouts: self.recv_timeouts - earlier.recv_timeouts,
             peer_dead_errors: self.peer_dead_errors - earlier.peer_dead_errors,
+            // High-water mark: monotone, so the later snapshot's value *is*
+            // the peak over the combined interval.
+            transfer_peak_bytes: self.transfer_peak_bytes,
         }
     }
 }
@@ -423,6 +443,16 @@ pub struct ScheduleStats {
     /// Leases that had to allocate a fresh buffer (pool empty). In steady
     /// state this stops growing: buffers circulate instead.
     pub buffer_allocs: u64,
+    /// Transfer bytes this rank's executor currently holds live (leased or
+    /// packed, not yet sent / not yet recycled).
+    pub transfer_live_bytes: u64,
+    /// High-water mark of [`Self::transfer_live_bytes`] — the executor-side
+    /// half of per-rank peak transfer memory (the mailbox-side half lives in
+    /// [`StatsSnapshot::transfer_peak_bytes`]).
+    pub transfer_peak_bytes: u64,
+    /// High-water mark of bytes parked idle in `TransferBuffers` pools on
+    /// this thread.
+    pub pool_peak_bytes: u64,
 }
 
 thread_local! {
@@ -434,6 +464,9 @@ thread_local! {
         copy_runs: 0,
         buffer_leases: 0,
         buffer_allocs: 0,
+        transfer_live_bytes: 0,
+        transfer_peak_bytes: 0,
+        pool_peak_bytes: 0,
     }) };
 }
 
@@ -479,6 +512,36 @@ pub fn record_buffer_lease(fresh: bool) {
     });
 }
 
+/// Records `bytes` of transfer memory acquired by this rank's executor
+/// (buffer leased and filled), raising the thread's high-water mark.
+pub fn record_transfer_acquired(bytes: u64) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.transfer_live_bytes += bytes;
+        s.transfer_peak_bytes = s.transfer_peak_bytes.max(s.transfer_live_bytes);
+        c.set(s);
+    });
+}
+
+/// Records `bytes` of transfer memory released (buffer sent away or
+/// recycled).
+pub fn record_transfer_released(bytes: u64) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.transfer_live_bytes = s.transfer_live_bytes.saturating_sub(bytes);
+        c.set(s);
+    });
+}
+
+/// Raises this thread's idle-pool-bytes high-water mark to `idle_bytes`.
+pub fn record_pool_bytes(idle_bytes: u64) {
+    SCHEDULE_STATS.with(|c| {
+        let mut s = c.get();
+        s.pool_peak_bytes = s.pool_peak_bytes.max(idle_bytes);
+        c.set(s);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +567,37 @@ mod tests {
 
         reset_schedule_stats();
         assert_eq!(schedule_stats(), ScheduleStats::default());
+    }
+
+    #[test]
+    fn transfer_peak_is_a_high_water_mark() {
+        let s = WorldStats::new();
+        s.note_transfer_peak(100);
+        s.note_transfer_peak(40);
+        let snap = s.snapshot();
+        assert_eq!(snap.transfer_peak_bytes, 100, "lower observations never regress the peak");
+        s.note_transfer_peak(250);
+        let later = s.snapshot();
+        assert_eq!(later.transfer_peak_bytes, 250);
+        assert_eq!(later.since(&snap).transfer_peak_bytes, 250, "since carries, not subtracts");
+        s.reset();
+        assert_eq!(s.snapshot().transfer_peak_bytes, 0);
+    }
+
+    #[test]
+    fn executor_transfer_and_pool_peaks_track_live_bytes() {
+        reset_schedule_stats();
+        record_transfer_acquired(64);
+        record_transfer_acquired(32);
+        record_transfer_released(64);
+        record_transfer_acquired(16);
+        record_pool_bytes(40);
+        record_pool_bytes(8);
+        let s = schedule_stats();
+        assert_eq!(s.transfer_live_bytes, 48);
+        assert_eq!(s.transfer_peak_bytes, 96);
+        assert_eq!(s.pool_peak_bytes, 40);
+        reset_schedule_stats();
     }
 
     #[test]

@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use mxn_dad::Dad;
 
 use crate::region_schedule::{RegionSchedule, Role};
+use crate::route::{RedistRoute, RoutePlanner};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Key {
@@ -35,10 +36,26 @@ struct Key {
     epoch: u64,
 }
 
+/// Key of a planned route: the descriptor pair plus everything the
+/// planner's answer depends on. Rank and role are deliberately absent —
+/// a route is a global property of the redistribution, identical on every
+/// rank of both sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RouteKey {
+    src_fp: u128,
+    dst_fp: u128,
+    elem_size: usize,
+    /// Per-rank peak-memory budget the route was planned under.
+    budget_bytes: u64,
+    intra: bool,
+    epoch: u64,
+}
+
 /// A thread-safe cache of built [`RegionSchedule`]s with hit/miss counters.
 #[derive(Default)]
 pub struct ScheduleCache {
     map: Mutex<HashMap<Key, Arc<RegionSchedule>>>,
+    routes: Mutex<HashMap<RouteKey, Arc<RedistRoute>>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -88,6 +105,55 @@ impl ScheduleCache {
         sched
     }
 
+    /// Returns the cached [`RedistRoute`] for the descriptor pair under
+    /// `(elem_size, budget_bytes, intra)`, planning and inserting it on
+    /// first use (epoch 0). Route planning profiles every sender schedule,
+    /// so persistent couplings should hit this cache, not replan per step.
+    pub fn route_for(
+        &self,
+        src: &Dad,
+        dst: &Dad,
+        elem_size: usize,
+        budget_bytes: u64,
+        intra: bool,
+        planner: &RoutePlanner,
+    ) -> Arc<RedistRoute> {
+        self.route_for_epoch(src, dst, elem_size, budget_bytes, intra, planner, 0)
+    }
+
+    /// [`ScheduleCache::route_for`] salted with a recovery epoch, mirroring
+    /// [`ScheduleCache::get_or_build_for_epoch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_for_epoch(
+        &self,
+        src: &Dad,
+        dst: &Dad,
+        elem_size: usize,
+        budget_bytes: u64,
+        intra: bool,
+        planner: &RoutePlanner,
+        epoch: u64,
+    ) -> Arc<RedistRoute> {
+        use std::sync::atomic::Ordering;
+        let key = RouteKey {
+            src_fp: src.fingerprint(),
+            dst_fp: dst.fingerprint(),
+            elem_size,
+            budget_bytes,
+            intra,
+            epoch,
+        };
+        let mut routes = self.routes.lock();
+        if let Some(r) = routes.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return r.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let route = Arc::new(planner.plan_for(src, dst, elem_size, budget_bytes, intra));
+        routes.insert(key, route.clone());
+        route
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         use std::sync::atomic::Ordering;
@@ -104,9 +170,15 @@ impl ScheduleCache {
         self.len() == 0
     }
 
-    /// Drops every cached schedule (benchmark phase separation).
+    /// Number of cached routes.
+    pub fn routes_len(&self) -> usize {
+        self.routes.lock().len()
+    }
+
+    /// Drops every cached schedule and route (benchmark phase separation).
     pub fn clear(&self) {
         self.map.lock().clear();
+        self.routes.lock().clear();
     }
 }
 
@@ -177,6 +249,23 @@ mod tests {
         assert!(Arc::ptr_eq(&b, &c), "within an epoch the plan is reused");
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn routes_key_on_elem_size_and_budget() {
+        let cache = ScheduleCache::new();
+        let (src, dst) = dads();
+        let planner = RoutePlanner::default();
+        let a = cache.route_for(&src, &dst, 8, u64::MAX, false, &planner);
+        let b = cache.route_for(&src, &dst, 8, u64::MAX, false, &planner);
+        assert!(Arc::ptr_eq(&a, &b), "same (elem, budget) reuses the plan");
+        let c = cache.route_for(&src, &dst, 8, 1024, false, &planner);
+        assert!(!Arc::ptr_eq(&a, &c), "a different budget must replan");
+        let d = cache.route_for(&src, &dst, 4, u64::MAX, false, &planner);
+        assert!(!Arc::ptr_eq(&a, &d), "a different element size must replan");
+        assert_eq!(cache.routes_len(), 3);
+        cache.clear();
+        assert_eq!(cache.routes_len(), 0);
     }
 
     #[test]

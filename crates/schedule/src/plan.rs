@@ -10,7 +10,7 @@
 //! of the compiled-collective literature).
 
 use mxn_dad::{region_runs, CopyRun, LocalArray, Region};
-use mxn_runtime::{record_buffer_lease, record_schedule_copy};
+use mxn_runtime::{record_buffer_lease, record_pool_bytes, record_schedule_copy};
 
 /// A precompiled pack/unpack program for one peer: contiguous runs that
 /// tile the peer's packed buffer `[0, total)`, each resolved to a patch
@@ -89,6 +89,72 @@ impl CopyPlan {
         );
     }
 
+    /// Packs elements `[start, end)` of the canonical packed buffer into
+    /// `out` (cleared first) — the chunked-route primitive: one plan, many
+    /// bounded rounds, no per-round plan recompilation. Run boundaries need
+    /// not align with the range; partial runs are clipped.
+    pub fn pack_range_into<T: Copy>(
+        &self,
+        local: &LocalArray<T>,
+        out: &mut Vec<T>,
+        start: usize,
+        end: usize,
+    ) {
+        debug_assert!(start <= end && end <= self.total, "range out of plan bounds");
+        out.clear();
+        out.reserve(end - start);
+        let mut nruns = 0u64;
+        // First run that ends after `start`: runs tile [0, total) in
+        // ascending sub_off order, so partition on run end.
+        let first = self.runs.partition_point(|r| r.sub_off + r.len <= start);
+        for run in &self.runs[first..] {
+            if run.sub_off >= end {
+                break;
+            }
+            let lo = start.max(run.sub_off);
+            let hi = end.min(run.sub_off + run.len);
+            let off = run.patch_off + (lo - run.sub_off);
+            let (_, data) = local.patch(run.patch);
+            out.extend_from_slice(&data[off..off + (hi - lo)]);
+            nruns += 1;
+        }
+        debug_assert_eq!(out.len(), end - start);
+        record_schedule_copy((end - start) as u64, nruns);
+        mxn_trace::emit_instant(mxn_trace::EventId::CopyPack, [(end - start) as u64, nruns, 0, 0]);
+    }
+
+    /// Unpacks `data`, holding elements `[start, end)` of the canonical
+    /// packed buffer, into local storage — the receive side of
+    /// [`Self::pack_range_into`].
+    pub fn unpack_range_from<T: Copy>(
+        &self,
+        local: &mut LocalArray<T>,
+        data: &[T],
+        start: usize,
+        end: usize,
+    ) {
+        debug_assert!(start <= end && end <= self.total, "range out of plan bounds");
+        assert_eq!(data.len(), end - start, "chunk length mismatch");
+        let mut nruns = 0u64;
+        let first = self.runs.partition_point(|r| r.sub_off + r.len <= start);
+        for run in &self.runs[first..] {
+            if run.sub_off >= end {
+                break;
+            }
+            let lo = start.max(run.sub_off);
+            let hi = end.min(run.sub_off + run.len);
+            let off = run.patch_off + (lo - run.sub_off);
+            let (_, buf) = local.patch_mut(run.patch);
+            buf[off..off + (hi - lo)].copy_from_slice(&data[lo - start..hi - start]);
+            nruns += 1;
+        }
+        record_schedule_copy((end - start) as u64, nruns);
+        mxn_trace::emit_instant(
+            mxn_trace::EventId::CopyUnpack,
+            [(end - start) as u64, nruns, 0, 0],
+        );
+    }
+
     /// Unpacks a packed per-peer buffer into local storage with straight
     /// `copy_from_slice` runs.
     pub fn unpack_from<T: Copy>(&self, local: &mut LocalArray<T>, data: &[T]) {
@@ -117,6 +183,12 @@ impl CopyPlan {
 pub struct TransferBuffers<T> {
     free: Vec<Vec<T>>,
     max_free: usize,
+    /// Maximum bytes parked idle across the free list; recycling past the
+    /// cap drops the buffer (largest-first trim), so one huge transfer does
+    /// not pin its high-water allocation for the rest of the run.
+    byte_cap: usize,
+    /// Bytes currently parked idle (sum of free-list capacities).
+    idle_bytes: usize,
     leases: u64,
     fresh_allocs: u64,
 }
@@ -128,7 +200,7 @@ impl<T> Default for TransferBuffers<T> {
 }
 
 impl<T> TransferBuffers<T> {
-    /// An empty pool keeping at most 32 idle buffers.
+    /// An empty pool keeping at most 32 idle buffers, unlimited idle bytes.
     pub fn new() -> Self {
         Self::with_max_free(32)
     }
@@ -137,7 +209,24 @@ impl<T> TransferBuffers<T> {
     /// beyond that drops the buffer, bounding memory in one-directional
     /// flows where receives outnumber sends).
     pub fn with_max_free(max_free: usize) -> Self {
-        TransferBuffers { free: Vec::new(), max_free, leases: 0, fresh_allocs: 0 }
+        Self::with_byte_cap(max_free, usize::MAX)
+    }
+
+    /// An empty pool bounded both ways: at most `max_free` idle buffers
+    /// *and* at most `byte_cap` idle bytes.
+    pub fn with_byte_cap(max_free: usize, byte_cap: usize) -> Self {
+        TransferBuffers {
+            free: Vec::new(),
+            max_free,
+            byte_cap,
+            idle_bytes: 0,
+            leases: 0,
+            fresh_allocs: 0,
+        }
+    }
+
+    fn buf_bytes(buf: &Vec<T>) -> usize {
+        buf.capacity() * std::mem::size_of::<T>()
     }
 
     /// Takes a cleared buffer with at least `capacity` reserved, reusing a
@@ -146,6 +235,7 @@ impl<T> TransferBuffers<T> {
         self.leases += 1;
         match self.free.pop() {
             Some(mut buf) => {
+                self.idle_bytes -= Self::buf_bytes(&buf);
                 record_buffer_lease(false);
                 mxn_trace::emit_instant(
                     mxn_trace::EventId::BufferLease,
@@ -167,17 +257,44 @@ impl<T> TransferBuffers<T> {
         }
     }
 
-    /// Returns a buffer to the pool (dropped if the pool is full).
+    /// Returns a buffer to the pool (dropped if the pool is full by count
+    /// or the byte cap would be exceeded). Raises the thread's
+    /// `pool_peak_bytes` high-water mark.
     pub fn recycle(&mut self, mut buf: Vec<T>) {
-        if self.free.len() < self.max_free {
+        let bytes = Self::buf_bytes(&buf);
+        if self.free.len() < self.max_free && self.idle_bytes.saturating_add(bytes) <= self.byte_cap
+        {
             buf.clear();
+            self.idle_bytes += bytes;
             self.free.push(buf);
+            record_pool_bytes(self.idle_bytes as u64);
+        }
+    }
+
+    /// Drops idle buffers, largest first, until at most `bytes` remain
+    /// parked — reclaims a one-off spike without touching the cap for
+    /// future recycling.
+    pub fn trim_to(&mut self, bytes: usize) {
+        while self.idle_bytes > bytes {
+            let (i, _) = self
+                .free
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .expect("idle_bytes > 0 implies a free buffer");
+            let dropped = self.free.swap_remove(i);
+            self.idle_bytes -= Self::buf_bytes(&dropped);
         }
     }
 
     /// Buffers currently idle in the pool.
     pub fn idle(&self) -> usize {
         self.free.len()
+    }
+
+    /// Bytes currently parked idle in the pool.
+    pub fn idle_bytes(&self) -> usize {
+        self.idle_bytes
     }
 
     /// `(leases, fresh_allocs)` so far: in steady state `fresh_allocs`
@@ -250,5 +367,78 @@ mod tests {
             pool.recycle(Vec::with_capacity(4));
         }
         assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn range_pack_unpack_matches_full_plan() {
+        let dad = Dad::block(Extents::new([6, 6]), &[2, 3]).unwrap();
+        let patches = dad.patches(0);
+        let regions = vec![
+            Region::new([0, 0], [2, 1]),
+            Region::new([1, 1], [3, 2]),
+            Region::new([2, 0], [3, 2]),
+        ];
+        let plan = CopyPlan::compile(&patches, &regions);
+        let local = LocalArray::from_fn(&dad, 0, |idx| (idx[0] * 6 + idx[1]) as i64);
+        let mut full = Vec::new();
+        plan.pack_into(&local, &mut full);
+
+        // Every split point, including run-splitting ones, reproduces the
+        // full buffer and a full unpack.
+        for cut in 0..=plan.total() {
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            plan.pack_range_into(&local, &mut a, 0, cut);
+            plan.pack_range_into(&local, &mut b, cut, plan.total());
+            a.extend_from_slice(&b);
+            assert_eq!(a, full, "cut at {cut}");
+
+            let mut dst: LocalArray<i64> = LocalArray::allocate(&dad, 0);
+            plan.unpack_range_from(&mut dst, &full[..cut], 0, cut);
+            plan.unpack_range_from(&mut dst, &full[cut..], cut, plan.total());
+            let mut roundtrip = Vec::new();
+            plan.pack_into(&dst, &mut roundtrip);
+            assert_eq!(roundtrip, full, "unpack cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn pool_byte_cap_refuses_oversized_recycle() {
+        let mut pool: TransferBuffers<u8> = TransferBuffers::with_byte_cap(32, 100);
+        pool.recycle(Vec::with_capacity(60));
+        assert_eq!((pool.idle(), pool.idle_bytes()), (1, 60));
+        pool.recycle(Vec::with_capacity(60));
+        assert_eq!((pool.idle(), pool.idle_bytes()), (1, 60), "second buffer would breach the cap");
+        pool.recycle(Vec::with_capacity(40));
+        assert_eq!((pool.idle(), pool.idle_bytes()), (2, 100), "fits exactly");
+        let buf = pool.lease(8);
+        assert!(pool.idle_bytes() < 100);
+        pool.recycle(buf);
+    }
+
+    #[test]
+    fn pool_trim_drops_largest_first() {
+        let mut pool: TransferBuffers<u8> = TransferBuffers::new();
+        pool.recycle(Vec::with_capacity(10));
+        pool.recycle(Vec::with_capacity(1000));
+        pool.recycle(Vec::with_capacity(50));
+        assert_eq!(pool.idle_bytes(), 1060);
+        pool.trim_to(64);
+        assert_eq!(pool.idle_bytes(), 60, "the one-off 1000-byte spike is gone");
+        assert_eq!(pool.idle(), 2);
+        pool.trim_to(0);
+        assert_eq!((pool.idle(), pool.idle_bytes()), (0, 0));
+    }
+
+    #[test]
+    fn pool_peak_bytes_reaches_schedule_stats() {
+        mxn_runtime::reset_schedule_stats();
+        let mut pool: TransferBuffers<u8> = TransferBuffers::new();
+        pool.recycle(Vec::with_capacity(128));
+        pool.recycle(Vec::with_capacity(64));
+        pool.trim_to(0);
+        pool.recycle(Vec::with_capacity(16));
+        let s = mxn_runtime::schedule_stats();
+        assert_eq!(s.pool_peak_bytes, 192, "high-water survives the trim");
+        mxn_runtime::reset_schedule_stats();
     }
 }

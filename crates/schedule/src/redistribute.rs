@@ -11,6 +11,19 @@ use mxn_runtime::{Comm, InterComm, MsgSize, Result};
 use crate::cache::ScheduleCache;
 use crate::plan::TransferBuffers;
 use crate::region_schedule::{RegionSchedule, Role};
+use crate::route::{
+    execute_recv_routed, execute_send_routed, execute_within_routed, RedistRoute, RoutePlanner,
+};
+
+/// A buffer pool sized for a route: the idle pool may keep at most the
+/// budget headroom above the resident shards, so pooling itself can never
+/// break the declared peak.
+fn budget_pool<T>(route: &RedistRoute) -> TransferBuffers<T> {
+    let headroom = route.budget_bytes.saturating_sub(route.peak_bytes.min(route.budget_bytes));
+    // Always leave room for at least one in-flight buffer's worth.
+    let floor = (route.peak_bytes / 4).max(4096);
+    TransferBuffers::with_byte_cap(16, headroom.max(floor) as usize)
+}
 
 /// Sender side of a one-shot cross-program redistribution.
 pub fn send_redistributed<T>(
@@ -76,6 +89,87 @@ where
     Ok(local)
 }
 
+/// [`send_redistributed`] under a per-rank peak-memory budget: plans the
+/// fastest route whose declared peak fits `budget_bytes` (direct when it
+/// fits, fenced chunked rounds when it does not) and executes it. Both
+/// sides must pass the same budget — the route is a pure function of
+/// `(src, dst, element size, budget)`, so they agree without negotiating.
+pub fn send_redistributed_budgeted<T>(
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    local: &LocalArray<T>,
+    tag: i32,
+    budget_bytes: u64,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
+    let route = RoutePlanner::default().plan_for(src, dst, size_of::<T>(), budget_bytes, false);
+    let sched = RegionSchedule::for_sender(src, dst, ic.local_rank());
+    execute_send_routed(&route, &sched, ic, local, tag, &mut budget_pool(&route))
+}
+
+/// Receiver counterpart of [`send_redistributed_budgeted`]; allocates the
+/// destination storage.
+pub fn recv_redistributed_budgeted<T>(
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    tag: i32,
+    budget_bytes: u64,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let route = RoutePlanner::default().plan_for(src, dst, size_of::<T>(), budget_bytes, false);
+    let sched = RegionSchedule::for_receiver(src, dst, ic.local_rank());
+    let mut local = LocalArray::allocate(dst, ic.local_rank());
+    execute_recv_routed(&route, &sched, ic, &mut local, tag, &mut budget_pool(&route))?;
+    Ok(local)
+}
+
+/// Cached variant of [`send_redistributed_budgeted`] for persistent
+/// couplings: both the pairwise schedule and the planned route (keyed on
+/// descriptors, element size, and budget) come from `cache`.
+pub fn send_redistributed_budgeted_cached<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    local: &LocalArray<T>,
+    tag: i32,
+    budget_bytes: u64,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
+    let planner = RoutePlanner::default();
+    let route = cache.route_for(src, dst, size_of::<T>(), budget_bytes, false, &planner);
+    let sched = cache.get_or_build(src, dst, ic.local_rank(), Role::Sender);
+    execute_send_routed(&route, &sched, ic, local, tag, &mut budget_pool(&route))
+}
+
+/// Receiver counterpart of [`send_redistributed_budgeted_cached`].
+pub fn recv_redistributed_budgeted_cached<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    tag: i32,
+    budget_bytes: u64,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let planner = RoutePlanner::default();
+    let route = cache.route_for(src, dst, size_of::<T>(), budget_bytes, false, &planner);
+    let sched = cache.get_or_build(src, dst, ic.local_rank(), Role::Receiver);
+    let mut local = LocalArray::allocate(dst, ic.local_rank());
+    execute_recv_routed(&route, &sched, ic, &mut local, tag, &mut budget_pool(&route))?;
+    Ok(local)
+}
+
 /// Intra-program redistribution (self-connection, e.g. transpose): every
 /// rank of `comm` calls this collectively; returns the new local storage.
 pub fn redistribute_within<T>(
@@ -114,6 +208,39 @@ where
     T: Copy + Send + MsgSize + 'static,
 {
     RegionSchedule::execute_local_pooled(send, recv, comm, src_local, dst_local, tag, pool)
+}
+
+/// [`redistribute_within`] under a per-rank peak-memory budget. The
+/// intra-communicator setting additionally admits the allgather+slice
+/// lowering, which the planner picks for tiny fields on wide
+/// communicators where per-pair latency dominates.
+pub fn redistribute_within_budgeted<T>(
+    comm: &Comm,
+    src: &Dad,
+    dst: &Dad,
+    src_local: &LocalArray<T>,
+    tag: i32,
+    budget_bytes: u64,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + Sync + MsgSize + 'static,
+{
+    let route = RoutePlanner::default().plan_for(src, dst, size_of::<T>(), budget_bytes, true);
+    let send = RegionSchedule::for_sender(src, dst, comm.rank());
+    let recv = RegionSchedule::for_receiver(src, dst, comm.rank());
+    let mut dst_local = LocalArray::allocate(dst, comm.rank());
+    execute_within_routed(
+        &route,
+        &send,
+        &recv,
+        comm,
+        src,
+        src_local,
+        &mut dst_local,
+        tag,
+        &mut budget_pool(&route),
+    )?;
+    Ok(dst_local)
 }
 
 #[cfg(test)]
@@ -215,6 +342,60 @@ mod tests {
             }
             let (_, fresh) = pool.stats();
             assert_eq!(fresh, send.num_messages() as u64, "pool warmed after step 1");
+        });
+    }
+
+    #[test]
+    fn budgeted_transfer_chunks_under_tight_budget() {
+        use crate::route::{RedistProfile, RouteKind, RoutePlanner};
+        let e = Extents::new([24, 24]);
+        let src = Dad::block(e.clone(), &[2, 1]).unwrap();
+        let dst = Dad::block(e.clone(), &[3, 1]).unwrap();
+        // Tight enough that the full receive set cannot sit in the
+        // mailbox, loose enough that fenced chunks fit.
+        let budget = 2000u64;
+        let p = RedistProfile::compute(&src, &dst, size_of::<f32>());
+        let route = RoutePlanner::default().plan(&p, budget, false);
+        assert_eq!(route.kind, RouteKind::Chunked);
+        assert!(route.fits && route.rounds() > 1);
+        Universe::run(&[2, 3], move |_, ctx| {
+            let e = Extents::new([24, 24]);
+            let src = Dad::block(e.clone(), &[2, 1]).unwrap();
+            let dst = Dad::block(e, &[3, 1]).unwrap();
+            if ctx.program == 0 {
+                let local =
+                    LocalArray::from_fn(&src, ctx.comm.rank(), |idx| (idx[0] * 24 + idx[1]) as f32);
+                send_redistributed_budgeted(ctx.intercomm(1), &src, &dst, &local, 0, budget)
+                    .unwrap();
+            } else {
+                let local: LocalArray<f32> =
+                    recv_redistributed_budgeted(ctx.intercomm(0), &src, &dst, 0, budget).unwrap();
+                assert_eq!(local.len(), 192);
+                for (idx, &v) in local.iter() {
+                    assert_eq!(v, (idx[0] * 24 + idx[1]) as f32);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn budgeted_within_matches_direct_results() {
+        World::run(3, |p| {
+            let comm = p.world();
+            let e = Extents::new([12, 12]);
+            let src = Dad::block(e.clone(), &[3, 1]).unwrap();
+            let dst = Dad::block(e, &[1, 3]).unwrap();
+            let src_local =
+                LocalArray::from_fn(&src, comm.rank(), |idx| (idx[0] * 12 + idx[1]) as i64);
+            // Starved budget → best-effort chunked; huge budget → whatever
+            // the model calls fastest. Both must produce identical data.
+            for budget in [1u64, u64::MAX] {
+                let got =
+                    redistribute_within_budgeted(comm, &src, &dst, &src_local, 5, budget).unwrap();
+                for (idx, &v) in got.iter() {
+                    assert_eq!(v, (idx[0] * 12 + idx[1]) as i64, "budget {budget} at {idx:?}");
+                }
+            }
         });
     }
 

@@ -124,10 +124,17 @@ pub enum EventId {
     /// A slow client's reader was parked (cooperative backpressure);
     /// args = `[conn, inflight, budget]`.
     ServePark = 32,
+    /// One budgeted redistribution under a chosen route; Begin args =
+    /// `[kind, budget_bytes, planned_peak_bytes, steps]`, End args =
+    /// `[kind, total_bytes, 0, 0]`.
+    RoutePlan = 33,
+    /// One step of a compiled redistribution route; Begin args =
+    /// `[kind, step_index, step_bytes, step_peak_bytes]`.
+    RouteStep = 34,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 32] = [
+pub const ALL_EVENT_IDS: [EventId; 34] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -160,6 +167,8 @@ pub const ALL_EVENT_IDS: [EventId; 32] = [
     EventId::ServeBatch,
     EventId::ServeOverload,
     EventId::ServePark,
+    EventId::RoutePlan,
+    EventId::RouteStep,
 ];
 
 impl EventId {
@@ -198,6 +207,8 @@ impl EventId {
             EventId::ServeBatch => "ServeBatch",
             EventId::ServeOverload => "ServeOverload",
             EventId::ServePark => "ServePark",
+            EventId::RoutePlan => "RoutePlan",
+            EventId::RouteStep => "RouteStep",
         }
     }
 
@@ -207,7 +218,9 @@ impl EventId {
             EventId::ScheduleBuild
             | EventId::CopyPack
             | EventId::CopyUnpack
-            | EventId::BufferLease => "schedule",
+            | EventId::BufferLease
+            | EventId::RoutePlan
+            | EventId::RouteStep => "schedule",
             EventId::Collective | EventId::CollMsg | EventId::CollClone | EventId::CollAlloc => {
                 "collective"
             }

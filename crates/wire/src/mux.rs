@@ -455,6 +455,38 @@ impl MuxClient {
             }
         }
     }
+
+    /// [`MuxClient::call`] under a [`CallPolicy`]: when the server sheds
+    /// the request with an `Overloaded` NACK, the client re-sends after
+    /// the policy's backoff — base doubling per attempt, stretched by
+    /// [`CallPolicy::load_factor`] of the queue depth the NACK reported,
+    /// jittered when the policy is seeded. Any other status returns
+    /// immediately; when retries are exhausted the final NACK is returned
+    /// so the caller can see the depth it lost to. This gives a wire
+    /// client the same shed-and-retry loop PRMI's `call_with_policy` runs
+    /// in-process.
+    pub fn call_with_policy(
+        &mut self,
+        method: u32,
+        codec: u32,
+        arg: Vec<u8>,
+        policy: &mxn_framework::CallPolicy,
+    ) -> io::Result<MuxResponse> {
+        let mut base = policy.backoff;
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.call(method, codec, arg.clone())?;
+            if resp.status != MuxStatus::Overloaded || attempt >= policy.max_retries {
+                return Ok(resp);
+            }
+            let (depth, _reason) = resp
+                .overload_detail()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            std::thread::sleep(policy.retry_pause_loaded(base, attempt, depth));
+            base = base.saturating_mul(2);
+            attempt += 1;
+        }
+    }
 }
 
 #[cfg(test)]
