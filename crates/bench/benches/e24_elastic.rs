@@ -1,0 +1,124 @@
+//! E24 — elastic reconfiguration latency vs Δp (§4i).
+//!
+//! Measures the critical path of the grow and shrink halves of an elastic
+//! reconfiguration as the membership delta widens. A fixed 64×64 field is
+//! exported by 2 ranks to 2 importers; Δp spare ranks park in
+//! `MxnConnection::join`, the incumbents time `expand` (join handshake,
+//! epoch bump, re-decomposition, RMA-window rebind, schedule rebuild), one
+//! epoch runs at the grown size, then every member times `contract` back
+//! to the original 2×2. The per-run figure is the *max* across
+//! participants (the protocol's critical path), the reported figure the
+//! median of `RUNS` runs.
+//!
+//! Results are written to `BENCH_elastic.json` at the repo root.
+
+use std::time::{Duration, Instant};
+
+use mxn_core::{ConnectionKind, Direction, FieldRegistry, MxnConnection};
+use mxn_dad::{AccessMode, Dad, Extents};
+use mxn_runtime::{InterComm, World};
+
+const RUNS: usize = 5;
+const INCUMBENTS: usize = 4; // 2 exporters + 2 importers
+
+type Timings = Option<(Option<Duration>, Option<Duration>)>;
+
+/// One grow→shrink cycle with `dp` spares joining the import side;
+/// returns the slowest participant's (grow, shrink) wall-clock.
+fn elastic_once(dp: usize) -> (Duration, Duration) {
+    let n = INCUMBENTS + dp;
+    let results: Vec<Timings> = World::run(n, |p| {
+        let world = p.world();
+        let color = if p.rank() < INCUMBENTS { 0 } else { -1 };
+        let pair = world.split(color, 0).unwrap();
+        if p.rank() >= INCUMBENTS {
+            // Spare capacity: park, join the grown epoch, transfer once,
+            // then retire — the handoff is part of the shrink path.
+            let (mut conn, ic, reg) = MxnConnection::join(world, Duration::from_secs(30)).unwrap();
+            conn.data_ready(&ic, &reg).unwrap();
+            let mut reg = reg;
+            let start = Instant::now();
+            conn.contract(&ic, world, &mut reg, &[0, 1], &[0, 1]).unwrap();
+            return Some((None, Some(start.elapsed())));
+        }
+        let side = usize::from(p.rank() >= 2);
+        let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+        let rank = ic.local_rank();
+        let mut reg = FieldRegistry::new(rank);
+        let src = Dad::block(Extents::new([64, 64]), &[2, 1]).unwrap();
+        let dst = Dad::block(Extents::new([64, 64]), &[1, 2]).unwrap();
+        let (_data, mut conn) = if side == 0 {
+            let data = reg.register_allocated("f", src, AccessMode::Read).unwrap();
+            let conn = MxnConnection::initiate(
+                &ic,
+                &reg,
+                0,
+                "f",
+                "f",
+                Direction::Export,
+                ConnectionKind::Persistent { period: 1 },
+            )
+            .unwrap();
+            (data, conn)
+        } else {
+            let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+            (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
+        };
+        // One epoch at the original size, then the timed grow.
+        conn.data_ready(&ic, &reg).unwrap();
+        let spares: Vec<usize> = (INCUMBENTS..n).collect();
+        let (al, ar): (&[usize], &[usize]) =
+            if side == 0 { (&[], &spares) } else { (&spares, &[]) };
+        let start = Instant::now();
+        let (grown, _) = conn.expand(&ic, world, &mut reg, al, ar).unwrap();
+        let grow = start.elapsed();
+        // One epoch at the grown size, then the timed shrink back.
+        conn.data_ready(&grown, &reg).unwrap();
+        let start = Instant::now();
+        let (shrunk, _) = conn.contract(&grown, world, &mut reg, &[0, 1], &[0, 1]).unwrap();
+        let shrink = start.elapsed();
+        // The cycle closes: the original coupling still transfers.
+        conn.data_ready(&shrunk.unwrap(), &reg).unwrap();
+        Some((Some(grow), Some(shrink)))
+    });
+    let grow = results.iter().flatten().filter_map(|(g, _)| *g).max().unwrap();
+    let shrink = results.iter().flatten().filter_map(|(_, s)| *s).max().unwrap();
+    (grow, shrink)
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("{:>6} {:>8} {:>14} {:>14}", "dp", "members", "grow (median)", "shrink (median)");
+    for dp in [1usize, 2, 4, 8] {
+        let samples: Vec<(Duration, Duration)> = (0..RUNS).map(|_| elastic_once(dp)).collect();
+        let grow = median(samples.iter().map(|&(g, _)| g).collect());
+        let shrink = median(samples.iter().map(|&(_, s)| s).collect());
+        println!(
+            "{:>6} {:>8} {:>12.1}us {:>12.1}us",
+            dp,
+            INCUMBENTS + dp,
+            grow.as_secs_f64() * 1e6,
+            shrink.as_secs_f64() * 1e6
+        );
+        rows.push(format!(
+            "    {{\"dp\": {dp}, \"members\": {}, \"grow_ns_median_of_max\": {}, \
+             \"shrink_ns_median_of_max\": {}}}",
+            INCUMBENTS + dp,
+            grow.as_nanos(),
+            shrink.as_nanos()
+        ));
+    }
+    let json = format!(
+        "{{\n  \"field\": \"64x64 f64, 2 exporters -> 2 importers, dp spares join the import \
+         side\",\n  \"runs_per_point\": {RUNS},\n  \"elastic_latency\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_elastic.json");
+    std::fs::write(path, json).expect("write BENCH_elastic.json");
+    println!("wrote {path}");
+}

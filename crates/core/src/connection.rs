@@ -19,11 +19,20 @@
 //!   **persistent** connections recur automatically every `period`-th
 //!   `data_ready` call (the CUMULVS channel model).
 
-use mxn_dad::Dad;
-use mxn_runtime::{InterComm, MsgSize, RuntimeError, ShrinkReport};
-use mxn_schedule::RegionSchedule;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use mxn_dad::{AccessMode, Dad};
+use mxn_runtime::{Comm, InterComm, MsgSize, ReconfigReport, RuntimeError, ShrinkReport, Src};
+use mxn_schedule::{
+    recv_redistributed_budgeted_cached_for_epoch, send_redistributed_budgeted_cached_for_epoch,
+    RegionSchedule, ScheduleCache,
+};
 use mxn_trace::EventId;
 
+use crate::elastic::redistribute_elastic;
 use crate::error::{MxnError, Result};
 use crate::field::FieldRegistry;
 
@@ -46,6 +55,79 @@ const CONN_TAG_BASE: i32 = 1 << 20;
 const REQ_TAG: i32 = CONN_TAG_BASE - 2;
 /// Tag carrying connection acknowledgements.
 const ACK_TAG: i32 = CONN_TAG_BASE - 1;
+/// Tag carrying connection state to ranks joining an elastic expand.
+const CONN_JOIN_TAG: i32 = CONN_TAG_BASE - 3;
+
+/// The RMA window id an elastic rebind runs under. Salted with the
+/// pre-bump epoch (so back-to-back reconfigurations of one connection
+/// never alias) and the side bit (so the two programs' concurrent
+/// redistribution windows over the same world stay disjoint).
+fn elastic_win_id(tag: i32, epoch: u64, side: usize) -> u32 {
+    (((tag as u32) ^ (epoch as u32).wrapping_add(1)) & 0x7ff) | ((side as u32) << 11)
+}
+
+/// Everything a joining rank needs to reconstruct its side of a live
+/// connection: sent by the sponsor (old local rank 0) over the world
+/// communicator *after* the membership expand commits, so an aborted
+/// attempt leaks no connection state.
+struct ConnState {
+    field: String,
+    /// The joining side's direction (same side as the sponsor).
+    direction: Direction,
+    kind: ConnectionKind,
+    transactional: bool,
+    tag: i32,
+    /// The sponsor's epoch *before* the bump; the joiner bumps identically.
+    epoch: u64,
+    calls: u64,
+    transfers: u64,
+    /// Pre-expand descriptor of the joining side.
+    my_dad: Dad,
+    /// Pre-expand descriptor of the remote side.
+    peer_dad: Dad,
+    /// Pre-expand world ranks of the joining side, in local-rank order.
+    old_local_group: Vec<usize>,
+    /// Pre-expand world ranks of the remote side.
+    old_remote_group: Vec<usize>,
+}
+
+impl MsgSize for ConnState {
+    fn msg_size(&self) -> usize {
+        self.field.len()
+            + 1
+            + self.kind.msg_size()
+            + 1
+            + 4
+            + 3 * size_of::<u64>()
+            + self.my_dad.descriptor_bytes()
+            + self.peer_dad.descriptor_bytes()
+            + (self.old_local_group.len() + self.old_remote_group.len()) * size_of::<usize>()
+    }
+}
+
+/// Re-derives one side's descriptor for a changed membership: a pure
+/// append grows it ([`Dad::expand`]), a subset re-decomposes over the
+/// keepers ([`Dad::shrink`]), an unchanged group keeps it as-is.
+fn resize_dad(dad: &Dad, old_group: &[usize], new_group: &[usize]) -> Result<Dad> {
+    use std::cmp::Ordering;
+    match new_group.len().cmp(&old_group.len()) {
+        Ordering::Equal => Ok(dad.clone()),
+        Ordering::Greater => {
+            dad.expand(new_group.len()).map_err(|detail| MxnError::Handshake { detail })
+        }
+        Ordering::Less => {
+            let keep = new_group
+                .iter()
+                .map(|w| {
+                    old_group.iter().position(|x| x == w).ok_or_else(|| MxnError::Handshake {
+                        detail: format!("kept rank {w} was not in the pre-contract group"),
+                    })
+                })
+                .collect::<Result<Vec<usize>>>()?;
+            dad.shrink(&keep).map_err(|detail| MxnError::Handshake { detail })
+        }
+    }
+}
 
 /// One-shot or persistent periodic coupling (paper §2.3, §4.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -548,6 +630,274 @@ impl MxnConnection {
         Ok((healed, report))
     }
 
+    /// Budget-aware `data_ready`: the pairwise transfer runs over a
+    /// planned route from `cache` that respects the staging-buffer budget
+    /// negotiated at plan time. Both sides of the coupling must use this
+    /// path for the same rounds (the routed protocol has its own wire
+    /// format). Routes and schedules are keyed on the descriptor
+    /// fingerprints *and* the connection epoch: a heal or elastic
+    /// reconfiguration bumps the epoch, which forces a fresh profile and
+    /// plan even when a grow→shrink cycle returns to byte-identical
+    /// descriptors — without the salt, a post-reconfiguration transfer
+    /// silently reuses a route profiled for the old membership.
+    pub fn data_ready_budgeted(
+        &mut self,
+        ic: &InterComm,
+        registry: &FieldRegistry,
+        cache: &ScheduleCache,
+        budget_bytes: u64,
+    ) -> Result<TransferOutcome> {
+        if self.closed {
+            return Ok(TransferOutcome::Closed);
+        }
+        self.calls += 1;
+        let due = match self.kind {
+            ConnectionKind::OneShot => self.transfers == 0,
+            ConnectionKind::Persistent { period } => (self.calls - 1).is_multiple_of(period as u64),
+        };
+        if !due {
+            return Ok(TransferOutcome::Skipped);
+        }
+        let entry = registry.get(&self.field)?;
+        let moved = match self.direction {
+            Direction::Export => {
+                let data = entry.data().read();
+                send_redistributed_budgeted_cached_for_epoch(
+                    cache,
+                    ic,
+                    &self.my_dad,
+                    &self.peer_dad,
+                    &data,
+                    self.tag,
+                    budget_bytes,
+                    self.epoch,
+                )
+            }
+            Direction::Import => recv_redistributed_budgeted_cached_for_epoch::<f64>(
+                cache,
+                ic,
+                &self.peer_dad,
+                &self.my_dad,
+                self.tag,
+                budget_bytes,
+                self.epoch,
+            )
+            .map(|arr| {
+                let n = arr.len();
+                *entry.data().write() = arr;
+                n
+            }),
+        };
+        let elements = match moved {
+            Ok(n) => n,
+            Err(e) => return Err(map_dead(self.tag, e.into())),
+        };
+        if let Some(rank) = ic.any_dead() {
+            return Err(MxnError::PeerFailed { rank, tag: None });
+        }
+        self.transfers += 1;
+        if self.kind == ConnectionKind::OneShot {
+            self.closed = true;
+        }
+        Ok(TransferOutcome::Transferred { elements })
+    }
+
+    /// Collectively grows the coupling: admits `add_local` world ranks to
+    /// this side and `add_remote` to the peer side (the membership-level
+    /// [`InterComm::expand`] handshake), then re-decomposes both sides'
+    /// descriptors over the larger groups, *spreads* this side's field
+    /// onto the newcomers through a one-sided RMA window
+    /// ([`redistribute_elastic`]) and rebuilds the transfer schedule.
+    /// Every incumbent rank of both programs must call this; the admitted
+    /// ranks must be parked in [`MxnConnection::join`]. Returns the grown
+    /// intercomm — use it for all subsequent `data_ready` calls.
+    ///
+    /// The whole operation is transactional: if the membership vote fails
+    /// (a newcomer died mid-handshake), every rank gets
+    /// [`RuntimeError::ReconfigAborted`], the old intercomm stays valid,
+    /// no connection state is sent, no data moves, and the epoch does not
+    /// bump — retry with a healthy spare or keep running at the old size.
+    ///
+    /// # Panics
+    /// If called on a closed connection.
+    pub fn expand(
+        &mut self,
+        ic: &InterComm,
+        world: &Comm,
+        registry: &mut FieldRegistry,
+        add_local: &[usize],
+        add_remote: &[usize],
+    ) -> Result<(InterComm, ReconfigReport)> {
+        assert!(!self.closed, "cannot expand a closed connection");
+        let (grown, report) =
+            ic.expand(add_local, add_remote).map_err(|e| map_dead(self.tag, e.into()))?;
+        if ic.local_rank() == 0 {
+            for &w in add_local {
+                world
+                    .send(
+                        w,
+                        CONN_JOIN_TAG,
+                        ConnState {
+                            field: self.field.clone(),
+                            direction: self.direction,
+                            kind: self.kind,
+                            transactional: self.transactional,
+                            tag: self.tag,
+                            epoch: self.epoch,
+                            calls: self.calls,
+                            transfers: self.transfers,
+                            my_dad: self.my_dad.clone(),
+                            peer_dad: self.peer_dad.clone(),
+                            old_local_group: report.old_local_group.clone(),
+                            old_remote_group: report.old_remote_group.clone(),
+                        },
+                    )
+                    .map_err(|e| map_dead(CONN_JOIN_TAG, e.into()))?;
+            }
+        }
+        self.elastic_rebind(ic.side(), world, registry, &report)?;
+        Ok((grown, report))
+    }
+
+    /// Collectively shrinks the coupling *gracefully*: the ranks not in
+    /// the keep lists are still alive, so — unlike [`MxnConnection::heal`]
+    /// — their data is handed off through the RMA window before they
+    /// retire and nothing is lost. Keep lists are this side's / the peer
+    /// side's *local* ranks. Leavers get `None`, their connection handle
+    /// closes, and their field registration is left untouched (stale).
+    ///
+    /// # Panics
+    /// If called on a closed connection.
+    pub fn contract(
+        &mut self,
+        ic: &InterComm,
+        world: &Comm,
+        registry: &mut FieldRegistry,
+        keep_local_ranks: &[usize],
+        keep_remote_ranks: &[usize],
+    ) -> Result<(Option<InterComm>, ReconfigReport)> {
+        assert!(!self.closed, "cannot contract a closed connection");
+        let (shrunk, report) = ic
+            .contract(keep_local_ranks, keep_remote_ranks)
+            .map_err(|e| map_dead(self.tag, e.into()))?;
+        self.elastic_rebind(ic.side(), world, registry, &report)?;
+        Ok((shrunk, report))
+    }
+
+    /// The data-carrying half of an elastic reconfiguration, shared by
+    /// grow and graceful shrink: resize both descriptors, move this
+    /// side's field through the window, rebind storage and rebuild the
+    /// schedule, bump the epoch. A leaver (not in the new group) serves
+    /// its shard as a pure source and comes out closed.
+    fn elastic_rebind(
+        &mut self,
+        side: usize,
+        world: &Comm,
+        registry: &mut FieldRegistry,
+        report: &ReconfigReport,
+    ) -> Result<()> {
+        let new_my_dad =
+            resize_dad(&self.my_dad, &report.old_local_group, &report.new_local_group)?;
+        let new_peer_dad =
+            resize_dad(&self.peer_dad, &report.old_remote_group, &report.new_remote_group)?;
+        let me = world.rank();
+        let old_rank = report.old_local_group.iter().position(|&r| r == me);
+        let new_rank = report.new_local_group.iter().position(|&r| r == me);
+        let win_id = elastic_win_id(self.tag, self.epoch, side);
+        let entry = registry.get(&self.field)?;
+        let data = entry.data().clone();
+        let fresh = {
+            let guard = data.read();
+            redistribute_elastic(
+                world,
+                win_id,
+                &self.my_dad,
+                &new_my_dad,
+                &report.old_local_group,
+                &report.new_local_group,
+                old_rank.map(|r| (r, &*guard)),
+                new_rank,
+            )?
+        };
+        match (new_rank, fresh) {
+            (Some(nr), Some(arr)) => {
+                registry.rebind_elastic(&self.field, new_my_dad.clone(), nr, arr)?;
+                self.schedule = match self.direction {
+                    Direction::Export => RegionSchedule::for_sender(&new_my_dad, &new_peer_dad, nr),
+                    Direction::Import => {
+                        RegionSchedule::for_receiver(&new_peer_dad, &new_my_dad, nr)
+                    }
+                };
+            }
+            _ => self.closed = true,
+        }
+        self.my_dad = new_my_dad;
+        self.peer_dad = new_peer_dad;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// A spare rank's entry into a live coupling. Blocks in
+    /// [`InterComm::await_join`] until some connection's
+    /// [`MxnConnection::expand`] admits this rank, receives the sponsor's
+    /// connection state, takes part in the data redistribution (receiving
+    /// its shard of the field), and returns a fully formed connection
+    /// handle, intercomm, and field registry — from here on the newcomer
+    /// is indistinguishable from an incumbent. The field is registered
+    /// read-write so it can serve either direction.
+    pub fn join(
+        world: &Comm,
+        timeout: Duration,
+    ) -> Result<(MxnConnection, InterComm, FieldRegistry)> {
+        let ic = InterComm::await_join(world, timeout)?;
+        let st: ConnState = world
+            .recv_timeout(Src::Any, CONN_JOIN_TAG, timeout)
+            .map_err(|e| map_dead(CONN_JOIN_TAG, e.into()))?;
+        let new_local_group = ic.local_group().to_vec();
+        let new_remote_group = ic.remote_group().to_vec();
+        let new_my_dad = resize_dad(&st.my_dad, &st.old_local_group, &new_local_group)?;
+        let new_peer_dad = resize_dad(&st.peer_dad, &st.old_remote_group, &new_remote_group)?;
+        let new_rank = ic.local_rank();
+        let win_id = elastic_win_id(st.tag, st.epoch, ic.side());
+        let fresh = redistribute_elastic(
+            world,
+            win_id,
+            &st.my_dad,
+            &new_my_dad,
+            &st.old_local_group,
+            &new_local_group,
+            None,
+            Some(new_rank),
+        )?
+        .expect("a joining rank always receives a shard");
+        let mut registry = FieldRegistry::new(new_rank);
+        registry.register(
+            &st.field,
+            new_my_dad.clone(),
+            AccessMode::ReadWrite,
+            Arc::new(RwLock::new(fresh)),
+        )?;
+        let schedule = match st.direction {
+            Direction::Export => RegionSchedule::for_sender(&new_my_dad, &new_peer_dad, new_rank),
+            Direction::Import => RegionSchedule::for_receiver(&new_peer_dad, &new_my_dad, new_rank),
+        };
+        let conn = MxnConnection {
+            field: st.field,
+            direction: st.direction,
+            kind: st.kind,
+            my_dad: new_my_dad,
+            peer_dad: new_peer_dad,
+            schedule,
+            tag: st.tag,
+            epoch: st.epoch + 1,
+            transactional: st.transactional,
+            calls: st.calls,
+            transfers: st.transfers,
+            closed: false,
+        };
+        Ok((conn, ic, registry))
+    }
+
     /// CUMULVS-style *loose* synchronization for import connections:
     /// consumes every complete transfer already queued — without blocking
     /// — leaving the field holding the **newest** available data. Returns
@@ -1007,6 +1357,314 @@ mod recovery_tests {
                 assert_eq!(d.len(), 36, "rebound storage covers the survivor share");
                 for (idx, &v) in d.iter() {
                     assert_eq!(v, coded(&idx, 2.0));
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod elastic_tests {
+    use super::*;
+    use crate::field::{FieldData, FieldRegistry};
+    use mxn_dad::{AccessMode, Extents, LocalArray};
+    use mxn_runtime::{FaultConfig, World};
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn coded(idx: &[usize], step: f64) -> f64 {
+        (idx[0] * 6 + idx[1]) as f64 + step * 100.0
+    }
+
+    /// Rewrites every locally held element with step-coded values, under
+    /// whatever decomposition the storage currently has.
+    fn refill(data: &FieldData, step: f64) {
+        let mut d = data.write();
+        let idxs: Vec<Vec<usize>> = d.iter().map(|(i, _)| i).collect();
+        for idx in idxs {
+            *d.get_mut(&idx).unwrap() = coded(&idx, step);
+        }
+    }
+
+    fn check(data: &FieldData, step: f64) {
+        let d = data.read();
+        for (idx, &v) in d.iter() {
+            assert_eq!(v, coded(&idx, step), "mismatch at {idx:?} (step {step})");
+        }
+    }
+
+    /// The full elastic lifecycle on a live 2×2 coupling: an epoch at the
+    /// original size, a grow to 3×3 (one spare joining each side, shards
+    /// spread through the RMA window), an epoch at the grown size, a
+    /// graceful contract back to 2×2 (leavers hand their data off and come
+    /// out closed), and a final epoch — every transfer matching the
+    /// fault-free oracle on the then-current decomposition.
+    #[test]
+    fn expand_then_contract_roundtrip_preserves_the_stream() {
+        World::run(6, |p| {
+            let world = p.world();
+            let color = if p.rank() < 4 { 0 } else { -1 };
+            let pair = world.split(color, 0).unwrap();
+            if p.rank() >= 4 {
+                // Spare capacity parks until the coupling grows onto it.
+                let (mut conn, ic, reg) =
+                    MxnConnection::join(world, Duration::from_secs(10)).unwrap();
+                assert_eq!(conn.epoch(), 1);
+                let data = reg.get("f").unwrap().data().clone();
+                if conn.direction() == Direction::Export {
+                    // The received shard carries the last-published step.
+                    check(&data, 1.0);
+                    refill(&data, 2.0);
+                }
+                conn.data_ready(&ic, &reg).unwrap();
+                if conn.direction() == Direction::Import {
+                    check(&data, 2.0);
+                }
+                // The contract retires this rank: it serves its shard one
+                // last time and its handle closes.
+                let (gone, _) = conn.contract(&ic, world, &mut { reg }, &[0, 1], &[0, 1]).unwrap();
+                assert!(gone.is_none(), "a leaver gets no new intercomm");
+                assert!(conn.is_closed());
+                return;
+            }
+            let side = usize::from(p.rank() >= 2);
+            let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+            let rank = ic.local_rank();
+            let mut reg = FieldRegistry::new(rank);
+            let src = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+            let dst = Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap();
+            let (data, mut conn) = if side == 0 {
+                let data: FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src, rank, |idx| coded(idx, 1.0))));
+                reg.register("f", src.clone(), AccessMode::Read, data.clone()).unwrap();
+                let conn = MxnConnection::initiate(
+                    &ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::Persistent { period: 1 },
+                )
+                .unwrap();
+                (data, conn)
+            } else {
+                let data = reg.register_allocated("f", dst.clone(), AccessMode::Write).unwrap();
+                (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
+            };
+            // Epoch 0: the original 2×2 coupling.
+            conn.data_ready(&ic, &reg).unwrap();
+            if side == 1 {
+                check(&data, 1.0);
+            }
+            // Grow: rank 4 joins side 0, rank 5 joins side 1.
+            let (add_l, add_r) =
+                if side == 0 { (&[4][..], &[5][..]) } else { (&[5][..], &[4][..]) };
+            let (grown, report) = conn.expand(&ic, world, &mut reg, add_l, add_r).unwrap();
+            assert_eq!(conn.epoch(), 1);
+            assert_eq!(report.new_local_group.len(), 3);
+            // The rebind spread the current step onto the 3-rank layout.
+            check(&data, 1.0);
+            assert!(data.read().len() < 36, "no rank holds the whole array after the grow");
+            if side == 0 {
+                refill(&data, 2.0);
+            }
+            conn.data_ready(&grown, &reg).unwrap();
+            if side == 1 {
+                check(&data, 2.0);
+            }
+            // Graceful contract back to the original 2×2.
+            let (shrunk, _) = conn.contract(&grown, world, &mut reg, &[0, 1], &[0, 1]).unwrap();
+            let shrunk = shrunk.expect("incumbents survive the contract");
+            assert_eq!(conn.epoch(), 2);
+            check(&data, 2.0);
+            if side == 0 {
+                refill(&data, 3.0);
+            }
+            conn.data_ready(&shrunk, &reg).unwrap();
+            if side == 1 {
+                check(&data, 3.0);
+            }
+            assert_eq!(conn.stats(), (3, 3));
+        });
+    }
+
+    /// A newcomer dying mid-handshake aborts the whole grow: every
+    /// incumbent gets `ReconfigAborted`, the epoch does not bump, and the
+    /// *old* coupling keeps transferring — the membership rollback leaves
+    /// the connection exactly as it was.
+    #[test]
+    fn aborted_expand_rolls_the_connection_back() {
+        let cfg = FaultConfig::reliable(23);
+        World::run_with_faults(5, cfg, |p| {
+            let world = p.world();
+            // The split is a world collective, so the doomed spare takes
+            // part in it (color −1) before dying.
+            let color = if p.rank() < 4 { 0 } else { -1 };
+            let pair = world.split(color, 0).unwrap();
+            if p.rank() == 4 {
+                p.kill_rank(4);
+                return;
+            }
+            let pair = pair.unwrap();
+            // The kill must be visible before the vote so every incumbent
+            // observes the same partial alive set.
+            while !p.is_dead(4) {
+                std::thread::yield_now();
+            }
+            let side = usize::from(p.rank() >= 2);
+            let (_prog, ic) = InterComm::create(&pair, side).unwrap();
+            let rank = ic.local_rank();
+            let mut reg = FieldRegistry::new(rank);
+            let src = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+            let dst = Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap();
+            let (data, mut conn) = if side == 0 {
+                let data: FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src, rank, |idx| coded(idx, 1.0))));
+                reg.register("f", src.clone(), AccessMode::Read, data.clone()).unwrap();
+                let conn = MxnConnection::initiate(
+                    &ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::Persistent { period: 1 },
+                )
+                .unwrap();
+                (data, conn)
+            } else {
+                let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+                (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
+            };
+            conn.data_ready(&ic, &reg).unwrap();
+            let before = conn.epoch();
+            let (add_l, add_r) = if side == 0 { (&[4][..], &[][..]) } else { (&[][..], &[4][..]) };
+            let err = conn.expand(&ic, world, &mut reg, add_l, add_r).unwrap_err();
+            assert!(
+                matches!(&err, MxnError::Runtime(re) if re.is_reconfig_aborted()),
+                "expected a reconfig abort, got: {err}"
+            );
+            assert_eq!(conn.epoch(), before, "an aborted grow must not bump the epoch");
+            // The old coupling is untouched: the next step still flows.
+            if side == 0 {
+                refill(&data, 2.0);
+            }
+            conn.data_ready(&ic, &reg).unwrap();
+            if side == 1 {
+                check(&data, 2.0);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod budgeted_epoch_tests {
+    use super::*;
+    use crate::field::{FieldData, FieldRegistry};
+    use mxn_dad::{AccessMode, Extents, LocalArray};
+    use mxn_runtime::World;
+    use parking_lot::RwLock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn coded(idx: &[usize], step: f64) -> f64 {
+        (idx[0] * 24 + idx[1]) as f64 + step * 10_000.0
+    }
+
+    fn refill(data: &FieldData, step: f64) {
+        let mut d = data.write();
+        let idxs: Vec<Vec<usize>> = d.iter().map(|(i, _)| i).collect();
+        for idx in idxs {
+            *d.get_mut(&idx).unwrap() = coded(&idx, step);
+        }
+    }
+
+    /// The PR 8 follow-on regression: budgeted routes are cached by
+    /// descriptor fingerprints, and a grow→shrink cycle returns to
+    /// *byte-identical* fingerprints. Without the epoch salt the
+    /// post-contract transfer would silently reuse the route profiled
+    /// before the cycle; with it, every elastic epoch re-plans. The cache
+    /// must hold three routes at the end — epochs 0, 1 and 2 — not two.
+    #[test]
+    fn budgeted_routes_replan_across_elastic_epochs() {
+        const BUDGET: u64 = 2000;
+        World::run(5, |p| {
+            let world = p.world();
+            let color = if p.rank() < 4 { 0 } else { -1 };
+            let pair = world.split(color, 0).unwrap();
+            let cache = ScheduleCache::new();
+            if p.rank() == 4 {
+                // Joins the import side for the grown epoch, then retires.
+                let (mut conn, ic, reg) =
+                    MxnConnection::join(world, Duration::from_secs(10)).unwrap();
+                conn.data_ready_budgeted(&ic, &reg, &cache, BUDGET).unwrap();
+                let d = reg.get("f").unwrap().data().read().clone();
+                for (idx, &v) in d.iter() {
+                    assert_eq!(v, coded(&idx, 2.0));
+                }
+                let (gone, _) = conn.contract(&ic, world, &mut { reg }, &[0, 1], &[0, 1]).unwrap();
+                assert!(gone.is_none());
+                return;
+            }
+            let side = usize::from(p.rank() >= 2);
+            let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+            let rank = ic.local_rank();
+            let mut reg = FieldRegistry::new(rank);
+            let src = Dad::block(Extents::new([24, 24]), &[2, 1]).unwrap();
+            let dst = Dad::block(Extents::new([24, 24]), &[1, 2]).unwrap();
+            // Both sides watch the import-side descriptor round-trip.
+            let original_fp = dst.fingerprint();
+            let (data, mut conn) = if side == 0 {
+                let data: FieldData =
+                    Arc::new(RwLock::new(LocalArray::from_fn(&src, rank, |idx| coded(idx, 1.0))));
+                reg.register("f", src.clone(), AccessMode::Read, data.clone()).unwrap();
+                let conn = MxnConnection::initiate(
+                    &ic,
+                    &reg,
+                    0,
+                    "f",
+                    "f",
+                    Direction::Export,
+                    ConnectionKind::Persistent { period: 1 },
+                )
+                .unwrap();
+                (data, conn)
+            } else {
+                let data = reg.register_allocated("f", dst.clone(), AccessMode::Write).unwrap();
+                (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
+            };
+            // Epoch 0 at the original size.
+            conn.data_ready_budgeted(&ic, &reg, &cache, BUDGET).unwrap();
+            assert_eq!(cache.routes_len(), 1);
+            // Grow the import side onto rank 4, transfer at epoch 1.
+            let (add_l, add_r) = if side == 0 { (&[][..], &[4][..]) } else { (&[4][..], &[][..]) };
+            let (grown, _) = conn.expand(&ic, world, &mut reg, add_l, add_r).unwrap();
+            if side == 0 {
+                refill(&data, 2.0);
+            }
+            conn.data_ready_budgeted(&grown, &reg, &cache, BUDGET).unwrap();
+            assert_eq!(cache.routes_len(), 2, "the grown layout planned its own route");
+            // Contract back: fingerprints return to the pre-grow values.
+            let (shrunk, _) = conn.contract(&grown, world, &mut reg, &[0, 1], &[0, 1]).unwrap();
+            let shrunk = shrunk.unwrap();
+            let peer_fp =
+                if side == 0 { conn.peer_dad.fingerprint() } else { conn.my_dad.fingerprint() };
+            assert_eq!(peer_fp, original_fp, "the cycle returns to identical descriptors");
+            if side == 0 {
+                refill(&data, 3.0);
+            }
+            conn.data_ready_budgeted(&shrunk, &reg, &cache, BUDGET).unwrap();
+            assert_eq!(
+                cache.routes_len(),
+                3,
+                "identical fingerprints at a new epoch must re-plan, not reuse the stale route"
+            );
+            if side == 1 {
+                let d = data.read();
+                for (idx, &v) in d.iter() {
+                    assert_eq!(v, coded(&idx, 3.0), "post-cycle budgeted transfer fits");
                 }
             }
         });

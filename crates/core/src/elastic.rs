@@ -1,0 +1,305 @@
+//! Elastic redistribution: moving a field between *different-sized*
+//! decompositions over a one-sided RMA window.
+//!
+//! The shrink path of PR 5 rebinds lossily (survivors keep what they
+//! already own; dead ranks' data is gone). Growing is different: every
+//! element still exists somewhere on the old members, so a grow — and a
+//! *graceful* shrink, where leavers are still alive to serve reads — can
+//! move data instead of zeroing it. Following the RMA reconfiguration
+//! argument of Martín-Álvarez et al., the transport is one-sided: each
+//! old member exposes its shard once, each new member *gets* exactly the
+//! runs it needs, and a single fence completes the whole epoch. No
+//! pairwise send/recv matching is required between decompositions that
+//! do not know each other's schedules yet.
+
+use std::slice;
+
+use mxn_dad::{region_runs, Dad, LocalArray, Region};
+use mxn_runtime::{Comm, RmaWindow};
+
+use crate::error::{MxnError, Result};
+
+/// Collectively redistributes a field from `old_dad` (held by
+/// `old_members`, one comm rank per old decomposition rank) onto
+/// `new_dad` (landing on `new_members`). Every rank appearing in either
+/// member list must call this with identical descriptors and lists; the
+/// RMA window spans the union of both.
+///
+/// * `my_old` — this rank's old decomposition rank and shard, when it
+///   holds one (`old_members[r] == comm rank`).
+/// * `my_new` — this rank's new decomposition rank, when it receives one.
+///
+/// Returns the freshly assembled local storage for `my_new`, or `None`
+/// for a pure source (a leaver handing its data off). Membership may
+/// overlap arbitrarily: grow (`new ⊇ old`), graceful shrink
+/// (`new ⊆ old`), or full handoff (disjoint sets) all reduce to the same
+/// window protocol.
+#[allow(clippy::too_many_arguments)] // collective: every rank passes the full membership picture
+pub fn redistribute_elastic(
+    world: &Comm,
+    win_id: u32,
+    old_dad: &Dad,
+    new_dad: &Dad,
+    old_members: &[usize],
+    new_members: &[usize],
+    my_old: Option<(usize, &LocalArray<f64>)>,
+    my_new: Option<usize>,
+) -> Result<Option<LocalArray<f64>>> {
+    if !old_dad.conforms(new_dad) {
+        return Err(MxnError::ShapeMismatch {
+            detail: format!(
+                "elastic redistribution between extents {:?} and {:?}",
+                old_dad.extents().dims(),
+                new_dad.extents().dims()
+            ),
+        });
+    }
+    if old_members.len() != old_dad.nranks() || new_members.len() != new_dad.nranks() {
+        return Err(MxnError::Handshake {
+            detail: format!(
+                "member lists must match decomposition sizes: {} old members for a {}-rank \
+                 descriptor, {} new members for a {}-rank descriptor",
+                old_members.len(),
+                old_dad.nranks(),
+                new_members.len(),
+                new_dad.nranks()
+            ),
+        });
+    }
+    let me = world.rank();
+    if let Some((r, local)) = my_old {
+        if old_members.get(r) != Some(&me) {
+            return Err(MxnError::Handshake {
+                detail: format!("rank {me} claims old shard {r} but old_members says otherwise"),
+            });
+        }
+        let expected = old_dad.local_size(r);
+        if local.len() != expected {
+            return Err(MxnError::Handshake {
+                detail: format!(
+                    "old shard {r} holds {} elements but the descriptor assigns {expected}",
+                    local.len()
+                ),
+            });
+        }
+    }
+    if let Some(r) = my_new {
+        if new_members.get(r) != Some(&me) {
+            return Err(MxnError::Handshake {
+                detail: format!("rank {me} claims new shard {r} but new_members says otherwise"),
+            });
+        }
+    }
+
+    let mut members: Vec<usize> = old_members.iter().chain(new_members).copied().collect();
+    members.sort_unstable();
+    members.dedup();
+
+    // Old members expose their shard flat (canonical patch order);
+    // everyone else exposes an empty block and only serves the fence.
+    let exposed = my_old.map(|(_, local)| local.to_flat()).unwrap_or_default();
+    let mut win = RmaWindow::expose(world, win_id, members, exposed)?;
+
+    // Receivers translate each (new patch ∩ old patch) intersection into
+    // contiguous runs at flat offsets inside the owner's exposed shard,
+    // then issue one get per contributing old owner.
+    let mut plan: Vec<Vec<Region>> = Vec::new();
+    if let Some(my_new_rank) = my_new {
+        let my_regions = new_dad.patches(my_new_rank);
+        for (o, &owner) in old_members.iter().enumerate() {
+            let old_patches = old_dad.patches(o);
+            let mut prefix = Vec::with_capacity(old_patches.len());
+            let mut acc = 0usize;
+            for p in &old_patches {
+                prefix.push(acc);
+                acc += p.len();
+            }
+            let mut runs: Vec<(usize, usize)> = Vec::new();
+            let mut subs: Vec<Region> = Vec::new();
+            for region in &my_regions {
+                for (pi, patch) in old_patches.iter().enumerate() {
+                    let Some(part) = patch.intersect(region) else { continue };
+                    for run in region_runs(slice::from_ref(patch), &part) {
+                        runs.push((prefix[pi] + run.patch_off, run.len));
+                    }
+                    subs.push(part);
+                }
+            }
+            if !runs.is_empty() {
+                win.get_runs(owner, runs)?;
+                plan.push(subs);
+            }
+        }
+    }
+
+    let results = win.fence()?;
+    debug_assert_eq!(results.len(), plan.len(), "one response per issued get");
+
+    Ok(my_new.map(|r| {
+        let mut arr = LocalArray::allocate(new_dad, r);
+        for (subs, buf) in plan.iter().zip(results) {
+            // Each get's response concatenates its intersections in issue
+            // order, every intersection packed row-major — exactly what
+            // unpack_region consumes.
+            let mut cursor = 0usize;
+            for sub in subs {
+                arr.unpack_region(sub, &buf[cursor..cursor + sub.len()]);
+                cursor += sub.len();
+            }
+        }
+        arr
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxn_dad::Extents;
+    use mxn_runtime::World;
+
+    fn coded(idx: &[usize]) -> f64 {
+        idx.iter().fold(0.0, |a, &i| a * 100.0 + i as f64) + 7.0
+    }
+
+    fn check_oracle(arr: &LocalArray<f64>) {
+        for (idx, &v) in arr.iter() {
+            assert_eq!(v, coded(&idx), "mismatch at {idx:?}");
+        }
+    }
+
+    #[test]
+    fn grow_spreads_survivor_data_onto_newcomers() {
+        World::run(3, |p| {
+            let c = p.world();
+            let old = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+            let new = old.expand(3).unwrap();
+            let mine = (c.rank() < 2).then(|| LocalArray::from_fn(&old, c.rank(), coded));
+            let got = redistribute_elastic(
+                c,
+                1,
+                &old,
+                &new,
+                &[0, 1],
+                &[0, 1, 2],
+                mine.as_ref().map(|m| (c.rank(), m)),
+                Some(c.rank()),
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(got.len(), new.local_size(c.rank()));
+            assert!(got.len() < 18, "the grown decomposition spread the load");
+            check_oracle(&got);
+        });
+    }
+
+    #[test]
+    fn graceful_shrink_carries_leaver_data() {
+        // Unlike the death-shrink rebind, a graceful shrink loses nothing:
+        // the leaver (rank 2) serves its shard through the window.
+        World::run(3, |p| {
+            let c = p.world();
+            let old = Dad::block(Extents::new([6, 6]), &[3, 1]).unwrap();
+            let new = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+            let mine = LocalArray::from_fn(&old, c.rank(), coded);
+            let my_new = (c.rank() < 2).then(|| c.rank());
+            let got = redistribute_elastic(
+                c,
+                2,
+                &old,
+                &new,
+                &[0, 1, 2],
+                &[0, 1],
+                Some((c.rank(), &mine)),
+                my_new,
+            )
+            .unwrap();
+            match my_new {
+                Some(r) => {
+                    let got = got.unwrap();
+                    assert_eq!(got.len(), new.local_size(r));
+                    check_oracle(&got);
+                }
+                None => assert!(got.is_none(), "a pure source gets no new shard"),
+            }
+        });
+    }
+
+    #[test]
+    fn disjoint_handoff_migrates_everything() {
+        World::run(4, |p| {
+            let c = p.world();
+            let old = Dad::block(Extents::new([8]), &[2]).unwrap();
+            let new = Dad::block(Extents::new([8]), &[2]).unwrap();
+            let holder = c.rank() < 2;
+            let mine = holder.then(|| LocalArray::from_fn(&old, c.rank(), coded));
+            let got = redistribute_elastic(
+                c,
+                3,
+                &old,
+                &new,
+                &[0, 1],
+                &[2, 3],
+                mine.as_ref().map(|m| (c.rank(), m)),
+                (!holder).then(|| c.rank() - 2),
+            )
+            .unwrap();
+            if holder {
+                assert!(got.is_none());
+            } else {
+                check_oracle(&got.unwrap());
+            }
+        });
+    }
+
+    #[test]
+    fn explicit_patchwork_grows_too() {
+        // Round-robin-dealt explicit patches exercise the multi-patch
+        // prefix-offset path (an owner's shard is several regions flat).
+        World::run(3, |p| {
+            let c = p.world();
+            let patches: Vec<(Region, usize)> =
+                (0..4).map(|i| (Region::new(vec![i * 2], vec![i * 2 + 2]), i % 2)).collect();
+            let old =
+                Dad::explicit(mxn_dad::ExplicitDist::new(Extents::new([8]), patches, 2).unwrap());
+            let new = old.expand(3).unwrap();
+            let mine = (c.rank() < 2).then(|| LocalArray::from_fn(&old, c.rank(), coded));
+            let got = redistribute_elastic(
+                c,
+                4,
+                &old,
+                &new,
+                &[0, 1],
+                &[0, 1, 2],
+                mine.as_ref().map(|m| (c.rank(), m)),
+                Some(c.rank()),
+            )
+            .unwrap()
+            .unwrap();
+            check_oracle(&got);
+        });
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_calls() {
+        World::run(1, |p| {
+            let c = p.world();
+            let a = Dad::block(Extents::new([4]), &[1]).unwrap();
+            let b = Dad::block(Extents::new([5]), &[1]).unwrap();
+            assert!(matches!(
+                redistribute_elastic(c, 5, &a, &b, &[0], &[0], None, None),
+                Err(MxnError::ShapeMismatch { .. })
+            ));
+            let a2 = Dad::block(Extents::new([4]), &[1]).unwrap();
+            assert!(matches!(
+                redistribute_elastic(c, 5, &a, &a2, &[0, 1], &[0], None, None),
+                Err(MxnError::Handshake { .. })
+            ));
+            // Claiming a shard the member list assigns elsewhere.
+            let mine = LocalArray::from_fn(&a, 0, |_| 0.0);
+            assert!(matches!(
+                redistribute_elastic(c, 5, &a, &a2, &[9], &[0], Some((0, &mine)), None),
+                Err(MxnError::Handshake { .. })
+            ));
+        });
+    }
+}

@@ -136,6 +136,38 @@ impl FieldRegistry {
         Ok(())
     }
 
+    /// Rebinds `name` after an *elastic* reconfiguration: swaps `fresh` —
+    /// this rank's storage assembled by
+    /// [`crate::elastic::redistribute_elastic`] for `new_rank` under
+    /// `new_dad` — in under the same `Arc`, so every clone of the
+    /// [`FieldData`] handle observes the new decomposition. Unlike
+    /// [`FieldRegistry::rebind`] (the lossy death-shrink path), nothing is
+    /// zeroed here: the caller moved every element through the RMA window
+    /// before rebinding.
+    pub fn rebind_elastic(
+        &mut self,
+        name: &str,
+        new_dad: Dad,
+        new_rank: usize,
+        fresh: LocalArray<f64>,
+    ) -> Result<()> {
+        let entry = self
+            .fields
+            .get_mut(name)
+            .ok_or_else(|| MxnError::FieldNotFound { field: name.to_string() })?;
+        let expected = new_dad.local_size(new_rank);
+        if fresh.len() != expected {
+            return Err(MxnError::StorageMismatch {
+                field: name.to_string(),
+                expected,
+                actual: fresh.len(),
+            });
+        }
+        *entry.data.write() = fresh;
+        entry.dad = new_dad;
+        Ok(())
+    }
+
     /// Unregisters a field (e.g. before re-decomposition).
     pub fn unregister(&mut self, name: &str) -> Result<()> {
         self.fields
@@ -262,6 +294,28 @@ mod tests {
         assert_eq!(*local.get(&[0, 0]).unwrap(), 1.0, "owned-before data carried over");
         assert_eq!(*local.get(&[1, 3]).unwrap(), 8.0);
         assert_eq!(*local.get(&[3, 3]).unwrap(), 0.0, "dead rank's data is zeroed");
+    }
+
+    #[test]
+    fn rebind_elastic_swaps_storage_under_the_same_arc() {
+        let old = Dad::block(Extents::new([6]), &[2]).unwrap();
+        let new = old.expand(3).unwrap();
+        let mut reg = FieldRegistry::new(0);
+        let handle = reg.register_allocated("t", old.clone(), AccessMode::ReadWrite).unwrap();
+        let fresh = LocalArray::from_fn(&new, 0, |idx| idx[0] as f64 + 1.0);
+        reg.rebind_elastic("t", new.clone(), 0, fresh).unwrap();
+        assert_eq!(reg.get("t").unwrap().dad().fingerprint(), new.fingerprint());
+        let d = handle.read();
+        assert_eq!(d.len(), new.local_size(0), "old clones see the rebound storage");
+        for (idx, &v) in d.iter() {
+            assert_eq!(v, idx[0] as f64 + 1.0);
+        }
+        // A wrong-sized shard is rejected before anything is swapped.
+        let wrong = LocalArray::from_fn(&old, 1, |_| 0.0);
+        assert!(matches!(
+            reg.rebind_elastic("t", new, 0, wrong),
+            Err(MxnError::StorageMismatch { .. })
+        ));
     }
 
     #[test]

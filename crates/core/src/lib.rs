@@ -16,18 +16,27 @@
 //! * **CCA integration** ([`component`]): the whole service registers as a
 //!   provides port ([`MXN_PORT_TYPE`]) in a direct-connected framework,
 //!   realizing the paired-component architecture of Figure 3.
+//! * **Elasticity** ([`elastic`], [`autoscale`]): live couplings grow onto
+//!   spare ranks and shrink back gracefully, the field spread through a
+//!   one-sided RMA window ([`MxnConnection::expand`] /
+//!   [`MxnConnection::contract`] / [`MxnConnection::join`]), driven by a
+//!   load-watching [`Autoscaler`] policy.
 
+pub mod autoscale;
 pub mod component;
 pub mod connection;
 pub mod coordinator;
+pub mod elastic;
 pub mod error;
 pub mod field;
 pub mod particles;
 pub mod steering;
 
+pub use autoscale::{Autoscaler, AutoscalerConfig, LoadSample, ScaleDecision};
 pub use component::{mxn_port, MxnComponent, MxnPort, MXN_PORT_TYPE};
 pub use connection::{ConnectionKind, Direction, MxnConnection, TransferOutcome};
 pub use coordinator::{follow_order, order_connection, ConnOrder};
+pub use elastic::redistribute_elastic;
 pub use error::{MxnError, Result};
 pub use field::{FieldData, FieldEntry, FieldRegistry};
 pub use particles::{MigrationReport, Particle, ParticleField};

@@ -1,0 +1,174 @@
+//! Grow-direction re-decomposition: rebuilding a descriptor over a larger
+//! rank set.
+//!
+//! The inverse of [`crate::shrink`]: when the runtime admits `k` newcomer
+//! ranks, the array keeps its global extents but ownership must *spread*
+//! onto the enlarged set so the newcomers carry real work. [`Dad::expand`]
+//! derives the new ownership deterministically from the old descriptor and
+//! the new rank count alone, so every participant (incumbent or newcomer)
+//! computes the identical descriptor without exchanging a byte:
+//!
+//! * **Regular** templates are re-decomposed as a balanced *block*
+//!   distribution over the new count, exactly like a shrink — collapsed
+//!   axes stay collapsed, and the new count is factored across the
+//!   originally-distributed axes. Expansion is a full redistribution
+//!   anyway, so the rebuilt descriptor uses the layout that packs and
+//!   transfers best.
+//! * **Explicit** distributions keep their patch geometry and deal patches
+//!   round-robin over the new rank count (`patch index % new_n`), which
+//!   hands newcomers a proportional share instead of leaving them idle.
+
+use crate::descriptor::{Dad, Distribution};
+use crate::explicit::ExplicitDist;
+use crate::shrink::balanced_grid;
+use crate::template::Template;
+
+impl Dad {
+    /// Rebuilds this descriptor over `new_n > nranks()` ranks.
+    ///
+    /// The global extents are unchanged; ownership is re-derived as
+    /// described in the module docs. Pure and deterministic: every
+    /// participant computes the same result, and the fingerprint changes,
+    /// so epoch-salted schedule and route caches rebuild cleanly.
+    pub fn expand(&self, new_n: usize) -> Result<Dad, String> {
+        if new_n <= self.nranks() {
+            return Err(format!(
+                "expand requires more ranks than the current {} (got {new_n})",
+                self.nranks()
+            ));
+        }
+        match self.distribution() {
+            Distribution::Regular(t) => {
+                let grid = balanced_grid(new_n, &t.grid());
+                Template::block(t.extents().clone(), &grid).map(Dad::regular)
+            }
+            Distribution::Explicit(e) => {
+                let patches = e
+                    .all_patches()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (patch, _))| (patch.clone(), i % new_n))
+                    .collect();
+                ExplicitDist::new(e.extents().clone(), patches, new_n).map(Dad::explicit)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::AxisDist;
+    use crate::shape::{Extents, Region};
+
+    fn cover_once(d: &Dad) {
+        let mut per_rank = vec![0usize; d.nranks()];
+        for idx in d.extents().iter() {
+            per_rank[d.owner(&idx)] += 1;
+        }
+        assert_eq!(per_rank.iter().sum::<usize>(), d.extents().total());
+        for (r, &n) in per_rank.iter().enumerate() {
+            assert_eq!(d.local_size(r), n, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn regular_expand_balances_over_distributed_axes() {
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let g = d.expand(6).unwrap();
+        assert_eq!(g.nranks(), 6);
+        assert_eq!(g.extents(), d.extents());
+        match g.distribution() {
+            // 6 = 3 · 2 factored across both distributed axes.
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![3, 2]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&g);
+    }
+
+    #[test]
+    fn collapsed_axes_stay_collapsed() {
+        let d = Dad::block(Extents::new([8, 4]), &[2, 1]).unwrap();
+        let g = d.expand(4).unwrap();
+        match g.distribution() {
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![4, 1]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&g);
+    }
+
+    #[test]
+    fn cyclic_rebuilds_as_block() {
+        let t = Template::new(Extents::new([12]), vec![AxisDist::Cyclic { nprocs: 2 }]).unwrap();
+        let g = Dad::regular(t).expand(3).unwrap();
+        match g.distribution() {
+            Distribution::Regular(t) => {
+                assert_eq!(t.grid(), vec![3]);
+                assert_eq!(t.patches(0), vec![Region::new([0], [4])], "block, not cyclic");
+            }
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&g);
+    }
+
+    #[test]
+    fn explicit_deals_patches_onto_newcomers() {
+        let e = ExplicitDist::new(
+            Extents::new([4, 4]),
+            vec![
+                (Region::new([0, 0], [4, 2]), 0),
+                (Region::new([0, 2], [4, 3]), 0),
+                (Region::new([0, 3], [4, 4]), 1),
+            ],
+            2,
+        )
+        .unwrap();
+        let g = Dad::explicit(e).expand(3).unwrap();
+        assert_eq!(g.nranks(), 3);
+        // Patches dealt round-robin: patch 0 → rank 0, 1 → 1, 2 → 2.
+        assert_eq!(g.owner(&[0, 0]), 0);
+        assert_eq!(g.owner(&[0, 2]), 1);
+        assert_eq!(g.owner(&[0, 3]), 2, "the newcomer owns real data");
+        cover_once(&g);
+    }
+
+    #[test]
+    fn expand_is_deterministic_and_refingerprinted() {
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let a = d.expand(6).unwrap();
+        let b = d.expand(6).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn expand_then_shrink_round_trips_the_rank_count() {
+        let d = Dad::block(Extents::new([8, 8]), &[2, 2]).unwrap();
+        let g = d.expand(6).unwrap();
+        let s = g.shrink(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(s.nranks(), 4);
+        cover_once(&s);
+    }
+
+    #[test]
+    fn expand_from_a_single_rank_spreads_again() {
+        // A coupling funneled down to one rank (all axes collapsed) must
+        // still be able to grow: the count factors across every axis.
+        let d = Dad::block(Extents::new([6, 6]), &[2, 2]).unwrap();
+        let one = d.shrink(&[3]).unwrap();
+        let g = one.expand(6).unwrap();
+        assert_eq!(g.nranks(), 6);
+        match g.distribution() {
+            Distribution::Regular(t) => assert_eq!(t.grid(), vec![3, 2]),
+            _ => panic!("regular stays regular"),
+        }
+        cover_once(&g);
+    }
+
+    #[test]
+    fn non_growing_counts_are_rejected() {
+        let d = Dad::block(Extents::new([4]), &[4]).unwrap();
+        assert!(d.expand(4).is_err());
+        assert!(d.expand(3).is_err());
+    }
+}

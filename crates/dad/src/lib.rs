@@ -35,6 +35,7 @@ pub mod align;
 pub mod axis;
 pub mod converters;
 pub mod descriptor;
+pub mod expand;
 pub mod explicit;
 pub mod local;
 pub mod overlap;

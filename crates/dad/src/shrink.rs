@@ -29,13 +29,18 @@ use crate::template::Template;
 /// with more than one process), balancing the products: each prime factor
 /// of `n`, largest first, multiplies the currently-smallest new dimension.
 /// Collapsed axes stay 1. Deterministic for a given `(n, old_grid)`.
-fn balanced_grid(n: usize, old_grid: &[usize]) -> Vec<usize> {
+pub(crate) fn balanced_grid(n: usize, old_grid: &[usize]) -> Vec<usize> {
     let mut grid = vec![1usize; old_grid.len()];
-    let spread: Vec<usize> = (0..old_grid.len()).filter(|&d| old_grid[d] > 1).collect();
+    let mut spread: Vec<usize> = (0..old_grid.len()).filter(|&d| old_grid[d] > 1).collect();
     if spread.is_empty() {
-        // Nothing was distributed; degenerate but valid (n must be 1 for
-        // the old descriptor to have had n ranks).
-        return grid;
+        if n == 1 {
+            // Nothing was distributed and nothing needs to be.
+            return grid;
+        }
+        // Nothing *was* distributed but the new count demands spreading —
+        // an elastic grow from a single-rank descriptor. Factor across
+        // every axis so the newcomers carry real work.
+        spread = (0..old_grid.len()).collect();
     }
     let mut factors = Vec::new();
     let mut m = n;

@@ -78,6 +78,17 @@ pub enum RuntimeError {
         /// The revoked context id (point-to-point context of the pair).
         context: u32,
     },
+    /// A membership reconfiguration (expand or graceful contract) aborted
+    /// before commit: the join-handshake vote was not unanimous, usually
+    /// because a participant died mid-handshake. The *old* communicator is
+    /// untouched and fully operational — this error IS the transactional
+    /// rollback; the caller may retry with a fresh participant set.
+    ReconfigAborted {
+        /// The proposed (never-committed) context of the aborted attempt.
+        context: u32,
+        /// The attempt number that aborted.
+        attempt: u64,
+    },
 }
 
 impl RuntimeError {
@@ -97,6 +108,13 @@ impl RuntimeError {
     /// on the same context.
     pub fn is_revoked(&self) -> bool {
         matches!(self, RuntimeError::Revoked { .. })
+    }
+
+    /// True if a membership reconfiguration rolled back before commit; the
+    /// caller's pre-reconfiguration communicator is still valid and a retry
+    /// with a fresh participant set is safe.
+    pub fn is_reconfig_aborted(&self) -> bool {
+        matches!(self, RuntimeError::ReconfigAborted { .. })
     }
 }
 
@@ -129,6 +147,13 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Revoked { context } => {
                 write!(f, "communicator context {context} was revoked by the recovery plane")
+            }
+            RuntimeError::ReconfigAborted { context, attempt } => {
+                write!(
+                    f,
+                    "membership reconfiguration attempt {attempt} (proposed context {context}) \
+                     aborted; the old communicator remains valid"
+                )
             }
         }
     }
@@ -202,6 +227,17 @@ mod tests {
         assert!(!e.is_failure_detection());
         assert!(e.to_string().contains("context 6"));
         assert!(!RuntimeError::Aborted.is_revoked());
+    }
+
+    #[test]
+    fn reconfig_abort_classification_and_display() {
+        let e = RuntimeError::ReconfigAborted { context: 8, attempt: 2 };
+        assert!(e.is_reconfig_aborted());
+        assert!(!e.is_failure_detection());
+        assert!(!e.is_revoked());
+        assert!(e.to_string().contains("attempt 2"));
+        assert!(e.to_string().contains("remains valid"));
+        assert!(!RuntimeError::Aborted.is_reconfig_aborted());
     }
 
     #[test]

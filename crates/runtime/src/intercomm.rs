@@ -10,7 +10,7 @@ use crate::comm::Comm;
 use crate::envelope::{Envelope, MessageInfo, Payload, Src, Tag};
 use crate::error::{Result, RuntimeError};
 use crate::mailbox::PeerRef;
-use crate::membership::{agree_over, ShrinkReport};
+use crate::membership::{agree_over, JoinOffer, ReconfigReport, ShrinkReport, JOIN_TAG};
 use crate::msgsize::MsgSize;
 use crate::shared::WorldShared;
 use crate::stats::TrafficClass;
@@ -42,6 +42,18 @@ pub struct InterComm {
     /// Per-handle recovery sequence number (agreements and shrinks over an
     /// intercomm are ordered, like collectives).
     recovery_seq: Cell<u64>,
+}
+
+impl std::fmt::Debug for InterComm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InterComm")
+            .field("side", &self.side)
+            .field("local_rank", &self.local_rank)
+            .field("local_group", &self.local_group)
+            .field("remote_group", &self.remote_group)
+            .field("context", &self.context)
+            .finish()
+    }
 }
 
 impl InterComm {
@@ -103,6 +115,18 @@ impl InterComm {
     /// Size of the remote group.
     pub fn remote_size(&self) -> usize {
         self.remote_group.len()
+    }
+
+    /// The world ranks of my own group, in local-rank order. Elastic
+    /// reconfiguration (connection-level expand/contract) uses these as
+    /// the member lists of the redistribution window.
+    pub fn local_group(&self) -> &[usize] {
+        &self.local_group
+    }
+
+    /// The world ranks of the remote group, in remote-rank order.
+    pub fn remote_group(&self) -> &[usize] {
+        &self.remote_group
     }
 
     /// `(live, peak)` payload bytes of this rank's own mailbox — what the
@@ -453,6 +477,327 @@ impl InterComm {
         };
         Ok((ic, ShrinkReport { local_survivors, remote_survivors, epoch }))
     }
+
+    /// Full mask over `n` vote bits.
+    fn full_mask(n: usize) -> u64 {
+        if n >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Collectively rebuilds this intercomm over new memberships — the
+    /// grow-direction twin of [`InterComm::shrink_with_report`], and also
+    /// the *graceful* (data-preserving) contract.
+    ///
+    /// `new_local` / `new_remote` are the complete global-rank lists of the
+    /// two sides after the reconfiguration, from the caller's perspective;
+    /// every incumbent member (both sides, including members that are about
+    /// to leave) must call this with consistent arguments. Ranks present in
+    /// the new membership but not in the old one are *newcomers* and must
+    /// concurrently be parked in [`InterComm::await_join`] on the same
+    /// world.
+    ///
+    /// The handshake is transactional: the lowest incumbent global rank
+    /// (the *sponsor*) invites each newcomer with a [`JoinOffer`] over the
+    /// world context, then every participant — incumbents, newcomers and
+    /// leavers alike — votes on the observed alive set with the
+    /// fault-tolerant agreement, on the proposed context's channel so
+    /// attempts never cross-match. Commit requires a unanimous, all-alive
+    /// vote; anything less returns [`RuntimeError::ReconfigAborted`] on
+    /// every survivor and leaves the old intercomm untouched (that error
+    /// *is* the rollback — retry with a fresh participant set). On commit
+    /// the sponsor revokes the old context so stale traffic cannot leak
+    /// across epochs, and every participant emits an `Expand` trace event.
+    ///
+    /// Like the agreement itself, the whole handshake runs with the
+    /// caller's message-fault plane disarmed: reconfiguration is control
+    /// traffic on the reliable plane (deaths are still honored).
+    ///
+    /// Returns `(None, report)` for a leaver, `(Some(ic), report)` for a
+    /// member of the new epoch; `ic.recovery_seq` restarts at 0 for all.
+    pub fn reconfigure(
+        &self,
+        new_local: Vec<usize>,
+        new_remote: Vec<usize>,
+    ) -> Result<(Option<InterComm>, ReconfigReport)> {
+        if new_local.is_empty() || new_remote.is_empty() {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: "reconfigure requires both sides non-empty".into(),
+            });
+        }
+        let mut new_members: Vec<usize> =
+            new_local.iter().chain(new_remote.iter()).copied().collect();
+        new_members.sort_unstable();
+        if new_members.windows(2).any(|w| w[0] == w[1]) {
+            return Err(RuntimeError::CollectiveMismatch {
+                detail: "new memberships must be disjoint and duplicate-free".into(),
+            });
+        }
+        let old_members = self.union_sorted();
+        let mut participants = old_members.clone();
+        participants.extend(new_members.iter().copied());
+        participants.sort_unstable();
+        participants.dedup();
+        assert!(participants.len() <= 64, "reconfigure masks are u64: at most 64 participants");
+
+        // In lockstep on every incumbent: reconfigure is collective.
+        let attempt = self.recovery_seq.get();
+        self.recovery_seq.set(attempt + 1);
+
+        let mut new_mask = 0u64;
+        for (i, &g) in participants.iter().enumerate() {
+            if new_members.binary_search(&g).is_ok() {
+                new_mask |= 1 << i;
+            }
+        }
+        let (ctx, epoch) = self.shared.reconfig_context(self.context, new_mask, attempt);
+
+        // Reliable control plane for the whole handshake, not just the
+        // vote: join offers must not be droppable either.
+        let was_armed = self.shared.fault().map(|fp| fp.is_armed(self.my_global));
+        self.shared.fault_set_armed(self.my_global, false);
+        let result = self.reconfigure_inner(
+            new_local,
+            new_remote,
+            &old_members,
+            &participants,
+            ctx,
+            epoch,
+            attempt,
+        );
+        if was_armed == Some(true) {
+            self.shared.fault_set_armed(self.my_global, true);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn reconfigure_inner(
+        &self,
+        new_local: Vec<usize>,
+        new_remote: Vec<usize>,
+        old_members: &[usize],
+        participants: &[usize],
+        ctx: u32,
+        epoch: u64,
+        attempt: u64,
+    ) -> Result<(Option<InterComm>, ReconfigReport)> {
+        let sponsor = old_members[0];
+        if self.my_global == sponsor {
+            let world = Comm::world(self.shared.clone(), self.my_global);
+            let newcomers =
+                participants.iter().copied().filter(|g| old_members.binary_search(g).is_err());
+            for g in newcomers {
+                // The offer is written from the joiner's perspective.
+                let offer = if let Some(i) = new_local.iter().position(|&x| x == g) {
+                    JoinOffer {
+                        side: self.side,
+                        local_rank: i,
+                        context: ctx,
+                        attempt,
+                        epoch,
+                        local_group: new_local.clone(),
+                        remote_group: new_remote.clone(),
+                        old_local_group: self.local_group.to_vec(),
+                        old_remote_group: self.remote_group.to_vec(),
+                        participants: participants.to_vec(),
+                    }
+                } else {
+                    let i = new_remote
+                        .iter()
+                        .position(|&x| x == g)
+                        .expect("participant is in one of the new groups");
+                    JoinOffer {
+                        side: 1 - self.side,
+                        local_rank: i,
+                        context: ctx,
+                        attempt,
+                        epoch,
+                        local_group: new_remote.clone(),
+                        remote_group: new_local.clone(),
+                        old_local_group: self.remote_group.to_vec(),
+                        old_remote_group: self.local_group.to_vec(),
+                        participants: participants.to_vec(),
+                    }
+                };
+                world.send(g, JOIN_TAG, offer)?;
+            }
+        }
+
+        let liveness = self.shared.liveness();
+        let mut alive_mask = 0u64;
+        for (i, &g) in participants.iter().enumerate() {
+            if !liveness.is_dead(g) {
+                alive_mask |= 1 << i;
+            }
+        }
+        let agreed = agree_over(&self.shared, self.my_global, participants, ctx, 0, alive_mask)?;
+        if agreed != Self::full_mask(participants.len()) {
+            return Err(RuntimeError::ReconfigAborted { context: ctx, attempt });
+        }
+
+        emit_instant(
+            EventId::Expand,
+            [
+                participants.len() as u64,
+                (new_local.len() + new_remote.len()) as u64,
+                ctx_class(ctx),
+                attempt,
+            ],
+        );
+        // One designated revoker: the Revoke trace event fires only on the
+        // newly-revoking caller, so racing revokes would be digest-racy.
+        if self.my_global == sponsor {
+            self.shared.revoke_context(self.context);
+        }
+        let report = ReconfigReport {
+            old_local_group: self.local_group.to_vec(),
+            old_remote_group: self.remote_group.to_vec(),
+            new_local_group: new_local.clone(),
+            new_remote_group: new_remote.clone(),
+            epoch,
+            attempt,
+        };
+        let ic = new_local.iter().position(|&g| g == self.my_global).map(|r| InterComm {
+            shared: self.shared.clone(),
+            local_rank: r,
+            local_size: new_local.len(),
+            my_global: self.my_global,
+            local_group: Arc::new(new_local),
+            remote_group: Arc::new(new_remote),
+            context: ctx,
+            side: self.side,
+            recovery_seq: Cell::new(0),
+        });
+        Ok((ic, report))
+    }
+
+    /// Grows the intercomm: appends `add_local` / `add_remote` (global
+    /// ranks, each parked in [`InterComm::await_join`]) to the two groups.
+    /// Collective over every incumbent member; see
+    /// [`InterComm::reconfigure`] for the handshake and abort semantics.
+    pub fn expand(
+        &self,
+        add_local: &[usize],
+        add_remote: &[usize],
+    ) -> Result<(InterComm, ReconfigReport)> {
+        let mut new_local = self.local_group.to_vec();
+        new_local.extend_from_slice(add_local);
+        let mut new_remote = self.remote_group.to_vec();
+        new_remote.extend_from_slice(add_remote);
+        let (ic, report) = self.reconfigure(new_local, new_remote)?;
+        Ok((ic.expect("expand keeps every incumbent member"), report))
+    }
+
+    /// Gracefully contracts the intercomm to the given *local ranks* on
+    /// each side (ascending), with the leavers still participating in the
+    /// commit vote (unlike [`InterComm::shrink_with_report`], which drops
+    /// the dead). Leavers receive `(None, report)`; the data they own can
+    /// be moved off before the old context is retired via the report.
+    pub fn contract(
+        &self,
+        keep_local_ranks: &[usize],
+        keep_remote_ranks: &[usize],
+    ) -> Result<(Option<InterComm>, ReconfigReport)> {
+        let pick = |group: &[usize], keep: &[usize]| -> Result<Vec<usize>> {
+            keep.iter()
+                .map(|&r| {
+                    group
+                        .get(r)
+                        .copied()
+                        .ok_or(RuntimeError::InvalidRank { rank: r, size: group.len() })
+                })
+                .collect()
+        };
+        let new_local = pick(&self.local_group, keep_local_ranks)?;
+        let new_remote = pick(&self.remote_group, keep_remote_ranks)?;
+        self.reconfigure(new_local, new_remote)
+    }
+
+    /// Parks a newcomer rank until a reconfiguration sponsor invites it,
+    /// then takes part in the commit vote. `world` must be the rank's world
+    /// communicator. On commit returns the newcomer's handle in the new
+    /// epoch; on an aborted handshake returns
+    /// [`RuntimeError::ReconfigAborted`] (the caller may park again for the
+    /// retry), and on `timeout` without any invitation the underlying
+    /// [`RuntimeError::Timeout`].
+    pub fn await_join(world: &Comm, timeout: Duration) -> Result<InterComm> {
+        Self::await_join_with_report(world, timeout).map(|(ic, _)| ic)
+    }
+
+    /// [`InterComm::await_join`] plus the same [`ReconfigReport`] every
+    /// incumbent receives from [`InterComm::expand`], so a joiner can
+    /// drive the data-rebind half of the reconfiguration (it needs the
+    /// old groups to know who holds the pre-grow shards).
+    pub fn await_join_with_report(
+        world: &Comm,
+        timeout: Duration,
+    ) -> Result<(InterComm, ReconfigReport)> {
+        let shared = world.shared().clone();
+        let my_global = world.global_rank();
+        let was_armed = shared.fault().map(|fp| fp.is_armed(my_global));
+        shared.fault_set_armed(my_global, false);
+        let result = Self::await_join_inner(&shared, world, my_global, timeout);
+        if was_armed == Some(true) {
+            shared.fault_set_armed(my_global, true);
+        }
+        result
+    }
+
+    fn await_join_inner(
+        shared: &Arc<WorldShared>,
+        world: &Comm,
+        my_global: usize,
+        timeout: Duration,
+    ) -> Result<(InterComm, ReconfigReport)> {
+        let offer: JoinOffer = world.recv_timeout(Src::Any, JOIN_TAG, timeout)?;
+        let liveness = shared.liveness();
+        let mut alive_mask = 0u64;
+        for (i, &g) in offer.participants.iter().enumerate() {
+            if !liveness.is_dead(g) {
+                alive_mask |= 1 << i;
+            }
+        }
+        let agreed =
+            agree_over(shared, my_global, &offer.participants, offer.context, 0, alive_mask)?;
+        if agreed != Self::full_mask(offer.participants.len()) {
+            return Err(RuntimeError::ReconfigAborted {
+                context: offer.context,
+                attempt: offer.attempt,
+            });
+        }
+        emit_instant(
+            EventId::Expand,
+            [
+                offer.participants.len() as u64,
+                (offer.local_group.len() + offer.remote_group.len()) as u64,
+                ctx_class(offer.context),
+                offer.attempt,
+            ],
+        );
+        let report = ReconfigReport {
+            old_local_group: offer.old_local_group,
+            old_remote_group: offer.old_remote_group,
+            new_local_group: offer.local_group.clone(),
+            new_remote_group: offer.remote_group.clone(),
+            epoch: offer.epoch,
+            attempt: offer.attempt,
+        };
+        let ic = InterComm {
+            shared: shared.clone(),
+            local_rank: offer.local_rank,
+            local_size: offer.local_group.len(),
+            my_global,
+            local_group: Arc::new(offer.local_group),
+            remote_group: Arc::new(offer.remote_group),
+            context: offer.context,
+            side: offer.side,
+            recovery_seq: Cell::new(0),
+        };
+        Ok((ic, report))
+    }
 }
 
 #[cfg(test)]
@@ -589,6 +934,137 @@ mod tests {
             assert!(first, "unanimous yes commits");
             assert!(!second, "one dissent rolls everyone back");
         }
+    }
+
+    #[test]
+    fn expand_admits_newcomers_on_both_sides() {
+        World::run(6, |p| {
+            let world = p.world();
+            // Start: side 0 = {0,1}, side 1 = {2,3}; ranks 4 and 5 are
+            // spare capacity that joins one side each.
+            let color = if p.rank() < 4 { 0 } else { -1 };
+            let pair = world.split(color, 0).unwrap();
+            if p.rank() >= 4 {
+                let ic = InterComm::await_join(world, Duration::from_secs(5)).unwrap();
+                assert_eq!(ic.side(), usize::from(p.rank() == 5));
+                assert_eq!(ic.local_rank(), 2, "appended after the incumbents");
+                assert_eq!(ic.local_size(), 3);
+                assert_eq!(ic.remote_size(), 3);
+                // The new epoch carries traffic newcomer-to-newcomer.
+                let (mine, theirs) = (p.rank() as u64, if p.rank() == 4 { 5 } else { 4 });
+                ic.send(2, 9, mine).unwrap();
+                assert_eq!(ic.recv::<u64>(2, 9).unwrap(), theirs);
+                return;
+            }
+            let side = usize::from(p.rank() >= 2);
+            let (_, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+            let (add_local, add_remote) =
+                if side == 0 { (&[4][..], &[5][..]) } else { (&[5][..], &[4][..]) };
+            let (grown, report) = ic.expand(add_local, add_remote).unwrap();
+            assert_eq!(report.epoch, 1);
+            assert_eq!(grown.local_size(), 3);
+            assert_eq!(grown.remote_size(), 3);
+            assert_eq!(grown.local_rank(), ic.local_rank(), "incumbents keep their rank");
+            if side == 0 {
+                assert_eq!(report.old_local_group, vec![0, 1]);
+                assert_eq!(report.new_local_group, vec![0, 1, 4]);
+                assert_eq!(report.new_remote_group, vec![2, 3, 5]);
+            }
+            // The old epoch is retired (by the sponsor, so slightly after
+            // other ranks commit): stale traffic cannot match.
+            while !ic.is_revoked() {
+                std::thread::yield_now();
+            }
+            // And the grown channel works incumbent-to-incumbent too.
+            grown.send(grown.local_rank(), 3, p.rank() as u64).unwrap();
+            let (v, info) = grown.recv_with_info::<u64>(Src::Any, 3).unwrap();
+            assert_eq!(info.src, grown.local_rank());
+            let expect = if side == 0 { p.rank() + 2 } else { p.rank() - 2 };
+            assert_eq!(v, expect as u64);
+        });
+    }
+
+    #[test]
+    fn expand_aborts_and_rolls_back_when_newcomer_dies_then_retry_commits() {
+        use crate::fault::FaultConfig;
+        let cfg = FaultConfig::reliable(17);
+        World::run_with_faults(6, cfg, |p| {
+            let world = p.world();
+            // side 0 = {0,1}, side 1 = {2,3}; rank 4 dies before joining,
+            // rank 5 is the healthy spare the retry admits instead.
+            let color = if p.rank() < 4 { 0 } else { -1 };
+            let pair = world.split(color, 0).unwrap();
+            if p.rank() == 4 {
+                p.kill_rank(4);
+                return;
+            }
+            if p.rank() == 5 {
+                let ic = InterComm::await_join(world, Duration::from_secs(5)).unwrap();
+                assert_eq!(ic.local_rank(), 2);
+                assert_eq!(ic.recv::<u64>(0, 11).unwrap(), 7);
+                return;
+            }
+            // The kill must be visible before the vote so every incumbent
+            // observes the same (partial) alive set.
+            while !p.is_dead(4) {
+                std::thread::yield_now();
+            }
+            let side = usize::from(p.rank() >= 2);
+            let (_, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+            let attempt1 =
+                if side == 0 { ic.expand(&[4], &[]) } else { ic.expand(&[], &[4]) }.unwrap_err();
+            assert!(attempt1.is_reconfig_aborted(), "dead joiner aborts the vote: {attempt1}");
+            // Transactional rollback: the old epoch is untouched and live.
+            assert!(!ic.is_revoked());
+            ic.send(ic.local_rank(), 3, p.rank() as u64).unwrap();
+            let echoed = ic.recv::<u64>(ic.local_rank(), 3).unwrap();
+            let expect = if side == 0 { p.rank() + 2 } else { p.rank() - 2 };
+            assert_eq!(echoed, expect as u64);
+            // Retry with the healthy spare commits on a fresh attempt.
+            let (grown, report) =
+                if side == 0 { ic.expand(&[5], &[]) } else { ic.expand(&[], &[5]) }.unwrap();
+            assert_eq!(report.attempt, 1, "second attempt");
+            assert_eq!(grown.local_size() + grown.remote_size(), 5);
+            // Rank 5 joined side 0; side 1's first rank greets it.
+            if p.rank() == 2 {
+                grown.send(2, 11, 7u64).unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn contract_retires_leavers_gracefully() {
+        World::run(5, |p| {
+            // side 0 = {0,1,2}, side 1 = {3,4}; local rank 2 of side 0
+            // leaves voluntarily (no death involved).
+            let side = usize::from(p.rank() >= 3);
+            let (_, ic) = InterComm::create(p.world(), side).unwrap();
+            let (shrunk, report) = ic.contract(&[0, 1], &[0, 1]).unwrap();
+            assert_eq!(report.epoch, 1);
+            if p.rank() == 2 {
+                assert!(shrunk.is_none(), "leavers get no handle in the new epoch");
+                assert_eq!(report.new_local_group, vec![0, 1]);
+                return;
+            }
+            let shrunk = shrunk.unwrap();
+            assert_eq!(shrunk.local_size() + shrunk.remote_size(), 4);
+            // Retired by the sponsor once the contract commits.
+            while !ic.is_revoked() {
+                std::thread::yield_now();
+            }
+            shrunk.send(shrunk.local_rank(), 6, p.rank() as u64).unwrap();
+            let v = shrunk.recv::<u64>(shrunk.local_rank(), 6).unwrap();
+            let expect = if side == 0 { p.rank() + 3 } else { p.rank() - 3 };
+            assert_eq!(v, expect as u64);
+        });
+    }
+
+    #[test]
+    fn await_join_times_out_without_invitation() {
+        World::run(1, |p| {
+            let e = InterComm::await_join(p.world(), Duration::from_millis(10)).unwrap_err();
+            assert!(matches!(e, RuntimeError::Timeout { .. }));
+        });
     }
 
     #[test]

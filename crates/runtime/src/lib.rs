@@ -57,6 +57,7 @@ pub mod msgsize;
 pub mod network;
 pub mod ops;
 pub mod request;
+pub mod rma;
 pub mod shared;
 pub mod stats;
 pub mod tracing;
@@ -74,10 +75,11 @@ pub use fault::{
     RankDeath,
 };
 pub use intercomm::InterComm;
-pub use membership::{Membership, Revocations, ShrinkReport};
+pub use membership::{Membership, ReconfigReport, Revocations, ShrinkReport};
 pub use msgsize::MsgSize;
 pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};
+pub use rma::RmaWindow;
 pub use stats::{
     record_buffer_lease, record_pool_bytes, record_schedule_build, record_schedule_copy,
     record_transfer_acquired, record_transfer_released, reset_schedule_stats, schedule_stats,

@@ -53,6 +53,16 @@ use mxn_trace::{emit_instant, span, EventId};
 /// and below [`COLLECTIVE_TAG_BASE`], so neither plane can match it.
 pub(crate) const RECOVERY_TAG_BASE: i32 = COLLECTIVE_TAG_BASE - (1 << 22);
 
+/// Tag for [`JoinOffer`] invitations to newcomer ranks, sent over the world
+/// context by a reconfiguration's sponsor. Sits just below the agreement
+/// tag range (and far above any tag an RMA window can produce).
+pub(crate) const JOIN_TAG: i32 = RECOVERY_TAG_BASE - 1;
+
+/// Base of the tag range reserved for one-sided RMA window traffic (see
+/// [`crate::rma`]). A window's tags span `RMA_TAG_BASE ..= RMA_TAG_BASE +
+/// 0x3fff`, well below [`JOIN_TAG`].
+pub(crate) const RMA_TAG_BASE: i32 = RECOVERY_TAG_BASE - (1 << 22);
+
 /// Per-peer wait inside `agree` before a silent participant is excluded.
 /// Alive peers in this in-process runtime deliver promptly; only a dead
 /// peer's missing contribution pays this (and usually fails fast via the
@@ -83,10 +93,16 @@ impl MsgSize for AgreeMsg {
 
 /// Registry for a shrink epoch: `(old context, survivor mask)` → the fresh
 /// context pair and the 1-based shrink count of that old context.
+/// `reconfigs` is the expand-direction twin, keyed additionally on the
+/// attempt number so a retry after an aborted handshake gets a fresh
+/// context (and therefore fresh agreement tags) instead of colliding with
+/// stale traffic from the failed attempt.
 #[derive(Default)]
 struct RecoveryTable {
     contexts: HashMap<(u32, u64), (u32, u64)>,
     shrinks: HashMap<u32, u64>,
+    reconfigs: HashMap<(u32, u64, u64), (u32, u64)>,
+    reconfig_counts: HashMap<u32, u64>,
 }
 
 /// World-global revocation state: which context pairs are poisoned, the
@@ -169,6 +185,33 @@ impl Revocations {
         t.contexts.insert((old, mask), (ctx, epoch));
         (ctx, epoch)
     }
+
+    /// Returns the proposed context for reconfiguration attempt `attempt`
+    /// of `old` toward the membership described by `mask`, allocating via
+    /// `alloc` on first arrival. Every incumbent participant of one
+    /// reconfiguration computes the same key and therefore reads the same
+    /// `(context, reconfig_epoch)` without extra messaging; newcomers learn
+    /// it from their [`JoinOffer`].
+    pub(crate) fn reconfig_context(
+        &self,
+        old: u32,
+        mask: u64,
+        attempt: u64,
+        alloc: impl FnOnce() -> u32,
+    ) -> (u32, u64) {
+        let mut t = self.table.lock();
+        if let Some(&found) = t.reconfigs.get(&(old, mask, attempt)) {
+            return found;
+        }
+        let ctx = alloc();
+        let epoch = {
+            let e = t.reconfig_counts.entry(old).or_insert(0);
+            *e += 1;
+            *e
+        };
+        t.reconfigs.insert((old, mask, attempt), (ctx, epoch));
+        (ctx, epoch)
+    }
 }
 
 /// What an intercomm shrink decided, in *old* rank numbering — the data a
@@ -183,6 +226,66 @@ pub struct ShrinkReport {
     pub remote_survivors: Vec<usize>,
     /// 1-based count of shrinks this channel has undergone.
     pub epoch: u64,
+}
+
+/// What an intercomm reconfiguration (expand or graceful contract)
+/// committed, in *global* rank numbering and from the caller's own
+/// perspective (`local` = the caller's side) — the data a coupling layer
+/// needs to re-derive decompositions over both memberships and move the
+/// elements between epochs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconfigReport {
+    /// Global ranks of the caller's side before the reconfiguration.
+    pub old_local_group: Vec<usize>,
+    /// Global ranks of the opposite side before the reconfiguration.
+    pub old_remote_group: Vec<usize>,
+    /// Global ranks of the caller's side after the reconfiguration.
+    pub new_local_group: Vec<usize>,
+    /// Global ranks of the opposite side after the reconfiguration.
+    pub new_remote_group: Vec<usize>,
+    /// 1-based count of reconfigurations this channel has undergone.
+    pub epoch: u64,
+    /// The attempt number that committed.
+    pub attempt: u64,
+}
+
+/// The sponsor's invitation to one newcomer rank: everything the joiner
+/// needs to take part in the commit vote and, on commit, construct its
+/// intercomm handle. Groups are written from the *joiner's* perspective
+/// (`local` = the side it is joining).
+#[derive(Debug, Clone)]
+pub(crate) struct JoinOffer {
+    /// Which intercomm side the newcomer joins (0 or 1).
+    pub side: usize,
+    /// The newcomer's local rank within its side's new group.
+    pub local_rank: usize,
+    /// The proposed context pair base for the new epoch.
+    pub context: u32,
+    /// Reconfiguration attempt number of the proposing handshake.
+    pub attempt: u64,
+    /// 1-based reconfiguration epoch of the channel.
+    pub epoch: u64,
+    /// Global ranks of the joiner's side after the reconfiguration.
+    pub local_group: Vec<usize>,
+    /// Global ranks of the opposite side after the reconfiguration.
+    pub remote_group: Vec<usize>,
+    /// Pre-reconfiguration groups, joiner's perspective — for data rebind.
+    pub old_local_group: Vec<usize>,
+    /// Pre-reconfiguration opposite side, joiner's perspective.
+    pub old_remote_group: Vec<usize>,
+    /// Sorted union of old and new members: the vote membership.
+    pub participants: Vec<usize>,
+}
+
+impl MsgSize for JoinOffer {
+    fn msg_size(&self) -> usize {
+        let vec_elems = self.local_group.len()
+            + self.remote_group.len()
+            + self.old_local_group.len()
+            + self.old_remote_group.len()
+            + self.participants.len();
+        vec_elems * std::mem::size_of::<usize>() + 5 * std::mem::size_of::<u64>()
+    }
 }
 
 /// Fault-tolerant agreement over `members` (world ranks, identical order on
@@ -476,6 +579,31 @@ mod tests {
         assert_eq!(c, 42);
         assert_eq!(e3, 2, "second shrink of the same channel");
     }
+
+    #[test]
+    fn reconfig_context_registry_keys_on_attempt() {
+        let r = Revocations::new();
+        let (a, e1) = r.reconfig_context(6, 0b111, 0, || 50);
+        let (b, e2) = r.reconfig_context(6, 0b111, 0, || panic!("must not re-allocate"));
+        assert_eq!((a, e1), (b, e2));
+        // A retry after an aborted handshake is a different attempt:
+        // fresh context, next reconfig epoch.
+        let (c, e3) = r.reconfig_context(6, 0b111, 1, || 52);
+        assert_eq!(c, 52);
+        assert_eq!(e3, 2);
+        // Independent of the shrink registry.
+        let (d, s1) = r.survivor_context(6, 0b111, || 54);
+        assert_eq!((d, s1), (54, 1));
+    }
+
+    // Tag-layout invariants, pinned at compile time: join offers sit below
+    // the recovery plane, RMA window tags cannot collide with join offers,
+    // and everything stays far above application tags.
+    const _: () = {
+        assert!(JOIN_TAG < RECOVERY_TAG_BASE);
+        assert!(RMA_TAG_BASE + 0x3fff < JOIN_TAG);
+        assert!(RMA_TAG_BASE > 0);
+    };
 
     #[test]
     fn revocation_epoch_counts_pairs() {

@@ -159,6 +159,15 @@ impl WorldShared {
         self.revocations.survivor_context(old_context, mask, || self.allocate_context_pair())
     }
 
+    /// Proposed context pair for reconfiguration attempt `attempt` of
+    /// `old_context` toward the membership `mask`: the first incumbent to
+    /// call allocates a fresh pair, every later incumbent of the same
+    /// attempt reads the identical `(context, reconfig_epoch)` back.
+    pub fn reconfig_context(&self, old_context: u32, mask: u64, attempt: u64) -> (u32, u64) {
+        self.revocations
+            .reconfig_context(old_context, mask, attempt, || self.allocate_context_pair())
+    }
+
     /// The canonical trace of injected faults (empty without a fault plane).
     pub fn fault_trace(&self) -> FaultTrace {
         self.fault.as_ref().map(|f| f.trace()).unwrap_or_default()

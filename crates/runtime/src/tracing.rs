@@ -6,8 +6,9 @@
 //! these codes are part of the golden-trace format — never renumber, only
 //! append.
 
-use crate::envelope::{Src, Tag};
+use crate::envelope::{Src, Tag, COLLECTIVE_TAG_BASE};
 use crate::error::RuntimeError;
+use crate::membership::RECOVERY_TAG_BASE;
 use crate::stats::WorldStats;
 use mxn_trace::{emit_instant, EventId};
 
@@ -104,7 +105,19 @@ pub(crate) fn tag_pat_arg(tag: Tag) -> u64 {
 
 /// Concrete tag encoded for trace args (`i32` bit pattern, zero-extended,
 /// so negative tags stay deterministic and fit in 32 bits).
+///
+/// Recovery-plane agreement tags embed the context id of the communicator
+/// the agreement runs on (bits 8..18 above [`RECOVERY_TAG_BASE`]), and
+/// context ids are *physical* — see [`ctx_class`]. Tags in that range have
+/// their channel bits replaced by the context class, keeping the logical
+/// sequence/round bits, so agreement traffic digests identically across
+/// runs that ordered their context allocations differently.
 pub(crate) fn tag_arg(tag: i32) -> u64 {
+    if (RECOVERY_TAG_BASE..COLLECTIVE_TAG_BASE).contains(&tag) {
+        let rel = (tag - RECOVERY_TAG_BASE) as u32;
+        let class = ctx_class((rel >> 8) & 0x3ff);
+        return RECOVERY_TAG_BASE as u64 + (class << 8) + (rel & 0xff) as u64;
+    }
     tag as u32 as u64
 }
 
@@ -151,6 +164,23 @@ mod tests {
         assert_eq!(ctx_class(10), 2);
         assert_eq!(ctx_class(3), 3);
         assert_eq!(ctx_class(11), 3);
+    }
+
+    #[test]
+    fn recovery_tags_drop_their_physical_channel_bits() {
+        // Two agreements that differ only in the (racy) context id of the
+        // communicator they run on — same class, same seq, same round —
+        // must record the same arg.
+        let tag_for =
+            |ch: i32, seq: i32, round: i32| RECOVERY_TAG_BASE + (ch << 8) + (seq << 2) + round;
+        assert_eq!(tag_arg(tag_for(4, 3, 1)), tag_arg(tag_for(6, 3, 1)));
+        // Different classes, sequences, or rounds stay distinguishable.
+        assert_ne!(tag_arg(tag_for(4, 3, 1)), tag_arg(tag_for(5, 3, 1)));
+        assert_ne!(tag_arg(tag_for(4, 3, 1)), tag_arg(tag_for(4, 2, 1)));
+        assert_ne!(tag_arg(tag_for(4, 3, 1)), tag_arg(tag_for(4, 3, 0)));
+        // Tags outside the recovery range are untouched.
+        assert_eq!(tag_arg(RECOVERY_TAG_BASE - 1), (RECOVERY_TAG_BASE - 1) as u64);
+        assert_eq!(tag_arg(COLLECTIVE_TAG_BASE), COLLECTIVE_TAG_BASE as u64);
     }
 
     #[test]

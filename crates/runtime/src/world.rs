@@ -101,6 +101,22 @@ impl World {
         Self::run_with_stats(n, f).0
     }
 
+    /// Runs an *elastic* computation: a universe of `capacity` ranks (the
+    /// `MPI_UNIVERSE_SIZE` analogue) of which only the first `active` start
+    /// out as workers; the rest are spare capacity. `f` receives
+    /// `(process, is_active)` — spares typically park in
+    /// [`crate::InterComm::await_join`] until an expand epoch admits them.
+    /// Liveness, mailboxes and the fault plane are provisioned for the full
+    /// capacity, so admission is purely a membership-level handshake.
+    pub fn run_elastic<R, F>(active: usize, capacity: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Process, bool) -> R + Send + Sync,
+    {
+        assert!(active <= capacity, "active ranks cannot exceed the universe capacity");
+        Self::run(capacity, move |p| f(p, p.rank() < active))
+    }
+
     /// Like [`World::run`] but every inter-rank message is delayed by the
     /// synthetic [`NetworkModel`] — cluster-shaped timing on one machine.
     pub fn run_with_network<R, F>(n: usize, network: NetworkModel, f: F) -> Vec<R>

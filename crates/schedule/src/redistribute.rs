@@ -131,7 +131,9 @@ where
 
 /// Cached variant of [`send_redistributed_budgeted`] for persistent
 /// couplings: both the pairwise schedule and the planned route (keyed on
-/// descriptors, element size, and budget) come from `cache`.
+/// descriptors, element size, and budget) come from `cache`. Epoch 0 — a
+/// connection that has healed or reconfigured must use
+/// [`send_redistributed_budgeted_cached_for_epoch`] instead.
 pub fn send_redistributed_budgeted_cached<T>(
     cache: &ScheduleCache,
     ic: &InterComm,
@@ -144,10 +146,7 @@ pub fn send_redistributed_budgeted_cached<T>(
 where
     T: Copy + Send + MsgSize + 'static,
 {
-    let planner = RoutePlanner::default();
-    let route = cache.route_for(src, dst, size_of::<T>(), budget_bytes, false, &planner);
-    let sched = cache.get_or_build(src, dst, ic.local_rank(), Role::Sender);
-    execute_send_routed(&route, &sched, ic, local, tag, &mut budget_pool(&route))
+    send_redistributed_budgeted_cached_for_epoch(cache, ic, src, dst, local, tag, budget_bytes, 0)
 }
 
 /// Receiver counterpart of [`send_redistributed_budgeted_cached`].
@@ -162,9 +161,55 @@ pub fn recv_redistributed_budgeted_cached<T>(
 where
     T: Copy + Default + Send + MsgSize + 'static,
 {
+    recv_redistributed_budgeted_cached_for_epoch(cache, ic, src, dst, tag, budget_bytes, 0)
+}
+
+/// [`send_redistributed_budgeted_cached`] salted with a recovery or
+/// reconfiguration epoch. The schedule cache keys routes on descriptor
+/// fingerprints *and* the epoch; an epoch change forces a fresh profile
+/// and plan even when the fingerprints are byte-identical to a previous
+/// topology's — which grow→shrink cycles that return to the original
+/// decomposition produce. Connections that heal or reconfigure must thread
+/// their current epoch through here, or a post-heal transfer silently runs
+/// a route profiled for the old world.
+#[allow(clippy::too_many_arguments)]
+pub fn send_redistributed_budgeted_cached_for_epoch<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    local: &LocalArray<T>,
+    tag: i32,
+    budget_bytes: u64,
+    epoch: u64,
+) -> Result<usize>
+where
+    T: Copy + Send + MsgSize + 'static,
+{
     let planner = RoutePlanner::default();
-    let route = cache.route_for(src, dst, size_of::<T>(), budget_bytes, false, &planner);
-    let sched = cache.get_or_build(src, dst, ic.local_rank(), Role::Receiver);
+    let route =
+        cache.route_for_epoch(src, dst, size_of::<T>(), budget_bytes, false, &planner, epoch);
+    let sched = cache.get_or_build_for_epoch(src, dst, ic.local_rank(), Role::Sender, epoch);
+    execute_send_routed(&route, &sched, ic, local, tag, &mut budget_pool(&route))
+}
+
+/// Receiver counterpart of [`send_redistributed_budgeted_cached_for_epoch`].
+pub fn recv_redistributed_budgeted_cached_for_epoch<T>(
+    cache: &ScheduleCache,
+    ic: &InterComm,
+    src: &Dad,
+    dst: &Dad,
+    tag: i32,
+    budget_bytes: u64,
+    epoch: u64,
+) -> Result<LocalArray<T>>
+where
+    T: Copy + Default + Send + MsgSize + 'static,
+{
+    let planner = RoutePlanner::default();
+    let route =
+        cache.route_for_epoch(src, dst, size_of::<T>(), budget_bytes, false, &planner, epoch);
+    let sched = cache.get_or_build_for_epoch(src, dst, ic.local_rank(), Role::Receiver, epoch);
     let mut local = LocalArray::allocate(dst, ic.local_rank());
     execute_recv_routed(&route, &sched, ic, &mut local, tag, &mut budget_pool(&route))?;
     Ok(local)
@@ -375,6 +420,60 @@ mod tests {
                     assert_eq!(v, (idx[0] * 24 + idx[1]) as f32);
                 }
             }
+        });
+    }
+
+    #[test]
+    fn budgeted_cached_replans_when_only_the_epoch_changes() {
+        // A grow→shrink cycle that returns to the original decomposition
+        // reproduces byte-identical descriptor fingerprints; the epoch salt
+        // is then the *only* thing forcing a re-profile, and the plain
+        // `*_budgeted_cached` wrappers used to drop it (always epoch 0).
+        let budget = 2000u64;
+        Universe::run(&[2, 3], move |_, ctx| {
+            let e = Extents::new([24, 24]);
+            let src = Dad::block(e.clone(), &[2, 1]).unwrap();
+            let dst = Dad::block(e, &[3, 1]).unwrap();
+            let cache = ScheduleCache::new();
+            for epoch in 0..2u64 {
+                if ctx.program == 0 {
+                    let local = LocalArray::from_fn(&src, ctx.comm.rank(), |idx| {
+                        (idx[0] * 24 + idx[1]) as f32 + epoch as f32
+                    });
+                    send_redistributed_budgeted_cached_for_epoch(
+                        &cache,
+                        ctx.intercomm(1),
+                        &src,
+                        &dst,
+                        &local,
+                        epoch as i32,
+                        budget,
+                        epoch,
+                    )
+                    .unwrap();
+                } else {
+                    let local: LocalArray<f32> = recv_redistributed_budgeted_cached_for_epoch(
+                        &cache,
+                        ctx.intercomm(0),
+                        &src,
+                        &dst,
+                        epoch as i32,
+                        budget,
+                        epoch,
+                    )
+                    .unwrap();
+                    // The post-reconfiguration transfer still fits: fresh
+                    // plan, correct contents.
+                    for (idx, &v) in local.iter() {
+                        assert_eq!(v, (idx[0] * 24 + idx[1]) as f32 + epoch as f32);
+                    }
+                }
+            }
+            assert_eq!(
+                cache.routes_len(),
+                2,
+                "identical fingerprints must still re-plan across epochs"
+            );
         });
     }
 

@@ -131,10 +131,26 @@ pub enum EventId {
     /// One step of a compiled redistribution route; Begin args =
     /// `[kind, step_index, step_bytes, step_peak_bytes]`.
     RouteStep = 34,
+    /// An RMA window was exposed (collective epoch open); args =
+    /// `[win_id, exposed_elems, members, 0]`.
+    RmaExpose = 35,
+    /// One-sided put issued against a window; args =
+    /// `[win_id, target, dst_off, elems]`.
+    RmaPut = 36,
+    /// One-sided get issued against a window; args =
+    /// `[win_id, target, runs, elems]`.
+    RmaGet = 37,
+    /// RMA fence span completing a window epoch; Begin args =
+    /// `[win_id, my_puts, my_gets, 0]`, End args =
+    /// `[win_id, served_puts, served_gets, 0]`.
+    RmaFence = 38,
+    /// An intercomm membership reconfiguration (grow or graceful contract)
+    /// committed; args = `[participants, new_total, new_context, attempt]`.
+    Expand = 39,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 34] = [
+pub const ALL_EVENT_IDS: [EventId; 39] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -169,6 +185,11 @@ pub const ALL_EVENT_IDS: [EventId; 34] = [
     EventId::ServePark,
     EventId::RoutePlan,
     EventId::RouteStep,
+    EventId::RmaExpose,
+    EventId::RmaPut,
+    EventId::RmaGet,
+    EventId::RmaFence,
+    EventId::Expand,
 ];
 
 impl EventId {
@@ -209,6 +230,11 @@ impl EventId {
             EventId::ServePark => "ServePark",
             EventId::RoutePlan => "RoutePlan",
             EventId::RouteStep => "RouteStep",
+            EventId::RmaExpose => "RmaExpose",
+            EventId::RmaPut => "RmaPut",
+            EventId::RmaGet => "RmaGet",
+            EventId::RmaFence => "RmaFence",
+            EventId::Expand => "Expand",
         }
     }
 
@@ -234,7 +260,9 @@ impl EventId {
             | EventId::Shrink
             | EventId::Heal
             | EventId::Commit
-            | EventId::Rollback => "recovery",
+            | EventId::Rollback
+            | EventId::Expand => "recovery",
+            EventId::RmaExpose | EventId::RmaPut | EventId::RmaGet | EventId::RmaFence => "rma",
             EventId::WireConnect
             | EventId::WireReconnect
             | EventId::WireFrameCorrupt
@@ -956,6 +984,8 @@ mod tests {
         assert_eq!(EventId::FaultInject as u16, 18);
         assert_eq!(EventId::Revoke as u16, 19);
         assert_eq!(EventId::Rollback as u16, 24);
+        assert_eq!(EventId::RmaExpose as u16, 35);
+        assert_eq!(EventId::Expand as u16, 39);
         for id in ALL_EVENT_IDS {
             assert_eq!(EventId::from_u16(id as u16), Some(id));
         }

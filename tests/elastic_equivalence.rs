@@ -1,0 +1,224 @@
+//! The elastic grow/shrink equivalence test plane.
+//!
+//! Property: a chain of elastic reconfigurations — grow, shrink, grow
+//! again, at randomized Δp — moves the field through the one-sided RMA
+//! window so that after *every* stage each member's shard is
+//! byte-identical to the fault-free oracle (`LocalArray::from_fn` on the
+//! stage's decomposition). Exercised across the same five descriptor
+//! families as `route_equivalence.rs` (block grids, block-cyclic × cyclic,
+//! gen-block, implicit owners, explicit quadrants), with non-power-of-two
+//! membership sizes, scattered (non-prefix) survivor sets, and leavers
+//! rejoining on the second grow.
+
+use mxn_core::redistribute_elastic;
+use mxn_dad::{AxisDist, Dad, ExplicitDist, Extents, LocalArray, Region, Template};
+use mxn_runtime::{Comm, World};
+use proptest::prelude::*;
+
+/// splitmix64, so descriptor construction is deterministic per drawn seed.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn pick(state: &mut u64, lo: usize, hi: usize) -> usize {
+    lo + (next(state) % (hi - lo) as u64) as usize
+}
+
+/// The five descriptor families of `route_equivalence.rs`.
+fn make_dad(rows: usize, cols: usize, family: u8, seed: u64) -> Dad {
+    let mut s = seed;
+    let e = Extents::new([rows, cols]);
+    match family % 5 {
+        0 => {
+            let gr = pick(&mut s, 1, rows.min(5));
+            let gc = pick(&mut s, 1, cols.min(4));
+            Dad::block(e, &[gr, gc]).unwrap()
+        }
+        1 => Dad::regular(
+            Template::new(
+                e,
+                vec![
+                    AxisDist::BlockCyclic { block: pick(&mut s, 1, 4), nprocs: pick(&mut s, 1, 4) },
+                    AxisDist::Cyclic { nprocs: pick(&mut s, 1, 4) },
+                ],
+            )
+            .unwrap(),
+        ),
+        2 => {
+            let nb = pick(&mut s, 1, 5);
+            let mut sizes = vec![0usize; nb];
+            for _ in 0..rows {
+                sizes[pick(&mut s, 0, nb)] += 1;
+            }
+            Dad::regular(
+                Template::new(e, vec![AxisDist::GenBlock { sizes }, AxisDist::Collapsed]).unwrap(),
+            )
+        }
+        3 => {
+            let nprocs = pick(&mut s, 1, 5);
+            let owners = (0..rows).map(|_| pick(&mut s, 0, nprocs)).collect();
+            Dad::regular(
+                Template::new(
+                    e,
+                    vec![
+                        AxisDist::Implicit { owners, nprocs },
+                        AxisDist::Block { nprocs: pick(&mut s, 1, 3) },
+                    ],
+                )
+                .unwrap(),
+            )
+        }
+        _ => {
+            let r = pick(&mut s, 1, rows);
+            let c = pick(&mut s, 1, cols);
+            let quads = [
+                Region::new([0, 0], [r, c]),
+                Region::new([0, c], [r, cols]),
+                Region::new([r, 0], [rows, c]),
+                Region::new([r, c], [rows, cols]),
+            ];
+            let nranks = pick(&mut s, 1, 5);
+            let patches = quads.into_iter().map(|q| (q, pick(&mut s, 0, nranks))).collect();
+            Dad::explicit(ExplicitDist::new(e, patches, nranks).unwrap())
+        }
+    }
+}
+
+fn value(idx: &[usize], cols: usize) -> f64 {
+    (idx[0] * cols + idx[1]) as f64 + 1.0
+}
+
+/// One rank's view of an elastic chain: runs every stage transition it is
+/// party to, carrying its shard from stage to stage and checking it
+/// against the fault-free oracle after each hop.
+///
+/// `stages[k]` is `(dad, members)` — the decomposition and the sorted
+/// world-rank membership of stage `k`.
+fn run_chain(world: &Comm, cols: usize, stages: &[(Dad, Vec<usize>)]) {
+    let me = world.rank();
+    let (first_dad, first_members) = &stages[0];
+    let mut cur: Option<(usize, LocalArray<f64>)> = first_members
+        .iter()
+        .position(|&r| r == me)
+        .map(|pos| (pos, LocalArray::from_fn(first_dad, pos, |idx| value(idx, cols))));
+    for k in 1..stages.len() {
+        let (old_dad, old_members) = &stages[k - 1];
+        let (new_dad, new_members) = &stages[k];
+        let in_union = old_members.contains(&me) || new_members.contains(&me);
+        if !in_union {
+            continue;
+        }
+        let my_new = new_members.iter().position(|&r| r == me);
+        let got = redistribute_elastic(
+            world,
+            k as u32,
+            old_dad,
+            new_dad,
+            old_members,
+            new_members,
+            cur.as_ref().map(|(r, a)| (*r, a)),
+            my_new,
+        )
+        .unwrap();
+        cur = my_new.and_then(|r| got.map(|a| (r, a)));
+        if let Some((rank, arr)) = &cur {
+            let want = LocalArray::from_fn(new_dad, *rank, |idx| value(idx, cols));
+            assert_eq!(arr, &want, "stage {k} oracle mismatch at member {me} (dad rank {rank})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Grow → shrink → grow at randomized Δp: the field survives the whole
+    /// chain bit-exact, across all five families, with scattered survivor
+    /// sets and departed ranks rejoining on the second grow.
+    #[test]
+    fn grow_shrink_grow_matches_the_oracle(
+        rows in 4..16usize,
+        cols in 3..10usize,
+        family in 0..5u8,
+        grow1 in 1..3usize,
+        seed in 0..u64::MAX,
+    ) {
+        let dad0 = make_dad(rows, cols, family, seed);
+        let p0 = dad0.nranks();
+        let p1 = p0 + grow1;
+        let dad1 = dad0.expand(p1).unwrap();
+        // Scattered survivor subset of stage 1: every member whose seed
+        // bit is set, clamped to a proper non-empty subset.
+        let mut s = seed ^ 0xdead_beef;
+        let mut keep: Vec<usize> = (0..p1).filter(|_| next(&mut s) & 1 == 1).collect();
+        if keep.is_empty() {
+            keep.push(pick(&mut s, 0, p1));
+        }
+        if keep.len() == p1 {
+            keep.pop();
+        }
+        let p2 = keep.len();
+        let dad2 = dad1.shrink(&keep).unwrap();
+        // Second grow: departed ranks rejoin (smallest absent world ranks
+        // first), so newcomers here are often ranks that held data before.
+        let grow2 = pick(&mut s, 1, (p1 - p2) + 1);
+        let mut members3 = keep.clone();
+        members3.extend((0..p1).filter(|r| !keep.contains(r)).take(grow2));
+        members3.sort_unstable();
+        let dad3 = dad2.expand(p2 + grow2).unwrap();
+
+        let stages = vec![
+            (dad0, (0..p0).collect::<Vec<_>>()),
+            (dad1, (0..p1).collect::<Vec<_>>()),
+            (dad2, keep),
+            (dad3, members3),
+        ];
+        World::run(p1, move |p| run_chain(p.world(), cols, &stages));
+    }
+}
+
+/// Non-power-of-two, strongly asymmetric membership sizes exercised
+/// deterministically: 5 → 2 → 7 → 1 → 6, including a full disjoint
+/// handoff (the lone stage-3 member was never in stage 2) and scattered
+/// member sets.
+#[test]
+fn asymmetric_elastic_chain_survives_handoffs() {
+    let cols = 5;
+    let d0 = Dad::block(Extents::new([21, 5]), &[5, 1]).unwrap();
+    let d1 = d0.shrink(&[1, 3]).unwrap();
+    let d2 = d1.expand(7).unwrap();
+    let d3 = d2.shrink(&[4]).unwrap();
+    let d4 = d3.expand(6).unwrap();
+    let stages = vec![
+        (d0, vec![0, 1, 2, 3, 4]),
+        (d1, vec![1, 3]),
+        (d2, vec![0, 1, 2, 4, 5, 7, 8]),
+        // World rank 3 was not a stage-2 member: a pure handoff.
+        (d3, vec![3]),
+        (d4, vec![0, 2, 3, 5, 6, 8]),
+    ];
+    World::run(9, move |p| run_chain(p.world(), cols, &stages));
+}
+
+/// A membership that only *shrinks* (no grow in the chain) still carries
+/// every element: the leavers' shards land on survivors, step by step,
+/// down to a single rank owning the whole array.
+#[test]
+fn shrink_only_chain_funnels_to_one_rank() {
+    let cols = 6;
+    let d0 = Dad::block(Extents::new([12, 6]), &[3, 2]).unwrap();
+    let d1 = d0.shrink(&[0, 2, 5]).unwrap();
+    let d2 = d1.shrink(&[1]).unwrap();
+    let stages = vec![(d0, vec![0, 1, 2, 3, 4, 5]), (d1, vec![0, 3, 5]), (d2, vec![3])];
+    World::run(6, move |p| {
+        run_chain(p.world(), cols, &stages);
+        if p.rank() == 3 {
+            // The funnel terminus owns all 72 elements.
+            let (d2, _) = &stages[2];
+            assert_eq!(d2.local_size(0), 72);
+        }
+    });
+}

@@ -17,11 +17,14 @@
 //! wildcard match order and timeout-poll counts are all excluded from the
 //! canonical serialization.
 
+use std::time::Duration;
+
+use mxn::core::redistribute_elastic;
 use mxn::dad::{AxisDist, Dad, Extents, LocalArray, Template};
 use mxn::dca::{alltoallv_within, AlltoallvSpec};
 use mxn::framework::{AnyPayload, Dispatch, RemoteService};
 use mxn::prmi::{collective_serve, CollectiveEndpoint};
-use mxn::runtime::{ChannelPolicy, FaultConfig, RunTrace, Universe, World};
+use mxn::runtime::{ChannelPolicy, FaultConfig, InterComm, RunTrace, Universe, World};
 use mxn::schedule::{recv_redistributed, send_redistributed};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_digests.txt");
@@ -150,6 +153,82 @@ fn lossy_faulted_run() -> RunTrace {
     trace
 }
 
+/// Shared body for the elastic-grow scenarios: a 1×1 coupling on world
+/// ranks {0, 1} admits the parked rank 2 onto side 0 via the rank-join
+/// handshake, then spreads side 0's 6×6 field over the grown membership
+/// through the one-sided RMA window. Records the `Expand` membership
+/// event plus the full `RmaExpose`/`RmaPut`/`RmaGet`/`RmaFence` plane.
+///
+/// With `faulted`, the incumbents arm the (fully lossy sponsor→newcomer)
+/// fault plane for exactly the handshake-plus-one-probe window: the join
+/// handshake runs fault-disarmed internally, so the grow still commits,
+/// and the armed probe send is deterministically dropped — both facts
+/// pinned by the digest.
+fn elastic_grow_body(p: &mxn::runtime::Process, faulted: bool) {
+    let world = p.world();
+    // World-level collectives (split, window drains) must not cross the
+    // armed lossy channels; arming is scoped to the handshake below.
+    p.set_faults_armed(false);
+    let old = Dad::block(Extents::new([6, 6]), &[1, 1]).unwrap();
+    let new = old.expand(2).unwrap();
+    let color = if p.rank() < 2 { 0 } else { -1 };
+    let pair = world.split(color, 0).unwrap();
+    if p.rank() == 2 {
+        let (_ic, report) =
+            InterComm::await_join_with_report(world, Duration::from_secs(10)).unwrap();
+        assert_eq!(report.new_local_group, vec![0, 2]);
+        let got = redistribute_elastic(world, 9, &old, &new, &[0], &[0, 2], None, Some(1))
+            .unwrap()
+            .unwrap();
+        for (idx, &v) in got.iter() {
+            assert_eq!(v, (idx[0] * 6 + idx[1]) as f64);
+        }
+        return;
+    }
+    let side = p.rank();
+    let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+    if faulted {
+        p.set_faults_armed(true);
+    }
+    let (add_local, add_remote): (&[usize], &[usize]) =
+        if side == 0 { (&[2], &[]) } else { (&[], &[2]) };
+    let (_grown, report) = ic.expand(add_local, add_remote).unwrap();
+    assert_eq!(report.epoch, 1);
+    if faulted && p.rank() == 0 {
+        // Still armed: this fire-and-forget probe hits the lossy(1.0)
+        // sponsor→newcomer channel and is dropped — the event the digest
+        // pins. The newcomer never posts a matching receive.
+        world.send(2, 777, 1u8).unwrap();
+    }
+    p.set_faults_armed(false);
+    if p.rank() == 0 {
+        let mine = LocalArray::from_fn(&old, 0, |i| (i[0] * 6 + i[1]) as f64);
+        let got =
+            redistribute_elastic(world, 9, &old, &new, &[0], &[0, 2], Some((0, &mine)), Some(0))
+                .unwrap()
+                .unwrap();
+        assert_eq!(got.len(), new.local_size(0));
+    }
+}
+
+/// A clean elastic grow: membership handshake, commit, RMA spread.
+fn elastic_grow_commit() -> RunTrace {
+    let (_, trace) = World::run_traced(3, |p| elastic_grow_body(p, false));
+    trace
+}
+
+/// The same grow under a seeded fault plane: the sponsor→newcomer channel
+/// is fully lossy while armed, but the join handshake runs fault-disarmed
+/// by design, so the grow still commits — and the digest pins that the
+/// armed-fault path stays deterministic.
+fn elastic_grow_under_seeded_faults() -> RunTrace {
+    let cfg = FaultConfig::reliable(0xE1A5)
+        .with_channel(0, 2, ChannelPolicy::lossy(1.0))
+        .with_channel(1, 2, ChannelPolicy::lossy(1.0));
+    let (_, _, trace) = World::run_traced_with_faults(3, cfg, |p| elastic_grow_body(p, true));
+    trace
+}
+
 type Scenario = (&'static str, fn() -> RunTrace);
 
 fn scenarios() -> Vec<Scenario> {
@@ -160,6 +239,8 @@ fn scenarios() -> Vec<Scenario> {
         ("dca_alltoallv_large_pairwise", dca_alltoallv_large),
         ("prmi_collective_call", prmi_collective_call),
         ("lossy_faulted_run", lossy_faulted_run),
+        ("elastic_grow_commit", elastic_grow_commit),
+        ("elastic_grow_under_seeded_faults", elastic_grow_under_seeded_faults),
     ]
 }
 

@@ -3,6 +3,7 @@
 //! the remaining epochs with data identical to a no-fault oracle — and no
 //! transfer is ever half-committed along the way.
 
+use mxn::core::redistribute_elastic;
 use mxn::core::{
     ConnectionKind, Direction, FieldData, FieldRegistry, MxnConnection, MxnError, TransferOutcome,
 };
@@ -11,7 +12,7 @@ use mxn::framework::{
     serve, AnyPayload, CallPolicy, Dispatch, RemotePort, RemoteService, ServeStats,
 };
 use mxn::prmi::{collective_serve_recovering, CollectiveEndpoint};
-use mxn::runtime::{ChannelPolicy, FaultConfig, Universe};
+use mxn::runtime::{ChannelPolicy, FaultConfig, InterComm, Universe, World};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
@@ -283,5 +284,193 @@ fn death_matrix(seed: u64) {
             let stats = collective_serve_recovering(ctx.intercomm(0), &Bump).unwrap();
             assert_eq!(stats.calls, 2, "exactly-once per provider across the heal");
         }
+    });
+}
+
+/// Asserts every locally held element carries the given step's coding.
+fn check_step(data: &FieldData, step: f64) {
+    let d = data.read();
+    for (idx, &v) in d.iter() {
+        assert_eq!(v, coded(&idx, step), "mismatch at {idx:?} (step {step})");
+    }
+}
+
+/// CI fault-matrix entry point for the *elastic* plane: the same
+/// `MXN_FAULT_KIND` × `MXN_FAULT_SEED` grid as [`seeded_fault_matrix`],
+/// aimed at the grow handshake. `death` kills the invited newcomer
+/// mid-join and demands a clean rollback plus a successful retry with a
+/// healthy spare; `drop` and `corrupt` arm faulty channels between the
+/// sponsor and the newcomer and demand the handshake (which runs
+/// fault-disarmed by design) still commits and delivers oracle-exact data.
+#[test]
+fn seeded_elastic_fault_matrix() {
+    let seed = env_u64("MXN_FAULT_SEED", 1);
+    match std::env::var("MXN_FAULT_KIND").as_deref() {
+        Ok("drop") => elastic_grow_despite(ChannelPolicy::lossy(0.5), seed),
+        Ok("corrupt") => {
+            elastic_grow_despite(ChannelPolicy { corrupt: 0.4, ..ChannelPolicy::reliable() }, seed)
+        }
+        _ => elastic_death_matrix(seed),
+    }
+}
+
+/// Membership-level grow with faulty sponsor↔newcomer channels armed
+/// around the handshake: the reconfiguration's internal disarm keeps the
+/// offer/vote traffic deliverable, the grow commits at epoch 1, and the
+/// RMA rebind hands the newcomer an oracle-exact shard.
+fn elastic_grow_despite(policy: ChannelPolicy, seed: u64) {
+    let cfg = FaultConfig::reliable(seed)
+        .with_channel(0, 2, policy)
+        .with_channel(2, 0, policy)
+        .with_channel(1, 2, policy)
+        .with_channel(2, 1, policy);
+    World::run_with_faults(3, cfg, |p| {
+        let world = p.world();
+        // World collectives (the split below) must not cross armed faulty
+        // channels; arming is scoped to the handshake.
+        p.set_faults_armed(false);
+        let old = Dad::block(Extents::new([6, 6]), &[1, 1]).unwrap();
+        let new = old.expand(2).unwrap();
+        let color = if p.rank() < 2 { 0 } else { -1 };
+        let pair = world.split(color, 0).unwrap();
+        if p.rank() == 2 {
+            let (_ic, report) =
+                InterComm::await_join_with_report(world, Duration::from_secs(10)).unwrap();
+            assert_eq!(report.new_local_group, vec![0, 2]);
+            assert_eq!(report.epoch, 1);
+            let got = redistribute_elastic(world, 31, &old, &new, &[0], &[0, 2], None, Some(1))
+                .unwrap()
+                .unwrap();
+            let want = LocalArray::from_fn(&new, 1, |idx| (idx[0] * 6 + idx[1]) as f64);
+            assert_eq!(got, want, "the newcomer's shard matches the oracle");
+            return;
+        }
+        let side = p.rank();
+        let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+        p.set_faults_armed(true);
+        let (add_local, add_remote): (&[usize], &[usize]) =
+            if side == 0 { (&[2], &[]) } else { (&[], &[2]) };
+        let (_grown, report) = ic.expand(add_local, add_remote).unwrap();
+        assert_eq!(report.epoch, 1, "the grow commits despite the armed fault plane");
+        p.set_faults_armed(false);
+        if p.rank() == 0 {
+            let mine = LocalArray::from_fn(&old, 0, |idx| (idx[0] * 6 + idx[1]) as f64);
+            let got = redistribute_elastic(
+                world,
+                31,
+                &old,
+                &new,
+                &[0],
+                &[0, 2],
+                Some((0, &mine)),
+                Some(0),
+            )
+            .unwrap()
+            .unwrap();
+            let want = LocalArray::from_fn(&new, 0, |idx| (idx[0] * 6 + idx[1]) as f64);
+            assert_eq!(got, want, "the sponsor keeps an oracle-exact shard");
+        }
+    });
+}
+
+/// The invited newcomer dies mid-join: the handshake aborts on every
+/// incumbent, the rollback leaves the old coupling committing cleanly,
+/// and a retry naming a healthy spare grows the connection — the spare
+/// landing with the last committed step and following the next one.
+fn elastic_death_matrix(seed: u64) {
+    const DOOMED: usize = 4;
+    const SPARE: usize = 5;
+    let cfg = FaultConfig::reliable(seed);
+    World::run_with_faults(6, cfg, |p| {
+        let world = p.world();
+        // The split is a world collective: the doomed spare takes part
+        // (color −1) before dying, so nobody deadlocks waiting on it.
+        let color = if p.rank() < 4 { 0 } else { -1 };
+        let pair = world.split(color, 0).unwrap();
+        if p.rank() == DOOMED {
+            p.kill_rank(DOOMED);
+            return;
+        }
+        // Every participant observes the death before any vote runs.
+        while !p.is_dead(DOOMED) {
+            std::thread::yield_now();
+        }
+        if p.rank() == SPARE {
+            let (mut conn, ic, reg) = MxnConnection::join(world, Duration::from_secs(10)).unwrap();
+            assert_eq!(conn.epoch(), 1, "the healthy spare lands in the retried epoch");
+            assert_eq!(conn.direction(), Direction::Import);
+            let data = reg.get("f").unwrap().data().clone();
+            // The join rebind delivered the last *committed* step — the
+            // one published by the rolled-back coupling after the abort.
+            check_step(&data, 2.0);
+            conn.data_ready(&ic, &reg).unwrap();
+            check_step(&data, 3.0);
+            return;
+        }
+        let side = usize::from(p.rank() >= 2);
+        let (_prog, ic) = InterComm::create(&pair.unwrap(), side).unwrap();
+        let rank = ic.local_rank();
+        let mut reg = FieldRegistry::new(rank);
+        let src = Dad::block(Extents::new([6, 6]), &[2, 1]).unwrap();
+        let dst = Dad::block(Extents::new([6, 6]), &[1, 2]).unwrap();
+        let (data, mut conn) = if side == 0 {
+            let data = reg.register_allocated("f", src, AccessMode::Read).unwrap();
+            let conn = MxnConnection::initiate(
+                &ic,
+                &reg,
+                0,
+                "f",
+                "f",
+                Direction::Export,
+                ConnectionKind::Persistent { period: 1 },
+            )
+            .unwrap();
+            (data, conn)
+        } else {
+            let data = reg.register_allocated("f", dst, AccessMode::Write).unwrap();
+            (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
+        };
+        // One epoch at the original size.
+        if side == 0 {
+            refill(&reg, &data, 1.0);
+        }
+        conn.data_ready(&ic, &reg).unwrap();
+        if side == 1 {
+            check_step(&data, 1.0);
+        }
+        // The grow names the doomed spare: the handshake must abort, and
+        // the abort must not bump the epoch.
+        let before = conn.epoch();
+        let (al, ar): (&[usize], &[usize]) =
+            if side == 0 { (&[], &[DOOMED]) } else { (&[DOOMED], &[]) };
+        let err = conn.expand(&ic, world, &mut reg, al, ar).unwrap_err();
+        assert!(
+            matches!(&err, MxnError::Runtime(re) if re.is_reconfig_aborted()),
+            "expected a reconfig abort, got: {err}"
+        );
+        assert_eq!(conn.epoch(), before, "an aborted grow must not bump the epoch");
+        // Rollback assert: the old coupling still commits a full step.
+        if side == 0 {
+            refill(&reg, &data, 2.0);
+        }
+        conn.data_ready(&ic, &reg).unwrap();
+        if side == 1 {
+            check_step(&data, 2.0);
+        }
+        // Retry with the healthy spare: the grow commits this time.
+        let (al, ar): (&[usize], &[usize]) =
+            if side == 0 { (&[], &[SPARE]) } else { (&[SPARE], &[]) };
+        let (grown, report) = conn.expand(&ic, world, &mut reg, al, ar).unwrap();
+        assert_eq!(conn.epoch(), 1);
+        // The spare joined the import side (side 1).
+        assert_eq!(report.new_local_group.len(), if side == 1 { 3 } else { 2 });
+        if side == 0 {
+            refill(&reg, &data, 3.0);
+        }
+        conn.data_ready(&grown, &reg).unwrap();
+        if side == 1 {
+            check_step(&data, 3.0);
+        }
+        assert_eq!(conn.stats(), (3, 3), "three committed transfers, zero half-commits");
     });
 }
