@@ -14,8 +14,15 @@
 //! *unfitted* mid-size points — the model the in-proc runtime uses to
 //! emulate cluster timing is tested against an actual wire.
 //!
+//! Zombie detection: the wire's progress-fence plane is timed against a
+//! simulated frozen peer (a raw listener whose backlog accepts but whose
+//! "application" never reads or speaks — the situation heartbeats alone
+//! can never convict). Measured: outstanding-data send → quarantine, and
+//! send → eviction, for the default and a fast fence tuning.
+//!
 //! Results are written to `BENCH_transport.json` at the repo root.
 
+use std::os::unix::net::UnixListener;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +118,36 @@ fn measure_uds(nodes: &[WireNode], bytes: usize, iters: u64) -> Duration {
     })
 }
 
+/// Times the conviction of a simulated zombie under one fence tuning:
+/// rank 0 is a bound listener that never accepts or speaks (its kernel
+/// backlog still takes every dial — exactly a SIGSTOP'd process), rank 1
+/// sends one message and waits for the watermark stall to quarantine and
+/// the grace expiry to evict. Returns (quarantine, evict) from the send.
+fn measure_zombie(fence_ms: u64, stall: u32, grace_ms: u64) -> (Duration, Duration) {
+    let dir = std::env::temp_dir()
+        .join(format!("mxn-bench-zombie-{}-{fence_ms}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let _zombie = UnixListener::bind(dir.join("rank_0.sock")).unwrap();
+    let mut cfg = WireConfig::new(&dir, 1, 2);
+    cfg.fence_interval = Duration::from_millis(fence_ms);
+    cfg.fence_stall_fences = stall;
+    cfg.quarantine_grace = Duration::from_millis(grace_ms);
+    let node = WireNode::start(cfg, CodecRegistry::with_defaults()).unwrap();
+    node.connect().unwrap();
+    let start = Instant::now();
+    node.send(0, 1, 1, 7u64).unwrap();
+    assert!(node.await_quarantine(0, Duration::from_secs(10)), "zombie never quarantined");
+    let quarantine = start.elapsed();
+    while !node.is_evicted(0) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let evict = start.elapsed();
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (quarantine, evict)
+}
+
 fn bench(_c: &mut Criterion) {
     let mut cells: Vec<Cell> = Vec::new();
 
@@ -180,13 +217,38 @@ fn bench(_c: &mut Criterion) {
         ));
     }
 
+    // Zombie conviction latency: default fence tuning and a fast one.
+    // 3 samples each; the numbers are wall-clock from the outstanding
+    // send, so ≈ stall·interval for quarantine and + grace for eviction.
+    let mut zombie_rows = Vec::new();
+    for &(fence_ms, stall, grace_ms) in &[(25u64, 4u32, 1500u64), (10, 3, 300)] {
+        let samples = 3;
+        let (mut q_total, mut e_total) = (Duration::ZERO, Duration::ZERO);
+        for _ in 0..samples {
+            let (q, e) = measure_zombie(fence_ms, stall, grace_ms);
+            q_total += q;
+            e_total += e;
+        }
+        let q_ms = q_total.as_secs_f64() * 1e3 / samples as f64;
+        let e_ms = e_total.as_secs_f64() * 1e3 / samples as f64;
+        println!(
+            "zombie  fence {fence_ms:>3} ms × {stall}, grace {grace_ms:>5} ms: \
+             quarantine {q_ms:>7.1} ms, evict {e_ms:>7.1} ms"
+        );
+        zombie_rows.push(format!(
+            "    {{\"fence_interval_ms\": {fence_ms}, \"stall_fences\": {stall}, \
+             \"grace_ms\": {grace_ms}, \"quarantine_ms\": {q_ms:.1}, \"evict_ms\": {e_ms:.1}}}"
+        ));
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transport.json");
     let json = format!(
-        "{{\n  \"bench\": \"transport_compare\",\n  \"cells\": [\n{}\n  ],\n  \"network_model_fit\": {{\"latency_ns\": {}, \"bytes_per_sec\": {:.0}}},\n  \"e17_validation\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"transport_compare\",\n  \"cells\": [\n{}\n  ],\n  \"network_model_fit\": {{\"latency_ns\": {}, \"bytes_per_sec\": {:.0}}},\n  \"e17_validation\": [\n{}\n  ],\n  \"zombie_detection\": [\n{}\n  ]\n}}\n",
         cells.iter().map(Cell::json).collect::<Vec<_>>().join(",\n"),
         latency.as_nanos(),
         bytes_per_sec,
         predictions.join(",\n"),
+        zombie_rows.join(",\n"),
     );
     std::fs::write(path, json).expect("write BENCH_transport.json");
     println!("wrote {path}");

@@ -142,6 +142,29 @@ impl Autoscaler {
         ScaleDecision::Hold
     }
 
+    /// Feeds one *measured* mailbox-depth gauge — the sample
+    /// `InterComm::sample_mailbox_gauge` (or any
+    /// [`mxn_runtime::WorldStats::queue_gauge`] reader) produces — instead
+    /// of a caller-invented [`LoadSample`]. The peak since the last sample
+    /// is the queue-pressure signal (a backlog that built and drained
+    /// between samples still counts).
+    ///
+    /// Queued envelopes count as shrink-vetoing in-flight work only when
+    /// their resident bytes exceed the low-water band: a persistent
+    /// connection parks a handful of tiny ready/ack control envelopes in
+    /// the mailbox at *every* sampling point, and a hard `depth == 0`
+    /// veto would let that chatter pin the membership at its grown size
+    /// forever. Byte-insignificant residue never blocks a shrink the
+    /// byte thresholds allow.
+    pub fn observe_stats(&mut self, gauge: &mxn_runtime::MailboxGauge) -> ScaleDecision {
+        let inflight =
+            if gauge.live_bytes > self.cfg.low_queue_bytes { gauge.depth_msgs } else { 0 };
+        self.observe(&LoadSample {
+            queue_bytes: gauge.peak_bytes.max(gauge.live_bytes),
+            inflight_msgs: inflight,
+        })
+    }
+
     /// Reports that a reconfiguration committed and the coupling now runs
     /// on `new_size` ranks. Resets streaks and arms the cooldown.
     pub fn record_scaled(&mut self, new_size: usize) {
@@ -266,6 +289,32 @@ mod tests {
         }
         a.observe(&busy());
         assert_eq!(a.observe(&busy()), ScaleDecision::Grow { add: 2 }, "retry after cooldown");
+    }
+
+    #[test]
+    fn observe_stats_maps_measured_gauges_onto_the_policy() {
+        use mxn_runtime::MailboxGauge;
+        let mut a = Autoscaler::new(cfg(), 4);
+        // A backlog that built and drained between samples still registers:
+        // peak carries the pressure even with live == 0.
+        let burst = MailboxGauge { live_bytes: 0, peak_bytes: 5000, depth_msgs: 0 };
+        assert_eq!(a.observe_stats(&burst), ScaleDecision::Hold);
+        assert_eq!(a.observe_stats(&burst), ScaleDecision::Grow { add: 2 });
+        a.record_scaled(6);
+        for _ in 0..3 {
+            a.observe_stats(&burst);
+        }
+        // A byte-significant draining backlog holds the membership.
+        let draining = MailboxGauge { live_bytes: 600, peak_bytes: 600, depth_msgs: 2 };
+        for _ in 0..5 {
+            assert_eq!(a.observe_stats(&draining), ScaleDecision::Hold);
+        }
+        // Parked protocol chatter — a few queued envelopes whose bytes sit
+        // under the low-water band — must NOT veto the shrink: a persistent
+        // connection leaves such residue at every sampling point.
+        let chatter = MailboxGauge { live_bytes: 32, peak_bytes: 32, depth_msgs: 4 };
+        a.observe_stats(&chatter);
+        assert_eq!(a.observe_stats(&chatter), ScaleDecision::Shrink { remove: 2 });
     }
 
     #[test]

@@ -255,6 +255,20 @@ impl Liveness {
         !self.dead[rank].swap(true, Ordering::AcqRel)
     }
 
+    /// Clears a death verdict: `rank` is alive again. Returns whether the
+    /// rank had been dead.
+    ///
+    /// This exists for two provisional-death cases at the wire layer: a
+    /// *quarantined* zombie peer that resumes before the survivor
+    /// agreement commits its eviction, and a join attempt that aborted and
+    /// is retried under the same rank number by a fresh process. Once a
+    /// membership agreement has consumed the death (shrink, survivor
+    /// context, `agree_survivors`), the verdict is final and reviving the
+    /// rank is a caller bug — the agreement layers never call this.
+    pub fn revive(&self, rank: usize) -> bool {
+        self.dead[rank].swap(false, Ordering::AcqRel)
+    }
+
     /// Whether `rank` has died.
     pub fn is_dead(&self, rank: usize) -> bool {
         self.dead[rank].load(Ordering::Acquire)
@@ -523,6 +537,16 @@ mod tests {
         assert!(!l.kill(1), "second kill reports already-dead");
         assert!(l.is_dead(1));
         assert_eq!(l.dead_ranks(), vec![1]);
+    }
+
+    #[test]
+    fn liveness_revive_clears_a_provisional_death() {
+        let l = Liveness::new(3);
+        assert!(!l.revive(2), "reviving a live rank is a no-op");
+        l.kill(2);
+        assert!(l.revive(2), "revive reports the rank had been dead");
+        assert!(!l.is_dead(2));
+        assert!(l.kill(2), "a revived rank can die again for real");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::mailbox::PeerRef;
 use crate::membership::{agree_over, JoinOffer, ReconfigReport, ShrinkReport, JOIN_TAG};
 use crate::msgsize::MsgSize;
 use crate::shared::WorldShared;
-use crate::stats::TrafficClass;
+use crate::stats::{MailboxGauge, TrafficClass};
 use crate::tracing::{ctx_class, record_op_error, tag_arg};
 use mxn_trace::{emit_instant, EventId};
 
@@ -141,6 +141,25 @@ impl InterComm {
     /// level (between measurement phases).
     pub fn reset_mailbox_peak(&self) {
         self.shared.mailbox(self.local_group[self.local_rank]).reset_peak_bytes();
+    }
+
+    /// Takes one *measured* mailbox-depth sample for this rank: live bytes,
+    /// the byte high-water mark since the previous sample, and the number
+    /// of queued envelopes. The peak is reset as part of the read (so each
+    /// sample covers exactly the interval since the last), and the gauge is
+    /// published through [`crate::WorldStats::note_queue_gauge`] — this is
+    /// the sampling point autoscaling policies are meant to feed on,
+    /// replacing caller-invented synthetic load numbers.
+    pub fn sample_mailbox_gauge(&self) -> MailboxGauge {
+        let mb = self.shared.mailbox(self.local_group[self.local_rank]);
+        let gauge = MailboxGauge {
+            live_bytes: mb.live_bytes(),
+            peak_bytes: mb.peak_bytes(),
+            depth_msgs: mb.len() as u64,
+        };
+        mb.reset_peak_bytes();
+        self.shared.stats().note_queue_gauge(&gauge);
+        gauge
     }
 
     fn check_remote(&self, rank: usize) -> Result<()> {

@@ -75,7 +75,7 @@ pub use fault::{
     RankDeath,
 };
 pub use intercomm::InterComm;
-pub use membership::{Membership, ReconfigReport, Revocations, ShrinkReport};
+pub use membership::{JoinOffer, Membership, ReconfigReport, Revocations, ShrinkReport};
 pub use msgsize::MsgSize;
 pub use network::NetworkModel;
 pub use request::{wait_all, RecvRequest, SendRequest};
@@ -83,7 +83,7 @@ pub use rma::RmaWindow;
 pub use stats::{
     record_buffer_lease, record_pool_bytes, record_schedule_build, record_schedule_copy,
     record_transfer_acquired, record_transfer_released, reset_schedule_stats, schedule_stats,
-    CollOp, CollOpStats, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
+    CollOp, CollOpStats, MailboxGauge, ScheduleStats, StatsSnapshot, TrafficClass, WorldStats,
 };
 pub use tracing::{coll_algo, err_code, fault_kind};
 pub use transport::{InProcTransport, Transport};

@@ -253,8 +253,13 @@ pub struct ReconfigReport {
 /// needs to take part in the commit vote and, on commit, construct its
 /// intercomm handle. Groups are written from the *joiner's* perspective
 /// (`local` = the side it is joining).
-#[derive(Debug, Clone)]
-pub(crate) struct JoinOffer {
+///
+/// Public (not `pub(crate)`) because the wire transport sends the same
+/// offer across a process boundary: [`JoinOffer::to_wire_bytes`] /
+/// [`JoinOffer::from_wire_bytes`] are its length-prefixed little-endian
+/// framing, used by `mxn-wire`'s spare-process join handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinOffer {
     /// Which intercomm side the newcomer joins (0 or 1).
     pub side: usize,
     /// The newcomer's local rank within its side's new group.
@@ -285,6 +290,77 @@ impl MsgSize for JoinOffer {
             + self.old_remote_group.len()
             + self.participants.len();
         vec_elems * std::mem::size_of::<usize>() + 5 * std::mem::size_of::<u64>()
+    }
+}
+
+impl JoinOffer {
+    /// Serializes the offer for transmission across a process boundary:
+    /// fixed scalars little-endian, each group as a `u32` length prefix
+    /// followed by `u64` ranks. The in-proc path never pays this — offers
+    /// inside one address space move as typed envelopes.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        fn put_group(out: &mut Vec<u8>, group: &[usize]) {
+            out.extend_from_slice(&(group.len() as u32).to_le_bytes());
+            for &r in group {
+                out.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(self.msg_size() + 32);
+        out.extend_from_slice(&(self.side as u64).to_le_bytes());
+        out.extend_from_slice(&(self.local_rank as u64).to_le_bytes());
+        out.extend_from_slice(&self.context.to_le_bytes());
+        out.extend_from_slice(&self.attempt.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        put_group(&mut out, &self.local_group);
+        put_group(&mut out, &self.remote_group);
+        put_group(&mut out, &self.old_local_group);
+        put_group(&mut out, &self.old_remote_group);
+        put_group(&mut out, &self.participants);
+        out
+    }
+
+    /// Total decoder for [`JoinOffer::to_wire_bytes`]: any truncated or
+    /// trailing-garbage input returns `None`, never panics — the bytes
+    /// arrive over a wire that injects faults.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Option<JoinOffer> {
+        struct Cursor<'a>(&'a [u8]);
+        impl Cursor<'_> {
+            fn u64(&mut self) -> Option<u64> {
+                let (head, rest) = self.0.split_at_checked(8)?;
+                self.0 = rest;
+                Some(u64::from_le_bytes(head.try_into().ok()?))
+            }
+            fn u32(&mut self) -> Option<u32> {
+                let (head, rest) = self.0.split_at_checked(4)?;
+                self.0 = rest;
+                Some(u32::from_le_bytes(head.try_into().ok()?))
+            }
+            fn group(&mut self) -> Option<Vec<usize>> {
+                let len = self.u32()? as usize;
+                if len > self.0.len() / 8 {
+                    return None; // forged length, refuse to allocate it
+                }
+                (0..len).map(|_| self.u64().map(|r| r as usize)).collect()
+            }
+        }
+        let mut c = Cursor(bytes);
+        let offer = JoinOffer {
+            side: c.u64()? as usize,
+            local_rank: c.u64()? as usize,
+            context: c.u32()?,
+            attempt: c.u64()?,
+            epoch: c.u64()?,
+            local_group: c.group()?,
+            remote_group: c.group()?,
+            old_local_group: c.group()?,
+            old_remote_group: c.group()?,
+            participants: c.group()?,
+        };
+        if c.0.is_empty() {
+            Some(offer)
+        } else {
+            None
+        }
     }
 }
 
@@ -634,6 +710,37 @@ mod tests {
                 assert!(e.is_revoked());
             }
         });
+    }
+
+    #[test]
+    fn join_offer_wire_bytes_roundtrip_and_reject_damage() {
+        let offer = JoinOffer {
+            side: 1,
+            local_rank: 2,
+            context: 0x40,
+            attempt: 3,
+            epoch: 7,
+            local_group: vec![0, 1, 5],
+            remote_group: vec![2, 3],
+            old_local_group: vec![0, 1],
+            old_remote_group: vec![2, 3],
+            participants: vec![0, 1, 2, 3, 5],
+        };
+        let bytes = offer.to_wire_bytes();
+        assert_eq!(JoinOffer::from_wire_bytes(&bytes), Some(offer.clone()));
+        // Truncation at every prefix length decodes to None, never panics.
+        for cut in 0..bytes.len() {
+            assert_eq!(JoinOffer::from_wire_bytes(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage is rejected (total decode, no silent slack).
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(JoinOffer::from_wire_bytes(&long), None);
+        // A forged group length cannot drive allocation.
+        let mut forged = bytes;
+        let group_len_off = 8 + 8 + 4 + 8 + 8;
+        forged[group_len_off..group_len_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(JoinOffer::from_wire_bytes(&forged), None);
     }
 
     #[test]

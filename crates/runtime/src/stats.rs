@@ -141,6 +141,27 @@ pub struct WorldStats {
     /// mailbox — the per-rank peak transfer memory an eager transport
     /// actually commits. Folded in at the send choke point.
     transfer_peak_bytes: AtomicU64,
+    /// Latest measured mailbox-depth gauge (see [`MailboxGauge`]); written
+    /// by [`WorldStats::note_queue_gauge`] at sampling points, read by
+    /// autoscaling policy drivers.
+    queue_live_bytes: AtomicU64,
+    queue_peak_bytes: AtomicU64,
+    queue_depth_msgs: AtomicU64,
+}
+
+/// One measured sample of a rank's mailbox occupancy — the *queue depth*
+/// an autoscaler judges load by. Unlike the monotone counters above, this
+/// is a gauge: each sample replaces the last. `peak_bytes` is the
+/// high-water mark since the previous sample (the sampler resets it), so a
+/// backlog that built and drained entirely between samples is still seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxGauge {
+    /// Payload bytes resident in the mailbox right now.
+    pub live_bytes: u64,
+    /// High-water mark of resident bytes since the previous sample.
+    pub peak_bytes: u64,
+    /// Messages queued (undelivered envelopes) right now.
+    pub depth_msgs: u64,
 }
 
 impl WorldStats {
@@ -232,6 +253,25 @@ impl WorldStats {
         self.transfer_peak_bytes.fetch_max(peak, Ordering::Relaxed);
     }
 
+    /// Stores the latest measured mailbox-depth gauge. Samplers (e.g.
+    /// `InterComm::sample_mailbox_gauge`) call this so the most recent
+    /// measured queue depth is visible alongside the world counters.
+    pub fn note_queue_gauge(&self, gauge: &MailboxGauge) {
+        self.queue_live_bytes.store(gauge.live_bytes, Ordering::Relaxed);
+        self.queue_peak_bytes.store(gauge.peak_bytes, Ordering::Relaxed);
+        self.queue_depth_msgs.store(gauge.depth_msgs, Ordering::Relaxed);
+    }
+
+    /// The most recent gauge stored by [`WorldStats::note_queue_gauge`]
+    /// (zeroed if nothing has sampled yet).
+    pub fn queue_gauge(&self) -> MailboxGauge {
+        MailboxGauge {
+            live_bytes: self.queue_live_bytes.load(Ordering::Relaxed),
+            peak_bytes: self.queue_peak_bytes.load(Ordering::Relaxed),
+            depth_msgs: self.queue_depth_msgs.load(Ordering::Relaxed),
+        }
+    }
+
     /// Snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         let table = |arr: &[AtomicU64; CollOp::COUNT]| {
@@ -286,6 +326,9 @@ impl WorldStats {
         self.recv_timeouts.store(0, Ordering::Relaxed);
         self.peer_dead_errors.store(0, Ordering::Relaxed);
         self.transfer_peak_bytes.store(0, Ordering::Relaxed);
+        self.queue_live_bytes.store(0, Ordering::Relaxed);
+        self.queue_peak_bytes.store(0, Ordering::Relaxed);
+        self.queue_depth_msgs.store(0, Ordering::Relaxed);
     }
 }
 

@@ -45,8 +45,17 @@ pub trait Transport: Send + Sync {
     /// A short static label ("inproc", "uds") for stats and traces.
     fn kind(&self) -> &'static str;
 
-    /// Number of ranks this transport can address.
+    /// Number of ranks this transport can address *right now* (the
+    /// current membership).
     fn size(&self) -> usize;
+
+    /// Upper bound on ranks this transport could ever address. Equal to
+    /// [`Transport::size`] for fixed-membership transports; elastic
+    /// transports (a wire mesh with parked spare capacity) report the
+    /// preallocated ceiling so callers can size rank-indexed tables once.
+    fn capacity(&self) -> usize {
+        self.size()
+    }
 
     /// Delivers one envelope to `dst`'s mailbox.
     fn deliver(&self, dst: usize, env: Envelope) -> Result<()>;

@@ -147,10 +147,17 @@ pub enum EventId {
     /// An intercomm membership reconfiguration (grow or graceful contract)
     /// committed; args = `[participants, new_total, new_context, attempt]`.
     Expand = 39,
+    /// Progress-fence zombie verdict transition on a wire peer; args =
+    /// `[peer, transition, stalled_fences, micros_since_quarantine]` where
+    /// `transition` is 1 = quarantined, 2 = re-admitted, 3 = evicted.
+    WireZombie = 40,
+    /// Wire-mesh join handshake outcome at the sponsor; args =
+    /// `[new_rank, attempt, committed, mesh_size]`.
+    WireJoin = 41,
 }
 
 /// Every id, in numeric order (drives aggregation tables).
-pub const ALL_EVENT_IDS: [EventId; 39] = [
+pub const ALL_EVENT_IDS: [EventId; 41] = [
     EventId::ScheduleBuild,
     EventId::CopyPack,
     EventId::CopyUnpack,
@@ -190,6 +197,8 @@ pub const ALL_EVENT_IDS: [EventId; 39] = [
     EventId::RmaGet,
     EventId::RmaFence,
     EventId::Expand,
+    EventId::WireZombie,
+    EventId::WireJoin,
 ];
 
 impl EventId {
@@ -235,6 +244,8 @@ impl EventId {
             EventId::RmaGet => "RmaGet",
             EventId::RmaFence => "RmaFence",
             EventId::Expand => "Expand",
+            EventId::WireZombie => "WireZombie",
+            EventId::WireJoin => "WireJoin",
         }
     }
 
@@ -266,7 +277,9 @@ impl EventId {
             EventId::WireConnect
             | EventId::WireReconnect
             | EventId::WireFrameCorrupt
-            | EventId::HeartbeatMiss => "wire",
+            | EventId::HeartbeatMiss
+            | EventId::WireZombie
+            | EventId::WireJoin => "wire",
             EventId::ServeConn
             | EventId::ServeBatch
             | EventId::ServeOverload
@@ -315,6 +328,8 @@ impl EventId {
                 | EventId::ServeBatch
                 | EventId::ServeOverload
                 | EventId::ServePark
+                | EventId::WireZombie
+                | EventId::WireJoin
         )
     }
 }
@@ -986,6 +1001,8 @@ mod tests {
         assert_eq!(EventId::Rollback as u16, 24);
         assert_eq!(EventId::RmaExpose as u16, 35);
         assert_eq!(EventId::Expand as u16, 39);
+        assert_eq!(EventId::WireZombie as u16, 40);
+        assert_eq!(EventId::WireJoin as u16, 41);
         for id in ALL_EVENT_IDS {
             assert_eq!(EventId::from_u16(id as u16), Some(id));
         }

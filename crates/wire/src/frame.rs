@@ -54,6 +54,14 @@ pub enum FrameKind {
     Hello = 3,
     /// Orderly goodbye: the peer is leaving on purpose, not crashing.
     Bye = 4,
+    /// End-to-end progress fence. Payload is `(fence_seq, watermark)` where
+    /// `watermark` is the highest data sequence number the *sender* has
+    /// delivered from the receiver — i.e. proof of how far the receiver's
+    /// outbound stream has actually progressed. Heartbeats only prove the
+    /// socket is alive; fences prove the application on the far side is
+    /// still consuming (a SIGSTOP'd peer keeps accepting connections but
+    /// its watermark freezes).
+    ProgressFence = 5,
 }
 
 impl FrameKind {
@@ -63,6 +71,7 @@ impl FrameKind {
             2 => Some(FrameKind::Heartbeat),
             3 => Some(FrameKind::Hello),
             4 => Some(FrameKind::Bye),
+            5 => Some(FrameKind::ProgressFence),
             _ => None,
         }
     }

@@ -27,14 +27,20 @@
 //!   and monitor threads; heartbeats feeding a [`mxn_runtime::Liveness`]
 //!   registry; reconnect with seeded exponential backoff bounded at
 //!   N attempts, after which the peer is *dead* and recovery proceeds
-//!   exactly as for an in-proc rank death. [`node::UdsTransport`] is the
-//!   `Transport` impl.
+//!   exactly as for an in-proc rank death. Progress fences catch the
+//!   failure heartbeats cannot — a *zombie* whose sockets stay open while
+//!   its application is frozen — quarantining it (reversible) and
+//!   evicting it (final) on frozen delivery watermarks. The membership is
+//!   elastic up to `max_size`: a spare OS process joins at runtime via an
+//!   offer/vote/commit handshake mirroring the membership plane's §4i
+//!   protocol. [`node::UdsTransport`] is the `Transport` impl.
 //! * [`mux`] — connection multiplexing over *one* UDS listener: the
 //!   serving plane's wire front. Any number of client connections, each
 //!   with a reader/writer thread pair, requests handed to a pluggable
 //!   [`mux::MuxHandler`]; blocking the handler parks exactly one client.
 //! * [`process`] — self re-exec helpers for multi-process tests and
-//!   examples (spawn workers, kill-on-drop guards, `kill -9` on demand).
+//!   examples (spawn workers and spare joiners, kill-on-drop guards,
+//!   `kill -9` / SIGSTOP / SIGCONT on demand).
 
 pub mod codec;
 pub mod crc;
@@ -54,5 +60,10 @@ pub use mux::{
     ConnId, MuxClient, MuxHandler, MuxReplier, MuxRequest, MuxResponse, MuxServer, MuxStatus,
     MUX_REQ_CODEC, MUX_RESP_CODEC,
 };
-pub use node::{UdsTransport, WireConfig, WireNode, WireStats, WIRE_CTRL_CONTEXT};
-pub use process::{spawn_worker, wire_role, WireRole, WorkerGuard};
+pub use node::{
+    UdsTransport, WireConfig, WireNode, WireStats, JOIN_OFFER_TAG, JOIN_REQ_TAG, JOIN_STATE_TAG,
+    WIRE_CTRL_CONTEXT,
+};
+pub use process::{
+    spawn_spare, spawn_worker, spawn_worker_max, wire_role, WireRole, WorkerGuard,
+};

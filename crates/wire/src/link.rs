@@ -146,6 +146,24 @@ impl LinkSender {
         self.write_clean(frame.encode())
     }
 
+    /// Sends a progress fence carrying our fence counter and the highest
+    /// data seq we have delivered from the peer. Like all control frames:
+    /// unsequenced, unretained, never faulted.
+    pub fn send_fence(&mut self, fence_seq: u64, watermark: u64) -> io::Result<()> {
+        let mut frame = Frame::control(FrameKind::ProgressFence, self.src);
+        frame.payload = encode_value(&(fence_seq, watermark));
+        self.write_clean(frame.encode())
+    }
+
+    /// Drops every retained data frame while keeping the sequence counter
+    /// monotone. Used when the rank behind this link is replaced by a fresh
+    /// process (spare-process join): the new peer starts a new session with
+    /// `last_recv_seq == 0`, and replaying the old occupant's frames at it
+    /// would deliver another rank's traffic.
+    pub fn clear_ring(&mut self) {
+        self.ring.clear();
+    }
+
     fn write_clean(&mut self, bytes: Vec<u8>) -> io::Result<()> {
         let stream = self
             .stream
@@ -292,6 +310,36 @@ mod tests {
         let hello = got[1].as_ref().unwrap();
         assert_eq!(hello.kind, FrameKind::Hello);
         assert_eq!(crate::codec::decode_value::<(u64, u64)>(&hello.payload).unwrap(), (0xfeed, 12));
+    }
+
+    #[test]
+    fn fences_bypass_faults_and_carry_watermarks() {
+        let (tx, mut rx) = pair();
+        let faults = WireFaults { seed: 1, drop: 1.0, ..WireFaults::none() };
+        let mut s = LinkSender::new(2, 1, faults);
+        s.attach(tx);
+        s.send_fence(7, 41).unwrap();
+        let mut fr = FrameReader::new();
+        let got = drain(&mut rx, &mut fr);
+        assert_eq!(got.len(), 1, "fences are control plane: exempt from injected loss");
+        let fence = got[0].as_ref().unwrap();
+        assert_eq!(fence.kind, FrameKind::ProgressFence);
+        assert_eq!(fence.src, 2);
+        assert_eq!(crate::codec::decode_value::<(u64, u64)>(&fence.payload).unwrap(), (7, 41));
+    }
+
+    #[test]
+    fn clear_ring_forgets_frames_but_keeps_sequence_monotone() {
+        let (tx, _rx) = pair();
+        let faults = WireFaults { seed: 1, drop: 1.0, ..WireFaults::none() };
+        let mut s = LinkSender::new(0, 1, faults);
+        s.attach(tx);
+        for i in 0..3u8 {
+            s.send_data(1, 1, 1, vec![i]).unwrap();
+        }
+        s.clear_ring();
+        assert_eq!(s.resend_since(0).unwrap(), 0, "nothing left to replay");
+        assert_eq!(s.send_data(1, 1, 1, vec![9]).unwrap(), 4, "seq continues past cleared frames");
     }
 
     #[test]

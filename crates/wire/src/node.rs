@@ -31,7 +31,7 @@
 use std::any::Any;
 use std::io::{self, Read};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,8 +54,33 @@ use crate::link::LinkSender;
 use std::os::unix::net::{UnixListener, UnixStream};
 
 /// Context id reserved for the node's own control protocol (survivor
-/// agreement); application traffic must stay below it.
+/// agreement and the spare-process join handshake); application traffic
+/// must stay below it.
 pub const WIRE_CTRL_CONTEXT: u32 = 0xffff_fff0;
+
+/// Join handshake: newcomer → sponsor, "I am rank `payload` and wired in".
+/// The join protocol owns the *negative* tag space on the control context;
+/// survivor agreement uses tags ≥ 0, so the two planes never collide.
+pub const JOIN_REQ_TAG: i32 = -1;
+/// Join handshake: sponsor → incumbent, a serialized
+/// [`JoinOffer`](mxn_runtime::JoinOffer).
+pub const JOIN_OFFER_TAG: i32 = -2;
+/// Join handshake: sponsor → newcomer, `[commit_flag, attempt(u32 LE),
+/// state…]` — the replayed state blob on commit, the abort notice
+/// otherwise.
+pub const JOIN_STATE_TAG: i32 = -6;
+
+/// Vote tag for join `attempt` (incumbent → sponsor). Salted per attempt
+/// so a straggling vote from an aborted attempt can never satisfy a later
+/// one.
+fn join_vote_tag(attempt: u64) -> i32 {
+    -100 - attempt as i32
+}
+
+/// Commit/abort tag for join `attempt` (sponsor → incumbent).
+fn join_commit_tag(attempt: u64) -> i32 {
+    -200 - attempt as i32
+}
 
 /// Configuration of one wire node.
 #[derive(Debug, Clone)]
@@ -82,6 +107,26 @@ pub struct WireConfig {
     pub seed: u64,
     /// Frame-layer fault injection policy.
     pub faults: WireFaults,
+    /// Upper bound on mesh size. Peer tables are preallocated to this, so
+    /// spare processes can join (rank `size`, `size+1`, …) without
+    /// reallocating rank-indexed state. Defaults to `size` (no spares).
+    pub max_size: usize,
+    /// Interval between progress fences on every live link. Fences carry
+    /// the delivered-sequence watermark that distinguishes a zombie
+    /// (socket open, application frozen) from a healthy peer.
+    pub fence_interval: Duration,
+    /// Consecutive fence ticks a peer's watermark may stall — while we
+    /// hold undelivered data for it — before it is quarantined.
+    pub fence_stall_fences: u32,
+    /// Reconnect-churn threshold: this many heartbeat-miss teardowns with
+    /// no intact frame in between quarantines the peer even when no data
+    /// is outstanding (the idle-zombie case: the kernel keeps accepting
+    /// our dials on the stopped process's listener backlog).
+    pub zombie_churn: u32,
+    /// How long a quarantined peer may stay frozen before it is evicted
+    /// for good. Resuming within the grace (watermark advances again)
+    /// re-admits it; past the grace the verdict is final.
+    pub quarantine_grace: Duration,
 }
 
 impl WireConfig {
@@ -98,6 +143,11 @@ impl WireConfig {
             connect_timeout: Duration::from_secs(10),
             seed: 1,
             faults: WireFaults::none(),
+            max_size: size,
+            fence_interval: Duration::from_millis(25),
+            fence_stall_fences: 4,
+            zombie_churn: 3,
+            quarantine_grace: Duration::from_millis(1500),
         }
     }
 
@@ -135,6 +185,18 @@ pub struct WireStats {
     pub reconnect_dials: u64,
     /// Heartbeat misses observed.
     pub heartbeat_misses: u64,
+    /// Progress fences sent.
+    pub fences_sent: u64,
+    /// Peers quarantined as zombies (watermark stall or reconnect churn).
+    pub zombies_quarantined: u64,
+    /// Quarantined peers re-admitted after their watermark resumed.
+    pub zombies_readmitted: u64,
+    /// Quarantined peers evicted for good after the grace expired.
+    pub zombies_evicted: u64,
+    /// Spare-process joins committed (as sponsor, voter, or newcomer).
+    pub joins_committed: u64,
+    /// Join attempts aborted and rolled back.
+    pub joins_aborted: u64,
 }
 
 #[derive(Default)]
@@ -145,6 +207,12 @@ struct StatsInner {
     duplicates_dropped: AtomicU64,
     reconnect_dials: AtomicU64,
     heartbeat_misses: AtomicU64,
+    fences_sent: AtomicU64,
+    zombies_quarantined: AtomicU64,
+    zombies_readmitted: AtomicU64,
+    zombies_evicted: AtomicU64,
+    joins_committed: AtomicU64,
+    joins_aborted: AtomicU64,
 }
 
 /// Per-peer connection state. The `LinkSender` (sequencing, ring) persists
@@ -169,6 +237,26 @@ struct Peer {
     session: AtomicU64,
     /// A reconnect thread is in flight.
     reconnecting: AtomicBool,
+    /// Last time we fenced this peer.
+    last_fence: Mutex<Instant>,
+    /// Our fence counter toward this peer.
+    fence_seq: AtomicU64,
+    /// Highest delivered-sequence watermark the peer has reported for
+    /// *our* outbound stream (via its ProgressFence frames).
+    peer_watermark: AtomicU64,
+    /// Consecutive fence ticks the watermark stalled with data
+    /// outstanding.
+    stall_fences: AtomicU64,
+    /// Heartbeat-miss teardowns since the last intact frame.
+    churn: AtomicU64,
+    /// The peer is quarantined: provisionally dead, frames dropped,
+    /// awaiting either resumed progress (readmit) or the grace expiring
+    /// (evict).
+    quarantined: AtomicBool,
+    /// The verdict is final: no readmission, no reconnect, ever.
+    evicted: AtomicBool,
+    /// When quarantine began (drives the eviction grace timer).
+    quarantined_at: Mutex<Option<Instant>>,
 }
 
 impl Peer {
@@ -184,6 +272,14 @@ impl Peer {
             last_recv_seq: AtomicU64::new(0),
             session: AtomicU64::new(0),
             reconnecting: AtomicBool::new(false),
+            last_fence: Mutex::new(now),
+            fence_seq: AtomicU64::new(0),
+            peer_watermark: AtomicU64::new(0),
+            stall_fences: AtomicU64::new(0),
+            churn: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            evicted: AtomicBool::new(false),
+            quarantined_at: Mutex::new(None),
         }
     }
 }
@@ -195,7 +291,12 @@ struct NodeShared {
     mailbox: Mailbox,
     liveness: Arc<Liveness>,
     registry: CodecRegistry,
+    /// Preallocated to `cfg.max_size`; ranks in `cur_size..max_size` are
+    /// parked spare slots.
     peers: Vec<Peer>,
+    /// Current mesh size. Starts at `cfg.size`, grows when a spare-process
+    /// join commits, shrinks back when an attempt is rescinded.
+    cur_size: AtomicUsize,
     abort: Arc<AtomicBool>,
     shutdown: AtomicBool,
     stats: StatsInner,
@@ -216,6 +317,10 @@ impl NodeShared {
         }
     }
 
+    fn cur_size(&self) -> usize {
+        self.cur_size.load(Ordering::Acquire)
+    }
+
     fn mark_disconnected(&self, peer: usize) {
         let mut at = self.peers[peer].disconnected_at.lock();
         if at.is_none() {
@@ -223,11 +328,169 @@ impl NodeShared {
         }
     }
 
+    /// One fence tick toward `peer`: sends our fence (carrying the
+    /// delivered watermark of the peer's stream) and judges the peer's
+    /// delivery of *our* stream. A watermark frozen across
+    /// `fence_stall_fences` consecutive ticks while we hold undelivered
+    /// data quarantines the peer — the socket being open proves nothing
+    /// (a SIGSTOP'd process's listener backlog still accepts), only
+    /// delivered sequence numbers prove the far application runs.
+    fn fence_tick(&self, peer: usize) {
+        let p = &self.peers[peer];
+        let fence_seq = p.fence_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let outstanding = {
+            let mut sender = p.sender.lock();
+            let watermark = p.last_recv_seq.load(Ordering::Acquire);
+            if sender.send_fence(fence_seq, watermark).is_err() {
+                sender.detach();
+                drop(sender);
+                self.mark_disconnected(peer);
+                return;
+            }
+            self.stats.fences_sent.fetch_add(1, Ordering::Relaxed);
+            sender.last_seq() > p.peer_watermark.load(Ordering::Acquire)
+        };
+        if outstanding {
+            let stalled = p.stall_fences.fetch_add(1, Ordering::AcqRel) + 1;
+            if stalled >= u64::from(self.cfg.fence_stall_fences) {
+                self.quarantine(peer, stalled);
+            }
+        } else {
+            p.stall_fences.store(0, Ordering::Release);
+        }
+    }
+
+    /// Quarantines `peer`: provisionally dead (blocked operations fail
+    /// fast with `PeerDead`), inbound data dropped, but reversible — a
+    /// resumed watermark before the grace expires re-admits it.
+    fn quarantine(&self, peer: usize, stalled_fences: u64) {
+        let p = &self.peers[peer];
+        if p.evicted.load(Ordering::Acquire) || p.quarantined.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        *p.quarantined_at.lock() = Some(Instant::now());
+        self.stats.zombies_quarantined.fetch_add(1, Ordering::Relaxed);
+        emit_instant(EventId::WireZombie, [peer as u64, 1, stalled_fences, 0]);
+        self.declare_dead(peer);
+    }
+
+    /// Re-admits a quarantined peer whose application proved it is
+    /// consuming again. Sends a fresh `Hello` so the peer replays the data
+    /// we dropped during quarantine (our `last_recv_seq` never advanced
+    /// past them).
+    fn readmit(&self, peer: usize) {
+        let p = &self.peers[peer];
+        if p.evicted.load(Ordering::Acquire) || !p.quarantined.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let held = p
+            .quarantined_at
+            .lock()
+            .take()
+            .map_or(0, |at| Instant::now().duration_since(at).as_micros() as u64);
+        p.stall_fences.store(0, Ordering::Release);
+        p.churn.store(0, Ordering::Release);
+        self.liveness.revive(peer);
+        self.stats.zombies_readmitted.fetch_add(1, Ordering::Relaxed);
+        emit_instant(EventId::WireZombie, [peer as u64, 2, 0, held]);
+        let mut sender = p.sender.lock();
+        let _ = sender.send_hello(self.session, p.last_recv_seq.load(Ordering::Acquire));
+    }
+
+    /// Makes the quarantine verdict final: the peer stays dead, its link
+    /// is closed, and no readmission or reconnect will ever touch it.
+    fn evict(&self, peer: usize) {
+        let p = &self.peers[peer];
+        if p.evicted.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let held = p
+            .quarantined_at
+            .lock()
+            .take()
+            .map_or(0, |at| Instant::now().duration_since(at).as_micros() as u64);
+        p.quarantined.store(false, Ordering::Release);
+        self.stats.zombies_evicted.fetch_add(1, Ordering::Relaxed);
+        emit_instant(EventId::WireZombie, [peer as u64, 3, 0, held]);
+        self.declare_dead(peer);
+        p.sender.lock().shutdown();
+    }
+
+    /// Opens an admission window for `new_rank` (must be the next free
+    /// slot): raises the membership so the acceptor, monitor, and send
+    /// path address it, and scrubs any state a previous occupant or
+    /// aborted attempt left behind. A connection the newcomer already made
+    /// is kept — voters admit *after* the newcomer dials the mesh.
+    fn begin_admit(&self, new_rank: usize) -> Result<()> {
+        let cur = self.cur_size();
+        if new_rank != cur || new_rank >= self.cfg.max_size {
+            return Err(RuntimeError::InvalidRank { rank: new_rank, size: self.cfg.max_size });
+        }
+        let p = &self.peers[new_rank];
+        p.evicted.store(false, Ordering::Release);
+        p.quarantined.store(false, Ordering::Release);
+        *p.quarantined_at.lock() = None;
+        p.stall_fences.store(0, Ordering::Release);
+        p.churn.store(0, Ordering::Release);
+        {
+            let mut sender = p.sender.lock();
+            // The joiner owes us nothing sent to a previous occupant: the
+            // watermark baseline starts at today's sequence counter, so
+            // only data sent *after* admission can count as outstanding.
+            p.peer_watermark.store(sender.last_seq(), Ordering::Release);
+            if !sender.is_connected() {
+                // No live connection from the joiner yet: forget the
+                // previous occupant entirely. The ring is cleared (its
+                // frames belong to a dead incarnation — replaying them at
+                // a fresh process would cross sessions) but the sequence
+                // counter stays monotone.
+                sender.clear_ring();
+                p.ever_connected.store(false, Ordering::Release);
+                p.session.store(0, Ordering::Release);
+                p.last_recv_seq.store(0, Ordering::Release);
+            }
+        }
+        self.liveness.revive(new_rank);
+        self.cur_size.store(cur + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Rolls an admission window back after an aborted join: closes any
+    /// half-made connection, scrubs the slot, and lowers the membership
+    /// (only if no later admit committed on top of it).
+    fn rescind_admit(&self, new_rank: usize) {
+        let p = &self.peers[new_rank];
+        {
+            let mut sender = p.sender.lock();
+            sender.shutdown();
+            sender.clear_ring();
+            p.peer_watermark.store(sender.last_seq(), Ordering::Release);
+        }
+        p.ever_connected.store(false, Ordering::Release);
+        p.session.store(0, Ordering::Release);
+        p.last_recv_seq.store(0, Ordering::Release);
+        *p.disconnected_at.lock() = None;
+        self.liveness.revive(new_rank);
+        let _ = self.cur_size.compare_exchange(
+            new_rank + 1,
+            new_rank,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
     /// Routes one decoded frame from `peer`.
     fn handle_frame(self: &Arc<Self>, peer: usize, frame: Frame) {
         match frame.kind {
             FrameKind::Data => {
                 let p = &self.peers[peer];
+                // A quarantined peer's data is dropped *without* advancing
+                // `last_recv_seq`: if the peer is re-admitted, the `Hello`
+                // we send announces the pre-quarantine watermark and its
+                // ring replays everything we refused here.
+                if p.quarantined.load(Ordering::Acquire) || p.evicted.load(Ordering::Acquire) {
+                    return;
+                }
                 // Duplicate guard: session resume may replay frames the
                 // original delivery already landed.
                 if frame.seq <= p.last_recv_seq.load(Ordering::Acquire) {
@@ -272,6 +535,39 @@ impl NodeShared {
                 // difference is no reconnect is attempted.
                 self.declare_dead(peer);
             }
+            FrameKind::ProgressFence => {
+                if let Ok((_fence_seq, watermark)) =
+                    crate::codec::decode_value::<(u64, u64)>(&frame.payload)
+                {
+                    let p = &self.peers[peer];
+                    let prev = p.peer_watermark.fetch_max(watermark, Ordering::AcqRel);
+                    let advanced = watermark > prev;
+                    if advanced {
+                        p.stall_fences.store(0, Ordering::Release);
+                    }
+                    // A fence *arriving at all* proves the peer's monitor
+                    // thread is scheduled again — a stopped process sends
+                    // nothing. Re-admit once it has either advanced or
+                    // fully caught up with our stream.
+                    if p.quarantined.load(Ordering::Acquire) {
+                        let caught_up = watermark >= p.sender.lock().last_seq();
+                        if advanced || caught_up {
+                            self.readmit(peer);
+                        }
+                    } else if !advanced && !p.evicted.load(Ordering::Acquire) {
+                        // A fence *repeating* a lagging watermark is a
+                        // NACK, not a freeze: the peer is running but
+                        // frames beyond the watermark were lost to bit
+                        // damage or a torn connection. Repair from the
+                        // resend ring — the duplicate guard on the far
+                        // side keeps redelivery exact-once.
+                        let mut sender = p.sender.lock();
+                        if sender.is_connected() && sender.last_seq() > watermark {
+                            let _ = sender.resend_since(watermark);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -305,6 +601,11 @@ impl NodeShared {
         attempt: u64,
     ) -> io::Result<()> {
         let p = &self.peers[peer];
+        // A zombie peer stops draining its socket; once the kernel buffer
+        // fills, a blocking `write_all` would wedge whichever thread holds
+        // the sender lock (the monitor included). Bound every write so a
+        // full pipe surfaces as a link failure instead.
+        stream.set_write_timeout(Some(self.cfg.liveness_deadline))?;
         let read_half = stream.try_clone()?;
         let generation = {
             let mut sender = p.sender.lock();
@@ -351,7 +652,17 @@ impl NodeShared {
             while let Some(res) = frames.next() {
                 *self.peers[peer].last_heard.lock() = Instant::now();
                 match res {
-                    Ok(frame) => self.handle_frame(peer, frame),
+                    Ok(frame) => {
+                        // Any intact frame resets the reconnect-churn and
+                        // fence-stall counters: the peer's application
+                        // demonstrably ran. A zombie sends *nothing* — a
+                        // peer on a lossy wire keeps proving itself with
+                        // every frame that survives, so bit damage alone
+                        // can never convict it.
+                        self.peers[peer].churn.store(0, Ordering::Release);
+                        self.peers[peer].stall_fences.store(0, Ordering::Release);
+                        self.handle_frame(peer, frame);
+                    }
                     Err(FrameError::Corrupt { skipped, header, .. }) => {
                         self.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
                         emit_instant(
@@ -429,7 +740,10 @@ impl NodeShared {
                             let _trace = shared.install_trace();
                             if let Ok((hello, frames)) = NodeShared::read_hello(&stream) {
                                 let peer = hello.src as usize;
-                                if peer < shared.cfg.size && peer != shared.cfg.rank {
+                                // Accept up to `max_size`: a joining spare
+                                // dials the mesh before every incumbent has
+                                // raised its membership.
+                                if peer < shared.cfg.max_size && peer != shared.cfg.rank {
                                     if let Ok((session, last_recv)) =
                                         crate::codec::decode_value::<(u64, u64)>(&hello.payload)
                                     {
@@ -450,18 +764,40 @@ impl NodeShared {
         }
     }
 
-    /// Heartbeat/liveness monitor: beacons live links, detects silence,
-    /// launches reconnects, and expires the passive reconnect window.
+    /// Heartbeat/liveness monitor: beacons live links, fences them for
+    /// end-to-end progress, detects silence, launches reconnects, expires
+    /// the passive reconnect window, and walks peers through the
+    /// quarantine → readmit/evict state machine.
     fn monitor_loop(self: Arc<Self>) {
         let tick = self.cfg.heartbeat / 2;
         while !self.shutdown.load(Ordering::Acquire) {
             std::thread::sleep(tick);
             let now = Instant::now();
-            for peer in 0..self.cfg.size {
-                if peer == self.cfg.rank || self.liveness.is_dead(peer) {
+            for peer in 0..self.cur_size() {
+                if peer == self.cfg.rank {
                     continue;
                 }
                 let p = &self.peers[peer];
+                if p.evicted.load(Ordering::Acquire) {
+                    continue; // verdict is final
+                }
+                if p.quarantined.load(Ordering::Acquire) {
+                    // Quarantine: liveness says dead, but the link (if
+                    // any) stays up so a resumed peer's fences can reach
+                    // us and trigger readmission. No beacons, no silence
+                    // checks, no reconnects — just the grace timer.
+                    let expired = p
+                        .quarantined_at
+                        .lock()
+                        .is_some_and(|at| now.duration_since(at) > self.cfg.quarantine_grace);
+                    if expired {
+                        self.evict(peer);
+                    }
+                    continue;
+                }
+                if self.liveness.is_dead(peer) {
+                    continue; // dead by crash/agreement, not quarantine
+                }
                 if !p.ever_connected.load(Ordering::Acquire) {
                     continue; // still in startup; `connect` owns this phase
                 }
@@ -474,6 +810,13 @@ impl NodeShared {
                             sender.detach();
                             drop(sender);
                             self.mark_disconnected(peer);
+                            continue;
+                        }
+                    }
+                    if now.duration_since(*p.last_fence.lock()) >= self.cfg.fence_interval {
+                        *p.last_fence.lock() = now;
+                        self.fence_tick(peer);
+                        if p.quarantined.load(Ordering::Acquire) {
                             continue;
                         }
                     }
@@ -490,11 +833,18 @@ impl NodeShared {
                             ],
                         );
                         // Tear the link down; reconnect (or the passive
-                        // window) decides whether the peer is dead.
+                        // window) decides whether the peer is dead. Count
+                        // the churn: a zombie's listener backlog lets the
+                        // redial "succeed", so miss → reconnect → miss
+                        // cycles are themselves a detection signal.
+                        let churn = p.churn.fetch_add(1, Ordering::AcqRel) + 1;
                         let mut sender = p.sender.lock();
                         sender.shutdown();
                         drop(sender);
                         self.mark_disconnected(peer);
+                        if churn >= u64::from(self.cfg.zombie_churn) {
+                            self.quarantine(peer, 0);
+                        }
                     }
                 } else {
                     let since = p.disconnected_at.lock().map(|at| now.duration_since(at));
@@ -550,7 +900,18 @@ impl NodeShared {
                     return;
                 }
             }
-            std::thread::sleep(policy.retry_pause(base, attempt));
+            // Interruptible backoff: a `Bye` (or any other death verdict)
+            // that lands mid-pause must cancel the remaining attempts now,
+            // not after the full schedule drains — otherwise the redial
+            // races the goodbye and can resurrect a link to a peer that
+            // already left on purpose.
+            let wake = Instant::now() + policy.retry_pause(base, attempt);
+            while Instant::now() < wake {
+                if self.shutdown.load(Ordering::Acquire) || self.liveness.is_dead(peer) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
             base = base.saturating_mul(2);
         }
         emit(
@@ -574,8 +935,9 @@ impl NodeShared {
         codec: u32,
         bytes: Vec<u8>,
     ) -> Result<()> {
-        if dst >= self.cfg.size {
-            return Err(RuntimeError::InvalidRank { rank: dst, size: self.cfg.size });
+        let size = self.cur_size();
+        if dst >= size {
+            return Err(RuntimeError::InvalidRank { rank: dst, size });
         }
         if self.liveness.is_dead(dst) {
             return Err(RuntimeError::PeerDead { rank: dst });
@@ -618,23 +980,28 @@ impl WireNode {
         registry: CodecRegistry,
         trace: Option<TraceHandle>,
     ) -> io::Result<WireNode> {
+        assert!(cfg.max_size >= cfg.size, "max_size must admit the initial membership");
         std::fs::create_dir_all(&cfg.dir)?;
         let path = cfg.sock_path(cfg.rank);
         let _ = std::fs::remove_file(&path);
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
         let abort = Arc::new(AtomicBool::new(false));
-        let liveness = Arc::new(Liveness::new(cfg.size));
+        // Rank-indexed state is sized to the ceiling once; spare slots in
+        // `size..max_size` sit parked until a join admits them.
+        let liveness = Arc::new(Liveness::new(cfg.max_size));
         let revocations = Arc::new(Revocations::default());
         let session = splitmix64((u64::from(std::process::id()) << 20) ^ cfg.rank as u64 | 1);
-        let peers =
-            (0..cfg.size).map(|peer| Peer::new(cfg.rank as u32, peer as u32, cfg.faults)).collect();
+        let peers = (0..cfg.max_size)
+            .map(|peer| Peer::new(cfg.rank as u32, peer as u32, cfg.faults))
+            .collect();
         let shared = Arc::new(NodeShared {
             mailbox: Mailbox::new(abort.clone(), liveness.clone(), revocations),
             session,
             liveness,
             registry,
             peers,
+            cur_size: AtomicUsize::new(cfg.size),
             abort,
             shutdown: AtomicBool::new(false),
             stats: StatsInner::default(),
@@ -710,9 +1077,14 @@ impl WireNode {
         self.shared.cfg.rank
     }
 
-    /// Mesh size.
+    /// Current mesh size (grows when a spare-process join commits).
     pub fn size(&self) -> usize {
-        self.shared.cfg.size
+        self.shared.cur_size()
+    }
+
+    /// The preallocated membership ceiling ([`WireConfig::max_size`]).
+    pub fn max_size(&self) -> usize {
+        self.shared.cfg.max_size
     }
 
     /// The shared liveness registry — the same type, with the same
@@ -739,10 +1111,47 @@ impl WireNode {
         true
     }
 
+    /// Whether `rank` is currently quarantined (provisionally dead: frames
+    /// dropped, operations fail fast, but readmission is still possible).
+    pub fn is_quarantined(&self, rank: usize) -> bool {
+        self.shared.peers[rank].quarantined.load(Ordering::Acquire)
+    }
+
+    /// Whether the quarantine verdict on `rank` became final.
+    pub fn is_evicted(&self, rank: usize) -> bool {
+        self.shared.peers[rank].evicted.load(Ordering::Acquire)
+    }
+
+    /// Blocks until `rank` enters quarantine (or is evicted outright) or
+    /// `timeout` passes; returns whether it happened in time.
+    pub fn await_quarantine(&self, rank: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.is_quarantined(rank) && !self.is_evicted(rank) {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Blocks until `rank` is back in good standing — neither quarantined
+    /// nor dead — or `timeout` passes; returns whether it was re-admitted.
+    pub fn await_readmit(&self, rank: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.is_quarantined(rank) || self.is_dead(rank) {
+            if self.is_evicted(rank) || Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
     /// Arms or disarms frame-layer fault injection on every link (the
     /// wire analogue of `Process::set_faults_armed`).
     pub fn set_faults_armed(&self, armed: bool) {
-        for peer in 0..self.shared.cfg.size {
+        for peer in 0..self.shared.cur_size() {
             if peer != self.shared.cfg.rank {
                 self.shared.peers[peer].sender.lock().set_armed(armed);
             }
@@ -809,12 +1218,14 @@ impl WireNode {
     /// wire analogue of the membership plane's agreement). Peers that stay
     /// silent past `timeout` are treated as dead.
     pub fn agree_survivors(&self, epoch: u32, timeout: Duration) -> Result<Vec<usize>> {
-        let size = self.shared.cfg.size;
+        let size = self.shared.cur_size();
         assert!(size <= 64, "bitmap agreement supports up to 64 ranks");
         let me = self.shared.cfg.rank;
         let mut view: u64 = 0;
         for r in self.shared.liveness.dead_ranks() {
-            view |= 1 << r;
+            if r < size {
+                view |= 1 << r;
+            }
         }
         for round in 0..2i32 {
             let tag = (epoch as i32) * 2 + round;
@@ -836,7 +1247,200 @@ impl WireNode {
                 }
             }
         }
+        // Commit the verdict locally: every rank in the agreed dead set is
+        // dead *and evicted* here, even if this node never independently
+        // detected it — and a quarantined zombie that resumes after this
+        // point must not resurrect (the agreement is the point of no
+        // return, exactly like the membership plane's epoch commit).
+        for r in 0..size {
+            if r != me && view & (1 << r) != 0 {
+                let p = &self.shared.peers[r];
+                p.quarantined.store(false, Ordering::Release);
+                p.evicted.store(true, Ordering::Release);
+                self.shared.declare_dead(r);
+            }
+        }
         Ok((0..size).filter(|r| view & (1 << r) == 0).collect())
+    }
+
+    /// Sponsors one attempt to admit a spare process as rank
+    /// `self.size()`, mirroring the membership plane's §4i join handshake
+    /// at the wire plane: offer → unanimous vote → commit, any failure →
+    /// rescind. On commit, `state` is replayed to the newcomer (the wire
+    /// analogue of the RMA rebind: the blob carries whatever the
+    /// application needs to resume — last committed step, bounds, data)
+    /// and every incumbent's mesh has grown by one. On abort, everything
+    /// rolls back and the old mesh stays fully usable.
+    ///
+    /// The sequence, from the sponsor's seat:
+    /// 1. open the admission window (raise membership to `new_rank + 1`);
+    /// 2. wait for the newcomer's `JoinReq` — it has already dialed the
+    ///    whole mesh by the time it sends one;
+    /// 3. serialize a [`JoinOffer`](mxn_runtime::JoinOffer) to every live
+    ///    incumbent and collect their votes (a vote arrives only if the
+    ///    newcomer's connection reached that incumbent too);
+    /// 4. unanimity → commit + state replay; anything else →
+    ///    [`RuntimeError::ReconfigAborted`] and a rescind on every node.
+    pub fn expand_mesh(&self, attempt: u64, state: &[u8], timeout: Duration) -> Result<usize> {
+        let me = self.shared.cfg.rank;
+        let new_rank = self.shared.cur_size();
+        emit(EventId::WireJoin, Phase::Begin, [new_rank as u64, attempt, 0, new_rank as u64]);
+        self.shared.begin_admit(new_rank)?;
+        let incumbents: Vec<usize> =
+            (0..new_rank).filter(|&r| r != me && !self.is_dead(r)).collect();
+        let abort = |offered: bool, err: RuntimeError| -> Result<usize> {
+            // Tell the incumbents — but only if the offer went out and
+            // they are actually waiting on a commit tag; a stray verdict
+            // frame would linger and could satisfy a later same-numbered
+            // attempt. Notify the newcomer if it is reachable, then roll
+            // the window back.
+            if offered {
+                for &r in &incumbents {
+                    let _ = self.send(r, WIRE_CTRL_CONTEXT, join_commit_tag(attempt), 0u64);
+                }
+            }
+            let mut notice = vec![0u8];
+            notice.extend_from_slice(&(attempt as u32).to_le_bytes());
+            let _ = self.send(new_rank, WIRE_CTRL_CONTEXT, JOIN_STATE_TAG, notice);
+            self.shared.rescind_admit(new_rank);
+            self.shared.stats.joins_aborted.fetch_add(1, Ordering::Relaxed);
+            emit(EventId::WireJoin, Phase::End, [new_rank as u64, attempt, 0, new_rank as u64]);
+            Err(err)
+        };
+        // 2. The newcomer announces itself once its side of the mesh is up.
+        match self.recv_timeout::<u64>(new_rank, WIRE_CTRL_CONTEXT, JOIN_REQ_TAG, timeout) {
+            Ok(claimed) if claimed as usize == new_rank => {}
+            Ok(_) | Err(_) => {
+                return abort(
+                    false,
+                    RuntimeError::ReconfigAborted { context: WIRE_CTRL_CONTEXT, attempt },
+                )
+            }
+        }
+        // 3. Offer + votes.
+        let new_group: Vec<usize> = (0..=new_rank).collect();
+        let offer = mxn_runtime::JoinOffer {
+            side: 0,
+            local_rank: new_rank,
+            context: WIRE_CTRL_CONTEXT,
+            attempt,
+            epoch: (new_rank + 1) as u64,
+            local_group: new_group.clone(),
+            remote_group: Vec::new(),
+            old_local_group: (0..new_rank).collect(),
+            old_remote_group: Vec::new(),
+            participants: new_group,
+        };
+        let bytes = offer.to_wire_bytes();
+        for &r in &incumbents {
+            let _ = self.send(r, WIRE_CTRL_CONTEXT, JOIN_OFFER_TAG, bytes.clone());
+        }
+        let mut unanimous = true;
+        for &r in &incumbents {
+            match self.recv_timeout::<u64>(r, WIRE_CTRL_CONTEXT, join_vote_tag(attempt), timeout) {
+                Ok(1) => {}
+                Ok(_) | Err(_) => unanimous = false,
+            }
+        }
+        // Our own vote: the newcomer must still be wired to us.
+        if self.is_dead(new_rank) || !self.shared.peers[new_rank].sender.lock().is_connected() {
+            unanimous = false;
+        }
+        if !unanimous {
+            return abort(
+                true,
+                RuntimeError::ReconfigAborted { context: WIRE_CTRL_CONTEXT, attempt },
+            );
+        }
+        // 4. Commit everywhere, then hand the newcomer its state.
+        for &r in &incumbents {
+            let _ = self.send(r, WIRE_CTRL_CONTEXT, join_commit_tag(attempt), 1u64);
+        }
+        let mut msg = Vec::with_capacity(5 + state.len());
+        msg.push(1u8);
+        msg.extend_from_slice(&(attempt as u32).to_le_bytes());
+        msg.extend_from_slice(state);
+        self.send(new_rank, WIRE_CTRL_CONTEXT, JOIN_STATE_TAG, msg)?;
+        self.shared.stats.joins_committed.fetch_add(1, Ordering::Relaxed);
+        emit(
+            EventId::WireJoin,
+            Phase::End,
+            [new_rank as u64, attempt, 1, (new_rank + 1) as u64],
+        );
+        Ok(new_rank + 1)
+    }
+
+    /// Incumbent's side of one join attempt: receives the sponsor's offer,
+    /// opens the admission window, waits for the newcomer's connection to
+    /// arrive, votes, and applies the sponsor's verdict — growing the mesh
+    /// on commit, rescinding on abort. Returns the admitted rank.
+    pub fn join_vote(&self, sponsor: usize, timeout: Duration) -> Result<usize> {
+        let bytes: Vec<u8> =
+            self.recv_timeout(sponsor, WIRE_CTRL_CONTEXT, JOIN_OFFER_TAG, timeout)?;
+        let offer = mxn_runtime::JoinOffer::from_wire_bytes(&bytes)
+            .ok_or(RuntimeError::Corrupt { src: sponsor, tag: JOIN_OFFER_TAG })?;
+        let attempt = offer.attempt;
+        let new_rank = offer.local_rank;
+        let admitted = self.shared.begin_admit(new_rank).is_ok();
+        // The newcomer dials the whole mesh before announcing itself to
+        // the sponsor, so its connection is usually already here; a dead
+        // newcomer (killed mid-join) shows up as EOF → never connected.
+        let mut wired = false;
+        if admitted {
+            let deadline = Instant::now() + timeout;
+            loop {
+                if self.shared.peers[new_rank].sender.lock().is_connected() {
+                    wired = true;
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let _ =
+            self.send(sponsor, WIRE_CTRL_CONTEXT, join_vote_tag(attempt), u64::from(wired));
+        let verdict =
+            self.recv_timeout::<u64>(sponsor, WIRE_CTRL_CONTEXT, join_commit_tag(attempt), timeout);
+        match verdict {
+            Ok(1) => {
+                self.shared.stats.joins_committed.fetch_add(1, Ordering::Relaxed);
+                emit_instant(EventId::WireJoin, [new_rank as u64, attempt, 1, self.size() as u64]);
+                Ok(new_rank)
+            }
+            _ => {
+                if admitted {
+                    self.shared.rescind_admit(new_rank);
+                }
+                self.shared.stats.joins_aborted.fetch_add(1, Ordering::Relaxed);
+                emit_instant(EventId::WireJoin, [new_rank as u64, attempt, 0, self.size() as u64]);
+                Err(RuntimeError::ReconfigAborted { context: WIRE_CTRL_CONTEXT, attempt })
+            }
+        }
+    }
+
+    /// Newcomer's side: announces itself to the sponsor (call after
+    /// [`WireNode::connect`] wired the mesh) and blocks for the verdict.
+    /// On commit, returns the state blob the sponsor replayed — the
+    /// newcomer resumes exactly where the membership left off. On abort,
+    /// [`RuntimeError::ReconfigAborted`].
+    pub fn join_mesh(&self, sponsor: usize, timeout: Duration) -> Result<Vec<u8>> {
+        self.send(sponsor, WIRE_CTRL_CONTEXT, JOIN_REQ_TAG, self.rank() as u64)?;
+        let msg: Vec<u8> = self.recv_timeout(sponsor, WIRE_CTRL_CONTEXT, JOIN_STATE_TAG, timeout)?;
+        match msg.split_first() {
+            Some((1, rest)) if rest.len() >= 4 => Ok(rest[4..].to_vec()),
+            Some((_, rest)) => {
+                let attempt = rest
+                    .get(..4)
+                    .map_or(0, |b| u32::from_le_bytes(b.try_into().expect("4 bytes")));
+                Err(RuntimeError::ReconfigAborted {
+                    context: WIRE_CTRL_CONTEXT,
+                    attempt: u64::from(attempt),
+                })
+            }
+            None => Err(RuntimeError::Corrupt { src: sponsor, tag: JOIN_STATE_TAG }),
+        }
     }
 
     /// Snapshot of the wire counters.
@@ -849,6 +1453,12 @@ impl WireNode {
             duplicates_dropped: s.duplicates_dropped.load(Ordering::Relaxed),
             reconnect_dials: s.reconnect_dials.load(Ordering::Relaxed),
             heartbeat_misses: s.heartbeat_misses.load(Ordering::Relaxed),
+            fences_sent: s.fences_sent.load(Ordering::Relaxed),
+            zombies_quarantined: s.zombies_quarantined.load(Ordering::Relaxed),
+            zombies_readmitted: s.zombies_readmitted.load(Ordering::Relaxed),
+            zombies_evicted: s.zombies_evicted.load(Ordering::Relaxed),
+            joins_committed: s.joins_committed.load(Ordering::Relaxed),
+            joins_aborted: s.joins_aborted.load(Ordering::Relaxed),
         }
     }
 
@@ -868,7 +1478,7 @@ impl WireNode {
         if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
-        for peer in 0..self.shared.cfg.size {
+        for peer in 0..self.shared.cur_size() {
             if peer == self.shared.cfg.rank || self.shared.liveness.is_dead(peer) {
                 continue;
             }
@@ -909,7 +1519,11 @@ impl Transport for UdsTransport {
     }
 
     fn size(&self) -> usize {
-        self.shared.cfg.size
+        self.shared.cur_size()
+    }
+
+    fn capacity(&self) -> usize {
+        self.shared.cfg.max_size
     }
 
     fn deliver(&self, dst: usize, env: Envelope) -> Result<()> {
@@ -1091,6 +1705,110 @@ mod tests {
         assert_eq!(survivors[0], vec![0, 1]);
         assert_eq!(survivors[1], vec![0, 1]);
         drop(crashed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn mesh_max(dir: &Path, n: usize, max: usize) -> Vec<WireNode> {
+        let nodes: Vec<WireNode> = (0..n)
+            .map(|r| {
+                let mut cfg = WireConfig::new(dir, r, n);
+                cfg.max_size = max;
+                WireNode::start(cfg, CodecRegistry::with_defaults()).unwrap()
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for node in &nodes {
+                s.spawn(move || node.connect().unwrap());
+            }
+        });
+        nodes
+    }
+
+    #[test]
+    fn zombie_peer_is_quarantined_then_evicted() {
+        let dir = test_dir("zombie");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Rank 0 plays the SIGSTOP'd zombie: its listener's kernel backlog
+        // accepts every dial, but the "application" never reads a byte and
+        // never speaks. Heartbeat-miss → reconnect loops forever; only the
+        // frozen watermark tells the truth.
+        let _zombie = UnixListener::bind(dir.join("rank_0.sock")).unwrap();
+        let mut cfg = WireConfig::new(&dir, 1, 2);
+        cfg.quarantine_grace = Duration::from_millis(400);
+        let node = WireNode::start(cfg, CodecRegistry::with_defaults()).unwrap();
+        node.connect().unwrap();
+        // Outstanding data: the stall detector needs something undelivered.
+        node.send(0, 1, 1, 7u64).unwrap();
+        assert!(node.await_quarantine(0, Duration::from_secs(10)), "watermark stall missed");
+        assert!(node.is_dead(0), "quarantine poisons liveness immediately");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !node.is_evicted(0) {
+            assert!(Instant::now() < deadline, "grace expiry never evicted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!node.is_quarantined(0), "eviction supersedes quarantine");
+        let stats = node.stats();
+        assert!(stats.fences_sent >= 1);
+        assert_eq!(stats.zombies_quarantined, 1);
+        assert_eq!(stats.zombies_evicted, 1);
+        assert_eq!(stats.zombies_readmitted, 0);
+        assert!(matches!(node.send(0, 1, 1, 8u64), Err(RuntimeError::PeerDead { rank: 0 })));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spare_node_joins_and_the_mesh_grows() {
+        let dir = test_dir("join");
+        let nodes = mesh_max(&dir, 3, 4);
+        let mut cfg = WireConfig::new(&dir, 3, 4);
+        cfg.max_size = 4;
+        let spare = WireNode::start(cfg, CodecRegistry::with_defaults()).unwrap();
+        let t = Duration::from_secs(10);
+        std::thread::scope(|s| {
+            let sponsor = s.spawn(|| nodes[0].expand_mesh(0, b"step=42", t).unwrap());
+            let v1 = s.spawn(|| nodes[1].join_vote(0, t).unwrap());
+            let v2 = s.spawn(|| nodes[2].join_vote(0, t).unwrap());
+            let newcomer = s.spawn(|| {
+                spare.connect().unwrap();
+                spare.join_mesh(0, t).unwrap()
+            });
+            assert_eq!(sponsor.join().unwrap(), 4);
+            assert_eq!(v1.join().unwrap(), 3);
+            assert_eq!(v2.join().unwrap(), 3);
+            assert_eq!(newcomer.join().unwrap(), b"step=42".to_vec());
+        });
+        for node in &nodes {
+            assert_eq!(node.size(), 4, "rank {} never grew", node.rank());
+        }
+        // The admitted rank is a first-class member: traffic both ways.
+        nodes[1].send(3, 2, 9, 123u64).unwrap();
+        let got: u64 = spare.recv_timeout(1, 2, 9, t).unwrap();
+        assert_eq!(got, 123);
+        spare.send(2, 2, 10, 321u64).unwrap();
+        let got: u64 = nodes[2].recv_timeout(3, 2, 10, t).unwrap();
+        assert_eq!(got, 321);
+        assert_eq!(nodes[0].stats().joins_committed, 1);
+        let transport = nodes[0].transport();
+        assert_eq!(transport.size(), 4);
+        assert_eq!(transport.capacity(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expand_without_a_newcomer_aborts_and_rolls_back() {
+        let dir = test_dir("join-abort");
+        let nodes = mesh_max(&dir, 2, 3);
+        let err = nodes[0].expand_mesh(5, b"", Duration::from_millis(300)).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::ReconfigAborted { context: WIRE_CTRL_CONTEXT, attempt: 5 }),
+            "got {err:?}"
+        );
+        assert_eq!(nodes[0].size(), 2, "membership rolled back");
+        assert_eq!(nodes[0].stats().joins_aborted, 1);
+        // The old mesh is untouched by the aborted attempt.
+        nodes[0].send(1, 1, 1, 11u64).unwrap();
+        let got: u64 = nodes[1].recv_timeout(0, 1, 1, Duration::from_secs(5)).unwrap();
+        assert_eq!(got, 11);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -20,6 +20,12 @@ pub const ENV_SIZE: &str = "MXN_WIRE_SIZE";
 pub const ENV_DIR: &str = "MXN_WIRE_DIR";
 /// Environment variable carrying the shared deterministic seed.
 pub const ENV_SEED: &str = "MXN_WIRE_SEED";
+/// Environment variable carrying the membership ceiling (`max_size`).
+pub const ENV_MAX: &str = "MXN_WIRE_MAX";
+/// Environment variable marking a spare process (set to `1`): a worker
+/// launched *after* the initial mesh, expected to join via the wire
+/// handshake instead of participating in startup connect.
+pub const ENV_SPARE: &str = "MXN_WIRE_SPARE";
 
 /// What a re-exec'd process is supposed to be.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +34,10 @@ pub struct WireRole {
     pub rank: usize,
     /// Total mesh size (driver + workers).
     pub size: usize,
+    /// Membership ceiling (defaults to `size` when the launcher set none).
+    pub max_size: usize,
+    /// Whether this process is a late-joining spare.
+    pub spare: bool,
     /// Directory holding the per-rank sockets.
     pub dir: PathBuf,
     /// Deterministic seed shared by the whole run.
@@ -37,10 +47,12 @@ pub struct WireRole {
 /// Reads the worker environment; `None` means this process is the driver.
 pub fn wire_role() -> Option<WireRole> {
     let rank = std::env::var(ENV_RANK).ok()?.parse().ok()?;
-    let size = std::env::var(ENV_SIZE).ok()?.parse().ok()?;
+    let size: usize = std::env::var(ENV_SIZE).ok()?.parse().ok()?;
     let dir = PathBuf::from(std::env::var(ENV_DIR).ok()?);
     let seed = std::env::var(ENV_SEED).ok().and_then(|s| s.parse().ok()).unwrap_or(1);
-    Some(WireRole { rank, size, dir, seed })
+    let max_size = std::env::var(ENV_MAX).ok().and_then(|s| s.parse().ok()).unwrap_or(size);
+    let spare = std::env::var(ENV_SPARE).is_ok_and(|s| s == "1");
+    Some(WireRole { rank, size, max_size, spare, dir, seed })
 }
 
 /// A spawned worker process, killed on drop so a failing driver/test never
@@ -66,6 +78,19 @@ impl WorkerGuard {
     pub fn kill(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+    }
+
+    /// SIGSTOPs the worker — the "zombie" fault. The process freezes but
+    /// its sockets stay open and its listener backlog keeps accepting, so
+    /// heartbeat-miss/reconnect alone never convicts it; only the
+    /// progress-fence watermark does.
+    pub fn sigstop(&self) -> bool {
+        signal(self.pid(), "-STOP")
+    }
+
+    /// SIGCONTs a stopped worker, resuming it where it froze.
+    pub fn sigcont(&self) -> bool {
+        signal(self.pid(), "-CONT")
     }
 
     /// Waits up to `timeout` for clean exit; returns whether the worker
@@ -94,6 +119,20 @@ impl Drop for WorkerGuard {
     }
 }
 
+/// Sends `sig` (a `/bin/kill` flag like `-STOP`) to `pid`; returns whether
+/// the signal was delivered. Uses the external `kill` so no libc binding
+/// is needed.
+fn signal(pid: u32, sig: &str) -> bool {
+    Command::new("/bin/kill")
+        .args([sig, &pid.to_string()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
 /// Re-execs the current binary as worker `rank` of `size`, passing through
 /// `extra_args` (e.g. a test filter like `--exact worker_entry`).
 pub fn spawn_worker(
@@ -103,17 +142,63 @@ pub fn spawn_worker(
     seed: u64,
     extra_args: &[&str],
 ) -> std::io::Result<WorkerGuard> {
+    spawn_inner(rank, size, size, false, dir, seed, extra_args)
+}
+
+/// [`spawn_worker`] for elastic meshes: the worker's node is configured
+/// with a `max_size` ceiling above its initial `size`, leaving parked
+/// slots for spare processes to join later.
+pub fn spawn_worker_max(
+    rank: usize,
+    size: usize,
+    max_size: usize,
+    dir: &Path,
+    seed: u64,
+    extra_args: &[&str],
+) -> std::io::Result<WorkerGuard> {
+    spawn_inner(rank, size, max_size, false, dir, seed, extra_args)
+}
+
+/// Re-execs the current binary as a *spare* process: rank `size`
+/// (the next free slot) of a mesh whose incumbents were launched with
+/// `size` ranks and a `max_size` ceiling. The spare's [`wire_role`] comes
+/// back with `spare == true`; its worker entry is expected to dial the
+/// mesh and run the join handshake rather than the startup connect.
+pub fn spawn_spare(
+    rank: usize,
+    size: usize,
+    max_size: usize,
+    dir: &Path,
+    seed: u64,
+    extra_args: &[&str],
+) -> std::io::Result<WorkerGuard> {
+    spawn_inner(rank, size, max_size, true, dir, seed, extra_args)
+}
+
+fn spawn_inner(
+    rank: usize,
+    size: usize,
+    max_size: usize,
+    spare: bool,
+    dir: &Path,
+    seed: u64,
+    extra_args: &[&str],
+) -> std::io::Result<WorkerGuard> {
     let exe = std::env::current_exe()?;
-    let child = Command::new(exe)
-        .args(extra_args)
+    let mut cmd = Command::new(exe);
+    cmd.args(extra_args)
         .env(ENV_RANK, rank.to_string())
         .env(ENV_SIZE, size.to_string())
+        .env(ENV_MAX, max_size.to_string())
         .env(ENV_DIR, dir)
         .env(ENV_SEED, seed.to_string())
         .stdin(Stdio::null())
         .stdout(Stdio::inherit())
-        .stderr(Stdio::inherit())
-        .spawn()?;
+        .stderr(Stdio::inherit());
+    if spare {
+        cmd.env(ENV_SPARE, "1");
+    }
+    let child = cmd.spawn()?;
     Ok(WorkerGuard { child, rank })
 }
 

@@ -9,9 +9,14 @@
 //!
 //! Two exporters feed two importers a 12×12 field through a persistent
 //! connection; three spare ranks park in [`MxnConnection::join`]. Every
-//! incumbent runs an identical [`Autoscaler`] replica over a scripted load
-//! curve (high for six epochs, idle after), so all replicas decide the
-//! same thing at the same epoch:
+//! incumbent runs an identical [`Autoscaler`] replica fed by *measured*
+//! mailbox gauges, not invented numbers: during the loaded phase (the
+//! first six epochs) each incumbent exchanges ballast bursts with its
+//! counterpart and then samples its own mailbox occupancy via
+//! `InterComm::sample_mailbox_gauge` — the peak-since-last-sample
+//! watermark sees the backlog even though it fully drains before the
+//! sample. Identical traffic on every incumbent keeps the policy replicas
+//! in lockstep, so all replicas decide the same thing at the same epoch:
 //!
 //! * **epoch 2** — sustained pressure: `Grow {{ add: 2 }}`. The first two
 //!   parked spares are invited, but one died right after startup, so the
@@ -32,7 +37,7 @@
 use std::time::Duration;
 
 use mxn::core::{
-    Autoscaler, AutoscalerConfig, ConnectionKind, Direction, FieldData, FieldRegistry, LoadSample,
+    Autoscaler, AutoscalerConfig, ConnectionKind, Direction, FieldData, FieldRegistry,
     MxnConnection, MxnError, ScaleDecision,
 };
 use mxn::dad::{AccessMode, Dad, Extents};
@@ -42,6 +47,14 @@ use mxn::trace::EventId;
 const CAPACITY: usize = 7; // 4 incumbents + 3 spares
 const DOOMED: usize = 4; // the spare that dies before the first invite
 const EPOCHS: u64 = 12;
+/// Epochs under ballast pressure; the queue reads idle afterwards.
+const LOADED_EPOCHS: u64 = 6;
+/// Ballast burst: each message alone crosses the high-water threshold, so
+/// the measured peak convicts "overloaded" regardless of how eagerly the
+/// receiving thread drains.
+const BALLAST_MSGS: usize = 2;
+const BALLAST_DOUBLES: usize = 12 * 1024; // 96 KiB per message
+const BALLAST_TAG: i32 = 4242;
 
 fn coded(idx: &[usize], step: f64) -> f64 {
     (idx[0] * 12 + idx[1]) as f64 + step * 1000.0
@@ -129,7 +142,7 @@ fn main() {
             (data, MxnConnection::accept(&ic, &reg, 0).unwrap())
         };
         // Every incumbent drives an identical policy replica over the
-        // same scripted load curve — no coordination needed.
+        // same measured traffic — no coordination needed.
         let cfg = AutoscalerConfig {
             high_queue_bytes: 64 * 1024,
             low_queue_bytes: 4 * 1024,
@@ -150,12 +163,21 @@ fn main() {
             if side == 1 {
                 check(&data, step as f64);
             }
-            let sample = if step <= 6 {
-                LoadSample { queue_bytes: 128 * 1024, inflight_msgs: 3 }
-            } else {
-                LoadSample::default()
-            };
-            match scaler.observe(&sample) {
+            // Measured load: under pressure, exchange ballast with the
+            // counterpart rank across the coupling, then sample this
+            // rank's own mailbox gauge. The burst is fully drained before
+            // the sample — the peak watermark is what convicts.
+            if step <= LOADED_EPOCHS {
+                let ballast = vec![0.0f64; BALLAST_DOUBLES];
+                for _ in 0..BALLAST_MSGS {
+                    cur.send(rank, BALLAST_TAG, ballast.clone()).unwrap();
+                }
+                for _ in 0..BALLAST_MSGS {
+                    let _: Vec<f64> = cur.recv(rank, BALLAST_TAG).unwrap();
+                }
+            }
+            let gauge = cur.sample_mailbox_gauge();
+            match scaler.observe_stats(&gauge) {
                 ScaleDecision::Hold => {}
                 ScaleDecision::Grow { add } => {
                     let invite: Vec<usize> = parked.iter().copied().take(add).collect();
